@@ -1,0 +1,161 @@
+//! ApproxABFT-style significance-thresholded checking.
+//!
+//! ApproxABFT (cited in §I of the paper) observes that neural-network
+//! inference tolerates small numerical errors, so only *significant*
+//! discrepancies should trigger recovery. This module implements the idea
+//! on top of the classic matmul check: the residual is compared against a
+//! significance threshold scaled to the magnitude of the computation, and
+//! small residuals are classified as ignorable rather than alarmed.
+
+use fa_tensor::{checksum::predicted_matmul_checksum, Matrix, Scalar};
+
+/// Classification of a residual under significance thresholding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Significance {
+    /// Residual below the rounding floor: no error present.
+    Clean,
+    /// Residual above rounding noise but below the significance
+    /// threshold: an error exists but is too small to affect inference.
+    Ignorable,
+    /// Residual large enough to require recovery.
+    Significant,
+}
+
+/// ApproxABFT-style checker for one matrix product.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ApproxChecker {
+    /// Below this absolute residual the product is considered fault-free.
+    pub noise_floor: f64,
+    /// Relative significance threshold: residuals below
+    /// `significance · |Σ C|` are [`Significance::Ignorable`].
+    pub significance: f64,
+}
+
+impl Default for ApproxChecker {
+    fn default() -> Self {
+        ApproxChecker {
+            noise_floor: 1e-6,
+            significance: 1e-3,
+        }
+    }
+}
+
+impl ApproxChecker {
+    /// Creates a checker with the given noise floor and significance level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or NaN.
+    pub fn new(noise_floor: f64, significance: f64) -> Self {
+        assert!(
+            noise_floor >= 0.0 && significance >= 0.0,
+            "thresholds must be non-negative"
+        );
+        ApproxChecker {
+            noise_floor,
+            significance,
+        }
+    }
+
+    /// Classifies an externally produced `result` of `a·b`.
+    ///
+    /// NaN residuals (invalid arithmetic anywhere in the sum) classify as
+    /// [`Significance::Significant`] — unlike a raw hardware comparator,
+    /// ApproxABFT runs in software after the kernel and can test for NaN
+    /// explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn classify<T: Scalar>(
+        &self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        result: &Matrix<T>,
+    ) -> Significance {
+        assert_eq!(result.rows(), a.rows(), "result row count mismatch");
+        assert_eq!(result.cols(), b.cols(), "result column count mismatch");
+        let predicted = predicted_matmul_checksum(a, b);
+        let actual = result.sum_all();
+        let residual = (predicted - actual).abs();
+        if residual.is_nan() {
+            return Significance::Significant;
+        }
+        if residual <= self.noise_floor {
+            return Significance::Clean;
+        }
+        let scale = predicted.abs().max(actual.abs()).max(1.0);
+        if residual <= self.significance * scale {
+            Significance::Ignorable
+        } else {
+            Significance::Significant
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn product(seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let a = Matrix::random_seeded(6, 6, ElementDist::default(), seed);
+        let b = Matrix::random_seeded(6, 6, ElementDist::default(), seed + 1);
+        let c = a.matmul(&b);
+        (a, b, c)
+    }
+
+    #[test]
+    fn clean_product_classifies_clean() {
+        let (a, b, c) = product(21);
+        assert_eq!(ApproxChecker::default().classify(&a, &b, &c), Significance::Clean);
+    }
+
+    #[test]
+    fn tiny_error_is_ignorable() {
+        let (a, b, mut c) = product(22);
+        c[(0, 0)] += 1e-4; // above 1e-6 floor, below 1e-3·scale
+        assert_eq!(
+            ApproxChecker::default().classify(&a, &b, &c),
+            Significance::Ignorable
+        );
+    }
+
+    #[test]
+    fn large_error_is_significant() {
+        let (a, b, mut c) = product(23);
+        c[(2, 3)] += 10.0;
+        assert_eq!(
+            ApproxChecker::default().classify(&a, &b, &c),
+            Significance::Significant
+        );
+    }
+
+    #[test]
+    fn nan_is_significant_in_software_checker() {
+        let (a, b, mut c) = product(24);
+        c[(1, 1)] = f64::NAN;
+        assert_eq!(
+            ApproxChecker::default().classify(&a, &b, &c),
+            Significance::Significant
+        );
+    }
+
+    #[test]
+    fn thresholds_are_respected() {
+        let (a, b, mut c) = product(25);
+        c[(0, 0)] += 0.5;
+        // With a huge significance threshold even 0.5 is ignorable.
+        let lax = ApproxChecker::new(1e-6, 10.0);
+        assert_eq!(lax.classify(&a, &b, &c), Significance::Ignorable);
+        // With a zero noise floor and zero significance all errors matter.
+        let strict = ApproxChecker::new(0.0, 0.0);
+        assert_eq!(strict.classify(&a, &b, &c), Significance::Significant);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        let _ = ApproxChecker::new(-1.0, 0.1);
+    }
+}

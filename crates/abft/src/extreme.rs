@@ -1,0 +1,155 @@
+//! ATTNChecker-style extreme-value detection.
+//!
+//! ATTNChecker (cited in §I) targets *extreme* errors during LLM training:
+//! INF, NaN and near-INF values that crash or poison a training run. It
+//! scans tensors for such values rather than verifying arithmetic. This
+//! baseline is cheap but blind to plain numerical corruption — a bit flip
+//! that turns 0.5 into 0.25 passes — which the coverage comparison
+//! experiments quantify against Flash-ABFT.
+
+use fa_tensor::{Matrix, Scalar};
+
+/// What an extreme-value scan found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ExtremeKind {
+    /// A NaN element.
+    Nan,
+    /// A ±∞ element.
+    Inf,
+    /// A finite element whose magnitude exceeds the near-INF threshold.
+    NearInf,
+}
+
+/// A detected extreme value.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExtremeFinding {
+    /// Row of the offending element.
+    pub row: usize,
+    /// Column of the offending element.
+    pub col: usize,
+    /// Which kind of extreme value it is.
+    pub kind: ExtremeKind,
+}
+
+/// Extreme-value scanner with a configurable near-INF threshold.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExtremeChecker {
+    /// Finite magnitudes above this threshold are flagged as
+    /// [`ExtremeKind::NearInf`]. ATTNChecker uses a fraction of the format
+    /// maximum; the default is `f32::MAX / 2` widened to f64, appropriate
+    /// for BF16/f32 datapaths whose values should never approach it.
+    pub near_inf_threshold: f64,
+}
+
+impl Default for ExtremeChecker {
+    fn default() -> Self {
+        ExtremeChecker {
+            near_inf_threshold: f32::MAX as f64 / 2.0,
+        }
+    }
+}
+
+impl ExtremeChecker {
+    /// Creates a scanner with the given near-INF threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive.
+    pub fn new(near_inf_threshold: f64) -> Self {
+        assert!(
+            near_inf_threshold > 0.0,
+            "near-INF threshold must be positive"
+        );
+        ExtremeChecker { near_inf_threshold }
+    }
+
+    /// Scans a matrix, returning every extreme element.
+    pub fn scan<T: Scalar>(&self, m: &Matrix<T>) -> Vec<ExtremeFinding> {
+        let mut findings = Vec::new();
+        for r in 0..m.rows() {
+            for (c, x) in m.row(r).iter().enumerate() {
+                let v = x.to_f64();
+                let kind = if v.is_nan() {
+                    Some(ExtremeKind::Nan)
+                } else if v.is_infinite() {
+                    Some(ExtremeKind::Inf)
+                } else if v.abs() > self.near_inf_threshold {
+                    Some(ExtremeKind::NearInf)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    findings.push(ExtremeFinding { row: r, col: c, kind });
+                }
+            }
+        }
+        findings
+    }
+
+    /// Fast boolean form of [`scan`](Self::scan).
+    pub fn any_extreme<T: Scalar>(&self, m: &Matrix<T>) -> bool {
+        m.as_slice().iter().any(|x| {
+            let v = x.to_f64();
+            v.is_nan() || v.is_infinite() || v.abs() > self.near_inf_threshold
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_matrix_yields_no_findings() {
+        let m = Matrix::<f64>::from_fn(4, 4, |r, c| (r + c) as f64);
+        let checker = ExtremeChecker::default();
+        assert!(checker.scan(&m).is_empty());
+        assert!(!checker.any_extreme(&m));
+    }
+
+    #[test]
+    fn finds_nan_inf_and_near_inf() {
+        let mut m = Matrix::<f64>::zeros(2, 3);
+        m[(0, 1)] = f64::NAN;
+        m[(1, 0)] = f64::NEG_INFINITY;
+        m[(1, 2)] = 3e38;
+        let findings = ExtremeChecker::default().scan(&m);
+        assert_eq!(findings.len(), 3);
+        assert_eq!(findings[0].kind, ExtremeKind::Nan);
+        assert_eq!((findings[0].row, findings[0].col), (0, 1));
+        assert_eq!(findings[1].kind, ExtremeKind::Inf);
+        assert_eq!(findings[2].kind, ExtremeKind::NearInf);
+    }
+
+    #[test]
+    fn blind_to_plain_corruption() {
+        // The crucial limitation: value corruption without overflow is
+        // invisible to the extreme checker.
+        let mut m = Matrix::<f64>::from_fn(3, 3, |_, _| 0.5);
+        m[(1, 1)] = 0.25; // a flipped mantissa bit
+        let checker = ExtremeChecker::default();
+        assert!(checker.scan(&m).is_empty());
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let mut m = Matrix::<f64>::zeros(1, 1);
+        m[(0, 0)] = 1e6;
+        assert!(ExtremeChecker::new(1e5).any_extreme(&m));
+        assert!(!ExtremeChecker::new(1e7).any_extreme(&m));
+    }
+
+    #[test]
+    fn bf16_infinity_is_caught() {
+        use fa_numerics::BF16;
+        let mut m = Matrix::<BF16>::zeros(1, 2);
+        m[(0, 1)] = BF16::INFINITY;
+        assert!(ExtremeChecker::default().any_extreme(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_threshold_panics() {
+        let _ = ExtremeChecker::new(0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fa-abft
+//!
+//! Baseline algorithm-based fault-tolerance checkers — the techniques
+//! Flash-ABFT is compared against in the paper:
+//!
+//! * [`matmul`] — classic Huang–Abraham ABFT for a single matrix product
+//!   (checksum prediction, detection, and single-error location);
+//! * [`two_step`] — the "traditional" approach for attention the paper
+//!   describes in §I: check `Q·Kᵀ` and `S·V` as two *separate* matrix
+//!   multiplications, leaving the softmax in between **unprotected** — the
+//!   coverage gap that motivates Flash-ABFT;
+//! * [`approx`] — ApproxABFT-style significance thresholding (only errors
+//!   large enough to matter raise an alarm);
+//! * [`extreme`] — ATTNChecker-style extreme-value detection (INF, NaN,
+//!   near-INF) targeting training-crash errors;
+//! * [`cost`] — operation-count model quantifying checking overhead, used
+//!   by the overhead benches to compare two-step checking against the
+//!   fused Flash-ABFT check.
+//!
+//! # Example
+//!
+//! ```
+//! use fa_tensor::Matrix;
+//! use fa_abft::matmul::CheckedMatmul;
+//! use fa_numerics::Tolerance;
+//!
+//! let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::<f64>::identity(2);
+//! let checked = CheckedMatmul::compute(&a, &b, Tolerance::PAPER);
+//! assert!(!checked.outcome().is_alarm());
+//! ```
+
+pub mod approx;
+pub mod composite;
+pub mod cost;
+pub mod extreme;
+pub mod matmul;
+pub mod two_step;

@@ -1,0 +1,267 @@
+//! Classic Huang–Abraham ABFT for one matrix multiplication.
+//!
+//! For `C = A·B`: augment `A` with a row of column sums and `B` with a
+//! column of row sums; the dot product of the two checksum vectors predicts
+//! `Σ C`. Comparing against the actual `Σ C` detects any single corrupted
+//! output element; keeping the *full* row/column checksum vectors
+//! additionally locates it (row index from the column-checksum residual,
+//! column index from the row-checksum residual) and allows correction.
+
+use fa_numerics::{CheckOutcome, Tolerance};
+use fa_tensor::{checksum::predicted_matmul_checksum, Matrix, Scalar};
+
+/// A matrix product computed together with its ABFT verification.
+#[derive(Clone)]
+pub struct CheckedMatmul<T> {
+    result: Matrix<T>,
+    predicted: f64,
+    actual: f64,
+    outcome: CheckOutcome,
+}
+
+impl<T: Scalar> std::fmt::Debug for CheckedMatmul<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckedMatmul")
+            .field("predicted", &self.predicted)
+            .field("actual", &self.actual)
+            .field("outcome", &self.outcome)
+            .field("result", &self.result)
+            .finish()
+    }
+}
+
+impl<T: Scalar> CheckedMatmul<T> {
+    /// Computes `a·b` and verifies it against the predicted checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions differ.
+    pub fn compute(a: &Matrix<T>, b: &Matrix<T>, tolerance: Tolerance) -> Self {
+        let result = a.matmul(b);
+        let predicted = predicted_matmul_checksum(a, b);
+        let actual = result.sum_all();
+        let outcome = tolerance.check(predicted, actual);
+        CheckedMatmul {
+            result,
+            predicted,
+            actual,
+            outcome,
+        }
+    }
+
+    /// Verifies an *externally produced* result (e.g. from faulty
+    /// hardware) against the checksum predicted from the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn verify(a: &Matrix<T>, b: &Matrix<T>, result: Matrix<T>, tolerance: Tolerance) -> Self {
+        assert_eq!(result.rows(), a.rows(), "result row count mismatch");
+        assert_eq!(result.cols(), b.cols(), "result column count mismatch");
+        let predicted = predicted_matmul_checksum(a, b);
+        let actual = result.sum_all();
+        let outcome = tolerance.check(predicted, actual);
+        CheckedMatmul {
+            result,
+            predicted,
+            actual,
+            outcome,
+        }
+    }
+
+    /// The computed (or supplied) product.
+    pub fn result(&self) -> &Matrix<T> {
+        &self.result
+    }
+
+    /// Consumes self, returning the product.
+    pub fn into_result(self) -> Matrix<T> {
+        self.result
+    }
+
+    /// The predicted checksum `colsums(A) · rowsums(B)`.
+    pub fn predicted(&self) -> f64 {
+        self.predicted
+    }
+
+    /// The actual checksum `Σ C`.
+    pub fn actual(&self) -> f64 {
+        self.actual
+    }
+
+    /// The verification outcome.
+    pub fn outcome(&self) -> CheckOutcome {
+        self.outcome
+    }
+}
+
+/// Location of a single corrupted element, found from full checksum
+/// vectors.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorLocation {
+    /// Row of the corrupted element.
+    pub row: usize,
+    /// Column of the corrupted element.
+    pub col: usize,
+    /// The residual magnitude (the amount by which the element is off).
+    pub delta: f64,
+}
+
+/// Locates (and optionally corrects) a single corrupted element of
+/// `result` given fault-free inputs, using full row/column checksum
+/// vectors. Returns `None` if no row or no column residual exceeds the
+/// tolerance (no locatable single error).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn locate_single_error<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    result: &Matrix<T>,
+    tolerance: f64,
+) -> Option<ErrorLocation> {
+    assert_eq!(result.rows(), a.rows(), "result row count mismatch");
+    assert_eq!(result.cols(), b.cols(), "result column count mismatch");
+    // Reference product in f64: the checksum vectors of the true C.
+    let a64 = a.to_f64();
+    let b64 = b.to_f64();
+    let true_c = a64.matmul(&b64);
+
+    // Row residuals: actual row sums vs true row sums.
+    let mut bad_row = None;
+    for (i, (actual, expected)) in result
+        .row_sums()
+        .iter()
+        .zip(true_c.row_sums())
+        .enumerate()
+    {
+        let delta = actual - expected;
+        if delta.abs() > tolerance {
+            if bad_row.is_some() {
+                return None; // more than one corrupted row: not a single error
+            }
+            bad_row = Some((i, delta));
+        }
+    }
+    let mut bad_col = None;
+    for (j, (actual, expected)) in result
+        .col_sums()
+        .iter()
+        .zip(true_c.col_sums())
+        .enumerate()
+    {
+        let delta = actual - expected;
+        if delta.abs() > tolerance {
+            if bad_col.is_some() {
+                return None;
+            }
+            bad_col = Some((j, delta));
+        }
+    }
+    match (bad_row, bad_col) {
+        (Some((row, dr)), Some((col, _dc))) => Some(ErrorLocation {
+            row,
+            col,
+            delta: dr,
+        }),
+        _ => None,
+    }
+}
+
+/// Corrects a located single error in place.
+pub fn correct_single_error<T: Scalar>(result: &mut Matrix<T>, loc: ErrorLocation) {
+    let fixed = result[(loc.row, loc.col)].to_f64() - loc.delta;
+    result[(loc.row, loc.col)] = T::from_f64(fixed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn rand_pair(seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::random_seeded(6, 5, ElementDist::default(), seed),
+            Matrix::random_seeded(5, 7, ElementDist::default(), seed + 1),
+        )
+    }
+
+    #[test]
+    fn fault_free_product_passes() {
+        let (a, b) = rand_pair(1);
+        let checked = CheckedMatmul::compute(&a, &b, Tolerance::PAPER);
+        assert_eq!(checked.outcome(), CheckOutcome::Pass);
+        assert!((checked.predicted() - checked.actual()).abs() < 1e-9);
+        assert_eq!(checked.result().rows(), 6);
+    }
+
+    #[test]
+    fn corrupted_result_alarms() {
+        let (a, b) = rand_pair(2);
+        let mut c = a.matmul(&b);
+        c[(3, 4)] += 0.01;
+        let checked = CheckedMatmul::verify(&a, &b, c, Tolerance::PAPER);
+        assert_eq!(checked.outcome(), CheckOutcome::Alarm);
+    }
+
+    #[test]
+    fn nan_in_result_is_silent() {
+        // A NaN in the output poisons the actual checksum: the comparator
+        // cannot fire — exactly the silent class of the paper.
+        let (a, b) = rand_pair(3);
+        let mut c = a.matmul(&b);
+        c[(0, 0)] = f64::NAN;
+        let checked = CheckedMatmul::verify(&a, &b, c, Tolerance::PAPER);
+        assert_eq!(checked.outcome(), CheckOutcome::NanSilent);
+    }
+
+    #[test]
+    fn locates_and_corrects_single_error() {
+        let (a, b) = rand_pair(4);
+        let mut c = a.matmul(&b);
+        let original = c[(2, 5)];
+        c[(2, 5)] += 3.5;
+        let loc = locate_single_error(&a, &b, &c, 1e-6).expect("should locate");
+        assert_eq!((loc.row, loc.col), (2, 5));
+        assert!((loc.delta - 3.5).abs() < 1e-9);
+        correct_single_error(&mut c, loc);
+        assert!((c[(2, 5)] - original).abs() < 1e-9);
+    }
+
+    #[test]
+    fn location_fails_gracefully_on_double_error_in_different_rows() {
+        let (a, b) = rand_pair(5);
+        let mut c = a.matmul(&b);
+        c[(1, 1)] += 1.0;
+        c[(4, 2)] += 1.0;
+        assert_eq!(locate_single_error(&a, &b, &c, 1e-6), None);
+    }
+
+    #[test]
+    fn no_error_means_no_location() {
+        let (a, b) = rand_pair(6);
+        let c = a.matmul(&b);
+        assert_eq!(locate_single_error(&a, &b, &c, 1e-6), None);
+    }
+
+    #[test]
+    fn bf16_product_passes_with_appropriate_tolerance() {
+        use fa_numerics::BF16;
+        let a: Matrix<BF16> = Matrix::random_seeded(8, 8, ElementDist::default(), 7);
+        let b: Matrix<BF16> = Matrix::random_seeded(8, 8, ElementDist::default(), 8);
+        // BF16 accumulation error far exceeds 1e-6: the check needs a
+        // precision-appropriate tolerance (demonstrates why the threshold
+        // is an experimental knob — §IV-B).
+        let checked = CheckedMatmul::compute(&a, &b, Tolerance::Absolute(1.0));
+        assert_eq!(checked.outcome(), CheckOutcome::Pass);
+    }
+
+    #[test]
+    #[should_panic(expected = "result row count mismatch")]
+    fn verify_shape_mismatch_panics() {
+        let (a, b) = rand_pair(9);
+        let wrong = Matrix::<f64>::zeros(3, 7);
+        let _ = CheckedMatmul::verify(&a, &b, wrong, Tolerance::PAPER);
+    }
+}

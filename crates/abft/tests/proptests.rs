@@ -1,0 +1,108 @@
+//! Property-based tests for the classic ABFT substrate.
+
+use fa_abft::approx::{ApproxChecker, Significance};
+use fa_abft::cost::{flash2_kernel, flash_abft_overhead, two_step_overhead};
+use fa_abft::extreme::ExtremeChecker;
+use fa_abft::matmul::{correct_single_error, locate_single_error, CheckedMatmul};
+use fa_numerics::{CheckOutcome, Tolerance};
+use fa_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault-free products always verify clean.
+    #[test]
+    fn clean_products_pass(a in matrix(5, 4), b in matrix(4, 6)) {
+        let checked = CheckedMatmul::compute(&a, &b, Tolerance::Absolute(1e-8));
+        prop_assert_eq!(checked.outcome(), CheckOutcome::Pass);
+    }
+
+    /// Any single corruption above the tolerance is detected, located at
+    /// the right coordinates, and corrected back to the original value.
+    #[test]
+    fn single_corruption_detect_locate_correct(
+        a in matrix(5, 4),
+        b in matrix(4, 6),
+        r in 0usize..5,
+        c in 0usize..6,
+        delta in prop_oneof![0.01f64..100.0, -100.0f64..-0.01],
+    ) {
+        let clean = a.matmul(&b);
+        let mut corrupted = clean.clone();
+        corrupted[(r, c)] += delta;
+
+        // Detection.
+        let checked = CheckedMatmul::verify(&a, &b, corrupted.clone(), Tolerance::Absolute(1e-6));
+        prop_assert_eq!(checked.outcome(), CheckOutcome::Alarm);
+
+        // Location and correction.
+        let loc = locate_single_error(&a, &b, &corrupted, 1e-6).expect("locatable");
+        prop_assert_eq!((loc.row, loc.col), (r, c));
+        correct_single_error(&mut corrupted, loc);
+        prop_assert!(corrupted.max_abs_diff(&clean) < 1e-9);
+    }
+
+    /// The approx checker's classes are ordered: growing a residual never
+    /// moves it to a *less* severe class.
+    #[test]
+    fn approx_classes_monotone(
+        a in matrix(4, 4),
+        b in matrix(4, 4),
+        small in 1e-5f64..1e-4,
+        large in 1.0f64..100.0,
+    ) {
+        let checker = ApproxChecker::default();
+        let clean = a.matmul(&b);
+        let rank = |s: Significance| match s {
+            Significance::Clean => 0,
+            Significance::Ignorable => 1,
+            Significance::Significant => 2,
+        };
+        let mut small_corrupt = clean.clone();
+        small_corrupt[(0, 0)] += small;
+        let mut large_corrupt = clean.clone();
+        large_corrupt[(0, 0)] += large;
+        let s1 = rank(checker.classify(&a, &b, &clean));
+        let s2 = rank(checker.classify(&a, &b, &small_corrupt));
+        let s3 = rank(checker.classify(&a, &b, &large_corrupt));
+        prop_assert!(s1 <= s2 && s2 <= s3, "{s1} {s2} {s3}");
+    }
+
+    /// The extreme checker never fires on finite, moderate matrices and
+    /// always fires once a NaN or Inf is planted.
+    #[test]
+    fn extreme_checker_exactness(
+        m in matrix(4, 4),
+        r in 0usize..4,
+        c in 0usize..4,
+        plant_nan in any::<bool>(),
+    ) {
+        let checker = ExtremeChecker::default();
+        prop_assert!(!checker.any_extreme(&m));
+        let mut bad = m.clone();
+        bad[(r, c)] = if plant_nan { f64::NAN } else { f64::INFINITY };
+        prop_assert!(checker.any_extreme(&bad));
+        let findings = checker.scan(&bad);
+        prop_assert_eq!(findings.len(), 1);
+        prop_assert_eq!((findings[0].row, findings[0].col), (r, c));
+    }
+
+    /// Cost-model sanity across geometries: kernel ops dominate both
+    /// checking schemes, and the fused overhead fraction stays below 5 %.
+    #[test]
+    fn cost_model_relations(n in 32u64..2048, d in 16u64..512) {
+        let kernel = flash2_kernel(n, d);
+        let fused = flash_abft_overhead(n, d);
+        let two = two_step_overhead(n, d);
+        prop_assert!(kernel.total() > fused.total());
+        prop_assert!(kernel.total() > two.total());
+        prop_assert!((fused.total() as f64) < 0.05 * kernel.total() as f64,
+            "fused {} vs kernel {}", fused.total(), kernel.total());
+    }
+}

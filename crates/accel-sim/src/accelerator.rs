@@ -1,0 +1,564 @@
+//! The top-level block-parallel accelerator (Fig. 2/3 schedule).
+//!
+//! `parallel_queries` blocks serve one query each; keys/values stream one
+//! row per cycle and are broadcast. Sequences with more queries than
+//! blocks run in multiple passes, re-streaming K/V. After each pass the
+//! divide epilogue produces the attention rows, and the checker
+//! accumulates the per-query checks into the global predicted checksum
+//! and the per-query row sums into the actual output checksum.
+//!
+//! Fault campaigns need many runs that differ from a golden run by one
+//! bit flip, so [`Accelerator::run_faulted`] re-simulates **only** the
+//! pass/blocks a fault can influence and splices golden results for the
+//! rest — bit-exact with the full simulation (verified by tests).
+
+use crate::block::{simulate_block_pass, BlockFault, BlockRegKind};
+use crate::config::AcceleratorConfig;
+use crate::fault::{Fault, RegAddr};
+use crate::register::Register;
+use crate::storage::StorageMap;
+use fa_numerics::BF16;
+use fa_tensor::Matrix;
+use std::collections::HashMap;
+
+/// The outcome of one accelerator execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Written-back attention output (BF16, N×d).
+    pub output: Matrix<BF16>,
+    /// Per-query checks `c_N/ℓ_N` (Alg. 3 line 10).
+    pub per_query_checks: Vec<f64>,
+    /// Per-query output row sums (pre-rounding) — contributions to the
+    /// actual checksum.
+    pub per_query_row_sums: Vec<f64>,
+    /// Final global predicted checksum (GlobalCheck register).
+    pub predicted: f64,
+    /// Final actual output checksum (OutputSum register).
+    pub actual: f64,
+    /// Total cycles consumed.
+    pub cycles: u64,
+}
+
+impl RunResult {
+    /// The hardware comparator's residual `predicted − actual`.
+    pub fn residual(&self) -> f64 {
+        self.predicted - self.actual
+    }
+}
+
+/// The simulated accelerator.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    cfg: AcceleratorConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with the given configuration.
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        Accelerator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// The storage inventory (for fault sampling).
+    pub fn storage_map(&self) -> StorageMap {
+        StorageMap::new(&self.cfg)
+    }
+
+    /// Fault-free (golden) execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn run(&self, q: &Matrix<BF16>, k: &Matrix<BF16>, v: &Matrix<BF16>) -> RunResult {
+        self.run_faulted(q, k, v, &[], None)
+    }
+
+    /// Execution with injected faults. When `golden` is supplied, only
+    /// the passes/blocks a fault can influence are re-simulated; results
+    /// are bit-identical to a full simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a fault cycle beyond the run, or a fault
+    /// lane/block outside the configured geometry.
+    pub fn run_faulted(
+        &self,
+        q: &Matrix<BF16>,
+        k: &Matrix<BF16>,
+        v: &Matrix<BF16>,
+        faults: &[Fault],
+        golden: Option<&RunResult>,
+    ) -> RunResult {
+        self.cfg.attention.validate_shapes(q, k, v);
+        let n_q = q.rows();
+        let n_k = k.rows();
+        let p_blocks = self.cfg.parallel_queries;
+        let passes = self.cfg.passes(n_q);
+        let cpp = self.cfg.cycles_per_pass(n_k);
+        let total_cycles = passes as u64 * cpp;
+        for f in faults {
+            assert!(
+                f.cycle < total_cycles,
+                "fault cycle {} beyond run length {total_cycles}",
+                f.cycle
+            );
+        }
+
+        // Partition faults.
+        let mut block_faults: HashMap<(usize, usize), Vec<BlockFault>> = HashMap::new();
+        let mut sumrow_faults: HashMap<usize, Vec<(u64, u32)>> = HashMap::new();
+        let mut global_check_flips: Vec<(u64, u32)> = Vec::new();
+        let mut output_sum_flips: Vec<(u64, u32)> = Vec::new();
+        for f in faults {
+            let pass = (f.cycle / cpp) as usize;
+            let t = f.cycle % cpp;
+            match f.target {
+                RegAddr::Query { block, lane } => {
+                    assert!(block < p_blocks && lane < self.cfg.head_dim());
+                    block_faults.entry((pass, block)).or_default().push(BlockFault {
+                        in_pass_cycle: t,
+                        kind: BlockRegKind::Query,
+                        lane,
+                        bit: f.bit,
+                    });
+                }
+                RegAddr::Output { block, lane } => {
+                    assert!(block < p_blocks && lane < self.cfg.head_dim());
+                    block_faults.entry((pass, block)).or_default().push(BlockFault {
+                        in_pass_cycle: t,
+                        kind: BlockRegKind::Output,
+                        lane,
+                        bit: f.bit,
+                    });
+                }
+                RegAddr::MaxScore { block } => {
+                    assert!(block < p_blocks);
+                    block_faults.entry((pass, block)).or_default().push(BlockFault {
+                        in_pass_cycle: t,
+                        kind: BlockRegKind::MaxScore,
+                        lane: 0,
+                        bit: f.bit,
+                    });
+                }
+                RegAddr::SumExp { block } => {
+                    assert!(block < p_blocks);
+                    block_faults.entry((pass, block)).or_default().push(BlockFault {
+                        in_pass_cycle: t,
+                        kind: BlockRegKind::SumExp,
+                        lane: 0,
+                        bit: f.bit,
+                    });
+                }
+                RegAddr::Check { block } => {
+                    assert!(block < p_blocks);
+                    block_faults.entry((pass, block)).or_default().push(BlockFault {
+                        in_pass_cycle: t,
+                        kind: BlockRegKind::Check,
+                        lane: 0,
+                        bit: f.bit,
+                    });
+                }
+                RegAddr::SumRow => {
+                    // The sumrow pipeline register is consumed during
+                    // streaming cycles only.
+                    if t < n_k as u64 {
+                        sumrow_faults.entry(pass).or_default().push((t, f.bit));
+                    }
+                }
+                RegAddr::GlobalCheck => global_check_flips.push((f.cycle, f.bit)),
+                RegAddr::OutputSum => output_sum_flips.push((f.cycle, f.bit)),
+            }
+        }
+
+        let base_sumrows = v.row_sums();
+
+        let mut output = Matrix::<BF16>::zeros(n_q, self.cfg.head_dim());
+        let mut per_query_checks = vec![0.0f64; n_q];
+        let mut per_query_row_sums = vec![0.0f64; n_q];
+
+        for pass in 0..passes {
+            let pass_has_sumrow_faults = sumrow_faults.contains_key(&pass);
+            // Effective sumrow stream for this pass.
+            let sumrows: Vec<f64> = if pass_has_sumrow_faults {
+                let mut eff = base_sumrows.clone();
+                for &(t, bit) in &sumrow_faults[&pass] {
+                    let mut r =
+                        Register::with_value(self.cfg.precision.sumrow, eff[t as usize]);
+                    r.flip_bit(bit);
+                    eff[t as usize] = r.read();
+                }
+                eff
+            } else {
+                base_sumrows.clone()
+            };
+
+            for block in 0..p_blocks {
+                let qi = pass * p_blocks + block;
+                if qi >= n_q {
+                    break; // partial final pass: idle blocks
+                }
+                let private = block_faults.get(&(pass, block));
+                let must_sim =
+                    golden.is_none() || private.is_some() || pass_has_sumrow_faults;
+                if must_sim {
+                    let empty = Vec::new();
+                    let result = simulate_block_pass(
+                        &self.cfg,
+                        q.row(qi),
+                        k,
+                        v,
+                        &sumrows,
+                        private.unwrap_or(&empty),
+                    );
+                    for (c, val) in result.output.iter().enumerate() {
+                        output[(qi, c)] = *val;
+                    }
+                    per_query_checks[qi] = result.check_q;
+                    per_query_row_sums[qi] = result.row_sum;
+                } else {
+                    let g = golden.expect("must_sim is false only with golden");
+                    for c in 0..self.cfg.head_dim() {
+                        output[(qi, c)] = g.output[(qi, c)];
+                    }
+                    per_query_checks[qi] = g.per_query_checks[qi];
+                    per_query_row_sums[qi] = g.per_query_row_sums[qi];
+                }
+            }
+        }
+
+        // Global accumulator replay: one accumulation event per pass at
+        // the pass's final epilogue cycle, with bit flips interleaved by
+        // cycle (a flip at cycle c applies before any event at cycle >= c).
+        let accumulate = |per_query: &[f64], flips: &mut Vec<(u64, u32)>| -> f64 {
+            flips.sort_unstable();
+            let mut reg = Register::new(self.cfg.precision.global);
+            let mut flip_idx = 0;
+            for pass in 0..passes {
+                let event_cycle = pass as u64 * cpp + n_k as u64 + 1;
+                while flip_idx < flips.len() && flips[flip_idx].0 <= event_cycle {
+                    reg.flip_bit(flips[flip_idx].1);
+                    flip_idx += 1;
+                }
+                let mut pass_sum = reg.read();
+                for block in 0..p_blocks {
+                    let qi = pass * p_blocks + block;
+                    if qi >= n_q {
+                        break;
+                    }
+                    pass_sum += per_query[qi];
+                }
+                reg.write(pass_sum);
+            }
+            while flip_idx < flips.len() {
+                reg.flip_bit(flips[flip_idx].1);
+                flip_idx += 1;
+            }
+            reg.read()
+        };
+
+        let predicted = if self.cfg.checker_enabled {
+            accumulate(&per_query_checks, &mut global_check_flips)
+        } else {
+            0.0
+        };
+        let actual = if self.cfg.checker_enabled {
+            accumulate(&per_query_row_sums, &mut output_sum_flips)
+        } else {
+            per_query_row_sums.iter().sum()
+        };
+
+        RunResult {
+            output,
+            per_query_checks,
+            per_query_row_sums,
+            predicted,
+            actual,
+            cycles: total_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn setup(
+        n: usize,
+        d: usize,
+        blocks: usize,
+        seed: u64,
+    ) -> (Accelerator, Matrix<BF16>, Matrix<BF16>, Matrix<BF16>) {
+        let accel = Accelerator::new(AcceleratorConfig::new(blocks, d));
+        let q = Matrix::random_seeded(n, d, ElementDist::default(), seed);
+        let k = Matrix::random_seeded(n, d, ElementDist::default(), seed + 1);
+        let v = Matrix::random_seeded(n, d, ElementDist::default(), seed + 2);
+        (accel, q, k, v)
+    }
+
+    #[test]
+    fn golden_run_matches_reference_kernel() {
+        let (accel, q, k, v) = setup(12, 8, 4, 1);
+        let run = accel.run(&q, &k, &v);
+        let reference = fa_attention::flash2::attention(
+            &q.to_f64(),
+            &k.to_f64(),
+            &v.to_f64(),
+            &accel.config().attention,
+        );
+        assert!(run.output.to_f64().max_abs_diff(&reference) < 0.01, "BF16 writeback");
+        // Pre-rounding row sums match exactly.
+        for (i, rs) in run.per_query_row_sums.iter().enumerate() {
+            let expected: f64 = reference.row(i).iter().sum();
+            assert!((rs - expected).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn golden_residual_is_below_paper_threshold() {
+        for seed in [1, 7, 99] {
+            let (accel, q, k, v) = setup(32, 16, 8, seed);
+            let run = accel.run(&q, &k, &v);
+            assert!(
+                run.residual().abs() < 1e-6,
+                "fault-free residual {} must satisfy the paper's bound",
+                run.residual()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_pass_equals_reference() {
+        // 3 passes with a partial final pass (10 queries on 4 blocks).
+        let (accel, q, k, v) = setup(10, 4, 4, 5);
+        let run = accel.run(&q, &k, &v);
+        assert_eq!(run.cycles, 3 * (10 + 2));
+        let reference = fa_attention::flash2::attention(
+            &q.to_f64(),
+            &k.to_f64(),
+            &v.to_f64(),
+            &accel.config().attention,
+        );
+        for i in 0..10 {
+            let expected: f64 = reference.row(i).iter().sum();
+            assert!((run.per_query_row_sums[i] - expected).abs() < 1e-10);
+        }
+        assert!(run.residual().abs() < 1e-6);
+    }
+
+    #[test]
+    fn targeted_resim_is_bit_exact_with_full_sim() {
+        let (accel, q, k, v) = setup(12, 4, 4, 20);
+        let golden = accel.run(&q, &k, &v);
+        let map = accel.storage_map();
+        // Exercise every register class.
+        let faults = [
+            Fault { cycle: 3, target: RegAddr::Query { block: 1, lane: 2 }, bit: 13 },
+            Fault { cycle: 17, target: RegAddr::Output { block: 0, lane: 3 }, bit: 60 },
+            Fault { cycle: 8, target: RegAddr::MaxScore { block: 2 }, bit: 40 },
+            Fault { cycle: 30, target: RegAddr::SumExp { block: 3 }, bit: 50 },
+            Fault { cycle: 22, target: RegAddr::Check { block: 1 }, bit: 55 },
+            Fault { cycle: 5, target: RegAddr::SumRow, bit: 51 },
+            Fault { cycle: 13, target: RegAddr::GlobalCheck, bit: 52 },
+            Fault { cycle: 27, target: RegAddr::OutputSum, bit: 33 },
+        ];
+        let _ = map;
+        for f in faults {
+            let full = accel.run_faulted(&q, &k, &v, &[f], None);
+            let fast = accel.run_faulted(&q, &k, &v, &[f], Some(&golden));
+            assert_eq!(
+                full.predicted.to_bits(),
+                fast.predicted.to_bits(),
+                "predicted mismatch for {f:?}"
+            );
+            assert_eq!(
+                full.actual.to_bits(),
+                fast.actual.to_bits(),
+                "actual mismatch for {f:?}"
+            );
+            let bits_equal = full
+                .output
+                .as_slice()
+                .iter()
+                .zip(fast.output.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bits_equal, "output mismatch for {f:?}");
+        }
+    }
+
+    #[test]
+    fn output_register_fault_trips_hardware_comparator() {
+        let (accel, q, k, v) = setup(8, 4, 4, 30);
+        let golden = accel.run(&q, &k, &v);
+        let fault = Fault {
+            cycle: 2,
+            target: RegAddr::Output { block: 0, lane: 1 },
+            bit: 62,
+        };
+        let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        let residual = run.residual().abs();
+        assert!(
+            residual > 1e-6 || residual.is_nan(),
+            "output fault must produce a residual, got {residual}"
+        );
+    }
+
+    #[test]
+    fn check_register_fault_is_false_positive_material() {
+        let (accel, q, k, v) = setup(8, 4, 4, 31);
+        let golden = accel.run(&q, &k, &v);
+        let fault = Fault {
+            cycle: 4,
+            target: RegAddr::Check { block: 2 },
+            bit: 58,
+        };
+        let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        // Output is untouched...
+        assert_eq!(run.output, golden.output);
+        // ...but the comparator fires: false positive.
+        assert!(run.residual().abs() > 1e-6);
+    }
+
+    #[test]
+    fn coherent_weight_fault_evades_comparator_but_not_discrepancy_criterion() {
+        // The architectural subtlety: an ℓ-register fault scales output
+        // and checksum identically — the runtime comparator stays silent
+        // even though the output is wrong. The paper's "checksum-level
+        // discrepancy" criterion (predicted vs TRUE checksum) does flag
+        // it. Both signals are exposed; fa-fault classifies with either.
+        let (accel, q, k, v) = setup(8, 4, 4, 32);
+        let golden = accel.run(&q, &k, &v);
+        let fault = Fault {
+            cycle: 7,
+            target: RegAddr::SumExp { block: 1 },
+            bit: 56,
+        };
+        let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        // Output corrupted:
+        assert!(run.output.to_f64().max_abs_diff(&golden.output.to_f64()) > 1e-6);
+        // Hardware comparator silent (coherence):
+        assert!(run.residual().abs() < 1e-6);
+        // Discrepancy vs the true (golden) checksum flags it:
+        assert!((run.predicted - golden.predicted).abs() > 1e-6);
+    }
+
+    #[test]
+    fn global_check_fault_only_moves_prediction() {
+        let (accel, q, k, v) = setup(8, 4, 4, 33);
+        let golden = accel.run(&q, &k, &v);
+        let fault = Fault {
+            cycle: 15, // after the first pass accumulated: register is non-zero
+            target: RegAddr::GlobalCheck,
+            bit: 51,   // mantissa MSB: ~50 % relative change
+        };
+        let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        assert_eq!(run.output, golden.output);
+        assert_eq!(run.actual.to_bits(), golden.actual.to_bits());
+        assert_ne!(run.predicted.to_bits(), golden.predicted.to_bits());
+    }
+
+    #[test]
+    fn sumrow_fault_corrupts_prediction_for_that_pass() {
+        let (accel, q, k, v) = setup(4, 4, 4, 34);
+        let golden = accel.run(&q, &k, &v);
+        let fault = Fault {
+            cycle: 1,
+            target: RegAddr::SumRow,
+            bit: 62,
+        };
+        let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        assert_eq!(run.output, golden.output, "sumrow feeds only the checker");
+        assert!(
+            (run.predicted - golden.predicted).abs() > 1e-6
+                || run.predicted.is_nan()
+        );
+    }
+
+    #[test]
+    fn checker_disabled_accelerator_still_computes_attention() {
+        let cfg = AcceleratorConfig::new(4, 4).with_checker(false);
+        let accel = Accelerator::new(cfg);
+        let q = Matrix::random_seeded(4, 4, ElementDist::default(), 40);
+        let k = Matrix::random_seeded(4, 4, ElementDist::default(), 41);
+        let v = Matrix::random_seeded(4, 4, ElementDist::default(), 42);
+        let run = accel.run(&q, &k, &v);
+        assert_eq!(run.predicted, 0.0);
+        assert!(run.actual.is_finite());
+        assert!(run.output.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond run length")]
+    fn fault_cycle_out_of_range_panics() {
+        let (accel, q, k, v) = setup(4, 4, 4, 50);
+        let fault = Fault {
+            cycle: 1000,
+            target: RegAddr::SumRow,
+            bit: 0,
+        };
+        let _ = accel.run_faulted(&q, &k, &v, &[fault], None);
+    }
+}
+
+/// Multi-head execution: runs each head's slice of packed `N × (H·d)`
+/// matrices through the accelerator sequentially (heads share the
+/// hardware in time, as a single-head accelerator serves a multi-head
+/// layer). Returns per-head results.
+///
+/// # Panics
+///
+/// Panics if the packed width is not a multiple of the configured head
+/// dimension.
+pub fn run_multihead(
+    accel: &Accelerator,
+    q: &Matrix<BF16>,
+    k: &Matrix<BF16>,
+    v: &Matrix<BF16>,
+) -> Vec<RunResult> {
+    let d = accel.config().head_dim();
+    assert_eq!(q.cols() % d, 0, "packed width {} not a multiple of d={d}", q.cols());
+    assert_eq!(k.cols(), q.cols(), "K width mismatch");
+    assert_eq!(v.cols(), q.cols(), "V width mismatch");
+    let heads = q.cols() / d;
+    let slice = |m: &Matrix<BF16>, h: usize| {
+        Matrix::from_fn(m.rows(), d, |r, c| m[(r, h * d + c)])
+    };
+    (0..heads)
+        .map(|h| accel.run(&slice(q, h), &slice(k, h), &slice(v, h)))
+        .collect()
+}
+
+#[cfg(test)]
+mod multihead_tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use fa_tensor::random::ElementDist;
+
+    #[test]
+    fn multihead_runs_verify_per_head() {
+        let accel = Accelerator::new(AcceleratorConfig::new(4, 8));
+        let q = Matrix::random_seeded(12, 24, ElementDist::default(), 1); // 3 heads
+        let k = Matrix::random_seeded(12, 24, ElementDist::default(), 2);
+        let v = Matrix::random_seeded(12, 24, ElementDist::default(), 3);
+        let results = run_multihead(&accel, &q, &k, &v);
+        assert_eq!(results.len(), 3);
+        for (h, r) in results.iter().enumerate() {
+            assert!(r.residual().abs() < 1e-6, "head {h}");
+            assert_eq!(r.output.cols(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_packing_panics() {
+        let accel = Accelerator::new(AcceleratorConfig::new(2, 8));
+        let m = Matrix::random_seeded(4, 20, ElementDist::default(), 1);
+        let _ = run_multihead(&accel, &m, &m, &m);
+    }
+}

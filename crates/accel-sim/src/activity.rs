@@ -1,0 +1,183 @@
+//! Workload-measured switching activity.
+//!
+//! The paper derives power from real switching activity ("switching
+//! activity was derived by running attention kernels for various Large
+//! Language Models and benchmarks from PromptBench", §IV-A). The static
+//! `PowerReport` assumes every unit toggles
+//! every cycle; this module measures how often the datapath actually
+//! works from a simulated run and scales the energy terms accordingly:
+//!
+//! * the **rescale path** (the `e^{m_{i−1}−m_i}` multipliers on every
+//!   output/checksum lane) only does work on cycles where the running
+//!   maximum changes — typically a small fraction once the max settles;
+//! * the incoming-weight multipliers always fire, but with operand
+//!   magnitudes distributed like softmax weights.
+
+use crate::block::{BlockObserver, CycleEvent};
+use crate::components::ComponentCosts;
+use crate::config::AcceleratorConfig;
+use crate::power::PowerReport;
+use fa_numerics::BF16;
+use fa_tensor::Matrix;
+
+/// Activity factors measured from a workload run (all in `[0, 1]`).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActivityProfile {
+    /// Fraction of streaming cycles on which the running max changed
+    /// (the rescale multipliers do real work only then; otherwise the
+    /// factor is exactly 1 and the multiplier's output doesn't toggle).
+    pub rescale_active: f64,
+    /// Mean incoming weight `e^{s−m}` — a proxy for value-path operand
+    /// toggle rates (tiny weights keep product bits mostly zero).
+    pub mean_weight: f64,
+    /// Cycles observed.
+    pub cycles: u64,
+}
+
+/// Observer that accumulates activity statistics.
+#[derive(Clone, Debug, Default)]
+struct ActivityObserver {
+    cycles: u64,
+    max_updates: u64,
+    weight_sum: f64,
+    last_max: f64,
+}
+
+impl BlockObserver for ActivityObserver {
+    fn on_cycle(&mut self, event: &CycleEvent) {
+        if self.cycles == 0 || event.max_score != self.last_max {
+            self.max_updates += 1;
+            self.last_max = event.max_score;
+        }
+        self.weight_sum += event.weight_new.clamp(0.0, 1.0);
+        self.cycles += 1;
+    }
+}
+
+/// Measures switching activity by running every query of a workload
+/// through the block datapath.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn measure_activity(
+    cfg: &AcceleratorConfig,
+    q: &Matrix<BF16>,
+    k: &Matrix<BF16>,
+    v: &Matrix<BF16>,
+) -> ActivityProfile {
+    cfg.attention.validate_shapes(q, k, v);
+    let sumrows = v.row_sums();
+    let mut obs = ActivityObserver::default();
+    for qi in 0..q.rows() {
+        // Each query starts a fresh max sequence.
+        obs.last_max = f64::NEG_INFINITY;
+        let before = obs.cycles;
+        crate::block::simulate_block_pass_observed(cfg, q.row(qi), k, v, &sumrows, &[], &mut obs);
+        debug_assert_eq!(obs.cycles - before, k.rows() as u64);
+    }
+    ActivityProfile {
+        rescale_active: obs.max_updates as f64 / obs.cycles.max(1) as f64,
+        mean_weight: obs.weight_sum / obs.cycles.max(1) as f64,
+        cycles: obs.cycles,
+    }
+}
+
+/// Scales a static [`PowerReport`] by measured activity: the rescale
+/// multipliers (half the output-update multiplier energy, and half the
+/// checksum MAC) are gated by `rescale_active`; value-path multiplier
+/// energy scales with operand activity (bounded below at 30 % for
+/// clock/control overhead that toggles regardless).
+pub fn activity_scaled_power(
+    report: &PowerReport,
+    profile: &ActivityProfile,
+    costs: &ComponentCosts,
+) -> PowerReport {
+    let _ = costs;
+    let gate = |fraction_rescale: f64, energy: f64| -> f64 {
+        // Half the multiplier energy sits on the rescale path.
+        let rescale_part = energy * fraction_rescale;
+        let value_part = energy * (1.0 - fraction_rescale);
+        rescale_part * profile.rescale_active.max(0.05)
+            + value_part * (0.3 + 0.7 * profile.mean_weight)
+    };
+    PowerReport {
+        parallel_queries: report.parallel_queries,
+        head_dim: report.head_dim,
+        kernel_energy_per_cycle: gate(0.5, report.kernel_energy_per_cycle),
+        checker_energy_per_cycle: gate(0.5, report.checker_energy_per_cycle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn workload(n: usize, d: usize) -> (Matrix<BF16>, Matrix<BF16>, Matrix<BF16>) {
+        (
+            Matrix::random_seeded(n, d, ElementDist::default(), 1),
+            Matrix::random_seeded(n, d, ElementDist::default(), 2),
+            Matrix::random_seeded(n, d, ElementDist::default(), 3),
+        )
+    }
+
+    #[test]
+    fn activity_is_bounded_and_plausible() {
+        let cfg = AcceleratorConfig::new(4, 8);
+        let (q, k, v) = workload(16, 8);
+        let profile = measure_activity(&cfg, &q, &k, &v);
+        assert_eq!(profile.cycles, 16 * 16);
+        assert!(profile.rescale_active > 0.0 && profile.rescale_active <= 1.0);
+        assert!(profile.mean_weight > 0.0 && profile.mean_weight <= 1.0);
+        // With random scores, the running max follows the record-value
+        // law: E[#records over n draws] = H_n ≈ ln n, so the active
+        // fraction must be well below 1 for n=16 (H_16/16 ≈ 0.21).
+        assert!(
+            profile.rescale_active < 0.6,
+            "rescale fraction {} should reflect record statistics",
+            profile.rescale_active
+        );
+    }
+
+    #[test]
+    fn sorted_keys_maximize_rescale_activity() {
+        // Keys engineered so scores strictly increase: every cycle is a
+        // record and the rescale path never idles.
+        let cfg = AcceleratorConfig::new(1, 2);
+        let q = Matrix::from_fn(1, 2, |_, _| BF16::from_f32(1.0));
+        let k = Matrix::from_fn(12, 2, |r, _| BF16::from_f32(0.25 * (r as f32 + 1.0)));
+        let v = Matrix::from_fn(12, 2, |_, _| BF16::from_f32(0.5));
+        let profile = measure_activity(&cfg, &q, &k, &v);
+        assert_eq!(profile.rescale_active, 1.0);
+    }
+
+    #[test]
+    fn activity_scaling_reduces_power_but_preserves_positive_share() {
+        let cfg = AcceleratorConfig::new(16, 128);
+        let (q, k, v) = workload(32, 128);
+        let profile = measure_activity(&cfg, &q, &k, &v);
+        let costs = ComponentCosts::default();
+        let static_report = PowerReport::compute(16, 128, 256, &costs);
+        let scaled = activity_scaled_power(&static_report, &profile, &costs);
+        assert!(scaled.total_energy_per_cycle() < static_report.total_energy_per_cycle());
+        assert!(scaled.checker_share() > 0.0 && scaled.checker_share() < 0.1);
+    }
+
+    #[test]
+    fn activity_share_stays_in_paper_band() {
+        // The checker share must remain ~1-2% after activity scaling —
+        // the paper's power numbers come from activity-based estimation.
+        let cfg = AcceleratorConfig::new(16, 128);
+        let (q, k, v) = workload(64, 128);
+        let profile = measure_activity(&cfg, &q, &k, &v);
+        let costs = ComponentCosts::default();
+        let scaled =
+            activity_scaled_power(&PowerReport::compute(16, 128, 256, &costs), &profile, &costs);
+        assert!(
+            scaled.checker_share() > 0.005 && scaled.checker_share() < 0.04,
+            "share {}",
+            scaled.checker_share()
+        );
+    }
+}

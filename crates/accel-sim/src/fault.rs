@@ -1,0 +1,94 @@
+//! Fault descriptions: which bit of which register at which cycle.
+
+/// Address of one named storage element in the accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RegAddr {
+    /// Element `lane` of block `block`'s query vector register.
+    Query {
+        /// Block index (0..parallel_queries).
+        block: usize,
+        /// Element index (0..d).
+        lane: usize,
+    },
+    /// Element `lane` of block `block`'s output accumulator.
+    Output {
+        /// Block index.
+        block: usize,
+        /// Element index.
+        lane: usize,
+    },
+    /// Block `block`'s running-maximum register `m`.
+    MaxScore {
+        /// Block index.
+        block: usize,
+    },
+    /// Block `block`'s sum-of-exponentials register `ℓ`.
+    SumExp {
+        /// Block index.
+        block: usize,
+    },
+    /// Block `block`'s per-query checksum register `c` (checker logic).
+    Check {
+        /// Block index.
+        block: usize,
+    },
+    /// The shared `sumrow_i(V)` pipeline register (checker logic).
+    SumRow,
+    /// The global predicted-checksum accumulator (checker logic).
+    GlobalCheck,
+    /// The actual-output-checksum accumulator (checker logic).
+    OutputSum,
+}
+
+impl RegAddr {
+    /// Whether this register belongs to the checker ("checking logic")
+    /// rather than the FlashAttention-2 kernel — the paper's site
+    /// attribution for the False Positive category.
+    pub fn is_checker(&self) -> bool {
+        matches!(
+            self,
+            RegAddr::Check { .. } | RegAddr::SumRow | RegAddr::GlobalCheck | RegAddr::OutputSum
+        )
+    }
+}
+
+/// One injected fault: flip `bit` of `target` at the start of absolute
+/// cycle `cycle`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fault {
+    /// Absolute cycle index (0-based) at which the flip occurs.
+    pub cycle: u64,
+    /// The storage element hit.
+    pub target: RegAddr,
+    /// Bit position within the register (0 = LSB).
+    pub bit: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_attribution() {
+        assert!(RegAddr::Check { block: 0 }.is_checker());
+        assert!(RegAddr::SumRow.is_checker());
+        assert!(RegAddr::GlobalCheck.is_checker());
+        assert!(RegAddr::OutputSum.is_checker());
+        assert!(!RegAddr::Query { block: 0, lane: 0 }.is_checker());
+        assert!(!RegAddr::Output { block: 1, lane: 2 }.is_checker());
+        assert!(!RegAddr::MaxScore { block: 0 }.is_checker());
+        assert!(!RegAddr::SumExp { block: 0 }.is_checker());
+    }
+
+    #[test]
+    fn fault_is_plain_copyable_data() {
+        let f = Fault {
+            cycle: 100,
+            target: RegAddr::Output { block: 3, lane: 7 },
+            bit: 12,
+        };
+        let g = f;
+        assert_eq!(f, g);
+        assert_eq!(format!("{:?}", f).is_empty(), false);
+    }
+}

@@ -1,0 +1,175 @@
+//! Power model — regenerates the power half of the paper's Fig. 4.
+//!
+//! Average power = (energy per streaming cycle, steady state) ×
+//! clock frequency, with the divide epilogue amortized over the pass.
+//! Activity counts come from the Fig. 2/3 schedule: every streaming cycle
+//! each block performs one d-wide dot product, two exponentials, the
+//! (d+1)-lane merged update and the ℓ update, while the shared checker
+//! logic computes one sumrow. Like the paper's PowerPro methodology,
+//! memory power is excluded: "memory power is not affected by the
+//! presence of the error-checking logic" (§IV-A).
+
+use crate::components::{physical, ComponentCosts};
+
+/// Per-cycle energy breakdown for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerReport {
+    /// Parallel query blocks.
+    pub parallel_queries: u64,
+    /// Head dimension.
+    pub head_dim: u64,
+    /// Kernel energy per streaming cycle (relative units).
+    pub kernel_energy_per_cycle: f64,
+    /// Checker energy per streaming cycle (relative units).
+    pub checker_energy_per_cycle: f64,
+}
+
+impl PowerReport {
+    /// Computes the steady-state report. `keys_per_pass` amortizes the
+    /// divide epilogue (dividers only fire once per pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero.
+    pub fn compute(
+        parallel_queries: u64,
+        head_dim: u64,
+        keys_per_pass: u64,
+        costs: &ComponentCosts,
+    ) -> Self {
+        assert!(
+            parallel_queries > 0 && head_dim > 0 && keys_per_pass > 0,
+            "geometry must be positive"
+        );
+        let p = parallel_queries as f64;
+        let d = head_dim as f64;
+        let n = keys_per_pass as f64;
+        let c = costs;
+
+        // Kernel per block per streaming cycle.
+        let dot = d * c.energy_mult_bf16 + (d - 1.0) * c.energy_add_bf16;
+        let exps = 2.0 * c.energy_exp;
+        let out_update = 2.0 * d * c.energy_mult_bf16 + d * c.energy_add_bf16;
+        let l_update = 2.0 * c.energy_mult_bf16 + c.energy_add_bf16;
+        let max_cmp = c.energy_cmp;
+        // Register writes: o (16d bits), m (16), l (32).
+        let reg_writes = (16.0 * d + 48.0) * c.energy_reg_bit;
+        // Epilogue divisions amortized: d divisions per block per pass.
+        let div_amortized = d * c.energy_div / n;
+        let kernel_block =
+            dot + exps + out_update + l_update + max_cmp + reg_writes + div_amortized;
+
+        // Checker per block per streaming cycle: the c-lane MAC + c write.
+        let c_mac = 2.0 * c.energy_mult_mixed + c.energy_add_f64;
+        let c_write = 64.0 * c.energy_reg_bit;
+        let check_div_amortized = c.energy_div / n;
+        let checker_block = c_mac + c_write + check_div_amortized;
+
+        // Shared checker logic per cycle: sumrow tree + register, plus
+        // the two global accumulators and comparison amortized per pass.
+        let sumrow = (d - 1.0) * c.energy_add_bf16 + c.energy_add_f64 + 64.0 * c.energy_reg_bit;
+        let global_amortized = (2.0 * c.energy_add_f64 + c.energy_cmp + 128.0 * c.energy_reg_bit) / n;
+
+        PowerReport {
+            parallel_queries,
+            head_dim,
+            kernel_energy_per_cycle: p * kernel_block,
+            checker_energy_per_cycle: p * checker_block + sumrow + global_amortized,
+        }
+    }
+
+    /// Total energy per cycle.
+    pub fn total_energy_per_cycle(&self) -> f64 {
+        self.kernel_energy_per_cycle + self.checker_energy_per_cycle
+    }
+
+    /// The checker's share of average power — the paper's metric
+    /// (Fig. 4: <1.9 %, average 1.53 %).
+    pub fn checker_share(&self) -> f64 {
+        self.checker_energy_per_cycle / self.total_energy_per_cycle()
+    }
+
+    /// Average power in mW at the documented clock/energy anchors.
+    pub fn total_mw(&self) -> f64 {
+        self.total_energy_per_cycle() * physical::PJ_PER_ENERGY_UNIT * physical::CLOCK_HZ * 1e-9
+    }
+
+    /// Checker average power in mW.
+    pub fn checker_mw(&self) -> f64 {
+        self.checker_energy_per_cycle * physical::PJ_PER_ENERGY_UNIT * physical::CLOCK_HZ * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p: u64) -> PowerReport {
+        PowerReport::compute(p, 128, 256, &ComponentCosts::default())
+    }
+
+    #[test]
+    fn checker_power_share_matches_paper_band() {
+        // Paper Fig. 4: power overhead < 1.9 %, average 1.53 %.
+        let r16 = report(16);
+        let r32 = report(32);
+        let avg = (r16.checker_share() + r32.checker_share()) / 2.0;
+        assert!(
+            r16.checker_share() < 0.035 && r16.checker_share() > 0.005,
+            "16q power share {}",
+            r16.checker_share()
+        );
+        assert!(avg > 0.005 && avg < 0.03, "average power share {avg}");
+    }
+
+    #[test]
+    fn power_share_below_area_share() {
+        // The paper's pattern: 1.53 % power vs 4.55 % area — checker
+        // state is area-heavy (registers, dividers) but activity-light.
+        use crate::area::AreaReport;
+        use crate::components::ComponentCosts;
+        let costs = ComponentCosts::default();
+        for p in [16, 32] {
+            let power = PowerReport::compute(p, 128, 256, &costs).checker_share();
+            let area = AreaReport::compute(p, 128, true, &costs).checker_share();
+            assert!(power < area, "power {power} must be below area {area}");
+        }
+    }
+
+    #[test]
+    fn share_shrinks_with_more_blocks() {
+        let r16 = report(16);
+        let r32 = report(32);
+        assert!(r32.checker_share() < r16.checker_share());
+    }
+
+    #[test]
+    fn kernel_energy_scales_with_blocks() {
+        let r16 = report(16);
+        let r32 = report(32);
+        assert!((r32.kernel_energy_per_cycle / r16.kernel_energy_per_cycle - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_passes_amortize_dividers() {
+        let costs = ComponentCosts::default();
+        let short = PowerReport::compute(16, 128, 64, &costs);
+        let long = PowerReport::compute(16, 128, 1024, &costs);
+        assert!(long.kernel_energy_per_cycle < short.kernel_energy_per_cycle);
+    }
+
+    #[test]
+    fn physical_power_is_positive_and_consistent() {
+        let r = report(16);
+        assert!(r.total_mw() > 0.0);
+        assert!(r.checker_mw() < r.total_mw());
+        let ratio = r.checker_mw() / r.total_mw();
+        assert!((ratio - r.checker_share()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must be positive")]
+    fn zero_geometry_panics() {
+        let _ = PowerReport::compute(16, 0, 256, &ComponentCosts::default());
+    }
+}

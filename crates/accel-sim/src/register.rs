@@ -1,0 +1,205 @@
+//! Bit-accurate storage elements.
+//!
+//! Every named register in the simulated accelerator stores a raw bit
+//! pattern in its physical width. Reads decode to `f64` for the value
+//! pipeline; writes encode (and therefore **round**) to the register's
+//! format. Fault injection flips stored bits directly, so a flipped
+//! pattern decodes to exactly the value the corresponding hardware
+//! register would hold.
+
+use fa_numerics::BF16;
+
+/// Physical width/format of a register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RegWidth {
+    /// 16-bit BFloat16.
+    Bf16,
+    /// 32-bit IEEE binary32.
+    F32,
+    /// 64-bit IEEE binary64.
+    F64,
+}
+
+impl RegWidth {
+    /// Number of stored bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            RegWidth::Bf16 => 16,
+            RegWidth::F32 => 32,
+            RegWidth::F64 => 64,
+        }
+    }
+}
+
+/// One bit-accurate storage element.
+///
+/// ```
+/// use fa_accel_sim::{Register, RegWidth};
+///
+/// let mut r = Register::new(RegWidth::Bf16);
+/// r.write(1.0);
+/// assert_eq!(r.read(), 1.0);
+/// r.flip_bit(15); // sign bit
+/// assert_eq!(r.read(), -1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Register {
+    bits: u64,
+    width: RegWidth,
+}
+
+impl Register {
+    /// Creates a register holding +0.0.
+    pub fn new(width: RegWidth) -> Self {
+        Register { bits: 0, width }
+    }
+
+    /// Creates a register holding the encoding of `value`.
+    pub fn with_value(width: RegWidth, value: f64) -> Self {
+        let mut r = Register::new(width);
+        r.write(value);
+        r
+    }
+
+    /// The register's width.
+    #[inline]
+    pub fn width(&self) -> RegWidth {
+        self.width
+    }
+
+    /// The raw stored bits (low `width.bits()` bits are meaningful).
+    #[inline]
+    pub fn raw_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Decodes the stored pattern to `f64` (exact for all three formats).
+    #[inline]
+    pub fn read(&self) -> f64 {
+        match self.width {
+            RegWidth::Bf16 => BF16::from_bits(self.bits as u16).to_f64(),
+            RegWidth::F32 => f32::from_bits(self.bits as u32) as f64,
+            RegWidth::F64 => f64::from_bits(self.bits),
+        }
+    }
+
+    /// Encodes `value` into the register, rounding to the format. This is
+    /// where narrow accumulators lose precision, bit-for-bit as hardware
+    /// would.
+    #[inline]
+    pub fn write(&mut self, value: f64) {
+        self.bits = match self.width {
+            RegWidth::Bf16 => BF16::from_f64(value).to_bits() as u64,
+            RegWidth::F32 => (value as f32).to_bits() as u64,
+            RegWidth::F64 => value.to_bits(),
+        };
+    }
+
+    /// Flips stored bit `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.width().bits()`.
+    #[inline]
+    pub fn flip_bit(&mut self, bit: u32) {
+        assert!(
+            bit < self.width.bits(),
+            "bit {bit} out of range for {:?} register",
+            self.width
+        );
+        self.bits ^= 1u64 << bit;
+    }
+
+    /// Whether the stored value is NaN.
+    pub fn is_nan(&self) -> bool {
+        self.read().is_nan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_bits() {
+        assert_eq!(RegWidth::Bf16.bits(), 16);
+        assert_eq!(RegWidth::F32.bits(), 32);
+        assert_eq!(RegWidth::F64.bits(), 64);
+    }
+
+    #[test]
+    fn f64_register_is_exact() {
+        let mut r = Register::new(RegWidth::F64);
+        r.write(0.1);
+        assert_eq!(r.read(), 0.1);
+        r.write(f64::NEG_INFINITY);
+        assert_eq!(r.read(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bf16_register_rounds_on_write() {
+        let mut r = Register::new(RegWidth::Bf16);
+        r.write(1.001);
+        // 1.001 is not representable in BF16: rounds to 1.0.
+        assert_eq!(r.read(), 1.0);
+        r.write(0.1);
+        assert!((r.read() - 0.1).abs() < 1e-3);
+        assert_ne!(r.read(), 0.1);
+    }
+
+    #[test]
+    fn f32_register_rounds_on_write() {
+        let mut r = Register::new(RegWidth::F32);
+        r.write(0.1);
+        assert_eq!(r.read(), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn flip_bit_roundtrip() {
+        for width in [RegWidth::Bf16, RegWidth::F32, RegWidth::F64] {
+            let mut r = Register::with_value(width, 1.5);
+            let before = r.read();
+            for bit in [0, width.bits() - 1] {
+                r.flip_bit(bit);
+                assert_ne!(r.read().to_bits(), before.to_bits());
+                r.flip_bit(bit);
+                assert_eq!(r.read(), before);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let mut r = Register::with_value(RegWidth::F32, 2.5);
+        r.flip_bit(31);
+        assert_eq!(r.read(), -2.5);
+        let mut r = Register::with_value(RegWidth::Bf16, 2.5);
+        r.flip_bit(15);
+        assert_eq!(r.read(), -2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        let mut r = Register::new(RegWidth::Bf16);
+        r.flip_bit(16);
+    }
+
+    #[test]
+    fn exponent_flip_can_produce_nan_or_inf() {
+        // BF16 value just below the NaN boundary: flipping an exponent bit
+        // of MAX gives inf-class patterns.
+        let mut r = Register::new(RegWidth::Bf16);
+        r.write(f64::INFINITY);
+        assert!(r.read().is_infinite());
+        r.flip_bit(0); // inf mantissa +1 => NaN
+        assert!(r.is_nan());
+    }
+
+    #[test]
+    fn with_value_constructor() {
+        let r = Register::with_value(RegWidth::F64, -7.25);
+        assert_eq!(r.read(), -7.25);
+    }
+}

@@ -1,0 +1,218 @@
+//! Storage enumeration for uniform fault sampling.
+//!
+//! The paper injects each fault into a uniformly random bit of a uniformly
+//! random storage element: "Whether a fault will be injected on the
+//! FlashAttention-2 hardware or the checker depends on the amount of their
+//! storage elements" (§IV-B). [`StorageMap`] enumerates every register
+//! with its width so a campaign can sample bits uniformly and report the
+//! kernel/checker storage split.
+
+use crate::config::AcceleratorConfig;
+use crate::fault::RegAddr;
+use crate::register::RegWidth;
+
+/// One enumerable storage element.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StorageEntry {
+    /// The register's address.
+    pub addr: RegAddr,
+    /// Its physical width.
+    pub width: RegWidth,
+}
+
+/// The complete storage inventory of a configured accelerator.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct StorageMap {
+    entries: Vec<StorageEntry>,
+    total_bits: u64,
+    checker_bits: u64,
+}
+
+impl StorageMap {
+    /// Enumerates all storage of `cfg` (checker registers included only
+    /// when the checker is enabled).
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        let d = cfg.head_dim();
+        let p = cfg.precision;
+        let mut entries = Vec::new();
+        for block in 0..cfg.parallel_queries {
+            for lane in 0..d {
+                entries.push(StorageEntry {
+                    addr: RegAddr::Query { block, lane },
+                    width: p.query,
+                });
+            }
+            for lane in 0..d {
+                entries.push(StorageEntry {
+                    addr: RegAddr::Output { block, lane },
+                    width: p.output,
+                });
+            }
+            entries.push(StorageEntry {
+                addr: RegAddr::MaxScore { block },
+                width: p.max_score,
+            });
+            entries.push(StorageEntry {
+                addr: RegAddr::SumExp { block },
+                width: p.sum_exp,
+            });
+            if cfg.checker_enabled {
+                entries.push(StorageEntry {
+                    addr: RegAddr::Check { block },
+                    width: p.check,
+                });
+            }
+        }
+        if cfg.checker_enabled {
+            entries.push(StorageEntry {
+                addr: RegAddr::SumRow,
+                width: p.sumrow,
+            });
+            entries.push(StorageEntry {
+                addr: RegAddr::GlobalCheck,
+                width: p.global,
+            });
+            entries.push(StorageEntry {
+                addr: RegAddr::OutputSum,
+                width: p.global,
+            });
+        }
+        let total_bits = entries.iter().map(|e| e.width.bits() as u64).sum();
+        let checker_bits = entries
+            .iter()
+            .filter(|e| e.addr.is_checker())
+            .map(|e| e.width.bits() as u64)
+            .sum();
+        StorageMap {
+            entries,
+            total_bits,
+            checker_bits,
+        }
+    }
+
+    /// All storage entries.
+    pub fn entries(&self) -> &[StorageEntry] {
+        &self.entries
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Storage bits belonging to the checker.
+    pub fn checker_bits(&self) -> u64 {
+        self.checker_bits
+    }
+
+    /// The fraction of storage bits in the checker — the structural
+    /// quantity behind the paper's false-positive trend (Table I: FP
+    /// shrinks as d grows).
+    pub fn checker_bit_fraction(&self) -> f64 {
+        self.checker_bits as f64 / self.total_bits as f64
+    }
+
+    /// Maps a uniform bit index in `[0, total_bits)` to (register, bit) —
+    /// the uniform-over-bits fault sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_index >= self.total_bits()`.
+    pub fn locate_bit(&self, bit_index: u64) -> (RegAddr, u32) {
+        assert!(
+            bit_index < self.total_bits,
+            "bit index {bit_index} out of {} total bits",
+            self.total_bits
+        );
+        let mut remaining = bit_index;
+        for e in &self.entries {
+            let w = e.width.bits() as u64;
+            if remaining < w {
+                return (e.addr, remaining as u32);
+            }
+            remaining -= w;
+        }
+        unreachable!("bit index within total_bits must land in an entry");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        // With the paper policy: per block 16d (q) + 64d (o) + 64 (m) +
+        // 64 (l) + 64 (c); shared: 3×64.
+        let cfg = AcceleratorConfig::new(4, 8);
+        let map = StorageMap::new(&cfg);
+        let per_block = 16 * 8 + 64 * 8 + 64 + 64 + 64;
+        assert_eq!(map.total_bits(), 4 * per_block + 3 * 64);
+        assert_eq!(map.checker_bits(), 4 * 64 + 3 * 64);
+    }
+
+    #[test]
+    fn checker_fraction_decreases_with_d() {
+        // The structural cause of the paper's FP-vs-d trend.
+        let f64_ = |d| StorageMap::new(&AcceleratorConfig::new(16, d)).checker_bit_fraction();
+        let fractions: Vec<f64> = [64, 96, 128, 256].into_iter().map(f64_).collect();
+        for w in fractions.windows(2) {
+            assert!(w[1] < w[0], "fraction must shrink with d: {fractions:?}");
+        }
+        // Same order of magnitude as Table I's FP rates (0.6%–2.7%).
+        assert!(fractions[0] < 0.03 && fractions[3] > 0.001, "{fractions:?}");
+    }
+
+    #[test]
+    fn disabling_checker_removes_its_storage() {
+        let cfg = AcceleratorConfig::new(4, 8).with_checker(false);
+        let map = StorageMap::new(&cfg);
+        assert_eq!(map.checker_bits(), 0);
+        assert!(map.entries().iter().all(|e| !e.addr.is_checker()));
+    }
+
+    #[test]
+    fn locate_bit_walks_entries() {
+        let cfg = AcceleratorConfig::new(2, 4);
+        let map = StorageMap::new(&cfg);
+        // First entry is Query{0,0}, BF16 (16 bits).
+        assert_eq!(
+            map.locate_bit(0),
+            (RegAddr::Query { block: 0, lane: 0 }, 0)
+        );
+        assert_eq!(
+            map.locate_bit(15),
+            (RegAddr::Query { block: 0, lane: 0 }, 15)
+        );
+        assert_eq!(
+            map.locate_bit(16),
+            (RegAddr::Query { block: 0, lane: 1 }, 0)
+        );
+        // Last bit belongs to the OutputSum register.
+        let (addr, bit) = map.locate_bit(map.total_bits() - 1);
+        assert_eq!(addr, RegAddr::OutputSum);
+        assert_eq!(bit, 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn locate_bit_out_of_range_panics() {
+        let map = StorageMap::new(&AcceleratorConfig::new(1, 2));
+        let _ = map.locate_bit(map.total_bits());
+    }
+
+    #[test]
+    fn every_bit_locates_consistently() {
+        let cfg = AcceleratorConfig::new(2, 3);
+        let map = StorageMap::new(&cfg);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..map.total_bits() {
+            let (addr, _) = map.locate_bit(i);
+            *counts.entry(format!("{addr:?}")).or_insert(0u64) += 1;
+        }
+        // Each register receives exactly width-many bits.
+        for e in map.entries() {
+            assert_eq!(counts[&format!("{:?}", e.addr)], e.width.bits() as u64);
+        }
+    }
+}

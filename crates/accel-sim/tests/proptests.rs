@@ -1,0 +1,149 @@
+//! Property-based tests for the accelerator simulator: the fault-free
+//! checksum identity, storage-map consistency and targeted-resim
+//! equivalence over randomized geometries, seeds and policies.
+
+use fa_accel_sim::config::{AcceleratorConfig, PrecisionPolicy};
+use fa_accel_sim::fault::Fault;
+use fa_accel_sim::storage::StorageMap;
+use fa_accel_sim::Accelerator;
+use fa_numerics::BF16;
+use fa_tensor::{random::ElementDist, Matrix};
+use proptest::prelude::*;
+
+fn workload(n: usize, d: usize, seed: u64) -> (Matrix<BF16>, Matrix<BF16>, Matrix<BF16>) {
+    (
+        Matrix::random_seeded(n, d, ElementDist::default(), seed),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fault-free residual stays below the paper's 1e-6 bound for
+    /// any geometry, seed and block count under the paper policy.
+    #[test]
+    fn golden_residual_below_tau(
+        n in 4usize..40,
+        d in 2usize..32,
+        blocks in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let cfg = AcceleratorConfig::new(blocks, d);
+        let (q, k, v) = workload(n, d, seed);
+        let run = Accelerator::new(cfg).run(&q, &k, &v);
+        prop_assert!(run.residual().abs() < 1e-6, "residual {}", run.residual());
+        // And every per-query check equals its row sum:
+        for (c, r) in run.per_query_checks.iter().zip(&run.per_query_row_sums) {
+            prop_assert!((c - r).abs() < 1e-9, "{c} vs {r}");
+        }
+    }
+
+    /// Storage-map bit accounting is exact: locating every bit index
+    /// visits each register exactly width-many times, and checker bits
+    /// match the checker-site filter.
+    #[test]
+    fn storage_map_accounting(blocks in 1usize..6, d in 1usize..16) {
+        let cfg = AcceleratorConfig::new(blocks, d.max(1));
+        let map = StorageMap::new(&cfg);
+        let mut total = 0u64;
+        let mut checker = 0u64;
+        for e in map.entries() {
+            total += e.width.bits() as u64;
+            if e.addr.is_checker() {
+                checker += e.width.bits() as u64;
+            }
+        }
+        prop_assert_eq!(total, map.total_bits());
+        prop_assert_eq!(checker, map.checker_bits());
+        // Boundary bits locate into the right registers.
+        let (first, b0) = map.locate_bit(0);
+        prop_assert_eq!(first, map.entries()[0].addr);
+        prop_assert_eq!(b0, 0);
+        let (_, blast) = map.locate_bit(map.total_bits() - 1);
+        let last_entry = map.entries().last().expect("non-empty");
+        prop_assert_eq!(blast, last_entry.width.bits() - 1);
+    }
+
+    /// Targeted re-simulation is bit-exact with full simulation for any
+    /// single fault (randomized over geometry, target and cycle).
+    #[test]
+    fn resim_equivalence(
+        n in 4usize..24,
+        blocks in 1usize..5,
+        seed in 0u64..100,
+        bit_frac in 0.0f64..1.0,
+        cycle_frac in 0.0f64..1.0,
+    ) {
+        let d = 8;
+        let cfg = AcceleratorConfig::new(blocks, d);
+        let (q, k, v) = workload(n, d, seed);
+        let accel = Accelerator::new(cfg);
+        let golden = accel.run(&q, &k, &v);
+        let map = accel.storage_map();
+        let bit_index = ((map.total_bits() - 1) as f64 * bit_frac) as u64;
+        let (target, bit) = map.locate_bit(bit_index);
+        let total_cycles = cfg.total_cycles(n, n);
+        let fault = Fault {
+            cycle: ((total_cycles - 1) as f64 * cycle_frac) as u64,
+            target,
+            bit,
+        };
+        let full = accel.run_faulted(&q, &k, &v, &[fault], None);
+        let fast = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
+        prop_assert_eq!(full.predicted.to_bits(), fast.predicted.to_bits());
+        prop_assert_eq!(full.actual.to_bits(), fast.actual.to_bits());
+        for (a, b) in full.output.as_slice().iter().zip(fast.output.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The narrow precision policy still computes correct attention (to
+    /// BF16 accuracy) — only the checksum residual degrades.
+    #[test]
+    fn narrow_policy_output_is_sane(n in 4usize..20, seed in 0u64..50) {
+        let d = 8;
+        let cfg = AcceleratorConfig::new(2, d).with_precision(PrecisionPolicy::narrow());
+        let (q, k, v) = workload(n, d, seed);
+        let run = Accelerator::new(cfg).run(&q, &k, &v);
+        let reference = fa_attention::flash2::attention(
+            &q.to_f64(),
+            &k.to_f64(),
+            &v.to_f64(),
+            &cfg.attention,
+        );
+        // BF16 accumulation over ≤20 steps: within a few percent.
+        prop_assert!(run.output.to_f64().max_abs_diff(&reference) < 0.2);
+    }
+}
+
+mod exp_unit_ablation {
+    use super::*;
+    use fa_accel_sim::config::ExpUnitKind;
+
+    /// The exp-unit choice is checker-transparent: residuals stay below
+    /// τ with every unit, and outputs agree with the libm build to the
+    /// unit's accuracy.
+    #[test]
+    fn exp_units_are_checker_transparent() {
+        let (q, k, v) = workload(24, 8, 99);
+        let libm_run = Accelerator::new(AcceleratorConfig::new(4, 8)).run(&q, &k, &v);
+        for kind in [ExpUnitKind::Poly, ExpUnitKind::Table] {
+            let cfg = AcceleratorConfig::new(4, 8).with_exp_unit(kind);
+            let run = Accelerator::new(cfg).run(&q, &k, &v);
+            assert!(
+                run.residual().abs() < 1e-6,
+                "{kind:?} residual {}",
+                run.residual()
+            );
+            for (a, b) in run
+                .per_query_row_sums
+                .iter()
+                .zip(&libm_run.per_query_row_sums)
+            {
+                assert!((a - b).abs() < 1e-4, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared kernel configuration.
+
+/// Configuration shared by all attention kernels in this workspace.
+///
+/// The paper's derivation (Eq. 1–8) omits the 1/√d score scaling for
+/// clarity; real transformer layers apply it. Both are supported:
+/// [`AttentionConfig::new`] applies the standard scaling,
+/// [`AttentionConfig::unscaled`] reproduces the paper's equations exactly.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::AttentionConfig;
+/// let cfg = AttentionConfig::new(64);
+/// assert_eq!(cfg.scale(), 0.125);
+/// assert!(!cfg.is_causal());
+/// let causal = AttentionConfig::new(64).with_causal(true);
+/// assert!(causal.is_causal());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttentionConfig {
+    head_dim: usize,
+    scale: f64,
+    causal: bool,
+    window: Option<usize>,
+}
+
+impl AttentionConfig {
+    /// Standard configuration: scores scaled by 1/√d, no mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim == 0`.
+    pub fn new(head_dim: usize) -> Self {
+        assert!(head_dim > 0, "head_dim must be positive");
+        AttentionConfig {
+            head_dim,
+            scale: 1.0 / (head_dim as f64).sqrt(),
+            causal: false,
+            window: None,
+        }
+    }
+
+    /// Paper-exact configuration: no score scaling (Eq. 1 as written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim == 0`.
+    pub fn unscaled(head_dim: usize) -> Self {
+        assert!(head_dim > 0, "head_dim must be positive");
+        AttentionConfig {
+            head_dim,
+            scale: 1.0,
+            causal: false,
+            window: None,
+        }
+    }
+
+    /// Overrides the score scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Enables or disables causal (autoregressive) masking: query *i*
+    /// attends only to keys *j ≤ i*.
+    pub fn with_causal(mut self, causal: bool) -> Self {
+        self.causal = causal;
+        self
+    }
+
+    /// Enables sliding-window (local) attention: query *i* attends only
+    /// to keys within `window` positions (Gemma2/Mistral-style local
+    /// layers). Composes with causal masking. The Flash-ABFT checksum
+    /// identity holds under any mask, which the test suites verify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_sliding_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.window = Some(window);
+        self
+    }
+
+    /// The head (hidden) dimension `d`.
+    #[inline]
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// The score scale factor applied before softmax.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Whether causal masking is enabled.
+    #[inline]
+    pub fn is_causal(&self) -> bool {
+        self.causal
+    }
+
+    /// The sliding-window size, if local attention is enabled.
+    #[inline]
+    pub fn sliding_window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Whether key `j` is visible to query `i` under this configuration.
+    #[inline]
+    pub fn visible(&self, query: usize, key: usize) -> bool {
+        if self.causal && key > query {
+            return false;
+        }
+        if let Some(w) = self.window {
+            if query.abs_diff(key) >= w {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Validates Q/K/V shapes against this configuration: all must be
+    /// `N×d` with the same `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any mismatch.
+    pub fn validate_shapes<T: fa_tensor::Scalar>(
+        &self,
+        q: &fa_tensor::Matrix<T>,
+        k: &fa_tensor::Matrix<T>,
+        v: &fa_tensor::Matrix<T>,
+    ) {
+        assert_eq!(
+            q.cols(),
+            self.head_dim,
+            "Q has {} columns but head_dim is {}",
+            q.cols(),
+            self.head_dim
+        );
+        assert_eq!(
+            k.cols(),
+            self.head_dim,
+            "K has {} columns but head_dim is {}",
+            k.cols(),
+            self.head_dim
+        );
+        assert_eq!(
+            v.cols(),
+            self.head_dim,
+            "V has {} columns but head_dim is {}",
+            v.cols(),
+            self.head_dim
+        );
+        assert_eq!(
+            k.rows(),
+            v.rows(),
+            "K has {} rows but V has {}",
+            k.rows(),
+            v.rows()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::Matrix;
+
+    #[test]
+    fn scale_defaults() {
+        assert_eq!(AttentionConfig::new(64).scale(), 0.125);
+        assert_eq!(AttentionConfig::new(16).scale(), 0.25);
+        assert_eq!(AttentionConfig::unscaled(64).scale(), 1.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = AttentionConfig::new(8).with_scale(0.5).with_causal(true);
+        assert_eq!(cfg.scale(), 0.5);
+        assert!(cfg.is_causal());
+        assert_eq!(cfg.head_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "head_dim must be positive")]
+    fn zero_head_dim_panics() {
+        let _ = AttentionConfig::new(0);
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let full = AttentionConfig::new(4);
+        assert!(full.visible(0, 5));
+        let causal = AttentionConfig::new(4).with_causal(true);
+        assert!(causal.visible(3, 3));
+        assert!(causal.visible(3, 0));
+        assert!(!causal.visible(3, 4));
+    }
+
+    #[test]
+    fn sliding_window_visibility() {
+        let local = AttentionConfig::new(4).with_sliding_window(2);
+        assert!(local.visible(5, 5));
+        assert!(local.visible(5, 4));
+        assert!(local.visible(5, 6));
+        assert!(!local.visible(5, 3));
+        assert!(!local.visible(5, 7));
+        assert_eq!(local.sliding_window(), Some(2));
+
+        let causal_local = AttentionConfig::new(4)
+            .with_causal(true)
+            .with_sliding_window(2);
+        assert!(causal_local.visible(5, 4));
+        assert!(!causal_local.visible(5, 6), "causal cuts the future half");
+        assert!(!causal_local.visible(5, 3), "window cuts the far past");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = AttentionConfig::new(4).with_sliding_window(0);
+    }
+
+    #[test]
+    fn validate_shapes_accepts_matching() {
+        let cfg = AttentionConfig::new(4);
+        let m = Matrix::<f64>::zeros(6, 4);
+        cfg.validate_shapes(&m, &m, &m);
+        // Q may have a different row count (fewer queries than keys).
+        let q = Matrix::<f64>::zeros(2, 4);
+        cfg.validate_shapes(&q, &m, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "K has 3 rows but V has 6")]
+    fn validate_shapes_rejects_kv_mismatch() {
+        let cfg = AttentionConfig::new(4);
+        let q = Matrix::<f64>::zeros(6, 4);
+        let k = Matrix::<f64>::zeros(3, 4);
+        let v = Matrix::<f64>::zeros(6, 4);
+        cfg.validate_shapes(&q, &k, &v);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q has 5 columns")]
+    fn validate_shapes_rejects_wrong_dim() {
+        let cfg = AttentionConfig::new(4);
+        let q = Matrix::<f64>::zeros(6, 5);
+        let k = Matrix::<f64>::zeros(6, 4);
+        cfg.validate_shapes(&q, &k, &k);
+    }
+}

@@ -1,0 +1,206 @@
+//! Autoregressive decode attention.
+//!
+//! During LLM generation each new token attends to the whole KV cache
+//! with a *single* query — the latency-critical mode an attention
+//! accelerator spends most of its life in. [`DecodeSession`] maintains
+//! the growing cache and computes one attention row per step with the
+//! same online-softmax recurrence as the batch kernels, so the
+//! Flash-ABFT per-query checksum applies step-by-step (see
+//! `flash_abft::decode`).
+
+use crate::AttentionConfig;
+use fa_numerics::OnlineSoftmax;
+use fa_tensor::{Matrix, Scalar};
+
+/// An incremental decoding session: a KV cache plus the kernel config.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::{decode::DecodeSession, AttentionConfig};
+///
+/// let mut session = DecodeSession::<f64>::new(AttentionConfig::new(2));
+/// let out1 = session.step(&[1.0, 0.0], &[0.5, 0.5], &[2.0, 4.0]);
+/// // First step: only one cache entry, output == v.
+/// assert_eq!(out1, vec![2.0, 4.0]);
+/// assert_eq!(session.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecodeSession<T> {
+    cfg: AttentionConfig,
+    keys: Vec<Vec<T>>,
+    values: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> DecodeSession<T> {
+    /// Creates an empty session.
+    pub fn new(cfg: AttentionConfig) -> Self {
+        DecodeSession {
+            cfg,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Pre-fills the cache from prompt K/V matrices (N×d).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn prefill(&mut self, k: &Matrix<T>, v: &Matrix<T>) {
+        assert_eq!(k.cols(), self.cfg.head_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.cfg.head_dim(), "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        for i in 0..k.rows() {
+            self.keys.push(k.row(i).to_vec());
+            self.values.push(v.row(i).to_vec());
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> AttentionConfig {
+        self.cfg
+    }
+
+    /// Appends the new token's key/value to the cache and computes its
+    /// attention row against the whole cache (itself included — decode
+    /// is causal by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the head dimension.
+    pub fn step(&mut self, q: &[T], k: &[T], v: &[T]) -> Vec<f64> {
+        self.step_with_state(q, k, v).0
+    }
+
+    /// Like [`step`](Self::step), also returning the online-softmax
+    /// terminal state `(ℓ_N, m_N)` — what the checked wrapper needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn step_with_state(&mut self, q: &[T], k: &[T], v: &[T]) -> (Vec<f64>, f64, f64) {
+        let d = self.cfg.head_dim();
+        assert_eq!(q.len(), d, "query length mismatch");
+        assert_eq!(k.len(), d, "key length mismatch");
+        assert_eq!(v.len(), d, "value length mismatch");
+        self.keys.push(k.to_vec());
+        self.values.push(v.to_vec());
+
+        let newest = self.keys.len() - 1;
+        let mut os = OnlineSoftmax::new();
+        let mut acc = vec![0.0f64; d];
+        for i in 0..self.keys.len() {
+            // Sliding-window masking relative to the newest position.
+            if let Some(w) = self.cfg.sliding_window() {
+                if newest - i >= w {
+                    continue;
+                }
+            }
+            let s = fa_tensor::ops::dot_f64(q, &self.keys[i]) * self.cfg.scale();
+            let step = os.push(s);
+            for (a, vv) in acc.iter_mut().zip(&self.values[i]) {
+                *a = *a * step.scale_old + vv.to_f64() * step.weight_new;
+            }
+        }
+        let l = os.sum_exp();
+        for a in acc.iter_mut() {
+            *a /= l;
+        }
+        (acc, l, os.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flash2, naive};
+    use fa_tensor::random::ElementDist;
+
+    fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::random_seeded(n, d, ElementDist::default(), seed),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+        )
+    }
+
+    #[test]
+    fn decode_matches_causal_batch_attention() {
+        // Feeding tokens one at a time must equal one causal batch pass.
+        let (q, k, v) = rand_qkv(10, 4, 800);
+        let cfg = AttentionConfig::new(4);
+        let mut session = DecodeSession::new(cfg);
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(session.step(q.row(i), k.row(i), v.row(i)));
+        }
+        let batch = naive::attention(&q, &k, &v, &cfg.with_causal(true));
+        for (i, row) in rows.iter().enumerate() {
+            for (c, val) in row.iter().enumerate() {
+                assert!(
+                    (val - batch[(i, c)]).abs() < 1e-12,
+                    "token {i} lane {c}: {val} vs {}",
+                    batch[(i, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_then_decode_matches_full_attention() {
+        let (q, k, v) = rand_qkv(8, 4, 801);
+        let cfg = AttentionConfig::new(4);
+        let mut session = DecodeSession::new(cfg);
+        // Prefill with the first 7 positions, then decode token 7.
+        let k_prompt = Matrix::from_fn(7, 4, |r, c| k[(r, c)]);
+        let v_prompt = Matrix::from_fn(7, 4, |r, c| v[(r, c)]);
+        session.prefill(&k_prompt, &v_prompt);
+        assert_eq!(session.len(), 7);
+        let out = session.step(q.row(7), k.row(7), v.row(7));
+        let batch = flash2::attention(&q, &k, &v, &cfg.with_causal(true));
+        for (c, val) in out.iter().enumerate() {
+            assert!((val - batch[(7, c)]).abs() < 1e-12);
+        }
+        assert_eq!(session.len(), 8);
+    }
+
+    #[test]
+    fn sliding_window_limits_the_cache_view() {
+        let cfg = AttentionConfig::new(2).with_sliding_window(2);
+        let mut session = DecodeSession::new(cfg);
+        // Three steps with distinct values; window 2 means the final step
+        // sees only positions 1 and 2.
+        session.step(&[1.0, 0.0], &[1.0, 0.0], &[10.0, 0.0]);
+        session.step(&[1.0, 0.0], &[1.0, 0.0], &[20.0, 0.0]);
+        let out = session.step(&[1.0, 0.0], &[1.0, 0.0], &[30.0, 0.0]);
+        // Identical keys => uniform weights over the visible window {20, 30}.
+        assert!((out[0] - 25.0).abs() < 1e-12, "{out:?}");
+    }
+
+    #[test]
+    fn state_exposes_softmax_terminals() {
+        let cfg = AttentionConfig::new(2);
+        let mut session = DecodeSession::new(cfg);
+        let (_, l, m) = session.step_with_state(&[1.0, 1.0], &[0.5, 0.5], &[1.0, 2.0]);
+        assert_eq!(l, 1.0, "single key: one unit weight");
+        assert!((m - (0.5 + 0.5) * cfg.scale()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length mismatch")]
+    fn wrong_query_length_panics() {
+        let mut session = DecodeSession::<f64>::new(AttentionConfig::new(4));
+        let _ = session.step(&[1.0], &[1.0, 0.0, 0.0, 0.0], &[1.0, 0.0, 0.0, 0.0]);
+    }
+}

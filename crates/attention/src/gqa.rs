@@ -1,0 +1,192 @@
+//! Grouped-query attention (GQA).
+//!
+//! Llama-3.1, Phi-3 and Gemma2 — three of the four models the paper
+//! evaluates — use GQA: several query heads share one key/value head,
+//! shrinking the KV cache. Per *query head* the computation is ordinary
+//! attention against its group's K/V, so the Flash-ABFT checksum carries
+//! over unchanged: one fused check per query head, with `sumrow(V)`
+//! shared across the heads of a group (an additional hardware saving the
+//! paper's architecture would inherit for free).
+
+use crate::multihead::MultiHeadConfig;
+use crate::{flash2, AttentionConfig};
+use fa_tensor::{Matrix, Scalar};
+
+/// Grouped-query attention configuration: `query_heads` query heads share
+/// `kv_heads` key/value heads (`query_heads % kv_heads == 0`).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GqaConfig {
+    /// Number of query heads.
+    pub query_heads: usize,
+    /// Number of key/value heads (each serves a group of query heads).
+    pub kv_heads: usize,
+    /// Per-head kernel configuration.
+    pub head: AttentionConfig,
+}
+
+impl GqaConfig {
+    /// Creates a GQA configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either head count is zero or `query_heads` is not a
+    /// multiple of `kv_heads`.
+    pub fn new(query_heads: usize, kv_heads: usize, head: AttentionConfig) -> Self {
+        assert!(query_heads > 0 && kv_heads > 0, "head counts must be positive");
+        assert_eq!(
+            query_heads % kv_heads,
+            0,
+            "query_heads {query_heads} must be a multiple of kv_heads {kv_heads}"
+        );
+        GqaConfig {
+            query_heads,
+            kv_heads,
+            head,
+        }
+    }
+
+    /// Query heads per KV group.
+    pub fn group_size(&self) -> usize {
+        self.query_heads / self.kv_heads
+    }
+
+    /// Width of the packed Q matrix: `query_heads · head_dim`.
+    pub fn q_dim(&self) -> usize {
+        self.query_heads * self.head.head_dim()
+    }
+
+    /// Width of the packed K/V matrices: `kv_heads · head_dim`.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head.head_dim()
+    }
+
+    /// The KV group serving query head `h`.
+    pub fn group_of(&self, query_head: usize) -> usize {
+        query_head / self.group_size()
+    }
+}
+
+/// Computes grouped-query attention on packed matrices: `q` is
+/// `N × (query_heads·d)`, `k`/`v` are `N × (kv_heads·d)`. Returns the
+/// packed `N × (query_heads·d)` output.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// ```
+/// use fa_tensor::{Matrix, random::ElementDist};
+/// use fa_attention::{gqa::{self, GqaConfig}, AttentionConfig};
+/// let cfg = GqaConfig::new(4, 2, AttentionConfig::new(8));
+/// let q = Matrix::<f64>::random_seeded(6, 32, ElementDist::default(), 1);
+/// let k = Matrix::<f64>::random_seeded(6, 16, ElementDist::default(), 2);
+/// let v = Matrix::<f64>::random_seeded(6, 16, ElementDist::default(), 3);
+/// let out = gqa::attention(&q, &k, &v, &cfg);
+/// assert_eq!((out.rows(), out.cols()), (6, 32));
+/// ```
+pub fn attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &GqaConfig,
+) -> Matrix<T> {
+    assert_eq!(q.cols(), cfg.q_dim(), "packed Q width mismatch");
+    assert_eq!(k.cols(), cfg.kv_dim(), "packed K width mismatch");
+    assert_eq!(v.cols(), cfg.kv_dim(), "packed V width mismatch");
+    let d = cfg.head.head_dim();
+    let q_slicer = MultiHeadConfig::new(cfg.query_heads, cfg.head);
+    let kv_slicer = MultiHeadConfig::new(cfg.kv_heads, cfg.head);
+
+    let mut out = Matrix::zeros(q.rows(), cfg.q_dim());
+    for h in 0..cfg.query_heads {
+        let g = cfg.group_of(h);
+        let qh = q_slicer.slice_head(q, h);
+        let kg = kv_slicer.slice_head(k, g);
+        let vg = kv_slicer.slice_head(v, g);
+        let oh = flash2::attention(&qh, &kg, &vg, &cfg.head);
+        for r in 0..out.rows() {
+            for c in 0..d {
+                out[(r, h * d + c)] = oh[(r, c)];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use fa_tensor::random::ElementDist;
+
+    #[test]
+    fn config_arithmetic() {
+        let cfg = GqaConfig::new(8, 2, AttentionConfig::new(16));
+        assert_eq!(cfg.group_size(), 4);
+        assert_eq!(cfg.q_dim(), 128);
+        assert_eq!(cfg.kv_dim(), 32);
+        assert_eq!(cfg.group_of(0), 0);
+        assert_eq!(cfg.group_of(3), 0);
+        assert_eq!(cfg.group_of(4), 1);
+        assert_eq!(cfg.group_of(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn non_divisible_heads_panic() {
+        let _ = GqaConfig::new(5, 2, AttentionConfig::new(4));
+    }
+
+    #[test]
+    fn gqa_equals_mha_when_groups_are_trivial() {
+        // kv_heads == query_heads degenerates to standard multi-head.
+        let head = AttentionConfig::new(4);
+        let gqa_cfg = GqaConfig::new(3, 3, head);
+        let mha_cfg = MultiHeadConfig::new(3, head);
+        let q = Matrix::<f64>::random_seeded(5, 12, ElementDist::default(), 1);
+        let k = Matrix::<f64>::random_seeded(5, 12, ElementDist::default(), 2);
+        let v = Matrix::<f64>::random_seeded(5, 12, ElementDist::default(), 3);
+        let a = attention(&q, &k, &v, &gqa_cfg);
+        let b = crate::multihead::attention(&q, &k, &v, &mha_cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grouped_heads_share_kv() {
+        // Two query heads in the same group attending to identical K/V
+        // must match per-head naive attention against that group's K/V.
+        let head = AttentionConfig::new(4);
+        let cfg = GqaConfig::new(4, 2, head);
+        let q = Matrix::<f64>::random_seeded(6, 16, ElementDist::default(), 10);
+        let k = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 11);
+        let v = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 12);
+        let out = attention(&q, &k, &v, &cfg);
+
+        let q_slicer = MultiHeadConfig::new(4, head);
+        let kv_slicer = MultiHeadConfig::new(2, head);
+        for h in 0..4 {
+            let g = cfg.group_of(h);
+            let expected = naive::attention(
+                &q_slicer.slice_head(&q, h),
+                &kv_slicer.slice_head(&k, g),
+                &kv_slicer.slice_head(&v, g),
+                &head,
+            );
+            let got = q_slicer.slice_head(&out, h);
+            assert!(got.max_abs_diff(&expected) < 1e-12, "head {h}");
+        }
+    }
+
+    #[test]
+    fn llama31_like_geometry() {
+        // Llama-3.1 8B: 32 query heads, 8 KV heads, d=128 — scaled down
+        // here (4 q-heads, 1 kv-head) to keep the test fast.
+        let cfg = GqaConfig::new(4, 1, AttentionConfig::new(8));
+        let q = Matrix::<f64>::random_seeded(10, 32, ElementDist::default(), 20);
+        let k = Matrix::<f64>::random_seeded(10, 8, ElementDist::default(), 21);
+        let v = Matrix::<f64>::random_seeded(10, 8, ElementDist::default(), 22);
+        let out = attention(&q, &k, &v, &cfg);
+        assert_eq!((out.rows(), out.cols()), (10, 32));
+        assert!(out.all_finite());
+    }
+}

@@ -1,0 +1,180 @@
+//! Alg. 1 — attention with lazy softmax division.
+//!
+//! Two passes per query: the first computes all scores and their maximum;
+//! the second accumulates the output `o_i ← o_{i−1} + e^{s_i−m_N}·v_i` and
+//! the sum of exponentials `ℓ_i ← ℓ_{i−1} + e^{s_i−m_N}`; the final
+//! attention row is `o_N / ℓ_N`. The max must be known before the second
+//! pass starts — the serialization bottleneck FlashAttention removes
+//! (paper §II).
+
+use crate::AttentionConfig;
+use fa_tensor::{Matrix, Scalar};
+
+/// Per-query intermediate state exposed for reuse and testing: the raw
+/// output accumulator `o_N`, the softmax denominator `ℓ_N` and the max
+/// score `m_N` *before* the final lazy division.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryState {
+    /// Unnormalized output accumulator `o_N` (length d).
+    pub output: Vec<f64>,
+    /// Sum of exponentials `ℓ_N`.
+    pub sum_exp: f64,
+    /// Maximum score `m_N`.
+    pub max_score: f64,
+}
+
+/// Computes attention with the two-pass lazy-division schedule of Alg. 1.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// ```
+/// use fa_tensor::{Matrix, random::ElementDist};
+/// use fa_attention::{lazy, naive, AttentionConfig};
+/// let q = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 1);
+/// let k = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 2);
+/// let v = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 3);
+/// let cfg = AttentionConfig::new(4);
+/// let a = lazy::attention(&q, &k, &v, &cfg);
+/// let b = naive::attention(&q, &k, &v, &cfg);
+/// assert!(a.max_abs_diff(&b) < 1e-12);
+/// ```
+pub fn attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Matrix<T> {
+    cfg.validate_shapes(q, k, v);
+    let d = cfg.head_dim();
+    let mut out = Matrix::zeros(q.rows(), d);
+    for qi in 0..q.rows() {
+        let state = query_state(q, k, v, cfg, qi);
+        for c in 0..d {
+            out[(qi, c)] = T::from_f64(state.output[c] / state.sum_exp);
+        }
+    }
+    out
+}
+
+/// Runs Alg. 1 for a single query row, returning the pre-division state.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `query_idx` out of bounds.
+pub fn query_state<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+    query_idx: usize,
+) -> QueryState {
+    cfg.validate_shapes(q, k, v);
+    assert!(query_idx < q.rows(), "query index out of bounds");
+    let n = k.rows();
+    let d = cfg.head_dim();
+
+    // Pass 1 (Alg. 1 lines 2–5): scores and running max.
+    let mut scores = Vec::with_capacity(n);
+    let mut m = f64::NEG_INFINITY;
+    for i in 0..n {
+        if !cfg.visible(query_idx, i) {
+            scores.push(f64::NEG_INFINITY);
+            continue;
+        }
+        let s = fa_tensor::ops::dot_f64(q.row(query_idx), k.row(i)) * cfg.scale();
+        m = m.max(s);
+        scores.push(s);
+    }
+
+    // Pass 2 (lines 6–10): accumulate output and sum of exponentials.
+    let mut output = vec![0.0f64; d];
+    let mut sum_exp = 0.0f64;
+    for (i, &s) in scores.iter().enumerate() {
+        let w = (s - m).exp(); // e^{-inf} = 0 for masked keys
+        if w == 0.0 {
+            continue;
+        }
+        for (o, &vv) in output.iter_mut().zip(v.row(i)) {
+            *o += w * vv.to_f64();
+        }
+        sum_exp += w;
+    }
+
+    QueryState {
+        output,
+        sum_exp,
+        max_score: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use fa_tensor::random::ElementDist;
+
+    fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::random_seeded(n, d, ElementDist::default(), seed),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+        )
+    }
+
+    #[test]
+    fn matches_naive_attention() {
+        let (q, k, v) = rand_qkv(24, 8, 100);
+        let cfg = AttentionConfig::new(8);
+        let a = attention(&q, &k, &v, &cfg);
+        let b = naive::attention(&q, &k, &v, &cfg);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_with_causal_mask() {
+        let (q, k, v) = rand_qkv(16, 4, 200);
+        let cfg = AttentionConfig::new(4).with_causal(true);
+        let a = attention(&q, &k, &v, &cfg);
+        let b = naive::attention(&q, &k, &v, &cfg);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn query_state_denominator_matches_softmax() {
+        let (q, k, v) = rand_qkv(10, 4, 7);
+        let cfg = AttentionConfig::new(4);
+        let st = query_state(&q, &k, &v, &cfg, 3);
+        // l_N = sum of e^{s_i - m}; recompute directly.
+        let mut direct_m = f64::NEG_INFINITY;
+        let mut ss = vec![];
+        for i in 0..10 {
+            let s = fa_tensor::ops::dot_f64(q.row(3), k.row(i)) * cfg.scale();
+            direct_m = direct_m.max(s);
+            ss.push(s);
+        }
+        assert_eq!(st.max_score, direct_m);
+        let direct_l: f64 = ss.iter().map(|s| (s - direct_m).exp()).sum();
+        assert!((st.sum_exp - direct_l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_scores_do_not_overflow() {
+        let q = Matrix::<f64>::from_rows(&[&[500.0, 500.0]]);
+        let k = Matrix::<f64>::from_rows(&[&[1.0, 1.0], &[1.0, 0.5]]);
+        let v = Matrix::<f64>::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let cfg = AttentionConfig::unscaled(2);
+        let out = attention(&q, &k, &v, &cfg);
+        assert!(out.all_finite());
+        // Key 0 dominates (score 1000 vs 750): output ≈ v row 0.
+        assert!((out[(0, 0)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "query index out of bounds")]
+    fn query_state_bounds_check() {
+        let (q, k, v) = rand_qkv(4, 2, 1);
+        let _ = query_state(&q, &k, &v, &AttentionConfig::new(2), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! # fa-attention
+//!
+//! Reference attention kernels for the Flash-ABFT reproduction: every
+//! algorithm the paper builds on, in directly-testable Rust.
+//!
+//! * [`naive`] — textbook attention `softmax(Q·Kᵀ)·V` (paper Eq. 1), the
+//!   golden model every other kernel is validated against;
+//! * [`lazy`] — Alg. 1: attention with *lazy softmax division* (two inner
+//!   passes: max+scores first, then exponentials and output);
+//! * [`flash2`] — Alg. 2: FlashAttention-2 with delayed softmax division —
+//!   the single-pass online kernel the accelerator implements;
+//! * [`tiled`] — FlashAttention-2 processed in key/value blocks, the
+//!   memory-tiling form used on GPUs and by the block-parallel accelerator;
+//! * [`multihead`] — multi-head wrapper splitting the model dimension into
+//!   independent heads;
+//! * [`AttentionConfig`] — scaling (1/√d) and causal masking options shared
+//!   by all kernels.
+//!
+//! All kernels are generic over the [`Scalar`](fa_tensor::Scalar) element
+//! format, so the same code serves as the f64 golden model and the BF16
+//! datapath model.
+//!
+//! # Example
+//!
+//! ```
+//! use fa_tensor::{Matrix, random::ElementDist};
+//! use fa_attention::{naive, flash2, AttentionConfig};
+//!
+//! let n = 16;
+//! let d = 8;
+//! let q = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 1);
+//! let k = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 2);
+//! let v = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 3);
+//! let cfg = AttentionConfig::new(d);
+//!
+//! let reference = naive::attention(&q, &k, &v, &cfg);
+//! let flash = flash2::attention(&q, &k, &v, &cfg);
+//! assert!(reference.max_abs_diff(&flash) < 1e-12);
+//! ```
+
+pub mod decode;
+pub mod encoder;
+pub mod flash2;
+pub mod gqa;
+pub mod lazy;
+pub mod multihead;
+pub mod naive;
+pub mod tiled;
+
+mod config;
+
+pub use config::AttentionConfig;

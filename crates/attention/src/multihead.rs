@@ -1,0 +1,162 @@
+//! Multi-head attention.
+//!
+//! The paper evaluates single-head attention "without loss of generality"
+//! (§II): heads are independent, so per-head checking composes trivially.
+//! This module provides the composition — splitting a model-dimension
+//! projection into heads, running any per-head kernel, and concatenating —
+//! so examples and integration tests can exercise realistic layer shapes
+//! (e.g. BERT: 12 heads × d=64).
+
+use crate::{flash2, AttentionConfig};
+use fa_tensor::{Matrix, Scalar};
+
+/// Multi-head attention configuration: `num_heads` independent heads each
+/// of dimension `cfg.head_dim()`, operating on a model dimension of
+/// `num_heads · head_dim`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiHeadConfig {
+    /// Number of parallel heads.
+    pub num_heads: usize,
+    /// Per-head kernel configuration.
+    pub head: AttentionConfig,
+}
+
+impl MultiHeadConfig {
+    /// Creates a multi-head configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads == 0`.
+    pub fn new(num_heads: usize, head: AttentionConfig) -> Self {
+        assert!(num_heads > 0, "num_heads must be positive");
+        MultiHeadConfig { num_heads, head }
+    }
+
+    /// The concatenated model dimension `num_heads · head_dim`.
+    pub fn model_dim(&self) -> usize {
+        self.num_heads * self.head.head_dim()
+    }
+
+    /// Extracts head `h` from a packed `N × model_dim` matrix
+    /// (columns `h·d .. (h+1)·d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= num_heads` or the matrix width differs from
+    /// [`Self::model_dim`].
+    pub fn slice_head<T: Scalar>(&self, packed: &Matrix<T>, h: usize) -> Matrix<T> {
+        assert!(h < self.num_heads, "head {h} out of {} heads", self.num_heads);
+        assert_eq!(
+            packed.cols(),
+            self.model_dim(),
+            "packed width {} != model_dim {}",
+            packed.cols(),
+            self.model_dim()
+        );
+        let d = self.head.head_dim();
+        Matrix::from_fn(packed.rows(), d, |r, c| packed[(r, h * d + c)])
+    }
+}
+
+/// Runs FlashAttention-2 independently per head on packed
+/// `N × (num_heads·d)` Q/K/V matrices and concatenates the head outputs.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// ```
+/// use fa_tensor::{Matrix, random::ElementDist};
+/// use fa_attention::{multihead::{self, MultiHeadConfig}, AttentionConfig};
+/// let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+/// let q = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 1);
+/// let k = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 2);
+/// let v = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 3);
+/// let out = multihead::attention(&q, &k, &v, &cfg);
+/// assert_eq!((out.rows(), out.cols()), (6, 8));
+/// ```
+pub fn attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &MultiHeadConfig,
+) -> Matrix<T> {
+    let d = cfg.head.head_dim();
+    let mut out = Matrix::zeros(q.rows(), cfg.model_dim());
+    for h in 0..cfg.num_heads {
+        let qh = cfg.slice_head(q, h);
+        let kh = cfg.slice_head(k, h);
+        let vh = cfg.slice_head(v, h);
+        let oh = flash2::attention(&qh, &kh, &vh, &cfg.head);
+        for r in 0..out.rows() {
+            for c in 0..d {
+                out[(r, h * d + c)] = oh[(r, c)];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use fa_tensor::random::ElementDist;
+
+    #[test]
+    fn heads_are_independent() {
+        // Computing each head separately with the naive kernel must match
+        // the packed multi-head result.
+        let cfg = MultiHeadConfig::new(3, AttentionConfig::new(4));
+        let n = 8;
+        let q = Matrix::<f64>::random_seeded(n, cfg.model_dim(), ElementDist::default(), 1);
+        let k = Matrix::<f64>::random_seeded(n, cfg.model_dim(), ElementDist::default(), 2);
+        let v = Matrix::<f64>::random_seeded(n, cfg.model_dim(), ElementDist::default(), 3);
+        let packed = attention(&q, &k, &v, &cfg);
+        for h in 0..3 {
+            let expected = naive::attention(
+                &cfg.slice_head(&q, h),
+                &cfg.slice_head(&k, h),
+                &cfg.slice_head(&v, h),
+                &cfg.head,
+            );
+            let got = cfg.slice_head(&packed, h);
+            assert!(got.max_abs_diff(&expected) < 1e-12, "head {h}");
+        }
+    }
+
+    #[test]
+    fn single_head_degenerates_to_flash2() {
+        let cfg = MultiHeadConfig::new(1, AttentionConfig::new(8));
+        let q = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 4);
+        let k = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 5);
+        let v = Matrix::<f64>::random_seeded(6, 8, ElementDist::default(), 6);
+        let a = attention(&q, &k, &v, &cfg);
+        let b = crate::flash2::attention(&q, &k, &v, &cfg.head);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_dim_and_slice() {
+        let cfg = MultiHeadConfig::new(4, AttentionConfig::new(16));
+        assert_eq!(cfg.model_dim(), 64);
+        let m = Matrix::<f64>::from_fn(2, 64, |_, c| c as f64);
+        let h2 = cfg.slice_head(&m, 2);
+        assert_eq!(h2[(0, 0)], 32.0);
+        assert_eq!(h2[(0, 15)], 47.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_heads must be positive")]
+    fn zero_heads_panics() {
+        let _ = MultiHeadConfig::new(0, AttentionConfig::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "head 2 out of 2 heads")]
+    fn slice_out_of_range_panics() {
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(2));
+        let m = Matrix::<f64>::zeros(1, 4);
+        let _ = cfg.slice_head(&m, 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Textbook attention (paper Eq. 1): `attn(Q,K,V) = softmax(Q·Kᵀ)·V`.
+//!
+//! This is the golden model: it materializes the full N×N score matrix,
+//! applies a numerically-stable row softmax (max subtraction), and
+//! multiplies by `V`. Every faster kernel in the workspace is validated
+//! against it.
+
+use crate::AttentionConfig;
+use fa_tensor::{Matrix, Scalar};
+
+/// Computes attention by materializing the full score matrix.
+///
+/// Arithmetic runs in f64 internally regardless of `T` (this is the
+/// *reference*; the datapath models live in [`crate::flash2`] and the
+/// simulator). The output is rounded to `T` at the end.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent (see
+/// [`AttentionConfig::validate_shapes`]).
+///
+/// ```
+/// use fa_tensor::Matrix;
+/// use fa_attention::{naive, AttentionConfig};
+///
+/// // One query attending to two identical keys: output is the average row of V.
+/// let q = Matrix::<f64>::from_rows(&[&[1.0, 0.0]]);
+/// let k = Matrix::<f64>::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+/// let v = Matrix::<f64>::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]);
+/// let out = naive::attention(&q, &k, &v, &AttentionConfig::new(2));
+/// assert!((out[(0, 0)] - 4.0).abs() < 1e-12);
+/// assert!((out[(0, 1)] - 6.0).abs() < 1e-12);
+/// ```
+pub fn attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Matrix<T> {
+    cfg.validate_shapes(q, k, v);
+    let probs = softmax_scores(q, k, cfg);
+    let vf = v.to_f64();
+    let out = probs.matmul(&vf);
+    out.cast()
+}
+
+/// The normalized score matrix `S = softmax(scale · Q·Kᵀ)` in f64 — the
+/// matrix the paper calls `S` when framing ABFT ("matrix A corresponds to
+/// matrix S", §III). Masked entries are exactly zero.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn softmax_scores<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Matrix<f64> {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the head dimension");
+    let n_q = q.rows();
+    let n_k = k.rows();
+    let mut scores = Matrix::<f64>::zeros(n_q, n_k);
+    for i in 0..n_q {
+        for j in 0..n_k {
+            let s = if cfg.visible(i, j) {
+                fa_tensor::ops::dot_f64(q.row(i), k.row(j)) * cfg.scale()
+            } else {
+                f64::NEG_INFINITY
+            };
+            scores[(i, j)] = s;
+        }
+    }
+    // Stable row softmax.
+    for i in 0..n_q {
+        let row = scores.row_mut(i);
+        let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            // Fully-masked row (cannot happen with causal + j<=i, but keep
+            // the invariant that rows sum to 0 rather than NaN).
+            for x in row.iter_mut() {
+                *x = 0.0;
+            }
+            continue;
+        }
+        let mut denom = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - m).exp();
+            denom += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= denom;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let q = Matrix::random_seeded(n, d, ElementDist::default(), seed);
+        let k = Matrix::random_seeded(n, d, ElementDist::default(), seed + 1);
+        let v = Matrix::random_seeded(n, d, ElementDist::default(), seed + 2);
+        (q, k, v)
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let (q, k, _) = rand_qkv(12, 6, 10);
+        let s = softmax_scores(&q, &k, &AttentionConfig::new(6));
+        for row in s.iter_rows() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row sum {sum}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn identical_keys_give_uniform_weights() {
+        let q = Matrix::<f64>::from_rows(&[&[0.3, -0.7]]);
+        let k = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let s = softmax_scores(&q, &k, &AttentionConfig::new(2));
+        for &p in s.row(0) {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_hot_attention_selects_value_row() {
+        // A very large score on key 1 makes the softmax one-hot.
+        let q = Matrix::<f64>::from_rows(&[&[100.0]]);
+        let k = Matrix::<f64>::from_rows(&[&[-1.0], &[1.0]]);
+        let v = Matrix::<f64>::from_rows(&[&[5.0], &[9.0]]);
+        let out = attention(&q, &k, &v, &AttentionConfig::unscaled(1));
+        assert!((out[(0, 0)] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_keys() {
+        let (q, k, _) = rand_qkv(5, 3, 42);
+        let cfg = AttentionConfig::new(3).with_causal(true);
+        let s = softmax_scores(&q, &k, &cfg);
+        for i in 0..5 {
+            for j in 0..5 {
+                if j > i {
+                    assert_eq!(s[(i, j)], 0.0, "future key ({i},{j}) must be masked");
+                }
+            }
+            let sum: f64 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_causal_row_is_deterministic() {
+        // Query 0 sees only key 0: output row 0 equals V row 0 exactly.
+        let (q, k, v) = rand_qkv(4, 3, 77);
+        let cfg = AttentionConfig::new(3).with_causal(true);
+        let out = attention(&q, &k, &v, &cfg);
+        for c in 0..3 {
+            assert!((out[(0, c)] - v[(0, c)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations() {
+        // Every output element lies within [min, max] of its V column.
+        let (q, k, v) = rand_qkv(10, 4, 3);
+        let out = attention(&q, &k, &v, &AttentionConfig::new(4));
+        for c in 0..4 {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for r in 0..10 {
+                lo = lo.min(v[(r, c)]);
+                hi = hi.max(v[(r, c)]);
+            }
+            for r in 0..10 {
+                assert!(out[(r, c)] >= lo - 1e-12 && out[(r, c)] <= hi + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_scores_stay_finite() {
+        // Without max subtraction e^700 overflows; the kernel must not.
+        let q = Matrix::<f64>::from_rows(&[&[700.0]]);
+        let k = Matrix::<f64>::from_rows(&[&[1.0], &[0.99]]);
+        let v = Matrix::<f64>::from_rows(&[&[1.0], &[2.0]]);
+        let out = attention(&q, &k, &v, &AttentionConfig::unscaled(1));
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn fewer_queries_than_keys() {
+        let q = Matrix::<f64>::random_seeded(3, 4, ElementDist::default(), 9);
+        let k = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 10);
+        let v = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 11);
+        let out = attention(&q, &k, &v, &AttentionConfig::new(4));
+        assert_eq!((out.rows(), out.cols()), (3, 4));
+        assert!(out.all_finite());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the attention kernels: masking, GQA and
+//! decode invariants beyond the fixed-case unit tests.
+
+use fa_attention::gqa::GqaConfig;
+use fa_attention::multihead::MultiHeadConfig;
+use fa_attention::{decode::DecodeSession, flash2, naive, AttentionConfig};
+use fa_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sliding-window attention equals full attention once the window
+    /// covers the whole sequence.
+    #[test]
+    fn full_window_equals_no_window(
+        q in matrix(6, 3),
+        k in matrix(6, 3),
+        v in matrix(6, 3),
+    ) {
+        let full = AttentionConfig::new(3);
+        let windowed = AttentionConfig::new(3).with_sliding_window(6);
+        let a = naive::attention(&q, &k, &v, &full);
+        let b = naive::attention(&q, &k, &v, &windowed);
+        prop_assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    /// Shrinking the window only ever *removes* visible keys: window-1
+    /// attention reduces each row to the diagonal value row.
+    #[test]
+    fn window_one_is_self_attention(
+        q in matrix(5, 3),
+        k in matrix(5, 3),
+        v in matrix(5, 3),
+    ) {
+        let cfg = AttentionConfig::new(3).with_sliding_window(1);
+        let out = naive::attention(&q, &k, &v, &cfg);
+        for i in 0..5 {
+            for c in 0..3 {
+                prop_assert!((out[(i, c)] - v[(i, c)]).abs() < 1e-12,
+                    "row {i} must attend only to itself");
+            }
+        }
+    }
+
+    /// Causal flash2 output row i never depends on later keys: truncating
+    /// K/V beyond i+1 leaves row i unchanged.
+    #[test]
+    fn causal_rows_independent_of_future(
+        q in matrix(6, 3),
+        k in matrix(6, 3),
+        v in matrix(6, 3),
+        row in 0usize..6,
+    ) {
+        let cfg = AttentionConfig::new(3).with_causal(true);
+        let full = flash2::attention(&q, &k, &v, &cfg);
+        let kt = Matrix::from_fn(row + 1, 3, |r, c| k[(r, c)]);
+        let vt = Matrix::from_fn(row + 1, 3, |r, c| v[(r, c)]);
+        let qt = Matrix::from_fn(row + 1, 3, |r, c| q[(r, c)]);
+        let truncated = flash2::attention(&qt, &kt, &vt, &cfg);
+        for c in 0..3 {
+            prop_assert!((full[(row, c)] - truncated[(row, c)]).abs() < 1e-12);
+        }
+    }
+
+    /// GQA with duplicated KV heads equals standard multi-head attention
+    /// on the expanded K/V.
+    #[test]
+    fn gqa_equals_mha_on_duplicated_kv(
+        q in matrix(4, 8),
+        k in matrix(4, 4),
+        v in matrix(4, 4),
+    ) {
+        // 2 query heads sharing 1 KV head of dim 4.
+        let head = AttentionConfig::new(4);
+        let gqa = GqaConfig::new(2, 1, head);
+        let out_gqa = fa_attention::gqa::attention(&q, &k, &v, &gqa);
+        // Expand K/V by duplication into 2 heads and run MHA.
+        let expand = |m: &Matrix<f64>| {
+            Matrix::from_fn(4, 8, |r, c| m[(r, c % 4)])
+        };
+        let mha = MultiHeadConfig::new(2, head);
+        let out_mha = fa_attention::multihead::attention(&q, &expand(&k), &expand(&v), &mha);
+        prop_assert!(out_gqa.max_abs_diff(&out_mha) < 1e-12);
+    }
+
+    /// Incremental decode always equals batch causal attention.
+    #[test]
+    fn decode_equals_batch(
+        q in matrix(7, 3),
+        k in matrix(7, 3),
+        v in matrix(7, 3),
+    ) {
+        let cfg = AttentionConfig::new(3);
+        let batch = naive::attention(&q, &k, &v, &cfg.with_causal(true));
+        let mut session = DecodeSession::new(cfg);
+        for i in 0..7 {
+            let row = session.step(q.row(i), k.row(i), v.row(i));
+            for (c, val) in row.iter().enumerate() {
+                prop_assert!((val - batch[(i, c)]).abs() < 1e-11,
+                    "token {i} lane {c}");
+            }
+        }
+    }
+
+    /// Scaling Q by a constant equals scaling the score scale: the
+    /// kernels honour the scale parameter exactly.
+    #[test]
+    fn scale_equivalence(
+        q in matrix(4, 3),
+        k in matrix(4, 3),
+        v in matrix(4, 3),
+        s in 0.25f64..2.0,
+    ) {
+        let scaled_cfg = AttentionConfig::unscaled(3).with_scale(s);
+        let a = flash2::attention(&q, &k, &v, &scaled_cfg);
+        let qs = q.scale(s);
+        let b = flash2::attention(&qs, &k, &v, &AttentionConfig::unscaled(3));
+        prop_assert!(a.max_abs_diff(&b) < 1e-10);
+    }
+}

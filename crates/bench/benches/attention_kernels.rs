@@ -1,0 +1,42 @@
+//! Criterion bench: the attention kernel zoo (naive / lazy / flash2 /
+//! tiled) across sequence lengths — the substrate performance baseline
+//! referenced by the overhead experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_attention::{flash2, lazy, naive, tiled, AttentionConfig};
+use fa_tensor::{random::ElementDist, Matrix};
+use std::hint::black_box;
+
+fn qkv(n: usize, d: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+    (
+        Matrix::random_seeded(n, d, ElementDist::default(), 1),
+        Matrix::random_seeded(n, d, ElementDist::default(), 2),
+        Matrix::random_seeded(n, d, ElementDist::default(), 3),
+    )
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let d = 64;
+    let mut group = c.benchmark_group("attention_kernels");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let (q, k, v) = qkv(n, d);
+        let cfg = AttentionConfig::new(d);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive::attention(&q, &k, &v, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_alg1", n), &n, |b, _| {
+            b.iter(|| black_box(lazy::attention(&q, &k, &v, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("flash2_alg2", n), &n, |b, _| {
+            b.iter(|| black_box(flash2::attention(&q, &k, &v, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_b32", n), &n, |b, _| {
+            b.iter(|| black_box(tiled::attention(&q, &k, &v, &cfg, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

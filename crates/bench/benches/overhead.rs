@@ -1,0 +1,47 @@
+//! Criterion bench: checking overhead — unchecked FlashAttention-2 vs
+//! the fused Flash-ABFT kernel vs traditional two-step ABFT (the software
+//! analogue of the paper's energy-overhead comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_abft::two_step;
+use fa_attention::{flash2, AttentionConfig};
+use fa_numerics::Tolerance;
+use fa_tensor::{random::ElementDist, Matrix};
+use flash_abft::FlashAbft;
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let d = 64;
+    let mut group = c.benchmark_group("checking_overhead");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let q = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 1);
+        let k = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 2);
+        let v = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 3);
+        let cfg = AttentionConfig::new(d);
+        let engine = FlashAbft::new(cfg);
+
+        group.bench_with_input(BenchmarkId::new("unchecked_flash2", n), &n, |b, _| {
+            b.iter(|| black_box(flash2::attention(&q, &k, &v, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("flash_abft_fused", n), &n, |b, _| {
+            b.iter(|| black_box(engine.compute(&q, &k, &v)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_step_abft", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(two_step::checked_attention(
+                    &q,
+                    &k,
+                    &v,
+                    &cfg,
+                    Tolerance::PAPER,
+                    None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerates **Fig. 4**: area and average power of the FlashAttention-2
+//! accelerator extended with the Flash-ABFT checker, for 16 and 32
+//! parallel query vectors at d = 128, with the checker's contribution
+//! broken out.
+//!
+//! Paper reference points: checker area overhead ≤ 5.3 % (average
+//! 4.55 %), power overhead < 1.9 % (average 1.53 %); the shared left
+//! checksum adder "contributes less to the total area overhead".
+//!
+//! Usage: `cargo run --release -p fa-bench --bin fig4_area_power`
+//! (`--no-shared` replicates the sumrow tree per block — the ablation;
+//! `--activity` scales power by switching activity measured from an LLM
+//! workload run, the analogue of the paper's PowerPro methodology).
+
+use fa_accel_sim::activity::{activity_scaled_power, measure_activity};
+use fa_accel_sim::area::AreaReport;
+use fa_accel_sim::components::ComponentCosts;
+use fa_accel_sim::config::AcceleratorConfig;
+use fa_accel_sim::power::PowerReport;
+use fa_bench::{has_flag, TablePrinter};
+use fa_models::{LlmModel, Workload, WorkloadSpec};
+
+fn main() {
+    let shared = !has_flag("--no-shared");
+    let use_activity = has_flag("--activity");
+    let costs = ComponentCosts::default();
+    let d = 128;
+    let keys_per_pass = 256;
+
+    println!("Fig. 4 reproduction — area & power, d = {d}, 28 nm-relative units");
+    println!(
+        "sumrow adder tree: {}",
+        if shared { "shared across blocks (Fig. 3)" } else { "replicated per block (ablation)" }
+    );
+    println!();
+
+    let mut area_table = TablePrinter::new(vec![
+        "queries", "kernel um^2", "checker um^2", "total um^2", "checker share",
+    ]);
+    let mut power_table = TablePrinter::new(vec![
+        "queries", "kernel mW", "checker mW", "total mW", "checker share",
+    ]);
+
+    let mut area_shares = Vec::new();
+    let mut power_shares = Vec::new();
+    for p in [16u64, 32] {
+        let a = AreaReport::compute(p, d, shared, &costs);
+        area_shares.push(a.checker_share());
+        area_table.row(vec![
+            format!("{p}"),
+            format!("{:.0}", a.kernel_area * fa_accel_sim::components::physical::UM2_PER_AREA_UNIT),
+            format!("{:.0}", a.checker_um2()),
+            format!("{:.0}", a.total_um2()),
+            format!("{:.2}%", 100.0 * a.checker_share()),
+        ]);
+
+        let mut w = PowerReport::compute(p, d, keys_per_pass, &costs);
+        if use_activity {
+            let model = LlmModel::Llama31.config();
+            let workload = Workload::generate(
+                &model,
+                WorkloadSpec {
+                    seq_len: 64,
+                    ..WorkloadSpec::paper(7)
+                },
+            );
+            let cfg = AcceleratorConfig::new(p as usize, d as usize);
+            let profile = measure_activity(&cfg, &workload.q, &workload.k, &workload.v);
+            w = activity_scaled_power(&w, &profile, &costs);
+            println!(
+                "  measured activity ({} blocks): rescale path active {:.1}% of cycles, mean weight {:.3}",
+                p,
+                100.0 * profile.rescale_active,
+                profile.mean_weight
+            );
+        }
+        power_shares.push(w.checker_share());
+        power_table.row(vec![
+            format!("{p}"),
+            format!("{:.2}", w.total_mw() - w.checker_mw()),
+            format!("{:.2}", w.checker_mw()),
+            format!("{:.2}", w.total_mw()),
+            format!("{:.2}%", 100.0 * w.checker_share()),
+        ]);
+    }
+
+    println!("Area (paper: <=5.3% overhead, avg 4.55%)");
+    print!("{}", area_table.render());
+    println!(
+        "average checker area share: {:.2}%",
+        100.0 * (area_shares[0] + area_shares[1]) / 2.0
+    );
+    println!();
+    println!("Average power (paper: <1.9% overhead, avg 1.53%)");
+    print!("{}", power_table.render());
+    println!(
+        "average checker power share: {:.2}%",
+        100.0 * (power_shares[0] + power_shares[1]) / 2.0
+    );
+    println!();
+    println!(
+        "trend check: 32-query share below 16-query share (shared tree amortizes): area {} | power {}",
+        area_shares[1] < area_shares[0],
+        power_shares[1] < power_shares[0],
+    );
+}

@@ -1,0 +1,56 @@
+//! Convenience driver: runs every experiment binary in sequence with the
+//! given flags, printing section headers — regenerates the full
+//! EXPERIMENTS.md evidence in one command.
+//!
+//! Usage: `cargo run --release -p fa-bench --bin run_all [--quick]`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4_area_power",
+    "table1_fault_detection",
+    "multi_fault",
+    "threshold_sweep",
+    "overhead_report",
+    "coverage_report",
+    "criticality_report",
+    "recovery_report",
+    "seq_len_sweep",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("{}", "=".repeat(78));
+        println!("== {name}");
+        println!("{}", "=".repeat(78));
+        let status = Command::new(exe_dir.join(name))
+            .args(&passthrough)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e} (build with `cargo build --release -p fa-bench` first)");
+                failures.push(*name);
+            }
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

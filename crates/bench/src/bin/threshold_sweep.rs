@@ -1,0 +1,91 @@
+//! Regenerates the **§IV-B threshold determination**: the paper sets the
+//! error bound to 10⁻⁶, "found experimentally for the examined attention
+//! layers", to separate fault effects from fault-free rounding noise.
+//!
+//! This binary measures, per head dimension:
+//!  1. the fault-free residual |predicted − actual| across many seeds —
+//!     the noise floor the threshold must sit above;
+//!  2. the detection/false-alarm trade-off as τ sweeps 10⁻¹²…10⁻¹;
+//!  3. (`--ablation`) the same with the *narrow* (BF16 accumulator)
+//!     precision policy, showing why wide accumulators are required for
+//!     an absolute 10⁻⁶ bound.
+//!
+//! Usage: `cargo run --release -p fa-bench --bin threshold_sweep [--ablation] [--quick]`
+
+use fa_accel_sim::config::{AcceleratorConfig, PrecisionPolicy};
+use fa_accel_sim::Accelerator;
+use fa_bench::{campaign_count_from_args, has_flag, TablePrinter};
+use fa_fault::{run_campaigns, CampaignSpec, DetectionCriterion};
+use fa_models::{LlmModel, Workload, WorkloadSpec};
+use fa_numerics::Tolerance;
+
+fn noise_floor(policy: PrecisionPolicy, seeds: u64) -> (f64, f64) {
+    let model = LlmModel::Llama31.config();
+    let mut worst = 0.0f64;
+    let mut sum = 0.0f64;
+    for seed in 0..seeds {
+        let w = Workload::generate(&model, WorkloadSpec::paper(seed));
+        let accel = Accelerator::new(
+            AcceleratorConfig::new(16, model.head_dim).with_precision(policy),
+        );
+        let run = accel.run(&w.q, &w.k, &w.v);
+        let r = run.residual().abs();
+        worst = worst.max(r);
+        sum += r;
+    }
+    (sum / seeds as f64, worst)
+}
+
+fn main() {
+    let campaigns = campaign_count_from_args(2_000, 300);
+    let ablation = has_flag("--ablation");
+    let policy = if ablation {
+        PrecisionPolicy::narrow()
+    } else {
+        PrecisionPolicy::paper()
+    };
+    println!(
+        "Threshold sweep — Llama-3.1 layer (d=128), N=256, policy: {}",
+        if ablation { "narrow (BF16 accumulators, ablation)" } else { "paper (wide accumulators)" }
+    );
+    println!();
+
+    let (mean_noise, max_noise) = noise_floor(policy, 10);
+    println!(
+        "fault-free residual over 10 prompts: mean {mean_noise:.3e}, max {max_noise:.3e}"
+    );
+    println!(
+        "=> an absolute bound of 1e-6 is {} for this policy",
+        if max_noise < 1e-6 { "VALID (noise floor below it)" } else { "INVALID (noise floor above it: every run would false-alarm)" }
+    );
+    println!();
+
+    let model = LlmModel::Llama31.config();
+    let workload = Workload::generate(&model, WorkloadSpec::paper(2024));
+    let accel_cfg =
+        AcceleratorConfig::new(16, model.head_dim).with_precision(policy);
+
+    let mut table = TablePrinter::new(vec![
+        "tau", "detected", "false positive", "silent", "masked",
+    ]);
+    for exp in [-12i32, -10, -8, -6, -4, -2, -1] {
+        let tau = 10f64.powi(exp);
+        let spec = CampaignSpec::new(accel_cfg, campaigns, 9_999)
+            .with_criterion(DetectionCriterion::ChecksumDiscrepancy)
+            .with_tolerance(Tolerance::Absolute(tau));
+        let stats = run_campaigns(&spec, &workload);
+        table.row(vec![
+            format!("1e{exp}"),
+            format!("{:.2}%", stats.pct_of_total(stats.detected)),
+            format!("{:.2}%", stats.pct_of_total(stats.false_positive)),
+            format!("{:.2}%", stats.pct_of_total(stats.silent)),
+            format!("{:.2}%", stats.pct_of_total(stats.masked)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("reading: below the noise floor every campaign alarms (fault-free runs would");
+    println!("too — false alarms); far above it real faults start slipping under the bound");
+    println!("(silent grows). The paper's 1e-6 sits in the wide flat region for the wide-");
+    println!("accumulator policy; the narrow ablation has no such region below BF16 noise.");
+}

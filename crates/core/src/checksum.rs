@@ -1,0 +1,228 @@
+//! Closed-form attention checksum mathematics (paper Eq. 3–8).
+//!
+//! These functions compute the predicted checksum directly from the
+//! definitions — materializing the softmax matrix and summing — with no
+//! online tricks. They are the ground truth against which the online
+//! implementation ([`crate::online`]) is validated, and they document the
+//! derivation:
+//!
+//! * Eq. 3: `sumcol_k(S) = Σ_i e^{s_ik} / Σ_j e^{s_ij}` — column sums of
+//!   the softmax matrix;
+//! * Eq. 4: `sumrow_k(V) = Σ_j v_kj` — row sums of the value matrix;
+//! * Eq. 5: `check = Σ_k sumcol_k(S) · sumrow_k(V)` — the Huang–Abraham
+//!   dot product of the two checksum vectors;
+//! * Eq. 7/8: after exchanging the order of summation, the same checksum
+//!   decomposes into independent per-query terms
+//!   `check(q_i) = (Σ_k e^{s_ik}·sumrow_k(V)) / Σ_j e^{s_ij}`,
+//!   which is what makes an online computation possible.
+
+use fa_attention::{naive, AttentionConfig};
+use fa_numerics::KahanSum;
+use fa_tensor::{Matrix, Scalar};
+
+/// Predicted checksum of the whole attention output via Eq. 5: the dot
+/// product of the softmax matrix's column sums with V's row sums.
+///
+/// Equals `Σ_ij attn(Q,K,V)_ij` up to floating-point reordering.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// ```
+/// use fa_tensor::{Matrix, random::ElementDist};
+/// use fa_attention::{naive, AttentionConfig};
+/// use flash_abft::checksum::predicted_checksum_eq5;
+///
+/// let q = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 1);
+/// let k = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 2);
+/// let v = Matrix::<f64>::random_seeded(8, 4, ElementDist::default(), 3);
+/// let cfg = AttentionConfig::new(4);
+/// let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+/// let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
+/// assert!((predicted - actual).abs() < 1e-10);
+/// ```
+pub fn predicted_checksum_eq5<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> f64 {
+    cfg.validate_shapes(q, k, v);
+    let s = naive::softmax_scores(q, k, cfg); // Eq. 2/3 substrate
+    let sumcols = s.col_sums(); // Eq. 3
+    let sumrows = v.row_sums(); // Eq. 4
+    let mut acc = KahanSum::new();
+    for (c, r) in sumcols.iter().zip(&sumrows) {
+        acc.add(c * r); // Eq. 5
+    }
+    acc.value()
+}
+
+/// Per-query checksum via Eq. 8:
+/// `check(q_i) = (Σ_k e^{s_ik − m_i}·sumrow_k(V)) / Σ_j e^{s_ij − m_i}`
+/// (max-shifted for stability exactly like the kernel).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `query_idx` out of bounds.
+pub fn per_query_check_eq8<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+    query_idx: usize,
+) -> f64 {
+    cfg.validate_shapes(q, k, v);
+    assert!(query_idx < q.rows(), "query index out of bounds");
+    let sumrows = v.row_sums();
+
+    // Scores and max for this query.
+    let mut scores = Vec::with_capacity(k.rows());
+    let mut m = f64::NEG_INFINITY;
+    for i in 0..k.rows() {
+        if !cfg.visible(query_idx, i) {
+            scores.push(f64::NEG_INFINITY);
+            continue;
+        }
+        let s = fa_tensor::ops::dot_f64(q.row(query_idx), k.row(i)) * cfg.scale();
+        m = m.max(s);
+        scores.push(s);
+    }
+
+    let mut numerator = KahanSum::new();
+    let mut denominator = KahanSum::new();
+    for (i, &s) in scores.iter().enumerate() {
+        let w = (s - m).exp();
+        if w == 0.0 {
+            continue;
+        }
+        numerator.add(w * sumrows[i]);
+        denominator.add(w);
+    }
+    numerator.value() / denominator.value()
+}
+
+/// Predicted checksum via the per-query decomposition of Eq. 7/8:
+/// `check = Σ_i check(q_i)`. Must agree with [`predicted_checksum_eq5`] —
+/// the exchanged-summation identity the whole paper rests on.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn predicted_checksum_eq8<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> f64 {
+    cfg.validate_shapes(q, k, v);
+    let mut acc = KahanSum::new();
+    for i in 0..q.rows() {
+        acc.add(per_query_check_eq8(q, k, v, cfg, i));
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::random_seeded(n, d, ElementDist::default(), seed),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+        )
+    }
+
+    #[test]
+    fn eq5_matches_actual_output_sum() {
+        let (q, k, v) = rand_qkv(20, 8, 1);
+        let cfg = AttentionConfig::new(8);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
+        assert!((predicted - actual).abs() < 1e-10, "{predicted} vs {actual}");
+    }
+
+    #[test]
+    fn summation_exchange_identity_eq5_equals_eq8() {
+        // The paper's central identity (Eq. 6 → Eq. 7).
+        for seed in [10, 20, 30] {
+            let (q, k, v) = rand_qkv(16, 4, seed);
+            let cfg = AttentionConfig::new(4);
+            let via5 = predicted_checksum_eq5(&q, &k, &v, &cfg);
+            let via8 = predicted_checksum_eq8(&q, &k, &v, &cfg);
+            assert!((via5 - via8).abs() < 1e-10, "{via5} vs {via8}");
+        }
+    }
+
+    #[test]
+    fn per_query_check_equals_output_row_sum() {
+        // check(q_i) = Σ_j attn_ij — the row-level form of the identity.
+        let (q, k, v) = rand_qkv(12, 6, 40);
+        let cfg = AttentionConfig::new(6);
+        let out = naive::attention(&q, &k, &v, &cfg);
+        for i in 0..12 {
+            let check = per_query_check_eq8(&q, &k, &v, &cfg, i);
+            let row_sum: f64 = out.row(i).iter().sum();
+            assert!((check - row_sum).abs() < 1e-11, "query {i}");
+        }
+    }
+
+    #[test]
+    fn holds_under_causal_masking() {
+        let (q, k, v) = rand_qkv(10, 4, 50);
+        let cfg = AttentionConfig::new(4).with_causal(true);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
+        assert!((predicted - actual).abs() < 1e-10);
+        let via8 = predicted_checksum_eq8(&q, &k, &v, &cfg);
+        assert!((predicted - via8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn holds_without_scaling() {
+        // The paper's equations have no 1/sqrt(d); verify in that form too.
+        let (q, k, v) = rand_qkv(8, 4, 60);
+        let cfg = AttentionConfig::unscaled(4);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
+        assert!((predicted - actual).abs() < 1e-10);
+    }
+
+    #[test]
+    fn checksum_scales_with_v() {
+        // check is linear in V: doubling V doubles the checksum.
+        let (q, k, v) = rand_qkv(8, 4, 70);
+        let cfg = AttentionConfig::new(4);
+        let base = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let v2 = v.scale(2.0);
+        let doubled = predicted_checksum_eq5(&q, &k, &v2, &cfg);
+        assert!((doubled - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checksum_of_uniform_v_is_row_count_times_constant() {
+        // If every element of V equals c, every attention row sums to d·c,
+        // so the checksum is N·d·c regardless of Q and K.
+        let (q, k, _) = rand_qkv(9, 5, 80);
+        let v = Matrix::<f64>::from_fn(9, 5, |_, _| 0.3);
+        let cfg = AttentionConfig::new(5);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        assert!((predicted - 9.0 * 5.0 * 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn extreme_scores_remain_finite() {
+        let q = Matrix::<f64>::from_rows(&[&[30.0, 30.0]]);
+        let k = Matrix::<f64>::from_rows(&[&[10.0, 10.0], &[-10.0, -10.0]]);
+        let v = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cfg = AttentionConfig::unscaled(2);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        assert!(predicted.is_finite());
+        // Dominant key 0: checksum ≈ sumrow_0(V) = 3.
+        assert!((predicted - 3.0).abs() < 1e-9);
+    }
+}

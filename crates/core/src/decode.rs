@@ -1,0 +1,215 @@
+//! Checked autoregressive decoding.
+//!
+//! Each generated token's attention row is one query of Alg. 3: the
+//! merged accumulator computes the output *and* its checksum lane in one
+//! pass over the KV cache, and the per-token check `c_N/ℓ_N` is compared
+//! against the row sum immediately — token-granular detection latency,
+//! the tightest recovery loop the fused checksum enables.
+
+use crate::checker::{ChecksumReport, FlashAbftChecker};
+use crate::merged::MergedAccumulator;
+use fa_attention::AttentionConfig;
+use fa_numerics::Tolerance;
+use fa_tensor::Scalar;
+
+/// One decode step's output and verification.
+#[derive(Clone, Debug)]
+pub struct CheckedDecodeStep {
+    /// The attention row for the new token.
+    pub output: Vec<f64>,
+    /// The verification report (per-token check vs row sum).
+    pub report: ChecksumReport,
+}
+
+/// A decoding session with per-token Flash-ABFT checking.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::AttentionConfig;
+/// use flash_abft::decode::CheckedDecodeSession;
+///
+/// let mut session = CheckedDecodeSession::new(AttentionConfig::new(2));
+/// let step = session.step(&[1.0, 0.0], &[0.5, 0.5], &[2.0, 4.0]);
+/// assert!(!step.report.is_alarm());
+/// assert_eq!(step.output, vec![2.0, 4.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CheckedDecodeSession {
+    cfg: AttentionConfig,
+    checker: FlashAbftChecker,
+    keys: Vec<Vec<f64>>,
+    values: Vec<Vec<f64>>,
+    sumrows: Vec<f64>,
+    /// Accumulated global check over all generated tokens (Alg. 3 line 11).
+    global_check: f64,
+    /// Accumulated actual output checksum over all tokens.
+    global_actual: f64,
+}
+
+impl CheckedDecodeSession {
+    /// Creates an empty checked session with the paper's tolerance.
+    pub fn new(cfg: AttentionConfig) -> Self {
+        CheckedDecodeSession {
+            cfg,
+            checker: FlashAbftChecker::default(),
+            keys: Vec::new(),
+            values: Vec::new(),
+            sumrows: Vec::new(),
+            global_check: 0.0,
+            global_actual: 0.0,
+        }
+    }
+
+    /// Overrides the tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.checker = FlashAbftChecker::new(tolerance);
+        self
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The running global check over all tokens so far (predicted,
+    /// actual) — the session-level comparison of Alg. 3.
+    pub fn global_report(&self) -> ChecksumReport {
+        self.checker.compare(self.global_check, self.global_actual)
+    }
+
+    /// Appends the token's K/V and computes its checked attention row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch with the head dimension.
+    pub fn step<T: Scalar>(&mut self, q: &[T], k: &[T], v: &[T]) -> CheckedDecodeStep {
+        let d = self.cfg.head_dim();
+        assert_eq!(q.len(), d, "query length mismatch");
+        assert_eq!(k.len(), d, "key length mismatch");
+        assert_eq!(v.len(), d, "value length mismatch");
+        let kf: Vec<f64> = k.iter().map(|x| x.to_f64()).collect();
+        let vf: Vec<f64> = v.iter().map(|x| x.to_f64()).collect();
+        self.sumrows.push(vf.iter().sum());
+        self.keys.push(kf);
+        self.values.push(vf);
+
+        let newest = self.keys.len() - 1;
+        let mut acc = MergedAccumulator::new(d);
+        for i in 0..self.keys.len() {
+            if let Some(w) = self.cfg.sliding_window() {
+                if newest - i >= w {
+                    continue;
+                }
+            }
+            let mut s = 0.0f64;
+            for (qx, kx) in q.iter().zip(&self.keys[i]) {
+                s += qx.to_f64() * kx;
+            }
+            acc.step_with_sumrow(s * self.cfg.scale(), &self.values[i], self.sumrows[i]);
+        }
+        let (output, check) = acc.finalize().expect("at least the new token is visible");
+        let row_sum: f64 = output.iter().sum();
+        self.global_check += check;
+        self.global_actual += row_sum;
+        CheckedDecodeStep {
+            output,
+            report: self.checker.compare(check, row_sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_attention::{decode::DecodeSession, naive};
+    use fa_tensor::{random::ElementDist, Matrix};
+
+    fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::random_seeded(n, d, ElementDist::default(), seed),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+            Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+        )
+    }
+
+    #[test]
+    fn checked_decode_matches_unchecked_and_passes() {
+        let (q, k, v) = rand_qkv(12, 4, 900);
+        let cfg = AttentionConfig::new(4);
+        let mut checked = CheckedDecodeSession::new(cfg);
+        let mut plain = DecodeSession::new(cfg);
+        for i in 0..12 {
+            let step = checked.step(q.row(i), k.row(i), v.row(i));
+            assert!(!step.report.is_alarm(), "token {i}");
+            let reference = plain.step(q.row(i), k.row(i), v.row(i));
+            for (a, b) in step.output.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        assert!(!checked.global_report().is_alarm());
+        assert_eq!(checked.len(), 12);
+    }
+
+    #[test]
+    fn decode_equals_causal_batch() {
+        let (q, k, v) = rand_qkv(8, 4, 901);
+        let cfg = AttentionConfig::new(4);
+        let batch = naive::attention(&q, &k, &v, &cfg.with_causal(true));
+        let mut session = CheckedDecodeSession::new(cfg);
+        for i in 0..8 {
+            let step = session.step(q.row(i), k.row(i), v.row(i));
+            for (c, val) in step.output.iter().enumerate() {
+                assert!((val - batch[(i, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn per_token_check_equals_row_sum_with_sliding_window() {
+        let (q, k, v) = rand_qkv(10, 4, 902);
+        let cfg = AttentionConfig::new(4).with_sliding_window(3);
+        let mut session = CheckedDecodeSession::new(cfg);
+        for i in 0..10 {
+            let step = session.step(q.row(i), k.row(i), v.row(i));
+            assert!(!step.report.is_alarm(), "token {i}");
+        }
+        assert!(!session.global_report().is_alarm());
+    }
+
+    #[test]
+    fn corrupting_global_state_is_visible() {
+        let (q, k, v) = rand_qkv(6, 4, 903);
+        let cfg = AttentionConfig::new(4);
+        let mut session = CheckedDecodeSession::new(cfg);
+        for i in 0..6 {
+            let _ = session.step(q.row(i), k.row(i), v.row(i));
+        }
+        // Simulate a fault on the global predicted accumulator.
+        session.global_check += 0.5;
+        assert!(session.global_report().is_alarm());
+    }
+
+    #[test]
+    fn bf16_decode_with_relative_tolerance() {
+        use fa_numerics::BF16;
+        let (q, k, v) = rand_qkv(8, 4, 904);
+        let qb: Matrix<BF16> = q.cast();
+        let kb: Matrix<BF16> = k.cast();
+        let vb: Matrix<BF16> = v.cast();
+        let cfg = AttentionConfig::new(4);
+        let mut session = CheckedDecodeSession::new(cfg).with_tolerance(Tolerance::Relative {
+            bound: 0.05,
+            floor: 1e-3,
+        });
+        for i in 0..8 {
+            let step = session.step(qb.row(i), kb.row(i), vb.row(i));
+            assert!(!step.report.is_alarm(), "token {i}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Error localization and correction (extension).
+//!
+//! Alg. 3's per-query checks already identify the corrupted *row* for
+//! free (line 10). This module adds the column dimension: the predicted
+//! per-column checksum of the attention output is
+//!
+//! ```text
+//! colcheck_j = Σ_i attn_ij = Σ_k a_k · v_kj,   a_k = Σ_i softmax(QKᵀ)_ik
+//! ```
+//!
+//! where `a_k` — the column sums of the softmax matrix (paper Eq. 3) —
+//! accumulate online with O(N) state (one accumulator per key position,
+//! fed by the same `e^{s−m}/ℓ` weights the kernel computes). Row residual
+//! × column residual localize a single corrupted element exactly, and
+//! the residual magnitude corrects it — classic Huang–Abraham locate/
+//! correct, now for the *whole fused attention* instead of one matmul.
+
+use crate::checksum::per_query_check_eq8;
+use fa_attention::{naive, AttentionConfig};
+use fa_tensor::{Matrix, Scalar};
+
+/// Predicted per-column checksums of the attention output:
+/// `colcheck_j = Σ_k sumcol_k(S) · v_kj`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn predicted_column_checks<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Vec<f64> {
+    cfg.validate_shapes(q, k, v);
+    let s = naive::softmax_scores(q, k, cfg);
+    let a = s.col_sums(); // Eq. 3 column sums, length N
+    let d = cfg.head_dim();
+    let mut checks = vec![0.0f64; d];
+    for (ak, i) in a.iter().zip(0..v.rows()) {
+        for (c, chk) in checks.iter_mut().enumerate() {
+            *chk += ak * v[(i, c)].to_f64();
+        }
+    }
+    checks
+}
+
+/// Predicted per-row checks (`check(q_i)` of Eq. 8) for all rows.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn predicted_row_checks<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Vec<f64> {
+    cfg.validate_shapes(q, k, v);
+    (0..q.rows())
+        .map(|i| per_query_check_eq8(q, k, v, cfg, i))
+        .collect()
+}
+
+/// A localized single error in an attention output.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LocatedError {
+    /// Corrupted row (query index).
+    pub row: usize,
+    /// Corrupted column (output lane).
+    pub col: usize,
+    /// Signed deviation of the element from its correct value.
+    pub delta: f64,
+}
+
+/// Localizes a single corrupted element of `output` from row/column
+/// check residuals. Returns `None` when zero or multiple rows/columns
+/// deviate beyond `tol` (not a locatable single error).
+///
+/// # Panics
+///
+/// Panics if check vector lengths disagree with the output shape.
+pub fn localize_single_error<T: Scalar>(
+    output: &Matrix<T>,
+    row_checks: &[f64],
+    col_checks: &[f64],
+    tol: f64,
+) -> Option<LocatedError> {
+    assert_eq!(row_checks.len(), output.rows(), "row check length mismatch");
+    assert_eq!(col_checks.len(), output.cols(), "column check length mismatch");
+
+    let mut bad_row = None;
+    for (i, expected) in row_checks.iter().enumerate() {
+        let actual: f64 = output.row(i).iter().map(|x| x.to_f64()).sum();
+        let delta = actual - expected;
+        if !delta.is_finite() || delta.abs() > tol {
+            if bad_row.is_some() {
+                return None;
+            }
+            bad_row = Some((i, delta));
+        }
+    }
+    let mut bad_col = None;
+    let actual_cols = output.col_sums();
+    for (j, (actual, expected)) in actual_cols.iter().zip(col_checks).enumerate() {
+        let delta = actual - expected;
+        if !delta.is_finite() || delta.abs() > tol {
+            if bad_col.is_some() {
+                return None;
+            }
+            bad_col = Some((j, delta));
+        }
+    }
+    match (bad_row, bad_col) {
+        (Some((row, delta)), Some((col, _))) => Some(LocatedError { row, col, delta }),
+        _ => None,
+    }
+}
+
+/// Corrects a located error in place.
+pub fn correct_error<T: Scalar>(output: &mut Matrix<T>, error: LocatedError) {
+    let fixed = output[(error.row, error.col)].to_f64() - error.delta;
+    output[(error.row, error.col)] = T::from_f64(fixed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_tensor::random::ElementDist;
+
+    fn setup(seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>, AttentionConfig, Matrix<f64>) {
+        let cfg = AttentionConfig::new(6);
+        let q = Matrix::random_seeded(10, 6, ElementDist::default(), seed);
+        let k = Matrix::random_seeded(10, 6, ElementDist::default(), seed + 1);
+        let v = Matrix::random_seeded(10, 6, ElementDist::default(), seed + 2);
+        let out = naive::attention(&q, &k, &v, &cfg);
+        (q, k, v, cfg, out)
+    }
+
+    #[test]
+    fn column_checks_match_actual_column_sums() {
+        let (q, k, v, cfg, out) = setup(100);
+        let predicted = predicted_column_checks(&q, &k, &v, &cfg);
+        for (p, a) in predicted.iter().zip(out.col_sums()) {
+            assert!((p - a).abs() < 1e-10, "{p} vs {a}");
+        }
+    }
+
+    #[test]
+    fn row_checks_match_actual_row_sums() {
+        let (q, k, v, cfg, out) = setup(101);
+        let predicted = predicted_row_checks(&q, &k, &v, &cfg);
+        for (p, a) in predicted.iter().zip(out.row_sums()) {
+            assert!((p - a).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn locate_and_correct_single_element() {
+        let (q, k, v, cfg, clean) = setup(102);
+        let row_checks = predicted_row_checks(&q, &k, &v, &cfg);
+        let col_checks = predicted_column_checks(&q, &k, &v, &cfg);
+        for (r, c, delta) in [(0, 0, 0.5), (7, 3, -1.25), (9, 5, 0.01)] {
+            let mut corrupted = clean.clone();
+            corrupted[(r, c)] += delta;
+            let err = localize_single_error(&corrupted, &row_checks, &col_checks, 1e-6)
+                .expect("must locate");
+            assert_eq!((err.row, err.col), (r, c));
+            assert!((err.delta - delta).abs() < 1e-9);
+            correct_error(&mut corrupted, err);
+            assert!(corrupted.max_abs_diff(&clean) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clean_output_locates_nothing() {
+        let (q, k, v, cfg, out) = setup(103);
+        let row_checks = predicted_row_checks(&q, &k, &v, &cfg);
+        let col_checks = predicted_column_checks(&q, &k, &v, &cfg);
+        assert_eq!(localize_single_error(&out, &row_checks, &col_checks, 1e-6), None);
+    }
+
+    #[test]
+    fn double_error_in_distinct_rows_is_not_localized() {
+        let (q, k, v, cfg, clean) = setup(104);
+        let row_checks = predicted_row_checks(&q, &k, &v, &cfg);
+        let col_checks = predicted_column_checks(&q, &k, &v, &cfg);
+        let mut corrupted = clean.clone();
+        corrupted[(1, 1)] += 1.0;
+        corrupted[(4, 2)] += 1.0;
+        assert_eq!(
+            localize_single_error(&corrupted, &row_checks, &col_checks, 1e-6),
+            None
+        );
+    }
+
+    #[test]
+    fn nan_corruption_is_flagged_in_its_row() {
+        let (q, k, v, cfg, clean) = setup(105);
+        let row_checks = predicted_row_checks(&q, &k, &v, &cfg);
+        let col_checks = predicted_column_checks(&q, &k, &v, &cfg);
+        let mut corrupted = clean.clone();
+        corrupted[(2, 4)] = f64::NAN;
+        // NaN poisons exactly one row sum and one column sum: locatable
+        // coordinates (delta is NaN — correction impossible, flagged).
+        let err = localize_single_error(&corrupted, &row_checks, &col_checks, 1e-6)
+            .expect("NaN must localize");
+        assert_eq!((err.row, err.col), (2, 4));
+        assert!(err.delta.is_nan());
+    }
+}

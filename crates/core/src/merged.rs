@@ -1,0 +1,230 @@
+//! The merged accumulator of paper Eq. 9/10.
+//!
+//! Alg. 3's checksum update (line 7) and output update (line 6) are the
+//! same recurrence:
+//!
+//! ```text
+//! [c_i; o_i] = [c_{i−1}; o_{i−1}]·e^{m_{i−1}−m_i} + [sumrow_i(V); v_i]·e^{s_i−m_i}
+//! ```
+//!
+//! so the checksum is just lane `d` of a (d+1)-wide output accumulator
+//! processing the *extended value vector* `v*_i = [sumrow_i(V), v_i]`.
+//! [`MergedAccumulator`] implements exactly this view; the hardware
+//! simulator instantiates the identical structure as one extra MAC lane.
+
+use fa_numerics::{OnlineSoftmax, RescaleStep};
+
+/// A (d+1)-lane online-softmax accumulator: lanes `0..d` hold the output
+/// vector `o_i`, lane `d` holds the running per-query checksum `c_i`.
+///
+/// # Example
+///
+/// ```
+/// use flash_abft::MergedAccumulator;
+///
+/// let mut acc = MergedAccumulator::new(2);
+/// // One step: score 0.0, value [1.0, 2.0] (sumrow = 3.0 computed inside).
+/// acc.step(0.0, &[1.0, 2.0]);
+/// assert_eq!(acc.checksum(), 3.0);
+/// assert_eq!(acc.output(), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergedAccumulator {
+    /// Lanes 0..d = output, lane d = checksum (the o* vector of Eq. 10).
+    lanes: Vec<f64>,
+    softmax: OnlineSoftmax,
+}
+
+impl MergedAccumulator {
+    /// Creates a zeroed accumulator for output dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "output dimension must be positive");
+        MergedAccumulator {
+            lanes: vec![0.0; d + 1],
+            softmax: OnlineSoftmax::new(),
+        }
+    }
+
+    /// Output dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.lanes.len() - 1
+    }
+
+    /// Feeds one (score, value-row) pair: computes `sumrow_i(V)` from the
+    /// row, extends the value vector, and applies Eq. 10. Returns the
+    /// rescale factors used (for hardware-trace comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_row.len() != self.dim()`.
+    pub fn step(&mut self, score: f64, value_row: &[f64]) -> RescaleStep {
+        assert_eq!(
+            value_row.len(),
+            self.dim(),
+            "value row length {} != dimension {}",
+            value_row.len(),
+            self.dim()
+        );
+        let sumrow: f64 = value_row.iter().sum();
+        self.step_with_sumrow(score, value_row, sumrow)
+    }
+
+    /// Like [`step`](Self::step) but with an externally supplied
+    /// `sumrow_i(V)` — the form the hardware uses, where a shared adder
+    /// tree computes the row sum once for all parallel query blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_row.len() != self.dim()`.
+    pub fn step_with_sumrow(
+        &mut self,
+        score: f64,
+        value_row: &[f64],
+        sumrow: f64,
+    ) -> RescaleStep {
+        assert_eq!(
+            value_row.len(),
+            self.dim(),
+            "value row length {} != dimension {}",
+            value_row.len(),
+            self.dim()
+        );
+        let step = self.softmax.push(score);
+        let d = self.dim();
+        for (lane, &v) in self.lanes[..d].iter_mut().zip(value_row) {
+            *lane = *lane * step.scale_old + v * step.weight_new;
+        }
+        self.lanes[d] = self.lanes[d] * step.scale_old + sumrow * step.weight_new;
+        step
+    }
+
+    /// The output lanes `o_i` (unnormalized).
+    pub fn output(&self) -> &[f64] {
+        &self.lanes[..self.lanes.len() - 1]
+    }
+
+    /// The checksum lane `c_i` (unnormalized).
+    pub fn checksum(&self) -> f64 {
+        self.lanes[self.lanes.len() - 1]
+    }
+
+    /// The running sum of exponentials `ℓ_i`.
+    pub fn sum_exp(&self) -> f64 {
+        self.softmax.sum_exp()
+    }
+
+    /// The running maximum `m_i`.
+    pub fn max_score(&self) -> f64 {
+        self.softmax.max()
+    }
+
+    /// Finalizes the query (Alg. 3 lines 9–10): returns the normalized
+    /// attention row `o_N/ℓ_N` and the per-query check `c_N/ℓ_N`.
+    ///
+    /// Returns `None` if no step was taken (division by ℓ=0).
+    pub fn finalize(&self) -> Option<(Vec<f64>, f64)> {
+        if self.softmax.is_empty() {
+            return None;
+        }
+        let l = self.softmax.sum_exp();
+        let d = self.dim();
+        let out = self.lanes[..d].iter().map(|&x| x / l).collect();
+        Some((out, self.lanes[d] / l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_known_values() {
+        let mut acc = MergedAccumulator::new(3);
+        acc.step(1.5, &[1.0, 2.0, 3.0]);
+        // First step: weight 1, scale 0.
+        assert_eq!(acc.output(), &[1.0, 2.0, 3.0]);
+        assert_eq!(acc.checksum(), 6.0);
+        assert_eq!(acc.sum_exp(), 1.0);
+        assert_eq!(acc.max_score(), 1.5);
+    }
+
+    #[test]
+    fn checksum_lane_equals_sum_of_output_lanes_invariant() {
+        // THE invariant: since c follows the same recurrence with
+        // sumrow = Σ_j v_j, c_i == Σ_j o_i[j] at every step (in exact
+        // arithmetic). This is why the predicted check equals the output
+        // row sum.
+        let mut acc = MergedAccumulator::new(4);
+        let rows = [
+            [0.5, -1.0, 2.0, 0.25],
+            [1.0, 1.0, -3.0, 0.5],
+            [0.0, 0.0, 1.0, -1.0],
+        ];
+        let scores = [0.2, 1.7, -0.4];
+        for (s, row) in scores.iter().zip(&rows) {
+            acc.step(*s, row);
+            let lane_sum: f64 = acc.output().iter().sum();
+            assert!(
+                (acc.checksum() - lane_sum).abs() < 1e-12,
+                "invariant broken: c={} Σo={lane_sum}",
+                acc.checksum()
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_divides_by_sum_exp() {
+        let mut acc = MergedAccumulator::new(2);
+        acc.step(0.0, &[2.0, 4.0]);
+        acc.step(0.0, &[4.0, 6.0]);
+        // Equal scores: uniform weights, l = 2.
+        let (out, check) = acc.finalize().expect("non-empty");
+        assert!((out[0] - 3.0).abs() < 1e-12);
+        assert!((out[1] - 5.0).abs() < 1e-12);
+        assert!((check - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_empty_is_none() {
+        assert_eq!(MergedAccumulator::new(2).finalize(), None);
+    }
+
+    #[test]
+    fn rescaling_applies_to_all_lanes_equally() {
+        let mut acc = MergedAccumulator::new(2);
+        acc.step(0.0, &[1.0, 1.0]);
+        // Score jump by 5 rescales old state by e^-5.
+        let step = acc.step(5.0, &[0.0, 0.0]);
+        assert!((step.scale_old - (-5.0f64).exp()).abs() < 1e-15);
+        let expected = (-5.0f64).exp();
+        assert!((acc.output()[0] - expected).abs() < 1e-15);
+        assert!((acc.checksum() - 2.0 * expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn external_sumrow_matches_internal() {
+        let mut a = MergedAccumulator::new(3);
+        let mut b = MergedAccumulator::new(3);
+        let row = [1.5, -0.5, 2.0];
+        a.step(0.7, &row);
+        b.step_with_sumrow(0.7, &row, row.iter().sum());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "value row length")]
+    fn wrong_row_length_panics() {
+        let mut acc = MergedAccumulator::new(3);
+        acc.step(0.0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        let _ = MergedAccumulator::new(0);
+    }
+}

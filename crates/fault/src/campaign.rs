@@ -1,0 +1,319 @@
+//! The campaign runner: many independent single/multi-fault injections,
+//! fanned out across threads.
+
+use crate::classify::{classify, Classified, DetectionCriterion};
+use crate::stats::CampaignStats;
+use fa_accel_sim::config::AcceleratorConfig;
+use fa_accel_sim::fault::Fault;
+use fa_accel_sim::Accelerator;
+use fa_models::Workload;
+use fa_numerics::Tolerance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a fault-injection campaign series.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignSpec {
+    /// The accelerator under test.
+    pub accel: AcceleratorConfig,
+    /// Number of independent campaigns (the paper runs 10 000).
+    pub campaigns: usize,
+    /// Faults per campaign: `1` for Table I; the multi-fault experiment
+    /// samples uniformly from `1..=max_faults` when `max_faults > 1`.
+    pub max_faults: usize,
+    /// Checksum comparison tolerance τ.
+    pub tolerance: Tolerance,
+    /// Output corruption tolerance.
+    pub output_tolerance: f64,
+    /// Detection criterion.
+    pub criterion: DetectionCriterion,
+    /// Base RNG seed; campaign *i* derives its own stream.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// Creates a single-fault campaign at the paper's operating point
+    /// (τ = 10⁻⁶, checksum-discrepancy criterion).
+    pub fn new(accel: AcceleratorConfig, campaigns: usize, seed: u64) -> Self {
+        CampaignSpec {
+            accel,
+            campaigns,
+            max_faults: 1,
+            tolerance: Tolerance::PAPER,
+            output_tolerance: 1e-6,
+            criterion: DetectionCriterion::ChecksumDiscrepancy,
+            seed,
+        }
+    }
+
+    /// Sets the faults-per-campaign upper bound (multi-fault experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_faults == 0`.
+    pub fn with_max_faults(mut self, max_faults: usize) -> Self {
+        assert!(max_faults > 0, "at least one fault per campaign");
+        self.max_faults = max_faults;
+        self
+    }
+
+    /// Sets the detection criterion.
+    pub fn with_criterion(mut self, criterion: DetectionCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the checksum tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// Samples one fault uniformly over storage bits and cycles.
+fn sample_fault(
+    rng: &mut StdRng,
+    map: &fa_accel_sim::storage::StorageMap,
+    total_cycles: u64,
+) -> Fault {
+    let bit_index = rng.gen_range(0..map.total_bits());
+    let (target, bit) = map.locate_bit(bit_index);
+    let cycle = rng.gen_range(0..total_cycles);
+    Fault { cycle, target, bit }
+}
+
+/// Runs one campaign: sample faults, simulate, classify. Also returns
+/// the earliest injected fault's cycle and the run geometry, from which
+/// detection latencies derive.
+pub fn run_one(
+    spec: &CampaignSpec,
+    accel: &Accelerator,
+    workload: &Workload,
+    golden: &fa_accel_sim::RunResult,
+    campaign_idx: usize,
+) -> (Classified, u64, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(
+        spec.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(campaign_idx as u64),
+    );
+    let map = accel.storage_map();
+    let total_cycles = spec
+        .accel
+        .total_cycles(workload.seq_len(), workload.seq_len());
+    let n_faults = if spec.max_faults == 1 {
+        1
+    } else {
+        rng.gen_range(1..=spec.max_faults)
+    };
+    let faults: Vec<Fault> = (0..n_faults)
+        .map(|_| sample_fault(&mut rng, &map, total_cycles))
+        .collect();
+    let checker_site = faults.iter().any(|f| f.target.is_checker());
+    let faulty = accel.run_faulted(&workload.q, &workload.k, &workload.v, &faults, Some(golden));
+    let classified = classify(
+        golden,
+        &faulty,
+        checker_site,
+        spec.criterion,
+        spec.tolerance,
+        spec.output_tolerance,
+    );
+    let earliest = faults.iter().map(|f| f.cycle).min().expect("n_faults >= 1");
+    let cpp = spec.accel.cycles_per_pass(workload.seq_len());
+    (classified, earliest, cpp, total_cycles)
+}
+
+/// Runs the full campaign series, fanned out over all CPU cores.
+///
+/// Results are independent of thread count: each campaign derives its
+/// RNG stream from `(spec.seed, campaign index)`.
+///
+/// # Panics
+///
+/// Panics if the workload shape disagrees with the accelerator config.
+pub fn run_campaigns(spec: &CampaignSpec, workload: &Workload) -> CampaignStats {
+    assert_eq!(
+        workload.head_dim(),
+        spec.accel.head_dim(),
+        "workload head_dim {} != accelerator head_dim {}",
+        workload.head_dim(),
+        spec.accel.head_dim()
+    );
+    let accel = Accelerator::new(spec.accel);
+    let golden = accel.run(&workload.q, &workload.k, &workload.v);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(spec.campaigns.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let total = spec.campaigns;
+
+    let mut stats = CampaignStats::default();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let accel = &accel;
+                let golden = &golden;
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local = CampaignStats::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let (outcome, fault_cycle, cpp, total_cycles) =
+                            run_one(spec, accel, workload, golden, i);
+                        local.record(&outcome);
+                        if outcome.category == crate::classify::FaultCategory::Detected {
+                            // End-of-attention: the global comparison
+                            // happens at the final cycle of the run.
+                            local.detected_latency_end_sum += total_cycles - fault_cycle;
+                            // Per-pass: the fault's pass checks at its
+                            // own epilogue.
+                            let pass_end = (fault_cycle / cpp + 1) * cpp;
+                            local.detected_latency_pass_sum += pass_end - fault_cycle;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().expect("campaign worker panicked");
+            stats.merge(&local);
+        }
+    })
+    .expect("campaign scope failed");
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_models::{LlmModel, WorkloadSpec};
+
+    fn small_setup(campaigns: usize) -> (CampaignSpec, Workload) {
+        let model = LlmModel::Bert.config();
+        let spec_w = WorkloadSpec {
+            seq_len: 16,
+            ..WorkloadSpec::paper(5)
+        };
+        let workload = Workload::generate(&model, spec_w);
+        let spec = CampaignSpec::new(AcceleratorConfig::new(4, model.head_dim), campaigns, 42);
+        (spec, workload)
+    }
+
+    #[test]
+    fn campaign_counts_add_up() {
+        let (spec, workload) = small_setup(100);
+        let stats = run_campaigns(&spec, &workload);
+        assert_eq!(stats.total(), 100);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let (spec, workload) = small_setup(50);
+        let a = run_campaigns(&spec, &workload);
+        let b = run_campaigns(&spec, &workload);
+        assert_eq!(a, b, "same seed, same stats regardless of threading");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (mut spec, workload) = small_setup(50);
+        let a = run_campaigns(&spec, &workload);
+        spec.seed = 43;
+        let b = run_campaigns(&spec, &workload);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn most_faults_are_consequential_under_paper_criterion() {
+        // With the discrepancy criterion, the bulk of single faults must
+        // be detected — the Table I headline. At small N the proportions
+        // are noisier but the ordering must hold.
+        let (spec, workload) = small_setup(300);
+        let stats = run_campaigns(&spec, &workload);
+        assert!(
+            stats.detected > stats.false_positive,
+            "detected {} must dominate FP {}",
+            stats.detected,
+            stats.false_positive
+        );
+        assert!(
+            stats.detected > stats.silent,
+            "detected {} must dominate silent {}",
+            stats.detected,
+            stats.silent
+        );
+    }
+
+    #[test]
+    fn hardware_criterion_is_stricter() {
+        let (spec, workload) = small_setup(300);
+        let paper = run_campaigns(&spec, &workload);
+        let hw = run_campaigns(
+            &spec.with_criterion(DetectionCriterion::HardwareComparator),
+            &workload,
+        );
+        assert!(
+            hw.detected <= paper.detected,
+            "hardware comparator cannot detect more than the discrepancy criterion"
+        );
+        assert!(hw.silent >= paper.silent);
+    }
+
+    #[test]
+    fn multi_fault_campaigns_run() {
+        let (spec, workload) = small_setup(60);
+        let stats = run_campaigns(&spec.with_max_faults(5), &workload);
+        assert_eq!(stats.total(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "head_dim")]
+    fn mismatched_workload_panics() {
+        let (spec, _) = small_setup(10);
+        let other = Workload::generate(
+            &LlmModel::Llama31.config(),
+            WorkloadSpec {
+                seq_len: 16,
+                ..WorkloadSpec::paper(1)
+            },
+        );
+        let _ = run_campaigns(&spec, &other);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use fa_models::{LlmModel, WorkloadSpec};
+
+    #[test]
+    fn detected_faults_carry_latency_measurements() {
+        let model = LlmModel::Bert.config();
+        let workload = Workload::generate(
+            &model,
+            WorkloadSpec {
+                seq_len: 16,
+                ..WorkloadSpec::paper(5)
+            },
+        );
+        let spec = CampaignSpec::new(AcceleratorConfig::new(4, model.head_dim), 300, 42);
+        let stats = run_campaigns(&spec, &workload);
+        assert!(stats.detected > 0);
+        // Per-pass latency is bounded by one pass; end-of-attention by
+        // the whole run; per-pass is never longer.
+        let cpp = spec.accel.cycles_per_pass(16) as f64;
+        let total = spec.accel.total_cycles(16, 16) as f64;
+        assert!(stats.mean_latency_pass() > 0.0);
+        assert!(stats.mean_latency_pass() <= cpp);
+        assert!(stats.mean_latency_end() <= total);
+        assert!(stats.mean_latency_pass() <= stats.mean_latency_end());
+    }
+}

@@ -1,0 +1,244 @@
+//! Downstream criticality analysis — the paper's stated future work.
+//!
+//! The paper closes §IV-B with: "If the injected faults are actually
+//! critical for the overall performance of the LLM application is not
+//! quantified and is part of future work." This module quantifies it with
+//! a synthetic readout head: attention outputs are projected through a
+//! fixed random weight matrix to per-token logits (the shape of an LM
+//! head), and a faulty run is compared to the golden run by logit KL
+//! divergence and top-1 decision flips. A fault is *critical* when it
+//! changes what the model would actually emit.
+
+use fa_numerics::BF16;
+use fa_tensor::{random::ElementDist, Matrix};
+
+/// A fixed synthetic readout head: `logits_i = output_i · W`.
+#[derive(Clone, Debug)]
+pub struct CriticalityProbe {
+    weights: Matrix<f64>,
+    n_classes: usize,
+}
+
+/// Downstream impact of one faulty output vs its golden reference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CriticalityReport {
+    /// Mean per-token KL divergence KL(golden ‖ faulty) over the readout
+    /// distribution, in nats.
+    pub mean_kl: f64,
+    /// Worst per-token KL divergence.
+    pub max_kl: f64,
+    /// Number of tokens whose top-1 readout class flipped.
+    pub top1_flips: usize,
+    /// Number of tokens whose faulty logits contain NaN/Inf.
+    pub invalid_tokens: usize,
+    /// Total tokens compared.
+    pub tokens: usize,
+}
+
+impl CriticalityReport {
+    /// Whether the fault is critical: it flipped a decision, produced
+    /// invalid logits, or perturbed the distribution beyond `kl_bound`.
+    pub fn is_critical(&self, kl_bound: f64) -> bool {
+        self.top1_flips > 0 || self.invalid_tokens > 0 || self.max_kl > kl_bound
+    }
+}
+
+impl CriticalityProbe {
+    /// Creates a probe for attention outputs of width `head_dim`,
+    /// projecting to `n_classes` readout classes, with deterministic
+    /// weights from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim == 0` or `n_classes < 2`.
+    pub fn new(head_dim: usize, n_classes: usize, seed: u64) -> Self {
+        assert!(head_dim > 0, "head_dim must be positive");
+        assert!(n_classes >= 2, "need at least two readout classes");
+        // Unit-variance weights scaled like an LM head (1/sqrt(d)).
+        let dist = ElementDist::Gaussian {
+            std_dev: 1.0 / (head_dim as f64).sqrt(),
+        };
+        CriticalityProbe {
+            weights: Matrix::random_seeded(head_dim, n_classes, dist, seed),
+            n_classes,
+        }
+    }
+
+    /// Number of readout classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Projects one output matrix (N×d) to per-token probability rows.
+    fn probabilities(&self, output: &Matrix<f64>) -> Matrix<f64> {
+        let logits = output.matmul(&self.weights);
+        let mut probs = logits;
+        for r in 0..probs.rows() {
+            let row = probs.row_mut(r);
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if !m.is_finite() {
+                // NaN/Inf logits: leave the row as-is; the comparison
+                // counts it as invalid.
+                continue;
+            }
+            let mut denom = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                denom += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= denom;
+            }
+        }
+        probs
+    }
+
+    /// Compares a faulty attention output against the golden one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn assess(&self, golden: &Matrix<f64>, faulty: &Matrix<f64>) -> CriticalityReport {
+        assert_eq!(golden.rows(), faulty.rows(), "token count mismatch");
+        assert_eq!(golden.cols(), faulty.cols(), "width mismatch");
+        let gp = self.probabilities(golden);
+        let fp = self.probabilities(faulty);
+
+        let mut report = CriticalityReport {
+            tokens: golden.rows(),
+            ..Default::default()
+        };
+        let mut kl_sum = 0.0;
+        for r in 0..gp.rows() {
+            let g = gp.row(r);
+            let f = fp.row(r);
+            if f.iter().any(|x| !x.is_finite()) {
+                report.invalid_tokens += 1;
+                report.max_kl = f64::INFINITY;
+                continue;
+            }
+            // KL(g || f), guarding zero probabilities.
+            let mut kl = 0.0;
+            for (pg, pf) in g.iter().zip(f) {
+                if *pg > 0.0 {
+                    kl += pg * (pg / pf.max(1e-300)).ln();
+                }
+            }
+            kl_sum += kl;
+            if kl > report.max_kl {
+                report.max_kl = kl;
+            }
+            let top_g = argmax(g);
+            let top_f = argmax(f);
+            if top_g != top_f {
+                report.top1_flips += 1;
+            }
+        }
+        let valid = (report.tokens - report.invalid_tokens).max(1);
+        report.mean_kl = kl_sum / valid as f64;
+        report
+    }
+
+    /// Convenience: compares BF16 accelerator writebacks.
+    pub fn assess_bf16(
+        &self,
+        golden: &Matrix<BF16>,
+        faulty: &Matrix<BF16>,
+    ) -> CriticalityReport {
+        self.assess(&golden.to_f64(), &faulty.to_f64())
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate() {
+        if *x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_output() -> Matrix<f64> {
+        Matrix::random_seeded(16, 8, ElementDist::default(), 42)
+    }
+
+    #[test]
+    fn identical_outputs_are_benign() {
+        let probe = CriticalityProbe::new(8, 10, 1);
+        let g = golden_output();
+        let report = probe.assess(&g, &g.clone());
+        assert_eq!(report.top1_flips, 0);
+        assert_eq!(report.invalid_tokens, 0);
+        assert!(report.mean_kl < 1e-15);
+        assert!(!report.is_critical(1e-3));
+        assert_eq!(report.tokens, 16);
+    }
+
+    #[test]
+    fn tiny_perturbation_is_not_critical() {
+        let probe = CriticalityProbe::new(8, 10, 1);
+        let g = golden_output();
+        let mut f = g.clone();
+        f[(3, 2)] += 1e-9;
+        let report = probe.assess(&g, &f);
+        assert!(!report.is_critical(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn large_corruption_flips_decisions() {
+        let probe = CriticalityProbe::new(8, 10, 1);
+        let g = golden_output();
+        let mut f = g.clone();
+        for c in 0..8 {
+            f[(5, c)] = -f[(5, c)] * 10.0;
+        }
+        let report = probe.assess(&g, &f);
+        assert!(report.max_kl > 0.01, "{report:?}");
+        assert!(report.is_critical(0.01));
+    }
+
+    #[test]
+    fn nan_output_counts_invalid_and_critical() {
+        let probe = CriticalityProbe::new(8, 10, 1);
+        let g = golden_output();
+        let mut f = g.clone();
+        f[(0, 0)] = f64::NAN;
+        let report = probe.assess(&g, &f);
+        assert_eq!(report.invalid_tokens, 1);
+        assert!(report.is_critical(f64::INFINITY));
+    }
+
+    #[test]
+    fn kl_grows_with_perturbation_size() {
+        let probe = CriticalityProbe::new(8, 10, 1);
+        let g = golden_output();
+        let mut kls = Vec::new();
+        for delta in [0.01, 0.1, 1.0] {
+            let mut f = g.clone();
+            f[(2, 4)] += delta;
+            kls.push(probe.assess(&g, &f).max_kl);
+        }
+        assert!(kls[0] < kls[1] && kls[1] < kls[2], "{kls:?}");
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        let a = CriticalityProbe::new(8, 10, 5);
+        let b = CriticalityProbe::new(8, 10, 5);
+        let g = golden_output();
+        let mut f = g.clone();
+        f[(1, 1)] += 0.5;
+        assert_eq!(a.assess(&g, &f), b.assess(&g, &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two readout classes")]
+    fn single_class_panics() {
+        let _ = CriticalityProbe::new(8, 1, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # fa-fault
+//!
+//! Fault-injection campaign framework for the Flash-ABFT accelerator —
+//! the machinery behind the paper's §IV-B evaluation (Table I, the
+//! multi-fault experiment and the threshold determination).
+//!
+//! A campaign injects bit flips into uniformly random storage bits at
+//! uniformly random cycles of the simulated accelerator, classifies each
+//! outcome against a golden run, and aggregates statistics with
+//! confidence intervals.
+//!
+//! ## Detection criteria
+//!
+//! Two criteria are implemented (see DESIGN.md and the accel-sim docs for
+//! the architectural background):
+//!
+//! * [`DetectionCriterion::HardwareComparator`] — the strict runtime
+//!   mechanism: alarm iff `|predicted − actual| > τ` *within the faulty
+//!   run*. Faults that scale output and checksum coherently (query, max,
+//!   ℓ registers) are invisible to it by construction.
+//! * [`DetectionCriterion::ChecksumDiscrepancy`] — the paper's stated
+//!   evaluation criterion (§IV-B: "a fault detected if the predicted
+//!   checksum differs by the true output checksum by more than 10⁻⁶"),
+//!   taken as the union with the runtime comparator. This is the
+//!   criterion under which Table I's numbers are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use fa_accel_sim::config::AcceleratorConfig;
+//! use fa_fault::{CampaignSpec, DetectionCriterion, run_campaigns};
+//! use fa_models::{LlmModel, Workload, WorkloadSpec};
+//!
+//! let model = LlmModel::Bert.config();
+//! let workload = Workload::generate(&model, WorkloadSpec { seq_len: 16, ..WorkloadSpec::paper(1) });
+//! let spec = CampaignSpec::new(AcceleratorConfig::new(4, model.head_dim), 50, 99)
+//!     .with_criterion(DetectionCriterion::ChecksumDiscrepancy);
+//! let stats = run_campaigns(&spec, &workload);
+//! assert_eq!(stats.total(), 50);
+//! ```
+
+pub mod campaign;
+pub mod classify;
+pub mod criticality;
+pub mod recovery;
+pub mod stats;
+
+pub use campaign::{run_campaigns, CampaignSpec};
+pub use criticality::{CriticalityProbe, CriticalityReport};
+pub use recovery::{CheckGranularity, RecoveryModel};
+pub use classify::{classify, DetectionCriterion, FaultCategory, Classified};
+pub use stats::CampaignStats;

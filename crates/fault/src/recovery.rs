@@ -1,0 +1,180 @@
+//! Recovery cost model: what detection buys you.
+//!
+//! The paper motivates *online* detection with fast recovery ("faults
+//! should be detected online, ideally within a few cycles of their
+//! occurrence, to facilitate quick recovery", §I). This module quantifies
+//! the recovery economics of the Flash-ABFT accelerator: detection
+//! latency (fault cycle → the check that exposes it) and expected
+//! throughput overhead under re-execution, for two checking granularities.
+
+use fa_accel_sim::config::AcceleratorConfig;
+
+/// When the checker comparison fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CheckGranularity {
+    /// One comparison at the very end of the attention (Alg. 3 line 11
+    /// accumulated over all passes) — the paper's design. Detection
+    /// latency up to the whole computation; re-execution re-runs it all.
+    EndOfAttention,
+    /// One comparison per pass (per-query checks are available at every
+    /// pass epilogue — Alg. 3 line 10): an extension enabling pass-level
+    /// re-execution. Costs one extra comparator activation per pass.
+    PerPass,
+}
+
+/// Analytic recovery model for a configured accelerator and workload
+/// shape.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryModel {
+    /// Checking granularity.
+    pub granularity: CheckGranularity,
+    /// Queries in the workload.
+    pub n_queries: usize,
+    /// Keys in the workload.
+    pub n_keys: usize,
+    /// Cycles per pass (streaming + epilogue).
+    pub cycles_per_pass: u64,
+    /// Number of passes.
+    pub passes: u64,
+}
+
+impl RecoveryModel {
+    /// Builds the model from an accelerator configuration and workload
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty.
+    pub fn new(
+        cfg: &AcceleratorConfig,
+        granularity: CheckGranularity,
+        n_queries: usize,
+        n_keys: usize,
+    ) -> Self {
+        assert!(n_queries > 0 && n_keys > 0, "workload must be non-empty");
+        RecoveryModel {
+            granularity,
+            n_queries,
+            n_keys,
+            cycles_per_pass: cfg.cycles_per_pass(n_keys),
+            passes: cfg.passes(n_queries) as u64,
+        }
+    }
+
+    /// Total fault-free cycles.
+    pub fn base_cycles(&self) -> u64 {
+        self.passes * self.cycles_per_pass
+    }
+
+    /// Worst-case detection latency in cycles: a fault in the first
+    /// cycle of the earliest checked region, flagged at that region's
+    /// comparison.
+    pub fn worst_detection_latency(&self) -> u64 {
+        match self.granularity {
+            CheckGranularity::EndOfAttention => self.base_cycles(),
+            CheckGranularity::PerPass => self.cycles_per_pass,
+        }
+    }
+
+    /// Mean detection latency for a fault uniform over cycles (half the
+    /// checked region plus the epilogue distance, to first order).
+    pub fn mean_detection_latency(&self) -> f64 {
+        self.worst_detection_latency() as f64 / 2.0
+    }
+
+    /// Cycles re-executed on an alarm.
+    pub fn reexecution_cycles(&self) -> u64 {
+        match self.granularity {
+            CheckGranularity::EndOfAttention => self.base_cycles(),
+            CheckGranularity::PerPass => self.cycles_per_pass,
+        }
+    }
+
+    /// Expected total cycles given a per-run alarm probability
+    /// `p_alarm` (detected faults + false positives), assuming the
+    /// re-execution itself is fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_alarm` is outside [0, 1].
+    pub fn expected_cycles(&self, p_alarm: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_alarm), "probability out of range");
+        self.base_cycles() as f64 + p_alarm * self.reexecution_cycles() as f64
+    }
+
+    /// Expected relative throughput overhead of recovery at the given
+    /// alarm probability.
+    pub fn expected_overhead(&self, p_alarm: f64) -> f64 {
+        self.expected_cycles(p_alarm) / self.base_cycles() as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(granularity: CheckGranularity) -> RecoveryModel {
+        // 256 queries on 16 blocks, N=256: 16 passes of 258 cycles.
+        let cfg = AcceleratorConfig::new(16, 128);
+        RecoveryModel::new(&cfg, granularity, 256, 256)
+    }
+
+    #[test]
+    fn base_cycles_match_accelerator() {
+        let m = model(CheckGranularity::EndOfAttention);
+        assert_eq!(m.base_cycles(), 16 * 258);
+        assert_eq!(m.passes, 16);
+    }
+
+    #[test]
+    fn per_pass_checking_cuts_latency_by_pass_count() {
+        let end = model(CheckGranularity::EndOfAttention);
+        let pass = model(CheckGranularity::PerPass);
+        assert_eq!(
+            end.worst_detection_latency(),
+            pass.worst_detection_latency() * 16
+        );
+        assert!(pass.mean_detection_latency() < end.mean_detection_latency());
+    }
+
+    #[test]
+    fn per_pass_reexecution_is_cheaper() {
+        let end = model(CheckGranularity::EndOfAttention);
+        let pass = model(CheckGranularity::PerPass);
+        // At the same alarm probability, pass-level recovery costs 16x less.
+        let p = 0.01;
+        assert!(
+            (end.expected_overhead(p) / pass.expected_overhead(p) - 16.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn zero_alarm_probability_means_no_overhead() {
+        let m = model(CheckGranularity::EndOfAttention);
+        assert_eq!(m.expected_overhead(0.0), 0.0);
+        assert_eq!(m.expected_cycles(0.0), m.base_cycles() as f64);
+    }
+
+    #[test]
+    fn full_alarm_probability_doubles_end_to_end() {
+        let m = model(CheckGranularity::EndOfAttention);
+        assert!((m.expected_overhead(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_panics() {
+        let _ = model(CheckGranularity::PerPass).expected_cycles(1.5);
+    }
+
+    #[test]
+    fn overhead_monotone_in_alarm_rate() {
+        let m = model(CheckGranularity::PerPass);
+        let mut last = -1.0;
+        for p in [0.0, 0.001, 0.01, 0.1, 1.0] {
+            let o = m.expected_overhead(p);
+            assert!(o > last);
+            last = o;
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Campaign statistics: counts, percentages, confidence intervals.
+
+use crate::classify::{Classified, FaultCategory};
+
+/// Aggregated results of a fault-injection campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignStats {
+    /// Faults whose corrupted output was flagged.
+    pub detected: u64,
+    /// Correct outputs incorrectly flagged (checker hit).
+    pub false_positive: u64,
+    /// Corrupted outputs not flagged.
+    pub silent: u64,
+    /// No observable effect.
+    pub masked: u64,
+    /// Of the silent ones, how many were NaN-poisoned comparisons.
+    pub silent_nan: u64,
+    /// Faults that landed on checker storage (site attribution).
+    pub checker_site_hits: u64,
+    /// Sum over detected faults of (end-of-attention check cycle − fault
+    /// cycle): measured detection latency under the paper's checking
+    /// granularity.
+    pub detected_latency_end_sum: u64,
+    /// Sum over detected faults of (own pass's check cycle − fault
+    /// cycle): latency under per-pass checking (extension).
+    pub detected_latency_pass_sum: u64,
+}
+
+impl CampaignStats {
+    /// Records one classified outcome.
+    pub fn record(&mut self, c: &Classified) {
+        match c.category {
+            FaultCategory::Detected => self.detected += 1,
+            FaultCategory::FalsePositive => self.false_positive += 1,
+            FaultCategory::Silent => {
+                self.silent += 1;
+                if c.nan_poisoned {
+                    self.silent_nan += 1;
+                }
+            }
+            FaultCategory::Masked => self.masked += 1,
+        }
+        if c.checker_site {
+            self.checker_site_hits += 1;
+        }
+    }
+
+    /// Total campaigns recorded.
+    pub fn total(&self) -> u64 {
+        self.detected + self.false_positive + self.silent + self.masked
+    }
+
+    /// Campaigns with an observable consequence (everything but masked) —
+    /// the denominator for paper-style percentages (the paper's three
+    /// categories sum to 100 %).
+    pub fn consequential(&self) -> u64 {
+        self.total() - self.masked
+    }
+
+    /// Percentage of `count` over all campaigns.
+    pub fn pct_of_total(&self, count: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total() as f64
+        }
+    }
+
+    /// Percentage of `count` over consequential campaigns (paper-style).
+    pub fn pct_of_consequential(&self, count: u64) -> f64 {
+        if self.consequential() == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.consequential() as f64
+        }
+    }
+
+    /// 95 % Wilson score interval for a count over all campaigns, as
+    /// (low %, high %).
+    pub fn wilson95(&self, count: u64) -> (f64, f64) {
+        wilson_interval(count, self.total(), 1.96)
+    }
+
+    /// Mean detection latency in cycles under end-of-attention checking
+    /// (0 when nothing was detected).
+    pub fn mean_latency_end(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.detected_latency_end_sum as f64 / self.detected as f64
+        }
+    }
+
+    /// Mean detection latency in cycles under per-pass checking.
+    pub fn mean_latency_pass(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.detected_latency_pass_sum as f64 / self.detected as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.detected += other.detected;
+        self.false_positive += other.false_positive;
+        self.silent += other.silent;
+        self.masked += other.masked;
+        self.silent_nan += other.silent_nan;
+        self.checker_site_hits += other.checker_site_hits;
+        self.detected_latency_end_sum += other.detected_latency_end_sum;
+        self.detected_latency_pass_sum += other.detected_latency_pass_sum;
+    }
+}
+
+/// Wilson score interval for `successes` out of `trials` at the given
+/// z-score, returned in percent.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 100.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    (100.0 * (center - half).max(0.0), 100.0 * (center + half).min(1.0))
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "detected {:.2}% | false-positive {:.2}% | silent {:.2}% (nan {}) | masked {:.2}% (n={})",
+            self.pct_of_total(self.detected),
+            self.pct_of_total(self.false_positive),
+            self.pct_of_total(self.silent),
+            self.silent_nan,
+            self.pct_of_total(self.masked),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FaultCategory;
+
+    fn classified(category: FaultCategory, checker_site: bool, nan: bool) -> Classified {
+        Classified {
+            category,
+            checker_site,
+            hw_residual: 0.0,
+            prediction_discrepancy: 0.0,
+            nan_poisoned: nan,
+        }
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = CampaignStats::default();
+        s.record(&classified(FaultCategory::Detected, false, false));
+        s.record(&classified(FaultCategory::Detected, false, false));
+        s.record(&classified(FaultCategory::FalsePositive, true, false));
+        s.record(&classified(FaultCategory::Silent, false, true));
+        s.record(&classified(FaultCategory::Masked, false, false));
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.consequential(), 4);
+        assert_eq!(s.detected, 2);
+        assert_eq!(s.silent_nan, 1);
+        assert_eq!(s.checker_site_hits, 1);
+        assert_eq!(s.pct_of_total(s.detected), 40.0);
+        assert_eq!(s.pct_of_consequential(s.detected), 50.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CampaignStats {
+            detected: 10,
+            ..Default::default()
+        };
+        let b = CampaignStats {
+            detected: 5,
+            masked: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.detected, 15);
+        assert_eq!(a.masked, 2);
+    }
+
+    #[test]
+    fn wilson_interval_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 50.0 && hi > 50.0);
+        assert!(hi - lo < 25.0, "reasonable width at n=100");
+        let (lo2, hi2) = wilson_interval(500, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo, "narrower with more trials");
+        let (lo3, hi3) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo3, 0.0);
+        assert!(hi3 < 6.0);
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 100.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CampaignStats::default();
+        assert_eq!(s.pct_of_total(0), 0.0);
+        assert_eq!(s.pct_of_consequential(0), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = CampaignStats::default();
+        s.record(&classified(FaultCategory::Detected, false, false));
+        let text = format!("{s}");
+        assert!(text.contains("detected 100.00%"));
+        assert!(text.contains("n=1"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for classification and statistics.
+
+use fa_accel_sim::RunResult;
+use fa_fault::stats::wilson_interval;
+use fa_fault::{classify, CampaignStats, DetectionCriterion, FaultCategory};
+use fa_numerics::{Tolerance, BF16};
+use fa_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Builds a RunResult with the given checksums over a fixed tiny output.
+fn run(predicted: f64, actual: f64, output_vals: &[f64]) -> RunResult {
+    let output = Matrix::from_vec(
+        1,
+        output_vals.len(),
+        output_vals.iter().map(|&x| BF16::from_f64(x)).collect(),
+    );
+    RunResult {
+        output,
+        per_query_checks: vec![predicted],
+        per_query_row_sums: vec![actual],
+        predicted,
+        actual,
+        cycles: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The four categories partition every (corruption, alarm) outcome:
+    /// classification always returns exactly one quadrant consistent with
+    /// its evidence.
+    #[test]
+    fn classification_quadrants(
+        golden_val in -10.0f64..10.0,
+        delta in -5.0f64..5.0,
+        check_shift in -5.0f64..5.0,
+    ) {
+        let golden = run(golden_val, golden_val, &[golden_val]);
+        let faulty_val = golden_val + delta;
+        let faulty = run(golden_val + check_shift, faulty_val, &[faulty_val]);
+        let c = classify(
+            &golden,
+            &faulty,
+            false,
+            DetectionCriterion::HardwareComparator,
+            Tolerance::Absolute(1e-6),
+            1e-6,
+        );
+        let corrupted = delta.abs() > 1e-6; // row-sum moves by delta
+        let alarm = (faulty.predicted - faulty.actual).abs() > 1e-6;
+        let expected = match (corrupted, alarm) {
+            (true, true) => FaultCategory::Detected,
+            (false, true) => FaultCategory::FalsePositive,
+            (true, false) => FaultCategory::Silent,
+            (false, false) => FaultCategory::Masked,
+        };
+        // BF16 writeback rounding can upgrade "corrupted" only via the
+        // row-sum channel, which we set exactly; categories must agree.
+        prop_assert_eq!(c.category, expected);
+    }
+
+    /// The discrepancy criterion never detects less than the hardware
+    /// comparator (it is a strict union).
+    #[test]
+    fn discrepancy_criterion_dominates(
+        golden_val in -10.0f64..10.0,
+        delta in -5.0f64..5.0,
+        check_shift in -5.0f64..5.0,
+    ) {
+        let golden = run(golden_val, golden_val, &[golden_val]);
+        let faulty = run(golden_val + check_shift, golden_val + delta, &[golden_val + delta]);
+        let hw = classify(&golden, &faulty, false,
+            DetectionCriterion::HardwareComparator, Tolerance::PAPER, 1e-6);
+        let paper = classify(&golden, &faulty, false,
+            DetectionCriterion::ChecksumDiscrepancy, Tolerance::PAPER, 1e-6);
+        if hw.category == FaultCategory::Detected {
+            prop_assert_eq!(paper.category, FaultCategory::Detected);
+        }
+        if hw.category == FaultCategory::FalsePositive {
+            prop_assert_eq!(paper.category, FaultCategory::FalsePositive);
+        }
+    }
+
+    /// NaN on either checksum side can never produce Detected or
+    /// FalsePositive under the hardware criterion.
+    #[test]
+    fn nan_never_alarms_hardware(golden_val in -10.0f64..10.0, which in 0u8..3) {
+        let golden = run(golden_val, golden_val, &[golden_val]);
+        let (p, a) = match which {
+            0 => (f64::NAN, golden_val),
+            1 => (golden_val, f64::NAN),
+            _ => (f64::NAN, f64::NAN),
+        };
+        let faulty = run(p, a, &[golden_val]);
+        let c = classify(&golden, &faulty, false,
+            DetectionCriterion::HardwareComparator, Tolerance::PAPER, 1e-6);
+        prop_assert!(c.nan_poisoned);
+        prop_assert_ne!(c.category, FaultCategory::Detected);
+        prop_assert_ne!(c.category, FaultCategory::FalsePositive);
+    }
+
+    /// Wilson intervals always contain the point estimate and are
+    /// properly ordered and bounded.
+    #[test]
+    fn wilson_interval_contains_estimate(successes in 0u64..1000, extra in 0u64..1000) {
+        let trials = successes + extra;
+        prop_assume!(trials > 0);
+        let p = 100.0 * successes as f64 / trials as f64;
+        let (lo, hi) = wilson_interval(successes, trials, 1.96);
+        prop_assert!(lo <= p + 1e-9 && p <= hi + 1e-9, "{lo} {p} {hi}");
+        prop_assert!((0.0..=100.0).contains(&lo));
+        prop_assert!((0.0..=100.0).contains(&hi));
+        prop_assert!(lo <= hi);
+    }
+
+    /// Stats merging is commutative and total-preserving.
+    #[test]
+    fn stats_merge_commutes(
+        a in (0u64..100, 0u64..100, 0u64..100, 0u64..100),
+        b in (0u64..100, 0u64..100, 0u64..100, 0u64..100),
+    ) {
+        let mk = |(d, f, s, m): (u64, u64, u64, u64)| CampaignStats {
+            detected: d,
+            false_positive: f,
+            silent: s,
+            masked: m,
+            ..Default::default()
+        };
+        let mut x = mk(a);
+        x.merge(&mk(b));
+        let mut y = mk(b);
+        y.merge(&mk(a));
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(x.total(), mk(a).total() + mk(b).total());
+    }
+}

@@ -1,0 +1,126 @@
+//! The four evaluated LLM attention-layer configurations (paper §IV-B).
+
+use fa_attention::AttentionConfig;
+
+/// The LLMs of the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LlmModel {
+    /// BERT-base: head dimension 64 (12 heads × 64 = 768 model dim).
+    Bert,
+    /// Phi-3-mini: head dimension 96.
+    Phi3Mini,
+    /// Llama-3.1: head dimension 128.
+    Llama31,
+    /// Gemma2: head dimension 256.
+    Gemma2,
+}
+
+/// Per-model attention-layer parameters.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelConfig {
+    /// Which model.
+    pub model: LlmModel,
+    /// Display name.
+    pub name: &'static str,
+    /// Per-head hidden dimension d (the paper's independent variable).
+    pub head_dim: usize,
+    /// Number of attention heads in the first layer.
+    pub num_heads: usize,
+}
+
+impl ModelConfig {
+    /// The single-head attention configuration the paper evaluates
+    /// ("without loss of generality, we will limit our discussion to a
+    /// single-head attention", §II), with standard 1/√d scaling.
+    pub fn attention(&self) -> AttentionConfig {
+        AttentionConfig::new(self.head_dim)
+    }
+
+    /// Model dimension (heads × head_dim).
+    pub fn model_dim(&self) -> usize {
+        self.head_dim * self.num_heads
+    }
+}
+
+impl LlmModel {
+    /// This model's configuration.
+    pub fn config(self) -> ModelConfig {
+        match self {
+            LlmModel::Bert => ModelConfig {
+                model: self,
+                name: "Bert",
+                head_dim: 64,
+                num_heads: 12,
+            },
+            LlmModel::Phi3Mini => ModelConfig {
+                model: self,
+                name: "Phi-3-mini",
+                head_dim: 96,
+                num_heads: 32,
+            },
+            LlmModel::Llama31 => ModelConfig {
+                model: self,
+                name: "Llama-3.1",
+                head_dim: 128,
+                num_heads: 32,
+            },
+            LlmModel::Gemma2 => ModelConfig {
+                model: self,
+                name: "Gemma2",
+                head_dim: 256,
+                num_heads: 8,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for LlmModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.config().name)
+    }
+}
+
+/// The four models of Table I, in the paper's column order (ascending d).
+pub const PAPER_MODELS: [LlmModel; 4] = [
+    LlmModel::Bert,
+    LlmModel::Phi3Mini,
+    LlmModel::Llama31,
+    LlmModel::Gemma2,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_head_dims() {
+        // Table I header: d = 64, 96, 128, 256.
+        let dims: Vec<usize> = PAPER_MODELS.iter().map(|m| m.config().head_dim).collect();
+        assert_eq!(dims, vec![64, 96, 128, 256]);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = PAPER_MODELS.iter().map(|m| m.config().name).collect();
+        assert_eq!(names, vec!["Bert", "Phi-3-mini", "Llama-3.1", "Gemma2"]);
+    }
+
+    #[test]
+    fn attention_config_uses_head_dim() {
+        for m in PAPER_MODELS {
+            let cfg = m.config().attention();
+            assert_eq!(cfg.head_dim(), m.config().head_dim);
+            assert!((cfg.scale() - 1.0 / (m.config().head_dim as f64).sqrt()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn model_dim_is_heads_times_head_dim() {
+        assert_eq!(LlmModel::Bert.config().model_dim(), 768);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(format!("{}", LlmModel::Llama31), "Llama-3.1");
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload statistics — validating the synthetic-prompt substitution.
+//!
+//! The checker's arithmetic behaviour depends on a handful of workload
+//! statistics: the attention-score range (drives exp magnitudes), the
+//! softmax concentration (drives weight distributions and ℓ), and the
+//! value-matrix row sums (the checksum operands). This module computes
+//! them so tests and reports can show the synthetic workloads land in
+//! the same regimes as real post-LayerNorm activations.
+
+use crate::Workload;
+use fa_attention::AttentionConfig;
+
+/// Summary statistics of one workload's attention computation.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadStats {
+    /// Minimum scaled score over all query–key pairs.
+    pub score_min: f64,
+    /// Maximum scaled score.
+    pub score_max: f64,
+    /// Mean softmax entropy per query (nats); `ln N` = uniform,
+    /// 0 = one-hot.
+    pub mean_entropy: f64,
+    /// Mean |sumrow(V)| — the typical checksum operand magnitude.
+    pub mean_abs_sumrow: f64,
+    /// Largest |sumrow(V)|.
+    pub max_abs_sumrow: f64,
+}
+
+impl WorkloadStats {
+    /// Computes the statistics for a workload under the model's standard
+    /// scaled attention.
+    pub fn compute(workload: &Workload) -> Self {
+        let cfg = AttentionConfig::new(workload.head_dim());
+        let q = workload.q.to_f64();
+        let k = workload.k.to_f64();
+        let scores = fa_attention::naive::softmax_scores(&q, &k, &cfg);
+
+        // Raw score range needs the pre-softmax scores; recompute cheaply.
+        let mut score_min = f64::INFINITY;
+        let mut score_max = f64::NEG_INFINITY;
+        for i in 0..q.rows() {
+            for j in 0..k.rows() {
+                let s = fa_tensor::ops::dot_f64(q.row(i), k.row(j)) * cfg.scale();
+                score_min = score_min.min(s);
+                score_max = score_max.max(s);
+            }
+        }
+
+        let mut entropy_sum = 0.0;
+        for i in 0..scores.rows() {
+            let mut h = 0.0;
+            for &p in scores.row(i) {
+                if p > 0.0 {
+                    h -= p * p.ln();
+                }
+            }
+            entropy_sum += h;
+        }
+
+        let sumrows = workload.v.row_sums();
+        let mean_abs_sumrow =
+            sumrows.iter().map(|x| x.abs()).sum::<f64>() / sumrows.len() as f64;
+        let max_abs_sumrow = sumrows.iter().map(|x| x.abs()).fold(0.0, f64::max);
+
+        WorkloadStats {
+            score_min,
+            score_max,
+            mean_entropy: entropy_sum / scores.rows() as f64,
+            mean_abs_sumrow,
+            max_abs_sumrow,
+        }
+    }
+
+    /// Normalized softmax concentration in `[0, 1]`: 0 = uniform
+    /// attention, 1 = one-hot.
+    pub fn concentration(&self, seq_len: usize) -> f64 {
+        let uniform = (seq_len as f64).ln();
+        (1.0 - self.mean_entropy / uniform).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LlmModel, WorkloadSpec};
+    use fa_tensor::random::ElementDist;
+
+    fn stats_for(dist: ElementDist) -> (WorkloadStats, usize) {
+        let spec = WorkloadSpec {
+            seq_len: 48,
+            dist,
+            seed: 7,
+        };
+        let w = Workload::generate(&LlmModel::Bert.config(), spec);
+        (WorkloadStats::compute(&w), 48)
+    }
+
+    #[test]
+    fn gaussian_workload_is_in_the_realistic_regime() {
+        let (s, n) = stats_for(ElementDist::Gaussian { std_dev: 1.0 });
+        // Scaled scores of unit-Gaussian embeddings: O(±4) range.
+        assert!(s.score_min > -10.0 && s.score_max < 10.0, "{s:?}");
+        assert!(s.score_max > 0.5, "scores must have spread: {s:?}");
+        // Attention neither uniform nor one-hot.
+        let c = s.concentration(n);
+        assert!(c > 0.02 && c < 0.9, "concentration {c}");
+        // Checksum operands: |sumrow| ~ sqrt(d) = 8 for d=64.
+        assert!(s.mean_abs_sumrow > 1.0 && s.mean_abs_sumrow < 40.0, "{s:?}");
+        assert!(s.max_abs_sumrow >= s.mean_abs_sumrow);
+    }
+
+    #[test]
+    fn wider_distributions_concentrate_attention() {
+        let (narrow, n) = stats_for(ElementDist::Gaussian { std_dev: 0.5 });
+        let (wide, _) = stats_for(ElementDist::Gaussian { std_dev: 2.0 });
+        assert!(
+            wide.concentration(n) > narrow.concentration(n),
+            "wide {} vs narrow {}",
+            wide.concentration(n),
+            narrow.concentration(n)
+        );
+        assert!(wide.score_max > narrow.score_max);
+    }
+
+    #[test]
+    fn concentration_bounds() {
+        let (s, n) = stats_for(ElementDist::Uniform { lo: -0.01, hi: 0.01 });
+        // Nearly-zero scores: attention ~uniform, concentration ~0.
+        assert!(s.concentration(n) < 0.05, "{}", s.concentration(n));
+    }
+}

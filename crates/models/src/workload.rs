@@ -1,0 +1,163 @@
+//! Synthetic workload generation — the PromptBench substitute.
+//!
+//! Real Q/K/V matrices come from projecting token embeddings; after
+//! LayerNorm they are approximately zero-mean with unit-order scale. The
+//! generator produces BF16 Q/K/V with a configurable element
+//! distribution, a fixed seed per "prompt", and helpers to sweep
+//! distributions — demonstrating the checker's insensitivity to the input
+//! text that the paper obtains by construction from real prompts.
+
+use crate::configs::ModelConfig;
+use fa_numerics::BF16;
+use fa_tensor::{random::ElementDist, Matrix};
+
+/// Specification of one synthetic workload ("prompt").
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSpec {
+    /// Sequence length N (the paper uses 256).
+    pub seq_len: usize,
+    /// Element distribution for Q/K/V.
+    pub dist: ElementDist,
+    /// Base seed; Q, K and V derive distinct streams from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's operating point: N = 256, embedding-like Gaussian
+    /// elements, a fixed seed (the "same embedding prompt" for all
+    /// models).
+    pub fn paper(seed: u64) -> Self {
+        WorkloadSpec {
+            seq_len: 256,
+            dist: ElementDist::Gaussian { std_dev: 1.0 },
+            seed,
+        }
+    }
+
+    /// Distribution-sweep variants used to show input insensitivity.
+    pub fn sweep_variants(seed: u64) -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec {
+                seq_len: 256,
+                dist: ElementDist::Gaussian { std_dev: 0.5 },
+                seed,
+            },
+            WorkloadSpec {
+                seq_len: 256,
+                dist: ElementDist::Gaussian { std_dev: 2.0 },
+                seed,
+            },
+            WorkloadSpec {
+                seq_len: 256,
+                dist: ElementDist::Uniform { lo: -2.0, hi: 2.0 },
+                seed,
+            },
+            WorkloadSpec {
+                seq_len: 256,
+                dist: ElementDist::HeavyTail { scale: 1.0 },
+                seed,
+            },
+        ]
+    }
+}
+
+/// A generated Q/K/V triple in the accelerator's BF16 input format.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Query matrix (N×d).
+    pub q: Matrix<BF16>,
+    /// Key matrix (N×d).
+    pub k: Matrix<BF16>,
+    /// Value matrix (N×d).
+    pub v: Matrix<BF16>,
+    /// The spec that produced it.
+    pub spec: WorkloadSpec,
+}
+
+impl Workload {
+    /// Generates the workload for a model configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.seq_len == 0`.
+    pub fn generate(model: &ModelConfig, spec: WorkloadSpec) -> Self {
+        assert!(spec.seq_len > 0, "sequence length must be positive");
+        let d = model.head_dim;
+        let q = Matrix::random_seeded(spec.seq_len, d, spec.dist, spec.seed.wrapping_mul(3) + 1);
+        let k = Matrix::random_seeded(spec.seq_len, d, spec.dist, spec.seed.wrapping_mul(3) + 2);
+        let v = Matrix::random_seeded(spec.seq_len, d, spec.dist, spec.seed.wrapping_mul(3) + 3);
+        Workload { q, k, v, spec }
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.q.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::LlmModel;
+
+    #[test]
+    fn paper_spec_shape() {
+        let spec = WorkloadSpec::paper(42);
+        let w = Workload::generate(&LlmModel::Llama31.config(), spec);
+        assert_eq!(w.seq_len(), 256);
+        assert_eq!(w.head_dim(), 128);
+        assert_eq!(w.q.rows(), w.k.rows());
+        assert_eq!(w.k.rows(), w.v.rows());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = LlmModel::Bert.config();
+        let a = Workload::generate(&cfg, WorkloadSpec::paper(7));
+        let b = Workload::generate(&cfg, WorkloadSpec::paper(7));
+        assert_eq!(a.q, b.q);
+        assert_eq!(a.v, b.v);
+        let c = Workload::generate(&cfg, WorkloadSpec::paper(8));
+        assert_ne!(a.q, c.q);
+    }
+
+    #[test]
+    fn q_k_v_are_distinct_streams() {
+        let w = Workload::generate(&LlmModel::Bert.config(), WorkloadSpec::paper(1));
+        assert_ne!(w.q, w.k);
+        assert_ne!(w.k, w.v);
+    }
+
+    #[test]
+    fn elements_are_bf16_clean() {
+        let w = Workload::generate(&LlmModel::Bert.config(), WorkloadSpec::paper(2));
+        for &x in w.q.as_slice() {
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn sweep_variants_cover_distributions() {
+        let variants = WorkloadSpec::sweep_variants(9);
+        assert_eq!(variants.len(), 4);
+        let cfg = LlmModel::Bert.config();
+        for spec in variants {
+            let w = Workload::generate(&cfg, spec);
+            assert!(w.q.all_finite());
+            assert_eq!(w.seq_len(), 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length must be positive")]
+    fn zero_seq_len_panics() {
+        let mut spec = WorkloadSpec::paper(1);
+        spec.seq_len = 0;
+        let _ = Workload::generate(&LlmModel::Bert.config(), spec);
+    }
+}

@@ -1,0 +1,519 @@
+//! Bit-accurate BFloat16.
+//!
+//! BFloat16 is the upper half of an IEEE-754 `binary32`: 1 sign bit, 8
+//! exponent bits, 7 explicit mantissa bits. Conversion from `f32` rounds to
+//! nearest, ties to even — the same behaviour as Google TPU / Intel AVX-512
+//! BF16 hardware and what Catapult HLS synthesizes for the paper's
+//! accelerator. All arithmetic is performed by widening to `f32`, operating
+//! exactly, and rounding back, which is bit-identical to a fused
+//! convert-compute-convert hardware pipeline for single operations.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A bit-accurate BFloat16 value.
+///
+/// The in-memory representation is the raw 16-bit pattern, making it usable
+/// directly as a fault-injection target: flipping bit *k* of the storage is
+/// `BF16::from_bits(x.to_bits() ^ (1 << k))`.
+///
+/// # Example
+///
+/// ```
+/// use fa_numerics::BF16;
+/// let x = BF16::from_f32(0.1);
+/// // BF16 has ~3 decimal digits of precision.
+/// assert!((x.to_f32() - 0.1).abs() < 1e-3);
+/// ```
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct BF16(u16);
+
+impl BF16 {
+    /// Positive zero.
+    pub const ZERO: BF16 = BF16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: BF16 = BF16(0x8000);
+    /// One.
+    pub const ONE: BF16 = BF16(0x3F80);
+    /// Negative one.
+    pub const NEG_ONE: BF16 = BF16(0xBF80);
+    /// Positive infinity.
+    pub const INFINITY: BF16 = BF16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: BF16 = BF16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: BF16 = BF16(0x7FC0);
+    /// Smallest positive normal value (2⁻¹²⁶).
+    pub const MIN_POSITIVE: BF16 = BF16(0x0080);
+    /// Largest finite value (≈ 3.3895 × 10³⁸).
+    pub const MAX: BF16 = BF16(0x7F7F);
+    /// Most negative finite value.
+    pub const MIN: BF16 = BF16(0xFF7F);
+    /// Machine epsilon: the difference between 1.0 and the next larger
+    /// representable value (2⁻⁷ = 0.0078125).
+    pub const EPSILON: BF16 = BF16(0x3C00);
+
+    /// Number of storage bits; used by the fault injector to weight targets.
+    pub const BITS: u32 = 16;
+
+    /// Creates a value from its raw bit pattern.
+    ///
+    /// ```
+    /// use fa_numerics::BF16;
+    /// assert_eq!(BF16::from_bits(0x3F80), BF16::ONE);
+    /// ```
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        BF16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// This is the hardware truncation rule: take the upper 16 bits and
+    /// round based on the lower 16, with ties going to the even
+    /// significand. NaNs are preserved (quietened to avoid producing an
+    /// infinity bit pattern from a signalling NaN whose payload lives
+    /// entirely in the truncated half).
+    #[inline]
+    pub fn from_f32(value: f32) -> Self {
+        let x = value.to_bits();
+        if value.is_nan() {
+            // Preserve sign and the upper payload bits; force the quiet bit
+            // so a signalling NaN whose payload lived entirely in the
+            // truncated half does not become an infinity.
+            return BF16(((x >> 16) as u16) | 0x0040);
+        }
+        // Round-to-nearest-even: add 0x7FFF plus the LSB of the kept half,
+        // then truncate. Overflow carries into the exponent, correctly
+        // rounding up to the next binade or to infinity.
+        let lsb = (x >> 16) & 1;
+        let rounded = x.wrapping_add(0x0000_7FFF + lsb);
+        BF16((rounded >> 16) as u16)
+    }
+
+    /// Converts from `f64` (double rounding through `f32` is acceptable
+    /// here because the simulator always stages through `f32` exactly as a
+    /// widening hardware pipeline would).
+    #[inline]
+    pub fn from_f64(value: f64) -> Self {
+        Self::from_f32(value as f32)
+    }
+
+    /// Widens to `f32` exactly (BFloat16 ⊂ binary32, so this is lossless).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Widens to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Returns `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Returns `true` if this value is ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+
+    /// Returns `true` if this value is neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+
+    /// Returns `true` for subnormals (exponent all zeros, mantissa non-zero).
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & 0x7F80) == 0 && (self.0 & 0x007F) != 0
+    }
+
+    /// Returns `true` if the sign bit is set (including -0 and NaNs with
+    /// the sign bit set).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        BF16(self.0 & 0x7FFF)
+    }
+
+    /// Flips bit `bit` (0 = LSB of mantissa, 15 = sign) — the fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 16`.
+    #[inline]
+    pub fn with_flipped_bit(self, bit: u32) -> Self {
+        assert!(bit < 16, "BF16 has 16 bits, got bit index {bit}");
+        BF16(self.0 ^ (1 << bit))
+    }
+
+    /// The larger of two values, propagating NaN like hardware max units
+    /// (if either operand is NaN the result is NaN). The running-maximum
+    /// register in the FlashAttention-2 datapath behaves this way.
+    #[inline]
+    pub fn max_nan_propagating(self, other: Self) -> Self {
+        if self.is_nan() || other.is_nan() {
+            BF16::NAN
+        } else if self.to_f32() >= other.to_f32() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Exponential computed in the BF16 pipeline: widen, `exp`, round back.
+    /// The accelerator's exp unit (see [`crate::exp`]) is validated against
+    /// this reference.
+    #[inline]
+    pub fn exp(self) -> Self {
+        BF16::from_f32(self.to_f32().exp())
+    }
+}
+
+impl fmt::Debug for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BF16({}; 0x{:04X})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::LowerHex for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl PartialEq for BF16 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for BF16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f32> for BF16 {
+    fn from(value: f32) -> Self {
+        BF16::from_f32(value)
+    }
+}
+
+impl From<BF16> for f32 {
+    fn from(value: BF16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl From<BF16> for f64 {
+    fn from(value: BF16) -> Self {
+        value.to_f64()
+    }
+}
+
+macro_rules! bf16_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for BF16 {
+            type Output = BF16;
+            #[inline]
+            fn $method(self, rhs: BF16) -> BF16 {
+                BF16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for BF16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: BF16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+bf16_binop!(Add, add, +, AddAssign, add_assign);
+bf16_binop!(Sub, sub, -, SubAssign, sub_assign);
+bf16_binop!(Mul, mul, *, MulAssign, mul_assign);
+bf16_binop!(Div, div, /, DivAssign, div_assign);
+
+impl Neg for BF16 {
+    type Output = BF16;
+    #[inline]
+    fn neg(self) -> BF16 {
+        BF16(self.0 ^ 0x8000)
+    }
+}
+
+impl Sum for BF16 {
+    fn sum<I: Iterator<Item = BF16>>(iter: I) -> Self {
+        iter.fold(BF16::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl Product for BF16 {
+    fn product<I: Iterator<Item = BF16>>(iter: I) -> Self {
+        iter.fold(BF16::ONE, |acc, x| acc * x)
+    }
+}
+
+impl serde::Serialize for BF16 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(self.to_f32())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BF16 {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f32::deserialize(deserializer).map(BF16::from_f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_bit_patterns() {
+        assert_eq!(BF16::ZERO.to_bits(), 0x0000);
+        assert_eq!(BF16::ONE.to_f32(), 1.0);
+        assert_eq!(BF16::NEG_ONE.to_f32(), -1.0);
+        assert!(BF16::INFINITY.is_infinite());
+        assert!(BF16::NEG_INFINITY.is_infinite());
+        assert!(BF16::NAN.is_nan());
+        assert_eq!(BF16::EPSILON.to_f32(), 2.0f32.powi(-7));
+        assert_eq!(BF16::MAX.to_f32(), 3.3895314e38);
+    }
+
+    #[test]
+    fn roundtrip_exact_values() {
+        // All values with ≤7 mantissa bits survive a roundtrip exactly.
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1.5, 100.0, -0.375, 1024.0] {
+            assert_eq!(BF16::from_f32(v).to_f32(), v, "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn rne_rounds_ties_to_even() {
+        // 1.0 + eps/2 lies exactly between 1.0 (even mantissa) and 1.0+eps.
+        let tie = f32::from_bits(0x3F80_8000); // 1.00390625
+        assert_eq!(BF16::from_f32(tie).to_bits(), 0x3F80, "tie rounds to even");
+        // The next tie above an odd mantissa rounds up to even.
+        let tie_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(BF16::from_f32(tie_odd).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        // Slightly above a tie rounds up; slightly below rounds down.
+        let up = f32::from_bits(0x3F80_8001);
+        assert_eq!(BF16::from_f32(up).to_bits(), 0x3F81);
+        let down = f32::from_bits(0x3F80_7FFF);
+        assert_eq!(BF16::from_f32(down).to_bits(), 0x3F80);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        // f32::MAX is far beyond BF16::MAX and must round to +inf.
+        assert!(BF16::from_f32(f32::MAX).is_infinite());
+        assert!(BF16::from_f32(f32::MIN).is_infinite());
+        assert!(BF16::from_f32(f32::MIN).is_sign_negative());
+        // Large finite values below the rounding boundary stay finite.
+        assert_eq!(BF16::from_f32(BF16::MAX.to_f32()).to_bits(), BF16::MAX.to_bits());
+        assert!(BF16::from_f32(3.38e38).is_finite());
+    }
+
+    #[test]
+    fn nan_is_preserved_and_quiet() {
+        let n = BF16::from_f32(f32::NAN);
+        assert!(n.is_nan());
+        // A NaN whose payload is entirely in the low 16 bits must stay NaN.
+        let sneaky = f32::from_bits(0x7F80_0001);
+        assert!(sneaky.is_nan());
+        assert!(BF16::from_f32(sneaky).is_nan());
+    }
+
+    #[test]
+    fn arithmetic_matches_f32_with_rounding() {
+        let a = BF16::from_f32(1.5);
+        let b = BF16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((a - b).to_f32(), -0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+    }
+
+    #[test]
+    fn neg_flips_only_sign_bit() {
+        let x = BF16::from_f32(2.75);
+        assert_eq!((-x).to_bits(), x.to_bits() ^ 0x8000);
+        assert_eq!((-BF16::NAN).to_bits(), BF16::NAN.to_bits() ^ 0x8000);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let x = BF16::from_f32(1.0);
+        for bit in 0..16 {
+            let y = x.with_flipped_bit(bit);
+            assert_eq!((x.to_bits() ^ y.to_bits()).count_ones(), 1);
+            assert_eq!(y.with_flipped_bit(bit).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bits")]
+    fn bit_flip_out_of_range_panics() {
+        let _ = BF16::ONE.with_flipped_bit(16);
+    }
+
+    #[test]
+    fn sign_bit_flip_negates() {
+        let x = BF16::from_f32(3.5);
+        assert_eq!(x.with_flipped_bit(15).to_f32(), -3.5);
+    }
+
+    #[test]
+    fn exponent_msb_flip_is_catastrophic() {
+        // Flipping the exponent MSB of 1.0 (0x3F80) gives 0xBF80? No:
+        // bit 14 is the exponent MSB. 0x3F80 ^ 0x4000 = 0x7F80 = +inf.
+        let x = BF16::ONE.with_flipped_bit(14);
+        assert!(x.is_infinite());
+    }
+
+    #[test]
+    fn subnormals_classify() {
+        let tiny = BF16::from_bits(0x0001);
+        assert!(tiny.is_subnormal());
+        assert!(tiny.is_finite());
+        assert!(!tiny.is_nan());
+        assert!(tiny.to_f32() > 0.0);
+    }
+
+    #[test]
+    fn max_nan_propagating_behaviour() {
+        let a = BF16::from_f32(1.0);
+        let b = BF16::from_f32(2.0);
+        assert_eq!(a.max_nan_propagating(b), b);
+        assert_eq!(b.max_nan_propagating(a), b);
+        assert!(a.max_nan_propagating(BF16::NAN).is_nan());
+        assert!(BF16::NAN.max_nan_propagating(a).is_nan());
+    }
+
+    #[test]
+    fn sum_and_product_fold_in_order() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0].map(BF16::from_f32);
+        assert_eq!(xs.iter().copied().sum::<BF16>().to_f32(), 10.0);
+        assert_eq!(xs.iter().copied().product::<BF16>().to_f32(), 24.0);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", BF16::ONE), "1");
+        assert!(format!("{:?}", BF16::ZERO).contains("0x0000"));
+        assert_eq!(format!("{:04X}", BF16::ONE), "3F80");
+    }
+
+    #[test]
+    fn exp_widens_and_rounds() {
+        let e = BF16::ONE.exp();
+        assert!((e.to_f32() - std::f32::consts::E).abs() < 0.02);
+        // exp(-inf) = 0, exp(+inf) = +inf, exp(NaN) = NaN.
+        assert_eq!(BF16::NEG_INFINITY.exp(), BF16::ZERO);
+        assert!(BF16::INFINITY.exp().is_infinite());
+        assert!(BF16::NAN.exp().is_nan());
+    }
+
+    #[test]
+    fn abs_clears_sign() {
+        assert_eq!(BF16::from_f32(-2.5).abs().to_f32(), 2.5);
+        assert_eq!(BF16::NEG_ZERO.abs().to_bits(), 0x0000);
+    }
+}
+
+#[cfg(test)]
+mod exhaustive_tests {
+    use super::*;
+
+    /// Every one of the 65 536 bit patterns survives decode → encode
+    /// bit-exactly (NaNs keep their quiet form). This is the total
+    /// correctness guarantee the fault injector relies on: a flipped
+    /// register pattern decodes to exactly the value hardware would hold.
+    #[test]
+    fn all_patterns_roundtrip() {
+        for bits in 0..=u16::MAX {
+            let v = BF16::from_bits(bits);
+            if v.is_nan() {
+                assert!(BF16::from_f32(v.to_f32()).is_nan(), "0x{bits:04X}");
+                continue;
+            }
+            let round = BF16::from_f32(v.to_f32());
+            assert_eq!(round.to_bits(), bits, "0x{bits:04X}");
+        }
+    }
+
+    /// Decoding is monotone over the positive range ordered by bit
+    /// pattern (IEEE ordering property), and symmetric for negatives.
+    #[test]
+    fn positive_patterns_decode_monotonically() {
+        let mut prev = f32::NEG_INFINITY;
+        for bits in 0..0x7F80u16 {
+            let v = BF16::from_bits(bits).to_f32();
+            assert!(v > prev, "0x{bits:04X}: {v} !> {prev}");
+            prev = v;
+        }
+    }
+
+    /// Every finite pattern's f32 widening is exact: converting back via
+    /// truncation (no rounding needed) recovers the pattern.
+    #[test]
+    fn widening_is_exact_truncation() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let v = BF16::from_bits(bits);
+            if !v.is_finite() {
+                continue;
+            }
+            let wide = v.to_f32().to_bits();
+            assert_eq!(wide & 0xFFFF, 0, "0x{bits:04X} has low bits set");
+            assert_eq!((wide >> 16) as u16, bits);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Floating-point bit manipulation and classification.
+//!
+//! The fault model of the paper flips a uniformly random bit of a uniformly
+//! random storage element at a random clock cycle (§IV-B). Storage elements
+//! in the simulated accelerator hold either BFloat16 (datapath registers) or
+//! `f64` (the running sum-of-exponents ℓ and every checksum accumulator), so
+//! this module provides flip/classify helpers for both widths plus ULP
+//! distance used by tolerance checks and tests.
+
+use crate::BF16;
+
+/// Width of a storage element, in bits, as seen by the fault injector.
+///
+/// ```
+/// use fa_numerics::bits::StorageWidth;
+/// assert_eq!(StorageWidth::Bf16.bits(), 16);
+/// assert_eq!(StorageWidth::F64.bits(), 64);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StorageWidth {
+    /// A 16-bit BFloat16 register.
+    Bf16,
+    /// A 64-bit double-precision register.
+    F64,
+}
+
+impl StorageWidth {
+    /// Number of bits in a register of this width.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            StorageWidth::Bf16 => 16,
+            StorageWidth::F64 => 64,
+        }
+    }
+}
+
+/// Flips bit `bit` of an `f64` (0 = mantissa LSB, 63 = sign).
+///
+/// # Panics
+///
+/// Panics if `bit >= 64`.
+///
+/// ```
+/// use fa_numerics::bits::flip_f64_bit;
+/// assert_eq!(flip_f64_bit(1.0, 63), -1.0);
+/// ```
+#[inline]
+pub fn flip_f64_bit(value: f64, bit: u32) -> f64 {
+    assert!(bit < 64, "f64 has 64 bits, got bit index {bit}");
+    f64::from_bits(value.to_bits() ^ (1u64 << bit))
+}
+
+/// Flips bit `bit` of an `f32` (0 = mantissa LSB, 31 = sign).
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+#[inline]
+pub fn flip_f32_bit(value: f32, bit: u32) -> f32 {
+    assert!(bit < 32, "f32 has 32 bits, got bit index {bit}");
+    f32::from_bits(value.to_bits() ^ (1u32 << bit))
+}
+
+/// IEEE-754 class of a value, used to report *why* a fault went silent
+/// (the paper's category 3 explicitly calls out bit flips that produce
+/// "invalid floating point numbers such as NaN").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FpClass {
+    /// Normal finite number.
+    Normal,
+    /// Subnormal finite number.
+    Subnormal,
+    /// Positive or negative zero.
+    Zero,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Not a number.
+    Nan,
+}
+
+/// Classifies an `f64`.
+///
+/// ```
+/// use fa_numerics::bits::{classify_f64, FpClass};
+/// assert_eq!(classify_f64(1.0), FpClass::Normal);
+/// assert_eq!(classify_f64(f64::NAN), FpClass::Nan);
+/// ```
+#[inline]
+pub fn classify_f64(value: f64) -> FpClass {
+    use std::num::FpCategory;
+    match value.classify() {
+        FpCategory::Nan => FpClass::Nan,
+        FpCategory::Infinite => FpClass::Infinite,
+        FpCategory::Zero => FpClass::Zero,
+        FpCategory::Subnormal => FpClass::Subnormal,
+        FpCategory::Normal => FpClass::Normal,
+    }
+}
+
+/// Classifies a [`BF16`].
+#[inline]
+pub fn classify_bf16(value: BF16) -> FpClass {
+    if value.is_nan() {
+        FpClass::Nan
+    } else if value.is_infinite() {
+        FpClass::Infinite
+    } else if value.to_bits() & 0x7FFF == 0 {
+        FpClass::Zero
+    } else if value.is_subnormal() {
+        FpClass::Subnormal
+    } else {
+        FpClass::Normal
+    }
+}
+
+/// Distance in units-in-the-last-place between two `f64`s sharing a sign.
+///
+/// Returns `None` when either input is NaN or the signs differ (ULP
+/// distance across zero is not meaningful for our tolerance checks).
+pub fn ulp_distance_f64(a: f64, b: f64) -> Option<u64> {
+    if a.is_nan() || b.is_nan() {
+        return None;
+    }
+    if a.is_sign_negative() != b.is_sign_negative() {
+        return if a == b { Some(0) } else { None }; // ±0 case
+    }
+    let (x, y) = (a.to_bits() & !(1 << 63), b.to_bits() & !(1 << 63));
+    Some(x.abs_diff(y))
+}
+
+/// The magnitude of the value change caused by flipping a given bit,
+/// relative to the original magnitude. Infinite for flips that produce
+/// NaN/Inf from finite values. Used by tests to verify that high exponent
+/// bits dominate error magnitude.
+pub fn relative_flip_impact_f64(value: f64, bit: u32) -> f64 {
+    let flipped = flip_f64_bit(value, bit);
+    if !flipped.is_finite() || !value.is_finite() {
+        return f64::INFINITY;
+    }
+    if value == 0.0 {
+        return flipped.abs();
+    }
+    ((flipped - value) / value).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_width_bits() {
+        assert_eq!(StorageWidth::Bf16.bits(), 16);
+        assert_eq!(StorageWidth::F64.bits(), 64);
+    }
+
+    #[test]
+    fn flip_f64_sign_bit() {
+        assert_eq!(flip_f64_bit(2.5, 63), -2.5);
+        assert_eq!(flip_f64_bit(-2.5, 63), 2.5);
+    }
+
+    #[test]
+    fn flip_f64_mantissa_lsb_is_one_ulp() {
+        let x = 1.0f64;
+        let y = flip_f64_bit(x, 0);
+        assert_eq!(ulp_distance_f64(x, y), Some(1));
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let x = 123.456f64;
+        for bit in [0, 17, 35, 52, 62, 63] {
+            assert_eq!(flip_f64_bit(flip_f64_bit(x, bit), bit), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn flip_f64_out_of_range_panics() {
+        let _ = flip_f64_bit(1.0, 64);
+    }
+
+    #[test]
+    fn flip_f32_works() {
+        assert_eq!(flip_f32_bit(1.5f32, 31), -1.5f32);
+        assert_eq!(flip_f32_bit(flip_f32_bit(0.1f32, 5), 5), 0.1f32);
+    }
+
+    #[test]
+    fn exponent_flip_creates_inf_or_huge() {
+        // 1.0 has exponent 0x3FF; flipping exponent bit 62 gives 0x7FF... -> huge or inf
+        let y = flip_f64_bit(1.0, 62);
+        assert!(!(0.0..=1e300).contains(&y) || y.is_infinite());
+    }
+
+    #[test]
+    fn classify_covers_all_classes() {
+        assert_eq!(classify_f64(1.0), FpClass::Normal);
+        assert_eq!(classify_f64(0.0), FpClass::Zero);
+        assert_eq!(classify_f64(-0.0), FpClass::Zero);
+        assert_eq!(classify_f64(f64::INFINITY), FpClass::Infinite);
+        assert_eq!(classify_f64(f64::NAN), FpClass::Nan);
+        assert_eq!(classify_f64(f64::MIN_POSITIVE / 2.0), FpClass::Subnormal);
+    }
+
+    #[test]
+    fn classify_bf16_covers_all_classes() {
+        assert_eq!(classify_bf16(BF16::ONE), FpClass::Normal);
+        assert_eq!(classify_bf16(BF16::ZERO), FpClass::Zero);
+        assert_eq!(classify_bf16(BF16::NEG_ZERO), FpClass::Zero);
+        assert_eq!(classify_bf16(BF16::INFINITY), FpClass::Infinite);
+        assert_eq!(classify_bf16(BF16::NAN), FpClass::Nan);
+        assert_eq!(classify_bf16(BF16::from_bits(0x0001)), FpClass::Subnormal);
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance_f64(1.0, 1.0), Some(0));
+        assert_eq!(ulp_distance_f64(1.0, f64::from_bits(1.0f64.to_bits() + 3)), Some(3));
+        assert_eq!(ulp_distance_f64(f64::NAN, 1.0), None);
+        assert_eq!(ulp_distance_f64(-1.0, 1.0), None);
+        assert_eq!(ulp_distance_f64(0.0, -0.0), Some(0));
+    }
+
+    #[test]
+    fn relative_impact_grows_with_bit_position() {
+        let v = 1.2345f64;
+        let low = relative_flip_impact_f64(v, 0);
+        let mid = relative_flip_impact_f64(v, 40);
+        let high = relative_flip_impact_f64(v, 61);
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+    }
+
+    #[test]
+    fn relative_impact_inf_for_nan_producing_flips() {
+        // Flip every exponent bit of 1.0 at once is not possible with one
+        // flip, but bit 62 on a large number overflows to inf.
+        let huge = f64::MAX;
+        assert!(relative_flip_impact_f64(huge, 62).is_infinite() || relative_flip_impact_f64(huge, 62) > 0.0);
+        assert!(relative_flip_impact_f64(f64::INFINITY, 0).is_infinite());
+    }
+}

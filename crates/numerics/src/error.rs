@@ -1,0 +1,183 @@
+//! NaN-aware tolerance comparison — the detection rule of the paper.
+//!
+//! Flash-ABFT raises an alarm when the predicted checksum differs from the
+//! actual output checksum "by more than 10⁻⁶" (§IV-B). A hardware comparator
+//! implementing `|a − b| > τ` evaluates to *false* whenever the difference
+//! is NaN, which is exactly why the paper's category 3 ("Silent") includes
+//! faults that produce invalid floating-point values: the comparison can
+//! never fire on NaN. This module encodes those semantics precisely so the
+//! fault-injection results inherit them.
+
+/// Detection threshold configuration.
+///
+/// The paper uses an absolute bound of 10⁻⁶ "found experimentally"; a
+/// relative variant is provided for the threshold-sweep ablation.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Tolerance {
+    /// Alarm when `|a − b| > bound`.
+    Absolute(f64),
+    /// Alarm when `|a − b| > bound · max(|a|, |b|, floor)`; `floor`
+    /// prevents a zero reference from making every discrepancy relative to
+    /// nothing.
+    Relative {
+        /// Relative bound.
+        bound: f64,
+        /// Magnitude floor for the scale factor.
+        floor: f64,
+    },
+}
+
+impl Tolerance {
+    /// The paper's operating point: absolute 10⁻⁶.
+    pub const PAPER: Tolerance = Tolerance::Absolute(1e-6);
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance::PAPER
+    }
+}
+
+/// Result of comparing a predicted checksum against an actual one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CheckOutcome {
+    /// Discrepancy within tolerance: no alarm.
+    Pass,
+    /// Discrepancy exceeds tolerance: alarm raised.
+    Alarm,
+    /// The difference is NaN (either side NaN, or ∞ − ∞): a hardware
+    /// magnitude comparator does **not** fire. Distinguished from `Pass`
+    /// so campaigns can attribute silence to invalid arithmetic.
+    NanSilent,
+}
+
+impl CheckOutcome {
+    /// Whether the checker flagged an error.
+    #[inline]
+    pub fn is_alarm(self) -> bool {
+        matches!(self, CheckOutcome::Alarm)
+    }
+}
+
+/// Compares with an absolute bound, with hardware comparator semantics.
+///
+/// ```
+/// use fa_numerics::{check_abs, CheckOutcome};
+/// assert_eq!(check_abs(1.0, 1.0 + 1e-9, 1e-6), CheckOutcome::Pass);
+/// assert_eq!(check_abs(1.0, 1.1, 1e-6), CheckOutcome::Alarm);
+/// assert_eq!(check_abs(f64::NAN, 1.0, 1e-6), CheckOutcome::NanSilent);
+/// ```
+pub fn check_abs(predicted: f64, actual: f64, bound: f64) -> CheckOutcome {
+    let diff = (predicted - actual).abs();
+    if diff.is_nan() {
+        CheckOutcome::NanSilent
+    } else if diff > bound {
+        CheckOutcome::Alarm
+    } else {
+        CheckOutcome::Pass
+    }
+}
+
+/// Compares with a relative bound (see [`Tolerance::Relative`]).
+pub fn check_rel(predicted: f64, actual: f64, bound: f64, floor: f64) -> CheckOutcome {
+    let diff = (predicted - actual).abs();
+    if diff.is_nan() {
+        return CheckOutcome::NanSilent;
+    }
+    let scale = predicted.abs().max(actual.abs()).max(floor);
+    if diff > bound * scale {
+        CheckOutcome::Alarm
+    } else {
+        CheckOutcome::Pass
+    }
+}
+
+impl Tolerance {
+    /// Applies this tolerance to a predicted/actual pair.
+    pub fn check(&self, predicted: f64, actual: f64) -> CheckOutcome {
+        match *self {
+            Tolerance::Absolute(bound) => check_abs(predicted, actual, bound),
+            Tolerance::Relative { bound, floor } => check_rel(predicted, actual, bound, floor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tolerance_is_1e6_absolute() {
+        assert_eq!(Tolerance::PAPER, Tolerance::Absolute(1e-6));
+        assert_eq!(Tolerance::default(), Tolerance::PAPER);
+    }
+
+    #[test]
+    fn abs_check_boundary() {
+        // Exactly at the bound: no alarm ("more than 1e-6").
+        assert_eq!(check_abs(0.0, 1e-6, 1e-6), CheckOutcome::Pass);
+        assert_eq!(check_abs(0.0, 1.0000001e-6, 1e-6), CheckOutcome::Alarm);
+    }
+
+    #[test]
+    fn nan_never_alarms() {
+        assert_eq!(check_abs(f64::NAN, 0.0, 1e-6), CheckOutcome::NanSilent);
+        assert_eq!(check_abs(0.0, f64::NAN, 1e-6), CheckOutcome::NanSilent);
+        assert_eq!(
+            check_abs(f64::INFINITY, f64::INFINITY, 1e-6),
+            CheckOutcome::NanSilent,
+            "inf - inf is NaN: comparator silent"
+        );
+    }
+
+    #[test]
+    fn mismatched_infinities_do_alarm() {
+        // inf - finite = inf > bound: the comparator fires.
+        assert_eq!(check_abs(f64::INFINITY, 1.0, 1e-6), CheckOutcome::Alarm);
+        assert_eq!(
+            check_abs(f64::NEG_INFINITY, f64::INFINITY, 1e-6),
+            CheckOutcome::Alarm
+        );
+    }
+
+    #[test]
+    fn relative_check_scales() {
+        // 0.1% discrepancy on a value of 1e6 passes a 1% relative bound
+        // but would fail the absolute paper bound.
+        assert_eq!(
+            check_rel(1e6, 1e6 + 1e3, 0.01, 1e-30),
+            CheckOutcome::Pass
+        );
+        assert_eq!(check_abs(1e6, 1e6 + 1e3, 1e-6), CheckOutcome::Alarm);
+        assert_eq!(
+            check_rel(1e6, 1.2e6, 0.01, 1e-30),
+            CheckOutcome::Alarm
+        );
+    }
+
+    #[test]
+    fn relative_floor_handles_zero_reference() {
+        // Both near zero: floor keeps tiny noise from alarming.
+        assert_eq!(check_rel(0.0, 1e-12, 1e-6, 1.0), CheckOutcome::Pass);
+        assert_eq!(check_rel(0.0, 1e-3, 1e-6, 1.0), CheckOutcome::Alarm);
+    }
+
+    #[test]
+    fn tolerance_dispatch() {
+        let t = Tolerance::Absolute(1e-6);
+        assert!(t.check(1.0, 2.0).is_alarm());
+        let r = Tolerance::Relative {
+            bound: 1e-3,
+            floor: 1e-30,
+        };
+        assert!(!r.check(1000.0, 1000.5).is_alarm());
+        assert!(r.check(1000.0, 1002.0).is_alarm());
+    }
+
+    #[test]
+    fn outcome_is_alarm() {
+        assert!(CheckOutcome::Alarm.is_alarm());
+        assert!(!CheckOutcome::Pass.is_alarm());
+        assert!(!CheckOutcome::NanSilent.is_alarm());
+    }
+}

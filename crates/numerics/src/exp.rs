@@ -1,0 +1,273 @@
+//! Hardware-style exponential units.
+//!
+//! The FlashAttention-2 datapath evaluates `exp(s_i − m_i)` and
+//! `exp(m_{i−1} − m_i)` every cycle (Alg. 2/3 of the paper). An HLS flow
+//! maps these onto either a range-reduced polynomial evaluator or a
+//! lookup-table unit. Both are modelled here, and both operate on
+//! **non-positive** arguments only — online softmax guarantees
+//! `s_i − m_i ≤ 0` and `m_{i−1} − m_i ≤ 0` — which hardware exploits
+//! because the result is always in `(0, 1]`.
+//!
+//! Faults can make arguments positive (a flipped sign bit in a score
+//! register), so the units must also behave sensibly out of range; we
+//! follow hardware practice and evaluate correctly rather than clamping,
+//! since a multiplier/adder pipeline has no range check.
+
+use crate::BF16;
+
+/// log2(e), used for base-2 range reduction.
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+/// ln(2).
+const LN_2: f64 = std::f64::consts::LN_2;
+
+/// A software model of a hardware exponential unit.
+///
+/// Both implementations take and return `f64` internally; the BF16 entry
+/// point [`ExpUnit::eval_bf16`] rounds the result to BFloat16 exactly as
+/// the datapath would.
+pub trait ExpUnit: std::fmt::Debug {
+    /// Evaluates `e^x`.
+    fn eval(&self, x: f64) -> f64;
+
+    /// Evaluates `e^x` in the BF16 pipeline: the argument is a BF16
+    /// register value and the result is rounded back to BF16.
+    fn eval_bf16(&self, x: BF16) -> BF16 {
+        BF16::from_f64(self.eval(x.to_f64()))
+    }
+
+    /// Maximum relative error of this unit against libm `exp` over the
+    /// softmax-relevant domain `[-88, 0]`, measured by dense sampling.
+    /// Exposed so tests and the area model can reason about accuracy/cost.
+    fn max_relative_error(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        let mut x = -88.0f64;
+        while x <= 0.0 {
+            let exact = x.exp();
+            if exact > 0.0 {
+                let got = self.eval(x);
+                worst = worst.max(((got - exact) / exact).abs());
+            }
+            x += 0.0137; // irrational-ish step to avoid hitting only breakpoints
+        }
+        worst
+    }
+}
+
+/// Range-reduced polynomial exponential: `e^x = 2^k · 2^f` with
+/// `x·log2(e) = k + f`, `f ∈ [-0.5, 0.5)`, and `2^f` evaluated by a
+/// degree-5 minimax-style polynomial. This is what Catapult HLS typically
+/// produces for `exp` on a shared FP pipeline.
+///
+/// ```
+/// use fa_numerics::exp::{ExpUnit, PolyExp};
+/// let unit = PolyExp::new();
+/// let y = unit.eval(-1.0);
+/// assert!((y - (-1.0f64).exp()).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolyExp;
+
+impl PolyExp {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        PolyExp
+    }
+}
+
+impl ExpUnit for PolyExp {
+    fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        if x <= -746.0 {
+            return 0.0; // underflow of e^x in f64
+        }
+        if x >= 710.0 {
+            return f64::INFINITY;
+        }
+        let t = x * LOG2_E;
+        let k = t.round();
+        let f = t - k; // f in [-0.5, 0.5]
+        let z = f * LN_2; // e^x = 2^k * e^z, |z| <= ln2/2
+        // Degree-9 Taylor polynomial for e^z; |z| ≤ 0.3466 keeps the
+        // truncation error below 1e-11 relative.
+        let p = 1.0
+            + z * (1.0
+                + z * (0.5
+                    + z * (1.0 / 6.0
+                        + z * (1.0 / 24.0
+                            + z * (1.0 / 120.0
+                                + z * (1.0 / 720.0
+                                    + z * (1.0 / 5040.0
+                                        + z * (1.0 / 40320.0
+                                            + z * (1.0 / 362880.0)))))))));
+        // Scale by 2^k exactly via exponent manipulation.
+        let ik = k as i32;
+        scale_by_pow2(p, ik)
+    }
+}
+
+/// Table-driven exponential: `e^x = 2^k · T1[i] · T2[j] · poly(r)` where the
+/// fractional part is split into a coarse index `i` (64-entry table), a fine
+/// index `j` (64-entry table) and a tiny residual `r` handled by a
+/// degree-2 polynomial. This mirrors LUT-based exp units used in
+/// fixed-latency accelerator datapaths.
+#[derive(Clone, Debug)]
+pub struct TableExp {
+    coarse: [f64; 64],
+    fine: [f64; 64],
+}
+
+impl Default for TableExp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TableExp {
+    /// Builds the two 64-entry tables: `coarse[i] = 2^(i/64)`,
+    /// `fine[j] = 2^(j/4096)`.
+    pub fn new() -> Self {
+        let mut coarse = [0.0; 64];
+        let mut fine = [0.0; 64];
+        for i in 0..64 {
+            coarse[i] = 2f64.powf(i as f64 / 64.0);
+            fine[i] = 2f64.powf(i as f64 / 4096.0);
+        }
+        TableExp { coarse, fine }
+    }
+}
+
+impl ExpUnit for TableExp {
+    fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        if x <= -746.0 {
+            return 0.0;
+        }
+        if x >= 710.0 {
+            return f64::INFINITY;
+        }
+        let t = x * LOG2_E; // e^x = 2^t
+        let k = t.floor();
+        let frac = t - k; // in [0, 1)
+        let scaled = frac * 4096.0;
+        let idx = scaled as usize; // 0..4095
+        let i = idx >> 6; // coarse: top 6 bits
+        let j = idx & 63; // fine: bottom 6 bits
+        let r = (scaled - idx as f64) / 4096.0 * LN_2; // residual, |r| < ln2/4096
+        let poly = 1.0 + r * (1.0 + 0.5 * r);
+        scale_by_pow2(self.coarse[i] * self.fine[j] * poly, k as i32)
+    }
+}
+
+/// Multiplies `x` by 2^k using exponent arithmetic (`ldexp`), saturating to
+/// 0 or infinity. This is the "shift the exponent field" operation a
+/// hardware unit performs for free.
+#[inline]
+pub fn scale_by_pow2(x: f64, k: i32) -> f64 {
+    // f64 exponent range is wide; build 2^k in at most two steps to avoid
+    // overflow of the intermediate for extreme k.
+    if k >= -1022 && k <= 1023 {
+        x * f64::from_bits(((k + 1023) as u64) << 52)
+    } else if k > 1023 {
+        let hi = x * f64::from_bits(((1023 + 1023) as u64) << 52);
+        hi * f64::from_bits((((k - 1023) + 1023).clamp(0, 2046) as u64) << 52)
+    } else {
+        let lo = x * f64::from_bits(1u64 << 52); // 2^-1022... use subnormal-safe two-step
+        lo * f64::from_bits((((k + 1022) + 1023).clamp(0, 2046) as u64) << 52)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_rel_close(a: f64, b: f64, tol: f64) {
+        if b == 0.0 {
+            assert!(a.abs() < 1e-300, "{a} vs {b}");
+        } else {
+            assert!(((a - b) / b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn poly_exp_matches_libm_on_softmax_domain() {
+        let unit = PolyExp::new();
+        for i in 0..=2000 {
+            let x = -20.0 * i as f64 / 2000.0;
+            assert_rel_close(unit.eval(x), x.exp(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_exp_matches_libm_on_softmax_domain() {
+        let unit = TableExp::new();
+        for i in 0..=2000 {
+            let x = -30.0 * i as f64 / 2000.0;
+            assert_rel_close(unit.eval(x), x.exp(), 1e-7);
+        }
+    }
+
+    #[test]
+    fn units_handle_positive_arguments() {
+        // Faults can flip sign bits, sending positive args into the unit.
+        let poly = PolyExp::new();
+        let table = TableExp::new();
+        for x in [0.5, 3.0, 20.0, 80.0] {
+            assert_rel_close(poly.eval(x), x.exp(), 1e-9);
+            assert_rel_close(table.eval(x), x.exp(), 1e-6);
+        }
+    }
+
+    #[test]
+    fn units_handle_specials() {
+        for unit in [&PolyExp::new() as &dyn ExpUnit, &TableExp::new()] {
+            assert!(unit.eval(f64::NAN).is_nan());
+            assert_eq!(unit.eval(f64::NEG_INFINITY), 0.0);
+            assert_eq!(unit.eval(f64::INFINITY), f64::INFINITY);
+            assert_eq!(unit.eval(-1000.0), 0.0);
+            assert_eq!(unit.eval(1000.0), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn exp_zero_is_one_exactly() {
+        assert_eq!(PolyExp::new().eval(0.0), 1.0);
+        assert_eq!(TableExp::new().eval(0.0), 1.0);
+    }
+
+    #[test]
+    fn bf16_entry_point_rounds() {
+        let unit = PolyExp::new();
+        let y = unit.eval_bf16(BF16::from_f32(-0.5));
+        let exact = BF16::from_f64((-0.5f64).exp());
+        assert_eq!(y.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn reported_max_relative_error_is_small() {
+        assert!(PolyExp::new().max_relative_error() < 1e-8);
+        assert!(TableExp::new().max_relative_error() < 1e-6);
+    }
+
+    #[test]
+    fn scale_by_pow2_matches_powi() {
+        for k in [-100, -1, 0, 1, 7, 100, 1000] {
+            assert_eq!(scale_by_pow2(1.5, k), 1.5 * 2f64.powi(k));
+        }
+    }
+
+    #[test]
+    fn scale_by_pow2_saturates() {
+        assert_eq!(scale_by_pow2(1.0, 2000), f64::INFINITY);
+        assert_eq!(scale_by_pow2(1.0, -1200), 0.0);
+    }
+}

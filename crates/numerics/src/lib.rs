@@ -1,0 +1,50 @@
+//! # fa-numerics
+//!
+//! Bit-accurate numerics substrate for the Flash-ABFT reproduction.
+//!
+//! The paper's accelerator datapath computes in **BFloat16** while every
+//! checksum accumulator is kept in **double precision** ("Arithmetic
+//! operators inside the accelerator refer to reduced precision BFloat16
+//! format, while all checksum accumulators are built with double-precision
+//! floats", §IV-A). Reproducing the fault-injection results therefore
+//! requires a software BFloat16 that matches hardware behaviour bit for bit:
+//! rounding (round-to-nearest-even), overflow to infinity, NaN propagation,
+//! and subnormal handling.
+//!
+//! This crate provides:
+//!
+//! * [`BF16`] — a bit-accurate BFloat16 with RNE rounding through `f32`;
+//! * [`bits`] — bit-flip and classification utilities used by the fault
+//!   injector (every storage element in the simulator is a bit pattern);
+//! * [`exp`] — hardware-style exponential units (range-reduced polynomial
+//!   and LUT variants) mirroring what an HLS flow would synthesize;
+//! * [`online`] — the scalar recurrences of online softmax (running max,
+//!   rescaled sum-of-exponentials) shared by every kernel in the workspace;
+//! * [`sum`] — compensated (Kahan) and pairwise summation for reference
+//!   checksums;
+//! * [`error`] — NaN-aware tolerance comparisons implementing the paper's
+//!   `|predicted − actual| > 10⁻⁶` detection rule.
+//!
+//! # Example
+//!
+//! ```
+//! use fa_numerics::BF16;
+//!
+//! let a = BF16::from_f32(1.5);
+//! let b = BF16::from_f32(2.25);
+//! let c = a * b;
+//! assert_eq!(c.to_f32(), 3.375);
+//! ```
+
+pub mod bits;
+pub mod error;
+pub mod exp;
+pub mod online;
+pub mod sum;
+
+mod bf16;
+
+pub use bf16::BF16;
+pub use error::{check_abs, check_rel, CheckOutcome, Tolerance};
+pub use online::{OnlineSoftmax, RescaleStep};
+pub use sum::{KahanSum, pairwise_sum};

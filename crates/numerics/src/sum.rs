@@ -1,0 +1,161 @@
+//! Compensated and pairwise summation.
+//!
+//! The ABFT comparison `|predicted − actual| > τ` is only as trustworthy as
+//! the reference checksums it compares. Golden-model checksums in the fault
+//! injector are computed with Kahan (compensated) summation so that
+//! detection decisions are never confounded by accumulation error in the
+//! *checker of the checker*.
+
+/// Compensated summation accumulator (Kahan–Neumaier).
+///
+/// Tracks a running compensation term that captures the low-order bits lost
+/// on each addition. The Neumaier variant also survives the case where an
+/// incoming term is much larger than the running sum, which plain Kahan
+/// does not.
+///
+/// # Example
+///
+/// ```
+/// use fa_numerics::KahanSum;
+///
+/// let mut acc = KahanSum::new();
+/// for _ in 0..10_000_000 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.value() - 1_000_000.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        KahanSum {
+            sum: 0.0,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The current compensated sum.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Pairwise (cascade) summation: recursively splits the slice and adds the
+/// halves, giving O(log n) error growth with no extra state. This is the
+/// summation order a balanced hardware adder tree performs, so the
+/// simulator's sum-row unit uses it.
+///
+/// ```
+/// use fa_numerics::pairwise_sum;
+/// assert_eq!(pairwise_sum(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+/// assert_eq!(pairwise_sum(&[]), 0.0);
+/// ```
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        2 => xs[0] + xs[1],
+        n => {
+            let mid = n / 2;
+            pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_pathological_input() {
+        // 1 + 1e16 - 1e16 repeated: naive summation loses the 1s.
+        let mut kahan = KahanSum::new();
+        let mut naive = 0.0f64;
+        for _ in 0..1000 {
+            for x in [1.0, 1e16, -1e16] {
+                kahan.add(x);
+                naive += x;
+            }
+        }
+        assert_eq!(kahan.value(), 1000.0);
+        // Demonstrate the naive sum actually went wrong (it collapses to 0).
+        assert_ne!(naive, 1000.0);
+    }
+
+    #[test]
+    fn kahan_from_iterator() {
+        let acc: KahanSum = [0.5, 0.25, 0.125].into_iter().collect();
+        assert_eq!(acc.value(), 0.875);
+    }
+
+    #[test]
+    fn kahan_extend() {
+        let mut acc = KahanSum::new();
+        acc.extend([1.0, 2.0]);
+        acc.extend([3.0]);
+        assert_eq!(acc.value(), 6.0);
+    }
+
+    #[test]
+    fn kahan_empty_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matches_exact_on_integers() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&xs), 5050.0);
+    }
+
+    #[test]
+    fn pairwise_edge_cases() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[7.0]), 7.0);
+        assert_eq!(pairwise_sum(&[7.0, -7.0]), 0.0);
+        assert_eq!(pairwise_sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn pairwise_more_accurate_than_sequential() {
+        // Sum of n copies of x: pairwise error grows O(log n), naive O(n).
+        let xs = vec![0.1f64; 1 << 16];
+        let exact = 6553.6f64;
+        let pw = (pairwise_sum(&xs) - exact).abs();
+        let naive = (xs.iter().sum::<f64>() - exact).abs();
+        assert!(pw <= naive);
+    }
+}

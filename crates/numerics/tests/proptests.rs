@@ -1,0 +1,128 @@
+//! Property-based tests for the numerics substrate: BFloat16 rounding
+//! semantics, the exponential units, compensated summation, and the
+//! tolerance comparator.
+
+use fa_numerics::bits::{classify_f64, flip_f64_bit, ulp_distance_f64, FpClass};
+use fa_numerics::exp::{ExpUnit, PolyExp, TableExp};
+use fa_numerics::{check_abs, CheckOutcome, KahanSum, OnlineSoftmax, BF16};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round-to-nearest: the BF16 result is always one of the two
+    /// representable neighbours, and never farther than half an ULP.
+    #[test]
+    fn bf16_rounding_is_nearest(x in -1e37f32..1e37) {
+        let r = BF16::from_f32(x);
+        prop_assume!(r.is_finite());
+        let rf = r.to_f32();
+        // Neighbours via bit manipulation on the BF16 lattice.
+        let up = BF16::from_bits(r.to_bits().wrapping_add(1)).to_f32();
+        let down = BF16::from_bits(r.to_bits().wrapping_sub(1)).to_f32();
+        let err = (rf - x).abs();
+        if up.is_finite() {
+            prop_assert!(err <= (up - x).abs() + f32::EPSILON * x.abs());
+        }
+        if down.is_finite() {
+            prop_assert!(err <= (down - x).abs() + f32::EPSILON * x.abs());
+        }
+    }
+
+    /// BF16 conversion is monotone: x <= y implies bf16(x) <= bf16(y).
+    #[test]
+    fn bf16_conversion_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(BF16::from_f32(lo) <= BF16::from_f32(hi));
+    }
+
+    /// Exact BF16 values survive the roundtrip bit-exactly.
+    #[test]
+    fn bf16_idempotent(bits in 0u16..0x7F80) {
+        let v = BF16::from_bits(bits);
+        prop_assert_eq!(BF16::from_f32(v.to_f32()).to_bits(), bits);
+    }
+
+    /// Negation is always a pure sign-bit flip.
+    #[test]
+    fn bf16_negation_is_sign_flip(x in -1e30f32..1e30) {
+        let v = BF16::from_f32(x);
+        prop_assert_eq!((-v).to_bits(), v.to_bits() ^ 0x8000);
+    }
+
+    /// BF16 addition is commutative (each operand rounds identically).
+    #[test]
+    fn bf16_add_commutative(a in -1e3f32..1e3, b in -1e3f32..1e3) {
+        let (x, y) = (BF16::from_f32(a), BF16::from_f32(b));
+        prop_assert_eq!((x + y).to_bits(), (y + x).to_bits());
+    }
+
+    /// Both exp units agree with libm within their documented bounds over
+    /// the softmax domain.
+    #[test]
+    fn exp_units_accuracy(x in -80.0f64..0.0) {
+        let exact = x.exp();
+        let poly = PolyExp::new().eval(x);
+        let table = TableExp::new().eval(x);
+        prop_assert!(((poly - exact) / exact).abs() < 1e-8, "poly at {x}");
+        prop_assert!(((table - exact) / exact).abs() < 1e-6, "table at {x}");
+    }
+
+    /// Compensated summation is at least as accurate as naive summation.
+    #[test]
+    fn kahan_not_worse_than_naive(xs in proptest::collection::vec(-1e8f64..1e8, 1..200)) {
+        // Exact reference via pairwise over sorted magnitudes (good proxy).
+        let exact: f64 = {
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"));
+            let mut acc = KahanSum::new();
+            acc.extend(sorted.iter().copied());
+            acc.value()
+        };
+        let kahan: KahanSum = xs.iter().copied().collect();
+        let naive: f64 = xs.iter().sum();
+        prop_assert!((kahan.value() - exact).abs() <= (naive - exact).abs() + 1e-6);
+    }
+
+    /// Online softmax never overflows for any finite score sequence and
+    /// its sum-of-exponentials stays in (0, n].
+    #[test]
+    fn online_softmax_bounded(scores in proptest::collection::vec(-1e300f64..1e300, 1..50)) {
+        let mut os = OnlineSoftmax::new();
+        for &s in &scores {
+            os.push(s);
+        }
+        prop_assert!(os.sum_exp().is_finite());
+        prop_assert!(os.sum_exp() > 0.0);
+        prop_assert!(os.sum_exp() <= scores.len() as f64 + 1e-9);
+        prop_assert_eq!(os.max(), scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// The comparator is symmetric and NaN-silent.
+    #[test]
+    fn comparator_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6, tol in 1e-9f64..1.0) {
+        prop_assert_eq!(check_abs(a, b, tol), check_abs(b, a, tol));
+        prop_assert_eq!(check_abs(f64::NAN, b, tol), CheckOutcome::NanSilent);
+    }
+
+    /// Bit flips are involutive and classified flips behave: a sign-bit
+    /// flip never changes the class of a finite non-zero number.
+    #[test]
+    fn f64_flip_properties(x in -1e100f64..1e100, bit in 0u32..64) {
+        prop_assume!(x != 0.0);
+        prop_assert_eq!(flip_f64_bit(flip_f64_bit(x, bit), bit), x);
+        let sign_flipped = flip_f64_bit(x, 63);
+        prop_assert_eq!(classify_f64(sign_flipped), classify_f64(x));
+        prop_assert_eq!(sign_flipped, -x);
+    }
+
+    /// ULP distance is a metric-ish: zero iff equal (same sign), and one
+    /// bit-step away is distance 1.
+    #[test]
+    fn ulp_distance_properties(x in 1e-300f64..1e300) {
+        prop_assert_eq!(ulp_distance_f64(x, x), Some(0));
+        let next = f64::from_bits(x.to_bits() + 1);
+        prop_assert_eq!(ulp_distance_f64(x, next), Some(1));
+        prop_assert_eq!(classify_f64(x), FpClass::Normal);
+    }
+}

@@ -1,0 +1,200 @@
+//! Matrix products with selectable accumulator precision.
+//!
+//! The accelerator multiplies BF16 operands but the choice of *accumulator*
+//! precision is a first-class design decision in the paper (datapath MACs
+//! accumulate in the storage format; checksum accumulators are f64). Both
+//! styles are provided:
+//!
+//! * [`Matrix::matmul`] — accumulate in the element format itself, rounding
+//!   after every MAC (what a same-width hardware MAC array does);
+//! * [`matmul_f64_acc`] — accumulate each dot product in `f64` and round
+//!   once at the end (what a widening accumulator does).
+
+use crate::{Matrix, Scalar};
+
+impl<T: Scalar> Matrix<T> {
+    /// Matrix product `self · rhs` with accumulation in `T`.
+    ///
+    /// Every multiply and every add rounds to `T`, matching a hardware MAC
+    /// array whose accumulator registers have the same width as the
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    ///
+    /// ```
+    /// use fa_tensor::Matrix;
+    /// let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0]]);
+    /// let b = Matrix::<f64>::from_rows(&[&[3.0], &[4.0]]);
+    /// assert_eq!(a.matmul(&b)[(0, 0)], 11.0);
+    /// ```
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "inner dimensions differ: {}×{} · {}×{}",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        for i in 0..self.rows() {
+            let a_row = self.row(i);
+            for j in 0..rhs.cols() {
+                let mut acc = T::zero();
+                for (k, &a) in a_row.iter().enumerate() {
+                    acc = acc.mac(a, rhs[(k, j)]);
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Dot product of row `r` with a vector, accumulated in `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `r` is out of bounds.
+    pub fn row_dot(&self, r: usize, v: &[T]) -> T {
+        assert_eq!(v.len(), self.cols(), "vector length mismatch in row_dot");
+        let mut acc = T::zero();
+        for (&a, &b) in self.row(r).iter().zip(v) {
+            acc = acc.mac(a, b);
+        }
+        acc
+    }
+
+    /// Scales every element by `factor` (rounded to `T`).
+    pub fn scale(&self, factor: f64) -> Matrix<T> {
+        self.map(|x| T::from_f64(x.to_f64() * factor))
+    }
+}
+
+/// Matrix product with widening `f64` accumulation: each output element is
+/// the exact-as-f64 dot product of `T`-valued operands, rounded to `T`
+/// once.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for k in 0..a.cols() {
+                acc += a[(i, k)].to_f64() * b[(k, j)].to_f64();
+            }
+            out[(i, j)] = T::from_f64(acc);
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices, accumulated in `f64`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_f64<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x.to_f64() * y.to_f64())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_numerics::BF16;
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::<f64>::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::<f64>::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Matrix::<f64>::zeros(2, 5);
+        let b = Matrix::<f64>::zeros(5, 3);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn f64_acc_at_least_as_accurate_in_bf16() {
+        // With BF16 elements, per-MAC rounding loses more than one final
+        // rounding. Construct a case where small terms are absorbed.
+        let n = 64;
+        let a = Matrix::<BF16>::from_fn(1, n, |_, _| BF16::from_f32(0.01));
+        let b = Matrix::<BF16>::from_fn(n, 1, |_, _| BF16::from_f32(1.0));
+        let exact = 0.01f64 * BF16::from_f32(0.01).to_f64() / 0.01 * n as f64; // n * bf16(0.01)
+        let narrow = a.matmul(&b)[(0, 0)].to_f64();
+        let wide = matmul_f64_acc(&a, &b)[(0, 0)].to_f64();
+        let exact_sum = BF16::from_f32(0.01).to_f64() * n as f64;
+        let _ = exact;
+        assert!((wide - exact_sum).abs() <= (narrow - exact_sum).abs());
+    }
+
+    #[test]
+    fn row_dot_matches_matmul_column() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let v = [7.0, 8.0, 9.0];
+        assert_eq!(a.row_dot(0, &v), 50.0);
+        assert_eq!(a.row_dot(1, &v), 122.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_dot_length_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(1, 3);
+        let _ = a.row_dot(0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_f64_and_scale() {
+        assert_eq!(dot_f64(&[1.0f64, 2.0], &[3.0, 4.0]), 11.0);
+        let m = Matrix::<f64>::from_rows(&[&[2.0, 4.0]]);
+        assert_eq!(m.scale(0.5).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_associativity_in_f64() {
+        // (AB)C == A(BC) exactly for small integer matrices in f64.
+        let a = Matrix::<f64>::from_fn(3, 3, |r, c| ((r + c) % 3) as f64);
+        let b = Matrix::<f64>::from_fn(3, 3, |r, c| ((r * c) % 5) as f64);
+        let c = Matrix::<f64>::from_fn(3, 3, |r, c| ((r + 2 * c) % 4) as f64);
+        assert_eq!(a.matmul(&b).matmul(&c), a.matmul(&b.matmul(&c)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the matrix substrate.
+
+use fa_numerics::BF16;
+use fa_tensor::checksum::predicted_matmul_checksum;
+use fa_tensor::ops::{dot_f64, matmul_f64_acc};
+use fa_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-8.0f64..8.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transpose is an involution and reverses products:
+    /// (A·B)ᵀ = Bᵀ·Aᵀ (exactly, in f64 the operations commute elementwise
+    /// up to identical summation order — we use the f64-accumulated form
+    /// on both sides).
+    #[test]
+    fn transpose_product_identity(a in matrix(4, 3), b in matrix(3, 5)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let lhs = matmul_f64_acc(&a, &b).transpose();
+        let rhs = matmul_f64_acc(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    /// Matrix product distributes over addition up to f64 rounding.
+    #[test]
+    fn matmul_distributes(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let sum = Matrix::from_fn(4, 2, |r, j| b[(r, j)] + c[(r, j)]);
+        let lhs = a.matmul(&sum);
+        let ab = a.matmul(&b);
+        let ac = a.matmul(&c);
+        let rhs = Matrix::from_fn(3, 2, |r, j| ab[(r, j)] + ac[(r, j)]);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    /// Identity is a two-sided unit.
+    #[test]
+    fn identity_is_unit(a in matrix(4, 4)) {
+        let i = Matrix::<f64>::identity(4);
+        prop_assert_eq!(a.matmul(&i), a.clone());
+        prop_assert_eq!(i.matmul(&a), a.clone());
+    }
+
+    /// Row sums and column sums both total to the full sum.
+    #[test]
+    fn sums_are_consistent(a in matrix(5, 7)) {
+        let by_rows: f64 = a.row_sums().iter().sum();
+        let by_cols: f64 = a.col_sums().iter().sum();
+        let direct = a.sum_all();
+        prop_assert!((by_rows - direct).abs() < 1e-9);
+        prop_assert!((by_cols - direct).abs() < 1e-9);
+    }
+
+    /// The Huang–Abraham prediction is invariant under simultaneous row
+    /// permutation of B and column permutation of A (the checksums are
+    /// order-free).
+    #[test]
+    fn checksum_permutation_invariance(a in matrix(3, 4), b in matrix(4, 3), swap in 0usize..3) {
+        let base = predicted_matmul_checksum(&a, &b);
+        // Swap inner-dimension indices `swap` and `swap+1` coherently.
+        let (i, j) = (swap, swap + 1);
+        let ap = Matrix::from_fn(3, 4, |r, c| {
+            let c2 = if c == i { j } else if c == j { i } else { c };
+            a[(r, c2)]
+        });
+        let bp = Matrix::from_fn(4, 3, |r, c| {
+            let r2 = if r == i { j } else if r == j { i } else { r };
+            b[(r2, c)]
+        });
+        let permuted = predicted_matmul_checksum(&ap, &bp);
+        prop_assert!((base - permuted).abs() < 1e-9);
+    }
+
+    /// dot_f64 is symmetric and linear in each argument.
+    #[test]
+    fn dot_properties(
+        x in proptest::collection::vec(-5.0f64..5.0, 6),
+        y in proptest::collection::vec(-5.0f64..5.0, 6),
+        s in -3.0f64..3.0,
+    ) {
+        prop_assert_eq!(dot_f64(&x, &y), dot_f64(&y, &x));
+        let sx: Vec<f64> = x.iter().map(|v| v * s).collect();
+        prop_assert!((dot_f64(&sx, &y) - s * dot_f64(&x, &y)).abs() < 1e-9);
+    }
+
+    /// Casting f64 → BF16 → f64 is idempotent (the second cast is exact).
+    #[test]
+    fn bf16_cast_idempotent(a in matrix(3, 3)) {
+        let once: Matrix<BF16> = a.cast();
+        let twice: Matrix<BF16> = once.to_f64().cast();
+        for (x, y) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// max_abs_diff is a metric on finite matrices: zero iff equal,
+    /// symmetric, triangle inequality.
+    #[test]
+    fn max_abs_diff_is_metric(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        prop_assert_eq!(a.max_abs_diff(&a), 0.0);
+        prop_assert_eq!(a.max_abs_diff(&b), b.max_abs_diff(&a));
+        let ab = a.max_abs_diff(&b);
+        let bc = b.max_abs_diff(&c);
+        let ac = a.max_abs_diff(&c);
+        prop_assert!(ac <= ab + bc + 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: checked attention in five lines, plus what detection
+//! looks like when an output is corrupted.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fa_attention::AttentionConfig;
+use fa_tensor::{random::ElementDist, Matrix};
+use flash_abft::FlashAbft;
+
+fn main() {
+    // A single attention head: 64 queries/keys of dimension 32.
+    let n = 64;
+    let d = 32;
+    let q = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 1);
+    let k = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 2);
+    let v = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 3);
+
+    // Compute attention with the fused online checksum (Alg. 3).
+    let engine = FlashAbft::new(AttentionConfig::new(d));
+    let checked = engine.compute(&q, &k, &v);
+
+    let report = checked.report();
+    println!("fault-free run:");
+    println!("  predicted checksum : {:+.12e}", report.predicted);
+    println!("  actual checksum    : {:+.12e}", report.actual);
+    println!("  residual           : {:+.3e}", report.residual());
+    println!("  alarm              : {}", report.is_alarm());
+    assert!(!report.is_alarm());
+
+    // Simulate a hardware fault: corrupt one output element, then verify
+    // the corrupted matrix against the checksum predicted from the inputs.
+    let mut corrupted = checked.output().clone();
+    corrupted[(17, 5)] += 0.01;
+    let verdict = engine.verify(&q, &k, &v, &corrupted);
+    println!();
+    println!("after corrupting output[17][5] by +0.01:");
+    println!("  residual           : {:+.3e}", verdict.residual());
+    println!("  alarm              : {}", verdict.is_alarm());
+    assert!(verdict.is_alarm());
+
+    // Per-query checks localize the corrupted row.
+    let row_sum: f64 = corrupted.row(17).iter().sum();
+    let expected = checked.per_query_checks()[17];
+    println!(
+        "  row 17 localization: |row sum - check| = {:.3e} (all other rows < 1e-10)",
+        (row_sum - expected).abs()
+    );
+}

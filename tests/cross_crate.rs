@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: every layer of the stack must agree —
+//! reference kernels, the fused checksum, the baselines, and the
+//! cycle-level accelerator.
+
+use fa_abft::two_step::{self, InjectionPoint};
+use fa_accel_sim::config::AcceleratorConfig;
+use fa_accel_sim::Accelerator;
+use fa_attention::{flash2, lazy, naive, tiled, AttentionConfig};
+use fa_models::{LlmModel, Workload, WorkloadSpec, PAPER_MODELS};
+use fa_numerics::{Tolerance, BF16};
+use fa_tensor::{random::ElementDist, Matrix};
+use flash_abft::{checksum, FlashAbft};
+
+fn rand_qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+    (
+        Matrix::random_seeded(n, d, ElementDist::default(), seed),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+    )
+}
+
+#[test]
+fn all_four_kernels_agree() {
+    let (q, k, v) = rand_qkv(48, 16, 1000);
+    let cfg = AttentionConfig::new(16);
+    let reference = naive::attention(&q, &k, &v, &cfg);
+    assert!(lazy::attention(&q, &k, &v, &cfg).max_abs_diff(&reference) < 1e-11);
+    assert!(flash2::attention(&q, &k, &v, &cfg).max_abs_diff(&reference) < 1e-11);
+    for bs in [1, 7, 16, 48] {
+        assert!(tiled::attention(&q, &k, &v, &cfg, bs).max_abs_diff(&reference) < 1e-11);
+    }
+}
+
+#[test]
+fn accelerator_matches_software_kernel_on_all_paper_models() {
+    for model in PAPER_MODELS {
+        let cfg = model.config();
+        let w = Workload::generate(
+            &cfg,
+            WorkloadSpec {
+                seq_len: 32,
+                ..WorkloadSpec::paper(11)
+            },
+        );
+        let accel = Accelerator::new(AcceleratorConfig::new(8, cfg.head_dim));
+        let run = accel.run(&w.q, &w.k, &w.v);
+        let reference =
+            flash2::attention(&w.q.to_f64(), &w.k.to_f64(), &w.v.to_f64(), &cfg.attention());
+        // Pre-rounding row sums are exact vs the f64 kernel.
+        for i in 0..32 {
+            let expected: f64 = reference.row(i).iter().sum();
+            assert!(
+                (run.per_query_row_sums[i] - expected).abs() < 1e-9,
+                "{} row {i}",
+                cfg.name
+            );
+        }
+        assert!(run.residual().abs() < 1e-6, "{}", cfg.name);
+    }
+}
+
+#[test]
+fn fused_checksum_agrees_with_accelerator_checksum() {
+    // The algorithm-level Alg. 3 (flash-abft crate) and the cycle-level
+    // accelerator must predict the same checksum for the same inputs.
+    let model = LlmModel::Bert.config();
+    let w = Workload::generate(
+        &model,
+        WorkloadSpec {
+            seq_len: 24,
+            ..WorkloadSpec::paper(5)
+        },
+    );
+    let accel = Accelerator::new(AcceleratorConfig::new(4, model.head_dim));
+    let run = accel.run(&w.q, &w.k, &w.v);
+    let closed = checksum::predicted_checksum_eq5(&w.q, &w.k, &w.v, &model.attention());
+    assert!(
+        (run.predicted - closed).abs() < 1e-8,
+        "accelerator {} vs closed form {closed}",
+        run.predicted
+    );
+}
+
+#[test]
+fn softmax_coverage_gap_two_step_blind_flash_abft_sees() {
+    // THE motivating comparison (paper §I): a fault inside the softmax
+    // escapes traditional per-matmul ABFT but is caught by the fused
+    // attention-level checksum.
+    let (q, k, v) = rand_qkv(12, 8, 2000);
+    let cfg = AttentionConfig::new(8);
+
+    // Two-step ABFT with a softmax-internal corruption: both checks pass.
+    let report = two_step::checked_attention(
+        &q,
+        &k,
+        &v,
+        &cfg,
+        Tolerance::PAPER,
+        Some((InjectionPoint::Softmax, 4, 7, 0.3)),
+    );
+    assert!(
+        !report.any_alarm(),
+        "two-step ABFT must miss softmax faults"
+    );
+
+    // Flash-ABFT verifying that same corrupted output: alarm.
+    let engine = FlashAbft::new(cfg);
+    let verdict = engine.verify(&q, &k, &v, &report.output);
+    assert!(
+        verdict.is_alarm(),
+        "Flash-ABFT must catch the softmax-level corruption"
+    );
+}
+
+#[test]
+fn extreme_checker_misses_what_flash_abft_catches() {
+    // ATTNChecker-style scanning only sees INF/NaN; a plain numeric
+    // corruption sails through but Flash-ABFT flags it.
+    let (q, k, v) = rand_qkv(10, 4, 3000);
+    let cfg = AttentionConfig::new(4);
+    let mut output = naive::attention(&q, &k, &v, &cfg);
+    output[(3, 1)] += 0.05;
+
+    let extreme = fa_abft::extreme::ExtremeChecker::default();
+    assert!(!extreme.any_extreme(&output), "no INF/NaN present");
+
+    let engine = FlashAbft::new(cfg);
+    assert!(engine.verify(&q, &k, &v, &output).is_alarm());
+}
+
+#[test]
+fn bf16_pipeline_end_to_end() {
+    // BF16 inputs through every layer: kernels, checksum, accelerator.
+    let (qf, kf, vf) = rand_qkv(16, 8, 4000);
+    let q: Matrix<BF16> = qf.cast();
+    let k: Matrix<BF16> = kf.cast();
+    let v: Matrix<BF16> = vf.cast();
+    let cfg = AttentionConfig::new(8);
+
+    let engine = FlashAbft::new(cfg).with_tolerance(Tolerance::Relative {
+        bound: 0.05,
+        floor: 1e-3,
+    });
+    let checked = engine.compute(&q, &k, &v);
+    assert!(!checked.report().is_alarm());
+
+    let accel = Accelerator::new(AcceleratorConfig::new(4, 8));
+    let run = accel.run(&q, &k, &v);
+    assert!(run.residual().abs() < 1e-6);
+    // Writebacks agree to BF16 precision.
+    assert!(run.output.to_f64().max_abs_diff(&checked.output().to_f64()) < 0.05);
+}
+
+#[test]
+fn checksum_identity_on_paper_scale_problem() {
+    // Full paper-scale shape: N=256, d=128, BF16 inputs.
+    let model = LlmModel::Llama31.config();
+    let w = Workload::generate(&model, WorkloadSpec::paper(77));
+    let accel = Accelerator::new(AcceleratorConfig::new(16, model.head_dim));
+    let run = accel.run(&w.q, &w.k, &w.v);
+    assert!(
+        run.residual().abs() < 1e-6,
+        "paper-scale fault-free residual {} must stay below tau",
+        run.residual()
+    );
+    assert_eq!(run.cycles, 16 * 258);
+}
+
+#[test]
+fn locate_and_correct_with_classic_abft() {
+    // The Huang–Abraham substrate supports full locate/correct on the
+    // S·V product — composable with the fused detector.
+    let (q, k, v) = rand_qkv(10, 6, 5000);
+    let cfg = AttentionConfig::new(6);
+    let s = naive::softmax_scores(&q, &k, &cfg);
+    let mut o = s.matmul(&v);
+    let clean = o.clone();
+    o[(4, 2)] += 1.5;
+    let loc = fa_abft::matmul::locate_single_error(&s, &v, &o, 1e-6).expect("locatable");
+    assert_eq!((loc.row, loc.col), (4, 2));
+    fa_abft::matmul::correct_single_error(&mut o, loc);
+    assert!(o.max_abs_diff(&clean) < 1e-9);
+}

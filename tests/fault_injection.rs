@@ -1,0 +1,263 @@
+//! System-level fault-injection tests: the targeted re-simulation
+//! machinery, classification soundness, and the false-negative search
+//! the paper reports (§IV-B: cancellation "couldn't be identified").
+
+use fa_accel_sim::config::AcceleratorConfig;
+use fa_accel_sim::fault::{Fault, RegAddr};
+use fa_accel_sim::Accelerator;
+use fa_fault::{classify, run_campaigns, CampaignSpec, DetectionCriterion, FaultCategory};
+use fa_models::{LlmModel, Workload, WorkloadSpec};
+use fa_numerics::Tolerance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn outputs_bit_equal(
+    a: &fa_tensor::Matrix<fa_numerics::BF16>,
+    b: &fa_tensor::Matrix<fa_numerics::BF16>,
+) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn setup(n: usize) -> (Accelerator, Workload) {
+    let model = LlmModel::Bert.config();
+    let w = Workload::generate(
+        &model,
+        WorkloadSpec {
+            seq_len: n,
+            ..WorkloadSpec::paper(9)
+        },
+    );
+    let accel = Accelerator::new(AcceleratorConfig::new(4, model.head_dim));
+    (accel, w)
+}
+
+#[test]
+fn targeted_resim_equals_full_sim_over_random_faults() {
+    // The optimization that makes 10k-campaign tables cheap must be
+    // bit-exact against the slow path, over every register class.
+    let (accel, w) = setup(12);
+    let golden = accel.run(&w.q, &w.k, &w.v);
+    let map = accel.storage_map();
+    let total_cycles = accel.config().total_cycles(12, 12);
+    let mut rng = StdRng::seed_from_u64(31337);
+    for _ in 0..300 {
+        let bit_index = rng.gen_range(0..map.total_bits());
+        let (target, bit) = map.locate_bit(bit_index);
+        let fault = Fault {
+            cycle: rng.gen_range(0..total_cycles),
+            target,
+            bit,
+        };
+        let full = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], None);
+        let fast = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], Some(&golden));
+        assert_eq!(
+            full.predicted.to_bits(),
+            fast.predicted.to_bits(),
+            "{fault:?}"
+        );
+        assert_eq!(full.actual.to_bits(), fast.actual.to_bits(), "{fault:?}");
+        assert!(outputs_bit_equal(&full.output, &fast.output), "{fault:?}");
+    }
+}
+
+#[test]
+fn targeted_resim_equals_full_sim_with_multiple_faults() {
+    let (accel, w) = setup(10);
+    let golden = accel.run(&w.q, &w.k, &w.v);
+    let map = accel.storage_map();
+    let total_cycles = accel.config().total_cycles(10, 10);
+    let mut rng = StdRng::seed_from_u64(777);
+    for _ in 0..60 {
+        let n_faults = rng.gen_range(2..=5);
+        let faults: Vec<Fault> = (0..n_faults)
+            .map(|_| {
+                let (target, bit) = map.locate_bit(rng.gen_range(0..map.total_bits()));
+                Fault {
+                    cycle: rng.gen_range(0..total_cycles),
+                    target,
+                    bit,
+                }
+            })
+            .collect();
+        let full = accel.run_faulted(&w.q, &w.k, &w.v, &faults, None);
+        let fast = accel.run_faulted(&w.q, &w.k, &w.v, &faults, Some(&golden));
+        assert_eq!(full.predicted.to_bits(), fast.predicted.to_bits(), "{faults:?}");
+        assert_eq!(full.actual.to_bits(), fast.actual.to_bits(), "{faults:?}");
+        assert!(outputs_bit_equal(&full.output, &fast.output), "{faults:?}");
+    }
+}
+
+#[test]
+fn classification_is_internally_consistent() {
+    // Detected => corrupted; FalsePositive => clean output; Masked =>
+    // clean output and no alarm — over a random fault sample.
+    let (accel, w) = setup(16);
+    let golden = accel.run(&w.q, &w.k, &w.v);
+    let map = accel.storage_map();
+    let total_cycles = accel.config().total_cycles(16, 16);
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..300 {
+        let (target, bit) = map.locate_bit(rng.gen_range(0..map.total_bits()));
+        let fault = Fault {
+            cycle: rng.gen_range(0..total_cycles),
+            target,
+            bit,
+        };
+        let faulty = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], Some(&golden));
+        let c = classify(
+            &golden,
+            &faulty,
+            fault.target.is_checker(),
+            DetectionCriterion::ChecksumDiscrepancy,
+            Tolerance::PAPER,
+            1e-6,
+        );
+        match c.category {
+            FaultCategory::FalsePositive => {
+                assert!(
+                    fault.target.is_checker(),
+                    "false positives must come from checker storage: {fault:?}"
+                );
+            }
+            FaultCategory::Detected => {
+                // Detected implies the fault hit kernel state (checker
+                // faults cannot corrupt the output).
+                assert!(!fault.target.is_checker(), "{fault:?}");
+            }
+            FaultCategory::Silent | FaultCategory::Masked => {}
+        }
+    }
+}
+
+#[test]
+fn no_false_negatives_from_single_faults() {
+    // Paper: "False negative faults require a fault injected to matrix
+    // multiplication and checksum accumulation to cancel each other...
+    // We couldn't identify such cases." A single fault cannot hit both
+    // paths, so a directed sweep over output-register faults must always
+    // alarm or be sub-threshold — never corrupt-the-output-yet-pass at
+    // a magnitude above the bound.
+    let (accel, w) = setup(12);
+    let golden = accel.run(&w.q, &w.k, &w.v);
+    for lane in 0..8 {
+        for bit in [40u32, 50, 60, 62] {
+            for cycle in [0u64, 5, 11] {
+                let fault = Fault {
+                    cycle,
+                    target: RegAddr::Output { block: 1, lane },
+                    bit,
+                };
+                let faulty = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], Some(&golden));
+                let output_moved = (faulty.actual - golden.actual).abs() > 1e-6;
+                let alarmed = (faulty.predicted - faulty.actual).abs() > 1e-6
+                    || faulty.predicted.is_nan()
+                    || faulty.actual.is_nan();
+                if output_moved {
+                    assert!(
+                        alarmed,
+                        "false negative: output moved but comparator silent for {fault:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn campaign_percentages_sum_to_100() {
+    let (_, w) = setup(16);
+    let spec = CampaignSpec::new(AcceleratorConfig::new(4, 64), 200, 55);
+    let stats = run_campaigns(&spec, &w);
+    let sum = stats.pct_of_total(stats.detected)
+        + stats.pct_of_total(stats.false_positive)
+        + stats.pct_of_total(stats.silent)
+        + stats.pct_of_total(stats.masked);
+    assert!((sum - 100.0).abs() < 1e-9);
+    let conseq = stats.pct_of_consequential(stats.detected)
+        + stats.pct_of_consequential(stats.false_positive)
+        + stats.pct_of_consequential(stats.silent);
+    assert!((conseq - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn detection_rate_rises_with_head_dim() {
+    // Table I's central trend, on reduced campaign counts: the
+    // consequential detection rate at d=256 exceeds d=64 (the checker is
+    // a smaller target), with FP moving the other way.
+    let mut rates = Vec::new();
+    for model in [LlmModel::Bert, LlmModel::Gemma2] {
+        let cfg = model.config();
+        let w = Workload::generate(
+            &cfg,
+            WorkloadSpec {
+                seq_len: 64,
+                ..WorkloadSpec::paper(3)
+            },
+        );
+        let spec = CampaignSpec::new(AcceleratorConfig::new(8, cfg.head_dim), 1500, 99)
+            .with_criterion(DetectionCriterion::ChecksumDiscrepancy);
+        let stats = run_campaigns(&spec, &w);
+        rates.push((
+            stats.pct_of_consequential(stats.detected),
+            stats.pct_of_consequential(stats.false_positive),
+        ));
+    }
+    assert!(
+        rates[1].0 > rates[0].0 - 1.0,
+        "detection d=256 ({:.2}) should not fall below d=64 ({:.2})",
+        rates[1].0,
+        rates[0].0
+    );
+    assert!(
+        rates[1].1 < rates[0].1 + 0.5,
+        "FP d=256 ({:.2}) should not exceed d=64 ({:.2})",
+        rates[1].1,
+        rates[0].1
+    );
+}
+
+#[test]
+fn composite_checker_closes_the_nan_silent_class() {
+    // Sample faults until we find NaN-silent cases (the paper's Silent
+    // category 3); the composite Flash-ABFT + extreme-value detector
+    // must flag every one of them.
+    use fa_abft::composite::{CompositeChecker, CompositeVerdict};
+    let (accel, w) = setup(16);
+    let golden = accel.run(&w.q, &w.k, &w.v);
+    let map = accel.storage_map();
+    let total_cycles = accel.config().total_cycles(16, 16);
+    let composite = CompositeChecker::default();
+    let mut rng = StdRng::seed_from_u64(90210);
+    let mut nan_silent_seen = 0;
+    for _ in 0..3000 {
+        let (target, bit) = map.locate_bit(rng.gen_range(0..map.total_bits()));
+        let fault = Fault {
+            cycle: rng.gen_range(0..total_cycles),
+            target,
+            bit,
+        };
+        let faulty = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], Some(&golden));
+        let nan_poisoned = faulty.predicted.is_nan() || faulty.actual.is_nan();
+        let output_has_extreme =
+            faulty.output.as_slice().iter().any(|x| x.is_nan() || x.is_infinite());
+        if nan_poisoned && output_has_extreme {
+            nan_silent_seen += 1;
+            let verdict = composite.verify(faulty.predicted, &faulty.output);
+            assert!(
+                verdict.is_alarm(),
+                "composite must catch NaN poisoning: {fault:?} -> {verdict:?}"
+            );
+            assert!(matches!(
+                verdict,
+                CompositeVerdict::ExtremeAlarm | CompositeVerdict::BothAlarms
+            ));
+        }
+    }
+    assert!(
+        nan_silent_seen > 0,
+        "sampling should surface at least one NaN case"
+    );
+}

@@ -1,0 +1,168 @@
+//! Property-based tests on the workspace's core invariants.
+
+use fa_attention::{flash2, naive, tiled, AttentionConfig};
+use fa_numerics::{OnlineSoftmax, BF16};
+use fa_tensor::{checksum::predicted_matmul_checksum, Matrix};
+use flash_abft::checksum::{predicted_checksum_eq5, predicted_checksum_eq8};
+use flash_abft::MergedAccumulator;
+use proptest::prelude::*;
+
+/// Strategy: a matrix with elements in a well-conditioned range.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The paper's foundation: the Eq. 5 checksum equals the actual sum
+    /// of the attention output for arbitrary inputs.
+    #[test]
+    fn checksum_equals_output_sum(
+        q in matrix(6, 4),
+        k in matrix(6, 4),
+        v in matrix(6, 4),
+    ) {
+        let cfg = AttentionConfig::new(4);
+        let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
+        prop_assert!((predicted - actual).abs() < 1e-9,
+            "predicted {predicted} vs actual {actual}");
+    }
+
+    /// The summation-exchange identity (Eq. 6 -> Eq. 7): the per-query
+    /// decomposition equals the column-sum form.
+    #[test]
+    fn eq5_equals_eq8(
+        q in matrix(5, 3),
+        k in matrix(5, 3),
+        v in matrix(5, 3),
+    ) {
+        let cfg = AttentionConfig::new(3);
+        let a = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let b = predicted_checksum_eq8(&q, &k, &v, &cfg);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// FlashAttention-2 equals naive attention for arbitrary inputs.
+    #[test]
+    fn flash2_equals_naive(
+        q in matrix(5, 4),
+        k in matrix(5, 4),
+        v in matrix(5, 4),
+    ) {
+        let cfg = AttentionConfig::new(4);
+        let a = flash2::attention(&q, &k, &v, &cfg);
+        let b = naive::attention(&q, &k, &v, &cfg);
+        prop_assert!(a.max_abs_diff(&b) < 1e-11);
+    }
+
+    /// Tiling is block-size invariant.
+    #[test]
+    fn tiling_is_invariant(
+        q in matrix(7, 3),
+        k in matrix(7, 3),
+        v in matrix(7, 3),
+        bs in 1usize..9,
+    ) {
+        let cfg = AttentionConfig::new(3);
+        let whole = flash2::attention(&q, &k, &v, &cfg);
+        let tiles = tiled::attention(&q, &k, &v, &cfg, bs);
+        prop_assert!(whole.max_abs_diff(&tiles) < 1e-11);
+    }
+
+    /// Online softmax merge is associative with sequential processing.
+    #[test]
+    fn online_softmax_merge_associative(
+        scores in proptest::collection::vec(-50.0f64..50.0, 2..20),
+        split in 0usize..20,
+    ) {
+        let split = split.min(scores.len());
+        let mut seq = OnlineSoftmax::new();
+        for &s in &scores {
+            seq.push(s);
+        }
+        let (l, r) = scores.split_at(split);
+        let mut a = OnlineSoftmax::new();
+        for &s in l { a.push(s); }
+        let mut b = OnlineSoftmax::new();
+        for &s in r { b.push(s); }
+        a.merge(&b);
+        prop_assert_eq!(a.max(), seq.max());
+        prop_assert!((a.sum_exp() - seq.sum_exp()).abs() < 1e-9 * seq.sum_exp().max(1.0));
+    }
+
+    /// The merged-accumulator invariant: the checksum lane always equals
+    /// the sum of the output lanes (exact arithmetic identity of Eq. 9).
+    #[test]
+    fn merged_accumulator_invariant(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 4), 1..12),
+        scores in proptest::collection::vec(-20.0f64..20.0, 12),
+    ) {
+        let mut acc = MergedAccumulator::new(4);
+        for (row, &s) in rows.iter().zip(&scores) {
+            acc.step(s, row);
+            let lane_sum: f64 = acc.output().iter().sum();
+            let scale = lane_sum.abs().max(1.0);
+            prop_assert!((acc.checksum() - lane_sum).abs() < 1e-10 * scale);
+        }
+    }
+
+    /// Huang–Abraham checksum detects any single corruption larger than
+    /// the tolerance.
+    #[test]
+    fn matmul_checksum_detects_single_corruption(
+        a in matrix(4, 5),
+        b in matrix(5, 3),
+        r in 0usize..4,
+        c in 0usize..3,
+        delta in 0.01f64..10.0,
+    ) {
+        let mut product = a.matmul(&b);
+        let predicted = predicted_matmul_checksum(&a, &b);
+        product[(r, c)] += delta;
+        prop_assert!((predicted - product.sum_all()).abs() > delta * 0.5);
+    }
+
+    /// BF16 roundtrip: decode(encode(x)) is within half a BF16 ULP.
+    #[test]
+    fn bf16_roundtrip_error_bounded(x in -1e30f64..1e30) {
+        let rounded = BF16::from_f64(x).to_f64();
+        // Half-ULP of BF16: 2^-9 relative.
+        prop_assert!((rounded - x).abs() <= x.abs() * 3.92e-3 + 1e-40,
+            "{x} -> {rounded}");
+    }
+
+    /// BF16 bit flips always change the decoded value (no dead bits) for
+    /// normal values.
+    #[test]
+    fn bf16_flips_change_value(x in 0.01f32..100.0, bit in 0u32..16) {
+        let v = BF16::from_f32(x);
+        let flipped = v.with_flipped_bit(bit);
+        prop_assert_ne!(v.to_bits(), flipped.to_bits());
+        // Decoded values differ unless the flip makes a NaN compare weird.
+        if !flipped.is_nan() {
+            prop_assert_ne!(v.to_f64(), flipped.to_f64());
+        }
+    }
+
+    /// Checksum linearity in V: check(Q,K,aV+bW) = a·check(Q,K,V) + b·check(Q,K,W).
+    #[test]
+    fn checksum_linear_in_v(
+        q in matrix(4, 3),
+        k in matrix(4, 3),
+        v in matrix(4, 3),
+        w in matrix(4, 3),
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+    ) {
+        let cfg = AttentionConfig::new(3);
+        let combo = Matrix::from_fn(4, 3, |r, c| a * v[(r, c)] + b * w[(r, c)]);
+        let lhs = predicted_checksum_eq5(&q, &k, &combo, &cfg);
+        let rhs = a * predicted_checksum_eq5(&q, &k, &v, &cfg)
+            + b * predicted_checksum_eq5(&q, &k, &w, &cfg);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "{lhs} vs {rhs}");
+    }
+}
