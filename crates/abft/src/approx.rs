@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn clean_product_classifies_clean() {
         let (a, b, c) = product(21);
-        assert_eq!(ApproxChecker::default().classify(&a, &b, &c), Significance::Clean);
+        assert_eq!(
+            ApproxChecker::default().classify(&a, &b, &c),
+            Significance::Clean
+        );
     }
 
     #[test]

@@ -168,7 +168,13 @@ pub fn two_step_score_traffic_bytes(n: u64, elem_bytes: u64) -> u64 {
 /// Energy-style comparison of the two checking schemes including memory
 /// traffic, with `access_weight` = energy of one element access relative
 /// to one addition (on-chip SRAM ≈ 25–50× an add at 28 nm).
-pub fn scheme_energy(ops: OpCounts, traffic_bytes: u64, elem_bytes: u64, w: &OpWeights, access_weight: f64) -> f64 {
+pub fn scheme_energy(
+    ops: OpCounts,
+    traffic_bytes: u64,
+    elem_bytes: u64,
+    w: &OpWeights,
+    access_weight: f64,
+) -> f64 {
     ops.weighted(w) + (traffic_bytes / elem_bytes) as f64 * access_weight
 }
 
@@ -263,7 +269,10 @@ mod tests {
         // unweighted op-count fraction at the evaluated design point
         // (N=256, d=128) should be of the same order.
         let frac = overhead_ratio(flash_abft_overhead(256, 128), flash2_kernel(256, 128));
-        assert!(frac < 0.04, "op-count overhead {frac} should be a few percent");
+        assert!(
+            frac < 0.04,
+            "op-count overhead {frac} should be a few percent"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl ExtremeChecker {
                     None
                 };
                 if let Some(kind) = kind {
-                    findings.push(ExtremeFinding { row: r, col: c, kind });
+                    findings.push(ExtremeFinding {
+                        row: r,
+                        col: c,
+                        kind,
+                    });
                 }
             }
         }

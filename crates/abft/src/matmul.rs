@@ -130,12 +130,7 @@ pub fn locate_single_error<T: Scalar>(
 
     // Row residuals: actual row sums vs true row sums.
     let mut bad_row = None;
-    for (i, (actual, expected)) in result
-        .row_sums()
-        .iter()
-        .zip(true_c.row_sums())
-        .enumerate()
-    {
+    for (i, (actual, expected)) in result.row_sums().iter().zip(true_c.row_sums()).enumerate() {
         let delta = actual - expected;
         if delta.abs() > tolerance {
             if bad_row.is_some() {
@@ -145,12 +140,7 @@ pub fn locate_single_error<T: Scalar>(
         }
     }
     let mut bad_col = None;
-    for (j, (actual, expected)) in result
-        .col_sums()
-        .iter()
-        .zip(true_c.col_sums())
-        .enumerate()
-    {
+    for (j, (actual, expected)) in result.col_sums().iter().zip(true_c.col_sums()).enumerate() {
         let delta = actual - expected;
         if delta.abs() > tolerance {
             if bad_col.is_some() {

@@ -197,7 +197,10 @@ mod tests {
             Tolerance::PAPER,
             Some((InjectionPoint::Softmax, 3, 2, 0.25)),
         );
-        assert!(!faulty.any_alarm(), "two-step ABFT cannot see softmax faults");
+        assert!(
+            !faulty.any_alarm(),
+            "two-step ABFT cannot see softmax faults"
+        );
         // ...yet the output is definitely wrong:
         assert!(faulty.output.max_abs_diff(&clean.output) > 1e-3);
     }
@@ -225,6 +228,9 @@ mod tests {
         // Even fault-free, an absurdly tight tolerance may alarm due to
         // rounding — which is precisely the false-positive regime the
         // threshold sweep explores. Here we only exercise the plumbing:
-        assert_eq!(r.any_alarm(), r.score_check.is_alarm() || r.output_check.is_alarm());
+        assert_eq!(
+            r.any_alarm(),
+            r.score_check.is_alarm() || r.output_check.is_alarm()
+        );
     }
 }

@@ -121,48 +121,63 @@ impl Accelerator {
             match f.target {
                 RegAddr::Query { block, lane } => {
                     assert!(block < p_blocks && lane < self.cfg.head_dim());
-                    block_faults.entry((pass, block)).or_default().push(BlockFault {
-                        in_pass_cycle: t,
-                        kind: BlockRegKind::Query,
-                        lane,
-                        bit: f.bit,
-                    });
+                    block_faults
+                        .entry((pass, block))
+                        .or_default()
+                        .push(BlockFault {
+                            in_pass_cycle: t,
+                            kind: BlockRegKind::Query,
+                            lane,
+                            bit: f.bit,
+                        });
                 }
                 RegAddr::Output { block, lane } => {
                     assert!(block < p_blocks && lane < self.cfg.head_dim());
-                    block_faults.entry((pass, block)).or_default().push(BlockFault {
-                        in_pass_cycle: t,
-                        kind: BlockRegKind::Output,
-                        lane,
-                        bit: f.bit,
-                    });
+                    block_faults
+                        .entry((pass, block))
+                        .or_default()
+                        .push(BlockFault {
+                            in_pass_cycle: t,
+                            kind: BlockRegKind::Output,
+                            lane,
+                            bit: f.bit,
+                        });
                 }
                 RegAddr::MaxScore { block } => {
                     assert!(block < p_blocks);
-                    block_faults.entry((pass, block)).or_default().push(BlockFault {
-                        in_pass_cycle: t,
-                        kind: BlockRegKind::MaxScore,
-                        lane: 0,
-                        bit: f.bit,
-                    });
+                    block_faults
+                        .entry((pass, block))
+                        .or_default()
+                        .push(BlockFault {
+                            in_pass_cycle: t,
+                            kind: BlockRegKind::MaxScore,
+                            lane: 0,
+                            bit: f.bit,
+                        });
                 }
                 RegAddr::SumExp { block } => {
                     assert!(block < p_blocks);
-                    block_faults.entry((pass, block)).or_default().push(BlockFault {
-                        in_pass_cycle: t,
-                        kind: BlockRegKind::SumExp,
-                        lane: 0,
-                        bit: f.bit,
-                    });
+                    block_faults
+                        .entry((pass, block))
+                        .or_default()
+                        .push(BlockFault {
+                            in_pass_cycle: t,
+                            kind: BlockRegKind::SumExp,
+                            lane: 0,
+                            bit: f.bit,
+                        });
                 }
                 RegAddr::Check { block } => {
                     assert!(block < p_blocks);
-                    block_faults.entry((pass, block)).or_default().push(BlockFault {
-                        in_pass_cycle: t,
-                        kind: BlockRegKind::Check,
-                        lane: 0,
-                        bit: f.bit,
-                    });
+                    block_faults
+                        .entry((pass, block))
+                        .or_default()
+                        .push(BlockFault {
+                            in_pass_cycle: t,
+                            kind: BlockRegKind::Check,
+                            lane: 0,
+                            bit: f.bit,
+                        });
                 }
                 RegAddr::SumRow => {
                     // The sumrow pipeline register is consumed during
@@ -188,8 +203,7 @@ impl Accelerator {
             let sumrows: Vec<f64> = if pass_has_sumrow_faults {
                 let mut eff = base_sumrows.clone();
                 for &(t, bit) in &sumrow_faults[&pass] {
-                    let mut r =
-                        Register::with_value(self.cfg.precision.sumrow, eff[t as usize]);
+                    let mut r = Register::with_value(self.cfg.precision.sumrow, eff[t as usize]);
                     r.flip_bit(bit);
                     eff[t as usize] = r.read();
                 }
@@ -204,8 +218,7 @@ impl Accelerator {
                     break; // partial final pass: idle blocks
                 }
                 let private = block_faults.get(&(pass, block));
-                let must_sim =
-                    golden.is_none() || private.is_some() || pass_has_sumrow_faults;
+                let must_sim = golden.is_none() || private.is_some() || pass_has_sumrow_faults;
                 if must_sim {
                     let empty = Vec::new();
                     let result = simulate_block_pass(
@@ -312,7 +325,10 @@ mod tests {
             &v.to_f64(),
             &accel.config().attention,
         );
-        assert!(run.output.to_f64().max_abs_diff(&reference) < 0.01, "BF16 writeback");
+        assert!(
+            run.output.to_f64().max_abs_diff(&reference) < 0.01,
+            "BF16 writeback"
+        );
         // Pre-rounding row sums match exactly.
         for (i, rs) in run.per_query_row_sums.iter().enumerate() {
             let expected: f64 = reference.row(i).iter().sum();
@@ -359,14 +375,46 @@ mod tests {
         let map = accel.storage_map();
         // Exercise every register class.
         let faults = [
-            Fault { cycle: 3, target: RegAddr::Query { block: 1, lane: 2 }, bit: 13 },
-            Fault { cycle: 17, target: RegAddr::Output { block: 0, lane: 3 }, bit: 60 },
-            Fault { cycle: 8, target: RegAddr::MaxScore { block: 2 }, bit: 40 },
-            Fault { cycle: 30, target: RegAddr::SumExp { block: 3 }, bit: 50 },
-            Fault { cycle: 22, target: RegAddr::Check { block: 1 }, bit: 55 },
-            Fault { cycle: 5, target: RegAddr::SumRow, bit: 51 },
-            Fault { cycle: 13, target: RegAddr::GlobalCheck, bit: 52 },
-            Fault { cycle: 27, target: RegAddr::OutputSum, bit: 33 },
+            Fault {
+                cycle: 3,
+                target: RegAddr::Query { block: 1, lane: 2 },
+                bit: 13,
+            },
+            Fault {
+                cycle: 17,
+                target: RegAddr::Output { block: 0, lane: 3 },
+                bit: 60,
+            },
+            Fault {
+                cycle: 8,
+                target: RegAddr::MaxScore { block: 2 },
+                bit: 40,
+            },
+            Fault {
+                cycle: 30,
+                target: RegAddr::SumExp { block: 3 },
+                bit: 50,
+            },
+            Fault {
+                cycle: 22,
+                target: RegAddr::Check { block: 1 },
+                bit: 55,
+            },
+            Fault {
+                cycle: 5,
+                target: RegAddr::SumRow,
+                bit: 51,
+            },
+            Fault {
+                cycle: 13,
+                target: RegAddr::GlobalCheck,
+                bit: 52,
+            },
+            Fault {
+                cycle: 27,
+                target: RegAddr::OutputSum,
+                bit: 33,
+            },
         ];
         let _ = map;
         for f in faults {
@@ -455,7 +503,7 @@ mod tests {
         let fault = Fault {
             cycle: 15, // after the first pass accumulated: register is non-zero
             target: RegAddr::GlobalCheck,
-            bit: 51,   // mantissa MSB: ~50 % relative change
+            bit: 51, // mantissa MSB: ~50 % relative change
         };
         let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
         assert_eq!(run.output, golden.output);
@@ -474,10 +522,7 @@ mod tests {
         };
         let run = accel.run_faulted(&q, &k, &v, &[fault], Some(&golden));
         assert_eq!(run.output, golden.output, "sumrow feeds only the checker");
-        assert!(
-            (run.predicted - golden.predicted).abs() > 1e-6
-                || run.predicted.is_nan()
-        );
+        assert!((run.predicted - golden.predicted).abs() > 1e-6 || run.predicted.is_nan());
     }
 
     #[test]
@@ -522,13 +567,16 @@ pub fn run_multihead(
     v: &Matrix<BF16>,
 ) -> Vec<RunResult> {
     let d = accel.config().head_dim();
-    assert_eq!(q.cols() % d, 0, "packed width {} not a multiple of d={d}", q.cols());
+    assert_eq!(
+        q.cols() % d,
+        0,
+        "packed width {} not a multiple of d={d}",
+        q.cols()
+    );
     assert_eq!(k.cols(), q.cols(), "K width mismatch");
     assert_eq!(v.cols(), q.cols(), "V width mismatch");
     let heads = q.cols() / d;
-    let slice = |m: &Matrix<BF16>, h: usize| {
-        Matrix::from_fn(m.rows(), d, |r, c| m[(r, h * d + c)])
-    };
+    let slice = |m: &Matrix<BF16>, h: usize| Matrix::from_fn(m.rows(), d, |r, c| m[(r, h * d + c)]);
     (0..heads)
         .map(|h| accel.run(&slice(q, h), &slice(k, h), &slice(v, h)))
         .collect()

@@ -172,8 +172,11 @@ mod tests {
         let (q, k, v) = workload(64, 128);
         let profile = measure_activity(&cfg, &q, &k, &v);
         let costs = ComponentCosts::default();
-        let scaled =
-            activity_scaled_power(&PowerReport::compute(16, 128, 256, &costs), &profile, &costs);
+        let scaled = activity_scaled_power(
+            &PowerReport::compute(16, 128, 256, &costs),
+            &profile,
+            &costs,
+        );
         assert!(
             scaled.checker_share() > 0.005 && scaled.checker_share() < 0.04,
             "share {}",

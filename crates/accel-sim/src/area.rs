@@ -29,7 +29,10 @@ impl AreaReport {
         shared_sumrow: bool,
         costs: &ComponentCosts,
     ) -> Self {
-        assert!(parallel_queries > 0 && head_dim > 0, "geometry must be positive");
+        assert!(
+            parallel_queries > 0 && head_dim > 0,
+            "geometry must be positive"
+        );
         let kernel = kernel_components(parallel_queries, head_dim);
         let checker = checker_components(parallel_queries, head_dim, shared_sumrow);
         AreaReport {

@@ -183,7 +183,14 @@ pub fn simulate_block_pass_observed<O: BlockObserver>(
     };
 
     for t in 0..n {
-        apply_faults(t, &mut q_regs, &mut o_regs, &mut m_reg, &mut l_reg, &mut c_reg);
+        apply_faults(
+            t,
+            &mut q_regs,
+            &mut o_regs,
+            &mut m_reg,
+            &mut l_reg,
+            &mut c_reg,
+        );
         let ti = t as usize;
 
         // Score: dot(q, k_t) · scale, accumulated in the (wide) MAC pipeline.
@@ -232,7 +239,14 @@ pub fn simulate_block_pass_observed<O: BlockObserver>(
     }
 
     // Divide epilogue (in-pass cycle n).
-    apply_faults(n, &mut q_regs, &mut o_regs, &mut m_reg, &mut l_reg, &mut c_reg);
+    apply_faults(
+        n,
+        &mut q_regs,
+        &mut o_regs,
+        &mut m_reg,
+        &mut l_reg,
+        &mut c_reg,
+    );
     let l = l_reg.read();
     let mut pre_round_output = Vec::with_capacity(d);
     let mut output = Vec::with_capacity(d);
@@ -262,7 +276,17 @@ mod tests {
     use super::*;
     use fa_tensor::random::ElementDist;
 
-    fn setup(n: usize, d: usize, seed: u64) -> (AcceleratorConfig, Vec<BF16>, Matrix<BF16>, Matrix<BF16>, Vec<f64>) {
+    fn setup(
+        n: usize,
+        d: usize,
+        seed: u64,
+    ) -> (
+        AcceleratorConfig,
+        Vec<BF16>,
+        Matrix<BF16>,
+        Matrix<BF16>,
+        Vec<f64>,
+    ) {
         let cfg = AcceleratorConfig::new(1, d);
         let q: Matrix<BF16> = Matrix::random_seeded(1, d, ElementDist::default(), seed);
         let k: Matrix<BF16> = Matrix::random_seeded(n, d, ElementDist::default(), seed + 1);
@@ -277,7 +301,8 @@ mod tests {
         let result = simulate_block_pass(&cfg, &q_row, &k, &v, &sumrows, &[]);
         // Reference: f64 flash2 on the BF16-rounded inputs.
         let qm = Matrix::from_vec(1, 8, q_row.clone()).to_f64();
-        let reference = fa_attention::flash2::attention(&qm, &k.to_f64(), &v.to_f64(), &cfg.attention);
+        let reference =
+            fa_attention::flash2::attention(&qm, &k.to_f64(), &v.to_f64(), &cfg.attention);
         for (j, &val) in result.pre_round_output.iter().enumerate() {
             assert!(
                 (val - reference[(0, j)]).abs() < 1e-12,
@@ -311,8 +336,7 @@ mod tests {
         };
         let faulty = simulate_block_pass(&cfg, &q_row, &k, &v, &sumrows, &[fault]);
         assert!(
-            (faulty.row_sum - clean.row_sum).abs() > 1e-6
-                || faulty.row_sum.is_nan(),
+            (faulty.row_sum - clean.row_sum).abs() > 1e-6 || faulty.row_sum.is_nan(),
             "query fault must corrupt the output"
         );
         // The residual |check - row_sum| exposes it (prediction unaffected
@@ -441,6 +465,9 @@ mod tests {
         let wide_res = (wide.check_q - wide.row_sum).abs();
         let narrow_res = (narrow.check_q - narrow.row_sum).abs();
         assert!(wide_res < 1e-10);
-        assert!(narrow_res > wide_res, "narrow {narrow_res} vs wide {wide_res}");
+        assert!(
+            narrow_res > wide_res,
+            "narrow {narrow_res} vs wide {wide_res}"
+        );
     }
 }

@@ -8,20 +8,15 @@ use fa_attention::AttentionConfig;
 /// checksum lanes (the same unit feeds both), so checker behaviour is
 /// identical; only absolute output accuracy differs — an ablation the
 /// test-suite pins down.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ExpUnitKind {
     /// Reference libm `exp` (default).
+    #[default]
     Libm,
     /// Range-reduced degree-9 polynomial (HLS-style shared FP pipeline).
     Poly,
     /// Dual 64-entry LUT with degree-2 residual polynomial.
     Table,
-}
-
-impl Default for ExpUnitKind {
-    fn default() -> Self {
-        ExpUnitKind::Libm
-    }
 }
 
 impl ExpUnitKind {

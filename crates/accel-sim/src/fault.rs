@@ -89,6 +89,6 @@ mod tests {
         };
         let g = f;
         assert_eq!(f, g);
-        assert_eq!(format!("{:?}", f).is_empty(), false);
+        assert!(!format!("{:?}", f).is_empty());
     }
 }

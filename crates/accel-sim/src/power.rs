@@ -68,7 +68,8 @@ impl PowerReport {
         // Shared checker logic per cycle: sumrow tree + register, plus
         // the two global accumulators and comparison amortized per pass.
         let sumrow = (d - 1.0) * c.energy_add_bf16 + c.energy_add_f64 + 64.0 * c.energy_reg_bit;
-        let global_amortized = (2.0 * c.energy_add_f64 + c.energy_cmp + 128.0 * c.energy_reg_bit) / n;
+        let global_amortized =
+            (2.0 * c.energy_add_f64 + c.energy_cmp + 128.0 * c.energy_reg_bit) / n;
 
         PowerReport {
             parallel_queries,

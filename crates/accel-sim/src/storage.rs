@@ -176,10 +176,7 @@ mod tests {
         let cfg = AcceleratorConfig::new(2, 4);
         let map = StorageMap::new(&cfg);
         // First entry is Query{0,0}, BF16 (16 bits).
-        assert_eq!(
-            map.locate_bit(0),
-            (RegAddr::Query { block: 0, lane: 0 }, 0)
-        );
+        assert_eq!(map.locate_bit(0), (RegAddr::Query { block: 0, lane: 0 }, 0));
         assert_eq!(
             map.locate_bit(15),
             (RegAddr::Query { block: 0, lane: 0 }, 15)

@@ -198,7 +198,7 @@ impl EncoderLayer {
         let normed1 = self.norm1.forward(&resid1);
 
         // FFN with GELU.
-        let hidden = self.ffn1.forward(&normed1).map(|x| gelu(x));
+        let hidden = self.ffn1.forward(&normed1).map(gelu);
         let ffn_out = self.ffn2.forward(&hidden);
 
         // Residual + norm 2.
@@ -267,7 +267,12 @@ mod tests {
 
     #[test]
     fn erf_matches_tabulated_values() {
-        for (x, expected) in [(0.0, 0.0), (0.5, 0.5204999), (1.0, 0.8427008), (2.0, 0.9953223)] {
+        for (x, expected) in [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+        ] {
             assert!((erf(x) - expected).abs() < 2e-7, "erf({x})");
             assert!((erf(-x) + expected).abs() < 2e-7, "erf(-{x})");
         }
@@ -280,19 +285,17 @@ mod tests {
         let x = Matrix::<f64>::zeros(3, 4);
         let y = layer.forward(&x);
         assert_eq!((y.rows(), y.cols()), (3, 6));
-        assert!(y.as_slice().iter().all(|&v| v == 1.0), "zero input + unit bias");
+        assert!(
+            y.as_slice().iter().all(|&v| v == 1.0),
+            "zero input + unit bias"
+        );
     }
 
     #[test]
     fn encoder_layer_forward_is_sane() {
         let mh = MultiHeadConfig::new(2, AttentionConfig::new(4));
         let layer = EncoderLayer::new(mh, 42);
-        let emb = Matrix::<f64>::random_seeded(
-            6,
-            8,
-            ElementDist::Gaussian { std_dev: 1.0 },
-            7,
-        );
+        let emb = Matrix::<f64>::random_seeded(6, 8, ElementDist::Gaussian { std_dev: 1.0 }, 7);
         let out = layer.forward(&emb);
         assert_eq!((out.output.rows(), out.output.cols()), (6, 8));
         assert!(out.output.all_finite());

@@ -8,9 +8,10 @@
 //! property that makes the kernel streamable and the reason the paper's
 //! checksum (which obeys the *same* recurrence) can be computed online.
 
-use crate::AttentionConfig;
+use crate::{par, AttentionConfig};
 use fa_numerics::OnlineSoftmax;
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
 
 /// Per-query result of the online pass, before the final division.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,7 +26,11 @@ pub struct OnlineQueryState {
     pub steps: usize,
 }
 
-/// Computes FlashAttention-2 (Alg. 2).
+/// Computes FlashAttention-2 (Alg. 2), parallelized across query rows.
+///
+/// Per-query state is fully independent, so rows are distributed over the
+/// rayon pool; the result is **bit-identical** to [`attention_serial`] for
+/// every thread count (the property tests assert this).
 ///
 /// # Panics
 ///
@@ -43,6 +48,41 @@ pub struct OnlineQueryState {
 /// assert!(a.max_abs_diff(&b) < 1e-12);
 /// ```
 pub fn attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> Matrix<T> {
+    cfg.validate_shapes(q, k, v);
+    let d = cfg.head_dim();
+    let mut out = Matrix::zeros(q.rows(), d);
+    let fill_row = |qi: usize, row: &mut [T]| {
+        let state = query_state(q, k, v, cfg, qi);
+        for (o, &val) in row.iter_mut().zip(&state.output) {
+            *o = T::from_f64(val / state.sum_exp);
+        }
+    };
+    if par::worth_parallelizing(q.rows(), k.rows(), d) {
+        out.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(qi, row)| fill_row(qi, row));
+    } else {
+        for (qi, row) in out.as_mut_slice().chunks_mut(d).enumerate() {
+            fill_row(qi, row);
+        }
+    }
+    out
+}
+
+/// The serial reference form of [`attention`]: identical arithmetic, one
+/// thread. Kept public as the golden model for the parallel-equivalence
+/// property tests and the speedup benchmarks.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn attention_serial<T: Scalar>(
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,

@@ -11,6 +11,7 @@
 use crate::multihead::MultiHeadConfig;
 use crate::{flash2, AttentionConfig};
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
 
 /// Grouped-query attention configuration: `query_heads` query heads share
 /// `kv_heads` key/value heads (`query_heads % kv_heads == 0`).
@@ -32,7 +33,10 @@ impl GqaConfig {
     /// Panics if either head count is zero or `query_heads` is not a
     /// multiple of `kv_heads`.
     pub fn new(query_heads: usize, kv_heads: usize, head: AttentionConfig) -> Self {
-        assert!(query_heads > 0 && kv_heads > 0, "head counts must be positive");
+        assert!(
+            query_heads > 0 && kv_heads > 0,
+            "head counts must be positive"
+        );
         assert_eq!(
             query_heads % kv_heads,
             0,
@@ -97,13 +101,27 @@ pub fn attention<T: Scalar>(
     let q_slicer = MultiHeadConfig::new(cfg.query_heads, cfg.head);
     let kv_slicer = MultiHeadConfig::new(cfg.kv_heads, cfg.head);
 
-    let mut out = Matrix::zeros(q.rows(), cfg.q_dim());
-    for h in 0..cfg.query_heads {
+    // Heads are independent attentions: fan them out over the rayon pool
+    // when the total work warrants a fork (per-head flash2 then runs
+    // serially inside the pool), then stitch the interleaved output
+    // columns on the calling thread. Tiny simulator-sized calls stay on
+    // this thread entirely.
+    let per_head = |h: usize| {
         let g = cfg.group_of(h);
         let qh = q_slicer.slice_head(q, h);
         let kg = kv_slicer.slice_head(k, g);
         let vg = kv_slicer.slice_head(v, g);
-        let oh = flash2::attention(&qh, &kg, &vg, &cfg.head);
+        flash2::attention(&qh, &kg, &vg, &cfg.head)
+    };
+    let heads: Vec<Matrix<T>> =
+        if crate::par::worth_parallelizing(cfg.query_heads * q.rows(), k.rows(), d) {
+            (0..cfg.query_heads).into_par_iter().map(per_head).collect()
+        } else {
+            (0..cfg.query_heads).map(per_head).collect()
+        };
+
+    let mut out = Matrix::zeros(q.rows(), cfg.q_dim());
+    for (h, oh) in heads.iter().enumerate() {
         for r in 0..out.rows() {
             for c in 0..d {
                 out[(r, h * d + c)] = oh[(r, c)];

@@ -50,3 +50,9 @@ pub mod tiled;
 mod config;
 
 pub use config::AttentionConfig;
+
+/// Shared parallelization policy: one threshold for the whole workspace,
+/// owned by [`fa_tensor::par`].
+pub(crate) mod par {
+    pub use fa_tensor::par::worth_parallelizing;
+}

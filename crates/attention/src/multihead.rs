@@ -45,7 +45,11 @@ impl MultiHeadConfig {
     /// Panics if `h >= num_heads` or the matrix width differs from
     /// [`Self::model_dim`].
     pub fn slice_head<T: Scalar>(&self, packed: &Matrix<T>, h: usize) -> Matrix<T> {
-        assert!(h < self.num_heads, "head {h} out of {} heads", self.num_heads);
+        assert!(
+            h < self.num_heads,
+            "head {h} out of {} heads",
+            self.num_heads
+        );
         assert_eq!(
             packed.cols(),
             self.model_dim(),

@@ -5,8 +5,9 @@
 //! multiplies by `V`. Every faster kernel in the workspace is validated
 //! against it.
 
-use crate::AttentionConfig;
+use crate::{par, AttentionConfig};
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
 
 /// Computes attention by materializing the full score matrix.
 ///
@@ -60,19 +61,17 @@ pub fn softmax_scores<T: Scalar>(
     let n_q = q.rows();
     let n_k = k.rows();
     let mut scores = Matrix::<f64>::zeros(n_q, n_k);
-    for i in 0..n_q {
-        for j in 0..n_k {
-            let s = if cfg.visible(i, j) {
+
+    // Each score row depends only on its own query: scores + stable row
+    // softmax fused per row, rows distributed over the rayon pool.
+    let fill_row = |i: usize, row: &mut [f64]| {
+        for (j, s) in row.iter_mut().enumerate() {
+            *s = if cfg.visible(i, j) {
                 fa_tensor::ops::dot_f64(q.row(i), k.row(j)) * cfg.scale()
             } else {
                 f64::NEG_INFINITY
             };
-            scores[(i, j)] = s;
         }
-    }
-    // Stable row softmax.
-    for i in 0..n_q {
-        let row = scores.row_mut(i);
         let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         if m == f64::NEG_INFINITY {
             // Fully-masked row (cannot happen with causal + j<=i, but keep
@@ -80,7 +79,7 @@ pub fn softmax_scores<T: Scalar>(
             for x in row.iter_mut() {
                 *x = 0.0;
             }
-            continue;
+            return;
         }
         let mut denom = 0.0;
         for x in row.iter_mut() {
@@ -89,6 +88,18 @@ pub fn softmax_scores<T: Scalar>(
         }
         for x in row.iter_mut() {
             *x /= denom;
+        }
+    };
+
+    if n_k > 0 && par::worth_parallelizing(n_q, n_k, q.cols().max(1)) {
+        scores
+            .as_mut_slice()
+            .par_chunks_mut(n_k)
+            .enumerate()
+            .for_each(|(i, row)| fill_row(i, row));
+    } else if n_k > 0 {
+        for (i, row) in scores.as_mut_slice().chunks_mut(n_k).enumerate() {
+            fill_row(i, row);
         }
     }
     scores

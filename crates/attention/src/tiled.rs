@@ -7,12 +7,63 @@
 //! result matches the row-wise kernel up to rounding — a property the
 //! tests pin down.
 
-use crate::AttentionConfig;
+use crate::{par, AttentionConfig};
 use fa_numerics::OnlineSoftmax;
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// Runs the blocked key/value streaming loop for one query row, writing
+/// the normalized attention row into `row_out`.
+fn fill_query_row<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+    block_size: usize,
+    qi: usize,
+    row_out: &mut [T],
+) {
+    let d = cfg.head_dim();
+    let n = k.rows();
+    let mut global = OnlineSoftmax::new();
+    let mut acc = vec![0.0f64; d];
+
+    let mut block_start = 0;
+    while block_start < n {
+        let block_end = (block_start + block_size).min(n);
+
+        // Local pass over this key/value block.
+        let mut local = OnlineSoftmax::new();
+        let mut local_acc = vec![0.0f64; d];
+        for i in block_start..block_end {
+            if !cfg.visible(qi, i) {
+                continue;
+            }
+            let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
+            let step = local.push(s);
+            for (o, &vv) in local_acc.iter_mut().zip(v.row(i)) {
+                *o = *o * step.scale_old + vv.to_f64() * step.weight_new;
+            }
+        }
+
+        // Merge block state into the running per-query state.
+        if !local.is_empty() {
+            let step = global.merge(&local);
+            for (g, l) in acc.iter_mut().zip(&local_acc) {
+                *g = *g * step.scale_old + *l * step.weight_new;
+            }
+        }
+        block_start = block_end;
+    }
+
+    for (o, &a) in row_out.iter_mut().zip(&acc) {
+        *o = T::from_f64(a / global.sum_exp());
+    }
+}
 
 /// Computes FlashAttention-2 streaming keys/values in blocks of
-/// `block_size` rows.
+/// `block_size` rows, parallelized across query rows (bit-identical to
+/// [`attention_serial`] for every thread count).
 ///
 /// # Panics
 ///
@@ -39,44 +90,39 @@ pub fn attention<T: Scalar>(
     cfg.validate_shapes(q, k, v);
     assert!(block_size > 0, "block_size must be positive");
     let d = cfg.head_dim();
-    let n = k.rows();
     let mut out = Matrix::zeros(q.rows(), d);
-
-    for qi in 0..q.rows() {
-        let mut global = OnlineSoftmax::new();
-        let mut acc = vec![0.0f64; d];
-
-        let mut block_start = 0;
-        while block_start < n {
-            let block_end = (block_start + block_size).min(n);
-
-            // Local pass over this key/value block.
-            let mut local = OnlineSoftmax::new();
-            let mut local_acc = vec![0.0f64; d];
-            for i in block_start..block_end {
-                if !cfg.visible(qi, i) {
-                    continue;
-                }
-                let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
-                let step = local.push(s);
-                for (o, &vv) in local_acc.iter_mut().zip(v.row(i)) {
-                    *o = *o * step.scale_old + vv.to_f64() * step.weight_new;
-                }
-            }
-
-            // Merge block state into the running per-query state.
-            if !local.is_empty() {
-                let step = global.merge(&local);
-                for (g, l) in acc.iter_mut().zip(&local_acc) {
-                    *g = *g * step.scale_old + *l * step.weight_new;
-                }
-            }
-            block_start = block_end;
+    if par::worth_parallelizing(q.rows(), k.rows(), d) {
+        out.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(qi, row)| fill_query_row(q, k, v, cfg, block_size, qi, row));
+    } else {
+        for (qi, row) in out.as_mut_slice().chunks_mut(d).enumerate() {
+            fill_query_row(q, k, v, cfg, block_size, qi, row);
         }
+    }
+    out
+}
 
-        for c in 0..d {
-            out[(qi, c)] = T::from_f64(acc[c] / global.sum_exp());
-        }
+/// The serial reference form of [`attention`]: identical arithmetic, one
+/// thread — golden model for the parallel-equivalence property tests.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or if `block_size == 0`.
+pub fn attention_serial<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+    block_size: usize,
+) -> Matrix<T> {
+    cfg.validate_shapes(q, k, v);
+    assert!(block_size > 0, "block_size must be positive");
+    let d = cfg.head_dim();
+    let mut out = Matrix::zeros(q.rows(), d);
+    for (qi, row) in out.as_mut_slice().chunks_mut(d).enumerate() {
+        fill_query_row(q, k, v, cfg, block_size, qi, row);
     }
     out
 }

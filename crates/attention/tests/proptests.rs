@@ -124,3 +124,99 @@ proptest! {
         prop_assert!(a.max_abs_diff(&b) < 1e-10);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Row-parallel flash2 is bit-identical to the serial kernel for any
+    /// thread count — per-query state is independent, and the shim (like
+    /// rayon) only partitions rows, never reorders per-row arithmetic.
+    #[test]
+    fn flash2_parallel_bit_identical(
+        threads in 1usize..9,
+        seed in 0u64..1_000_000,
+        causal in any::<bool>(),
+    ) {
+        use fa_tensor::random::ElementDist;
+        // 64×64×8 crosses the kernels' parallelization threshold.
+        let q = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed);
+        let k = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed + 1);
+        let v = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed + 2);
+        let cfg = AttentionConfig::new(8).with_causal(causal);
+        let serial = flash2::attention_serial(&q, &k, &v, &cfg);
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| flash2::attention(&q, &k, &v, &cfg));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Same for the tiled kernel, across arbitrary block sizes.
+    #[test]
+    fn tiled_parallel_bit_identical(
+        threads in 1usize..9,
+        block_size in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let q = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed);
+        let k = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed + 1);
+        let v = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed + 2);
+        let cfg = AttentionConfig::new(8);
+        let serial = fa_attention::tiled::attention_serial(&q, &k, &v, &cfg, block_size);
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| fa_attention::tiled::attention(&q, &k, &v, &cfg, block_size));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Head-parallel GQA matches the head-serial computation bit for bit.
+    #[test]
+    fn gqa_parallel_bit_identical(
+        threads in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let cfg = GqaConfig::new(4, 2, AttentionConfig::new(8));
+        let q = Matrix::<f64>::random_seeded(24, 32, ElementDist::default(), seed);
+        let k = Matrix::<f64>::random_seeded(24, 16, ElementDist::default(), seed + 1);
+        let v = Matrix::<f64>::random_seeded(24, 16, ElementDist::default(), seed + 2);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| fa_attention::gqa::attention(&q, &k, &v, &cfg));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| fa_attention::gqa::attention(&q, &k, &v, &cfg));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Parallel naive softmax_scores matches the serial layout row by row.
+    #[test]
+    fn naive_scores_parallel_bit_identical(
+        threads in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let q = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed);
+        let k = Matrix::<f64>::random_seeded(64, 8, ElementDist::default(), seed + 1);
+        let cfg = AttentionConfig::new(8);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| naive::softmax_scores(&q, &k, &cfg));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| naive::softmax_scores(&q, &k, &cfg));
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion bench: the blocked matmul layer vs the seed's triple loop,
+//! and parallel vs serial FlashAttention-2 — the acceptance benchmarks of
+//! the kernel-layer PR, mirrored in `BENCH_kernels.json` by `run_all`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_numerics::BF16;
+use fa_tensor::ops::matmul_f64_acc;
+use fa_tensor::{random::ElementDist, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let af = Matrix::<f64>::random_seeded(n, n, ElementDist::default(), 1);
+        let bf = Matrix::<f64>::random_seeded(n, n, ElementDist::default(), 2);
+        let ab: Matrix<BF16> = af.cast();
+        let bb: Matrix<BF16> = bf.cast();
+
+        group.bench_with_input(BenchmarkId::new("blocked_f64", n), &n, |b, _| {
+            b.iter(|| black_box(af.matmul(&bf)))
+        });
+        group.bench_with_input(BenchmarkId::new("reference_f64", n), &n, |b, _| {
+            b.iter(|| black_box(fa_tensor::ops::matmul_reference(&af, &bf)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_bf16", n), &n, |b, _| {
+            b.iter(|| black_box(ab.matmul(&bb)))
+        });
+        group.bench_with_input(BenchmarkId::new("reference_bf16", n), &n, |b, _| {
+            b.iter(|| black_box(fa_tensor::ops::matmul_reference(&ab, &bb)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_f64_acc_bf16", n), &n, |b, _| {
+            b.iter(|| black_box(matmul_f64_acc(&ab, &bb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flash2_parallel(c: &mut Criterion) {
+    use fa_attention::{flash2, AttentionConfig};
+    let d = 64;
+    let mut group = c.benchmark_group("flash2_parallel");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let q = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 1);
+        let k = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 2);
+        let v = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), 3);
+        let cfg = AttentionConfig::new(d);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| black_box(flash2::attention(&q, &k, &v, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| black_box(flash2::attention_serial(&q, &k, &v, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_flash2_parallel);
+criterion_main!(benches);

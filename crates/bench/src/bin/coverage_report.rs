@@ -29,7 +29,9 @@ fn main() {
     let trials = 200;
     let delta = 0.2;
 
-    println!("Detector coverage by injection point — N={n}, d={d}, {trials} trials/point, delta={delta}");
+    println!(
+        "Detector coverage by injection point — N={n}, d={d}, {trials} trials/point, delta={delta}"
+    );
     println!();
 
     let mut table = TablePrinter::new(vec![

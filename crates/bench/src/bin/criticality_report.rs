@@ -60,7 +60,9 @@ fn main() {
         std::collections::HashMap::new();
     for i in 0..campaigns {
         let mut rng = StdRng::seed_from_u64(
-            spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+            spec.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
         );
         let (target, bit) = map.locate_bit(rng.gen_range(0..map.total_bits()));
         let fault = fa_accel_sim::fault::Fault {
@@ -68,7 +70,13 @@ fn main() {
             target,
             bit,
         };
-        let faulty = accel.run_faulted(&workload.q, &workload.k, &workload.v, &[fault], Some(&golden));
+        let faulty = accel.run_faulted(
+            &workload.q,
+            &workload.k,
+            &workload.v,
+            &[fault],
+            Some(&golden),
+        );
         let classified = classify(
             &golden,
             &faulty,
@@ -92,7 +100,12 @@ fn main() {
     }
 
     let mut table = TablePrinter::new(vec![
-        "category", "faults", "critical", "critical %", "mean max-KL", "top-1 flips",
+        "category",
+        "faults",
+        "critical",
+        "critical %",
+        "mean max-KL",
+        "top-1 flips",
     ]);
     for cat in [
         FaultCategory::Detected,

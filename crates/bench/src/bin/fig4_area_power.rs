@@ -30,15 +30,27 @@ fn main() {
     println!("Fig. 4 reproduction — area & power, d = {d}, 28 nm-relative units");
     println!(
         "sumrow adder tree: {}",
-        if shared { "shared across blocks (Fig. 3)" } else { "replicated per block (ablation)" }
+        if shared {
+            "shared across blocks (Fig. 3)"
+        } else {
+            "replicated per block (ablation)"
+        }
     );
     println!();
 
     let mut area_table = TablePrinter::new(vec![
-        "queries", "kernel um^2", "checker um^2", "total um^2", "checker share",
+        "queries",
+        "kernel um^2",
+        "checker um^2",
+        "total um^2",
+        "checker share",
     ]);
     let mut power_table = TablePrinter::new(vec![
-        "queries", "kernel mW", "checker mW", "total mW", "checker share",
+        "queries",
+        "kernel mW",
+        "checker mW",
+        "total mW",
+        "checker share",
     ]);
 
     let mut area_shares = Vec::new();
@@ -48,7 +60,10 @@ fn main() {
         area_shares.push(a.checker_share());
         area_table.row(vec![
             format!("{p}"),
-            format!("{:.0}", a.kernel_area * fa_accel_sim::components::physical::UM2_PER_AREA_UNIT),
+            format!(
+                "{:.0}",
+                a.kernel_area * fa_accel_sim::components::physical::UM2_PER_AREA_UNIT
+            ),
             format!("{:.0}", a.checker_um2()),
             format!("{:.0}", a.total_um2()),
             format!("{:.2}%", 100.0 * a.checker_share()),

@@ -64,9 +64,7 @@ fn main() {
     }
     print!("{}", table.render());
     println!();
-    println!(
-        "paper claim: false-alarm probability approaches zero as faults/campaign grow."
-    );
+    println!("paper claim: false-alarm probability approaches zero as faults/campaign grow.");
     println!(
         "measured false-positive trend: {} -> {} (first vs last row)",
         format_args!("{:.2}%", fp_rates[0]),

@@ -26,7 +26,14 @@ fn main() {
 
     // Analytic op counts.
     let mut table = TablePrinter::new(vec![
-        "N", "d", "kernel ops", "fused ops", "fused %", "two-step ops", "2-step traffic KiB", "energy ratio 2step/fused",
+        "N",
+        "d",
+        "kernel ops",
+        "fused ops",
+        "fused %",
+        "two-step ops",
+        "2-step traffic KiB",
+        "energy ratio 2step/fused",
     ]);
     let w = OpWeights::default();
     for (n, d) in [(256u64, 64u64), (256, 128), (1024, 128), (4096, 128)] {

@@ -18,9 +18,15 @@ fn main() {
     let pass = RecoveryModel::new(&cfg, CheckGranularity::PerPass, n, n);
 
     let mut lat = TablePrinter::new(vec![
-        "granularity", "worst latency (cycles)", "mean latency (cycles)", "re-exec cost (cycles)",
+        "granularity",
+        "worst latency (cycles)",
+        "mean latency (cycles)",
+        "re-exec cost (cycles)",
     ]);
-    for (name, m) in [("end-of-attention (paper)", &end), ("per-pass (extension)", &pass)] {
+    for (name, m) in [
+        ("end-of-attention (paper)", &end),
+        ("per-pass (extension)", &pass),
+    ] {
         lat.row(vec![
             name.to_string(),
             format!("{}", m.worst_detection_latency()),
@@ -32,7 +38,9 @@ fn main() {
     println!();
 
     let mut ovh = TablePrinter::new(vec![
-        "alarm probability", "overhead end-of-attention", "overhead per-pass",
+        "alarm probability",
+        "overhead end-of-attention",
+        "overhead per-pass",
     ]);
     for p in [1e-6, 1e-4, 1e-2, 0.1] {
         ovh.row(vec![

@@ -1,9 +1,11 @@
-//! Convenience driver: runs every experiment binary in sequence with the
-//! given flags, printing section headers — regenerates the full
+//! Convenience driver: benchmarks the kernel layer (emitting
+//! `BENCH_kernels.json`), then runs every experiment binary in sequence
+//! with the given flags, printing section headers — regenerates the full
 //! EXPERIMENTS.md evidence in one command.
 //!
 //! Usage: `cargo run --release -p fa-bench --bin run_all [--quick]`
 
+use fa_bench::TablePrinter;
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -18,8 +20,58 @@ const EXPERIMENTS: &[&str] = &[
     "seq_len_sweep",
 ];
 
+/// Benchmarks the kernel layer and writes `BENCH_kernels.json` so the
+/// performance trajectory is machine-readable across PRs.
+fn kernel_benchmarks(quick: bool) {
+    println!("{}", "=".repeat(78));
+    println!("== kernel_layer (matmul / flash2 / fused checksum)");
+    println!("{}", "=".repeat(78));
+    let report = fa_bench::kernels::measure(quick);
+
+    let mut table = TablePrinter::new(vec!["kernel", "baseline ms", "optimized ms", "speedup"]);
+    let row = |t: &fa_bench::kernels::KernelTiming| {
+        vec![
+            format!("{:.3}", t.baseline_ms),
+            format!("{:.3}", t.optimized_ms),
+            format!("{:.2}x", t.speedup()),
+        ]
+    };
+    let named = |name: &str, t: &fa_bench::kernels::KernelTiming| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(row(t));
+        cells
+    };
+    let n = report.matmul_n;
+    let s = report.flash2_seq_len;
+    table.row(named(&format!("matmul bf16 {n}x{n}"), &report.matmul_bf16));
+    table.row(named(&format!("matmul f64 {n}x{n}"), &report.matmul_f64));
+    table.row(named(
+        &format!("matmul f64-acc bf16 {n}x{n}"),
+        &report.matmul_f64_acc_bf16,
+    ));
+    table.row(named(&format!("flash2 par/serial N={s}"), &report.flash2));
+    table.row(named("fused checksum vs flash2", &report.fused_checksum));
+    print!("{}", table.render());
+    println!(
+        "blocked bf16 matmul: {:.2} GFLOP/s | flash2: {:.0} tokens/s | \
+         checksum overhead: {:.2}% | host threads: {}",
+        report.matmul_bf16_gflops,
+        report.flash2_tokens_per_s,
+        report.checksum_overhead_pct(),
+        report.host_threads
+    );
+
+    let path = "BENCH_kernels.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    kernel_benchmarks(passthrough.iter().any(|a| a == "--quick"));
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()
@@ -31,9 +83,7 @@ fn main() {
         println!("{}", "=".repeat(78));
         println!("== {name}");
         println!("{}", "=".repeat(78));
-        let status = Command::new(exe_dir.join(name))
-            .args(&passthrough)
-            .status();
+        let status = Command::new(exe_dir.join(name)).args(&passthrough).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -25,7 +25,11 @@ fn main() {
     println!();
 
     let mut table = TablePrinter::new(vec![
-        "N", "detected*", "false positive*", "silent*", "masked (all)",
+        "N",
+        "detected*",
+        "false positive*",
+        "silent*",
+        "masked (all)",
     ]);
     for n in [64usize, 128, 256, 512] {
         let spec_w = WorkloadSpec {
@@ -49,7 +53,10 @@ fn main() {
     println!();
 
     let mut dist_table = TablePrinter::new(vec![
-        "distribution", "detected*", "false positive*", "silent*",
+        "distribution",
+        "detected*",
+        "false positive*",
+        "silent*",
     ]);
     let base = WorkloadSpec::paper(2024);
     let mut variants = vec![("paper gaussian(1.0)".to_string(), base)];

@@ -37,9 +37,7 @@ fn main() {
             }
         };
         println!("== {label}");
-        let mut table = TablePrinter::new(vec![
-            "behavior", "d=64", "d=96", "d=128", "d=256",
-        ]);
+        let mut table = TablePrinter::new(vec!["behavior", "d=64", "d=96", "d=128", "d=256"]);
         let mut detected = Vec::new();
         let mut fp = Vec::new();
         let mut silent = Vec::new();
@@ -50,14 +48,19 @@ fn main() {
             let cfg = model.config();
             let workload = Workload::generate(&cfg, WorkloadSpec::paper(2024));
             let accel_cfg = AcceleratorConfig::new(parallel_queries, cfg.head_dim);
-            let spec =
-                CampaignSpec::new(accel_cfg, campaigns, 7_777).with_criterion(criterion);
+            let spec = CampaignSpec::new(accel_cfg, campaigns, 7_777).with_criterion(criterion);
             let stats = run_campaigns(&spec, &workload);
 
             // Paper-style percentages over consequential faults (the
             // paper's three rows sum to 100%).
-            detected.push(format!("{:.2}%", stats.pct_of_consequential(stats.detected)));
-            fp.push(format!("{:.2}%", stats.pct_of_consequential(stats.false_positive)));
+            detected.push(format!(
+                "{:.2}%",
+                stats.pct_of_consequential(stats.detected)
+            ));
+            fp.push(format!(
+                "{:.2}%",
+                stats.pct_of_consequential(stats.false_positive)
+            ));
             silent.push(format!("{:.2}%", stats.pct_of_consequential(stats.silent)));
             masked.push(format!("{:.2}%", stats.pct_of_total(stats.masked)));
             checker_frac.push(format!(

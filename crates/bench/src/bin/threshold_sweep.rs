@@ -25,9 +25,8 @@ fn noise_floor(policy: PrecisionPolicy, seeds: u64) -> (f64, f64) {
     let mut sum = 0.0f64;
     for seed in 0..seeds {
         let w = Workload::generate(&model, WorkloadSpec::paper(seed));
-        let accel = Accelerator::new(
-            AcceleratorConfig::new(16, model.head_dim).with_precision(policy),
-        );
+        let accel =
+            Accelerator::new(AcceleratorConfig::new(16, model.head_dim).with_precision(policy));
         let run = accel.run(&w.q, &w.k, &w.v);
         let r = run.residual().abs();
         worst = worst.max(r);
@@ -46,27 +45,36 @@ fn main() {
     };
     println!(
         "Threshold sweep — Llama-3.1 layer (d=128), N=256, policy: {}",
-        if ablation { "narrow (BF16 accumulators, ablation)" } else { "paper (wide accumulators)" }
+        if ablation {
+            "narrow (BF16 accumulators, ablation)"
+        } else {
+            "paper (wide accumulators)"
+        }
     );
     println!();
 
     let (mean_noise, max_noise) = noise_floor(policy, 10);
-    println!(
-        "fault-free residual over 10 prompts: mean {mean_noise:.3e}, max {max_noise:.3e}"
-    );
+    println!("fault-free residual over 10 prompts: mean {mean_noise:.3e}, max {max_noise:.3e}");
     println!(
         "=> an absolute bound of 1e-6 is {} for this policy",
-        if max_noise < 1e-6 { "VALID (noise floor below it)" } else { "INVALID (noise floor above it: every run would false-alarm)" }
+        if max_noise < 1e-6 {
+            "VALID (noise floor below it)"
+        } else {
+            "INVALID (noise floor above it: every run would false-alarm)"
+        }
     );
     println!();
 
     let model = LlmModel::Llama31.config();
     let workload = Workload::generate(&model, WorkloadSpec::paper(2024));
-    let accel_cfg =
-        AcceleratorConfig::new(16, model.head_dim).with_precision(policy);
+    let accel_cfg = AcceleratorConfig::new(16, model.head_dim).with_precision(policy);
 
     let mut table = TablePrinter::new(vec![
-        "tau", "detected", "false positive", "silent", "masked",
+        "tau",
+        "detected",
+        "false positive",
+        "silent",
+        "masked",
     ]);
     for exp in [-12i32, -10, -8, -6, -4, -2, -1] {
         let tau = 10f64.powi(exp);

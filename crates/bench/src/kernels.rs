@@ -1,0 +1,192 @@
+//! Kernel-layer benchmark: the perf trajectory record for the blocked
+//! matmul, parallel FlashAttention-2, and the fused online checksum.
+//!
+//! [`measure`] times each kernel against its frozen seed baseline and
+//! [`KernelBenchReport::to_json`] renders the result as the
+//! `BENCH_kernels.json` artifact `run_all` emits, so speedups are tracked
+//! across PRs on whatever host CI runs on (`host_threads` is recorded —
+//! the parallel-attention speedup is only meaningful on multi-core hosts).
+
+use fa_attention::{flash2, AttentionConfig};
+use fa_numerics::BF16;
+use fa_tensor::{ops, random::ElementDist, Matrix};
+use std::time::Instant;
+
+/// One kernel-vs-baseline measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelTiming {
+    /// Baseline (seed implementation) time, milliseconds.
+    pub baseline_ms: f64,
+    /// Optimized kernel time, milliseconds.
+    pub optimized_ms: f64,
+}
+
+impl KernelTiming {
+    /// Baseline time over optimized time.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ms / self.optimized_ms
+    }
+}
+
+/// The full kernel-layer benchmark result.
+#[derive(Clone, Debug)]
+pub struct KernelBenchReport {
+    /// Worker threads available to the rayon pool on this host.
+    pub host_threads: usize,
+    /// Square matmul problem size.
+    pub matmul_n: usize,
+    /// BF16 datapath matmul (per-MAC rounding) vs the seed triple loop.
+    pub matmul_bf16: KernelTiming,
+    /// f64 matmul vs the seed triple loop.
+    pub matmul_f64: KernelTiming,
+    /// BF16 matmul with widening f64 accumulation vs its seed loop.
+    pub matmul_f64_acc_bf16: KernelTiming,
+    /// Blocked BF16 matmul throughput, GFLOP/s (2·n³ ops).
+    pub matmul_bf16_gflops: f64,
+    /// FlashAttention-2 sequence length.
+    pub flash2_seq_len: usize,
+    /// Parallel flash2 vs the serial kernel (≈1.0 on single-core hosts).
+    pub flash2: KernelTiming,
+    /// Parallel flash2 throughput, tokens/s.
+    pub flash2_tokens_per_s: f64,
+    /// Fused checksum kernel time vs unchecked flash2 (same pass count).
+    pub fused_checksum: KernelTiming,
+}
+
+impl KernelBenchReport {
+    /// Fused-checksum overhead over unchecked flash2, percent.
+    pub fn checksum_overhead_pct(&self) -> f64 {
+        (self.fused_checksum.optimized_ms / self.fused_checksum.baseline_ms - 1.0) * 100.0
+    }
+
+    /// Renders the report as a JSON object (written by hand — the offline
+    /// serde stand-in has no format backend).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"host_threads\": {},\n  \"matmul\": {{\n    \"n\": {},\n    \
+             \"bf16\": {},\n    \"f64\": {},\n    \"f64_acc_bf16\": {},\n    \
+             \"bf16_gflops\": {:.3}\n  }},\n  \"flash2\": {{\n    \"seq_len\": {},\n    \
+             \"parallel_vs_serial\": {},\n    \"tokens_per_s\": {:.1}\n  }},\n  \
+             \"fused_checksum\": {{\n    \"vs_unchecked_flash2\": {},\n    \
+             \"overhead_pct\": {:.2}\n  }}\n}}\n",
+            self.host_threads,
+            self.matmul_n,
+            timing_json(&self.matmul_bf16),
+            timing_json(&self.matmul_f64),
+            timing_json(&self.matmul_f64_acc_bf16),
+            self.matmul_bf16_gflops,
+            self.flash2_seq_len,
+            timing_json(&self.flash2),
+            self.flash2_tokens_per_s,
+            timing_json(&self.fused_checksum),
+            self.checksum_overhead_pct(),
+        )
+    }
+}
+
+fn timing_json(t: &KernelTiming) -> String {
+    format!(
+        "{{ \"baseline_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.2} }}",
+        t.baseline_ms,
+        t.optimized_ms,
+        t.speedup()
+    )
+}
+
+/// Best-of-`reps` wall-clock milliseconds for `f` (after one warmup call).
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs the kernel-layer benchmark. `quick` shrinks problem sizes for CI
+/// smoke runs.
+pub fn measure(quick: bool) -> KernelBenchReport {
+    let (n, seq_len, reps) = if quick { (128, 256, 2) } else { (256, 1024, 3) };
+
+    let af = Matrix::<f64>::random_seeded(n, n, ElementDist::default(), 1);
+    let bf = Matrix::<f64>::random_seeded(n, n, ElementDist::default(), 2);
+    let ab: Matrix<BF16> = af.cast();
+    let bb: Matrix<BF16> = bf.cast();
+
+    let matmul_bf16 = KernelTiming {
+        baseline_ms: time_ms(reps, || ops::matmul_reference(&ab, &bb)),
+        optimized_ms: time_ms(reps, || ab.matmul(&bb)),
+    };
+    let matmul_f64 = KernelTiming {
+        baseline_ms: time_ms(reps, || ops::matmul_reference(&af, &bf)),
+        optimized_ms: time_ms(reps, || af.matmul(&bf)),
+    };
+    let matmul_f64_acc_bf16 = KernelTiming {
+        baseline_ms: time_ms(reps, || ops::matmul_f64_acc_reference(&ab, &bb)),
+        optimized_ms: time_ms(reps, || ops::matmul_f64_acc(&ab, &bb)),
+    };
+    let flops = 2.0 * (n as f64).powi(3);
+    let matmul_bf16_gflops = flops / (matmul_bf16.optimized_ms * 1e-3) / 1e9;
+
+    let d = 64;
+    let q = Matrix::<f64>::random_seeded(seq_len, d, ElementDist::default(), 10);
+    let k = Matrix::<f64>::random_seeded(seq_len, d, ElementDist::default(), 11);
+    let v = Matrix::<f64>::random_seeded(seq_len, d, ElementDist::default(), 12);
+    let cfg = AttentionConfig::new(d);
+
+    let flash2_timing = KernelTiming {
+        baseline_ms: time_ms(reps, || flash2::attention_serial(&q, &k, &v, &cfg)),
+        optimized_ms: time_ms(reps, || flash2::attention(&q, &k, &v, &cfg)),
+    };
+    let flash2_tokens_per_s = seq_len as f64 / (flash2_timing.optimized_ms * 1e-3);
+
+    let fused_checksum = KernelTiming {
+        baseline_ms: flash2_timing.optimized_ms,
+        optimized_ms: time_ms(reps, || flash_abft::flash2_with_checksum(&q, &k, &v, &cfg)),
+    };
+
+    KernelBenchReport {
+        host_threads: rayon::current_num_threads(),
+        matmul_n: n,
+        matmul_bf16,
+        matmul_f64,
+        matmul_f64_acc_bf16,
+        matmul_bf16_gflops,
+        flash2_seq_len: seq_len,
+        flash2: flash2_timing,
+        flash2_tokens_per_s,
+        fused_checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_produces_sane_report() {
+        let report = measure(true);
+        assert!(report.matmul_bf16.baseline_ms > 0.0);
+        assert!(report.matmul_bf16.optimized_ms > 0.0);
+        assert!(report.flash2_tokens_per_s > 0.0);
+        assert!(report.checksum_overhead_pct().is_finite());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = measure(true);
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "host_threads",
+            "bf16_gflops",
+            "tokens_per_s",
+            "overhead_pct",
+            "speedup",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! Criterion benches (`cargo bench -p fa-bench`) measure kernel and
 //! checker throughput: `attention_kernels`, `overhead`, `checksum`.
 
+pub mod kernels;
+
 /// Simple fixed-width table printer for experiment reports.
 pub struct TablePrinter {
     headers: Vec<String>,

@@ -1,0 +1,203 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this crate provides just
+//! enough of serde's trait surface for the workspace to compile: the
+//! `Serialize` / `Deserialize` traits, minimal `Serializer` / `Deserializer`
+//! traits, primitive impls, and re-exported derive macros that generate
+//! opaque impls (see `serde_derive`). No data format (JSON, bincode, …) is
+//! provided — experiment binaries that need machine-readable output write
+//! JSON by hand (see `fa-bench`). Swapping in the real serde is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derives emit paths through `::serde`; make that name resolve when
+// deriving inside this crate's own tests (what upstream serde does too).
+#[cfg(test)]
+extern crate self as serde;
+
+use core::fmt::{self, Display};
+
+/// Error trait shared by serializers and deserializers.
+pub trait Error: Sized + Display {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A minimal serializer: primitive sinks plus an opaque escape hatch used by
+/// the offline derive.
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Fallback for derived composite types: the offline stub has no
+    /// structured formats, so derived impls report themselves here.
+    fn serialize_opaque(self, type_name: &'static str) -> Result<Self::Ok, Self::Error> {
+        Err(Self::Error::custom(format_args!(
+            "offline serde stub cannot serialize composite type {type_name}"
+        )))
+    }
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A minimal deserializer: primitive sources plus an opaque escape hatch
+/// used by the offline derive.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes a `bool`.
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32(self) -> Result<f32, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+
+    /// Fallback for derived composite types: always errors in the stub.
+    fn deserialize_opaque<T>(self, type_name: &'static str) -> Result<T, Self::Error> {
+        Err(Self::Error::custom(format_args!(
+            "offline serde stub cannot deserialize composite type {type_name}"
+        )))
+    }
+}
+
+macro_rules! impl_primitive {
+    ($($ty:ty, $ser:ident, $de:ident, $cast:ty;)*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as $cast)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.$de().map(|v| v as $ty)
+            }
+        }
+    )*};
+}
+
+impl_primitive! {
+    bool, serialize_bool, deserialize_bool, bool;
+    i8, serialize_i64, deserialize_i64, i64;
+    i16, serialize_i64, deserialize_i64, i64;
+    i32, serialize_i64, deserialize_i64, i64;
+    i64, serialize_i64, deserialize_i64, i64;
+    isize, serialize_i64, deserialize_i64, i64;
+    u8, serialize_u64, deserialize_u64, u64;
+    u16, serialize_u64, deserialize_u64, u64;
+    u32, serialize_u64, deserialize_u64, u64;
+    u64, serialize_u64, deserialize_u64, u64;
+    usize, serialize_u64, deserialize_u64, u64;
+    f32, serialize_f32, deserialize_f32, f32;
+    f64, serialize_f64, deserialize_f64, f64;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+/// A ready-made error type for implementing the stub traits in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StubError(pub String);
+
+impl Display for StubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for StubError {
+    fn custom<T: Display>(msg: T) -> Self {
+        StubError(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serializer that renders primitives to strings — exercises the
+    /// trait plumbing the BF16 manual impl relies on.
+    struct ToString;
+
+    impl Serializer for ToString {
+        type Ok = String;
+        type Error = StubError;
+        fn serialize_bool(self, v: bool) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+        fn serialize_i64(self, v: i64) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+        fn serialize_u64(self, v: u64) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+        fn serialize_f32(self, v: f32) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+        fn serialize_f64(self, v: f64) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+        fn serialize_str(self, v: &str) -> Result<String, StubError> {
+            Ok(v.to_string())
+        }
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(1.5f32.serialize(ToString).unwrap(), "1.5");
+        assert_eq!(42u64.serialize(ToString).unwrap(), "42");
+        assert_eq!(true.serialize(ToString).unwrap(), "true");
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        #[allow(dead_code)]
+        x: f64,
+    }
+
+    #[test]
+    fn derived_composite_is_opaque() {
+        let d = Derived { x: 1.0 };
+        let err = d.serialize(ToString).unwrap_err();
+        assert!(err.0.contains("Derived"), "{}", err.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde facade (see `crates/compat/serde`). This proc-macro crate
+//! provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` producing
+//! *opaque* impls: types satisfy the trait bounds but serialize as an
+//! unsupported-marker. Nothing in the workspace serializes data today; the
+//! derives exist so configuration types keep their serde annotations and can
+//! switch to the real serde unchanged once a registry is reachable.
+//!
+//! Limitation: derived types must be non-generic `struct`s or `enum`s (every
+//! annotated type in this workspace is).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword, skipping
+/// attributes and visibility qualifiers.
+fn type_name(input: &TokenStream) -> String {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows `#`.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = iter.peek() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "offline serde_derive stub supports only non-generic types; \
+                                     `{name}` has generic parameters"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{word}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, `union`… keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("offline serde_derive stub: no `struct` or `enum` found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_opaque(::core::any::type_name::<Self>())\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 deserializer.deserialize_opaque(::core::any::type_name::<Self>())\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -294,7 +294,9 @@ mod tests {
 
     #[test]
     fn checksum_identity_holds_under_sliding_window() {
-        let cfg = AttentionConfig::new(4).with_causal(true).with_sliding_window(3);
+        let cfg = AttentionConfig::new(4)
+            .with_causal(true)
+            .with_sliding_window(3);
         let (q, k, v) = rand_qkv(12, 4, 700);
         let engine = FlashAbft::new(cfg);
         let checked = engine.compute(&q, &k, &v);

@@ -101,7 +101,11 @@ impl FlashAbftChecker {
     ) -> ChecksumReport {
         cfg.validate_shapes(q, k, v);
         assert_eq!(output.rows(), q.rows(), "output row count mismatch");
-        assert_eq!(output.cols(), cfg.head_dim(), "output column count mismatch");
+        assert_eq!(
+            output.cols(),
+            cfg.head_dim(),
+            "output column count mismatch"
+        );
         let predicted = crate::checksum::predicted_checksum_eq8(q, k, v, cfg);
         let actual = output.sum_all();
         self.compare(predicted, actual)
@@ -185,8 +189,7 @@ mod tests {
         let mut s = naive::softmax_scores(&q, &k, &cfg);
         s[(2, 3)] += 0.2;
         let bad_output = s.matmul(&v);
-        let report =
-            FlashAbftChecker::default().verify_output(&q, &k, &v, &bad_output, &cfg);
+        let report = FlashAbftChecker::default().verify_output(&q, &k, &v, &bad_output, &cfg);
         assert!(report.is_alarm(), "softmax corruption must be detected");
     }
 

@@ -75,8 +75,19 @@ pub fn per_query_check_eq8<T: Scalar>(
 ) -> f64 {
     cfg.validate_shapes(q, k, v);
     assert!(query_idx < q.rows(), "query index out of bounds");
-    let sumrows = v.row_sums();
+    per_query_check_with_sumrows(q, k, cfg, &v.row_sums(), query_idx)
+}
 
+/// [`per_query_check_eq8`] with `sumrow_k(V)` precomputed, so callers
+/// iterating all queries (the Eq. 7 sum, the checker's verify path) sweep
+/// V once instead of once per query.
+fn per_query_check_with_sumrows<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    cfg: &AttentionConfig,
+    sumrows: &[f64],
+    query_idx: usize,
+) -> f64 {
     // Scores and max for this query.
     let mut scores = Vec::with_capacity(k.rows());
     let mut m = f64::NEG_INFINITY;
@@ -107,6 +118,10 @@ pub fn per_query_check_eq8<T: Scalar>(
 /// `check = Σ_i check(q_i)`. Must agree with [`predicted_checksum_eq5`] —
 /// the exchanged-summation identity the whole paper rests on.
 ///
+/// Per-query checks are independent, so they fan out over the rayon pool;
+/// the Kahan reduction runs in query order on the calling thread, making
+/// the result thread-count-independent.
+///
 /// # Panics
 ///
 /// Panics on shape mismatch.
@@ -116,10 +131,25 @@ pub fn predicted_checksum_eq8<T: Scalar>(
     v: &Matrix<T>,
     cfg: &AttentionConfig,
 ) -> f64 {
+    use rayon::prelude::*;
     cfg.validate_shapes(q, k, v);
+    let n_q = q.rows();
+    // Eq. 4 vector, swept once and shared by every per-query check.
+    let sumrows = v.row_sums();
+    let checks: Vec<f64> = if fa_tensor::par::worth_parallelizing(n_q, k.rows(), cfg.head_dim()) {
+        let sumrows = &sumrows;
+        (0..n_q)
+            .into_par_iter()
+            .map(|i| per_query_check_with_sumrows(q, k, cfg, sumrows, i))
+            .collect()
+    } else {
+        (0..n_q)
+            .map(|i| per_query_check_with_sumrows(q, k, cfg, &sumrows, i))
+            .collect()
+    };
     let mut acc = KahanSum::new();
-    for i in 0..q.rows() {
-        acc.add(per_query_check_eq8(q, k, v, cfg, i));
+    for c in checks {
+        acc.add(c);
     }
     acc.value()
 }
@@ -143,7 +173,10 @@ mod tests {
         let cfg = AttentionConfig::new(8);
         let predicted = predicted_checksum_eq5(&q, &k, &v, &cfg);
         let actual = naive::attention(&q, &k, &v, &cfg).sum_all();
-        assert!((predicted - actual).abs() < 1e-10, "{predicted} vs {actual}");
+        assert!(
+            (predicted - actual).abs() < 1e-10,
+            "{predicted} vs {actual}"
+        );
     }
 
     #[test]

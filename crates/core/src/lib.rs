@@ -47,8 +47,8 @@
 
 pub mod api;
 pub mod checker;
-pub mod decode;
 pub mod checksum;
+pub mod decode;
 pub mod localize;
 pub mod merged;
 pub mod online;
@@ -56,3 +56,4 @@ pub mod online;
 pub use api::{CheckedAttention, FlashAbft};
 pub use checker::{ChecksumReport, FlashAbftChecker};
 pub use merged::MergedAccumulator;
+pub use online::{attention_checked, flash2_with_checksum, flash2_with_checksum_serial};

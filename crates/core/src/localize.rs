@@ -86,7 +86,11 @@ pub fn localize_single_error<T: Scalar>(
     tol: f64,
 ) -> Option<LocatedError> {
     assert_eq!(row_checks.len(), output.rows(), "row check length mismatch");
-    assert_eq!(col_checks.len(), output.cols(), "column check length mismatch");
+    assert_eq!(
+        col_checks.len(),
+        output.cols(),
+        "column check length mismatch"
+    );
 
     let mut bad_row = None;
     for (i, expected) in row_checks.iter().enumerate() {
@@ -127,7 +131,15 @@ mod tests {
     use super::*;
     use fa_tensor::random::ElementDist;
 
-    fn setup(seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>, AttentionConfig, Matrix<f64>) {
+    fn setup(
+        seed: u64,
+    ) -> (
+        Matrix<f64>,
+        Matrix<f64>,
+        Matrix<f64>,
+        AttentionConfig,
+        Matrix<f64>,
+    ) {
         let cfg = AttentionConfig::new(6);
         let q = Matrix::random_seeded(10, 6, ElementDist::default(), seed);
         let k = Matrix::random_seeded(10, 6, ElementDist::default(), seed + 1);
@@ -176,7 +188,10 @@ mod tests {
         let (q, k, v, cfg, out) = setup(103);
         let row_checks = predicted_row_checks(&q, &k, &v, &cfg);
         let col_checks = predicted_column_checks(&q, &k, &v, &cfg);
-        assert_eq!(localize_single_error(&out, &row_checks, &col_checks, 1e-6), None);
+        assert_eq!(
+            localize_single_error(&out, &row_checks, &col_checks, 1e-6),
+            None
+        );
     }
 
     #[test]

@@ -80,10 +80,22 @@ impl MergedAccumulator {
     /// # Panics
     ///
     /// Panics if `value_row.len() != self.dim()`.
-    pub fn step_with_sumrow(
+    pub fn step_with_sumrow(&mut self, score: f64, value_row: &[f64], sumrow: f64) -> RescaleStep {
+        self.step_scalar(score, value_row, sumrow)
+    }
+
+    /// Like [`step_with_sumrow`](Self::step_with_sumrow) but consuming the
+    /// value row in its storage format, widening each lane inside the
+    /// update loop — the zero-copy form the fused kernel's hot loop uses
+    /// (a staging buffer would double the per-step memory traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value_row.len() != self.dim()`.
+    pub fn step_scalar<T: fa_tensor::Scalar>(
         &mut self,
         score: f64,
-        value_row: &[f64],
+        value_row: &[T],
         sumrow: f64,
     ) -> RescaleStep {
         assert_eq!(
@@ -96,7 +108,7 @@ impl MergedAccumulator {
         let step = self.softmax.push(score);
         let d = self.dim();
         for (lane, &v) in self.lanes[..d].iter_mut().zip(value_row) {
-            *lane = *lane * step.scale_old + v * step.weight_new;
+            *lane = *lane * step.scale_old + v.to_f64() * step.weight_new;
         }
         self.lanes[d] = self.lanes[d] * step.scale_old + sumrow * step.weight_new;
         step

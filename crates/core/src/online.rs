@@ -1,15 +1,24 @@
 //! Alg. 3 — FlashAttention-2 with online checksum computation.
 //!
-//! The full fused kernel: per query, one pass over keys/values computing
-//! scores, max, ℓ, the output vector **and** the per-query checksum
-//! (line 7), then the final divisions (lines 9–10) and the cross-query
-//! checksum accumulation (line 11). The predicted checksum is compared
-//! against the actual sum of the produced attention output.
+//! The full fused kernel: per query, **exactly one pass** over keys/values
+//! computing scores, max, ℓ, the output vector **and** the per-query
+//! checksum (line 7) — no post-hoc verification sweep like two-step ABFT —
+//! then the final divisions (lines 9–10) and the cross-query checksum
+//! accumulation (line 11). `sumrow_k(V)` (Eq. 4) is filled once per call
+//! by the shared Σ adder of the paper's Fig. 3, amortized across every
+//! query lane. The predicted checksum is compared against the actual sum
+//! of the produced attention output.
+//!
+//! Queries are independent, so [`flash2_with_checksum`] fans them out over
+//! the rayon pool; the cross-query reductions (lines 9–11) run on the
+//! calling thread in query order, making the parallel kernel bit-identical
+//! to [`flash2_with_checksum_serial`] at every thread count.
 
 use crate::merged::MergedAccumulator;
 use fa_attention::AttentionConfig;
 use fa_numerics::KahanSum;
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
 
 /// Everything Alg. 3 produces for one attention computation.
 #[derive(Clone)]
@@ -44,19 +53,53 @@ impl<T: Scalar> OnlineChecked<T> {
     }
 }
 
-/// Runs Alg. 3: FlashAttention-2 with the fused online checksum.
+/// Runs the Alg. 3 streaming loop for one query: one pass over K/V
+/// computing scores, online softmax state, output lanes, and the checksum
+/// lane. `sumrows` is the Eq. 4 vector `sumrow_k(V)` — in hardware the
+/// shared Σ adder of Fig. 3 computes it once per streamed V row for every
+/// parallel query lane, so the software analog computes it once per call,
+/// not once per query. Returns the unnormalized state ready for
+/// finalization.
+fn query_pass<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+    sumrows: &[f64],
+    qi: usize,
+) -> MergedAccumulator {
+    let d = cfg.head_dim();
+    let mut acc = MergedAccumulator::new(d);
+    for (i, &sumrow) in sumrows.iter().enumerate().take(k.rows()) {
+        if !cfg.visible(qi, i) {
+            continue;
+        }
+        // Line 3: score.
+        let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
+        // Lines 4–7 via the merged Eq. 9/10 update, widening the value
+        // row lane by lane (no staging buffer, no per-step allocation).
+        acc.step_scalar(s, v.row(i), sumrow);
+    }
+    acc
+}
+
+/// Runs Alg. 3: FlashAttention-2 with the fused online checksum,
+/// parallelized across query rows.
 ///
-/// Score/exp/accumulator arithmetic runs in f64 over operands rounded to
-/// `T` (the algorithm-level model; the bit-level datapath lives in
-/// `fa-accel-sim`). The output matrix is rounded to `T`, and the *actual*
-/// checksum is computed from those rounded values — so for narrow `T` the
-/// caller must use a format-appropriate tolerance, mirroring the paper's
-/// experimentally-determined bound.
+/// This is the kernel entry point every checker in [`crate::api`] routes
+/// through. Each query makes exactly one pass over K/V, with the checksum
+/// lane riding the same merged accumulator. Score/exp/accumulator
+/// arithmetic runs in f64
+/// over operands rounded to `T` (the algorithm-level model; the bit-level
+/// datapath lives in `fa-accel-sim`). The output matrix is rounded to `T`,
+/// and the *actual* checksum is computed from those rounded values — so
+/// for narrow `T` the caller must use a format-appropriate tolerance,
+/// mirroring the paper's experimentally-determined bound.
 ///
 /// # Panics
 ///
 /// Panics on shape mismatch.
-pub fn attention_checked<T: Scalar>(
+pub fn flash2_with_checksum<T: Scalar>(
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,
@@ -64,29 +107,34 @@ pub fn attention_checked<T: Scalar>(
 ) -> OnlineChecked<T> {
     cfg.validate_shapes(q, k, v);
     let d = cfg.head_dim();
-    let n_keys = k.rows();
+    let n_q = q.rows();
 
-    // sumrow_k(V): computed once, shared across queries (the Σ adder of
-    // Fig. 3). In hardware this is a pipeline register fed per cycle.
+    // sumrow_k(V) (Eq. 4): one sweep over V shared by every query — the
+    // pipeline register the shared Σ adder of Fig. 3 fills per cycle.
     let sumrows = v.row_sums();
 
-    let mut output = Matrix::zeros(q.rows(), d);
-    let mut per_query_checks = Vec::with_capacity(q.rows());
+    // Fan the independent query passes out over the rayon pool. Small
+    // shapes (simulator traffic) stay on the calling thread.
+    let parallel = fa_tensor::par::worth_parallelizing(n_q, k.rows(), d);
+    let states: Vec<MergedAccumulator> = if parallel {
+        let sumrows = &sumrows;
+        (0..n_q)
+            .into_par_iter()
+            .map(|qi| query_pass(q, k, v, cfg, sumrows, qi))
+            .collect()
+    } else {
+        (0..n_q)
+            .map(|qi| query_pass(q, k, v, cfg, &sumrows, qi))
+            .collect()
+    };
+
+    // Lines 9–11: finalize in query order on one thread, so the Kahan
+    // accumulations are identical regardless of thread count.
+    let mut output = Matrix::zeros(n_q, d);
+    let mut per_query_checks = Vec::with_capacity(n_q);
     let mut global = KahanSum::new(); // line 11 accumulator
     let mut actual = KahanSum::new();
-
-    for qi in 0..q.rows() {
-        let mut acc = MergedAccumulator::new(d);
-        for i in 0..n_keys {
-            if !cfg.visible(qi, i) {
-                continue;
-            }
-            // Line 3: score.
-            let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
-            // Lines 4–7 via the merged Eq. 9/10 update.
-            let row: Vec<f64> = v.row(i).iter().map(|x| x.to_f64()).collect();
-            acc.step_with_sumrow(s, &row, sumrows[i]);
-        }
+    for (qi, acc) in states.iter().enumerate() {
         let (row_out, check_q) = acc
             .finalize()
             .expect("every query sees at least one key (causal j<=i)");
@@ -105,6 +153,42 @@ pub fn attention_checked<T: Scalar>(
         predicted: global.value(),
         actual: actual.value(),
     }
+}
+
+/// Serial reference form of [`flash2_with_checksum`]: identical
+/// arithmetic, one thread — golden model for the parallel-equivalence
+/// property tests.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn flash2_with_checksum_serial<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> OnlineChecked<T> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+        .install(|| flash2_with_checksum(q, k, v, cfg))
+}
+
+/// Runs Alg. 3: FlashAttention-2 with the fused online checksum.
+///
+/// Alias for [`flash2_with_checksum`], kept for API continuity.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn attention_checked<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    cfg: &AttentionConfig,
+) -> OnlineChecked<T> {
+    flash2_with_checksum(q, k, v, cfg)
 }
 
 #[cfg(test)]

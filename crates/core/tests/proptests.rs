@@ -1,0 +1,74 @@
+//! Property tests for the fused online-checksum kernel: single-pass
+//! checksum agreement with the closed forms, and bit-identical parallel
+//! execution.
+
+use fa_attention::AttentionConfig;
+use fa_tensor::random::ElementDist;
+use fa_tensor::Matrix;
+use flash_abft::checksum::{predicted_checksum_eq5, predicted_checksum_eq8};
+use flash_abft::{flash2_with_checksum, flash2_with_checksum_serial};
+use proptest::prelude::*;
+
+fn qkv(n: usize, d: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+    (
+        Matrix::random_seeded(n, d, ElementDist::default(), seed),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 1),
+        Matrix::random_seeded(n, d, ElementDist::default(), seed + 2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fused kernel's online prediction agrees with both closed forms
+    /// (Eq. 5 and Eq. 8) within the existing test tolerances, with and
+    /// without masking.
+    #[test]
+    fn fused_checksum_matches_closed_forms(
+        seed in 0u64..1_000_000,
+        causal in any::<bool>(),
+    ) {
+        let (q, k, v) = qkv(24, 8, seed);
+        let cfg = AttentionConfig::new(8).with_causal(causal);
+        let fused = flash2_with_checksum(&q, &k, &v, &cfg);
+        let eq5 = predicted_checksum_eq5(&q, &k, &v, &cfg);
+        let eq8 = predicted_checksum_eq8(&q, &k, &v, &cfg);
+        prop_assert!((fused.predicted - eq5).abs() < 1e-10, "{} vs {eq5}", fused.predicted);
+        prop_assert!((fused.predicted - eq8).abs() < 1e-10, "{} vs {eq8}", fused.predicted);
+        prop_assert!(fused.residual().abs() < 1e-10);
+    }
+
+    /// Query-parallel execution of the fused kernel never changes a bit:
+    /// per-query passes are independent and the cross-query Kahan
+    /// reductions run serially in query order.
+    #[test]
+    fn fused_kernel_parallel_bit_identical(
+        threads in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        // 64×64×16 crosses the parallelization threshold.
+        let (q, k, v) = qkv(64, 16, seed);
+        let cfg = AttentionConfig::new(16);
+        let serial = flash2_with_checksum_serial(&q, &k, &v, &cfg);
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| flash2_with_checksum(&q, &k, &v, &cfg));
+        prop_assert_eq!(serial.output, parallel.output);
+        prop_assert_eq!(serial.predicted.to_bits(), parallel.predicted.to_bits());
+        prop_assert_eq!(serial.actual.to_bits(), parallel.actual.to_bits());
+        prop_assert_eq!(serial.per_query_checks, parallel.per_query_checks);
+    }
+
+    /// The fused kernel's output matches the plain flash2 kernel (the
+    /// checksum lane must not perturb the attention output).
+    #[test]
+    fn fused_output_matches_flash2(seed in 0u64..1_000_000) {
+        let (q, k, v) = qkv(20, 8, seed);
+        let cfg = AttentionConfig::new(8);
+        let fused = flash2_with_checksum(&q, &k, &v, &cfg);
+        let plain = fa_attention::flash2::attention(&q, &k, &v, &cfg);
+        prop_assert!(fused.output.max_abs_diff(&plain) < 1e-12);
+    }
+}

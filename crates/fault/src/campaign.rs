@@ -1,5 +1,12 @@
 //! The campaign runner: many independent single/multi-fault injections,
 //! fanned out across threads.
+//!
+//! Campaigns run on the same rayon pool as the parallel attention and
+//! matmul kernels (one scheduler for the whole workspace), replacing the
+//! previous hand-rolled crossbeam work-stealing loop. Each campaign derives
+//! its RNG stream from `(seed, campaign index)` and produces an independent
+//! [`CampaignStats`] delta; deltas are pure counter sums, so the reduction
+//! is exact and thread-count-independent.
 
 use crate::classify::{classify, Classified, DetectionCriterion};
 use crate::stats::CampaignStats;
@@ -10,6 +17,7 @@ use fa_models::Workload;
 use fa_numerics::Tolerance;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Specification of a fault-injection campaign series.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -124,10 +132,11 @@ pub fn run_one(
     (classified, earliest, cpp, total_cycles)
 }
 
-/// Runs the full campaign series, fanned out over all CPU cores.
+/// Runs the full campaign series, fanned out over the shared rayon pool.
 ///
 /// Results are independent of thread count: each campaign derives its
-/// RNG stream from `(spec.seed, campaign index)`.
+/// RNG stream from `(spec.seed, campaign index)`, and the per-campaign
+/// stats deltas are combined with exact integer sums.
 ///
 /// # Panics
 ///
@@ -143,52 +152,27 @@ pub fn run_campaigns(spec: &CampaignSpec, workload: &Workload) -> CampaignStats 
     let accel = Accelerator::new(spec.accel);
     let golden = accel.run(&workload.q, &workload.k, &workload.v);
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(spec.campaigns.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let total = spec.campaigns;
-
-    let mut stats = CampaignStats::default();
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let accel = &accel;
-                let golden = &golden;
-                let next = &next;
-                scope.spawn(move |_| {
-                    let mut local = CampaignStats::default();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let (outcome, fault_cycle, cpp, total_cycles) =
-                            run_one(spec, accel, workload, golden, i);
-                        local.record(&outcome);
-                        if outcome.category == crate::classify::FaultCategory::Detected {
-                            // End-of-attention: the global comparison
-                            // happens at the final cycle of the run.
-                            local.detected_latency_end_sum += total_cycles - fault_cycle;
-                            // Per-pass: the fault's pass checks at its
-                            // own epilogue.
-                            let pass_end = (fault_cycle / cpp + 1) * cpp;
-                            local.detected_latency_pass_sum += pass_end - fault_cycle;
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            let local = h.join().expect("campaign worker panicked");
-            stats.merge(&local);
-        }
-    })
-    .expect("campaign scope failed");
-
-    stats
+    (0..spec.campaigns)
+        .into_par_iter()
+        .map(|i| {
+            let mut local = CampaignStats::default();
+            let (outcome, fault_cycle, cpp, total_cycles) =
+                run_one(spec, &accel, workload, &golden, i);
+            local.record(&outcome);
+            if outcome.category == crate::classify::FaultCategory::Detected {
+                // End-of-attention: the global comparison happens at the
+                // final cycle of the run.
+                local.detected_latency_end_sum += total_cycles - fault_cycle;
+                // Per-pass: the fault's pass checks at its own epilogue.
+                let pass_end = (fault_cycle / cpp + 1) * cpp;
+                local.detected_latency_pass_sum += pass_end - fault_cycle;
+            }
+            local
+        })
+        .reduce(CampaignStats::default, |mut acc, local| {
+            acc.merge(&local);
+            acc
+        })
 }
 
 #[cfg(test)]

@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn masked_when_nothing_changes() {
-        let (accel, w, golden) = setup();
+        let (_accel, _w, golden) = setup();
         let c = classify(
             &golden,
             &golden.clone(),

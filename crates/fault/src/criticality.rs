@@ -140,11 +140,7 @@ impl CriticalityProbe {
     }
 
     /// Convenience: compares BF16 accelerator writebacks.
-    pub fn assess_bf16(
-        &self,
-        golden: &Matrix<BF16>,
-        faulty: &Matrix<BF16>,
-    ) -> CriticalityReport {
+    pub fn assess_bf16(&self, golden: &Matrix<BF16>, faulty: &Matrix<BF16>) -> CriticalityReport {
         self.assess(&golden.to_f64(), &faulty.to_f64())
     }
 }

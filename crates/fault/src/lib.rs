@@ -46,7 +46,7 @@ pub mod recovery;
 pub mod stats;
 
 pub use campaign::{run_campaigns, CampaignSpec};
+pub use classify::{classify, Classified, DetectionCriterion, FaultCategory};
 pub use criticality::{CriticalityProbe, CriticalityReport};
 pub use recovery::{CheckGranularity, RecoveryModel};
-pub use classify::{classify, DetectionCriterion, FaultCategory, Classified};
 pub use stats::CampaignStats;

@@ -143,9 +143,7 @@ mod tests {
         let pass = model(CheckGranularity::PerPass);
         // At the same alarm probability, pass-level recovery costs 16x less.
         let p = 0.01;
-        assert!(
-            (end.expected_overhead(p) / pass.expected_overhead(p) - 16.0).abs() < 1e-9
-        );
+        assert!((end.expected_overhead(p) / pass.expected_overhead(p) - 16.0).abs() < 1e-9);
     }
 
     #[test]

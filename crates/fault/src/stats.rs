@@ -125,7 +125,10 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
     let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
-    (100.0 * (center - half).max(0.0), 100.0 * (center + half).min(1.0))
+    (
+        100.0 * (center - half).max(0.0),
+        100.0 * (center + half).min(1.0),
+    )
 }
 
 impl std::fmt::Display for CampaignStats {

@@ -58,8 +58,7 @@ impl WorkloadStats {
         }
 
         let sumrows = workload.v.row_sums();
-        let mean_abs_sumrow =
-            sumrows.iter().map(|x| x.abs()).sum::<f64>() / sumrows.len() as f64;
+        let mean_abs_sumrow = sumrows.iter().map(|x| x.abs()).sum::<f64>() / sumrows.len() as f64;
         let max_abs_sumrow = sumrows.iter().map(|x| x.abs()).fold(0.0, f64::max);
 
         WorkloadStats {
@@ -124,7 +123,10 @@ mod tests {
 
     #[test]
     fn concentration_bounds() {
-        let (s, n) = stats_for(ElementDist::Uniform { lo: -0.01, hi: 0.01 });
+        let (s, n) = stats_for(ElementDist::Uniform {
+            lo: -0.01,
+            hi: 0.01,
+        });
         // Nearly-zero scores: attention ~uniform, concentration ~0.
         assert!(s.concentration(n) < 0.05, "{}", s.concentration(n));
     }

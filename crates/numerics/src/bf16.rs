@@ -358,7 +358,10 @@ mod tests {
         assert!(BF16::from_f32(f32::MIN).is_infinite());
         assert!(BF16::from_f32(f32::MIN).is_sign_negative());
         // Large finite values below the rounding boundary stay finite.
-        assert_eq!(BF16::from_f32(BF16::MAX.to_f32()).to_bits(), BF16::MAX.to_bits());
+        assert_eq!(
+            BF16::from_f32(BF16::MAX.to_f32()).to_bits(),
+            BF16::MAX.to_bits()
+        );
         assert!(BF16::from_f32(3.38e38).is_finite());
     }
 

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn ulp_distance_basics() {
         assert_eq!(ulp_distance_f64(1.0, 1.0), Some(0));
-        assert_eq!(ulp_distance_f64(1.0, f64::from_bits(1.0f64.to_bits() + 3)), Some(3));
+        assert_eq!(
+            ulp_distance_f64(1.0, f64::from_bits(1.0f64.to_bits() + 3)),
+            Some(3)
+        );
         assert_eq!(ulp_distance_f64(f64::NAN, 1.0), None);
         assert_eq!(ulp_distance_f64(-1.0, 1.0), None);
         assert_eq!(ulp_distance_f64(0.0, -0.0), Some(0));
@@ -237,7 +240,10 @@ mod tests {
         // Flip every exponent bit of 1.0 at once is not possible with one
         // flip, but bit 62 on a large number overflows to inf.
         let huge = f64::MAX;
-        assert!(relative_flip_impact_f64(huge, 62).is_infinite() || relative_flip_impact_f64(huge, 62) > 0.0);
+        assert!(
+            relative_flip_impact_f64(huge, 62).is_infinite()
+                || relative_flip_impact_f64(huge, 62) > 0.0
+        );
         assert!(relative_flip_impact_f64(f64::INFINITY, 0).is_infinite());
     }
 }

@@ -144,15 +144,9 @@ mod tests {
     fn relative_check_scales() {
         // 0.1% discrepancy on a value of 1e6 passes a 1% relative bound
         // but would fail the absolute paper bound.
-        assert_eq!(
-            check_rel(1e6, 1e6 + 1e3, 0.01, 1e-30),
-            CheckOutcome::Pass
-        );
+        assert_eq!(check_rel(1e6, 1e6 + 1e3, 0.01, 1e-30), CheckOutcome::Pass);
         assert_eq!(check_abs(1e6, 1e6 + 1e3, 1e-6), CheckOutcome::Alarm);
-        assert_eq!(
-            check_rel(1e6, 1.2e6, 0.01, 1e-30),
-            CheckOutcome::Alarm
-        );
+        assert_eq!(check_rel(1e6, 1.2e6, 0.01, 1e-30), CheckOutcome::Alarm);
     }
 
     #[test]

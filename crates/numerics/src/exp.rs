@@ -91,9 +91,9 @@ impl ExpUnit for PolyExp {
         let t = x * LOG2_E;
         let k = t.round();
         let f = t - k; // f in [-0.5, 0.5]
-        let z = f * LN_2; // e^x = 2^k * e^z, |z| <= ln2/2
-        // Degree-9 Taylor polynomial for e^z; |z| ≤ 0.3466 keeps the
-        // truncation error below 1e-11 relative.
+        let z = f * LN_2;
+        // e^x = 2^k * e^z with |z| <= ln2/2; the degree-9 Taylor
+        // polynomial for e^z keeps truncation error below 1e-11 relative.
         let p = 1.0
             + z * (1.0
                 + z * (0.5
@@ -102,8 +102,7 @@ impl ExpUnit for PolyExp {
                             + z * (1.0 / 120.0
                                 + z * (1.0 / 720.0
                                     + z * (1.0 / 5040.0
-                                        + z * (1.0 / 40320.0
-                                            + z * (1.0 / 362880.0)))))))));
+                                        + z * (1.0 / 40320.0 + z * (1.0 / 362880.0)))))))));
         // Scale by 2^k exactly via exponent manipulation.
         let ik = k as i32;
         scale_by_pow2(p, ik)
@@ -175,7 +174,7 @@ impl ExpUnit for TableExp {
 pub fn scale_by_pow2(x: f64, k: i32) -> f64 {
     // f64 exponent range is wide; build 2^k in at most two steps to avoid
     // overflow of the intermediate for extreme k.
-    if k >= -1022 && k <= 1023 {
+    if (-1022..=1023).contains(&k) {
         x * f64::from_bits(((k + 1023) as u64) << 52)
     } else if k > 1023 {
         let hi = x * f64::from_bits(((1023 + 1023) as u64) << 52);

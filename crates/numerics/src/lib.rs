@@ -47,4 +47,4 @@ mod bf16;
 pub use bf16::BF16;
 pub use error::{check_abs, check_rel, CheckOutcome, Tolerance};
 pub use online::{OnlineSoftmax, RescaleStep};
-pub use sum::{KahanSum, pairwise_sum};
+pub use sum::{pairwise_sum, KahanSum};

@@ -62,6 +62,7 @@ impl OnlineSoftmax {
     /// Feeds one score `s_i`, returning the [`RescaleStep`] that callers
     /// must apply to any accumulators that ride along with this state (the
     /// output vector `o_i` and, in Flash-ABFT, the checksum `c_i`).
+    #[inline]
     pub fn push(&mut self, score: f64) -> RescaleStep {
         let new_max = if score > self.max { score } else { self.max };
         // First element: m_0 = -inf makes e^{m0 - m1} = 0, exactly

@@ -138,7 +138,7 @@ mod tests {
         let mut c = a.matmul(&b);
         let predicted = predicted_matmul_checksum(&a, &b);
         assert!((predicted - c.sum_all()).abs() < 1e-12);
-        c[(1, 1)] = c[(1, 1)] + 0.5; // inject
+        c[(1, 1)] += 0.5; // inject
         assert!((predicted - c.sum_all()).abs() > 0.4);
     }
 

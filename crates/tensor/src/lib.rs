@@ -30,10 +30,12 @@
 
 pub mod checksum;
 pub mod ops;
+pub mod par;
 pub mod random;
 
 mod matrix;
 mod scalar;
+mod simd;
 
 pub use matrix::Matrix;
 pub use scalar::Scalar;

@@ -9,15 +9,58 @@
 //!   after every MAC (what a same-width hardware MAC array does);
 //! * [`matmul_f64_acc`] — accumulate each dot product in `f64` and round
 //!   once at the end (what a widening accumulator does).
+//!
+//! # Kernel structure
+//!
+//! Both products are cache-blocked: the right-hand matrix is packed
+//! transposed (each B column becomes a contiguous panel row), turning every
+//! output element into a dot product of two contiguous slices — no strided
+//! `[(k, j)]` bounds-checked access on the hot path. The widening kernel
+//! additionally packs both operands as `f64` once (so BF16→f64 conversion
+//! happens K+K times per panel instead of per MAC) and register-tiles the
+//! inner loop four outputs wide. Row blocks are distributed over the rayon
+//! pool.
+//!
+//! Every output element still accumulates its `k` terms in ascending order
+//! with the same per-step rounding as the reference triple loop
+//! ([`matmul_reference`]), so blocked, parallel, and reference kernels are
+//! **bit-identical** — the property tests pin this down.
 
+use crate::par::{worth_parallelizing_matmul, MATMUL_ROW_BLOCK as ROW_BLOCK};
 use crate::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// Converts between two types the caller has proven identical via
+/// `TypeId` — the monomorphization-time downcast the BF16 SIMD dispatch
+/// needs (the sealed [`Scalar`] trait keeps the set of candidates closed).
+///
+/// # Panics
+///
+/// Panics if the types differ.
+#[cfg(target_arch = "x86_64")]
+fn cast_identical<A: 'static, B: 'static>(x: A) -> B {
+    assert_eq!(
+        core::any::TypeId::of::<A>(),
+        core::any::TypeId::of::<B>(),
+        "cast_identical requires identical types"
+    );
+    let x = core::mem::ManuallyDrop::new(x);
+    // SAFETY: A and B are the same type (checked above), so this is a
+    // no-op move.
+    unsafe { core::mem::transmute_copy::<core::mem::ManuallyDrop<A>, B>(&x) }
+}
+
+/// Register tile width of the widening microkernel (outputs per sweep).
+const NR: usize = 8;
 
 impl<T: Scalar> Matrix<T> {
     /// Matrix product `self · rhs` with accumulation in `T`.
     ///
     /// Every multiply and every add rounds to `T`, matching a hardware MAC
     /// array whose accumulator registers have the same width as the
-    /// operands.
+    /// operands. Bit-identical to [`matmul_reference`] (ascending-`k`
+    /// accumulation per output element) but cache-blocked over a packed
+    /// transposed B panel and parallelized across row blocks.
     ///
     /// # Panics
     ///
@@ -39,16 +82,81 @@ impl<T: Scalar> Matrix<T> {
             rhs.rows(),
             rhs.cols()
         );
-        let mut out = Matrix::zeros(self.rows(), rhs.cols());
-        for i in 0..self.rows() {
-            let a_row = self.row(i);
-            for j in 0..rhs.cols() {
-                let mut acc = T::zero();
-                for (k, &a) in a_row.iter().enumerate() {
-                    acc = acc.mac(a, rhs[(k, j)]);
-                }
-                out[(i, j)] = acc;
+        // BF16's per-MAC rounding dominates this product; hand it to the
+        // vectorized kernel when the host supports it (bit-identical — see
+        // `simd`).
+        #[cfg(target_arch = "x86_64")]
+        if core::any::TypeId::of::<T>() == core::any::TypeId::of::<fa_numerics::BF16>() {
+            // SAFETY: T and BF16 are the same type (TypeId equality above;
+            // the sealed Scalar trait closes the candidate set), so these
+            // reference casts are no-ops.
+            let a16 = unsafe { &*(self as *const Matrix<T>).cast::<Matrix<fa_numerics::BF16>>() };
+            let b16 = unsafe { &*(rhs as *const Matrix<T>).cast::<Matrix<fa_numerics::BF16>>() };
+            if let Some(fast) = crate::simd::matmul_bf16(a16, b16) {
+                return cast_identical::<Matrix<fa_numerics::BF16>, Matrix<T>>(fast);
             }
+        }
+
+        let (m, kdim, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || kdim == 0 {
+            // Empty inner dimension: every dot product is the empty sum.
+            return out;
+        }
+        // Pack Bᵀ once: column j of B becomes contiguous panel row j.
+        let bt = rhs.transpose();
+        let btp = bt.as_slice();
+
+        let fill_block = |row0: usize, block: &mut [T]| {
+            for (local, out_row) in block.chunks_mut(n).enumerate() {
+                let a_row = self.row(row0 + local);
+                // Register-tile MR output columns per k-sweep. Each output
+                // keeps its own accumulator with the reference ascending-k
+                // MAC order (bit-identical results); interleaving MR
+                // independent rounding chains hides the per-MAC rounding
+                // latency that a single chain serializes on.
+                const MR: usize = 8;
+                let mut j = 0;
+                while j + MR <= n {
+                    let p = &btp[j * kdim..(j + MR) * kdim];
+                    let (r0, rest) = p.split_at(kdim);
+                    let (r1, rest) = rest.split_at(kdim);
+                    let (r2, rest) = rest.split_at(kdim);
+                    let (r3, rest) = rest.split_at(kdim);
+                    let (r4, rest) = rest.split_at(kdim);
+                    let (r5, rest) = rest.split_at(kdim);
+                    let (r6, r7) = rest.split_at(kdim);
+                    let mut acc = [T::zero(); MR];
+                    for (k, &a) in a_row.iter().enumerate() {
+                        acc[0] = acc[0].mac_fast(a, r0[k]);
+                        acc[1] = acc[1].mac_fast(a, r1[k]);
+                        acc[2] = acc[2].mac_fast(a, r2[k]);
+                        acc[3] = acc[3].mac_fast(a, r3[k]);
+                        acc[4] = acc[4].mac_fast(a, r4[k]);
+                        acc[5] = acc[5].mac_fast(a, r5[k]);
+                        acc[6] = acc[6].mac_fast(a, r6[k]);
+                        acc[7] = acc[7].mac_fast(a, r7[k]);
+                    }
+                    out_row[j..j + MR].copy_from_slice(&acc);
+                    j += MR;
+                }
+                for (o, bt_row) in out_row[j..].iter_mut().zip(btp[j * kdim..].chunks(kdim)) {
+                    let mut acc = T::zero();
+                    for (&a, &b) in a_row.iter().zip(bt_row) {
+                        acc = acc.mac_fast(a, b);
+                    }
+                    *o = acc;
+                }
+            }
+        };
+
+        if worth_parallelizing_matmul(m) {
+            out.as_mut_slice()
+                .par_chunks_mut(ROW_BLOCK * n)
+                .enumerate()
+                .for_each(|(blk, block)| fill_block(blk * ROW_BLOCK, block));
+        } else {
+            fill_block(0, out.as_mut_slice());
         }
         out
     }
@@ -73,14 +181,44 @@ impl<T: Scalar> Matrix<T> {
     }
 }
 
-/// Matrix product with widening `f64` accumulation: each output element is
-/// the exact-as-f64 dot product of `T`-valued operands, rounded to `T`
-/// once.
+/// The seed's reference triple loop (accumulation in `T`, strided access):
+/// the golden model the blocked kernel is validated against, and the
+/// baseline the kernel benchmarks measure speedups from.
 ///
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
-pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+pub fn matmul_reference<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        for j in 0..b.cols() {
+            let mut acc = T::zero();
+            for (k, &x) in a_row.iter().enumerate() {
+                acc = acc.mac(x, b[(k, j)]);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// The seed's reference widening loop (`f64` accumulation, strided access):
+/// golden model and benchmark baseline for [`matmul_f64_acc`].
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_f64_acc_reference<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -103,11 +241,114 @@ pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     out
 }
 
+/// Matrix product with widening `f64` accumulation: each output element is
+/// the dot product of `T`-valued operands carried in `f64`, rounded to `T`
+/// once.
+///
+/// Cache-blocked and register-tiled: both operands are packed to `f64`
+/// panels (one conversion per element per panel use, not per MAC), B is
+/// packed transposed, and the microkernel walks `k` once while feeding
+/// [`NR`] independent accumulators. Each accumulator sums its `k` terms in
+/// ascending order, so the result is bit-identical to
+/// [`matmul_f64_acc_reference`].
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || kdim == 0 {
+        // Empty inner dimension: every dot product is the empty sum.
+        return out;
+    }
+
+    // Pack Bᵀ as f64 once: panel row j holds column j of B, contiguous.
+    let mut bt = vec![0.0f64; n * kdim];
+    for (k, row) in b.iter_rows().enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            bt[j * kdim + k] = x.to_f64();
+        }
+    }
+
+    let fill_block = |row0: usize, block: &mut [T]| {
+        let rows_here = block.len() / n;
+        // Pack this A row block as f64.
+        let mut ap = vec![0.0f64; rows_here * kdim];
+        for (local, dst) in ap.chunks_mut(kdim).enumerate() {
+            for (d, &x) in dst.iter_mut().zip(a.row(row0 + local)) {
+                *d = x.to_f64();
+            }
+        }
+        for (local, out_row) in block.chunks_mut(n).enumerate() {
+            let a_row = &ap[local * kdim..(local + 1) * kdim];
+            // Register-tiled microkernel: NR outputs per sweep of k, each
+            // with its own ascending-k accumulator (bit-identical to the
+            // reference loop), interleaved to hide the f64 add latency.
+            let mut j = 0;
+            while j + NR <= n {
+                let p = &bt[j * kdim..(j + NR) * kdim];
+                let (b0, rest) = p.split_at(kdim);
+                let (b1, rest) = rest.split_at(kdim);
+                let (b2, rest) = rest.split_at(kdim);
+                let (b3, rest) = rest.split_at(kdim);
+                let (b4, rest) = rest.split_at(kdim);
+                let (b5, rest) = rest.split_at(kdim);
+                let (b6, b7) = rest.split_at(kdim);
+                let mut c = [0.0f64; NR];
+                for (k, &av) in a_row.iter().enumerate() {
+                    c[0] += av * b0[k];
+                    c[1] += av * b1[k];
+                    c[2] += av * b2[k];
+                    c[3] += av * b3[k];
+                    c[4] += av * b4[k];
+                    c[5] += av * b5[k];
+                    c[6] += av * b6[k];
+                    c[7] += av * b7[k];
+                }
+                for (o, &acc) in out_row[j..j + NR].iter_mut().zip(&c) {
+                    *o = T::from_f64(acc);
+                }
+                j += NR;
+            }
+            while j < n {
+                let bj = &bt[j * kdim..(j + 1) * kdim];
+                let mut acc = 0.0f64;
+                for (k, &av) in a_row.iter().enumerate() {
+                    acc += av * bj[k];
+                }
+                out_row[j] = T::from_f64(acc);
+                j += 1;
+            }
+        }
+    };
+
+    if worth_parallelizing_matmul(m) {
+        out.as_mut_slice()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, block)| fill_block(blk * ROW_BLOCK, block));
+    } else {
+        fill_block(0, out.as_mut_slice());
+    }
+    out
+}
+
 /// Dot product of two equal-length slices, accumulated in `f64`.
 ///
 /// # Panics
 ///
 /// Panics if the lengths differ.
+#[inline]
 pub fn dot_f64<T: Scalar>(a: &[T], b: &[T]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
     a.iter()
@@ -145,6 +386,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_inner_dimension_gives_zero_matrix() {
+        // k = 0: every dot product is the empty sum, like the reference
+        // loops produce.
+        let a = Matrix::<f64>::zeros(2, 0);
+        let b = Matrix::<f64>::zeros(0, 3);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(matmul_f64_acc(&a, &b), c);
+        assert_eq!(matmul_reference(&a, &b), c);
+        assert_eq!(matmul_f64_acc_reference(&a, &b), c);
+
+        let ab = Matrix::<BF16>::zeros(4, 0);
+        let bb = Matrix::<BF16>::zeros(0, 9);
+        assert_eq!(ab.matmul(&bb), Matrix::<BF16>::zeros(4, 9));
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimensions differ")]
     fn matmul_dimension_mismatch_panics() {
         let a = Matrix::<f64>::zeros(2, 3);
@@ -159,11 +418,9 @@ mod tests {
         let n = 64;
         let a = Matrix::<BF16>::from_fn(1, n, |_, _| BF16::from_f32(0.01));
         let b = Matrix::<BF16>::from_fn(n, 1, |_, _| BF16::from_f32(1.0));
-        let exact = 0.01f64 * BF16::from_f32(0.01).to_f64() / 0.01 * n as f64; // n * bf16(0.01)
         let narrow = a.matmul(&b)[(0, 0)].to_f64();
         let wide = matmul_f64_acc(&a, &b)[(0, 0)].to_f64();
         let exact_sum = BF16::from_f32(0.01).to_f64() * n as f64;
-        let _ = exact;
         assert!((wide - exact_sum).abs() <= (narrow - exact_sum).abs());
     }
 
@@ -196,5 +453,63 @@ mod tests {
         let b = Matrix::<f64>::from_fn(3, 3, |r, c| ((r * c) % 5) as f64);
         let c = Matrix::<f64>::from_fn(3, 3, |r, c| ((r + 2 * c) % 4) as f64);
         assert_eq!(a.matmul(&b).matmul(&c), a.matmul(&b.matmul(&c)));
+    }
+
+    fn rand_pair<T: Scalar>(m: usize, k: usize, n: usize, seed: u64) -> (Matrix<T>, Matrix<T>) {
+        use crate::random::ElementDist;
+        (
+            Matrix::random_seeded(m, k, ElementDist::default(), seed),
+            Matrix::random_seeded(k, n, ElementDist::default(), seed + 1),
+        )
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference_f64() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (70, 40, 65),
+            (128, 64, 4),
+        ] {
+            let (a, b) = rand_pair::<f64>(m, k, n, 1000 + m as u64);
+            assert_eq!(a.matmul(&b), matmul_reference(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference_bf16() {
+        for (m, k, n) in [(5, 8, 3), (33, 17, 9), (80, 16, 70)] {
+            let (a, b) = rand_pair::<BF16>(m, k, n, 2000 + m as u64);
+            assert_eq!(a.matmul(&b), matmul_reference(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_widening_bit_identical_to_reference() {
+        for (m, k, n) in [(1, 3, 1), (9, 21, 5), (66, 33, 67), (128, 10, 3)] {
+            let (a, b) = rand_pair::<f64>(m, k, n, 3000 + m as u64);
+            assert_eq!(matmul_f64_acc(&a, &b), matmul_f64_acc_reference(&a, &b));
+            let (ab, bb) = rand_pair::<BF16>(m, k, n, 4000 + m as u64);
+            assert_eq!(matmul_f64_acc(&ab, &bb), matmul_f64_acc_reference(&ab, &bb));
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_any_thread_count() {
+        let (a, b) = rand_pair::<f64>(200, 48, 96, 5000);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| a.matmul(&b));
+        for threads in [2, 3, 8] {
+            let parallel = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| a.matmul(&b));
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 }

@@ -1,0 +1,65 @@
+//! The workspace's single parallelization policy.
+//!
+//! Every kernel that can fork onto the rayon pool — matmul row blocks,
+//! attention query rows, GQA heads, fused-checksum queries — decides with
+//! the predicates here, so the fork threshold is tuned in one place. The
+//! guiding constraint: fault campaigns feed the simulator thousands of
+//! tiny kernels per second, and those must stay on the calling thread;
+//! long-sequence inference shapes must fork.
+
+/// Minimum output rows before a matmul kernel forks row blocks.
+pub const MATMUL_MIN_ROWS: usize = 64;
+
+/// Row-block granularity matmul kernels hand to the pool.
+pub const MATMUL_ROW_BLOCK: usize = 32;
+
+/// Whether an attention-style kernel over `rows` independent units, each
+/// touching `keys × d` elements, is worth forking onto the rayon pool.
+#[inline]
+pub fn worth_parallelizing(rows: usize, keys: usize, d: usize) -> bool {
+    rows >= 16 && rows * keys * d >= 1 << 15 && rayon::current_num_threads() > 1
+}
+
+/// Whether a matmul over `rows` output rows is worth forking.
+#[inline]
+pub fn worth_parallelizing_matmul(rows: usize) -> bool {
+    rows >= MATMUL_MIN_ROWS && rayon::current_num_threads() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_shapes_stay_serial() {
+        // Simulator-sized shapes must never fork, whatever the host.
+        assert!(!worth_parallelizing(16, 16, 8));
+        assert!(!worth_parallelizing(4, 1024, 64));
+        assert!(!worth_parallelizing_matmul(16));
+    }
+
+    #[test]
+    fn inference_shapes_fork_on_multicore_hosts() {
+        let forked = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                (
+                    worth_parallelizing(1024, 1024, 64),
+                    worth_parallelizing_matmul(256),
+                )
+            });
+        assert_eq!(forked, (true, true));
+    }
+
+    #[test]
+    fn single_thread_pools_never_fork() {
+        let forked = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| worth_parallelizing(1024, 1024, 64));
+        assert!(!forked);
+    }
+}

@@ -73,7 +73,12 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 impl<T: Scalar> Matrix<T> {
     /// Generates a matrix with elements drawn from `dist` using `rng`.
-    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, dist: ElementDist, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        dist: ElementDist,
+        rng: &mut R,
+    ) -> Self {
         Matrix::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(rng)))
     }
 
@@ -108,12 +113,8 @@ mod tests {
 
     #[test]
     fn uniform_respects_bounds() {
-        let m = Matrix::<f64>::random_seeded(
-            16,
-            16,
-            ElementDist::Uniform { lo: -2.0, hi: 3.0 },
-            99,
-        );
+        let m =
+            Matrix::<f64>::random_seeded(16, 16, ElementDist::Uniform { lo: -2.0, hi: 3.0 }, 99);
         assert!(m.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
     }
 

@@ -21,7 +21,9 @@ mod private {
 /// use fa_tensor::Scalar;
 /// assert_eq!(<f64 as Scalar>::from_f64(1.5).to_f64(), 1.5);
 /// ```
-pub trait Scalar: private::Sealed + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+pub trait Scalar:
+    private::Sealed + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
     /// Human-readable name of the format ("f32", "f64", "bf16").
     const NAME: &'static str;
     /// Storage width in bits.
@@ -64,6 +66,22 @@ pub trait Scalar: private::Sealed + Copy + PartialEq + std::fmt::Debug + Send + 
         self.add(a.mul(b))
     }
 
+    /// [`mac`](Self::mac) with identical rounding semantics computed in
+    /// the cheapest equivalent arithmetic for the format — the hot-path
+    /// form the blocked matmul kernels call.
+    ///
+    /// Bit-identical to `mac` for every finite or infinite input: formats
+    /// narrower than `binary32` round through `f32` instead of `f64`,
+    /// which is exact for products (a 7+7-bit significand product fits 24
+    /// bits) and safe for sums by the double-rounding theorem (`f64`'s 53
+    /// significand bits ≥ 2·24+2, so `round32(round64(x)) = round32(x)`
+    /// for sums of `f32`-representable operands). NaN *payload*
+    /// propagation is implementation-defined in both paths.
+    #[inline]
+    fn mac_fast(self, a: Self, b: Self) -> Self {
+        self.mac(a, b)
+    }
+
     /// Whether the value is NaN.
     fn is_nan(self) -> bool;
     /// Whether the value is finite.
@@ -73,6 +91,14 @@ pub trait Scalar: private::Sealed + Copy + PartialEq + std::fmt::Debug + Send + 
 impl Scalar for f32 {
     const NAME: &'static str = "f32";
     const BIT_WIDTH: u32 = 32;
+
+    // round32(round64(x)) = round32(x) for f32-operand sums/products
+    // (53 ≥ 2·24+2), so native f32 arithmetic is bit-identical to the
+    // default widening round-trip.
+    #[inline]
+    fn mac_fast(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
 
     #[inline]
     fn zero() -> Self {
@@ -151,6 +177,16 @@ impl Scalar for f64 {
 impl Scalar for BF16 {
     const NAME: &'static str = "bf16";
     const BIT_WIDTH: u32 = 16;
+
+    // BF16 products are exact in f32 (7+7-bit significands) and BF16 sums
+    // satisfy the double-rounding theorem through f32, so staying in f32
+    // reproduces the default f64 round-trip bit for bit while skipping
+    // four f32↔f64 conversions per MAC.
+    #[inline]
+    fn mac_fast(self, a: Self, b: Self) -> Self {
+        let prod = BF16::from_f32(a.to_f32() * b.to_f32());
+        BF16::from_f32(self.to_f32() + prod.to_f32())
+    }
 
     #[inline]
     fn zero() -> Self {

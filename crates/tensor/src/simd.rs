@@ -1,0 +1,242 @@
+//! SIMD microkernels.
+//!
+//! The BF16 datapath matmul rounds *every* MAC to BF16, so its cost is
+//! dominated by rounding arithmetic, not memory traffic. The scalar kernel
+//! pays ~10 cycles per MAC in convert/round ops; the AVX2 kernel here
+//! processes eight output columns per vector with the identical rounding
+//! math per lane (`round32(a·b)` → RNE-to-BF16 → `f32` add → RNE-to-BF16,
+//! the [`crate::Scalar::mac_fast`] sequence, itself provably bit-identical
+//! to the seed's f64 round-trip `mac`). Four column tiles are interleaved
+//! so four independent rounding dependency chains hide each other's
+//! latency.
+//!
+//! Each output element's `k` terms still accumulate in ascending order in
+//! a private lane, so the result is **bit-identical** to
+//! [`crate::ops::matmul_reference`] — the property tests compare them
+//! directly. Dispatch is runtime-gated on AVX2; other hosts fall back to
+//! the scalar blocked kernel.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::Matrix;
+use core::arch::x86_64::*;
+use fa_numerics::BF16;
+use rayon::prelude::*;
+
+/// Tries the AVX2 BF16 kernel; `None` if the host lacks AVX2.
+pub(crate) fn matmul_bf16(a: &Matrix<BF16>, b: &Matrix<BF16>) -> Option<Matrix<BF16>> {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return None;
+    }
+    // SAFETY: AVX2 presence checked above.
+    Some(unsafe { matmul_bf16_avx2(a, b) })
+}
+
+/// Rounds each f32 lane to BF16 precision, returning the BF16 value
+/// *widened back to f32* (upper 16 bits of the f32 pattern). Per lane this
+/// is exactly `BF16::from_f32(x).to_f32()`: round-to-nearest-even via the
+/// carry-propagating magic add, NaN lanes quietened with the scalar path's
+/// `(bits >> 16) | 0x40` payload rule.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn round_bf16(x: __m256) -> __m256 {
+    let bits = _mm256_castps_si256(x);
+    let lsb = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(1));
+    let magic = _mm256_add_epi32(_mm256_set1_epi32(0x7FFF), lsb);
+    let rounded = _mm256_add_epi32(bits, magic);
+    let kept = _mm256_and_si256(rounded, _mm256_set1_epi32(-65536)); // 0xFFFF_0000
+                                                                     // NaN lanes: keep the upper payload bits, force the quiet bit.
+    let nan_bits = _mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi32(-65536)),
+        _mm256_set1_epi32(0x0040_0000),
+    );
+    let nan_mask = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+    _mm256_blendv_ps(
+        _mm256_castsi256_ps(kept),
+        _mm256_castsi256_ps(nan_bits),
+        nan_mask,
+    )
+}
+
+/// One fused step of the per-lane accumulator chain:
+/// `round(acc + round(a·b))` — the `mac_fast` sequence, vectorized.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mac_step(acc: __m256, va: __m256, vb: __m256) -> __m256 {
+    round_bf16(_mm256_add_ps(acc, round_bf16(_mm256_mul_ps(va, vb))))
+}
+
+/// Narrows eight widened-BF16 f32 lanes back to their 16-bit patterns
+/// (exact: the lanes hold values `round_bf16` already produced).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn store_tile(acc: __m256, dst: &mut [BF16]) {
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (d, l) in dst.iter_mut().zip(lanes) {
+        *d = BF16::from_bits((l.to_bits() >> 16) as u16);
+    }
+}
+
+/// Fills a block of consecutive output rows starting at `row0`.
+#[target_feature(enable = "avx2")]
+unsafe fn fill_rows_avx2(
+    apack: &[f32],
+    panels: &[f32],
+    b: &Matrix<BF16>,
+    kdim: usize,
+    n: usize,
+    row0: usize,
+    block: &mut [BF16],
+) {
+    let n_tiles = n / 8;
+    let tile_stride = kdim * 8;
+    for (local, out_row) in block.chunks_mut(n).enumerate() {
+        let a_row = &apack[(row0 + local) * kdim..(row0 + local + 1) * kdim];
+        // Four tiles (32 columns) per sweep: four independent
+        // round→add→round dependency chains in flight.
+        let mut tile = 0;
+        while tile + 4 <= n_tiles {
+            let p0 = &panels[tile * tile_stride..(tile + 1) * tile_stride];
+            let p1 = &panels[(tile + 1) * tile_stride..(tile + 2) * tile_stride];
+            let p2 = &panels[(tile + 2) * tile_stride..(tile + 3) * tile_stride];
+            let p3 = &panels[(tile + 3) * tile_stride..(tile + 4) * tile_stride];
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for (k, &av) in a_row.iter().enumerate() {
+                let va = _mm256_set1_ps(av);
+                acc0 = mac_step(acc0, va, _mm256_loadu_ps(p0.as_ptr().add(k * 8)));
+                acc1 = mac_step(acc1, va, _mm256_loadu_ps(p1.as_ptr().add(k * 8)));
+                acc2 = mac_step(acc2, va, _mm256_loadu_ps(p2.as_ptr().add(k * 8)));
+                acc3 = mac_step(acc3, va, _mm256_loadu_ps(p3.as_ptr().add(k * 8)));
+            }
+            for (i, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                store_tile(acc, &mut out_row[(tile + i) * 8..(tile + i) * 8 + 8]);
+            }
+            tile += 4;
+        }
+        while tile < n_tiles {
+            let p0 = &panels[tile * tile_stride..(tile + 1) * tile_stride];
+            let mut acc0 = _mm256_setzero_ps();
+            for (k, &av) in a_row.iter().enumerate() {
+                let va = _mm256_set1_ps(av);
+                acc0 = mac_step(acc0, va, _mm256_loadu_ps(p0.as_ptr().add(k * 8)));
+            }
+            store_tile(acc0, &mut out_row[tile * 8..tile * 8 + 8]);
+            tile += 1;
+        }
+        // Scalar tail for n % 8 columns, same mac_fast sequence.
+        for j in n_tiles * 8..n {
+            let mut acc = BF16::ZERO;
+            for (k, &av) in a_row.iter().enumerate() {
+                let prod = BF16::from_f32(av * b[(k, j)].to_f32());
+                acc = BF16::from_f32(acc.to_f32() + prod.to_f32());
+            }
+            out_row[j] = acc;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_bf16_avx2(a: &Matrix<BF16>, b: &Matrix<BF16>) -> Matrix<BF16> {
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || kdim == 0 {
+        return out;
+    }
+
+    // Widen A to f32 once (a plain bit shift per element).
+    let apack: Vec<f32> = a.as_slice().iter().map(|x| x.to_f32()).collect();
+
+    // Pack B into 8-column tiles, k-major inside each tile:
+    // panel[tile][k*8 + t] = B[k][8*tile + t], widened to f32.
+    let n_tiles = n / 8;
+    let tile_stride = kdim * 8;
+    let mut panels = vec![0.0f32; n_tiles * tile_stride];
+    for (k, brow) in b.iter_rows().enumerate() {
+        for t in 0..n_tiles {
+            let dst = &mut panels[t * tile_stride + k * 8..t * tile_stride + k * 8 + 8];
+            for (d, x) in dst.iter_mut().zip(&brow[t * 8..t * 8 + 8]) {
+                *d = x.to_f32();
+            }
+        }
+    }
+
+    if crate::par::worth_parallelizing_matmul(m) {
+        let apack = &apack;
+        let panels = &panels;
+        out.as_mut_slice()
+            .par_chunks_mut(crate::par::MATMUL_ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, block)| {
+                // SAFETY: only reached after the AVX2 runtime check.
+                unsafe {
+                    fill_rows_avx2(
+                        apack,
+                        panels,
+                        b,
+                        kdim,
+                        n,
+                        blk * crate::par::MATMUL_ROW_BLOCK,
+                        block,
+                    )
+                }
+            });
+    } else {
+        fill_rows_avx2(&apack, &panels, b, kdim, n, 0, out.as_mut_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul_reference;
+    use crate::random::ElementDist;
+
+    #[test]
+    fn avx2_kernel_bit_identical_to_reference() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for (m, k, n) in [(1, 1, 1), (3, 7, 9), (17, 33, 40), (64, 31, 72), (5, 64, 8)] {
+            let a = Matrix::<BF16>::random_seeded(m, k, ElementDist::default(), 7 + m as u64);
+            let b = Matrix::<BF16>::random_seeded(k, n, ElementDist::default(), 8 + n as u64);
+            let fast = matmul_bf16(&a, &b).expect("avx2 detected");
+            let reference = matmul_reference(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_kernel_handles_nonfinite() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        // Saturating products overflow to infinity; rounding must carry
+        // into the exponent exactly like the scalar path.
+        let a = Matrix::<BF16>::from_fn(2, 16, |_, c| {
+            if c % 2 == 0 {
+                BF16::MAX
+            } else {
+                BF16::from_f32(2.0)
+            }
+        });
+        let b = Matrix::<BF16>::from_fn(16, 16, |r, _| {
+            if r % 3 == 0 {
+                BF16::MAX
+            } else {
+                BF16::from_f32(-1.5)
+            }
+        });
+        let fast = matmul_bf16(&a, &b).expect("avx2 detected");
+        let reference = matmul_reference(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -109,3 +109,77 @@ proptest! {
         prop_assert!(ac <= ab + bc + 1e-12);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache-blocked packed-panel matmul is bit-identical to the seed
+    /// reference triple loop in f64 — same per-MAC rounding, same
+    /// ascending-k accumulation order, any shape.
+    #[test]
+    fn blocked_matmul_exact_vs_reference_f64(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let a = Matrix::<f64>::random_seeded(m, k, ElementDist::default(), seed);
+        let b = Matrix::<f64>::random_seeded(k, n, ElementDist::default(), seed + 1);
+        prop_assert_eq!(a.matmul(&b), fa_tensor::ops::matmul_reference(&a, &b));
+        prop_assert_eq!(
+            matmul_f64_acc(&a, &b),
+            fa_tensor::ops::matmul_f64_acc_reference(&a, &b)
+        );
+    }
+
+    /// Same in BF16: the blocked kernel reproduces the reference loop's
+    /// per-MAC rounding bit for bit (stronger than "within rounding").
+    #[test]
+    fn blocked_matmul_exact_vs_reference_bf16(
+        m in 1usize..32,
+        k in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let a = Matrix::<BF16>::random_seeded(m, k, ElementDist::default(), seed);
+        let b = Matrix::<BF16>::random_seeded(k, n, ElementDist::default(), seed + 1);
+        let blocked = a.matmul(&b);
+        let reference = fa_tensor::ops::matmul_reference(&a, &b);
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let wide = matmul_f64_acc(&a, &b);
+        let wide_ref = fa_tensor::ops::matmul_f64_acc_reference(&a, &b);
+        for (x, y) in wide.as_slice().iter().zip(wide_ref.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Row-parallel execution never changes a single bit, for any thread
+    /// count (shapes above the parallelization threshold).
+    #[test]
+    fn parallel_matmul_bit_identical(
+        threads in 1usize..9,
+        n in 2usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_tensor::random::ElementDist;
+        // 96 rows crosses the kernels' PAR_MIN_ROWS threshold.
+        let a = Matrix::<f64>::random_seeded(96, 24, ElementDist::default(), seed);
+        let b = Matrix::<f64>::random_seeded(24, n, ElementDist::default(), seed + 1);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (a.matmul(&b), matmul_f64_acc(&a, &b)));
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| (a.matmul(&b), matmul_f64_acc(&a, &b)));
+        prop_assert_eq!(serial.0, parallel.0);
+        prop_assert_eq!(serial.1, parallel.1);
+    }
+}

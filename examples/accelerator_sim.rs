@@ -41,7 +41,13 @@ fn main() {
         target: RegAddr::Output { block: 7, lane: 40 },
         bit: 61,
     };
-    let faulty = accel.run_faulted(&workload.q, &workload.k, &workload.v, &[fault], Some(&golden));
+    let faulty = accel.run_faulted(
+        &workload.q,
+        &workload.k,
+        &workload.v,
+        &[fault],
+        Some(&golden),
+    );
     println!("injected {fault:?}");
     println!(
         "  comparator residual: {:.3e} -> alarm at tau=1e-6: {}",
@@ -55,8 +61,13 @@ fn main() {
         target: RegAddr::Check { block: 3 },
         bit: 58,
     };
-    let fp_run =
-        accel.run_faulted(&workload.q, &workload.k, &workload.v, &[fp_fault], Some(&golden));
+    let fp_run = accel.run_faulted(
+        &workload.q,
+        &workload.k,
+        &workload.v,
+        &[fp_fault],
+        Some(&golden),
+    );
     println!("injected {fp_fault:?}");
     println!(
         "  output unchanged: {} | comparator residual {:.3e} (false positive)",

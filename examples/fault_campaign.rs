@@ -22,8 +22,14 @@ fn main() {
     println!();
 
     for (label, criterion) in [
-        ("paper criterion (checksum discrepancy)", DetectionCriterion::ChecksumDiscrepancy),
-        ("strict criterion (runtime comparator)", DetectionCriterion::HardwareComparator),
+        (
+            "paper criterion (checksum discrepancy)",
+            DetectionCriterion::ChecksumDiscrepancy,
+        ),
+        (
+            "strict criterion (runtime comparator)",
+            DetectionCriterion::HardwareComparator,
+        ),
     ] {
         let spec = CampaignSpec::new(accel, 1000, 2025).with_criterion(criterion);
         let stats = run_campaigns(&spec, &workload);

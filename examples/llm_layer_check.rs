@@ -46,12 +46,11 @@ fn main() {
     println!("format-appropriate relative tolerance:");
     let model = PAPER_MODELS[2].config(); // Llama-3.1
     let w = Workload::generate(&model, WorkloadSpec::paper(99));
-    let engine = flash_abft::FlashAbft::new(model.attention()).with_tolerance(
-        Tolerance::Relative {
+    let engine =
+        flash_abft::FlashAbft::new(model.attention()).with_tolerance(Tolerance::Relative {
             bound: 0.05,
             floor: 1e-3,
-        },
-    );
+        });
     let checked = engine.compute(&w.q, &w.k, &w.v);
     println!(
         "{}: N={} BF16 head | residual {:.2e} | alarm {}",

@@ -44,8 +44,12 @@ fn accelerator_matches_software_kernel_on_all_paper_models() {
         );
         let accel = Accelerator::new(AcceleratorConfig::new(8, cfg.head_dim));
         let run = accel.run(&w.q, &w.k, &w.v);
-        let reference =
-            flash2::attention(&w.q.to_f64(), &w.k.to_f64(), &w.v.to_f64(), &cfg.attention());
+        let reference = flash2::attention(
+            &w.q.to_f64(),
+            &w.k.to_f64(),
+            &w.v.to_f64(),
+            &cfg.attention(),
+        );
         // Pre-rounding row sums are exact vs the f64 kernel.
         for i in 0..32 {
             let expected: f64 = reference.row(i).iter().sum();

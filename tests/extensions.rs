@@ -95,7 +95,9 @@ fn composite_detector_on_accelerator_outputs() {
 #[test]
 fn gqa_with_sliding_window_checked() {
     // Llama-3.1-flavoured geometry: GQA heads with a local window.
-    let head = AttentionConfig::new(8).with_causal(true).with_sliding_window(6);
+    let head = AttentionConfig::new(8)
+        .with_causal(true)
+        .with_sliding_window(6);
     let gqa = GqaConfig::new(4, 2, head);
     let n = 16;
     let q = Matrix::<f64>::random_seeded(n, gqa.q_dim(), ElementDist::default(), 20);
@@ -181,5 +183,8 @@ fn flash_abft_protects_attention_inside_a_full_encoder_layer() {
         &mh.slice_head(&out.v, 2),
         &mh.slice_head(&bad, 2),
     );
-    assert!(report.is_alarm(), "corruption inside the encoder must be caught");
+    assert!(
+        report.is_alarm(),
+        "corruption inside the encoder must be caught"
+    );
 }

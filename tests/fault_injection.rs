@@ -84,7 +84,11 @@ fn targeted_resim_equals_full_sim_with_multiple_faults() {
             .collect();
         let full = accel.run_faulted(&w.q, &w.k, &w.v, &faults, None);
         let fast = accel.run_faulted(&w.q, &w.k, &w.v, &faults, Some(&golden));
-        assert_eq!(full.predicted.to_bits(), fast.predicted.to_bits(), "{faults:?}");
+        assert_eq!(
+            full.predicted.to_bits(),
+            fast.predicted.to_bits(),
+            "{faults:?}"
+        );
         assert_eq!(full.actual.to_bits(), fast.actual.to_bits(), "{faults:?}");
         assert!(outputs_bit_equal(&full.output, &fast.output), "{faults:?}");
     }
@@ -241,8 +245,11 @@ fn composite_checker_closes_the_nan_silent_class() {
         };
         let faulty = accel.run_faulted(&w.q, &w.k, &w.v, &[fault], Some(&golden));
         let nan_poisoned = faulty.predicted.is_nan() || faulty.actual.is_nan();
-        let output_has_extreme =
-            faulty.output.as_slice().iter().any(|x| x.is_nan() || x.is_infinite());
+        let output_has_extreme = faulty
+            .output
+            .as_slice()
+            .iter()
+            .any(|x| x.is_nan() || x.is_infinite());
         if nan_poisoned && output_has_extreme {
             nan_silent_seen += 1;
             let verdict = composite.verify(faulty.predicted, &faulty.output);
