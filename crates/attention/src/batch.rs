@@ -1,0 +1,767 @@
+//! Batched KV-cache decode: the serving-path engine.
+//!
+//! Decode-dominated traffic is the mode a deployed attention accelerator
+//! lives in: every step is one query per sequence against that sequence's
+//! whole KV history. [`DecodeSession`](crate::decode::DecodeSession)
+//! models a single sequence with per-row heap allocations; at serving
+//! scale that shape is wrong twice over — the cache rows are scattered
+//! (one allocation per token) and every sequence×head is a separate
+//! kernel invocation. This module fixes both:
+//!
+//! * [`KvCache`] — a paged, block-allocated cache: fixed-size blocks of
+//!   contiguous rows carved from one shared arena, appended per sequence
+//!   (the vLLM/paged-attention layout). Streaming a sequence's history
+//!   walks contiguous memory block by block.
+//! * [`DecodeBatch`] — a multi-sequence, multi-head decode engine. One
+//!   `step_all` call appends every sequence's new K/V, then schedules all
+//!   `sequences × heads` passes across the shared rayon pool in a
+//!   **single fork**. Each pass runs the fused Alg. 3 loop — online
+//!   softmax, output lanes **and** the per-head checksum lane in one
+//!   sweep over the cache — so checked decode costs one pass per step,
+//!   exactly like `flash2_with_checksum` does for prefill.
+//!
+//! Per-(sequence, head) arithmetic is identical to
+//! [`DecodeSession::step_with_state`](crate::decode::DecodeSession::step_with_state)
+//! and to a one-shot causal [`flash2`](crate::flash2) pass over the same
+//! history, and the cross-head combination runs in a fixed order on the
+//! calling thread — so `step_all` is bit-identical to serial per-sequence
+//! decode at every thread count (property-tested).
+
+use crate::multihead::MultiHeadConfig;
+use fa_numerics::OnlineSoftmax;
+use fa_tensor::{ops, Matrix, Scalar};
+use rayon::prelude::*;
+
+/// A paged key/value cache: rows of a fixed `width` stored in fixed-size
+/// blocks carved out of one shared arena, with an append-only block list
+/// per sequence.
+///
+/// Blocks from different sequences interleave in the arena (whichever
+/// sequence appends next claims the next block), so memory grows with
+/// *total* tokens, not `sequences × longest`.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::batch::KvCache;
+///
+/// let mut cache = KvCache::<f64>::new(2, 16);
+/// let s = cache.add_sequence();
+/// cache.append(s, &[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(cache.seq_len(s), 1);
+/// assert_eq!(cache.key_row(s, 0), &[1.0, 2.0]);
+/// assert_eq!(cache.value_row(s, 0), &[3.0, 4.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KvCache<T> {
+    width: usize,
+    block_rows: usize,
+    k_arena: Vec<T>,
+    v_arena: Vec<T>,
+    seqs: Vec<SeqBlocks>,
+}
+
+#[derive(Clone, Debug)]
+struct SeqBlocks {
+    /// Arena block indices owned by this sequence, in position order.
+    blocks: Vec<usize>,
+    /// Number of appended rows.
+    len: usize,
+}
+
+impl<T: Scalar> KvCache<T> {
+    /// Creates an empty cache for rows of `width` elements, allocated in
+    /// blocks of `block_rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(width: usize, block_rows: usize) -> Self {
+        assert!(width > 0, "row width must be positive");
+        assert!(block_rows > 0, "block_rows must be positive");
+        KvCache {
+            width,
+            block_rows,
+            k_arena: Vec::new(),
+            v_arena: Vec::new(),
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Row width (elements per cached key/value row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Rows per allocation block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of registered sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Registers a new (empty) sequence and returns its id.
+    pub fn add_sequence(&mut self) -> usize {
+        self.seqs.push(SeqBlocks {
+            blocks: Vec::new(),
+            len: 0,
+        });
+        self.seqs.len() - 1
+    }
+
+    /// Reserves arena capacity for at least `additional_rows` more cached
+    /// rows (across all sequences), so admission-controlled serving loops
+    /// can keep block claims reallocation-free on the decode path.
+    ///
+    /// Blocks are claimed per sequence, so each registered sequence may
+    /// occupy one partially-filled block; the reservation accounts for
+    /// that worst case (one extra block per sequence) on top of the raw
+    /// row count.
+    pub fn reserve_rows(&mut self, additional_rows: usize) {
+        let blocks = additional_rows.div_ceil(self.block_rows) + self.seqs.len();
+        let elems = blocks * self.block_rows * self.width;
+        self.k_arena.reserve(elems);
+        self.v_arena.reserve(elems);
+    }
+
+    /// Number of cached positions for sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.seqs[seq].len
+    }
+
+    /// Appends one key/value row to sequence `seq`, claiming a fresh
+    /// arena block when the current one is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or a slice length differs from the
+    /// row width.
+    pub fn append(&mut self, seq: usize, k: &[T], v: &[T]) {
+        assert_eq!(k.len(), self.width, "key row width mismatch");
+        assert_eq!(v.len(), self.width, "value row width mismatch");
+        let block_elems = self.block_rows * self.width;
+        let state = &mut self.seqs[seq];
+        if state.len == state.blocks.len() * self.block_rows {
+            // Current block full (or first append): claim the next block.
+            let block = self.k_arena.len() / block_elems;
+            self.k_arena
+                .resize(self.k_arena.len() + block_elems, T::zero());
+            self.v_arena
+                .resize(self.v_arena.len() + block_elems, T::zero());
+            state.blocks.push(block);
+        }
+        let block = state.blocks[state.len / self.block_rows];
+        let slot = block * block_elems + (state.len % self.block_rows) * self.width;
+        self.k_arena[slot..slot + self.width].copy_from_slice(k);
+        self.v_arena[slot..slot + self.width].copy_from_slice(v);
+        state.len += 1;
+    }
+
+    /// The cached key row at position `i` of sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` or `i` is out of range.
+    pub fn key_row(&self, seq: usize, i: usize) -> &[T] {
+        let slot = self.row_slot(seq, i);
+        &self.k_arena[slot..slot + self.width]
+    }
+
+    /// The cached value row at position `i` of sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` or `i` is out of range.
+    pub fn value_row(&self, seq: usize, i: usize) -> &[T] {
+        let slot = self.row_slot(seq, i);
+        &self.v_arena[slot..slot + self.width]
+    }
+
+    fn row_slot(&self, seq: usize, i: usize) -> usize {
+        let state = &self.seqs[seq];
+        assert!(i < state.len, "position {i} out of {} cached", state.len);
+        let block = state.blocks[i / self.block_rows];
+        block * self.block_rows * self.width + (i % self.block_rows) * self.width
+    }
+
+    /// Iterates sequence `seq` block by block as
+    /// `(first_position, key_rows, value_rows)` — the row slices are
+    /// contiguous row-major spans of up to [`Self::block_rows`] rows, in
+    /// position order. This is the streaming access path the decode
+    /// kernels use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn blocks(&self, seq: usize) -> impl Iterator<Item = (usize, &[T], &[T])> + '_ {
+        let state = &self.seqs[seq];
+        let block_elems = self.block_rows * self.width;
+        state.blocks.iter().enumerate().map(move |(bi, &block)| {
+            let first = bi * self.block_rows;
+            let rows = (state.len - first).min(self.block_rows);
+            let base = block * block_elems;
+            (
+                first,
+                &self.k_arena[base..base + rows * self.width],
+                &self.v_arena[base..base + rows * self.width],
+            )
+        })
+    }
+}
+
+/// One sequence's output from a [`DecodeBatch::step_all`] call.
+#[derive(Clone, Debug)]
+pub struct DecodeStepOutput {
+    /// The normalized attention row for the new token, packed
+    /// `num_heads · head_dim` wide (head-major, like the inputs).
+    pub output: Vec<f64>,
+    /// Predicted checksum: `Σ_h c_h/ℓ_h` over the sequence's heads
+    /// (Alg. 3 line 10, summed across heads).
+    pub predicted: f64,
+    /// Actual checksum: the sum of all produced output lanes.
+    pub actual: f64,
+}
+
+impl DecodeStepOutput {
+    /// `predicted − actual` — tiny in fault-free f64 decode, large when a
+    /// datapath fault corrupted this token's computation.
+    pub fn residual(&self) -> f64 {
+        self.predicted - self.actual
+    }
+}
+
+/// Unnormalized per-(sequence, head) state produced by one fused pass:
+/// `d` output lanes plus the checksum lane, and the softmax terminal.
+struct HeadState {
+    /// Lanes `0..d` = output accumulator, lane `d` = checksum (only
+    /// meaningful on checked passes).
+    lanes: Vec<f64>,
+    sum_exp: f64,
+}
+
+/// A batched, checked, KV-cache-backed decode engine over
+/// `num_sequences × num_heads` independent attention streams.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::batch::DecodeBatch;
+/// use fa_attention::multihead::MultiHeadConfig;
+/// use fa_attention::AttentionConfig;
+/// use fa_tensor::Matrix;
+///
+/// let cfg = MultiHeadConfig::new(2, AttentionConfig::new(2));
+/// let mut batch = DecodeBatch::<f64>::new(cfg, 16);
+/// let s0 = batch.add_sequence();
+/// let q = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 1.0]]);
+/// let k = Matrix::from_rows(&[&[0.5, 0.5, 0.5, 0.5]]);
+/// let v = Matrix::from_rows(&[&[2.0, 4.0, 6.0, 8.0]]);
+/// let out = batch.step_all(&[s0], &q, &k, &v);
+/// // First token: softmax weight 1 per head, output == v.
+/// assert_eq!(out[0].output, vec![2.0, 4.0, 6.0, 8.0]);
+/// assert!(out[0].residual().abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecodeBatch<T> {
+    cfg: MultiHeadConfig,
+    cache: KvCache<T>,
+    /// Per sequence: `sumrow_h(v_i)` for every cached position `i` and
+    /// head `h`, stored `i·H + h` — the Eq. 4 vector the checksum lane
+    /// consumes, computed once per appended token.
+    sumrows: Vec<Vec<f64>>,
+    /// Per sequence: running (predicted, actual) totals over all decoded
+    /// tokens — the session-level Alg. 3 line 11 state.
+    totals: Vec<(f64, f64)>,
+    /// Per sequence: tokens decoded through
+    /// [`step_all_unchecked`](DecodeBatch::step_all_unchecked), which the
+    /// session verdict does **not** cover.
+    unchecked_steps: Vec<usize>,
+}
+
+impl<T: Scalar> DecodeBatch<T> {
+    /// Creates an empty engine with the given head layout and KV-cache
+    /// block size (rows per block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows == 0`.
+    pub fn new(cfg: MultiHeadConfig, block_rows: usize) -> Self {
+        DecodeBatch {
+            cfg,
+            cache: KvCache::new(cfg.model_dim(), block_rows),
+            sumrows: Vec::new(),
+            totals: Vec::new(),
+            unchecked_steps: Vec::new(),
+        }
+    }
+
+    /// The head layout.
+    pub fn config(&self) -> &MultiHeadConfig {
+        &self.cfg
+    }
+
+    /// Number of registered sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.cache.num_sequences()
+    }
+
+    /// Number of cached positions for sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.cache.seq_len(seq)
+    }
+
+    /// Registers a new (empty) sequence and returns its id.
+    pub fn add_sequence(&mut self) -> usize {
+        self.sumrows.push(Vec::new());
+        self.totals.push((0.0, 0.0));
+        self.unchecked_steps.push(0);
+        self.cache.add_sequence()
+    }
+
+    /// Pre-fills sequence `seq` from prompt K/V matrices
+    /// (`N × model_dim`), without computing attention.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range `seq`.
+    pub fn prefill(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
+        assert_eq!(k.cols(), self.cfg.model_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.cfg.model_dim(), "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        for i in 0..k.rows() {
+            self.append_token(seq, k.row(i), v.row(i));
+        }
+    }
+
+    /// Reserves KV-cache capacity for at least `additional_rows` more
+    /// cached rows across all sequences (see [`KvCache::reserve_rows`]).
+    pub fn reserve_rows(&mut self, additional_rows: usize) {
+        self.cache.reserve_rows(additional_rows);
+    }
+
+    /// Running `Σ predicted − Σ actual` over every token decoded for
+    /// `seq` through [`step_all`](Self::step_all) — the sequence-level
+    /// ABFT verdict. Tokens decoded through
+    /// [`step_all_unchecked`](Self::step_all_unchecked) are **not**
+    /// covered; check [`unchecked_len`](Self::unchecked_len) before
+    /// reading a zero residual as "every token verified".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn global_residual(&self, seq: usize) -> f64 {
+        let (predicted, actual) = self.totals[seq];
+        predicted - actual
+    }
+
+    /// Number of tokens of `seq` decoded without checksum coverage (via
+    /// [`step_all_unchecked`](Self::step_all_unchecked)). Zero means the
+    /// [`global_residual`](Self::global_residual) verdict covers the
+    /// whole decoded history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn unchecked_len(&self, seq: usize) -> usize {
+        self.unchecked_steps[seq]
+    }
+
+    fn append_token(&mut self, seq: usize, k: &[T], v: &[T]) {
+        let d = self.cfg.head.head_dim();
+        self.cache.append(seq, k, v);
+        for h in 0..self.cfg.num_heads {
+            let sumrow: f64 = v[h * d..(h + 1) * d].iter().map(|x| x.to_f64()).sum();
+            self.sumrows[seq].push(sumrow);
+        }
+    }
+
+    /// Decodes one token for every listed sequence, with the fused online
+    /// checksum riding each head's pass.
+    ///
+    /// Row `i` of `qs`/`ks`/`vs` (each `batch × model_dim`) is the new
+    /// token of `seq_ids[i]`. All K/V rows are appended first, then every
+    /// `sequence × head` pass is scheduled across the shared rayon pool
+    /// in one fork; per-head states are combined in input order on the
+    /// calling thread, so the result is bit-identical at every thread
+    /// count and to serial per-sequence decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, out-of-range or duplicate sequence ids.
+    pub fn step_all(
+        &mut self,
+        seq_ids: &[usize],
+        qs: &Matrix<T>,
+        ks: &Matrix<T>,
+        vs: &Matrix<T>,
+    ) -> Vec<DecodeStepOutput> {
+        let states = self.run_passes(seq_ids, qs, ks, vs, true);
+        let h = self.cfg.num_heads;
+        let d = self.cfg.head.head_dim();
+        // Finalize in input order on this thread (Alg. 3 lines 9–11).
+        let mut outputs = Vec::with_capacity(seq_ids.len());
+        for (i, &seq) in seq_ids.iter().enumerate() {
+            let mut output = vec![0.0f64; self.cfg.model_dim()];
+            let mut predicted = 0.0f64;
+            let mut actual = 0.0f64;
+            for (hi, state) in states[i * h..(i + 1) * h].iter().enumerate() {
+                for (c, &lane) in state.lanes[..d].iter().enumerate() {
+                    let val = lane / state.sum_exp;
+                    output[hi * d + c] = val;
+                    actual += val;
+                }
+                predicted += state.lanes[d] / state.sum_exp;
+            }
+            let totals = &mut self.totals[seq];
+            totals.0 += predicted;
+            totals.1 += actual;
+            outputs.push(DecodeStepOutput {
+                output,
+                predicted,
+                actual,
+            });
+        }
+        outputs
+    }
+
+    /// [`step_all`](Self::step_all) without the checksum lane — the
+    /// unchecked baseline the overhead benchmark compares against.
+    /// Returns only the normalized output rows. Tokens decoded this way
+    /// still advance the cache but are **excluded** from the
+    /// [`global_residual`](Self::global_residual) session verdict; the
+    /// per-sequence [`unchecked_len`](Self::unchecked_len) counter
+    /// records the coverage gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, out-of-range or duplicate sequence ids.
+    pub fn step_all_unchecked(
+        &mut self,
+        seq_ids: &[usize],
+        qs: &Matrix<T>,
+        ks: &Matrix<T>,
+        vs: &Matrix<T>,
+    ) -> Vec<Vec<f64>> {
+        let states = self.run_passes(seq_ids, qs, ks, vs, false);
+        for &seq in seq_ids {
+            self.unchecked_steps[seq] += 1;
+        }
+        let h = self.cfg.num_heads;
+        let d = self.cfg.head.head_dim();
+        seq_ids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut output = vec![0.0f64; self.cfg.model_dim()];
+                for (hi, state) in states[i * h..(i + 1) * h].iter().enumerate() {
+                    for (c, &lane) in state.lanes[..d].iter().enumerate() {
+                        output[hi * d + c] = lane / state.sum_exp;
+                    }
+                }
+                output
+            })
+            .collect()
+    }
+
+    /// Appends every input token, then runs all `batch × heads` fused
+    /// passes in a single fork.
+    fn run_passes(
+        &mut self,
+        seq_ids: &[usize],
+        qs: &Matrix<T>,
+        ks: &Matrix<T>,
+        vs: &Matrix<T>,
+        checked: bool,
+    ) -> Vec<HeadState> {
+        let model_dim = self.cfg.model_dim();
+        assert_eq!(qs.cols(), model_dim, "Q width mismatch");
+        assert_eq!(ks.cols(), model_dim, "K width mismatch");
+        assert_eq!(vs.cols(), model_dim, "V width mismatch");
+        let batch = seq_ids.len();
+        assert_eq!(qs.rows(), batch, "one Q row per sequence id");
+        assert_eq!(ks.rows(), batch, "one K row per sequence id");
+        assert_eq!(vs.rows(), batch, "one V row per sequence id");
+        for (i, &s) in seq_ids.iter().enumerate() {
+            assert!(s < self.num_sequences(), "unknown sequence id {s}");
+            assert!(
+                !seq_ids[..i].contains(&s),
+                "duplicate sequence id {s} in one step"
+            );
+        }
+
+        // Phase 1 (serial, cheap): append every new token.
+        for (i, &seq) in seq_ids.iter().enumerate() {
+            self.append_token(seq, ks.row(i), vs.row(i));
+        }
+
+        // Phase 2: one fork over all sequence×head passes.
+        let h = self.cfg.num_heads;
+        let work = batch * h;
+        let max_len = seq_ids
+            .iter()
+            .map(|&s| self.cache.seq_len(s))
+            .max()
+            .unwrap_or(0);
+        let pass = |flat: usize| {
+            let (i, hi) = (flat / h, flat % h);
+            self.head_pass(seq_ids[i], hi, qs.row(i), checked)
+        };
+        if crate::par::worth_parallelizing(work, max_len, self.cfg.head.head_dim()) {
+            (0..work).into_par_iter().map(pass).collect()
+        } else {
+            (0..work).map(pass).collect()
+        }
+    }
+
+    /// The fused Alg. 3 loop for one (sequence, head): one sweep over the
+    /// sequence's cache blocks computing scores, online-softmax state,
+    /// output lanes and (when `checked`) the checksum lane.
+    fn head_pass(&self, seq: usize, head: usize, q: &[T], checked: bool) -> HeadState {
+        let d = self.cfg.head.head_dim();
+        let h = self.cfg.num_heads;
+        let scale = self.cfg.head.scale();
+        let window = self.cfg.head.sliding_window();
+        let newest = self.cache.seq_len(seq) - 1;
+        let q_sub = &q[head * d..(head + 1) * d];
+        let sumrows = &self.sumrows[seq];
+
+        let mut os = OnlineSoftmax::new();
+        let mut lanes = vec![0.0f64; d + 1];
+        for (first, k_rows, v_rows) in self.cache.blocks(seq) {
+            let rows = k_rows.len() / self.cache.width();
+            for r in 0..rows {
+                let pos = first + r;
+                // Sliding-window masking relative to the newest position,
+                // matching `DecodeSession::step_with_state`.
+                if let Some(w) = window {
+                    if newest - pos >= w {
+                        continue;
+                    }
+                }
+                let row = r * self.cache.width() + head * d;
+                let s = ops::dot_then_scale(q_sub, &k_rows[row..row + d], scale);
+                let step = os.push(s);
+                ops::axpy_f64(
+                    &mut lanes[..d],
+                    &v_rows[row..row + d],
+                    step.scale_old,
+                    step.weight_new,
+                );
+                if checked {
+                    lanes[d] =
+                        lanes[d] * step.scale_old + sumrows[pos * h + head] * step.weight_new;
+                }
+            }
+        }
+        HeadState {
+            lanes,
+            sum_exp: os.sum_exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecodeSession;
+    use crate::AttentionConfig;
+    use fa_tensor::random::ElementDist;
+
+    fn rand(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        Matrix::random_seeded(rows, cols, ElementDist::default(), seed)
+    }
+
+    #[test]
+    fn cache_blocks_are_contiguous_and_ordered() {
+        let mut cache = KvCache::<f64>::new(2, 3);
+        let s0 = cache.add_sequence();
+        let s1 = cache.add_sequence();
+        // Interleave appends so the two sequences' blocks interleave in
+        // the arena.
+        for i in 0..7 {
+            cache.append(s0, &[i as f64, 0.0], &[10.0 + i as f64, 0.0]);
+            if i < 4 {
+                cache.append(s1, &[100.0 + i as f64, 0.0], &[0.0, i as f64]);
+            }
+        }
+        assert_eq!(cache.seq_len(s0), 7);
+        assert_eq!(cache.seq_len(s1), 4);
+        let mut pos = 0;
+        for (first, k_rows, v_rows) in cache.blocks(s0) {
+            assert_eq!(first, pos);
+            let rows = k_rows.len() / 2;
+            for r in 0..rows {
+                assert_eq!(k_rows[r * 2], (first + r) as f64);
+                assert_eq!(v_rows[r * 2], 10.0 + (first + r) as f64);
+            }
+            pos += rows;
+        }
+        assert_eq!(pos, 7);
+        assert_eq!(cache.key_row(s1, 3)[0], 103.0);
+    }
+
+    #[test]
+    fn batched_decode_matches_serial_sessions_bitwise() {
+        // The load-bearing equivalence: DecodeBatch over S sequences and
+        // H heads must equal one DecodeSession per (sequence, head), bit
+        // for bit, for any cache block size.
+        let cfg = MultiHeadConfig::new(3, AttentionConfig::new(4));
+        let (s, steps) = (4, 6);
+        for block_rows in [1, 2, 16] {
+            let mut batch = DecodeBatch::<f64>::new(cfg, block_rows);
+            let ids: Vec<usize> = (0..s).map(|_| batch.add_sequence()).collect();
+            let mut sessions: Vec<Vec<DecodeSession<f64>>> = (0..s)
+                .map(|_| (0..3).map(|_| DecodeSession::new(cfg.head)).collect())
+                .collect();
+            for t in 0..steps {
+                let seed = 9000 + t as u64;
+                let qs = rand(s, cfg.model_dim(), seed);
+                let ks = rand(s, cfg.model_dim(), seed + 100);
+                let vs = rand(s, cfg.model_dim(), seed + 200);
+                let outs = batch.step_all(&ids, &qs, &ks, &vs);
+                for (i, out) in outs.iter().enumerate() {
+                    for (h, session) in sessions[i].iter_mut().enumerate() {
+                        let slice = |m: &Matrix<f64>| m.row(i)[h * 4..(h + 1) * 4].to_vec();
+                        let reference = session.step(&slice(&qs), &slice(&ks), &slice(&vs));
+                        for (c, r) in reference.iter().enumerate() {
+                            assert_eq!(
+                                out.output[h * 4 + c].to_bits(),
+                                r.to_bits(),
+                                "block_rows {block_rows} step {t} seq {i} head {h} lane {c}"
+                            );
+                        }
+                    }
+                    assert!(out.residual().abs() < 1e-12, "checksum holds");
+                }
+            }
+            for &id in &ids {
+                assert!(batch.global_residual(id).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn step_all_parallel_bit_identical_any_thread_count() {
+        let cfg = MultiHeadConfig::new(4, AttentionConfig::new(8));
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut batch = DecodeBatch::<f64>::new(cfg, 8);
+                    let ids: Vec<usize> = (0..6).map(|_| batch.add_sequence()).collect();
+                    for &id in &ids {
+                        batch.prefill(
+                            id,
+                            &rand(40, cfg.model_dim(), 70 + id as u64),
+                            &rand(40, cfg.model_dim(), 80 + id as u64),
+                        );
+                    }
+                    let qs = rand(6, cfg.model_dim(), 1);
+                    let ks = rand(6, cfg.model_dim(), 2);
+                    let vs = rand(6, cfg.model_dim(), 3);
+                    batch.step_all(&ids, &qs, &ks, &vs)
+                })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+                assert_eq!(a.actual.to_bits(), b.actual.to_bits());
+                for (x, y) in a.output.iter().zip(&b.output) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_matches_checked_outputs() {
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let mut checked = DecodeBatch::<f64>::new(cfg, 4);
+        let mut unchecked = DecodeBatch::<f64>::new(cfg, 4);
+        let ids = vec![checked.add_sequence()];
+        let _ = unchecked.add_sequence();
+        for t in 0..5 {
+            let qs = rand(1, 8, 300 + t);
+            let ks = rand(1, 8, 400 + t);
+            let vs = rand(1, 8, 500 + t);
+            let a = checked.step_all(&ids, &qs, &ks, &vs);
+            let b = unchecked.step_all_unchecked(&ids, &qs, &ks, &vs);
+            assert_eq!(a[0].output, b[0], "step {t}");
+        }
+        // The session verdict covers all of `checked`'s tokens and none
+        // of `unchecked`'s — and says so.
+        assert_eq!(checked.unchecked_len(ids[0]), 0);
+        assert_eq!(unchecked.unchecked_len(ids[0]), 5);
+    }
+
+    #[test]
+    fn sliding_window_matches_decode_session() {
+        let head = AttentionConfig::new(2).with_sliding_window(3);
+        let cfg = MultiHeadConfig::new(1, head);
+        let mut batch = DecodeBatch::<f64>::new(cfg, 2);
+        let ids = vec![batch.add_sequence()];
+        let mut session = DecodeSession::new(head);
+        for t in 0..8 {
+            let qs = rand(1, 2, 600 + t);
+            let ks = rand(1, 2, 700 + t);
+            let vs = rand(1, 2, 800 + t);
+            let out = batch.step_all(&ids, &qs, &ks, &vs);
+            let reference = session.step(qs.row(0), ks.row(0), vs.row(0));
+            for (a, b) in out[0].output.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_totals_are_visible() {
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let mut batch = DecodeBatch::<f64>::new(cfg, 4);
+        let ids = vec![batch.add_sequence()];
+        for t in 0..4 {
+            let _ = batch.step_all(
+                &ids,
+                &rand(1, 8, t),
+                &rand(1, 8, 50 + t),
+                &rand(1, 8, 90 + t),
+            );
+        }
+        assert!(batch.global_residual(ids[0]).abs() < 1e-10);
+        batch.totals[ids[0]].0 += 0.5; // simulated fault on the predicted side
+        assert!(batch.global_residual(ids[0]).abs() > 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sequence id")]
+    fn duplicate_ids_panic() {
+        let cfg = MultiHeadConfig::new(1, AttentionConfig::new(2));
+        let mut batch = DecodeBatch::<f64>::new(cfg, 4);
+        let s = batch.add_sequence();
+        let m = rand(2, 2, 1);
+        let _ = batch.step_all(&[s, s], &m, &m, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sequence id")]
+    fn unknown_id_panics() {
+        let cfg = MultiHeadConfig::new(1, AttentionConfig::new(2));
+        let mut batch = DecodeBatch::<f64>::new(cfg, 4);
+        let m = rand(1, 2, 1);
+        let _ = batch.step_all(&[0], &m, &m, &m);
+    }
+}

@@ -107,11 +107,9 @@ impl<T: Scalar> DecodeSession<T> {
                     continue;
                 }
             }
-            let s = fa_tensor::ops::dot_f64(q, &self.keys[i]) * self.cfg.scale();
+            let s = fa_tensor::ops::dot_then_scale(q, &self.keys[i], self.cfg.scale());
             let step = os.push(s);
-            for (a, vv) in acc.iter_mut().zip(&self.values[i]) {
-                *a = *a * step.scale_old + vv.to_f64() * step.weight_new;
-            }
+            fa_tensor::ops::axpy_f64(&mut acc, &self.values[i], step.scale_old, step.weight_new);
         }
         let l = os.sum_exp();
         for a in acc.iter_mut() {

@@ -122,14 +122,12 @@ pub fn query_state<T: Scalar>(
         if !cfg.visible(query_idx, i) {
             continue;
         }
-        // Line 3: s_i = q · k_i (scaled).
-        let s = fa_tensor::ops::dot_f64(q.row(query_idx), k.row(i)) * cfg.scale();
+        // Line 3: s_i = q · k_i (scaled) — the SIMD inner kernel.
+        let s = fa_tensor::ops::dot_then_scale(q.row(query_idx), k.row(i), cfg.scale());
         // Lines 4–5: max update and rescaled sum of exponentials.
         let step = os.push(s);
         // Line 6: o_i = o_{i-1}·e^{m_{i-1}-m_i} + v_i·e^{s_i-m_i}.
-        for (o, &vv) in output.iter_mut().zip(v.row(i)) {
-            *o = *o * step.scale_old + vv.to_f64() * step.weight_new;
-        }
+        fa_tensor::ops::axpy_f64(&mut output, v.row(i), step.scale_old, step.weight_new);
     }
 
     OnlineQueryState {

@@ -101,24 +101,38 @@ pub fn attention<T: Scalar>(
     let q_slicer = MultiHeadConfig::new(cfg.query_heads, cfg.head);
     let kv_slicer = MultiHeadConfig::new(cfg.kv_heads, cfg.head);
 
-    // Heads are independent attentions: fan them out over the rayon pool
-    // when the total work warrants a fork (per-head flash2 then runs
-    // serially inside the pool), then stitch the interleaved output
-    // columns on the calling thread. Tiny simulator-sized calls stay on
-    // this thread entirely.
-    let per_head = |h: usize| {
+    // Heads are independent attentions: when the head count can fill the
+    // pool, fan them out in a single fork, each running the *serial* row
+    // kernel (bit-identical by the property tests) so nested parallelism
+    // never depends on the pool implementation. With fewer heads than
+    // workers, keep the row-parallel kernel per head instead. Tiny
+    // simulator-sized calls stay on this thread entirely.
+    let slice = |h: usize| {
         let g = cfg.group_of(h);
-        let qh = q_slicer.slice_head(q, h);
-        let kg = kv_slicer.slice_head(k, g);
-        let vg = kv_slicer.slice_head(v, g);
-        flash2::attention(&qh, &kg, &vg, &cfg.head)
+        (
+            q_slicer.slice_head(q, h),
+            kv_slicer.slice_head(k, g),
+            kv_slicer.slice_head(v, g),
+        )
     };
-    let heads: Vec<Matrix<T>> =
-        if crate::par::worth_parallelizing(cfg.query_heads * q.rows(), k.rows(), d) {
-            (0..cfg.query_heads).into_par_iter().map(per_head).collect()
-        } else {
-            (0..cfg.query_heads).map(per_head).collect()
-        };
+    let fork_heads = cfg.query_heads >= rayon::current_num_threads()
+        && crate::par::worth_parallelizing(cfg.query_heads * q.rows(), k.rows(), d);
+    let heads: Vec<Matrix<T>> = if fork_heads {
+        (0..cfg.query_heads)
+            .into_par_iter()
+            .map(|h| {
+                let (qh, kg, vg) = slice(h);
+                flash2::attention_serial(&qh, &kg, &vg, &cfg.head)
+            })
+            .collect()
+    } else {
+        (0..cfg.query_heads)
+            .map(|h| {
+                let (qh, kg, vg) = slice(h);
+                flash2::attention(&qh, &kg, &vg, &cfg.head)
+            })
+            .collect()
+    };
 
     let mut out = Matrix::zeros(q.rows(), cfg.q_dim());
     for (h, oh) in heads.iter().enumerate() {

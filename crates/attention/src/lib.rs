@@ -13,6 +13,9 @@
 //!   memory-tiling form used on GPUs and by the block-parallel accelerator;
 //! * [`multihead`] — multi-head wrapper splitting the model dimension into
 //!   independent heads;
+//! * [`batch`] — the serving path: a paged, block-allocated KV cache and
+//!   a batched multi-sequence decode engine with the fused per-token
+//!   checksum;
 //! * [`AttentionConfig`] — scaling (1/√d) and causal masking options shared
 //!   by all kernels.
 //!
@@ -38,6 +41,7 @@
 //! assert!(reference.max_abs_diff(&flash) < 1e-12);
 //! ```
 
+pub mod batch;
 pub mod decode;
 pub mod encoder;
 pub mod flash2;

@@ -9,6 +9,7 @@
 
 use crate::{flash2, AttentionConfig};
 use fa_tensor::{Matrix, Scalar};
+use rayon::prelude::*;
 
 /// Multi-head attention configuration: `num_heads` independent heads each
 /// of dimension `cfg.head_dim()`, operating on a model dimension of
@@ -86,12 +87,42 @@ pub fn attention<T: Scalar>(
     cfg: &MultiHeadConfig,
 ) -> Matrix<T> {
     let d = cfg.head.head_dim();
+
+    // One fork for the whole layer when the head count can fill the
+    // pool: heads fan out in a single parallel call, each running the
+    // *serial* row kernel (bit-identical to the row-parallel one by the
+    // property tests), so the single-fork structure never depends on the
+    // pool implementation serializing nested parallelism. Layers with
+    // fewer heads than workers keep the row-parallel kernel per head
+    // instead — otherwise a single-head layer would serialize entirely.
+    let slice = |h: usize| {
+        (
+            cfg.slice_head(q, h),
+            cfg.slice_head(k, h),
+            cfg.slice_head(v, h),
+        )
+    };
+    let fork_heads = cfg.num_heads >= rayon::current_num_threads()
+        && crate::par::worth_parallelizing(cfg.num_heads * q.rows(), k.rows(), d);
+    let heads: Vec<Matrix<T>> = if fork_heads {
+        (0..cfg.num_heads)
+            .into_par_iter()
+            .map(|h| {
+                let (qh, kh, vh) = slice(h);
+                flash2::attention_serial(&qh, &kh, &vh, &cfg.head)
+            })
+            .collect()
+    } else {
+        (0..cfg.num_heads)
+            .map(|h| {
+                let (qh, kh, vh) = slice(h);
+                flash2::attention(&qh, &kh, &vh, &cfg.head)
+            })
+            .collect()
+    };
+
     let mut out = Matrix::zeros(q.rows(), cfg.model_dim());
-    for h in 0..cfg.num_heads {
-        let qh = cfg.slice_head(q, h);
-        let kh = cfg.slice_head(k, h);
-        let vh = cfg.slice_head(v, h);
-        let oh = flash2::attention(&qh, &kh, &vh, &cfg.head);
+    for (h, oh) in heads.iter().enumerate() {
         for r in 0..out.rows() {
             for c in 0..d {
                 out[(r, h * d + c)] = oh[(r, c)];
@@ -148,6 +179,29 @@ mod tests {
         let h2 = cfg.slice_head(&m, 2);
         assert_eq!(h2[(0, 0)], 32.0);
         assert_eq!(h2[(0, 15)], 47.0);
+    }
+
+    #[test]
+    fn head_parallel_bit_identical_to_serial() {
+        // Shapes above the fork threshold; the single-fork scheduler must
+        // not change a bit relative to a one-thread pool.
+        let cfg = MultiHeadConfig::new(4, AttentionConfig::new(8));
+        let q = Matrix::<f64>::random_seeded(32, 32, ElementDist::default(), 50);
+        let k = Matrix::<f64>::random_seeded(32, 32, ElementDist::default(), 51);
+        let v = Matrix::<f64>::random_seeded(32, 32, ElementDist::default(), 52);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| attention(&q, &k, &v, &cfg));
+        for threads in [2, 3, 8] {
+            let parallel = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| attention(&q, &k, &v, &cfg));
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn softmax_scores<T: Scalar>(
     let fill_row = |i: usize, row: &mut [f64]| {
         for (j, s) in row.iter_mut().enumerate() {
             *s = if cfg.visible(i, j) {
-                fa_tensor::ops::dot_f64(q.row(i), k.row(j)) * cfg.scale()
+                fa_tensor::ops::dot_then_scale(q.row(i), k.row(j), cfg.scale())
             } else {
                 f64::NEG_INFINITY
             };

@@ -39,11 +39,9 @@ fn fill_query_row<T: Scalar>(
             if !cfg.visible(qi, i) {
                 continue;
             }
-            let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
+            let s = fa_tensor::ops::dot_then_scale(q.row(qi), k.row(i), cfg.scale());
             let step = local.push(s);
-            for (o, &vv) in local_acc.iter_mut().zip(v.row(i)) {
-                *o = *o * step.scale_old + vv.to_f64() * step.weight_new;
-            }
+            fa_tensor::ops::axpy_f64(&mut local_acc, v.row(i), step.scale_old, step.weight_new);
         }
 
         // Merge block state into the running per-query state.

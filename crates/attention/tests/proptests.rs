@@ -220,3 +220,94 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N steps of `DecodeSession::step_with_state` equal a one-shot
+    /// causal flash2 pass over the same Q/K/V **bit for bit** in f64:
+    /// the decode loop visits exactly the keys flash2's causal mask
+    /// admits, in the same order, through the same SIMD inner kernels.
+    #[test]
+    fn decode_steps_equal_one_shot_flash2_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..24,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let d = 8;
+        let q = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), seed);
+        let k = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), seed + 1);
+        let v = Matrix::<f64>::random_seeded(n, d, ElementDist::default(), seed + 2);
+        let cfg = AttentionConfig::new(d);
+        let batch = flash2::attention_serial(&q, &k, &v, &cfg.with_causal(true));
+
+        let mut session = DecodeSession::new(cfg);
+        for i in 0..n {
+            let (row, l, m) = session.step_with_state(q.row(i), k.row(i), v.row(i));
+            for (c, val) in row.iter().enumerate() {
+                prop_assert_eq!(val.to_bits(), batch[(i, c)].to_bits(),
+                    "token {} lane {}", i, c);
+            }
+            // The terminal softmax state matches flash2's query state.
+            let st = flash2::query_state(&q, &k, &v, &cfg.with_causal(true), i);
+            prop_assert_eq!(l.to_bits(), st.sum_exp.to_bits());
+            prop_assert_eq!(m.to_bits(), st.max_score.to_bits());
+        }
+    }
+
+    /// `DecodeBatch::step_all` equals per-(sequence, head) serial
+    /// `DecodeSession` decode bit for bit — for any thread count, batch
+    /// size, cache block size and step count.
+    #[test]
+    fn batched_decode_equals_serial_decode_bitwise(
+        threads in 1usize..9,
+        block_rows in 1usize..20,
+        batch_size in 1usize..5,
+        steps in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::DecodeBatch;
+        use fa_tensor::random::ElementDist;
+        let heads = 2;
+        let d = 8;
+        let cfg = MultiHeadConfig::new(heads, AttentionConfig::new(d));
+
+        let mut sessions: Vec<Vec<DecodeSession<f64>>> = (0..batch_size)
+            .map(|_| (0..heads).map(|_| DecodeSession::new(cfg.head)).collect())
+            .collect();
+
+        let outs = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut engine = DecodeBatch::<f64>::new(cfg, block_rows);
+                let ids: Vec<usize> =
+                    (0..batch_size).map(|_| engine.add_sequence()).collect();
+                let mut all = Vec::new();
+                for t in 0..steps {
+                    let s = seed + 10 * t as u64;
+                    let dim = cfg.model_dim();
+                    let qs = Matrix::<f64>::random_seeded(batch_size, dim, ElementDist::default(), s);
+                    let ks = Matrix::<f64>::random_seeded(batch_size, dim, ElementDist::default(), s + 1);
+                    let vs = Matrix::<f64>::random_seeded(batch_size, dim, ElementDist::default(), s + 2);
+                    all.push((engine.step_all(&ids, &qs, &ks, &vs), qs, ks, vs));
+                }
+                all
+            });
+
+        for (outs_t, qs, ks, vs) in &outs {
+            for (i, out) in outs_t.iter().enumerate() {
+                prop_assert!(out.residual().abs() < 1e-10, "fused check holds");
+                for (h, session) in sessions[i].iter_mut().enumerate() {
+                    let slice = |m: &Matrix<f64>| m.row(i)[h * d..(h + 1) * d].to_vec();
+                    let reference = session.step(&slice(qs), &slice(ks), &slice(vs));
+                    for (c, r) in reference.iter().enumerate() {
+                        prop_assert_eq!(out.output[h * d + c].to_bits(), r.to_bits(),
+                            "threads {} seq {} head {} lane {}", threads, i, h, c);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -24,41 +24,96 @@ const EXPERIMENTS: &[&str] = &[
 /// performance trajectory is machine-readable across PRs.
 fn kernel_benchmarks(quick: bool) {
     println!("{}", "=".repeat(78));
-    println!("== kernel_layer (matmul / flash2 / fused checksum)");
+    println!("== kernel_layer (matmul / flash2 / fused checksum / dot / decode)");
     println!("{}", "=".repeat(78));
     let report = fa_bench::kernels::measure(quick);
 
     let mut table = TablePrinter::new(vec!["kernel", "baseline ms", "optimized ms", "speedup"]);
-    let row = |t: &fa_bench::kernels::KernelTiming| {
+    let named = |name: &str, t: &fa_bench::kernels::KernelTiming| {
         vec![
+            name.to_string(),
             format!("{:.3}", t.baseline_ms),
             format!("{:.3}", t.optimized_ms),
             format!("{:.2}x", t.speedup()),
         ]
     };
-    let named = |name: &str, t: &fa_bench::kernels::KernelTiming| {
-        let mut cells = vec![name.to_string()];
-        cells.extend(row(t));
-        cells
-    };
-    let n = report.matmul_n;
-    let s = report.flash2_seq_len;
-    table.row(named(&format!("matmul bf16 {n}x{n}"), &report.matmul_bf16));
-    table.row(named(&format!("matmul f64 {n}x{n}"), &report.matmul_f64));
+    for p in &report.matmul {
+        let n = p.n;
+        table.row(named(&format!("matmul bf16 {n}x{n}"), &p.bf16));
+        table.row(named(&format!("matmul f64 {n}x{n}"), &p.f64_mm));
+        table.row(named(
+            &format!("matmul f64-acc bf16 {n}x{n}"),
+            &p.f64_acc_bf16,
+        ));
+    }
+    for p in &report.flash2 {
+        let s = p.seq_len;
+        table.row(named(&format!("flash2 par/serial N={s}"), &p.parallel));
+        table.row(named(
+            &format!("fused checksum vs flash2 N={s}"),
+            &p.fused_checksum,
+        ));
+    }
+    let len = report.dot_simd.len;
     table.row(named(
-        &format!("matmul f64-acc bf16 {n}x{n}"),
-        &report.matmul_f64_acc_bf16,
+        &format!("dot f64 len={len}"),
+        &report.dot_simd.f64_dot,
     ));
-    table.row(named(&format!("flash2 par/serial N={s}"), &report.flash2));
-    table.row(named("fused checksum vs flash2", &report.fused_checksum));
+    table.row(named(
+        &format!("dot bf16 len={len}"),
+        &report.dot_simd.bf16_dot,
+    ));
     print!("{}", table.render());
     println!(
         "blocked bf16 matmul: {:.2} GFLOP/s | flash2: {:.0} tokens/s | \
          checksum overhead: {:.2}% | host threads: {}",
-        report.matmul_bf16_gflops,
-        report.flash2_tokens_per_s,
-        report.checksum_overhead_pct(),
+        report.matmul.last().map_or(0.0, |p| p.bf16_gflops),
+        report.flash2.last().map_or(0.0, |p| p.tokens_per_s),
+        report
+            .flash2
+            .last()
+            .map_or(0.0, |p| p.checksum_overhead_pct()),
         report.host_threads
+    );
+
+    let shape = report.decode_shape;
+    let mut decode = TablePrinter::new(vec![
+        "batch",
+        "per-seq loop ms",
+        "batched ms",
+        "speedup",
+        "tokens/s",
+        "check ovh %",
+    ]);
+    for p in &report.decode_batched {
+        decode.row(vec![
+            format!("{}", p.batch),
+            format!("{:.3}", p.baseline_ms),
+            format!("{:.3}", p.batched_ms),
+            format!("{:.2}x", p.speedup()),
+            format!("{:.0}", p.batched_tokens_per_s),
+            format!("{:.2}", p.checked_overhead_pct),
+        ]);
+    }
+    println!(
+        "decode (d={}, heads={}, prefill={}, steps={}): single-seq \
+         {:.0} tokens/s unchecked, {:.0} checked",
+        shape.head_dim,
+        shape.heads,
+        shape.prefill,
+        shape.steps,
+        report.decode_single.unchecked_tokens_per_s,
+        report.decode_single.checked_tokens_per_s,
+    );
+    print!("{}", decode.render());
+    let kv = &report.decode_kv_bf16;
+    println!(
+        "bf16 KV cache @ batch {}: {:.3} ms vs f64 {:.3} ms ({:.2}x, {:.0} tokens/s)",
+        kv.batch,
+        kv.bf16_cache_ms,
+        kv.f64_cache_ms,
+        kv.speedup(),
+        kv.bf16_tokens_per_s
     );
 
     let path = "BENCH_kernels.json";

@@ -10,7 +10,7 @@ use crate::checker::{ChecksumReport, FlashAbftChecker};
 use crate::merged::MergedAccumulator;
 use fa_attention::AttentionConfig;
 use fa_numerics::Tolerance;
-use fa_tensor::Scalar;
+use fa_tensor::{Matrix, Scalar};
 
 /// One decode step's output and verification.
 #[derive(Clone, Debug)]
@@ -65,6 +65,28 @@ impl CheckedDecodeSession {
     pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
         self.checker = FlashAbftChecker::new(tolerance);
         self
+    }
+
+    /// Pre-fills the cache from prompt K/V matrices (N×d) without
+    /// computing attention — the prompt pass is assumed checked by the
+    /// batch kernel ([`crate::flash2_with_checksum`]); this session then
+    /// checks every *generated* token against that history.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn prefill<T: Scalar>(&mut self, k: &Matrix<T>, v: &Matrix<T>) {
+        let d = self.cfg.head_dim();
+        assert_eq!(k.cols(), d, "K width mismatch");
+        assert_eq!(v.cols(), d, "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        for i in 0..k.rows() {
+            let kf: Vec<f64> = k.row(i).iter().map(|x| x.to_f64()).collect();
+            let vf: Vec<f64> = v.row(i).iter().map(|x| x.to_f64()).collect();
+            self.sumrows.push(vf.iter().sum());
+            self.keys.push(kf);
+            self.values.push(vf);
+        }
     }
 
     /// Number of cached positions.
@@ -180,6 +202,27 @@ mod tests {
             assert!(!step.report.is_alarm(), "token {i}");
         }
         assert!(!session.global_report().is_alarm());
+    }
+
+    #[test]
+    fn prefill_then_step_matches_stepped_history() {
+        let (q, k, v) = rand_qkv(8, 4, 905);
+        let cfg = AttentionConfig::new(4);
+        // Stepped session: decode all 8 tokens.
+        let mut stepped = CheckedDecodeSession::new(cfg);
+        let mut last = None;
+        for i in 0..8 {
+            last = Some(stepped.step(q.row(i), k.row(i), v.row(i)));
+        }
+        // Prefilled session: positions 0..7 as prompt, then token 7.
+        let k_prompt = Matrix::from_fn(7, 4, |r, c| k[(r, c)]);
+        let v_prompt = Matrix::from_fn(7, 4, |r, c| v[(r, c)]);
+        let mut prefilled = CheckedDecodeSession::new(cfg);
+        prefilled.prefill(&k_prompt, &v_prompt);
+        assert_eq!(prefilled.len(), 7);
+        let step = prefilled.step(q.row(7), k.row(7), v.row(7));
+        assert!(!step.report.is_alarm());
+        assert_eq!(step.output, last.unwrap().output);
     }
 
     #[test]

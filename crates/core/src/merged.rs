@@ -107,10 +107,45 @@ impl MergedAccumulator {
         );
         let step = self.softmax.push(score);
         let d = self.dim();
-        for (lane, &v) in self.lanes[..d].iter_mut().zip(value_row) {
-            *lane = *lane * step.scale_old + v.to_f64() * step.weight_new;
-        }
+        // Output lanes ride the SIMD rescale-accumulate; the checksum
+        // lane is the same recurrence with the sumrow as its "value".
+        fa_tensor::ops::axpy_f64(
+            &mut self.lanes[..d],
+            value_row,
+            step.scale_old,
+            step.weight_new,
+        );
         self.lanes[d] = self.lanes[d] * step.scale_old + sumrow * step.weight_new;
+        step
+    }
+
+    /// Feeds one (score, *extended* value row) pair, where the row is the
+    /// paper's `v*_i = [v_i, sumrow_i(V)]` already widened to f64 — all
+    /// `d+1` lanes (checksum included) ride one vectorized
+    /// rescale-accumulate, the software analog of the extra MAC lane in
+    /// Fig. 3. Bit-identical to [`step_with_sumrow`](Self::step_with_sumrow)
+    /// on the unextended row: every lane performs the same two-rounding
+    /// update. This is the fused kernel's hot-loop form; the staging
+    /// matrix is built once per call, not per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extended_row.len() != self.dim() + 1`.
+    pub fn step_ext(&mut self, score: f64, extended_row: &[f64]) -> RescaleStep {
+        assert_eq!(
+            extended_row.len(),
+            self.lanes.len(),
+            "extended value row length {} != dimension {} + 1",
+            extended_row.len(),
+            self.dim()
+        );
+        let step = self.softmax.push(score);
+        fa_tensor::ops::axpy_f64(
+            &mut self.lanes,
+            extended_row,
+            step.scale_old,
+            step.weight_new,
+        );
         step
     }
 
@@ -225,6 +260,35 @@ mod tests {
         a.step(0.7, &row);
         b.step_with_sumrow(0.7, &row, row.iter().sum());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extended_row_step_matches_scalar_step_bitwise() {
+        // The vectorized d+1-lane form must equal the per-lane scalar
+        // update bit for bit, step after step.
+        let rows = [
+            [0.5, -1.0, 2.0, 0.25],
+            [1.0, 1.0, -3.0, 0.5],
+            [0.0, 0.0, 1.0, -1.0],
+        ];
+        let scores = [0.2, 1.7, -0.4];
+        let mut scalar = MergedAccumulator::new(4);
+        let mut ext = MergedAccumulator::new(4);
+        for (s, row) in scores.iter().zip(&rows) {
+            let sumrow: f64 = row.iter().sum();
+            scalar.step_with_sumrow(*s, row, sumrow);
+            let mut extended = row.to_vec();
+            extended.push(sumrow);
+            ext.step_ext(*s, &extended);
+        }
+        assert_eq!(scalar, ext);
+    }
+
+    #[test]
+    #[should_panic(expected = "extended value row length")]
+    fn wrong_extended_row_length_panics() {
+        let mut acc = MergedAccumulator::new(3);
+        acc.step_ext(0.0, &[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -55,32 +55,50 @@ impl<T: Scalar> OnlineChecked<T> {
 
 /// Runs the Alg. 3 streaming loop for one query: one pass over K/V
 /// computing scores, online softmax state, output lanes, and the checksum
-/// lane. `sumrows` is the Eq. 4 vector `sumrow_k(V)` — in hardware the
-/// shared Σ adder of Fig. 3 computes it once per streamed V row for every
-/// parallel query lane, so the software analog computes it once per call,
-/// not once per query. Returns the unnormalized state ready for
-/// finalization.
+/// lane. `vstar` is the packed extended value matrix — row `i` holds
+/// `[v_i, sumrow_i(V)]` widened to f64 (`d+1` lanes per row). In hardware
+/// the shared Σ adder of Fig. 3 fills the extra lane once per streamed V
+/// row for every parallel query lane; the software analog stages the
+/// matrix once per call, so each step is a single vectorized `d+1`-lane
+/// rescale-accumulate with the checksum riding the SIMD lanes. Returns
+/// the unnormalized state ready for finalization.
 fn query_pass<T: Scalar>(
     q: &Matrix<T>,
     k: &Matrix<T>,
-    v: &Matrix<T>,
     cfg: &AttentionConfig,
-    sumrows: &[f64],
+    vstar: &[f64],
     qi: usize,
 ) -> MergedAccumulator {
     let d = cfg.head_dim();
     let mut acc = MergedAccumulator::new(d);
-    for (i, &sumrow) in sumrows.iter().enumerate().take(k.rows()) {
+    for (i, vrow) in vstar.chunks_exact(d + 1).take(k.rows()).enumerate() {
         if !cfg.visible(qi, i) {
             continue;
         }
-        // Line 3: score.
-        let s = fa_tensor::ops::dot_f64(q.row(qi), k.row(i)) * cfg.scale();
-        // Lines 4–7 via the merged Eq. 9/10 update, widening the value
-        // row lane by lane (no staging buffer, no per-step allocation).
-        acc.step_scalar(s, v.row(i), sumrow);
+        // Line 3: score — the SIMD inner kernel.
+        let s = fa_tensor::ops::dot_then_scale(q.row(qi), k.row(i), cfg.scale());
+        // Lines 4–7 via the merged Eq. 9/10 update over the extended row.
+        acc.step_ext(s, vrow);
     }
     acc
+}
+
+/// Builds the packed extended value matrix `v* = [V | sumrow(V)]` in f64:
+/// one widening sweep over V shared by every query (Eq. 4's shared adder,
+/// plus the operand staging a register-file read port would provide).
+fn extended_values<T: Scalar>(v: &Matrix<T>) -> Vec<f64> {
+    let d = v.cols();
+    let mut vstar = vec![0.0f64; v.rows() * (d + 1)];
+    for (row, dst) in v.iter_rows().zip(vstar.chunks_exact_mut(d + 1)) {
+        let mut sum = 0.0f64;
+        for (lane, &x) in dst.iter_mut().zip(row) {
+            let wide = x.to_f64();
+            *lane = wide;
+            sum += wide;
+        }
+        dst[d] = sum;
+    }
+    vstar
 }
 
 /// Runs Alg. 3: FlashAttention-2 with the fused online checksum,
@@ -109,22 +127,23 @@ pub fn flash2_with_checksum<T: Scalar>(
     let d = cfg.head_dim();
     let n_q = q.rows();
 
-    // sumrow_k(V) (Eq. 4): one sweep over V shared by every query — the
-    // pipeline register the shared Σ adder of Fig. 3 fills per cycle.
-    let sumrows = v.row_sums();
+    // v* = [V | sumrow(V)] (Eq. 4 + operand staging): one widening sweep
+    // over V shared by every query — the pipeline register the shared Σ
+    // adder of Fig. 3 fills per cycle.
+    let vstar = extended_values(v);
 
     // Fan the independent query passes out over the rayon pool. Small
     // shapes (simulator traffic) stay on the calling thread.
     let parallel = fa_tensor::par::worth_parallelizing(n_q, k.rows(), d);
     let states: Vec<MergedAccumulator> = if parallel {
-        let sumrows = &sumrows;
+        let vstar = &vstar;
         (0..n_q)
             .into_par_iter()
-            .map(|qi| query_pass(q, k, v, cfg, sumrows, qi))
+            .map(|qi| query_pass(q, k, cfg, vstar, qi))
             .collect()
     } else {
         (0..n_q)
-            .map(|qi| query_pass(q, k, v, cfg, &sumrows, qi))
+            .map(|qi| query_pass(q, k, cfg, &vstar, qi))
             .collect()
     };
 

@@ -62,7 +62,14 @@ impl OnlineSoftmax {
     /// Feeds one score `s_i`, returning the [`RescaleStep`] that callers
     /// must apply to any accumulators that ride along with this state (the
     /// output vector `o_i` and, in Flash-ABFT, the checksum `c_i`).
-    #[inline]
+    ///
+    /// `#[inline(always)]` is load-bearing: this sits in the innermost
+    /// loop of every attention kernel (once per score), and under thin
+    /// LTO the cross-crate call stops inlining with plain `#[inline]` —
+    /// measured in PR 1 as a 48% fused-checksum overhead against ~2%
+    /// inlined. Do not weaken the attribute without re-running the
+    /// `fused_checksum` benchmark.
+    #[inline(always)]
     pub fn push(&mut self, score: f64) -> RescaleStep {
         let new_max = if score > self.max { score } else { self.max };
         // First element: m_0 = -inf makes e^{m0 - m1} = 0, exactly

@@ -343,7 +343,23 @@ pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     out
 }
 
-/// Dot product of two equal-length slices, accumulated in `f64`.
+/// Accumulator lanes of the blocked dot product: 4 AVX2 `f64x4` vectors.
+/// Part of the *defining* summation order of [`dot_f64`] — changing it
+/// changes results at the last-ulp level.
+pub const DOT_LANES: usize = 16;
+
+/// Dot product of two equal-length slices, accumulated in `f64` with the
+/// workspace's blocked summation order.
+///
+/// The seed's sequential sum ([`dot_f64_reference`]) is one add-latency
+/// chain — the flash2 score-loop bottleneck PR 1 left in place. This
+/// kernel instead carries [`DOT_LANES`] independent partial sums (lane
+/// `l` accumulates elements `DOT_LANES·i + l`), combines them in a fixed
+/// tree, then adds the tail elements in ascending order. That order is
+/// *defined* by [`dot_f64_portable`]; the AVX2 path is bit-identical to
+/// it (property-tested), so results never depend on the host. Slices
+/// shorter than [`DOT_LANES`] reduce to the sequential order exactly, so
+/// small-`d` callers see the seed's bit patterns unchanged.
 ///
 /// # Panics
 ///
@@ -351,10 +367,107 @@ pub fn matmul_f64_acc<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
 #[inline]
 pub fn dot_f64<T: Scalar>(a: &[T], b: &[T]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if let Some(s) = crate::simd::dot_f64(a, b) {
+        return s;
+    }
+    dot_f64_portable(a, b)
+}
+
+/// Fused score kernel: `dot_f64(a, b) * scale` in one call — the form
+/// every attention score loop uses (`q·k` then the 1/√d scaling). One
+/// rounding for the scale multiply, exactly like the unfused sequence.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot_then_scale<T: Scalar>(a: &[T], b: &[T], scale: f64) -> f64 {
+    dot_f64(a, b) * scale
+}
+
+/// The portable scalar form of [`dot_f64`] and the *definition* of its
+/// summation order: [`DOT_LANES`] strided partial sums, a fixed combine
+/// tree mirroring the AVX2 register layout (lane vectors `v0..v3`,
+/// combined `(v0+v2) + (v1+v3)`, then horizontally `(u0+u1) + (u2+u3)`),
+/// then the ascending-order tail. The SIMD kernels must match this bit
+/// for bit.
+pub fn dot_f64_portable<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let chunks = a.len() / DOT_LANES;
+    // −0.0 is `Iterator::sum`'s fold identity: seeding the lanes with it
+    // makes sub-lane (and empty) slices reproduce the seed's sequential
+    // sum bit for bit, signed zeros included.
+    let mut acc = [-0.0f64; DOT_LANES];
+    for c in 0..chunks {
+        let base = c * DOT_LANES;
+        for (l, slot) in acc.iter_mut().enumerate() {
+            *slot += a[base + l].to_f64() * b[base + l].to_f64();
+        }
+    }
+    // Combine tree: vector adds (v0+v2), (v1+v3), their sum, then the
+    // horizontal reduction of the final 4-lane vector.
+    let mut u = [0.0f64; 4];
+    for (j, slot) in u.iter_mut().enumerate() {
+        *slot = (acc[j] + acc[j + 8]) + (acc[j + 4] + acc[j + 12]);
+    }
+    let mut s = (u[0] + u[1]) + (u[2] + u[3]);
+    for k in chunks * DOT_LANES..a.len() {
+        s += a[k].to_f64() * b[k].to_f64();
+    }
+    s
+}
+
+/// The seed's sequential dot product (one ascending add chain): the
+/// accuracy golden model and the baseline the `dot_simd` benchmark
+/// measures speedups from.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot_f64_reference<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
     a.iter()
         .zip(b)
         .map(|(&x, &y)| x.to_f64() * y.to_f64())
         .sum()
+}
+
+/// The online-softmax accumulate step, vectorized:
+/// `acc[i] ← acc[i]·scale_acc + x[i]·weight_x` for every lane.
+///
+/// This is the generalized axpy every attention accumulator loop
+/// performs (Alg. 2 line 6 / Alg. 3 line 7): rescale the running state by
+/// `e^{m_{i−1}−m_i}` and add the incoming value row weighted by
+/// `e^{s_i−m_i}`. Purely element-wise — two roundings per lane (product,
+/// then sum), no cross-lane reassociation — so the SIMD path is
+/// bit-identical to this loop by IEEE semantics alone (and the property
+/// tests pin it anyway).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy_f64<T: Scalar>(acc: &mut [f64], x: &[T], scale_acc: f64, weight_x: f64) {
+    assert_eq!(acc.len(), x.len(), "axpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::axpy_f64(acc, x, scale_acc, weight_x) {
+        return;
+    }
+    axpy_f64_portable(acc, x, scale_acc, weight_x);
+}
+
+/// Portable scalar form of [`axpy_f64`] (also its reference semantics).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy_f64_portable<T: Scalar>(acc: &mut [f64], x: &[T], scale_acc: f64, weight_x: f64) {
+    assert_eq!(acc.len(), x.len(), "axpy length mismatch");
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a = *a * scale_acc + v.to_f64() * weight_x;
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +557,83 @@ mod tests {
         assert_eq!(dot_f64(&[1.0f64, 2.0], &[3.0, 4.0]), 11.0);
         let m = Matrix::<f64>::from_rows(&[&[2.0, 4.0]]);
         assert_eq!(m.scale(0.5).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn short_dot_matches_sequential_reference_bitwise() {
+        // Below DOT_LANES the blocked kernel degenerates to the seed's
+        // ascending chain, so small-d attention shapes are unchanged.
+        for len in 0..DOT_LANES {
+            let a: Vec<f64> = (0..len).map(|i| 0.37 * i as f64 - 1.1).collect();
+            let b: Vec<f64> = (0..len).map(|i| -0.21 * i as f64 + 0.4).collect();
+            assert_eq!(
+                dot_f64(&a, &b).to_bits(),
+                dot_f64_reference(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_dot_close_to_sequential_reference() {
+        // Reassociation moves the result by at most a few ulps on
+        // well-conditioned data.
+        let n = 4096;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53 + 29) % 89) as f64 / 89.0 - 0.5)
+            .collect();
+        let blocked = dot_f64(&a, &b);
+        let seq = dot_f64_reference(&a, &b);
+        assert!((blocked - seq).abs() < 1e-10, "{blocked} vs {seq}");
+        assert_eq!(
+            dot_f64_portable(&a, &b).to_bits(),
+            dot_f64(&a, &b).to_bits(),
+            "dispatch must agree with the defining portable order"
+        );
+    }
+
+    #[test]
+    fn dot_then_scale_is_dot_times_scale() {
+        let a: Vec<f64> = (0..70).map(|i| i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..70).map(|i| 1.0 - i as f64 * 0.02).collect();
+        assert_eq!(
+            dot_then_scale(&a, &b, 0.125).to_bits(),
+            (dot_f64(&a, &b) * 0.125).to_bits()
+        );
+    }
+
+    #[test]
+    fn axpy_matches_scalar_update() {
+        use fa_numerics::BF16;
+        let x: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let acc0: Vec<f64> = (0..37).map(|i| (i as f64).cos()).collect();
+        let (c1, c2) = (0.77, 0.33);
+        let mut acc = acc0.clone();
+        axpy_f64(&mut acc, &x, c1, c2);
+        for (i, (&got, (&a0, &xv))) in acc.iter().zip(acc0.iter().zip(&x)).enumerate() {
+            assert_eq!(got.to_bits(), (a0 * c1 + xv * c2).to_bits(), "lane {i}");
+        }
+
+        let xb: Vec<BF16> = x.iter().map(|&v| BF16::from_f64(v)).collect();
+        let mut acc = acc0.clone();
+        axpy_f64(&mut acc, &xb, c1, c2);
+        for (i, (&got, (&a0, &xv))) in acc.iter().zip(acc0.iter().zip(&xb)).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                (a0 * c1 + xv.to_f64() * c2).to_bits(),
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut acc = vec![0.0f64; 3];
+        axpy_f64(&mut acc, &[1.0f64, 2.0], 1.0, 1.0);
     }
 
     #[test]

@@ -18,10 +18,277 @@
 
 #![cfg(target_arch = "x86_64")]
 
-use crate::Matrix;
+use crate::{Matrix, Scalar};
+use core::any::TypeId;
 use core::arch::x86_64::*;
 use fa_numerics::BF16;
 use rayon::prelude::*;
+
+/// Reinterprets a slice of `A` as a slice of `B` after proving the types
+/// identical via `TypeId` — the monomorphization-time downcast the SIMD
+/// dispatch of the sealed [`Scalar`] trait uses.
+///
+/// # Panics
+///
+/// Panics if the types differ.
+fn slice_cast<A: 'static, B: 'static>(x: &[A]) -> &[B] {
+    assert_eq!(
+        TypeId::of::<A>(),
+        TypeId::of::<B>(),
+        "slice_cast requires identical types"
+    );
+    // SAFETY: A and B are the same type (checked above), so layout and
+    // validity are identical.
+    unsafe { core::slice::from_raw_parts(x.as_ptr().cast::<B>(), x.len()) }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked dot product (the inner kernel of every attention score loop).
+// ---------------------------------------------------------------------------
+
+/// AVX2 dot product dispatch: `Some(dot)` when the host has AVX2, `None`
+/// to fall back to [`crate::ops::dot_f64_portable`]. Bit-identical to the
+/// portable kernel: same lane assignment (element `16i+l` → lane `l`),
+/// same combine tree, same ascending tail.
+pub(crate) fn dot_f64<T: Scalar>(a: &[T], b: &[T]) -> Option<f64> {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return None;
+    }
+    let t = TypeId::of::<T>();
+    // SAFETY (all three arms): AVX2 presence checked above.
+    if t == TypeId::of::<f64>() {
+        Some(unsafe { dot_avx2_f64(slice_cast(a), slice_cast(b)) })
+    } else if t == TypeId::of::<f32>() {
+        Some(unsafe { dot_avx2_f32(slice_cast(a), slice_cast(b)) })
+    } else if t == TypeId::of::<BF16>() {
+        Some(unsafe { dot_avx2_bf16(slice_cast(a), slice_cast(b)) })
+    } else {
+        None
+    }
+}
+
+/// Combines the four accumulator vectors and the scalar tail exactly like
+/// the portable kernel: `(v0+v2) + (v1+v3)` as vector adds, then the
+/// horizontal `(u0+u1) + (u2+u3)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_combine(v0: __m256d, v1: __m256d, v2: __m256d, v3: __m256d) -> f64 {
+    let u = _mm256_add_pd(_mm256_add_pd(v0, v2), _mm256_add_pd(v1, v3));
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), u);
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_f64(a: &[f64], b: &[f64]) -> f64 {
+    let lanes = crate::ops::DOT_LANES;
+    let chunks = a.len() / lanes;
+    // −0.0 seeds: the portable kernel's fold identity (see
+    // `dot_f64_portable`), so signed-zero edge cases match bit for bit.
+    let mut v0 = _mm256_set1_pd(-0.0);
+    let mut v1 = _mm256_set1_pd(-0.0);
+    let mut v2 = _mm256_set1_pd(-0.0);
+    let mut v3 = _mm256_set1_pd(-0.0);
+    for c in 0..chunks {
+        let pa = a.as_ptr().add(c * lanes);
+        let pb = b.as_ptr().add(c * lanes);
+        v0 = _mm256_add_pd(v0, _mm256_mul_pd(_mm256_loadu_pd(pa), _mm256_loadu_pd(pb)));
+        v1 = _mm256_add_pd(
+            v1,
+            _mm256_mul_pd(_mm256_loadu_pd(pa.add(4)), _mm256_loadu_pd(pb.add(4))),
+        );
+        v2 = _mm256_add_pd(
+            v2,
+            _mm256_mul_pd(_mm256_loadu_pd(pa.add(8)), _mm256_loadu_pd(pb.add(8))),
+        );
+        v3 = _mm256_add_pd(
+            v3,
+            _mm256_mul_pd(_mm256_loadu_pd(pa.add(12)), _mm256_loadu_pd(pb.add(12))),
+        );
+    }
+    let mut s = dot_combine(v0, v1, v2, v3);
+    for k in chunks * lanes..a.len() {
+        s += a[k] * b[k];
+    }
+    s
+}
+
+/// Widens four consecutive `f32`s starting at `p` to an `f64x4` (exact).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load_f32x4_as_f64(p: *const f32) -> __m256d {
+    _mm256_cvtps_pd(_mm_loadu_ps(p))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_f32(a: &[f32], b: &[f32]) -> f64 {
+    let lanes = crate::ops::DOT_LANES;
+    let chunks = a.len() / lanes;
+    // −0.0 seeds: the portable kernel's fold identity (see
+    // `dot_f64_portable`), so signed-zero edge cases match bit for bit.
+    let mut v0 = _mm256_set1_pd(-0.0);
+    let mut v1 = _mm256_set1_pd(-0.0);
+    let mut v2 = _mm256_set1_pd(-0.0);
+    let mut v3 = _mm256_set1_pd(-0.0);
+    for c in 0..chunks {
+        let pa = a.as_ptr().add(c * lanes);
+        let pb = b.as_ptr().add(c * lanes);
+        v0 = _mm256_add_pd(
+            v0,
+            _mm256_mul_pd(load_f32x4_as_f64(pa), load_f32x4_as_f64(pb)),
+        );
+        v1 = _mm256_add_pd(
+            v1,
+            _mm256_mul_pd(load_f32x4_as_f64(pa.add(4)), load_f32x4_as_f64(pb.add(4))),
+        );
+        v2 = _mm256_add_pd(
+            v2,
+            _mm256_mul_pd(load_f32x4_as_f64(pa.add(8)), load_f32x4_as_f64(pb.add(8))),
+        );
+        v3 = _mm256_add_pd(
+            v3,
+            _mm256_mul_pd(load_f32x4_as_f64(pa.add(12)), load_f32x4_as_f64(pb.add(12))),
+        );
+    }
+    let mut s = dot_combine(v0, v1, v2, v3);
+    for k in chunks * lanes..a.len() {
+        s += a[k] as f64 * b[k] as f64;
+    }
+    s
+}
+
+/// Widens four consecutive BF16 patterns starting at `p` to an `f64x4`:
+/// `u16 << 16` is the exact BF16→f32 embedding, f32→f64 is exact.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load_bf16x4_as_f64(p: *const BF16) -> __m256d {
+    let raw = _mm_loadl_epi64(p.cast::<__m128i>());
+    let widened = _mm_slli_epi32::<16>(_mm_cvtepu16_epi32(raw));
+    _mm256_cvtps_pd(_mm_castsi128_ps(widened))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_bf16(a: &[BF16], b: &[BF16]) -> f64 {
+    let lanes = crate::ops::DOT_LANES;
+    let chunks = a.len() / lanes;
+    // −0.0 seeds: the portable kernel's fold identity (see
+    // `dot_f64_portable`), so signed-zero edge cases match bit for bit.
+    let mut v0 = _mm256_set1_pd(-0.0);
+    let mut v1 = _mm256_set1_pd(-0.0);
+    let mut v2 = _mm256_set1_pd(-0.0);
+    let mut v3 = _mm256_set1_pd(-0.0);
+    for c in 0..chunks {
+        let pa = a.as_ptr().add(c * lanes);
+        let pb = b.as_ptr().add(c * lanes);
+        v0 = _mm256_add_pd(
+            v0,
+            _mm256_mul_pd(load_bf16x4_as_f64(pa), load_bf16x4_as_f64(pb)),
+        );
+        v1 = _mm256_add_pd(
+            v1,
+            _mm256_mul_pd(load_bf16x4_as_f64(pa.add(4)), load_bf16x4_as_f64(pb.add(4))),
+        );
+        v2 = _mm256_add_pd(
+            v2,
+            _mm256_mul_pd(load_bf16x4_as_f64(pa.add(8)), load_bf16x4_as_f64(pb.add(8))),
+        );
+        v3 = _mm256_add_pd(
+            v3,
+            _mm256_mul_pd(
+                load_bf16x4_as_f64(pa.add(12)),
+                load_bf16x4_as_f64(pb.add(12)),
+            ),
+        );
+    }
+    let mut s = dot_combine(v0, v1, v2, v3);
+    for k in chunks * lanes..a.len() {
+        s += a[k].to_f64() * b[k].to_f64();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Rescale-accumulate (the online-softmax accumulator update).
+// ---------------------------------------------------------------------------
+
+/// AVX2 axpy dispatch: `true` when handled, `false` to fall back to the
+/// portable loop. Element-wise `acc·c1 + x·c2` with the same two
+/// roundings per lane as the scalar expression — bit-identical by IEEE
+/// semantics (mul and add vectorize lane-exact; no FMA contraction).
+pub(crate) fn axpy_f64<T: Scalar>(acc: &mut [f64], x: &[T], c1: f64, c2: f64) -> bool {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return false;
+    }
+    let t = TypeId::of::<T>();
+    // SAFETY (all three arms): AVX2 presence checked above.
+    if t == TypeId::of::<f64>() {
+        unsafe { axpy_avx2_f64(acc, slice_cast(x), c1, c2) }
+    } else if t == TypeId::of::<f32>() {
+        unsafe { axpy_avx2_f32(acc, slice_cast(x), c1, c2) }
+    } else if t == TypeId::of::<BF16>() {
+        unsafe { axpy_avx2_bf16(acc, slice_cast(x), c1, c2) }
+    } else {
+        return false;
+    }
+    true
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2_f64(acc: &mut [f64], x: &[f64], c1: f64, c2: f64) {
+    let vc1 = _mm256_set1_pd(c1);
+    let vc2 = _mm256_set1_pd(c2);
+    let chunks = acc.len() / 4;
+    for i in 0..chunks {
+        let pa = acc.as_mut_ptr().add(i * 4);
+        let vx = _mm256_loadu_pd(x.as_ptr().add(i * 4));
+        let r = _mm256_add_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(pa), vc1),
+            _mm256_mul_pd(vx, vc2),
+        );
+        _mm256_storeu_pd(pa, r);
+    }
+    for k in chunks * 4..acc.len() {
+        acc[k] = acc[k] * c1 + x[k] * c2;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2_f32(acc: &mut [f64], x: &[f32], c1: f64, c2: f64) {
+    let vc1 = _mm256_set1_pd(c1);
+    let vc2 = _mm256_set1_pd(c2);
+    let chunks = acc.len() / 4;
+    for i in 0..chunks {
+        let pa = acc.as_mut_ptr().add(i * 4);
+        let vx = load_f32x4_as_f64(x.as_ptr().add(i * 4));
+        let r = _mm256_add_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(pa), vc1),
+            _mm256_mul_pd(vx, vc2),
+        );
+        _mm256_storeu_pd(pa, r);
+    }
+    for k in chunks * 4..acc.len() {
+        acc[k] = acc[k] * c1 + x[k] as f64 * c2;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2_bf16(acc: &mut [f64], x: &[BF16], c1: f64, c2: f64) {
+    let vc1 = _mm256_set1_pd(c1);
+    let vc2 = _mm256_set1_pd(c2);
+    let chunks = acc.len() / 4;
+    for i in 0..chunks {
+        let pa = acc.as_mut_ptr().add(i * 4);
+        let vx = load_bf16x4_as_f64(x.as_ptr().add(i * 4));
+        let r = _mm256_add_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(pa), vc1),
+            _mm256_mul_pd(vx, vc2),
+        );
+        _mm256_storeu_pd(pa, r);
+    }
+    for k in chunks * 4..acc.len() {
+        acc[k] = acc[k] * c1 + x[k].to_f64() * c2;
+    }
+}
 
 /// Tries the AVX2 BF16 kernel; `None` if the host lacks AVX2.
 pub(crate) fn matmul_bf16(a: &Matrix<BF16>, b: &Matrix<BF16>) -> Option<Matrix<BF16>> {
@@ -193,8 +460,78 @@ unsafe fn matmul_bf16_avx2(a: &Matrix<BF16>, b: &Matrix<BF16>) -> Matrix<BF16> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::matmul_reference;
+    use crate::ops::{axpy_f64_portable, dot_f64_portable, matmul_reference};
     use crate::random::ElementDist;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        Matrix::<f64>::random_seeded(1, len, ElementDist::default(), seed)
+            .as_slice()
+            .to_vec()
+    }
+
+    #[test]
+    fn avx2_dot_bit_identical_to_portable_all_formats() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for len in [0, 1, 3, 15, 16, 17, 31, 64, 100, 1000] {
+            let a = rand_vec(len, 40 + len as u64);
+            let b = rand_vec(len, 90 + len as u64);
+            let fast = dot_f64(&a, &b).expect("avx2 detected");
+            assert_eq!(
+                fast.to_bits(),
+                dot_f64_portable(&a, &b).to_bits(),
+                "f64 {len}"
+            );
+
+            let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let fast = dot_f64(&a32, &b32).expect("avx2 detected");
+            assert_eq!(
+                fast.to_bits(),
+                dot_f64_portable(&a32, &b32).to_bits(),
+                "f32 {len}"
+            );
+
+            let a16: Vec<BF16> = a.iter().map(|&x| BF16::from_f64(x)).collect();
+            let b16: Vec<BF16> = b.iter().map(|&x| BF16::from_f64(x)).collect();
+            let fast = dot_f64(&a16, &b16).expect("avx2 detected");
+            assert_eq!(
+                fast.to_bits(),
+                dot_f64_portable(&a16, &b16).to_bits(),
+                "bf16 {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn avx2_axpy_bit_identical_to_portable() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for len in [0, 1, 3, 4, 5, 64, 65, 127] {
+            let x = rand_vec(len, 7 + len as u64);
+            let acc0 = rand_vec(len, 77 + len as u64);
+            for (c1, c2) in [(1.0, 0.5), (0.125, 1.0), (0.9817, 0.0213)] {
+                let mut fast = acc0.clone();
+                assert!(axpy_f64(&mut fast, &x, c1, c2), "avx2 detected");
+                let mut slow = acc0.clone();
+                axpy_f64_portable(&mut slow, &x, c1, c2);
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert_eq!(f.to_bits(), s.to_bits(), "f64 len {len}");
+                }
+
+                let x16: Vec<BF16> = x.iter().map(|&v| BF16::from_f64(v)).collect();
+                let mut fast = acc0.clone();
+                assert!(axpy_f64(&mut fast, &x16, c1, c2));
+                let mut slow = acc0.clone();
+                axpy_f64_portable(&mut slow, &x16, c1, c2);
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert_eq!(f.to_bits(), s.to_bits(), "bf16 len {len}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn avx2_kernel_bit_identical_to_reference() {

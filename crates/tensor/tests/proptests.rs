@@ -183,3 +183,67 @@ proptest! {
         prop_assert_eq!(serial.1, parallel.1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dispatched dot product equals the portable lane-blocked
+    /// reference bit for bit, for every element format and any length
+    /// (including tails and sub-lane slices) — host SIMD must never
+    /// change a result.
+    #[test]
+    fn dot_dispatch_bit_identical_to_portable(
+        data in proptest::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 0..200),
+    ) {
+        use fa_tensor::ops::{dot_f64_portable, dot_then_scale};
+        let (a, b): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        prop_assert_eq!(dot_f64(&a, &b).to_bits(), dot_f64_portable(&a, &b).to_bits());
+        prop_assert_eq!(
+            dot_then_scale(&a, &b, 0.125).to_bits(),
+            (dot_f64_portable(&a, &b) * 0.125).to_bits()
+        );
+
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        prop_assert_eq!(
+            dot_f64(&a32, &b32).to_bits(),
+            dot_f64_portable(&a32, &b32).to_bits()
+        );
+
+        let a16: Vec<BF16> = a.iter().map(|&x| BF16::from_f64(x)).collect();
+        let b16: Vec<BF16> = b.iter().map(|&x| BF16::from_f64(x)).collect();
+        prop_assert_eq!(
+            dot_f64(&a16, &b16).to_bits(),
+            dot_f64_portable(&a16, &b16).to_bits()
+        );
+    }
+
+    /// The dispatched axpy equals the portable element-wise loop bit for
+    /// bit for every format, length and coefficient pair.
+    #[test]
+    fn axpy_dispatch_bit_identical_to_portable(
+        data in proptest::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 0..150),
+        c1 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+    ) {
+        use fa_tensor::ops::{axpy_f64, axpy_f64_portable};
+        let (acc0, x): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+
+        let mut fast = acc0.clone();
+        axpy_f64(&mut fast, &x, c1, c2);
+        let mut slow = acc0.clone();
+        axpy_f64_portable(&mut slow, &x, c1, c2);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+
+        let x16: Vec<BF16> = x.iter().map(|&v| BF16::from_f64(v)).collect();
+        let mut fast = acc0.clone();
+        axpy_f64(&mut fast, &x16, c1, c2);
+        let mut slow = acc0;
+        axpy_f64_portable(&mut slow, &x16, c1, c2);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+}
