@@ -1,44 +1,91 @@
-//! Batched KV-cache decode: the serving-path engine.
+//! Batched KV-cache decode with continuous batching: the serving-path
+//! engine.
 //!
 //! Decode-dominated traffic is the mode a deployed attention accelerator
 //! lives in: every step is one query per sequence against that sequence's
-//! whole KV history. [`DecodeSession`](crate::decode::DecodeSession)
-//! models a single sequence with per-row heap allocations; at serving
-//! scale that shape is wrong twice over — the cache rows are scattered
-//! (one allocation per token) and every sequence×head is a separate
-//! kernel invocation. This module fixes both:
+//! whole KV history, and the PR-2 measurements showed the sweep is
+//! **KV-bandwidth-bound** at serving batch sizes — both the batched and
+//! per-sequence paths stream the same bytes per step, so the SIMD dot/axpy
+//! kernels idle under DRAM. This module attacks the bytes and the
+//! scheduling together:
 //!
-//! * [`KvCache`] — a paged, block-allocated cache: fixed-size blocks of
-//!   contiguous rows carved from one shared arena, appended per sequence
-//!   (the vLLM/paged-attention layout). Streaming a sequence's history
-//!   walks contiguous memory block by block.
-//! * [`DecodeBatch`] — a multi-sequence, multi-head decode engine. One
-//!   `step_all` call appends every sequence's new K/V, then schedules all
-//!   `sequences × heads` passes across the shared rayon pool in a
-//!   **single fork**. Each pass runs the fused Alg. 3 loop — online
-//!   softmax, output lanes **and** the per-head checksum lane in one
-//!   sweep over the cache — so checked decode costs one pass per step,
-//!   exactly like `flash2_with_checksum` does for prefill.
+//! * [`KvCache`] — a paged, block-allocated cache: fixed-size blocks
+//!   carved from one shared arena, appended per sequence (the
+//!   vLLM/paged-attention layout), with two physical layouts
+//!   ([`KvLayout`]). The default **head-major** layout stores each head's
+//!   rows as a contiguous `block_rows × head_dim` panel inside the block,
+//!   so a (sequence, head) decode pass reads one pure contiguous K stream
+//!   and one V stream — no per-row head-strided gathers. Retired
+//!   sequences' blocks return to a **free list** and are recycled by later
+//!   admissions, so arena growth is bounded by *live* tokens, not total
+//!   traffic history.
+//! * [`DecodeBatch`] — a multi-sequence, multi-head decode engine with
+//!   **continuous batching**: [`admit`](DecodeBatch::admit) /
+//!   [`admit_all`](DecodeBatch::admit_all) check and cache new prompts
+//!   mid-flight (the batched form of `flash_abft::flash2_with_checksum` —
+//!   bit-identical per head, property-tested in `flash-abft`), and
+//!   [`retire`](DecodeBatch::retire) frees a finished sequence's blocks
+//!   without disturbing its neighbours' checksum state. One
+//!   [`step_all`](DecodeBatch::step_all) call appends every live
+//!   sequence's new K/V, then schedules all `sequences × heads` fused
+//!   Alg. 3 passes — online softmax, output lanes **and** the per-head
+//!   checksum lane in one sweep over the cache — across the shared rayon
+//!   pool in a **single fork**.
 //!
 //! Per-(sequence, head) arithmetic is identical to
-//! [`DecodeSession::step_with_state`](crate::decode::DecodeSession::step_with_state)
-//! and to a one-shot causal [`flash2`](crate::flash2) pass over the same
-//! history, and the cross-head combination runs in a fixed order on the
-//! calling thread — so `step_all` is bit-identical to serial per-sequence
-//! decode at every thread count (property-tested).
+//! [`DecodeSession::step_with_state`](crate::decode::DecodeSession::step_with_state),
+//! to `flash_abft::CheckedDecodeSession::step`, and to a one-shot causal
+//! [`flash2`](crate::flash2) pass over the same history; cross-head
+//! combination runs in a fixed order on the calling thread — so `step_all`
+//! is bit-identical to serial per-sequence decode at every thread count,
+//! cache layout, block size, and admit/retire schedule (property-tested).
 
 use crate::multihead::MultiHeadConfig;
-use fa_numerics::OnlineSoftmax;
+use fa_numerics::{KahanSum, OnlineSoftmax};
 use fa_tensor::{ops, Matrix, Scalar};
 use rayon::prelude::*;
 
-/// A paged key/value cache: rows of a fixed `width` stored in fixed-size
-/// blocks carved out of one shared arena, with an append-only block list
-/// per sequence.
+/// Physical arrangement of a cache block's `block_rows × width` elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvLayout {
+    /// Token-major (`[token][head][dim]`): position `r` is one contiguous
+    /// `width`-wide row. Reading one head's stream walks the arena at
+    /// stride `width` — the PR-2 layout, kept as the layout-equivalence
+    /// reference and for full-row consumers.
+    TokenMajor,
+    /// Head-major (`[head][token][dim]`): each head owns a contiguous
+    /// `block_rows × head_dim` panel inside the block, so one (sequence,
+    /// head) decode pass reads one pure contiguous K stream and one V
+    /// stream — the layout the DRAM-bound decode sweep wants.
+    HeadMajor,
+}
+
+/// One block's view of a single head's cached rows, yielded by
+/// [`KvCache::head_stream`]: row `r` of the block lives at
+/// `k[r·stride .. r·stride + head_dim]` (same addressing for `v`).
+pub struct HeadBlock<'a, T> {
+    /// Position of the block's first row within the sequence.
+    pub first: usize,
+    /// Valid (appended) rows in this block.
+    pub rows: usize,
+    /// Key view for this head.
+    pub k: &'a [T],
+    /// Value view for this head.
+    pub v: &'a [T],
+    /// Distance between consecutive rows in the views: `head_dim` for
+    /// head-major blocks (one contiguous span), `width` for token-major.
+    pub stride: usize,
+}
+
+/// A paged key/value cache: rows of `num_heads · head_dim` elements stored
+/// in fixed-size blocks carved out of one shared arena, with an
+/// append-only block list per live sequence and a free list recycling the
+/// blocks of retired sequences.
 ///
 /// Blocks from different sequences interleave in the arena (whichever
 /// sequence appends next claims the next block), so memory grows with
-/// *total* tokens, not `sequences × longest`.
+/// *live* tokens, not `sequences × longest` — and, with retirement, not
+/// with total traffic history either.
 ///
 /// # Example
 ///
@@ -54,11 +101,20 @@ use rayon::prelude::*;
 /// ```
 #[derive(Clone, Debug)]
 pub struct KvCache<T> {
+    heads: usize,
+    head_dim: usize,
     width: usize,
     block_rows: usize,
+    layout: KvLayout,
     k_arena: Vec<T>,
     v_arena: Vec<T>,
     seqs: Vec<SeqBlocks>,
+    /// Blocks owned by no live sequence, ready for reuse (LIFO).
+    free_blocks: Vec<usize>,
+    /// Sequence slots whose owner retired, ready for reuse.
+    free_seqs: Vec<usize>,
+    /// Total block claims served from the free list (observability).
+    recycled_blocks: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -67,30 +123,80 @@ struct SeqBlocks {
     blocks: Vec<usize>,
     /// Number of appended rows.
     len: usize,
+    /// Whether the slot's owner retired (blocks returned to the free
+    /// list; the slot awaits reuse by a later `add_sequence`).
+    retired: bool,
 }
 
 impl<T: Scalar> KvCache<T> {
-    /// Creates an empty cache for rows of `width` elements, allocated in
+    /// Creates an empty token-major cache for full rows of `width`
+    /// elements (a single "head" of dimension `width`), allocated in
     /// blocks of `block_rows` rows.
     ///
     /// # Panics
     ///
     /// Panics if either parameter is zero.
     pub fn new(width: usize, block_rows: usize) -> Self {
-        assert!(width > 0, "row width must be positive");
+        Self::with_layout(1, width, block_rows, KvLayout::TokenMajor)
+    }
+
+    /// Creates an empty head-major cache: `num_heads` heads of `head_dim`
+    /// elements per row, each head's rows contiguous within a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new_head_major(num_heads: usize, head_dim: usize, block_rows: usize) -> Self {
+        Self::with_layout(num_heads, head_dim, block_rows, KvLayout::HeadMajor)
+    }
+
+    /// Creates an empty cache with an explicit layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn with_layout(
+        num_heads: usize,
+        head_dim: usize,
+        block_rows: usize,
+        layout: KvLayout,
+    ) -> Self {
+        assert!(num_heads > 0, "num_heads must be positive");
+        assert!(head_dim > 0, "head_dim must be positive");
         assert!(block_rows > 0, "block_rows must be positive");
         KvCache {
-            width,
+            heads: num_heads,
+            head_dim,
+            width: num_heads * head_dim,
             block_rows,
+            layout,
             k_arena: Vec::new(),
             v_arena: Vec::new(),
             seqs: Vec::new(),
+            free_blocks: Vec::new(),
+            free_seqs: Vec::new(),
+            recycled_blocks: 0,
         }
     }
 
-    /// Row width (elements per cached key/value row).
+    /// Row width (elements per cached key/value row, all heads).
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Per-head row width.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Number of heads the layout splits each row into.
+    pub fn num_heads(&self) -> usize {
+        self.heads
+    }
+
+    /// The physical block layout.
+    pub fn layout(&self) -> KvLayout {
+        self.layout
     }
 
     /// Rows per allocation block.
@@ -98,110 +204,234 @@ impl<T: Scalar> KvCache<T> {
         self.block_rows
     }
 
-    /// Number of registered sequences.
+    /// Number of sequence slots ever registered (live + retired).
     pub fn num_sequences(&self) -> usize {
         self.seqs.len()
     }
 
-    /// Registers a new (empty) sequence and returns its id.
+    /// Number of live (non-retired) sequences.
+    pub fn live_sequences(&self) -> usize {
+        self.seqs.len() - self.free_seqs.len()
+    }
+
+    /// Whether sequence slot `seq` is retired (awaiting reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn is_retired(&self, seq: usize) -> bool {
+        self.seqs[seq].retired
+    }
+
+    /// Total blocks carved from the arena so far.
+    pub fn allocated_blocks(&self) -> usize {
+        self.k_arena.len() / (self.block_rows * self.width)
+    }
+
+    /// Blocks currently on the free list.
+    pub fn free_block_list(&self) -> &[usize] {
+        &self.free_blocks
+    }
+
+    /// The block indices owned by sequence `seq`, in position order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn seq_blocks(&self, seq: usize) -> &[usize] {
+        &self.seqs[seq].blocks
+    }
+
+    /// Total block claims served from the free list instead of growing
+    /// the arena — the block-recycling counter serving loops watch.
+    pub fn recycled_blocks(&self) -> usize {
+        self.recycled_blocks
+    }
+
+    /// Registers a new (empty) sequence and returns its id, reusing a
+    /// retired slot when one is available.
     pub fn add_sequence(&mut self) -> usize {
+        if let Some(seq) = self.free_seqs.pop() {
+            self.seqs[seq] = SeqBlocks {
+                blocks: Vec::new(),
+                len: 0,
+                retired: false,
+            };
+            return seq;
+        }
         self.seqs.push(SeqBlocks {
             blocks: Vec::new(),
             len: 0,
+            retired: false,
         });
         self.seqs.len() - 1
+    }
+
+    /// Retires sequence `seq`: its blocks return to the free list for
+    /// reuse by later admissions, and the slot id becomes reusable by
+    /// [`add_sequence`](Self::add_sequence). Accessing a retired
+    /// sequence's rows panics until the slot is re-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or already retired.
+    pub fn retire_sequence(&mut self, seq: usize) {
+        let state = &mut self.seqs[seq];
+        assert!(!state.retired, "sequence {seq} already retired");
+        let blocks = core::mem::take(&mut state.blocks);
+        state.len = 0;
+        state.retired = true;
+        self.free_blocks.extend(blocks);
+        self.free_seqs.push(seq);
     }
 
     /// Reserves arena capacity for at least `additional_rows` more cached
     /// rows (across all sequences), so admission-controlled serving loops
     /// can keep block claims reallocation-free on the decode path.
     ///
-    /// Blocks are claimed per sequence, so each registered sequence may
-    /// occupy one partially-filled block; the reservation accounts for
-    /// that worst case (one extra block per sequence) on top of the raw
-    /// row count.
+    /// Blocks are claimed per sequence, so each live sequence may occupy
+    /// one partially-filled block; the reservation accounts for that
+    /// worst case (one extra block per live sequence) on top of the raw
+    /// row count, minus blocks already waiting on the free list.
     pub fn reserve_rows(&mut self, additional_rows: usize) {
-        let blocks = additional_rows.div_ceil(self.block_rows) + self.seqs.len();
+        let blocks = (additional_rows.div_ceil(self.block_rows) + self.live_sequences())
+            .saturating_sub(self.free_blocks.len());
         let elems = blocks * self.block_rows * self.width;
         self.k_arena.reserve(elems);
         self.v_arena.reserve(elems);
+    }
+
+    fn live(&self, seq: usize) -> &SeqBlocks {
+        let state = &self.seqs[seq];
+        assert!(!state.retired, "sequence {seq} is retired");
+        state
     }
 
     /// Number of cached positions for sequence `seq`.
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range.
+    /// Panics if `seq` is out of range or retired.
     pub fn seq_len(&self, seq: usize) -> usize {
-        self.seqs[seq].len
+        self.live(seq).len
     }
 
-    /// Appends one key/value row to sequence `seq`, claiming a fresh
-    /// arena block when the current one is full.
+    /// Appends one key/value row to sequence `seq`, claiming a block from
+    /// the free list (or a fresh arena block) when the current one is
+    /// full.
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range or a slice length differs from the
-    /// row width.
+    /// Panics if `seq` is out of range or retired, or a slice length
+    /// differs from the row width.
     pub fn append(&mut self, seq: usize, k: &[T], v: &[T]) {
         assert_eq!(k.len(), self.width, "key row width mismatch");
         assert_eq!(v.len(), self.width, "value row width mismatch");
         let block_elems = self.block_rows * self.width;
-        let state = &mut self.seqs[seq];
+        let state = self.live(seq);
         if state.len == state.blocks.len() * self.block_rows {
-            // Current block full (or first append): claim the next block.
-            let block = self.k_arena.len() / block_elems;
-            self.k_arena
-                .resize(self.k_arena.len() + block_elems, T::zero());
-            self.v_arena
-                .resize(self.v_arena.len() + block_elems, T::zero());
-            state.blocks.push(block);
+            // Current block full (or first append): claim the next block,
+            // recycling a retired sequence's block when one is free.
+            let block = if let Some(freed) = self.free_blocks.pop() {
+                self.recycled_blocks += 1;
+                freed
+            } else {
+                let fresh = self.k_arena.len() / block_elems;
+                self.k_arena
+                    .resize(self.k_arena.len() + block_elems, T::zero());
+                self.v_arena
+                    .resize(self.v_arena.len() + block_elems, T::zero());
+                fresh
+            };
+            self.seqs[seq].blocks.push(block);
         }
-        let block = state.blocks[state.len / self.block_rows];
-        let slot = block * block_elems + (state.len % self.block_rows) * self.width;
-        self.k_arena[slot..slot + self.width].copy_from_slice(k);
-        self.v_arena[slot..slot + self.width].copy_from_slice(v);
-        state.len += 1;
-    }
-
-    /// The cached key row at position `i` of sequence `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` or `i` is out of range.
-    pub fn key_row(&self, seq: usize, i: usize) -> &[T] {
-        let slot = self.row_slot(seq, i);
-        &self.k_arena[slot..slot + self.width]
-    }
-
-    /// The cached value row at position `i` of sequence `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` or `i` is out of range.
-    pub fn value_row(&self, seq: usize, i: usize) -> &[T] {
-        let slot = self.row_slot(seq, i);
-        &self.v_arena[slot..slot + self.width]
-    }
-
-    fn row_slot(&self, seq: usize, i: usize) -> usize {
         let state = &self.seqs[seq];
+        let block = state.blocks[state.len / self.block_rows];
+        let r = state.len % self.block_rows;
+        let base = block * block_elems;
+        match self.layout {
+            KvLayout::TokenMajor => {
+                let slot = base + r * self.width;
+                self.k_arena[slot..slot + self.width].copy_from_slice(k);
+                self.v_arena[slot..slot + self.width].copy_from_slice(v);
+            }
+            KvLayout::HeadMajor => {
+                // Scatter once on append (cold path: one row per step) so
+                // every later read of the head panels streams contiguously
+                // (hot path: the whole history per step).
+                let d = self.head_dim;
+                for h in 0..self.heads {
+                    let slot = base + h * self.block_rows * d + r * d;
+                    self.k_arena[slot..slot + d].copy_from_slice(&k[h * d..(h + 1) * d]);
+                    self.v_arena[slot..slot + d].copy_from_slice(&v[h * d..(h + 1) * d]);
+                }
+            }
+        }
+        self.seqs[seq].len += 1;
+    }
+
+    /// Element offset of `(seq, position, head)`'s first lane in the
+    /// arenas.
+    fn head_slot(&self, seq: usize, i: usize, head: usize) -> usize {
+        let state = self.live(seq);
         assert!(i < state.len, "position {i} out of {} cached", state.len);
         let block = state.blocks[i / self.block_rows];
-        block * self.block_rows * self.width + (i % self.block_rows) * self.width
+        let r = i % self.block_rows;
+        let base = block * self.block_rows * self.width;
+        match self.layout {
+            KvLayout::TokenMajor => base + r * self.width + head * self.head_dim,
+            KvLayout::HeadMajor => base + (head * self.block_rows + r) * self.head_dim,
+        }
+    }
+
+    /// The cached key row at position `i` of sequence `seq`, gathered
+    /// across heads (a copy — with the head-major layout a full row is
+    /// not contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `i` is out of range.
+    pub fn key_row(&self, seq: usize, i: usize) -> Vec<T> {
+        self.gather_row(&self.k_arena, seq, i)
+    }
+
+    /// The cached value row at position `i` of sequence `seq` (a copy,
+    /// like [`key_row`](Self::key_row)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `i` is out of range.
+    pub fn value_row(&self, seq: usize, i: usize) -> Vec<T> {
+        self.gather_row(&self.v_arena, seq, i)
+    }
+
+    fn gather_row(&self, arena: &[T], seq: usize, i: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.width);
+        for h in 0..self.heads {
+            let slot = self.head_slot(seq, i, h);
+            out.extend_from_slice(&arena[slot..slot + self.head_dim]);
+        }
+        out
     }
 
     /// Iterates sequence `seq` block by block as
-    /// `(first_position, key_rows, value_rows)` — the row slices are
-    /// contiguous row-major spans of up to [`Self::block_rows`] rows, in
-    /// position order. This is the streaming access path the decode
-    /// kernels use.
+    /// `(first_position, key_rows, value_rows)` — contiguous row-major
+    /// full-width spans of up to [`Self::block_rows`] rows, in position
+    /// order. Only meaningful for the token-major layout, where full rows
+    /// are contiguous; per-head streaming (either layout) goes through
+    /// [`head_stream`](Self::head_stream).
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range.
+    /// Panics if `seq` is out of range or retired, or the layout is
+    /// head-major.
     pub fn blocks(&self, seq: usize) -> impl Iterator<Item = (usize, &[T], &[T])> + '_ {
-        let state = &self.seqs[seq];
+        assert_eq!(
+            self.layout,
+            KvLayout::TokenMajor,
+            "blocks() requires the token-major layout"
+        );
+        let state = self.live(seq);
         let block_elems = self.block_rows * self.width;
         state.blocks.iter().enumerate().map(move |(bi, &block)| {
             let first = bi * self.block_rows;
@@ -212,6 +442,39 @@ impl<T: Scalar> KvCache<T> {
                 &self.k_arena[base..base + rows * self.width],
                 &self.v_arena[base..base + rows * self.width],
             )
+        })
+    }
+
+    /// Streams one head of sequence `seq` block by block — the decode
+    /// kernels' access path. With the head-major layout every yielded
+    /// view is one pure contiguous span (`stride == head_dim`); with
+    /// token-major the views stride at `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `head` is out of
+    /// range.
+    pub fn head_stream(&self, seq: usize, head: usize) -> impl Iterator<Item = HeadBlock<'_, T>> {
+        assert!(head < self.heads, "head {head} out of {}", self.heads);
+        let state = self.live(seq);
+        let d = self.head_dim;
+        let block_elems = self.block_rows * self.width;
+        let (off, stride) = match self.layout {
+            KvLayout::TokenMajor => (head * d, self.width),
+            KvLayout::HeadMajor => (head * self.block_rows * d, d),
+        };
+        state.blocks.iter().enumerate().map(move |(bi, &block)| {
+            let first = bi * self.block_rows;
+            let rows = (state.len - first).min(self.block_rows);
+            let base = block * block_elems + off;
+            let span = (rows - 1) * stride + d;
+            HeadBlock {
+                first,
+                rows,
+                k: &self.k_arena[base..base + span],
+                v: &self.v_arena[base..base + span],
+                stride,
+            }
         })
     }
 }
@@ -237,6 +500,34 @@ impl DecodeStepOutput {
     }
 }
 
+/// A checked, admitted prompt: what [`DecodeBatch::admit_all`] returns
+/// for each prompt after running it through the batched fused-checksum
+/// prefill.
+#[derive(Clone, Debug)]
+pub struct AdmittedPrompt {
+    /// The sequence id the prompt was admitted as (may reuse a retired
+    /// slot).
+    pub seq: usize,
+    /// The prompt's causal self-attention output (`N × model_dim`,
+    /// f64 like the decode outputs).
+    pub output: Matrix<f64>,
+    /// Predicted prompt checksum: per head, the Kahan-accumulated Alg. 3
+    /// line 11 sum over the prompt's queries — bit-identical to
+    /// `flash_abft::flash2_with_checksum` on that head — summed across
+    /// heads in head order.
+    pub predicted: f64,
+    /// Actual prompt checksum: sum of all produced output elements,
+    /// Kahan-accumulated per head in (query, lane) order.
+    pub actual: f64,
+}
+
+impl AdmittedPrompt {
+    /// `predicted − actual` for the prompt pass.
+    pub fn residual(&self) -> f64 {
+        self.predicted - self.actual
+    }
+}
+
 /// Unnormalized per-(sequence, head) state produced by one fused pass:
 /// `d` output lanes plus the checksum lane, and the softmax terminal.
 struct HeadState {
@@ -247,7 +538,10 @@ struct HeadState {
 }
 
 /// A batched, checked, KV-cache-backed decode engine over
-/// `num_sequences × num_heads` independent attention streams.
+/// `num_sequences × num_heads` independent attention streams, with
+/// continuous batching: sequences are admitted (checked batched prefill)
+/// and retired (block recycling) mid-flight while the rest of the batch
+/// keeps decoding.
 ///
 /// # Example
 ///
@@ -274,11 +568,21 @@ pub struct DecodeBatch<T> {
     cache: KvCache<T>,
     /// Per sequence: `sumrow_h(v_i)` for every cached position `i` and
     /// head `h`, stored `i·H + h` — the Eq. 4 vector the checksum lane
-    /// consumes, computed once per appended token.
+    /// consumes, computed once per appended token. Cleared on retire and
+    /// rebuilt on slot reuse, so recycled blocks never leak a previous
+    /// owner's checksum inputs.
     sumrows: Vec<Vec<f64>>,
-    /// Per sequence: running (predicted, actual) totals over all decoded
-    /// tokens — the session-level Alg. 3 line 11 state.
+    /// Per sequence: running (predicted, actual) totals over the admitted
+    /// prompt and all checked decoded tokens — the session-level Alg. 3
+    /// line 11 state. Survives block recycling (it lives outside the
+    /// arena) and is reset when a retired slot is reused.
     totals: Vec<(f64, f64)>,
+    /// Per sequence: prompt tokens cached without per-token decode
+    /// checking (admitted or prefilled).
+    prompt_tokens: Vec<usize>,
+    /// Per sequence: tokens decoded through [`step_all`](Self::step_all)
+    /// (checksum-covered).
+    checked_steps: Vec<usize>,
     /// Per sequence: tokens decoded through
     /// [`step_all_unchecked`](DecodeBatch::step_all_unchecked), which the
     /// session verdict does **not** cover.
@@ -287,17 +591,38 @@ pub struct DecodeBatch<T> {
 
 impl<T: Scalar> DecodeBatch<T> {
     /// Creates an empty engine with the given head layout and KV-cache
-    /// block size (rows per block).
+    /// block size (rows per block), using the head-major cache layout.
     ///
     /// # Panics
     ///
     /// Panics if `block_rows == 0`.
     pub fn new(cfg: MultiHeadConfig, block_rows: usize) -> Self {
+        Self::with_layout(cfg, block_rows, KvLayout::HeadMajor)
+    }
+
+    /// Like [`new`](Self::new) but with the token-major cache layout —
+    /// the PR-2 arrangement, kept as the layout-equivalence reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows == 0`.
+    pub fn new_token_major(cfg: MultiHeadConfig, block_rows: usize) -> Self {
+        Self::with_layout(cfg, block_rows, KvLayout::TokenMajor)
+    }
+
+    /// Creates an empty engine with an explicit cache layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows == 0`.
+    pub fn with_layout(cfg: MultiHeadConfig, block_rows: usize, layout: KvLayout) -> Self {
         DecodeBatch {
             cfg,
-            cache: KvCache::new(cfg.model_dim(), block_rows),
+            cache: KvCache::with_layout(cfg.num_heads, cfg.head.head_dim(), block_rows, layout),
             sumrows: Vec::new(),
             totals: Vec::new(),
+            prompt_tokens: Vec::new(),
+            checked_steps: Vec::new(),
             unchecked_steps: Vec::new(),
         }
     }
@@ -307,34 +632,84 @@ impl<T: Scalar> DecodeBatch<T> {
         &self.cfg
     }
 
-    /// Number of registered sequences.
+    /// Read-only view of the paged cache (serving metrics: arena size,
+    /// free list, recycled-block counter).
+    pub fn cache(&self) -> &KvCache<T> {
+        &self.cache
+    }
+
+    /// Number of sequence slots ever registered (live + retired).
     pub fn num_sequences(&self) -> usize {
         self.cache.num_sequences()
+    }
+
+    /// Number of live (non-retired) sequences.
+    pub fn live_sequences(&self) -> usize {
+        self.cache.live_sequences()
+    }
+
+    /// Whether sequence slot `seq` is retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn is_retired(&self, seq: usize) -> bool {
+        self.cache.is_retired(seq)
     }
 
     /// Number of cached positions for sequence `seq`.
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range.
+    /// Panics if `seq` is out of range or retired.
     pub fn seq_len(&self, seq: usize) -> usize {
         self.cache.seq_len(seq)
     }
 
-    /// Registers a new (empty) sequence and returns its id.
+    /// Registers a new (empty) sequence and returns its id, reusing a
+    /// retired slot (and, transitively, its freed cache blocks) when one
+    /// is available. Per-sequence checksum state for the slot is reset.
     pub fn add_sequence(&mut self) -> usize {
-        self.sumrows.push(Vec::new());
-        self.totals.push((0.0, 0.0));
-        self.unchecked_steps.push(0);
-        self.cache.add_sequence()
+        let seq = self.cache.add_sequence();
+        if seq == self.sumrows.len() {
+            self.sumrows.push(Vec::new());
+            self.totals.push((0.0, 0.0));
+            self.prompt_tokens.push(0);
+            self.checked_steps.push(0);
+            self.unchecked_steps.push(0);
+        } else {
+            self.sumrows[seq].clear();
+            self.totals[seq] = (0.0, 0.0);
+            self.prompt_tokens[seq] = 0;
+            self.checked_steps[seq] = 0;
+            self.unchecked_steps[seq] = 0;
+        }
+        seq
     }
 
-    /// Pre-fills sequence `seq` from prompt K/V matrices
-    /// (`N × model_dim`), without computing attention.
+    /// Retires sequence `seq`: its cache blocks return to the free list
+    /// for later admissions, its sumrow staging is dropped, and the slot
+    /// becomes reusable. The running totals stay readable (for a final
+    /// verdict) until the slot is reused by
+    /// [`add_sequence`](Self::add_sequence) /
+    /// [`admit`](Self::admit).
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch or out-of-range `seq`.
+    /// Panics if `seq` is out of range or already retired.
+    pub fn retire(&mut self, seq: usize) {
+        self.cache.retire_sequence(seq);
+        self.sumrows[seq] = Vec::new();
+    }
+
+    /// Pre-fills sequence `seq` from prompt K/V matrices
+    /// (`N × model_dim`) **without computing attention** — for prompts
+    /// whose pass was checked elsewhere. [`admit`](Self::admit) is the
+    /// checked admission path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range/retired `seq`.
     pub fn prefill(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
         assert_eq!(k.cols(), self.cfg.model_dim(), "K width mismatch");
         assert_eq!(v.cols(), self.cfg.model_dim(), "V width mismatch");
@@ -342,6 +717,7 @@ impl<T: Scalar> DecodeBatch<T> {
         for i in 0..k.rows() {
             self.append_token(seq, k.row(i), v.row(i));
         }
+        self.prompt_tokens[seq] += k.rows();
     }
 
     /// Reserves KV-cache capacity for at least `additional_rows` more
@@ -350,9 +726,9 @@ impl<T: Scalar> DecodeBatch<T> {
         self.cache.reserve_rows(additional_rows);
     }
 
-    /// Running `Σ predicted − Σ actual` over every token decoded for
-    /// `seq` through [`step_all`](Self::step_all) — the sequence-level
-    /// ABFT verdict. Tokens decoded through
+    /// Running `Σ predicted − Σ actual` over the admitted prompt and
+    /// every token decoded for `seq` through [`step_all`](Self::step_all)
+    /// — the sequence-level ABFT verdict. Tokens decoded through
     /// [`step_all_unchecked`](Self::step_all_unchecked) are **not**
     /// covered; check [`unchecked_len`](Self::unchecked_len) before
     /// reading a zero residual as "every token verified".
@@ -363,6 +739,25 @@ impl<T: Scalar> DecodeBatch<T> {
     pub fn global_residual(&self, seq: usize) -> f64 {
         let (predicted, actual) = self.totals[seq];
         predicted - actual
+    }
+
+    /// Prompt tokens cached for `seq` (admitted or prefilled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn prompt_len(&self, seq: usize) -> usize {
+        self.prompt_tokens[seq]
+    }
+
+    /// Tokens of `seq` decoded with checksum coverage (via
+    /// [`step_all`](Self::step_all)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn checked_len(&self, seq: usize) -> usize {
+        self.checked_steps[seq]
     }
 
     /// Number of tokens of `seq` decoded without checksum coverage (via
@@ -377,6 +772,17 @@ impl<T: Scalar> DecodeBatch<T> {
         self.unchecked_steps[seq]
     }
 
+    /// Tokens decoded for `seq` through either decode path. For a live
+    /// sequence, `prompt_len + decoded_len == seq_len` — the accounting
+    /// invariant the coverage tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn decoded_len(&self, seq: usize) -> usize {
+        self.checked_steps[seq] + self.unchecked_steps[seq]
+    }
+
     fn append_token(&mut self, seq: usize, k: &[T], v: &[T]) {
         let d = self.cfg.head.head_dim();
         self.cache.append(seq, k, v);
@@ -384,6 +790,134 @@ impl<T: Scalar> DecodeBatch<T> {
             let sumrow: f64 = v[h * d..(h + 1) * d].iter().map(|x| x.to_f64()).sum();
             self.sumrows[seq].push(sumrow);
         }
+    }
+
+    /// Admits one prompt: registers a sequence (reusing retired slots and
+    /// their blocks), caches the prompt K/V, and computes the prompt's
+    /// checked causal self-attention. See [`admit_all`](Self::admit_all).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn admit(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> AdmittedPrompt {
+        self.admit_all(&[(q, k, v)])
+            .pop()
+            .expect("one prompt admitted")
+    }
+
+    /// Admits a batch of prompts under the fused checksum: every prompt's
+    /// K/V rows are cached, then **all** `prompts × heads` checked causal
+    /// prefill passes are scheduled across the rayon pool in one fork, so
+    /// admission cost amortizes across the batch instead of serializing
+    /// per sequence.
+    ///
+    /// Per (prompt, head) the pass is the batched form of
+    /// `flash_abft::flash2_with_checksum` on that head's `N × d` slices
+    /// with a causal mask: same score/axpy kernels, same per-query merged
+    /// accumulator recurrence, same Kahan finalization order — so each
+    /// head's output rows and (predicted, actual) checksums are
+    /// bit-identical to the standalone kernel (property-tested in
+    /// `flash-abft`). The per-sequence totals absorb the prompt checksums,
+    /// extending [`global_residual`](Self::global_residual) coverage to
+    /// every prefill token.
+    ///
+    /// Outputs are returned in prompt order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (each prompt's Q/K/V must be
+    /// `N × model_dim` with one shared `N`).
+    pub fn admit_all(
+        &mut self,
+        prompts: &[(&Matrix<T>, &Matrix<T>, &Matrix<T>)],
+    ) -> Vec<AdmittedPrompt> {
+        let dim = self.cfg.model_dim();
+        let h = self.cfg.num_heads;
+        let d = self.cfg.head.head_dim();
+
+        // Validate every prompt before mutating anything, so a malformed
+        // prompt cannot leave earlier prompts half-admitted (same
+        // validate-before-mutate contract as `step_all`).
+        for &(q, k, v) in prompts {
+            assert_eq!(q.cols(), dim, "prompt Q width mismatch");
+            assert_eq!(k.cols(), dim, "prompt K width mismatch");
+            assert_eq!(v.cols(), dim, "prompt V width mismatch");
+            assert_eq!(q.rows(), k.rows(), "prompt Q/K row count mismatch");
+            assert_eq!(k.rows(), v.rows(), "prompt K/V row count mismatch");
+        }
+
+        // Phase 1 (serial, cheap): register sequences and cache every
+        // prompt token.
+        let mut seqs = Vec::with_capacity(prompts.len());
+        for &(_, k, v) in prompts {
+            let seq = self.add_sequence();
+            for i in 0..k.rows() {
+                self.append_token(seq, k.row(i), v.row(i));
+            }
+            self.prompt_tokens[seq] = k.rows();
+            seqs.push(seq);
+        }
+
+        // Phase 2: one fork over all prompt×head checked prefill passes.
+        let pairs: Vec<(usize, usize)> = (0..prompts.len())
+            .flat_map(|pi| (0..h).map(move |hi| (pi, hi)))
+            .collect();
+        let max_len = prompts.iter().map(|p| p.0.rows()).max().unwrap_or(0);
+        let pass = |(pi, hi): (usize, usize)| {
+            let (q, _, _) = prompts[pi];
+            let seq = seqs[pi];
+            let cols = self.cfg.head_cols(hi);
+            let mut scores = Vec::new();
+            (0..q.rows())
+                .map(|p| self.fused_pass(seq, hi, &q.row(p)[cols.clone()], p, true, &mut scores))
+                .collect::<Vec<HeadState>>()
+        };
+        // Few-but-huge work units: each pair is an O(N²·d) prefill pass,
+        // so even a 2-way fork pays — the decode-tuned rows≥16 floor of
+        // `worth_parallelizing` would serialize small batches of long
+        // prompts.
+        let per_pair_elems = max_len.saturating_mul(max_len) / 2 * d;
+        let states: Vec<Vec<HeadState>> =
+            if crate::par::worth_parallelizing_units(pairs.len(), per_pair_elems) {
+                pairs.into_par_iter().map(pass).collect()
+            } else {
+                pairs.into_iter().map(pass).collect()
+            };
+
+        // Phase 3: finalize per prompt in (head, query) order on this
+        // thread — the same Kahan order as flash2_with_checksum per head.
+        let mut outs = Vec::with_capacity(prompts.len());
+        for (pi, &(q, _, _)) in prompts.iter().enumerate() {
+            let n = q.rows();
+            let seq = seqs[pi];
+            let mut output = Matrix::<f64>::zeros(n, dim);
+            let mut predicted = 0.0f64;
+            let mut actual = 0.0f64;
+            for hi in 0..h {
+                let mut pred = KahanSum::new();
+                let mut act = KahanSum::new();
+                for (p, state) in states[pi * h + hi].iter().enumerate() {
+                    for (c, &lane) in state.lanes[..d].iter().enumerate() {
+                        let val = lane / state.sum_exp;
+                        output[(p, hi * d + c)] = val;
+                        act.add(val);
+                    }
+                    pred.add(state.lanes[d] / state.sum_exp);
+                }
+                predicted += pred.value();
+                actual += act.value();
+            }
+            let totals = &mut self.totals[seq];
+            totals.0 += predicted;
+            totals.1 += actual;
+            outs.push(AdmittedPrompt {
+                seq,
+                output,
+                predicted,
+                actual,
+            });
+        }
+        outs
     }
 
     /// Decodes one token for every listed sequence, with the fused online
@@ -398,7 +932,8 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch, out-of-range or duplicate sequence ids.
+    /// Panics on shape mismatch, out-of-range, retired, or duplicate
+    /// sequence ids.
     pub fn step_all(
         &mut self,
         seq_ids: &[usize],
@@ -426,6 +961,7 @@ impl<T: Scalar> DecodeBatch<T> {
             let totals = &mut self.totals[seq];
             totals.0 += predicted;
             totals.1 += actual;
+            self.checked_steps[seq] += 1;
             outputs.push(DecodeStepOutput {
                 output,
                 predicted,
@@ -445,7 +981,8 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch, out-of-range or duplicate sequence ids.
+    /// Panics on shape mismatch, out-of-range, retired, or duplicate
+    /// sequence ids.
     pub fn step_all_unchecked(
         &mut self,
         seq_ids: &[usize],
@@ -494,6 +1031,7 @@ impl<T: Scalar> DecodeBatch<T> {
         assert_eq!(vs.rows(), batch, "one V row per sequence id");
         for (i, &s) in seq_ids.iter().enumerate() {
             assert!(s < self.num_sequences(), "unknown sequence id {s}");
+            assert!(!self.cache.is_retired(s), "sequence {s} is retired");
             assert!(
                 !seq_ids[..i].contains(&s),
                 "duplicate sequence id {s} in one step"
@@ -515,7 +1053,17 @@ impl<T: Scalar> DecodeBatch<T> {
             .unwrap_or(0);
         let pass = |flat: usize| {
             let (i, hi) = (flat / h, flat % h);
-            self.head_pass(seq_ids[i], hi, qs.row(i), checked)
+            let seq = seq_ids[i];
+            let cols = self.cfg.head_cols(hi);
+            let mut scores = Vec::new();
+            self.fused_pass(
+                seq,
+                hi,
+                &qs.row(i)[cols],
+                self.cache.seq_len(seq) - 1,
+                checked,
+                &mut scores,
+            )
         };
         if crate::par::worth_parallelizing(work, max_len, self.cfg.head.head_dim()) {
             (0..work).into_par_iter().map(pass).collect()
@@ -524,41 +1072,72 @@ impl<T: Scalar> DecodeBatch<T> {
         }
     }
 
-    /// The fused Alg. 3 loop for one (sequence, head): one sweep over the
-    /// sequence's cache blocks computing scores, online-softmax state,
+    /// The fused Alg. 3 loop for one (sequence, head) query at position
+    /// `last_pos`: one sweep over the sequence's cached blocks up to (and
+    /// including) `last_pos`, computing scores, online-softmax state,
     /// output lanes and (when `checked`) the checksum lane.
-    fn head_pass(&self, seq: usize, head: usize, q: &[T], checked: bool) -> HeadState {
+    ///
+    /// Each block is scored first through the contiguous-stream
+    /// [`ops::dot_then_scale_rows`] kernel (with the head-major layout
+    /// the K panel is one pure contiguous span), then its scores and V
+    /// rows fold through the online recurrence — two tight streams per
+    /// block. Decode passes use `last_pos == seq_len − 1`; admitted
+    /// prompt queries use their own position, which also applies the
+    /// causal mask. Sliding-window masking is relative to `last_pos`,
+    /// matching `DecodeSession::step_with_state`. `scores` is caller
+    /// scratch, reused across blocks and queries.
+    fn fused_pass(
+        &self,
+        seq: usize,
+        head: usize,
+        q_sub: &[T],
+        last_pos: usize,
+        checked: bool,
+        scores: &mut Vec<f64>,
+    ) -> HeadState {
         let d = self.cfg.head.head_dim();
         let h = self.cfg.num_heads;
         let scale = self.cfg.head.scale();
-        let window = self.cfg.head.sliding_window();
-        let newest = self.cache.seq_len(seq) - 1;
-        let q_sub = &q[head * d..(head + 1) * d];
         let sumrows = &self.sumrows[seq];
+
+        // Visible positions: the causal-window interval ending at
+        // `last_pos`.
+        let lo = match self.cfg.head.sliding_window() {
+            Some(w) => (last_pos + 1).saturating_sub(w),
+            None => 0,
+        };
 
         let mut os = OnlineSoftmax::new();
         let mut lanes = vec![0.0f64; d + 1];
-        for (first, k_rows, v_rows) in self.cache.blocks(seq) {
-            let rows = k_rows.len() / self.cache.width();
-            for r in 0..rows {
-                let pos = first + r;
-                // Sliding-window masking relative to the newest position,
-                // matching `DecodeSession::step_with_state`.
-                if let Some(w) = window {
-                    if newest - pos >= w {
-                        continue;
-                    }
-                }
-                let row = r * self.cache.width() + head * d;
-                let s = ops::dot_then_scale(q_sub, &k_rows[row..row + d], scale);
+        for blk in self.cache.head_stream(seq, head) {
+            if blk.first > last_pos {
+                break;
+            }
+            let r1 = (last_pos + 1 - blk.first).min(blk.rows);
+            let r0 = lo.saturating_sub(blk.first).min(r1);
+            if r0 == r1 {
+                continue;
+            }
+            ops::dot_then_scale_rows(
+                q_sub,
+                &blk.k[r0 * blk.stride..],
+                blk.stride,
+                r1 - r0,
+                scale,
+                scores,
+            );
+            for (j, &s) in scores.iter().enumerate() {
+                let r = r0 + j;
                 let step = os.push(s);
+                let vo = r * blk.stride;
                 ops::axpy_f64(
                     &mut lanes[..d],
-                    &v_rows[row..row + d],
+                    &blk.v[vo..vo + d],
                     step.scale_old,
                     step.weight_new,
                 );
                 if checked {
+                    let pos = blk.first + r;
                     lanes[d] =
                         lanes[d] * step.scale_old + sumrows[pos * h + head] * step.weight_new;
                 }
@@ -612,41 +1191,114 @@ mod tests {
     }
 
     #[test]
+    fn head_major_blocks_are_contiguous_per_head() {
+        // 2 heads × dim 2, 3-row blocks: each head's panel must stream
+        // contiguously (stride == head_dim) and reproduce the appended
+        // rows in position order.
+        let mut cache = KvCache::<f64>::new_head_major(2, 2, 3);
+        let s = cache.add_sequence();
+        for i in 0..7 {
+            let i = i as f64;
+            cache.append(
+                s,
+                &[i, 10.0 + i, 20.0 + i, 30.0 + i],
+                &[40.0 + i, 50.0 + i, 60.0 + i, 70.0 + i],
+            );
+        }
+        for head in 0..2 {
+            let mut pos = 0;
+            for blk in cache.head_stream(s, head) {
+                assert_eq!(blk.stride, 2, "head-major panels are contiguous");
+                assert_eq!(blk.first, pos);
+                for r in 0..blk.rows {
+                    let i = (blk.first + r) as f64;
+                    assert_eq!(blk.k[r * 2], 20.0 * head as f64 + i);
+                    assert_eq!(blk.k[r * 2 + 1], 20.0 * head as f64 + 10.0 + i);
+                    assert_eq!(blk.v[r * 2], 20.0 * head as f64 + 40.0 + i);
+                }
+                pos += blk.rows;
+            }
+            assert_eq!(pos, 7);
+        }
+        // Gathered full rows agree with the appended ones.
+        assert_eq!(cache.key_row(s, 4), vec![4.0, 14.0, 24.0, 34.0]);
+        assert_eq!(cache.value_row(s, 6), vec![46.0, 56.0, 66.0, 76.0]);
+    }
+
+    #[test]
+    fn retired_blocks_are_recycled_not_leaked() {
+        let mut cache = KvCache::<f64>::new_head_major(1, 2, 2);
+        let s0 = cache.add_sequence();
+        for i in 0..6 {
+            cache.append(s0, &[i as f64, 0.0], &[0.0, 0.0]);
+        }
+        assert_eq!(cache.allocated_blocks(), 3);
+        cache.retire_sequence(s0);
+        assert_eq!(cache.free_block_list().len(), 3);
+        assert_eq!(cache.live_sequences(), 0);
+
+        // A new sequence reuses the slot id and the freed blocks — the
+        // arena must not grow.
+        let s1 = cache.add_sequence();
+        assert_eq!(s1, s0, "retired slot is reused");
+        for i in 0..6 {
+            cache.append(s1, &[100.0 + i as f64, 0.0], &[0.0, 0.0]);
+        }
+        assert_eq!(cache.allocated_blocks(), 3, "no new arena growth");
+        assert_eq!(cache.recycled_blocks(), 3);
+        assert!(cache.free_block_list().is_empty());
+        assert_eq!(cache.key_row(s1, 5)[0], 105.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is retired")]
+    fn retired_sequence_access_panics() {
+        let mut cache = KvCache::<f64>::new(2, 2);
+        let s = cache.add_sequence();
+        cache.append(s, &[1.0, 2.0], &[3.0, 4.0]);
+        cache.retire_sequence(s);
+        let _ = cache.seq_len(s);
+    }
+
+    #[test]
     fn batched_decode_matches_serial_sessions_bitwise() {
         // The load-bearing equivalence: DecodeBatch over S sequences and
         // H heads must equal one DecodeSession per (sequence, head), bit
-        // for bit, for any cache block size.
+        // for bit, for any cache block size and either layout.
         let cfg = MultiHeadConfig::new(3, AttentionConfig::new(4));
         let (s, steps) = (4, 6);
-        for block_rows in [1, 2, 16] {
-            let mut batch = DecodeBatch::<f64>::new(cfg, block_rows);
-            let ids: Vec<usize> = (0..s).map(|_| batch.add_sequence()).collect();
-            let mut sessions: Vec<Vec<DecodeSession<f64>>> = (0..s)
-                .map(|_| (0..3).map(|_| DecodeSession::new(cfg.head)).collect())
-                .collect();
-            for t in 0..steps {
-                let seed = 9000 + t as u64;
-                let qs = rand(s, cfg.model_dim(), seed);
-                let ks = rand(s, cfg.model_dim(), seed + 100);
-                let vs = rand(s, cfg.model_dim(), seed + 200);
-                let outs = batch.step_all(&ids, &qs, &ks, &vs);
-                for (i, out) in outs.iter().enumerate() {
-                    for (h, session) in sessions[i].iter_mut().enumerate() {
-                        let slice = |m: &Matrix<f64>| m.row(i)[h * 4..(h + 1) * 4].to_vec();
-                        let reference = session.step(&slice(&qs), &slice(&ks), &slice(&vs));
-                        for (c, r) in reference.iter().enumerate() {
-                            assert_eq!(
-                                out.output[h * 4 + c].to_bits(),
-                                r.to_bits(),
-                                "block_rows {block_rows} step {t} seq {i} head {h} lane {c}"
-                            );
+        for layout in [KvLayout::HeadMajor, KvLayout::TokenMajor] {
+            for block_rows in [1, 2, 16] {
+                let mut batch = DecodeBatch::<f64>::with_layout(cfg, block_rows, layout);
+                let ids: Vec<usize> = (0..s).map(|_| batch.add_sequence()).collect();
+                let mut sessions: Vec<Vec<DecodeSession<f64>>> = (0..s)
+                    .map(|_| (0..3).map(|_| DecodeSession::new(cfg.head)).collect())
+                    .collect();
+                for t in 0..steps {
+                    let seed = 9000 + t as u64;
+                    let qs = rand(s, cfg.model_dim(), seed);
+                    let ks = rand(s, cfg.model_dim(), seed + 100);
+                    let vs = rand(s, cfg.model_dim(), seed + 200);
+                    let outs = batch.step_all(&ids, &qs, &ks, &vs);
+                    for (i, out) in outs.iter().enumerate() {
+                        for (h, session) in sessions[i].iter_mut().enumerate() {
+                            let slice = |m: &Matrix<f64>| m.row(i)[h * 4..(h + 1) * 4].to_vec();
+                            let reference = session.step(&slice(&qs), &slice(&ks), &slice(&vs));
+                            for (c, r) in reference.iter().enumerate() {
+                                assert_eq!(
+                                    out.output[h * 4 + c].to_bits(),
+                                    r.to_bits(),
+                                    "{layout:?} block_rows {block_rows} step {t} seq {i} \
+                                     head {h} lane {c}"
+                                );
+                            }
                         }
+                        assert!(out.residual().abs() < 1e-12, "checksum holds");
                     }
-                    assert!(out.residual().abs() < 1e-12, "checksum holds");
                 }
-            }
-            for &id in &ids {
-                assert!(batch.global_residual(id).abs() < 1e-10);
+                for &id in &ids {
+                    assert!(batch.global_residual(id).abs() < 1e-10);
+                }
             }
         }
     }
@@ -689,6 +1341,148 @@ mod tests {
     }
 
     #[test]
+    fn admit_matches_prefill_then_decode_bitwise() {
+        // A sequence admitted under the fused checksum must decode
+        // exactly like one prefilled without checking: admission only
+        // adds the prompt verification, never changes the cached state.
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let (pq, pk, pv) = (rand(9, dim, 40), rand(9, dim, 41), rand(9, dim, 42));
+
+        let mut admitted = DecodeBatch::<f64>::new(cfg, 4);
+        let prompt = admitted.admit(&pq, &pk, &pv);
+        assert!(prompt.residual().abs() < 1e-10, "prompt check holds");
+        assert_eq!(prompt.output.rows(), 9);
+        assert_eq!(admitted.prompt_len(prompt.seq), 9);
+
+        let mut prefilled = DecodeBatch::<f64>::new(cfg, 4);
+        let seq = prefilled.add_sequence();
+        prefilled.prefill(seq, &pk, &pv);
+
+        for t in 0..3 {
+            let qs = rand(1, dim, 60 + t);
+            let ks = rand(1, dim, 70 + t);
+            let vs = rand(1, dim, 80 + t);
+            let a = admitted.step_all(&[prompt.seq], &qs, &ks, &vs);
+            let b = prefilled.step_all(&[seq], &qs, &ks, &vs);
+            assert_eq!(a[0].output, b[0].output, "step {t}");
+            assert_eq!(a[0].predicted.to_bits(), b[0].predicted.to_bits());
+        }
+        assert!(admitted.global_residual(prompt.seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admit_all_parallel_bit_identical_any_thread_count() {
+        let cfg = MultiHeadConfig::new(4, AttentionConfig::new(8));
+        let dim = cfg.model_dim();
+        let prompts: Vec<(Matrix<f64>, Matrix<f64>, Matrix<f64>)> = (0..5)
+            .map(|i| {
+                let n = 20 + 5 * i;
+                (
+                    rand(n, dim, 500 + i as u64),
+                    rand(n, dim, 600 + i as u64),
+                    rand(n, dim, 700 + i as u64),
+                )
+            })
+            .collect();
+        let refs: Vec<(&Matrix<f64>, &Matrix<f64>, &Matrix<f64>)> =
+            prompts.iter().map(|(q, k, v)| (q, k, v)).collect();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut batch = DecodeBatch::<f64>::new(cfg, 8);
+                    batch.admit_all(&refs)
+                })
+        };
+        let serial = run(1);
+        for threads in [2, 5] {
+            let parallel = run(threads);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.output, b.output, "{threads} threads");
+                assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+                assert_eq!(a.actual.to_bits(), b.actual.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn admit_all_validates_every_prompt_before_mutating() {
+        // A malformed prompt anywhere in the batch must fail the whole
+        // call *before* any prompt is admitted — no half-mutated engine.
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let mut batch = DecodeBatch::<f64>::new(cfg, 4);
+        let (gq, gk, gv) = (rand(3, dim, 1), rand(3, dim, 2), rand(3, dim, 3));
+        let bad_q = rand(3, dim - 1, 4); // wrong width
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.admit_all(&[(&gq, &gk, &gv), (&bad_q, &gk, &gv)])
+        }));
+        assert!(result.is_err(), "malformed prompt must panic");
+        assert_eq!(batch.num_sequences(), 0, "nothing was half-admitted");
+    }
+
+    #[test]
+    fn retire_and_readmit_preserves_neighbour_state() {
+        // Retiring a sequence mid-flight must not disturb the survivors'
+        // outputs or checksum state, and the replacement must behave like
+        // a fresh engine's sequence despite running on recycled blocks.
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let mut engine = DecodeBatch::<f64>::new(cfg, 2);
+        let mut lone = DecodeBatch::<f64>::new(cfg, 2);
+
+        let (q0, k0, v0) = (rand(6, dim, 1), rand(6, dim, 2), rand(6, dim, 3));
+        let (q1, k1, v1) = (rand(4, dim, 4), rand(4, dim, 5), rand(4, dim, 6));
+        let a = engine.admit(&q0, &k0, &v0);
+        let b = engine.admit(&q1, &k1, &v1);
+        let lone_a = lone.admit(&q0, &k0, &v0);
+        assert_eq!(a.output, lone_a.output, "co-admission changes nothing");
+
+        // Decode both, retire b, decode a alone (mirrored on `lone`).
+        let step = |e: &mut DecodeBatch<f64>, ids: &[usize], t: u64, width: usize| {
+            let qs = rand(width, dim, 900 + t);
+            let ks = rand(width, dim, 910 + t);
+            let vs = rand(width, dim, 920 + t);
+            e.step_all(ids, &qs, &ks, &vs)
+        };
+        let both = step(&mut engine, &[a.seq, b.seq], 0, 2);
+        let solo = {
+            let qs = rand(2, dim, 900);
+            let ks = rand(2, dim, 910);
+            let vs = rand(2, dim, 920);
+            let sliced = |m: &Matrix<f64>| Matrix::from_fn(1, dim, |_, c| m[(0, c)]);
+            lone.step_all(&[lone_a.seq], &sliced(&qs), &sliced(&ks), &sliced(&vs))
+        };
+        assert_eq!(both[0].output, solo[0].output);
+
+        engine.retire(b.seq);
+        assert!(engine.is_retired(b.seq));
+        assert_eq!(engine.live_sequences(), 1);
+
+        // Readmit onto the recycled blocks; survivor keeps decoding
+        // bit-identically to its lone twin.
+        let (q2, k2, v2) = (rand(5, dim, 7), rand(5, dim, 8), rand(5, dim, 9));
+        let c = engine.admit(&q2, &k2, &v2);
+        assert_eq!(c.seq, b.seq, "slot reuse");
+        assert!(engine.cache().recycled_blocks() > 0, "blocks recycled");
+        for t in 1..4 {
+            let outs = step(&mut engine, &[a.seq, c.seq], t, 2);
+            let qs = rand(2, dim, 900 + t);
+            let ks = rand(2, dim, 910 + t);
+            let vs = rand(2, dim, 920 + t);
+            let sliced = |m: &Matrix<f64>| Matrix::from_fn(1, dim, |_, c| m[(0, c)]);
+            let solo = lone.step_all(&[lone_a.seq], &sliced(&qs), &sliced(&ks), &sliced(&vs));
+            assert_eq!(outs[0].output, solo[0].output, "step {t}");
+            assert!(outs[1].residual().abs() < 1e-10, "readmitted seq checks");
+        }
+        assert!(engine.global_residual(a.seq).abs() < 1e-9);
+        assert!(engine.global_residual(c.seq).abs() < 1e-9);
+    }
+
+    #[test]
     fn unchecked_matches_checked_outputs() {
         let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
         let mut checked = DecodeBatch::<f64>::new(cfg, 4);
@@ -706,7 +1500,16 @@ mod tests {
         // The session verdict covers all of `checked`'s tokens and none
         // of `unchecked`'s — and says so.
         assert_eq!(checked.unchecked_len(ids[0]), 0);
+        assert_eq!(checked.checked_len(ids[0]), 5);
         assert_eq!(unchecked.unchecked_len(ids[0]), 5);
+        assert_eq!(unchecked.checked_len(ids[0]), 0);
+        // Both paths report the same total decoded-token count, and the
+        // cache length decomposes into prompt + decoded.
+        assert_eq!(checked.decoded_len(ids[0]), unchecked.decoded_len(ids[0]));
+        assert_eq!(
+            checked.seq_len(ids[0]),
+            checked.prompt_len(ids[0]) + checked.decoded_len(ids[0])
+        );
     }
 
     #[test]
@@ -763,5 +1566,17 @@ mod tests {
         let mut batch = DecodeBatch::<f64>::new(cfg, 4);
         let m = rand(1, 2, 1);
         let _ = batch.step_all(&[0], &m, &m, &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "is retired")]
+    fn stepping_retired_sequence_panics() {
+        let cfg = MultiHeadConfig::new(1, AttentionConfig::new(2));
+        let mut batch = DecodeBatch::<f64>::new(cfg, 4);
+        let s = batch.add_sequence();
+        let m = rand(1, 2, 1);
+        let _ = batch.step_all(&[s], &m, &m, &m);
+        batch.retire(s);
+        let _ = batch.step_all(&[s], &m, &m, &m);
     }
 }

@@ -121,6 +121,29 @@ impl AttentionConfig {
         true
     }
 
+    /// The keys visible to `query` among `keys` total, as a contiguous
+    /// range — causal and sliding-window masks (and their combination)
+    /// always admit an interval of keys. Agrees with [`Self::visible`]
+    /// pointwise (property-tested); block kernels use it to turn per-key
+    /// mask tests into one range intersection per key block.
+    #[inline]
+    pub fn visible_range(&self, query: usize, keys: usize) -> core::ops::Range<usize> {
+        let mut hi = if self.causal {
+            keys.min(query + 1)
+        } else {
+            keys
+        };
+        let mut lo = 0;
+        if let Some(w) = self.window {
+            lo = (query + 1).saturating_sub(w);
+            if !self.causal {
+                // Non-causal windows are two-sided: |query − key| < w.
+                hi = hi.min(query.saturating_add(w));
+            }
+        }
+        lo.min(hi)..hi
+    }
+
     /// Validates Q/K/V shapes against this configuration: all must be
     /// `N×d` with the same `N`.
     ///
@@ -216,6 +239,33 @@ mod tests {
         assert!(causal_local.visible(5, 4));
         assert!(!causal_local.visible(5, 6), "causal cuts the future half");
         assert!(!causal_local.visible(5, 3), "window cuts the far past");
+    }
+
+    #[test]
+    fn visible_range_agrees_with_visible_pointwise() {
+        let configs = [
+            AttentionConfig::new(4),
+            AttentionConfig::new(4).with_causal(true),
+            AttentionConfig::new(4).with_sliding_window(1),
+            AttentionConfig::new(4).with_sliding_window(3),
+            AttentionConfig::new(4)
+                .with_causal(true)
+                .with_sliding_window(2),
+        ];
+        for cfg in configs {
+            for keys in [0usize, 1, 7] {
+                for q in 0..8 {
+                    let range = cfg.visible_range(q, keys);
+                    for j in 0..keys {
+                        assert_eq!(
+                            range.contains(&j),
+                            cfg.visible(q, j),
+                            "cfg {cfg:?} query {q} key {j} of {keys}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

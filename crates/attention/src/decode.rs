@@ -100,13 +100,14 @@ impl<T: Scalar> DecodeSession<T> {
         let newest = self.keys.len() - 1;
         let mut os = OnlineSoftmax::new();
         let mut acc = vec![0.0f64; d];
-        for i in 0..self.keys.len() {
-            // Sliding-window masking relative to the newest position.
-            if let Some(w) = self.cfg.sliding_window() {
-                if newest - i >= w {
-                    continue;
-                }
-            }
+        // Sliding-window masking relative to the newest position: the
+        // visible cache positions are exactly the causal window interval.
+        let lo = self
+            .cfg
+            .with_causal(true)
+            .visible_range(newest, self.keys.len())
+            .start;
+        for i in lo..self.keys.len() {
             let s = fa_tensor::ops::dot_then_scale(q, &self.keys[i], self.cfg.scale());
             let step = os.push(s);
             fa_tensor::ops::axpy_f64(&mut acc, &self.values[i], step.scale_old, step.weight_new);

@@ -100,7 +100,19 @@ pub fn attention_serial<T: Scalar>(
     out
 }
 
+/// Key rows scored per block in [`query_state`]: score a whole block
+/// first (one contiguous K stream), then accumulate its V rows — two
+/// tight streams per block instead of alternating K-row/V-row reads.
+const SCORE_BLOCK: usize = 64;
+
 /// Runs the Alg. 2 online loop for one query row.
+///
+/// Visible keys are processed in [`SCORE_BLOCK`]-row blocks: lines 3
+/// (scores, via the contiguous-stream [`ops::dot_then_scale_rows`]
+/// kernel) for the whole block, then lines 4–6 folding the block's scores
+/// and V rows through the online recurrence. Per-key arithmetic and order
+/// are unchanged, so results are bit-identical to the row-interleaved
+/// loop.
 ///
 /// # Panics
 ///
@@ -118,16 +130,29 @@ pub fn query_state<T: Scalar>(
     let mut os = OnlineSoftmax::new();
     let mut output = vec![0.0f64; d];
 
-    for i in 0..k.rows() {
-        if !cfg.visible(query_idx, i) {
-            continue;
+    let visible = cfg.visible_range(query_idx, k.rows());
+    let q_row = q.row(query_idx);
+    let mut scores = Vec::with_capacity(SCORE_BLOCK.min(visible.len()));
+    let mut i = visible.start;
+    while i < visible.end {
+        let rows = SCORE_BLOCK.min(visible.end - i);
+        // Line 3: s_i = q · k_i (scaled) — the SIMD inner kernel, one
+        // contiguous K span per block.
+        fa_tensor::ops::dot_then_scale_rows(
+            q_row,
+            &k.as_slice()[i * d..],
+            d,
+            rows,
+            cfg.scale(),
+            &mut scores,
+        );
+        for (j, &s) in scores.iter().enumerate() {
+            // Lines 4–5: max update and rescaled sum of exponentials.
+            let step = os.push(s);
+            // Line 6: o_i = o_{i-1}·e^{m_{i-1}-m_i} + v_i·e^{s_i-m_i}.
+            fa_tensor::ops::axpy_f64(&mut output, v.row(i + j), step.scale_old, step.weight_new);
         }
-        // Line 3: s_i = q · k_i (scaled) — the SIMD inner kernel.
-        let s = fa_tensor::ops::dot_then_scale(q.row(query_idx), k.row(i), cfg.scale());
-        // Lines 4–5: max update and rescaled sum of exponentials.
-        let step = os.push(s);
-        // Line 6: o_i = o_{i-1}·e^{m_{i-1}-m_i} + v_i·e^{s_i-m_i}.
-        fa_tensor::ops::axpy_f64(&mut output, v.row(i), step.scale_old, step.weight_new);
+        i += rows;
     }
 
     OnlineQueryState {

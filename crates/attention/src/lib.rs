@@ -58,5 +58,5 @@ pub use config::AttentionConfig;
 /// Shared parallelization policy: one threshold for the whole workspace,
 /// owned by [`fa_tensor::par`].
 pub(crate) mod par {
-    pub use fa_tensor::par::worth_parallelizing;
+    pub use fa_tensor::par::{worth_parallelizing, worth_parallelizing_units};
 }

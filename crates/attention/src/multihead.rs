@@ -38,6 +38,23 @@ impl MultiHeadConfig {
         self.num_heads * self.head.head_dim()
     }
 
+    /// The column range head `h` occupies in packed `N × model_dim`
+    /// matrices (`h·d .. (h+1)·d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= num_heads`.
+    #[inline]
+    pub fn head_cols(&self, h: usize) -> core::ops::Range<usize> {
+        assert!(
+            h < self.num_heads,
+            "head {h} out of {} heads",
+            self.num_heads
+        );
+        let d = self.head.head_dim();
+        h * d..(h + 1) * d
+    }
+
     /// Extracts head `h` from a packed `N × model_dim` matrix
     /// (columns `h·d .. (h+1)·d`).
     ///
@@ -46,11 +63,6 @@ impl MultiHeadConfig {
     /// Panics if `h >= num_heads` or the matrix width differs from
     /// [`Self::model_dim`].
     pub fn slice_head<T: Scalar>(&self, packed: &Matrix<T>, h: usize) -> Matrix<T> {
-        assert!(
-            h < self.num_heads,
-            "head {h} out of {} heads",
-            self.num_heads
-        );
         assert_eq!(
             packed.cols(),
             self.model_dim(),
@@ -58,8 +70,10 @@ impl MultiHeadConfig {
             packed.cols(),
             self.model_dim()
         );
-        let d = self.head.head_dim();
-        Matrix::from_fn(packed.rows(), d, |r, c| packed[(r, h * d + c)])
+        let cols = self.head_cols(h);
+        Matrix::from_fn(packed.rows(), cols.len(), |r, c| {
+            packed[(r, cols.start + c)]
+        })
     }
 }
 

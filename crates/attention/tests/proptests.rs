@@ -1,6 +1,7 @@
 //! Property-based tests for the attention kernels: masking, GQA and
 //! decode invariants beyond the fixed-case unit tests.
 
+use fa_attention::batch::{DecodeBatch, KvCache, KvLayout};
 use fa_attention::gqa::GqaConfig;
 use fa_attention::multihead::MultiHeadConfig;
 use fa_attention::{decode::DecodeSession, flash2, naive, AttentionConfig};
@@ -252,6 +253,192 @@ proptest! {
             let st = flash2::query_state(&q, &k, &v, &cfg.with_causal(true), i);
             prop_assert_eq!(l.to_bits(), st.sum_exp.to_bits());
             prop_assert_eq!(m.to_bits(), st.max_score.to_bits());
+        }
+    }
+
+    /// The head-major cache layout is a pure memory-layout change: under
+    /// a random admit/decode/retire schedule, a head-major engine and a
+    /// token-major engine produce bit-identical prompt outputs, decode
+    /// outputs, and checksum totals at every block size.
+    #[test]
+    fn head_major_and_token_major_layouts_bit_identical(
+        block_rows_hm in 1usize..12,
+        block_rows_tm in 1usize..12,
+        seed in 0u64..1_000_000,
+        epochs in 1usize..5,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let heads = 2;
+        let d = 4;
+        let cfg = MultiHeadConfig::new(heads, AttentionConfig::new(d));
+        let dim = cfg.model_dim();
+        let rand = |rows: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), s)
+        };
+        let mut hm = DecodeBatch::<f64>::with_layout(cfg, block_rows_hm, KvLayout::HeadMajor);
+        let mut tm = DecodeBatch::<f64>::with_layout(cfg, block_rows_tm, KvLayout::TokenMajor);
+        // A deterministic schedule mixing admissions, decode steps and
+        // retirements, driven by a per-case LCG.
+        let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            rng = rng.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            rng >> 33
+        };
+        let mut live: Vec<usize> = Vec::new();
+        for e in 0..epochs {
+            // Admit 1–2 prompts of random length.
+            for _ in 0..1 + next() % 2 {
+                let n = 1 + (next() % 6) as usize;
+                let s = seed + 31 * e as u64 + next() % 1000;
+                let (q, k, v) = (rand(n, s), rand(n, s + 1), rand(n, s + 2));
+                let a = hm.admit(&q, &k, &v);
+                let b = tm.admit(&q, &k, &v);
+                prop_assert_eq!(a.output, b.output, "admitted prompt output");
+                prop_assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+                prop_assert_eq!(a.actual.to_bits(), b.actual.to_bits());
+                prop_assert_eq!(a.seq, b.seq, "slot reuse order matches");
+                live.push(a.seq);
+            }
+            // Decode 1–3 tokens for every live sequence.
+            for t in 0..1 + next() % 3 {
+                let s = seed + 101 * e as u64 + 7 * t;
+                let qs = rand(live.len(), s + 3);
+                let ks = rand(live.len(), s + 4);
+                let vs = rand(live.len(), s + 5);
+                let outs_hm = hm.step_all(&live, &qs, &ks, &vs);
+                let outs_tm = tm.step_all(&live, &qs, &ks, &vs);
+                for (a, b) in outs_hm.iter().zip(&outs_tm) {
+                    prop_assert_eq!(&a.output, &b.output, "decode output");
+                    prop_assert_eq!(a.predicted.to_bits(), b.predicted.to_bits());
+                }
+            }
+            // Retire a random live sequence (keep at least one).
+            if live.len() > 1 {
+                let victim = live.swap_remove((next() as usize) % live.len());
+                hm.retire(victim);
+                tm.retire(victim);
+            }
+        }
+        for &s in &live {
+            prop_assert_eq!(
+                hm.global_residual(s).to_bits(),
+                tm.global_residual(s).to_bits(),
+                "checksum totals"
+            );
+            prop_assert!(hm.global_residual(s).abs() < 1e-9);
+        }
+    }
+
+    /// The block free list never aliases a live sequence's storage:
+    /// through retire→admit storms at random block sizes, every arena
+    /// block is owned by exactly one live sequence or sits on the free
+    /// list — never both, never twice.
+    #[test]
+    fn free_list_never_aliases_live_blocks(
+        block_rows in 1usize..9,
+        width in 1usize..5,
+        seed in 0u64..1_000_000,
+        ops in 8usize..40,
+    ) {
+        let mut cache = KvCache::<f64>::with_layout(1, width, block_rows, KvLayout::HeadMajor);
+        let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let mut live: Vec<usize> = Vec::new();
+        let row = vec![0.5f64; width];
+        for _ in 0..ops {
+            match next() % 3 {
+                // Admit a sequence with a random number of rows.
+                0 => {
+                    let s = cache.add_sequence();
+                    for _ in 0..next() % (3 * block_rows as u64 + 1) {
+                        cache.append(s, &row, &row);
+                    }
+                    live.push(s);
+                }
+                // Append to a random live sequence.
+                1 if !live.is_empty() => {
+                    let s = live[(next() as usize) % live.len()];
+                    for _ in 0..1 + next() % (block_rows as u64 + 1) {
+                        cache.append(s, &row, &row);
+                    }
+                }
+                // Retire a random live sequence.
+                2 if !live.is_empty() => {
+                    let s = live.swap_remove((next() as usize) % live.len());
+                    cache.retire_sequence(s);
+                }
+                _ => {}
+            }
+            // Invariant sweep: exact partition of the arena.
+            let mut seen = std::collections::HashSet::new();
+            for &s in &live {
+                for &b in cache.seq_blocks(s) {
+                    prop_assert!(b < cache.allocated_blocks(), "block {b} in arena");
+                    prop_assert!(seen.insert(b), "block {b} owned twice");
+                }
+            }
+            for &b in cache.free_block_list() {
+                prop_assert!(b < cache.allocated_blocks(), "freed block {b} in arena");
+                prop_assert!(seen.insert(b), "block {b} both free and live");
+            }
+            prop_assert_eq!(
+                seen.len(),
+                cache.allocated_blocks(),
+                "every arena block is accounted for"
+            );
+        }
+    }
+
+    /// Checked and unchecked decode paths report consistent token counts
+    /// through admit/retire cycles: `prompt_len + checked_len +
+    /// unchecked_len == seq_len` at every point, and slot reuse resets
+    /// the counters.
+    #[test]
+    fn coverage_accounting_survives_admit_retire_cycles(
+        seed in 0u64..1_000_000,
+        cycles in 1usize..4,
+        checked_steps in 0usize..4,
+        unchecked_steps in 0usize..4,
+    ) {
+        use fa_tensor::random::ElementDist;
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(3));
+        let dim = cfg.model_dim();
+        let rand = |rows: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), s)
+        };
+        let mut engine = DecodeBatch::<f64>::new(cfg, 2);
+        for cycle in 0..cycles {
+            let n = 1 + (seed as usize + cycle) % 5;
+            let s0 = seed + 999 * cycle as u64;
+            let a = engine.admit(&rand(n, s0), &rand(n, s0 + 1), &rand(n, s0 + 2));
+            prop_assert_eq!(engine.prompt_len(a.seq), n);
+            prop_assert_eq!(engine.checked_len(a.seq), 0, "slot reuse resets counters");
+            prop_assert_eq!(engine.unchecked_len(a.seq), 0);
+            let ids = [a.seq];
+            for t in 0..checked_steps {
+                let s = s0 + 10 + t as u64;
+                engine.step_all(&ids, &rand(1, s), &rand(1, s + 1), &rand(1, s + 2));
+            }
+            for t in 0..unchecked_steps {
+                let s = s0 + 50 + t as u64;
+                engine.step_all_unchecked(&ids, &rand(1, s), &rand(1, s + 1), &rand(1, s + 2));
+            }
+            prop_assert_eq!(engine.checked_len(a.seq), checked_steps);
+            prop_assert_eq!(engine.unchecked_len(a.seq), unchecked_steps);
+            prop_assert_eq!(
+                engine.decoded_len(a.seq),
+                checked_steps + unchecked_steps,
+                "both paths count into one decoded total"
+            );
+            prop_assert_eq!(
+                engine.seq_len(a.seq),
+                engine.prompt_len(a.seq) + engine.decoded_len(a.seq),
+                "cache length decomposes exactly"
+            );
+            engine.retire(a.seq);
         }
     }
 

@@ -115,6 +115,20 @@ fn kernel_benchmarks(quick: bool) {
         kv.speedup(),
         kv.bf16_tokens_per_s
     );
+    let cont = &report.decode_continuous;
+    println!(
+        "continuous batching @ batch {} (retire+admit every {} steps): \
+         f64 {:.0} tokens/s ({:.2} MB/step), bf16 {:.0} tokens/s ({:.2} MB/step); \
+         {} blocks recycled, arena {} blocks",
+        cont.batch,
+        cont.churn_every,
+        cont.f64_cache.tokens_per_s,
+        cont.f64_cache.bytes_per_step / 1e6,
+        cont.bf16_cache.tokens_per_s,
+        cont.bf16_cache.bytes_per_step / 1e6,
+        cont.recycled_blocks,
+        cont.arena_blocks,
+    );
 
     let path = "BENCH_kernels.json";
     match std::fs::write(path, report.to_json()) {

@@ -116,6 +116,49 @@ impl DecodeBatchPoint {
     }
 }
 
+/// One cache-format leg of the continuous-batching sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ContinuousCachePoint {
+    /// End-to-end time: initial batched admission, every decode step,
+    /// and all mid-flight retire+admit churn, milliseconds.
+    pub total_ms: f64,
+    /// Aggregate serving throughput: decode tokens **plus** admitted
+    /// prompt tokens (all checksum-covered), per second.
+    pub tokens_per_s: f64,
+    /// Decode tokens alone per second (comparable to `decode_batched`,
+    /// though here the time also pays for churn admissions).
+    pub decode_tokens_per_s: f64,
+    /// Mean analytic KV bytes streamed per decode step
+    /// (`Σ_live seq_len · width · 2 sides · elem_bytes`) — the
+    /// bandwidth-bound quantity the cache element format halves.
+    pub bytes_per_step: f64,
+}
+
+/// Continuous batching at serving scale: a steady-state batch decoded
+/// under the fused checksum with periodic mid-flight retire+admit churn,
+/// prompts checked through the batched prefill, and retired sequences'
+/// cache blocks recycled through the free list.
+#[derive(Clone, Debug)]
+pub struct DecodeContinuous {
+    /// Steady-state live sequences.
+    pub batch: usize,
+    /// Decode steps timed.
+    pub steps: usize,
+    /// Every `churn_every` steps the oldest sequence is retired and a
+    /// fresh prompt admitted in its place.
+    pub churn_every: usize,
+    /// f64 KV cache leg.
+    pub f64_cache: ContinuousCachePoint,
+    /// BF16 KV cache leg (half the streamed bytes per step).
+    pub bf16_cache: ContinuousCachePoint,
+    /// Block claims served from the free list during one run — evidence
+    /// the churn reuses retired sequences' blocks.
+    pub recycled_blocks: usize,
+    /// Arena size (blocks) at the end of a run: bounded by live tokens,
+    /// not total traffic.
+    pub arena_blocks: usize,
+}
+
 /// Checked batched decode with a BF16 KV cache vs the f64 cache (the
 /// halved-bandwidth serving configuration).
 #[derive(Clone, Debug)]
@@ -169,6 +212,9 @@ pub struct KernelBenchReport {
     pub decode_batched: Vec<DecodeBatchPoint>,
     /// BF16-KV-cache decode at the largest batch size.
     pub decode_kv_bf16: DecodeKvBf16,
+    /// Continuous batching with admit/retire churn at the largest batch
+    /// size.
+    pub decode_continuous: DecodeContinuous,
 }
 
 impl KernelBenchReport {
@@ -225,6 +271,14 @@ impl KernelBenchReport {
             })
             .collect();
         let shape = self.decode_shape;
+        let continuous_point = |p: &ContinuousCachePoint| {
+            format!(
+                "{{ \"total_ms\": {:.3}, \"tokens_per_s\": {:.1}, \
+                 \"decode_tokens_per_s\": {:.1}, \"bytes_per_step\": {:.0} }}",
+                p.total_ms, p.tokens_per_s, p.decode_tokens_per_s, p.bytes_per_step,
+            )
+        };
+        let cont = &self.decode_continuous;
         format!(
             "{{\n  \"host_threads\": {},\n  \"matmul\": [\n{}\n  ],\n  \"flash2\": [\n{}\n  ],\n  \
              \"dot_simd\": {{\n    \"len\": {},\n    \"f64\": {},\n    \"bf16\": {}\n  }},\n  \
@@ -234,7 +288,10 @@ impl KernelBenchReport {
              \"head_dim\": {}, \"heads\": {}, \"prefill\": {}, \"steps\": {},\n    \
              \"points\": [\n{}\n    ]\n  }},\n  \"decode_kv_bf16\": {{ \"batch\": {}, \
              \"f64_cache_ms\": {:.3}, \"bf16_cache_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"bf16_tokens_per_s\": {:.1} }}\n}}\n",
+             \"bf16_tokens_per_s\": {:.1} }},\n  \"decode_continuous\": {{\n    \
+             \"batch\": {}, \"steps\": {}, \"churn_every\": {}, \"prefill\": {},\n    \
+             \"f64\": {},\n    \"bf16\": {},\n    \
+             \"recycled_blocks\": {}, \"arena_blocks\": {}\n  }}\n}}\n",
             self.host_threads,
             matmul.join(",\n"),
             flash2.join(",\n"),
@@ -257,6 +314,14 @@ impl KernelBenchReport {
             self.decode_kv_bf16.bf16_cache_ms,
             self.decode_kv_bf16.speedup(),
             self.decode_kv_bf16.bf16_tokens_per_s,
+            cont.batch,
+            cont.steps,
+            cont.churn_every,
+            shape.prefill,
+            continuous_point(&cont.f64_cache),
+            continuous_point(&cont.bf16_cache),
+            cont.recycled_blocks,
+            cont.arena_blocks,
         )
     }
 }
@@ -321,7 +386,12 @@ fn measure_flash2(seq_len: usize, reps: usize) -> Flash2Point {
     // Interleave the three variants round-robin (see `timed_once`): the
     // checksum overhead is a small ratio of two large numbers, and
     // measuring the variants in separate blocks lets host-speed drift
-    // masquerade as multiple points of overhead.
+    // masquerade as multiple points of overhead. Extra rounds here (the
+    // section is cheap) because both ratios are drift-dominated on a
+    // shared core — on a 1-thread pool the "parallel" entry point IS the
+    // serial code path, so parallel_vs_serial measures pure container
+    // drift and should read ≈1.0.
+    let reps = reps + 2;
     let (mut serial_ms, mut parallel_ms, mut checked_ms) =
         (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for rep in 0..=reps {
@@ -505,8 +575,10 @@ fn timed_once<S, R>(mut setup: impl FnMut() -> S, mut run: impl FnMut(&mut S) ->
 /// (sequence, head), prefilled, then — like any real serving loop — all
 /// sequences advanced one token per step (step-major order; tokens
 /// depend on previous outputs, so steps cannot be batched per sequence).
-/// This is today's checked serving path: scalar score loop, per-row cache
-/// allocations, one kernel invocation per sequence×head.
+/// This is the per-sequence checked serving path: the same SIMD inner
+/// kernels as the batched engine (bit-identical, by the property tests)
+/// but with per-row cache allocations and one kernel invocation per
+/// sequence×head.
 fn baseline_sessions(shape: DecodeShape, inputs: &DecodeInputs) -> Vec<CheckedDecodeSession> {
     let head_cfg = AttentionConfig::new(shape.head_dim);
     let mut sessions = Vec::with_capacity(inputs.batch * shape.heads);
@@ -698,6 +770,170 @@ fn measure_decode_bf16(shape: DecodeShape, batch: usize, reps: usize) -> DecodeK
     }
 }
 
+/// Decode traffic for the continuous-batching sweep: initial prompts,
+/// churn prompts (with queries — admission checks the prompt), and
+/// per-step decode rows.
+struct ContinuousInputs<T> {
+    initial: Vec<(Matrix<T>, Matrix<T>, Matrix<T>)>,
+    churn: Vec<(Matrix<T>, Matrix<T>, Matrix<T>)>,
+    qs: Vec<Matrix<T>>,
+    ks: Vec<Matrix<T>>,
+    vs: Vec<Matrix<T>>,
+}
+
+fn continuous_inputs(
+    shape: DecodeShape,
+    batch: usize,
+    churn_every: usize,
+) -> ContinuousInputs<f64> {
+    let dim = shape.heads * shape.head_dim;
+    let mk = |seed: u64, rows: usize| {
+        Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), seed)
+    };
+    let prompt = |seed: u64| {
+        (
+            mk(seed, shape.prefill),
+            mk(seed + 1, shape.prefill),
+            mk(seed + 2, shape.prefill),
+        )
+    };
+    let churn_count = shape.steps / churn_every;
+    ContinuousInputs {
+        initial: (0..batch).map(|s| prompt(20_000 + 10 * s as u64)).collect(),
+        churn: (0..churn_count)
+            .map(|c| prompt(30_000 + 10 * c as u64))
+            .collect(),
+        qs: (0..shape.steps)
+            .map(|t| mk(40_000 + t as u64, batch))
+            .collect(),
+        ks: (0..shape.steps)
+            .map(|t| mk(41_000 + t as u64, batch))
+            .collect(),
+        vs: (0..shape.steps)
+            .map(|t| mk(42_000 + t as u64, batch))
+            .collect(),
+    }
+}
+
+fn cast_prompts(
+    ps: &[(Matrix<f64>, Matrix<f64>, Matrix<f64>)],
+) -> Vec<(Matrix<BF16>, Matrix<BF16>, Matrix<BF16>)> {
+    ps.iter()
+        .map(|(q, k, v)| (q.cast(), k.cast(), v.cast()))
+        .collect()
+}
+
+/// One end-to-end continuous-batching run: batched admission of the
+/// initial prompts, `steps` checked decode steps over the live batch,
+/// and every `churn_every` steps a retire of the oldest sequence plus a
+/// checked admission of a fresh prompt onto the recycled blocks. Returns
+/// the engine for post-run cache statistics (read outside the timer).
+fn run_continuous<T: fa_tensor::Scalar>(
+    shape: DecodeShape,
+    churn_every: usize,
+    inputs: &ContinuousInputs<T>,
+) -> fa_attention::batch::DecodeBatch<T> {
+    let cfg = MultiHeadConfig::new(shape.heads, AttentionConfig::new(shape.head_dim));
+    let mut engine = fa_attention::batch::DecodeBatch::<T>::new(cfg, 64);
+    let refs: Vec<(&Matrix<T>, &Matrix<T>, &Matrix<T>)> =
+        inputs.initial.iter().map(|(q, k, v)| (q, k, v)).collect();
+    let mut live: Vec<usize> = engine.admit_all(&refs).iter().map(|a| a.seq).collect();
+    let mut churned = 0usize;
+    let mut acc = 0.0;
+    for t in 0..shape.steps {
+        let outs = engine.step_all(&live, &inputs.qs[t], &inputs.ks[t], &inputs.vs[t]);
+        acc += outs[0].output[0];
+        if (t + 1) % churn_every == 0 && churned < inputs.churn.len() {
+            let victim = live.remove(0);
+            engine.retire(victim);
+            let (q, k, v) = &inputs.churn[churned];
+            live.push(engine.admit(q, k, v).seq);
+            churned += 1;
+        }
+    }
+    std::hint::black_box(acc);
+    engine
+}
+
+/// Analytic KV bytes streamed per decode step under the continuous
+/// schedule: each step every live sequence's pass reads its whole cached
+/// history (K and V) once, post-append. Replays the schedule's lengths
+/// without running kernels.
+fn continuous_bytes_per_step(
+    shape: DecodeShape,
+    batch: usize,
+    churn_every: usize,
+    elem_bytes: usize,
+) -> f64 {
+    let width = shape.heads * shape.head_dim;
+    let mut lens = vec![shape.prefill; batch];
+    let mut total = 0usize;
+    let churn_count = shape.steps / churn_every;
+    let mut churned = 0;
+    for t in 0..shape.steps {
+        for len in lens.iter_mut() {
+            *len += 1; // append, then stream the whole history
+            total += *len * width * 2 * elem_bytes;
+        }
+        if (t + 1) % churn_every == 0 && churned < churn_count {
+            lens.remove(0);
+            lens.push(shape.prefill);
+            churned += 1;
+        }
+    }
+    total as f64 / shape.steps as f64
+}
+
+fn measure_decode_continuous(
+    shape: DecodeShape,
+    batch: usize,
+    churn_every: usize,
+    reps: usize,
+) -> DecodeContinuous {
+    let inputs = continuous_inputs(shape, batch, churn_every);
+    let inputs16 = ContinuousInputs::<BF16> {
+        initial: cast_prompts(&inputs.initial),
+        churn: cast_prompts(&inputs.churn),
+        qs: inputs.qs.iter().map(|m| m.cast()).collect(),
+        ks: inputs.ks.iter().map(|m| m.cast()).collect(),
+        vs: inputs.vs.iter().map(|m| m.cast()).collect(),
+    };
+    // Warmup round doubles as the cache-statistics probe (the schedule is
+    // deterministic, so any run reports the same block counts).
+    let warm = run_continuous(shape, churn_every, &inputs);
+    let stats = (
+        warm.cache().recycled_blocks(),
+        warm.cache().allocated_blocks(),
+    );
+    drop(warm);
+    std::hint::black_box(run_continuous(shape, churn_every, &inputs16));
+    let (mut f64_ms, mut bf16_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let a = timed_once(|| (), |_| run_continuous(shape, churn_every, &inputs));
+        let b = timed_once(|| (), |_| run_continuous(shape, churn_every, &inputs16));
+        f64_ms = f64_ms.min(a);
+        bf16_ms = bf16_ms.min(b);
+    }
+    let churn_count = shape.steps / churn_every;
+    let decode_tokens = (batch * shape.steps) as f64;
+    let prompt_tokens = ((batch + churn_count) * shape.prefill) as f64;
+    let point = |ms: f64, elem_bytes: usize| ContinuousCachePoint {
+        total_ms: ms,
+        tokens_per_s: (decode_tokens + prompt_tokens) / (ms * 1e-3),
+        decode_tokens_per_s: decode_tokens / (ms * 1e-3),
+        bytes_per_step: continuous_bytes_per_step(shape, batch, churn_every, elem_bytes),
+    };
+    DecodeContinuous {
+        batch,
+        steps: shape.steps,
+        churn_every,
+        f64_cache: point(f64_ms, 8),
+        bf16_cache: point(bf16_ms, 2),
+        recycled_blocks: stats.0,
+        arena_blocks: stats.1,
+    }
+}
+
 /// Runs the kernel-layer benchmark. `quick` shrinks problem sizes and
 /// drops the largest matmul/flash2 points for CI smoke runs.
 pub fn measure(quick: bool) -> KernelBenchReport {
@@ -732,6 +968,8 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         )
     };
 
+    let (largest_batch, churn_every) = if quick { (8, 2) } else { (32, 4) };
+
     let matmul = matmul_sizes
         .iter()
         .map(|&n| measure_matmul(n, reps))
@@ -746,7 +984,9 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         .iter()
         .map(|&b| measure_decode_batched(decode_shape, b, decode_reps))
         .collect();
-    let decode_kv_bf16 = measure_decode_bf16(decode_shape, 32, decode_reps);
+    let decode_kv_bf16 = measure_decode_bf16(decode_shape, largest_batch, decode_reps);
+    let decode_continuous =
+        measure_decode_continuous(decode_shape, largest_batch, churn_every, decode_reps);
 
     KernelBenchReport {
         host_threads: rayon::current_num_threads(),
@@ -757,6 +997,7 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         decode_single,
         decode_batched,
         decode_kv_bf16,
+        decode_continuous,
     }
 }
 
@@ -781,6 +1022,53 @@ mod tests {
             assert!(p.checked_overhead_pct.is_finite());
         }
         assert!(report.decode_kv_bf16.speedup() > 0.0);
+        let cont = &report.decode_continuous;
+        assert!(cont.f64_cache.tokens_per_s > 0.0);
+        assert!(cont.bf16_cache.tokens_per_s > 0.0);
+        assert!(
+            cont.bf16_cache.bytes_per_step * 3.9 < cont.f64_cache.bytes_per_step,
+            "bf16 KV cache quarters the streamed bytes per step"
+        );
+        assert!(cont.recycled_blocks > 0, "churn must recycle blocks");
+        assert!(cont.arena_blocks > 0);
+    }
+
+    #[test]
+    fn continuous_bytes_replay_matches_engine_lengths() {
+        // The analytic bytes/step replay must agree with what the engine
+        // actually holds: run the same schedule and compare final lengths.
+        let shape = DecodeShape {
+            head_dim: 4,
+            heads: 2,
+            prefill: 6,
+            steps: 8,
+        };
+        let (batch, churn_every) = (3, 2);
+        let inputs = continuous_inputs(shape, batch, churn_every);
+        let engine = run_continuous(shape, churn_every, &inputs);
+        // Replay lengths.
+        let mut lens = vec![shape.prefill; batch];
+        let mut churned = 0;
+        for t in 0..shape.steps {
+            for len in lens.iter_mut() {
+                *len += 1;
+            }
+            if (t + 1) % churn_every == 0 && churned < inputs.churn.len() {
+                lens.remove(0);
+                lens.push(shape.prefill);
+                churned += 1;
+            }
+        }
+        let mut live: Vec<usize> = (0..engine.num_sequences())
+            .filter(|&s| !engine.is_retired(s))
+            .collect();
+        live.sort_by_key(|&s| engine.seq_len(s));
+        lens.sort_unstable();
+        assert_eq!(live.len(), lens.len());
+        for (&s, &len) in live.iter().zip(&lens) {
+            assert_eq!(engine.seq_len(s), len);
+        }
+        assert!(continuous_bytes_per_step(shape, batch, churn_every, 8) > 0.0);
     }
 
     #[test]
@@ -801,6 +1089,9 @@ mod tests {
             "decode_single",
             "decode_batched",
             "decode_kv_bf16",
+            "decode_continuous",
+            "bytes_per_step",
+            "recycled_blocks",
             "speedup",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

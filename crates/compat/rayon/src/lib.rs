@@ -27,8 +27,26 @@ use std::cell::Cell;
 thread_local! {
     /// Set inside worker threads: nested parallel terminals run inline.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// The worker's span index within its parallel terminal (see
+    /// [`current_thread_index`]).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
     /// Per-thread override installed by [`ThreadPool::install`] (0 = none).
     static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Marks the current thread as a pool worker with the given span index.
+fn enter_worker(index: usize) {
+    IN_POOL.with(|flag| flag.set(true));
+    WORKER_INDEX.with(|i| i.set(Some(index)));
+}
+
+/// The calling thread's index within the pool, or `None` when called from
+/// outside any parallel terminal — rayon's API for "am I already on a
+/// worker?". Fork policies use this to route nested parallel calls (which
+/// the shim runs inline anyway) straight down their serial path, skipping
+/// the parallel entry's item-list materialization.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|i| i.get())
 }
 
 /// The number of worker threads a parallel terminal may use.
@@ -81,9 +99,10 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = spans
             .into_iter()
-            .map(|span| {
+            .enumerate()
+            .map(|(idx, span)| {
                 scope.spawn(move || {
-                    IN_POOL.with(|flag| flag.set(true));
+                    enter_worker(idx);
                     span.into_iter().map(f).collect::<Vec<O>>()
                 })
             })
@@ -109,9 +128,9 @@ where
     }
     let spans = partition(items, threads);
     std::thread::scope(|scope| {
-        for span in spans {
+        for (idx, span) in spans.into_iter().enumerate() {
             scope.spawn(move || {
-                IN_POOL.with(|flag| flag.set(true));
+                enter_worker(idx);
                 span.into_iter().for_each(f);
             });
         }
@@ -184,12 +203,13 @@ where
         let partials: Vec<O> = std::thread::scope(|scope| {
             let handles: Vec<_> = spans
                 .into_iter()
-                .map(|span| {
+                .enumerate()
+                .map(|(idx, span)| {
                     let f = &f;
                     let identity = &identity;
                     let op = &op;
                     scope.spawn(move || {
-                        IN_POOL.with(|flag| flag.set(true));
+                        enter_worker(idx);
                         span.into_iter().map(f).fold(identity(), op)
                     })
                 })
@@ -319,7 +339,7 @@ where
     }
     std::thread::scope(|scope| {
         let hb = scope.spawn(|| {
-            IN_POOL.with(|flag| flag.set(true));
+            enter_worker(1);
             b()
         });
         let ra = a();
@@ -475,6 +495,23 @@ mod tests {
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 3);
         assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn thread_index_is_some_only_inside_workers() {
+        assert_eq!(current_thread_index(), None);
+        let seen: Vec<bool> = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                (0..4usize)
+                    .into_par_iter()
+                    .map(|_| current_thread_index().is_some())
+                    .collect()
+            });
+        assert!(seen.iter().all(|&inside| inside));
+        assert_eq!(current_thread_index(), None);
     }
 
     #[test]

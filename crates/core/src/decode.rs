@@ -5,9 +5,18 @@
 //! pass over the KV cache, and the per-token check `c_N/ℓ_N` is compared
 //! against the row sum immediately — token-granular detection latency,
 //! the tightest recovery loop the fused checksum enables.
+//!
+//! Scores go through the same SIMD [`fa_tensor::ops::dot_then_scale`]
+//! kernel as the batched engines, so this session is the **bit-exact
+//! golden model** for `fa_attention::batch::DecodeBatch`'s per-(sequence,
+//! head) decode — the continuous-batching property tests pin the batched
+//! path against it token for token. The cache itself stays deliberately
+//! naive (one heap row per token): it is also the per-sequence serving
+//! baseline the decode benchmarks measure the paged engine against.
 
 use crate::checker::{ChecksumReport, FlashAbftChecker};
 use crate::merged::MergedAccumulator;
+use crate::online::OnlineChecked;
 use fa_attention::AttentionConfig;
 use fa_numerics::Tolerance;
 use fa_tensor::{Matrix, Scalar};
@@ -67,10 +76,38 @@ impl CheckedDecodeSession {
         self
     }
 
+    /// Pre-fills the cache from prompt Q/K/V matrices (N×d) **and**
+    /// checks the prompt's causal self-attention through
+    /// [`crate::flash2_with_checksum`], folding the prompt's (predicted,
+    /// actual) checksums into the session totals — so
+    /// [`global_report`](Self::global_report) covers every prefill token
+    /// as well as every generated one. The returned [`OnlineChecked`]
+    /// carries the prompt output and its per-query checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, or if the session already holds cached
+    /// positions (the kernel checks a whole prompt against an empty
+    /// history).
+    pub fn prefill_checked<T: Scalar>(
+        &mut self,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> OnlineChecked<T> {
+        assert!(self.is_empty(), "prefill_checked requires an empty session");
+        let checked = crate::online::flash2_with_checksum(q, k, v, &self.cfg.with_causal(true));
+        self.prefill(k, v);
+        self.global_check += checked.predicted;
+        self.global_actual += checked.actual;
+        checked
+    }
+
     /// Pre-fills the cache from prompt K/V matrices (N×d) without
-    /// computing attention — the prompt pass is assumed checked by the
-    /// batch kernel ([`crate::flash2_with_checksum`]); this session then
-    /// checks every *generated* token against that history.
+    /// computing attention — for prompts whose pass was checked elsewhere
+    /// ([`prefill_checked`](Self::prefill_checked) is the self-contained
+    /// form); this session then checks every *generated* token against
+    /// that history.
     ///
     /// # Panics
     ///
@@ -121,19 +158,23 @@ impl CheckedDecodeSession {
         self.keys.push(kf);
         self.values.push(vf);
 
+        let qf: Vec<f64> = q.iter().map(|x| x.to_f64()).collect();
         let newest = self.keys.len() - 1;
+        // Visible cache positions: the causal window interval ending at
+        // the newest position.
+        let lo = self
+            .cfg
+            .with_causal(true)
+            .visible_range(newest, self.keys.len())
+            .start;
         let mut acc = MergedAccumulator::new(d);
-        for i in 0..self.keys.len() {
-            if let Some(w) = self.cfg.sliding_window() {
-                if newest - i >= w {
-                    continue;
-                }
-            }
-            let mut s = 0.0f64;
-            for (qx, kx) in q.iter().zip(&self.keys[i]) {
-                s += qx.to_f64() * kx;
-            }
-            acc.step_with_sumrow(s * self.cfg.scale(), &self.values[i], self.sumrows[i]);
+        for i in lo..self.keys.len() {
+            // The same SIMD score kernel as the batched decode engines —
+            // the widened operands make the products identical to dotting
+            // the stored formats directly, so this session stays the
+            // bit-exact golden model for `DecodeBatch`.
+            let s = fa_tensor::ops::dot_then_scale(&qf, &self.keys[i], self.cfg.scale());
+            acc.step_with_sumrow(s, &self.values[i], self.sumrows[i]);
         }
         let (output, check) = acc.finalize().expect("at least the new token is visible");
         let row_sum: f64 = output.iter().sum();
@@ -223,6 +264,40 @@ mod tests {
         let step = prefilled.step(q.row(7), k.row(7), v.row(7));
         assert!(!step.report.is_alarm());
         assert_eq!(step.output, last.unwrap().output);
+    }
+
+    #[test]
+    fn prefill_checked_covers_prompt_and_matches_plain_prefill() {
+        let (q, k, v) = rand_qkv(8, 4, 906);
+        let cfg = AttentionConfig::new(4);
+        let k_prompt = Matrix::from_fn(7, 4, |r, c| k[(r, c)]);
+        let v_prompt = Matrix::from_fn(7, 4, |r, c| v[(r, c)]);
+        let q_prompt = Matrix::from_fn(7, 4, |r, c| q[(r, c)]);
+
+        let mut checked = CheckedDecodeSession::new(cfg);
+        let prompt = checked.prefill_checked(&q_prompt, &k_prompt, &v_prompt);
+        assert!(prompt.residual().abs() < 1e-10, "prompt check holds");
+        assert_eq!(checked.len(), 7);
+        assert!(!checked.global_report().is_alarm(), "totals absorb prompt");
+
+        // The cached history is identical to a plain prefill: the next
+        // generated token matches bit for bit.
+        let mut plain = CheckedDecodeSession::new(cfg);
+        plain.prefill(&k_prompt, &v_prompt);
+        let a = checked.step(q.row(7), k.row(7), v.row(7));
+        let b = plain.step(q.row(7), k.row(7), v.row(7));
+        assert_eq!(a.output, b.output);
+        assert!(!checked.global_report().is_alarm());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an empty session")]
+    fn prefill_checked_on_nonempty_session_panics() {
+        let cfg = AttentionConfig::new(2);
+        let mut session = CheckedDecodeSession::new(cfg);
+        let _ = session.step(&[1.0, 0.0], &[0.5, 0.5], &[2.0, 4.0]);
+        let m = Matrix::<f64>::zeros(1, 2);
+        let _ = session.prefill_checked(&m, &m, &m);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   computation fused into the kernel loop;
 //! * [`merged`] — the merged accumulator of Eq. 9/10 (`o* = [c, o]`):
 //!   checksum as an extra output lane;
+//! * [`decode`] — checked autoregressive decoding: per-token Alg. 3
+//!   checks over a growing KV cache, with checked prompt prefill through
+//!   the fused kernel — the bit-exact golden model for the
+//!   continuous-batching engine in `fa_attention::batch`;
 //! * [`checker`] — detection: tolerance comparison, verification reports,
 //!   and post-hoc verification of externally produced outputs;
 //! * [`api`] — the high-level [`FlashAbft`] entry point and its multi-head
@@ -55,5 +59,6 @@ pub mod online;
 
 pub use api::{CheckedAttention, FlashAbft};
 pub use checker::{ChecksumReport, FlashAbftChecker};
+pub use decode::{CheckedDecodeSession, CheckedDecodeStep};
 pub use merged::MergedAccumulator;
 pub use online::{attention_checked, flash2_with_checksum, flash2_with_checksum_serial};

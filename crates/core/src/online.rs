@@ -53,6 +53,13 @@ impl<T: Scalar> OnlineChecked<T> {
     }
 }
 
+/// Key rows scored per block in [`query_pass`]: score a whole block first
+/// (one contiguous K stream), then fold the block's extended value rows
+/// through the merged recurrence — the same two-stream structure as the
+/// unchecked `flash2` kernel, so the checksum lane never costs extra
+/// memory passes.
+const SCORE_BLOCK: usize = 64;
+
 /// Runs the Alg. 3 streaming loop for one query: one pass over K/V
 /// computing scores, online softmax state, output lanes, and the checksum
 /// lane. `vstar` is the packed extended value matrix — row `i` holds
@@ -71,14 +78,29 @@ fn query_pass<T: Scalar>(
 ) -> MergedAccumulator {
     let d = cfg.head_dim();
     let mut acc = MergedAccumulator::new(d);
-    for (i, vrow) in vstar.chunks_exact(d + 1).take(k.rows()).enumerate() {
-        if !cfg.visible(qi, i) {
-            continue;
+    let visible = cfg.visible_range(qi, k.rows());
+    let q_row = q.row(qi);
+    let mut scores = Vec::with_capacity(SCORE_BLOCK.min(visible.len()));
+    let mut i = visible.start;
+    while i < visible.end {
+        let rows = SCORE_BLOCK.min(visible.end - i);
+        // Line 3: scores — the SIMD inner kernel over one contiguous K
+        // span (per-row bits identical to the row-interleaved loop).
+        fa_tensor::ops::dot_then_scale_rows(
+            q_row,
+            &k.as_slice()[i * d..],
+            d,
+            rows,
+            cfg.scale(),
+            &mut scores,
+        );
+        for (j, &s) in scores.iter().enumerate() {
+            // Lines 4–7 via the merged Eq. 9/10 update over the extended
+            // row.
+            let r = i + j;
+            acc.step_ext(s, &vstar[r * (d + 1)..(r + 1) * (d + 1)]);
         }
-        // Line 3: score — the SIMD inner kernel.
-        let s = fa_tensor::ops::dot_then_scale(q.row(qi), k.row(i), cfg.scale());
-        // Lines 4–7 via the merged Eq. 9/10 update over the extended row.
-        acc.step_ext(s, vrow);
+        i += rows;
     }
     acc
 }

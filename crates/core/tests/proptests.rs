@@ -72,3 +72,136 @@ proptest! {
         prop_assert!(fused.output.max_abs_diff(&plain) < 1e-12);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// THE serving-path equivalence: the head-major continuous-batching
+    /// engine is bit-identical to the per-(sequence, head)
+    /// `CheckedDecodeSession` golden model under random admit/retire
+    /// schedules, thread counts, and cache block sizes — admitted prompt
+    /// outputs match `flash2_with_checksum` per head (predicted checksums
+    /// included, bit for bit), decode outputs match `step` token for
+    /// token, and free-list block recycling never corrupts a live
+    /// sequence's checksum state.
+    #[test]
+    fn continuous_batching_bit_identical_to_checked_sessions(
+        threads in 1usize..6,
+        block_rows in 1usize..10,
+        seed in 0u64..1_000_000,
+        epochs in 1usize..4,
+    ) {
+        use fa_attention::batch::DecodeBatch;
+        use fa_attention::multihead::MultiHeadConfig;
+        use fa_tensor::random::ElementDist;
+        use flash_abft::CheckedDecodeSession;
+
+        let heads = 2;
+        let d = 4;
+        let cfg = MultiHeadConfig::new(heads, AttentionConfig::new(d));
+        let dim = cfg.model_dim();
+        let rand = |rows: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), s)
+        };
+        let slice_head = |m: &Matrix<f64>, h: usize| {
+            Matrix::from_fn(m.rows(), d, |r, c| m[(r, h * d + c)])
+        };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+
+        let mut engine = DecodeBatch::<f64>::new(cfg, block_rows);
+        // Golden model: one CheckedDecodeSession per (engine slot, head).
+        let mut golden: Vec<Option<Vec<CheckedDecodeSession>>> = Vec::new();
+        let mut live: Vec<usize> = Vec::new();
+        let mut rng = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            rng = rng.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            rng >> 33
+        };
+
+        for e in 0..epochs {
+            // Admit 1–2 prompts; each must match flash2_with_checksum per
+            // head (which is what CheckedDecodeSession::prefill_checked
+            // runs), bit for bit.
+            for _ in 0..1 + next() % 2 {
+                let n = 1 + (next() % 5) as usize;
+                let s = seed + 37 * e as u64 + next() % 1000;
+                let (q, k, v) = (rand(n, s), rand(n, s + 1), rand(n, s + 2));
+                let admitted = pool.install(|| engine.admit(&q, &k, &v));
+                let mut sessions = Vec::with_capacity(heads);
+                let mut predicted = 0.0f64;
+                for h in 0..heads {
+                    let mut session = CheckedDecodeSession::new(cfg.head);
+                    let checked = session.prefill_checked(
+                        &slice_head(&q, h),
+                        &slice_head(&k, h),
+                        &slice_head(&v, h),
+                    );
+                    for r in 0..n {
+                        for c in 0..d {
+                            prop_assert_eq!(
+                                admitted.output[(r, h * d + c)].to_bits(),
+                                checked.output[(r, c)].to_bits(),
+                                "prompt row {} head {} lane {}", r, h, c
+                            );
+                        }
+                    }
+                    predicted += checked.predicted;
+                    sessions.push(session);
+                }
+                prop_assert_eq!(
+                    admitted.predicted.to_bits(),
+                    predicted.to_bits(),
+                    "prompt predicted checksum == Σ_h flash2_with_checksum"
+                );
+                if admitted.seq >= golden.len() {
+                    golden.resize_with(admitted.seq + 1, || None);
+                }
+                golden[admitted.seq] = Some(sessions);
+                live.push(admitted.seq);
+            }
+
+            // Decode 1–3 tokens for every live sequence.
+            for t in 0..1 + next() % 3 {
+                let s = seed + 211 * e as u64 + 13 * t;
+                let qs = rand(live.len(), s + 3);
+                let ks = rand(live.len(), s + 4);
+                let vs = rand(live.len(), s + 5);
+                let outs = pool.install(|| engine.step_all(&live, &qs, &ks, &vs));
+                for (i, &id) in live.iter().enumerate() {
+                    let sessions = golden[id].as_mut().expect("live slot has sessions");
+                    for (h, session) in sessions.iter_mut().enumerate() {
+                        let sub = |m: &Matrix<f64>| m.row(i)[h * d..(h + 1) * d].to_vec();
+                        let step = session.step(&sub(&qs), &sub(&ks), &sub(&vs));
+                        prop_assert!(!step.report.is_alarm());
+                        for (c, val) in step.output.iter().enumerate() {
+                            prop_assert_eq!(
+                                outs[i].output[h * d + c].to_bits(),
+                                val.to_bits(),
+                                "epoch {} step {} seq {} head {} lane {}", e, t, id, h, c
+                            );
+                        }
+                    }
+                    prop_assert!(outs[i].residual().abs() < 1e-10);
+                }
+            }
+
+            // Retire a random live sequence (keep at least one): its
+            // blocks go back to the free list while the survivors keep
+            // matching their golden sessions — recycling never corrupts
+            // live checksum state.
+            if live.len() > 1 {
+                let victim = live.swap_remove((next() as usize) % live.len());
+                engine.retire(victim);
+                golden[victim] = None;
+            }
+        }
+
+        for &id in &live {
+            prop_assert!(
+                engine.global_residual(id).abs() < 1e-9,
+                "session verdict clean after churn: {}",
+                engine.global_residual(id)
+            );
+        }
+    }
+}

@@ -386,6 +386,55 @@ pub fn dot_then_scale<T: Scalar>(a: &[T], b: &[T], scale: f64) -> f64 {
     dot_f64(a, b) * scale
 }
 
+/// Scores a block of key rows against one query: `out[i] =
+/// dot_then_scale(q, row_i, scale)` for `n_rows` rows laid out at a fixed
+/// `row_stride` starting at `rows[0]`. Each row goes through the same
+/// [`dot_f64`] kernel as the unfused call, so every score is bit-identical
+/// to calling [`dot_then_scale`] row by row.
+///
+/// This entry point exists for the decode/attention hot loops: scoring a
+/// whole cache block first means the kernel streams the K block once and
+/// then streams the V block once (in the accumulate loop), instead of
+/// alternating K-row and V-row reads — and with the head-major KV layout
+/// (`row_stride == q.len()`) the K block is one pure contiguous span, the
+/// shape hardware prefetchers and DRAM bursts want. `out` is cleared and
+/// refilled.
+///
+/// # Panics
+///
+/// Panics if `row_stride < q.len()` (rows would overlap) or `rows` is too
+/// short for the requested view.
+#[inline]
+pub fn dot_then_scale_rows<T: Scalar>(
+    q: &[T],
+    rows: &[T],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    if n_rows == 0 {
+        return;
+    }
+    assert!(
+        row_stride >= q.len(),
+        "row stride {row_stride} shorter than query length {}",
+        q.len()
+    );
+    let needed = (n_rows - 1) * row_stride + q.len();
+    assert!(
+        rows.len() >= needed,
+        "row block too short: {} < {needed}",
+        rows.len()
+    );
+    out.reserve(n_rows);
+    for r in 0..n_rows {
+        let row = &rows[r * row_stride..r * row_stride + q.len()];
+        out.push(dot_f64(q, row) * scale);
+    }
+}
+
 /// The portable scalar form of [`dot_f64`] and the *definition* of its
 /// summation order: [`DOT_LANES`] strided partial sums, a fixed combine
 /// tree mirroring the AVX2 register layout (lane vectors `v0..v3`,
@@ -603,6 +652,37 @@ mod tests {
             dot_then_scale(&a, &b, 0.125).to_bits(),
             (dot_f64(&a, &b) * 0.125).to_bits()
         );
+    }
+
+    #[test]
+    fn dot_rows_bit_identical_to_per_row_calls() {
+        // Contiguous (stride == len) and strided (token-major) views both
+        // reproduce the unfused per-row scores bit for bit.
+        let d = 24;
+        let q: Vec<f64> = (0..d).map(|i| (i as f64 * 0.71).sin()).collect();
+        for stride in [d, d + 3, 2 * d] {
+            let n_rows = 5;
+            let block: Vec<f64> = (0..(n_rows - 1) * stride + d)
+                .map(|i| (i as f64 * 0.37).cos())
+                .collect();
+            let mut out = Vec::new();
+            dot_then_scale_rows(&q, &block, stride, n_rows, 0.125, &mut out);
+            assert_eq!(out.len(), n_rows);
+            for (r, &s) in out.iter().enumerate() {
+                let row = &block[r * stride..r * stride + d];
+                assert_eq!(s.to_bits(), dot_then_scale(&q, row, 0.125).to_bits());
+            }
+        }
+        let mut out = vec![1.0; 4];
+        dot_then_scale_rows(&q, &[] as &[f64], d, 0, 1.0, &mut out);
+        assert!(out.is_empty(), "zero rows clears the buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "row block too short")]
+    fn dot_rows_short_block_panics() {
+        let mut out = Vec::new();
+        dot_then_scale_rows(&[1.0f64, 2.0], &[1.0f64, 2.0, 3.0], 2, 2, 1.0, &mut out);
     }
 
     #[test]

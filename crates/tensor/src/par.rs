@@ -13,17 +13,50 @@ pub const MATMUL_MIN_ROWS: usize = 64;
 /// Row-block granularity matmul kernels hand to the pool.
 pub const MATMUL_ROW_BLOCK: usize = 32;
 
+/// Whether forking can win *at all* in the current context: the pool must
+/// have more than one worker, and the caller must not already be on a
+/// worker thread. Nested parallel calls run inline in this pool, so taking
+/// the parallel entry from inside a worker pays the item-list
+/// materialization for a guaranteed zero-way fork — on a 1-thread host
+/// (`host_threads: 1` in `BENCH_kernels.json`) that pure overhead is how
+/// the "parallel" flash2 path managed to measure *slower* than serial.
+/// With this guard the parallel entry points collapse to exactly the
+/// serial code path whenever no fork can happen.
+///
+/// SWAP NOTE (upstream rayon): the `current_thread_index` guard is tuned
+/// to the offline shim, where `ThreadPool::install` runs its closure on
+/// the *calling* thread and nested terminals run inline. Upstream rayon
+/// runs `install` closures ON a pool worker (`current_thread_index()` is
+/// `Some` there) and makes nested `par_iter` cheap via work stealing — so
+/// when `[workspace.dependencies]` is switched to upstream, delete the
+/// `current_thread_index` clause (keep the `current_num_threads` one) or
+/// every `pool.install(|| kernel(..))` call site silently serializes.
+#[inline]
+fn forking_possible() -> bool {
+    rayon::current_num_threads() > 1 && rayon::current_thread_index().is_none()
+}
+
 /// Whether an attention-style kernel over `rows` independent units, each
 /// touching `keys × d` elements, is worth forking onto the rayon pool.
 #[inline]
 pub fn worth_parallelizing(rows: usize, keys: usize, d: usize) -> bool {
-    rows >= 16 && rows * keys * d >= 1 << 15 && rayon::current_num_threads() > 1
+    rows >= 16 && rows * keys * d >= 1 << 15 && forking_possible()
 }
 
 /// Whether a matmul over `rows` output rows is worth forking.
 #[inline]
 pub fn worth_parallelizing_matmul(rows: usize) -> bool {
-    rows >= MATMUL_MIN_ROWS && rayon::current_num_threads() > 1
+    rows >= MATMUL_MIN_ROWS && forking_possible()
+}
+
+/// Whether a fork over `units` independent work items, each touching
+/// roughly `elems_per_unit` elements, is worth it. Unlike
+/// [`worth_parallelizing`] there is no minimum unit count beyond "more
+/// than one": admission-style workloads (prompt×head prefill passes)
+/// have few, very large units, where even a 2-way fork pays for itself.
+#[inline]
+pub fn worth_parallelizing_units(units: usize, elems_per_unit: usize) -> bool {
+    units >= 2 && units.saturating_mul(elems_per_unit) >= 1 << 15 && forking_possible()
 }
 
 #[cfg(test)]
@@ -61,5 +94,51 @@ mod tests {
             .unwrap()
             .install(|| worth_parallelizing(1024, 1024, 64));
         assert!(!forked);
+    }
+
+    #[test]
+    fn unit_threshold_forks_few_huge_units_but_not_tiny_ones() {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                // Two 4096-token prompt×head prefill passes: must fork.
+                assert!(worth_parallelizing_units(2, 4096 * 4096 / 2 * 64));
+                // A single unit, or simulator-sized units, must not.
+                assert!(!worth_parallelizing_units(1, 1 << 30));
+                assert!(!worth_parallelizing_units(8, 16));
+            });
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| worth_parallelizing_units(2, 1 << 30));
+        assert!(!one, "1-thread pools never fork");
+    }
+
+    #[test]
+    fn worker_threads_never_fork_again() {
+        // Inside a pool worker, nested parallel calls run inline — the
+        // threshold must send them down the serial entry.
+        use rayon::prelude::*;
+        let nested: Vec<(bool, bool)> = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                (0..4usize)
+                    .into_par_iter()
+                    .map(|_| {
+                        (
+                            worth_parallelizing(1024, 1024, 64),
+                            worth_parallelizing_matmul(256),
+                        )
+                    })
+                    .collect()
+            });
+        for (attn, mm) in nested {
+            assert!(!attn && !mm);
+        }
     }
 }
