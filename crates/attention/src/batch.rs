@@ -41,9 +41,115 @@
 //! cache layout, block size, and admit/retire schedule (property-tested).
 
 use crate::multihead::MultiHeadConfig;
-use fa_numerics::{KahanSum, OnlineSoftmax};
+use fa_numerics::{KahanSum, OnlineSoftmax, BF16};
 use fa_tensor::{ops, Matrix, Scalar};
 use rayon::prelude::*;
+
+/// Element-format policy for cache blocks — the "mixed-format KV" lever.
+///
+/// `F64` keeps every block in the engine's native element format (the
+/// PR-3 behaviour and the bit-pinned golden path). `Bf16` rounds every
+/// appended row to BF16 on the way in, quartering the bytes every decode
+/// pass streams. `Mixed` keeps a recent *burst* of blocks native — so
+/// chunked prompt admission and fresh-token scoring run on full-precision
+/// rows through the f64 dot kernels — and demotes blocks that age out of
+/// the burst to BF16 in place (their native storage returns to the free
+/// list), so steady-state decode streams BF16 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvFormat {
+    /// All blocks stay in the native element format.
+    F64,
+    /// Rows are rounded to BF16 (RNE, via [`round_bf16`]) on append.
+    Bf16,
+    /// The newest `burst_blocks` **full** blocks (plus the block currently
+    /// being filled) stay native; older full blocks are demoted to BF16
+    /// when a new block is claimed.
+    Mixed {
+        /// Full native blocks retained per sequence before demotion.
+        burst_blocks: usize,
+    },
+}
+
+impl KvFormat {
+    /// Whether appended rows are stored rounded to BF16 immediately.
+    #[inline]
+    fn appends_bf16(self) -> bool {
+        matches!(self, KvFormat::Bf16)
+    }
+}
+
+/// Block-retention policy — the "eviction beyond `retire`" lever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Blocks live until the sequence retires (the PR-3 behaviour).
+    RetainAll,
+    /// Blocks that fall entirely below the sliding attention window
+    /// return to the free list mid-sequence, bounding per-sequence cache
+    /// memory at `window_blocks + 1` blocks. The effective attention
+    /// window is `window_blocks · block_rows` tokens; the engine masks it
+    /// through [`crate::AttentionConfig::visible_range`] exactly like a
+    /// configured sliding window, so outputs are bit-identical to a
+    /// retain-all engine whose head config carries that window.
+    SlidingWindow {
+        /// Whole blocks retained behind the newest position.
+        window_blocks: usize,
+    },
+}
+
+impl EvictionPolicy {
+    /// The eviction window in tokens, if bounded.
+    #[inline]
+    pub fn window_tokens(self, block_rows: usize) -> Option<usize> {
+        match self {
+            EvictionPolicy::RetainAll => None,
+            EvictionPolicy::SlidingWindow { window_blocks } => Some(window_blocks * block_rows),
+        }
+    }
+}
+
+/// The cache's **single** BF16 rounding helper:
+/// [`fa_numerics::BF16::from_f64`], i.e. round-to-nearest-even staged
+/// through `f32` (f64→f32 RNE, then f32→BF16 RNE — the same widening
+/// hardware pipeline every conversion in this workspace models; for f64
+/// inputs within 2⁻²⁵ of a BF16 tie this double rounding can differ from
+/// a single direct f64→BF16 RNE, exactly as documented on the helper).
+/// Every path that narrows a cached element — direct BF16 appends under
+/// [`KvFormat::Bf16`] and in-place block demotion under
+/// [`KvFormat::Mixed`] — goes through this one function, so the two
+/// paths can never disagree on rounding again (one previously rounded
+/// RNE while the other truncated mantissa bits; the regression tests pin
+/// tie cases that distinguish the two).
+#[inline]
+pub fn round_bf16<T: Scalar>(x: T) -> BF16 {
+    BF16::from_f64(x.to_f64())
+}
+
+/// Default bound on prompt tokens processed per pending prompt per
+/// [`DecodeBatch::prefill_step`]: large enough to amortize the fork, small
+/// enough that a decode step never waits on more than a block or two of
+/// prefill work per admission.
+pub const DEFAULT_PREFILL_CHUNK: usize = 32;
+
+/// A sequence's handle to one arena block: which arena (native or BF16)
+/// and the block index within it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Block index within its arena.
+    pub index: usize,
+    /// `true` when the block lives in the BF16 arena (demoted or
+    /// direct-appended BF16 rows).
+    pub bf16: bool,
+}
+
+/// What one append did beyond storing the row: which logical position
+/// ranges were demoted to BF16 (the engine recomputes those rows'
+/// checksum inputs from the rounded values).
+#[derive(Clone, Debug, Default)]
+pub struct AppendOutcome {
+    /// Logical position ranges whose rows were demoted by this append
+    /// (empty on most appends; at most one block's worth per claim).
+    pub demoted: Vec<core::ops::Range<usize>>,
+}
 
 /// Physical arrangement of a cache block's `block_rows × width` elements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +166,27 @@ pub enum KvLayout {
     HeadMajor,
 }
 
+/// One block's key/value views for a single head, tagged with the block's
+/// storage format — the scoring kernels pick the matching dot path per
+/// block (native [`ops::dot_then_scale_rows`] vs the mixed-operand
+/// [`ops::dot_then_scale_rows_bf16`]).
+pub enum HeadBlockData<'a, T> {
+    /// The block stores the cache's native element format.
+    Native {
+        /// Key view for this head.
+        k: &'a [T],
+        /// Value view for this head.
+        v: &'a [T],
+    },
+    /// The block was demoted to (or appended as) BF16.
+    Demoted {
+        /// Key view for this head, BF16-rounded.
+        k: &'a [BF16],
+        /// Value view for this head, BF16-rounded.
+        v: &'a [BF16],
+    },
+}
+
 /// One block's view of a single head's cached rows, yielded by
 /// [`KvCache::head_stream`]: row `r` of the block lives at
 /// `k[r·stride .. r·stride + head_dim]` (same addressing for `v`).
@@ -68,13 +195,11 @@ pub struct HeadBlock<'a, T> {
     pub first: usize,
     /// Valid (appended) rows in this block.
     pub rows: usize,
-    /// Key view for this head.
-    pub k: &'a [T],
-    /// Value view for this head.
-    pub v: &'a [T],
     /// Distance between consecutive rows in the views: `head_dim` for
     /// head-major blocks (one contiguous span), `width` for token-major.
     pub stride: usize,
+    /// Format-tagged key/value views.
+    pub data: HeadBlockData<'a, T>,
 }
 
 /// A paged key/value cache: rows of `num_heads · head_dim` elements stored
@@ -106,25 +231,40 @@ pub struct KvCache<T> {
     width: usize,
     block_rows: usize,
     layout: KvLayout,
+    format: KvFormat,
+    eviction: EvictionPolicy,
     k_arena: Vec<T>,
     v_arena: Vec<T>,
+    /// BF16 side arenas holding demoted (or direct-appended BF16) blocks;
+    /// same block geometry as the native arenas.
+    k_arena16: Vec<BF16>,
+    v_arena16: Vec<BF16>,
     seqs: Vec<SeqBlocks>,
-    /// Blocks owned by no live sequence, ready for reuse (LIFO).
+    /// Native-arena blocks owned by no live sequence, ready for reuse
+    /// (LIFO).
     free_blocks: Vec<usize>,
+    /// BF16-arena blocks ready for reuse.
+    free_blocks16: Vec<usize>,
     /// Sequence slots whose owner retired, ready for reuse.
     free_seqs: Vec<usize>,
-    /// Total block claims served from the free list (observability).
+    /// Total block claims served from either free list (observability).
     recycled_blocks: usize,
 }
 
 #[derive(Clone, Debug)]
 struct SeqBlocks {
-    /// Arena block indices owned by this sequence, in position order.
-    blocks: Vec<usize>,
-    /// Number of appended rows.
+    /// Retained arena blocks owned by this sequence, in position order.
+    blocks: Vec<BlockRef>,
+    /// Logical position of `blocks[0]`'s first row — a multiple of
+    /// `block_rows`, advanced past evicted leading blocks (0 under
+    /// [`EvictionPolicy::RetainAll`]).
+    start: usize,
+    /// Logical sequence length, **including** the evicted prefix.
     len: usize,
+    /// Rows demoted to BF16 so far (observability).
+    demoted_rows: usize,
     /// Whether the slot's owner retired (blocks returned to the free
-    /// list; the slot awaits reuse by a later `add_sequence`).
+    /// lists; the slot awaits reuse by a later `add_sequence`).
     retired: bool,
 }
 
@@ -150,7 +290,8 @@ impl<T: Scalar> KvCache<T> {
         Self::with_layout(num_heads, head_dim, block_rows, KvLayout::HeadMajor)
     }
 
-    /// Creates an empty cache with an explicit layout.
+    /// Creates an empty cache with an explicit layout and the default
+    /// policy (native format, retain-all).
     ///
     /// # Panics
     ///
@@ -161,22 +302,71 @@ impl<T: Scalar> KvCache<T> {
         block_rows: usize,
         layout: KvLayout,
     ) -> Self {
+        Self::with_policy(
+            num_heads,
+            head_dim,
+            block_rows,
+            layout,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        )
+    }
+
+    /// Creates an empty cache with explicit format and eviction policies
+    /// — the full policy-layer constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry parameter is zero, or if a sliding-window
+    /// eviction policy has `window_blocks == 0` (the block being filled
+    /// must always be retained).
+    pub fn with_policy(
+        num_heads: usize,
+        head_dim: usize,
+        block_rows: usize,
+        layout: KvLayout,
+        format: KvFormat,
+        eviction: EvictionPolicy,
+    ) -> Self {
         assert!(num_heads > 0, "num_heads must be positive");
         assert!(head_dim > 0, "head_dim must be positive");
         assert!(block_rows > 0, "block_rows must be positive");
+        if let EvictionPolicy::SlidingWindow { window_blocks } = eviction {
+            assert!(window_blocks > 0, "window_blocks must be positive");
+        }
         KvCache {
             heads: num_heads,
             head_dim,
             width: num_heads * head_dim,
             block_rows,
             layout,
+            format,
+            eviction,
             k_arena: Vec::new(),
             v_arena: Vec::new(),
+            k_arena16: Vec::new(),
+            v_arena16: Vec::new(),
             seqs: Vec::new(),
             free_blocks: Vec::new(),
+            free_blocks16: Vec::new(),
             free_seqs: Vec::new(),
             recycled_blocks: 0,
         }
+    }
+
+    /// The block element-format policy.
+    pub fn format(&self) -> KvFormat {
+        self.format
+    }
+
+    /// The block retention policy.
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// The eviction window in tokens, if bounded.
+    pub fn eviction_window_tokens(&self) -> Option<usize> {
+        self.eviction.window_tokens(self.block_rows)
     }
 
     /// Row width (elements per cached key/value row, all heads).
@@ -223,23 +413,55 @@ impl<T: Scalar> KvCache<T> {
         self.seqs[seq].retired
     }
 
-    /// Total blocks carved from the arena so far.
+    /// Total blocks carved from the **native** arena so far.
     pub fn allocated_blocks(&self) -> usize {
         self.k_arena.len() / (self.block_rows * self.width)
     }
 
-    /// Blocks currently on the free list.
+    /// Total blocks carved from the **BF16** arena so far.
+    pub fn allocated_blocks16(&self) -> usize {
+        self.k_arena16.len() / (self.block_rows * self.width)
+    }
+
+    /// Native-arena blocks currently on the free list.
     pub fn free_block_list(&self) -> &[usize] {
         &self.free_blocks
     }
 
-    /// The block indices owned by sequence `seq`, in position order.
+    /// BF16-arena blocks currently on the free list.
+    pub fn free_block_list16(&self) -> &[usize] {
+        &self.free_blocks16
+    }
+
+    /// The arena blocks retained by sequence `seq`, in position order
+    /// (evicted leading blocks are gone; see
+    /// [`first_retained`](Self::first_retained)).
     ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range.
-    pub fn seq_blocks(&self, seq: usize) -> &[usize] {
+    pub fn seq_blocks(&self, seq: usize) -> &[BlockRef] {
         &self.seqs[seq].blocks
+    }
+
+    /// Logical position of the oldest retained row of sequence `seq` —
+    /// equivalently, the number of evicted leading rows (0 under
+    /// [`EvictionPolicy::RetainAll`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn first_retained(&self, seq: usize) -> usize {
+        self.live(seq).start
+    }
+
+    /// Rows of sequence `seq` demoted to BF16 so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn demoted_rows(&self, seq: usize) -> usize {
+        self.live(seq).demoted_rows
     }
 
     /// Total block claims served from the free list instead of growing
@@ -251,26 +473,25 @@ impl<T: Scalar> KvCache<T> {
     /// Registers a new (empty) sequence and returns its id, reusing a
     /// retired slot when one is available.
     pub fn add_sequence(&mut self) -> usize {
+        let fresh = SeqBlocks {
+            blocks: Vec::new(),
+            start: 0,
+            len: 0,
+            demoted_rows: 0,
+            retired: false,
+        };
         if let Some(seq) = self.free_seqs.pop() {
-            self.seqs[seq] = SeqBlocks {
-                blocks: Vec::new(),
-                len: 0,
-                retired: false,
-            };
+            self.seqs[seq] = fresh;
             return seq;
         }
-        self.seqs.push(SeqBlocks {
-            blocks: Vec::new(),
-            len: 0,
-            retired: false,
-        });
+        self.seqs.push(fresh);
         self.seqs.len() - 1
     }
 
-    /// Retires sequence `seq`: its blocks return to the free list for
-    /// reuse by later admissions, and the slot id becomes reusable by
-    /// [`add_sequence`](Self::add_sequence). Accessing a retired
-    /// sequence's rows panics until the slot is re-registered.
+    /// Retires sequence `seq`: its blocks return to their arenas' free
+    /// lists for reuse by later admissions, and the slot id becomes
+    /// reusable by [`add_sequence`](Self::add_sequence). Accessing a
+    /// retired sequence's rows panics until the slot is re-registered.
     ///
     /// # Panics
     ///
@@ -279,9 +500,16 @@ impl<T: Scalar> KvCache<T> {
         let state = &mut self.seqs[seq];
         assert!(!state.retired, "sequence {seq} already retired");
         let blocks = core::mem::take(&mut state.blocks);
+        state.start = 0;
         state.len = 0;
         state.retired = true;
-        self.free_blocks.extend(blocks);
+        for blk in blocks {
+            if blk.bf16 {
+                self.free_blocks16.push(blk.index);
+            } else {
+                self.free_blocks.push(blk.index);
+            }
+        }
         self.free_seqs.push(seq);
     }
 
@@ -294,11 +522,25 @@ impl<T: Scalar> KvCache<T> {
     /// worst case (one extra block per live sequence) on top of the raw
     /// row count, minus blocks already waiting on the free list.
     pub fn reserve_rows(&mut self, additional_rows: usize) {
+        // Appends land in the BF16 arena under the direct-BF16 format and
+        // in the native arena otherwise (Mixed appends native, then
+        // migrates — its BF16 demand is bounded by the same row count).
+        let appends_bf16 = self.format.appends_bf16();
+        let free_len = if appends_bf16 {
+            self.free_blocks16.len()
+        } else {
+            self.free_blocks.len()
+        };
         let blocks = (additional_rows.div_ceil(self.block_rows) + self.live_sequences())
-            .saturating_sub(self.free_blocks.len());
+            .saturating_sub(free_len);
         let elems = blocks * self.block_rows * self.width;
-        self.k_arena.reserve(elems);
-        self.v_arena.reserve(elems);
+        if appends_bf16 {
+            self.k_arena16.reserve(elems);
+            self.v_arena16.reserve(elems);
+        } else {
+            self.k_arena.reserve(elems);
+            self.v_arena.reserve(elems);
+        }
     }
 
     fn live(&self, seq: usize) -> &SeqBlocks {
@@ -316,83 +558,241 @@ impl<T: Scalar> KvCache<T> {
         self.live(seq).len
     }
 
+    /// Claims a block in the requested arena — from its free list when
+    /// possible, growing the arena otherwise.
+    fn claim_block(&mut self, bf16: bool) -> usize {
+        let block_elems = self.block_rows * self.width;
+        if bf16 {
+            if let Some(freed) = self.free_blocks16.pop() {
+                self.recycled_blocks += 1;
+                return freed;
+            }
+            let fresh = self.k_arena16.len() / block_elems;
+            self.k_arena16
+                .resize(self.k_arena16.len() + block_elems, BF16::ZERO);
+            self.v_arena16
+                .resize(self.v_arena16.len() + block_elems, BF16::ZERO);
+            fresh
+        } else {
+            if let Some(freed) = self.free_blocks.pop() {
+                self.recycled_blocks += 1;
+                return freed;
+            }
+            let fresh = self.k_arena.len() / block_elems;
+            self.k_arena
+                .resize(self.k_arena.len() + block_elems, T::zero());
+            self.v_arena
+                .resize(self.v_arena.len() + block_elems, T::zero());
+            fresh
+        }
+    }
+
+    /// Demotes sequence `seq`'s full native blocks beyond the newest
+    /// `burst` to BF16 **in place via the free-list arena**: each demoted
+    /// block's rows are rounded (RNE, [`round_bf16`]) into a claimed BF16
+    /// block, its native storage returns to the native free list for
+    /// later admissions, and its [`BlockRef`] flips arenas. Returns the
+    /// demoted logical position ranges so the engine can recompute those
+    /// rows' checksum inputs from the rounded values.
+    fn demote_beyond_burst(&mut self, seq: usize, burst: usize) -> Vec<core::ops::Range<usize>> {
+        let block_elems = self.block_rows * self.width;
+        // The newest block is the freshly-claimed empty one; everything
+        // before it is full.
+        let full_blocks = self.seqs[seq].blocks.len() - 1;
+        let demote_until = full_blocks.saturating_sub(burst);
+        let mut demoted = Vec::new();
+        for i in 0..demote_until {
+            if self.seqs[seq].blocks[i].bf16 {
+                continue;
+            }
+            let native = self.seqs[seq].blocks[i].index;
+            let b16 = self.claim_block(true);
+            let (src, dst) = (native * block_elems, b16 * block_elems);
+            for e in 0..block_elems {
+                self.k_arena16[dst + e] = round_bf16(self.k_arena[src + e]);
+                self.v_arena16[dst + e] = round_bf16(self.v_arena[src + e]);
+            }
+            self.free_blocks.push(native);
+            self.seqs[seq].blocks[i] = BlockRef {
+                index: b16,
+                bf16: true,
+            };
+            let state = &mut self.seqs[seq];
+            state.demoted_rows += self.block_rows;
+            let first = state.start + i * self.block_rows;
+            demoted.push(first..first + self.block_rows);
+        }
+        demoted
+    }
+
+    /// Returns leading blocks that fell entirely below `anchor`'s sliding
+    /// window to their free lists. `anchor` is the oldest position whose
+    /// attention pass may still run — the newest row during decode, the
+    /// first query of an in-flight prefill chunk during chunked admission
+    /// (later appends in a chunk must not evict rows the chunk's earlier
+    /// queries still attend to). The block holding `anchor` is never
+    /// evictable (`window_blocks ≥ 1`).
+    fn evict_below_anchor(&mut self, seq: usize, anchor: usize) {
+        let Some(window) = self.eviction.window_tokens(self.block_rows) else {
+            return;
+        };
+        let lo = (anchor + 1).saturating_sub(window);
+        while !self.seqs[seq].blocks.is_empty() && self.seqs[seq].start + self.block_rows <= lo {
+            let blk = self.seqs[seq].blocks.remove(0);
+            self.seqs[seq].start += self.block_rows;
+            if blk.bf16 {
+                self.free_blocks16.push(blk.index);
+            } else {
+                self.free_blocks.push(blk.index);
+            }
+        }
+    }
+
+    /// Catches eviction up to the newest position — called after a
+    /// prefill chunk's passes complete, releasing rows the chunk's
+    /// anchored appends had to retain.
+    pub fn evict_to_newest(&mut self, seq: usize) {
+        let len = self.live(seq).len;
+        if len > 0 {
+            self.evict_below_anchor(seq, len - 1);
+        }
+    }
+
     /// Appends one key/value row to sequence `seq`, claiming a block from
     /// the free list (or a fresh arena block) when the current one is
-    /// full.
+    /// full, then runs the policy maintenance the claim triggered:
+    /// burst-exceeding blocks demote to BF16 ([`KvFormat::Mixed`]) and
+    /// out-of-window leading blocks evict
+    /// ([`EvictionPolicy::SlidingWindow`]).
     ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range or retired, or a slice length
     /// differs from the row width.
-    pub fn append(&mut self, seq: usize, k: &[T], v: &[T]) {
+    pub fn append(&mut self, seq: usize, k: &[T], v: &[T]) -> AppendOutcome {
+        let anchor = self.live(seq).len; // the new row's position
+        self.append_anchored(seq, k, v, anchor)
+    }
+
+    /// [`append`](Self::append) with an explicit eviction anchor: the
+    /// oldest position whose attention pass is still outstanding. Chunked
+    /// prefill appends a whole chunk of rows before any of the chunk's
+    /// queries score, so it anchors eviction at the chunk's first query —
+    /// otherwise a window narrower than the chunk would evict rows those
+    /// queries still attend to. Follow with
+    /// [`evict_to_newest`](Self::evict_to_newest) once the passes ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or a slice length
+    /// differs from the row width.
+    pub fn append_anchored(
+        &mut self,
+        seq: usize,
+        k: &[T],
+        v: &[T],
+        anchor: usize,
+    ) -> AppendOutcome {
         assert_eq!(k.len(), self.width, "key row width mismatch");
         assert_eq!(v.len(), self.width, "value row width mismatch");
         let block_elems = self.block_rows * self.width;
         let state = self.live(seq);
-        if state.len == state.blocks.len() * self.block_rows {
+        let local = state.len - state.start;
+        let mut outcome = AppendOutcome::default();
+        if local == state.blocks.len() * self.block_rows {
             // Current block full (or first append): claim the next block,
-            // recycling a retired sequence's block when one is free.
-            let block = if let Some(freed) = self.free_blocks.pop() {
-                self.recycled_blocks += 1;
-                freed
-            } else {
-                let fresh = self.k_arena.len() / block_elems;
-                self.k_arena
-                    .resize(self.k_arena.len() + block_elems, T::zero());
-                self.v_arena
-                    .resize(self.v_arena.len() + block_elems, T::zero());
-                fresh
-            };
-            self.seqs[seq].blocks.push(block);
+            // recycling a retired block when one is free.
+            let bf16 = self.format.appends_bf16();
+            let block = self.claim_block(bf16);
+            self.seqs[seq].blocks.push(BlockRef { index: block, bf16 });
+            if let KvFormat::Mixed { burst_blocks } = self.format {
+                outcome.demoted = self.demote_beyond_burst(seq, burst_blocks);
+            }
         }
         let state = &self.seqs[seq];
-        let block = state.blocks[state.len / self.block_rows];
-        let r = state.len % self.block_rows;
-        let base = block * block_elems;
+        let local = state.len - state.start;
+        let blk = state.blocks[local / self.block_rows];
+        let r = local % self.block_rows;
+        let base = blk.index * block_elems;
+        let d = self.head_dim;
+        // Lane offsets by layout: token-major rows are contiguous; the
+        // head-major scatter happens once on append (cold path: one row
+        // per step) so every later read of the head panels streams
+        // contiguously (hot path: the whole history per step).
+        let mut write_head = |h: usize, slot: usize| {
+            if blk.bf16 {
+                for (e, (&kx, &vx)) in k[h * d..(h + 1) * d]
+                    .iter()
+                    .zip(&v[h * d..(h + 1) * d])
+                    .enumerate()
+                {
+                    self.k_arena16[slot + e] = round_bf16(kx);
+                    self.v_arena16[slot + e] = round_bf16(vx);
+                }
+            } else {
+                self.k_arena[slot..slot + d].copy_from_slice(&k[h * d..(h + 1) * d]);
+                self.v_arena[slot..slot + d].copy_from_slice(&v[h * d..(h + 1) * d]);
+            }
+        };
         match self.layout {
             KvLayout::TokenMajor => {
-                let slot = base + r * self.width;
-                self.k_arena[slot..slot + self.width].copy_from_slice(k);
-                self.v_arena[slot..slot + self.width].copy_from_slice(v);
+                for h in 0..self.heads {
+                    write_head(h, base + r * self.width + h * d);
+                }
             }
             KvLayout::HeadMajor => {
-                // Scatter once on append (cold path: one row per step) so
-                // every later read of the head panels streams contiguously
-                // (hot path: the whole history per step).
-                let d = self.head_dim;
                 for h in 0..self.heads {
-                    let slot = base + h * self.block_rows * d + r * d;
-                    self.k_arena[slot..slot + d].copy_from_slice(&k[h * d..(h + 1) * d]);
-                    self.v_arena[slot..slot + d].copy_from_slice(&v[h * d..(h + 1) * d]);
+                    write_head(h, base + (h * self.block_rows + r) * d);
                 }
             }
         }
         self.seqs[seq].len += 1;
+        self.evict_below_anchor(seq, anchor);
+        outcome
     }
 
-    /// Element offset of `(seq, position, head)`'s first lane in the
-    /// arenas.
-    fn head_slot(&self, seq: usize, i: usize, head: usize) -> usize {
+    /// The block (and row-within-block) holding logical position `i` of
+    /// sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the cached length or below the retained
+    /// window (evicted).
+    fn block_of(&self, seq: usize, i: usize) -> (BlockRef, usize) {
         let state = self.live(seq);
         assert!(i < state.len, "position {i} out of {} cached", state.len);
-        let block = state.blocks[i / self.block_rows];
-        let r = i % self.block_rows;
-        let base = block * self.block_rows * self.width;
+        assert!(
+            i >= state.start,
+            "position {i} evicted (first retained: {})",
+            state.start
+        );
+        let local = i - state.start;
+        (
+            state.blocks[local / self.block_rows],
+            local % self.block_rows,
+        )
+    }
+
+    /// Element offset of row `r`, head `head` within a block.
+    #[inline]
+    fn lane_offset(&self, r: usize, head: usize) -> usize {
         match self.layout {
-            KvLayout::TokenMajor => base + r * self.width + head * self.head_dim,
-            KvLayout::HeadMajor => base + (head * self.block_rows + r) * self.head_dim,
+            KvLayout::TokenMajor => r * self.width + head * self.head_dim,
+            KvLayout::HeadMajor => (head * self.block_rows + r) * self.head_dim,
         }
     }
 
     /// The cached key row at position `i` of sequence `seq`, gathered
     /// across heads (a copy — with the head-major layout a full row is
-    /// not contiguous).
+    /// not contiguous). Demoted rows widen their BF16 values back into
+    /// `T` (exact: BF16 ⊂ every wider format here).
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range or retired, or `i` is out of range.
+    /// Panics if `seq` is out of range or retired, or `i` is out of range
+    /// or evicted.
     pub fn key_row(&self, seq: usize, i: usize) -> Vec<T> {
-        self.gather_row(&self.k_arena, seq, i)
+        self.gather_row(true, seq, i)
     }
 
     /// The cached value row at position `i` of sequence `seq` (a copy,
@@ -400,18 +800,64 @@ impl<T: Scalar> KvCache<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is out of range or retired, or `i` is out of range.
+    /// Panics if `seq` is out of range or retired, or `i` is out of range
+    /// or evicted.
     pub fn value_row(&self, seq: usize, i: usize) -> Vec<T> {
-        self.gather_row(&self.v_arena, seq, i)
+        self.gather_row(false, seq, i)
     }
 
-    fn gather_row(&self, arena: &[T], seq: usize, i: usize) -> Vec<T> {
+    fn gather_row(&self, keys: bool, seq: usize, i: usize) -> Vec<T> {
+        let (blk, r) = self.block_of(seq, i);
+        let base = blk.index * self.block_rows * self.width;
+        let d = self.head_dim;
         let mut out = Vec::with_capacity(self.width);
         for h in 0..self.heads {
-            let slot = self.head_slot(seq, i, h);
-            out.extend_from_slice(&arena[slot..slot + self.head_dim]);
+            let slot = base + self.lane_offset(r, h);
+            if blk.bf16 {
+                let arena = if keys {
+                    &self.k_arena16
+                } else {
+                    &self.v_arena16
+                };
+                out.extend(
+                    arena[slot..slot + d]
+                        .iter()
+                        .map(|x| T::from_f64(x.to_f64())),
+                );
+            } else {
+                let arena = if keys { &self.k_arena } else { &self.v_arena };
+                out.extend_from_slice(&arena[slot..slot + d]);
+            }
         }
         out
+    }
+
+    /// The sum of the stored value lanes of `(seq, position, head)`,
+    /// widened to f64 in lane order — the Eq. 4 `sumrow` input of the
+    /// checksum lane, computed from **what the cache actually holds** so
+    /// demoted/BF16-stored rows contribute their rounded values and the
+    /// per-token verdict stays exact across format boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `i` is out of range
+    /// or evicted, or `head` is out of range.
+    pub fn value_head_sum(&self, seq: usize, i: usize, head: usize) -> f64 {
+        assert!(head < self.heads, "head {head} out of {}", self.heads);
+        let (blk, r) = self.block_of(seq, i);
+        let slot = blk.index * self.block_rows * self.width + self.lane_offset(r, head);
+        let d = self.head_dim;
+        if blk.bf16 {
+            self.v_arena16[slot..slot + d]
+                .iter()
+                .map(|x| x.to_f64())
+                .sum()
+        } else {
+            self.v_arena[slot..slot + d]
+                .iter()
+                .map(|x| x.to_f64())
+                .sum()
+        }
     }
 
     /// Iterates sequence `seq` block by block as
@@ -433,10 +879,15 @@ impl<T: Scalar> KvCache<T> {
         );
         let state = self.live(seq);
         let block_elems = self.block_rows * self.width;
-        state.blocks.iter().enumerate().map(move |(bi, &block)| {
-            let first = bi * self.block_rows;
+        state.blocks.iter().enumerate().map(move |(bi, &blk)| {
+            assert!(
+                !blk.bf16,
+                "blocks() requires native blocks; mixed-format caches stream \
+                 through head_stream"
+            );
+            let first = state.start + bi * self.block_rows;
             let rows = (state.len - first).min(self.block_rows);
-            let base = block * block_elems;
+            let base = blk.index * block_elems;
             (
                 first,
                 &self.k_arena[base..base + rows * self.width],
@@ -448,7 +899,10 @@ impl<T: Scalar> KvCache<T> {
     /// Streams one head of sequence `seq` block by block — the decode
     /// kernels' access path. With the head-major layout every yielded
     /// view is one pure contiguous span (`stride == head_dim`); with
-    /// token-major the views stride at `width`.
+    /// token-major the views stride at `width`. Each block carries its
+    /// storage format ([`HeadBlockData`]); evicted leading blocks are
+    /// simply absent (`first` starts at
+    /// [`first_retained`](Self::first_retained)).
     ///
     /// # Panics
     ///
@@ -463,17 +917,27 @@ impl<T: Scalar> KvCache<T> {
             KvLayout::TokenMajor => (head * d, self.width),
             KvLayout::HeadMajor => (head * self.block_rows * d, d),
         };
-        state.blocks.iter().enumerate().map(move |(bi, &block)| {
-            let first = bi * self.block_rows;
+        state.blocks.iter().enumerate().map(move |(bi, &blk)| {
+            let first = state.start + bi * self.block_rows;
             let rows = (state.len - first).min(self.block_rows);
-            let base = block * block_elems + off;
+            let base = blk.index * block_elems + off;
             let span = (rows - 1) * stride + d;
+            let data = if blk.bf16 {
+                HeadBlockData::Demoted {
+                    k: &self.k_arena16[base..base + span],
+                    v: &self.v_arena16[base..base + span],
+                }
+            } else {
+                HeadBlockData::Native {
+                    k: &self.k_arena[base..base + span],
+                    v: &self.v_arena[base..base + span],
+                }
+            };
             HeadBlock {
                 first,
                 rows,
-                k: &self.k_arena[base..base + span],
-                v: &self.v_arena[base..base + span],
                 stride,
+                data,
             }
         })
     }
@@ -562,31 +1026,86 @@ struct HeadState {
 /// assert_eq!(out[0].output, vec![2.0, 4.0, 6.0, 8.0]);
 /// assert!(out[0].residual().abs() < 1e-12);
 /// ```
+/// A prompt enqueued for chunked admission: the staged Q/K/V, the chunk
+/// cursor, and the output/checksum state accumulated chunk by chunk.
 #[derive(Clone, Debug)]
-pub struct DecodeBatch<T> {
+struct PendingPrompt<T: Scalar> {
+    q: Matrix<T>,
+    k: Matrix<T>,
+    v: Matrix<T>,
+    /// Next prompt row to cache and score (rows `0..next` are done).
+    next: usize,
+    /// Prompt output rows, filled as chunks complete.
+    output: Matrix<f64>,
+    /// Running prompt checksum totals (per-chunk Kahan folds).
+    predicted: f64,
+    actual: f64,
+}
+
+/// Everything the engine tracks for one sequence slot beyond the cache
+/// blocks themselves: checksum inputs and totals, coverage counters, and
+/// the chunked-admission queue. One `SequenceState` per slot replaces the
+/// PR-3 parallel vectors, so policy state (pending prompts, demotion
+/// bookkeeping) has one home.
+#[derive(Clone, Debug)]
+struct SequenceState<T: Scalar> {
+    /// `sumrow_h(v_i)` for every cached position `i` and head `h`, stored
+    /// `i·H + h` — the Eq. 4 vector the checksum lane consumes, computed
+    /// from the **stored** row (so BF16-rounded rows contribute their
+    /// rounded values) and recomputed for demoted ranges. Entries for
+    /// evicted positions are retained but never read again (masked).
+    /// Cleared on retire and rebuilt on slot reuse, so recycled blocks
+    /// never leak a previous owner's checksum inputs.
+    sumrows: Vec<f64>,
+    /// Running (predicted, actual) totals over the admitted prompt and
+    /// all checked decoded tokens — the session-level Alg. 3 line 11
+    /// state. Survives block recycling (it lives outside the arena) and
+    /// is reset when a retired slot is reused.
+    totals: (f64, f64),
+    /// Prompt tokens cached so far (admitted, enqueued-and-chunk-
+    /// processed, or prefilled).
+    prompt_tokens: usize,
+    /// Tokens decoded through [`DecodeBatch::step_all`]
+    /// (checksum-covered).
+    checked_steps: usize,
+    /// Tokens decoded through [`DecodeBatch::step_all_unchecked`], which
+    /// the session verdict does **not** cover.
+    unchecked_steps: usize,
+    /// Prompt chunks still waiting for prefill passes.
+    pending: Option<PendingPrompt<T>>,
+    /// The completed admission, parked until
+    /// [`DecodeBatch::take_admitted`] collects it.
+    ready: Option<AdmittedPrompt>,
+}
+
+impl<T: Scalar> SequenceState<T> {
+    fn fresh() -> Self {
+        SequenceState {
+            sumrows: Vec::new(),
+            totals: (0.0, 0.0),
+            prompt_tokens: 0,
+            checked_steps: 0,
+            unchecked_steps: 0,
+            pending: None,
+            ready: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct DecodeBatch<T: Scalar> {
     cfg: MultiHeadConfig,
     cache: KvCache<T>,
-    /// Per sequence: `sumrow_h(v_i)` for every cached position `i` and
-    /// head `h`, stored `i·H + h` — the Eq. 4 vector the checksum lane
-    /// consumes, computed once per appended token. Cleared on retire and
-    /// rebuilt on slot reuse, so recycled blocks never leak a previous
-    /// owner's checksum inputs.
-    sumrows: Vec<Vec<f64>>,
-    /// Per sequence: running (predicted, actual) totals over the admitted
-    /// prompt and all checked decoded tokens — the session-level Alg. 3
-    /// line 11 state. Survives block recycling (it lives outside the
-    /// arena) and is reset when a retired slot is reused.
-    totals: Vec<(f64, f64)>,
-    /// Per sequence: prompt tokens cached without per-token decode
-    /// checking (admitted or prefilled).
-    prompt_tokens: Vec<usize>,
-    /// Per sequence: tokens decoded through [`step_all`](Self::step_all)
-    /// (checksum-covered).
-    checked_steps: Vec<usize>,
-    /// Per sequence: tokens decoded through
-    /// [`step_all_unchecked`](DecodeBatch::step_all_unchecked), which the
-    /// session verdict does **not** cover.
-    unchecked_steps: Vec<usize>,
+    /// One state record per sequence slot (live or retired).
+    seqs: Vec<SequenceState<T>>,
+    /// Maximum prompt tokens processed per pending prompt per
+    /// [`prefill_step`](Self::prefill_step) (and hence per
+    /// [`step_all`](Self::step_all)).
+    prefill_chunk: usize,
+    /// The effective sliding mask in tokens: the tighter of the head
+    /// config's window and the eviction policy's window. `None` = full
+    /// causal history.
+    mask_window: Option<usize>,
 }
 
 impl<T: Scalar> DecodeBatch<T> {
@@ -610,26 +1129,80 @@ impl<T: Scalar> DecodeBatch<T> {
         Self::with_layout(cfg, block_rows, KvLayout::TokenMajor)
     }
 
-    /// Creates an empty engine with an explicit cache layout.
+    /// Creates an empty engine with an explicit cache layout and the
+    /// default policy (native format, retain-all) — the PR-3 golden path.
     ///
     /// # Panics
     ///
     /// Panics if `block_rows == 0`.
     pub fn with_layout(cfg: MultiHeadConfig, block_rows: usize, layout: KvLayout) -> Self {
+        Self::with_policy(
+            cfg,
+            block_rows,
+            layout,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        )
+    }
+
+    /// Creates an empty engine with explicit cache format and eviction
+    /// policies — the full policy-layer constructor. With
+    /// `KvFormat::F64` + `EvictionPolicy::RetainAll` the engine is
+    /// bit-identical to the PR-3 golden path at every layout and block
+    /// size (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows == 0`, or a sliding-window eviction policy
+    /// has `window_blocks == 0`.
+    pub fn with_policy(
+        cfg: MultiHeadConfig,
+        block_rows: usize,
+        layout: KvLayout,
+        format: KvFormat,
+        eviction: EvictionPolicy,
+    ) -> Self {
+        // Fold the eviction window into the head mask: evicted positions
+        // must be exactly the ones `visible_range` already excludes.
+        let mask_window = match eviction.window_tokens(block_rows) {
+            Some(w) => cfg.head.with_window_at_most(w).sliding_window(),
+            None => cfg.head.sliding_window(),
+        };
         DecodeBatch {
             cfg,
-            cache: KvCache::with_layout(cfg.num_heads, cfg.head.head_dim(), block_rows, layout),
-            sumrows: Vec::new(),
-            totals: Vec::new(),
-            prompt_tokens: Vec::new(),
-            checked_steps: Vec::new(),
-            unchecked_steps: Vec::new(),
+            cache: KvCache::with_policy(
+                cfg.num_heads,
+                cfg.head.head_dim(),
+                block_rows,
+                layout,
+                format,
+                eviction,
+            ),
+            seqs: Vec::new(),
+            prefill_chunk: DEFAULT_PREFILL_CHUNK,
+            mask_window,
         }
     }
 
     /// The head layout.
     pub fn config(&self) -> &MultiHeadConfig {
         &self.cfg
+    }
+
+    /// Maximum prompt tokens each pending prompt advances per
+    /// [`prefill_step`](Self::prefill_step).
+    pub fn prefill_chunk(&self) -> usize {
+        self.prefill_chunk
+    }
+
+    /// Overrides the prefill chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens == 0`.
+    pub fn set_prefill_chunk(&mut self, tokens: usize) {
+        assert!(tokens > 0, "prefill chunk must be positive");
+        self.prefill_chunk = tokens;
     }
 
     /// Read-only view of the paged cache (serving metrics: arena size,
@@ -668,38 +1241,33 @@ impl<T: Scalar> DecodeBatch<T> {
 
     /// Registers a new (empty) sequence and returns its id, reusing a
     /// retired slot (and, transitively, its freed cache blocks) when one
-    /// is available. Per-sequence checksum state for the slot is reset.
+    /// is available. The slot's [`SequenceState`] is reset.
     pub fn add_sequence(&mut self) -> usize {
         let seq = self.cache.add_sequence();
-        if seq == self.sumrows.len() {
-            self.sumrows.push(Vec::new());
-            self.totals.push((0.0, 0.0));
-            self.prompt_tokens.push(0);
-            self.checked_steps.push(0);
-            self.unchecked_steps.push(0);
+        if seq == self.seqs.len() {
+            self.seqs.push(SequenceState::fresh());
         } else {
-            self.sumrows[seq].clear();
-            self.totals[seq] = (0.0, 0.0);
-            self.prompt_tokens[seq] = 0;
-            self.checked_steps[seq] = 0;
-            self.unchecked_steps[seq] = 0;
+            self.seqs[seq] = SequenceState::fresh();
         }
         seq
     }
 
-    /// Retires sequence `seq`: its cache blocks return to the free list
-    /// for later admissions, its sumrow staging is dropped, and the slot
-    /// becomes reusable. The running totals stay readable (for a final
-    /// verdict) until the slot is reused by
-    /// [`add_sequence`](Self::add_sequence) /
-    /// [`admit`](Self::admit).
+    /// Retires sequence `seq`: its cache blocks return to the free lists
+    /// for later admissions, its sumrow staging and any pending prompt
+    /// chunks are dropped, and the slot becomes reusable. The running
+    /// totals stay readable (for a final verdict) until the slot is
+    /// reused by [`add_sequence`](Self::add_sequence) /
+    /// [`admit`](Self::admit) / [`enqueue`](Self::enqueue).
     ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range or already retired.
     pub fn retire(&mut self, seq: usize) {
         self.cache.retire_sequence(seq);
-        self.sumrows[seq] = Vec::new();
+        let state = &mut self.seqs[seq];
+        state.sumrows = Vec::new();
+        state.pending = None;
+        state.ready = None;
     }
 
     /// Pre-fills sequence `seq` from prompt K/V matrices
@@ -717,7 +1285,7 @@ impl<T: Scalar> DecodeBatch<T> {
         for i in 0..k.rows() {
             self.append_token(seq, k.row(i), v.row(i));
         }
-        self.prompt_tokens[seq] += k.rows();
+        self.seqs[seq].prompt_tokens += k.rows();
     }
 
     /// Reserves KV-cache capacity for at least `additional_rows` more
@@ -737,17 +1305,18 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range.
     pub fn global_residual(&self, seq: usize) -> f64 {
-        let (predicted, actual) = self.totals[seq];
+        let (predicted, actual) = self.seqs[seq].totals;
         predicted - actual
     }
 
-    /// Prompt tokens cached for `seq` (admitted or prefilled).
+    /// Prompt tokens cached for `seq` (admitted, chunk-processed, or
+    /// prefilled).
     ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range.
     pub fn prompt_len(&self, seq: usize) -> usize {
-        self.prompt_tokens[seq]
+        self.seqs[seq].prompt_tokens
     }
 
     /// Tokens of `seq` decoded with checksum coverage (via
@@ -757,19 +1326,24 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range.
     pub fn checked_len(&self, seq: usize) -> usize {
-        self.checked_steps[seq]
+        self.seqs[seq].checked_steps
     }
 
     /// Number of tokens of `seq` decoded without checksum coverage (via
     /// [`step_all_unchecked`](Self::step_all_unchecked)). Zero means the
     /// [`global_residual`](Self::global_residual) verdict covers the
-    /// whole decoded history.
+    /// whole decoded history. Demotion and eviction do **not** count
+    /// here: every per-token check completed exactly against the history
+    /// as it stood; the policy boundaries those tokens' inputs have since
+    /// crossed are reported explicitly by
+    /// [`demoted_len`](Self::demoted_len) /
+    /// [`evicted_len`](Self::evicted_len).
     ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range.
     pub fn unchecked_len(&self, seq: usize) -> usize {
-        self.unchecked_steps[seq]
+        self.seqs[seq].unchecked_steps
     }
 
     /// Tokens decoded for `seq` through either decode path. For a live
@@ -780,21 +1354,70 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range.
     pub fn decoded_len(&self, seq: usize) -> usize {
-        self.checked_steps[seq] + self.unchecked_steps[seq]
+        self.seqs[seq].checked_steps + self.seqs[seq].unchecked_steps
+    }
+
+    /// Rows of `seq` demoted to BF16 — rows that left the full-precision
+    /// checked window explicitly; their checksum inputs were recomputed
+    /// from the rounded values, so later per-token verdicts stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn demoted_len(&self, seq: usize) -> usize {
+        self.cache.demoted_rows(seq)
+    }
+
+    /// Rows of `seq` evicted below the sliding window — rows that left
+    /// the attention (and checked) window entirely; the mask guarantees
+    /// no later pass reads them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn evicted_len(&self, seq: usize) -> usize {
+        self.cache.first_retained(seq)
     }
 
     fn append_token(&mut self, seq: usize, k: &[T], v: &[T]) {
-        let d = self.cfg.head.head_dim();
-        self.cache.append(seq, k, v);
-        for h in 0..self.cfg.num_heads {
-            let sumrow: f64 = v[h * d..(h + 1) * d].iter().map(|x| x.to_f64()).sum();
-            self.sumrows[seq].push(sumrow);
+        let anchor = self.cache.seq_len(seq);
+        self.append_token_anchored(seq, k, v, anchor);
+    }
+
+    fn append_token_anchored(&mut self, seq: usize, k: &[T], v: &[T], anchor: usize) {
+        let h = self.cfg.num_heads;
+        let outcome = self.cache.append_anchored(seq, k, v, anchor);
+        let pos = self.cache.seq_len(seq) - 1;
+        // Checksum inputs come from the *stored* row: identical to the
+        // input row for native storage (same values, same lane order),
+        // RNE-rounded for BF16 storage — so the checksum lane always
+        // predicts what the output lanes will actually consume.
+        for hi in 0..h {
+            let sumrow = self.cache.value_head_sum(seq, pos, hi);
+            self.seqs[seq].sumrows.push(sumrow);
+        }
+        // Demoted rows changed value mid-sequence: refresh their sumrows
+        // from the rounded storage. (A range can straddle eviction when
+        // both policies fire on one claim; evicted positions are masked
+        // forever, so skip them.)
+        let first_retained = self.cache.first_retained(seq);
+        for range in outcome.demoted {
+            for p in range {
+                if p < first_retained {
+                    continue;
+                }
+                for hi in 0..h {
+                    self.seqs[seq].sumrows[p * h + hi] = self.cache.value_head_sum(seq, p, hi);
+                }
+            }
         }
     }
 
-    /// Admits one prompt: registers a sequence (reusing retired slots and
-    /// their blocks), caches the prompt K/V, and computes the prompt's
-    /// checked causal self-attention. See [`admit_all`](Self::admit_all).
+    /// Admits one prompt synchronously: registers a sequence (reusing
+    /// retired slots and their blocks), caches the prompt K/V, and
+    /// computes the prompt's checked causal self-attention in one
+    /// unbounded chunk. See [`admit_all`](Self::admit_all);
+    /// [`enqueue`](Self::enqueue) is the chunked form.
     ///
     /// # Panics
     ///
@@ -803,6 +1426,101 @@ impl<T: Scalar> DecodeBatch<T> {
         self.admit_all(&[(q, k, v)])
             .pop()
             .expect("one prompt admitted")
+    }
+
+    /// Enqueues one prompt for **chunked** admission: the sequence id is
+    /// assigned immediately (reusing retired slots), but no prompt token
+    /// is cached or scored yet. Each [`prefill_step`](Self::prefill_step)
+    /// — which [`step_all`](Self::step_all) runs automatically before
+    /// decoding — advances every pending prompt by at most
+    /// [`prefill_chunk`](Self::prefill_chunk) tokens through the batched
+    /// checked prefill, so a long prompt admits across several steps
+    /// instead of stalling the decode batch. Under [`KvFormat::F64`] (and
+    /// any schedule in which no demotion fires mid-prompt) per-query
+    /// outputs are bit-identical to a synchronous [`admit`](Self::admit);
+    /// under [`KvFormat::Mixed`] the chunk boundaries are *part of the
+    /// semantics* — demotion follows the append schedule, so a chunk's
+    /// queries score the burst's recent rows at full precision where a
+    /// synchronous admit (one giant chunk, all rows appended first)
+    /// would already have demoted them. That is the intended "f64
+    /// prefill burst": the policy proptests replay demotion at the exact
+    /// chunk boundaries. The prompt checksums fold per chunk (same
+    /// coverage, chunk-order Kahan rounding) either way. Collect the
+    /// finished admission with [`take_admitted`](Self::take_admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn enqueue(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
+        let dim = self.cfg.model_dim();
+        assert_eq!(q.cols(), dim, "prompt Q width mismatch");
+        assert_eq!(k.cols(), dim, "prompt K width mismatch");
+        assert_eq!(v.cols(), dim, "prompt V width mismatch");
+        assert_eq!(q.rows(), k.rows(), "prompt Q/K row count mismatch");
+        assert_eq!(k.rows(), v.rows(), "prompt K/V row count mismatch");
+        self.enqueue_validated(q, k, v)
+    }
+
+    fn enqueue_validated(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
+        let dim = self.cfg.model_dim();
+        let seq = self.add_sequence();
+        // The pending queue owns its staging (chunks outlive the caller's
+        // borrow). The synchronous admit path pays these clones too —
+        // accepted: one memcpy per prompt matrix is noise next to the
+        // O(N²·d) prefill passes that follow.
+        self.seqs[seq].pending = Some(PendingPrompt {
+            q: q.clone(),
+            k: k.clone(),
+            v: v.clone(),
+            next: 0,
+            output: Matrix::zeros(q.rows(), dim),
+            predicted: 0.0,
+            actual: 0.0,
+        });
+        seq
+    }
+
+    /// Whether sequence `seq` still has prompt chunks waiting for
+    /// prefill passes (such a sequence cannot decode yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn is_pending(&self, seq: usize) -> bool {
+        self.seqs[seq].pending.is_some()
+    }
+
+    /// Prompt tokens of `seq` not yet cached/scored (0 once admission
+    /// completed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn pending_len(&self, seq: usize) -> usize {
+        self.seqs[seq]
+            .pending
+            .as_ref()
+            .map_or(0, |p| p.k.rows() - p.next)
+    }
+
+    /// Collects the completed admission of an [`enqueue`](Self::enqueue)d
+    /// prompt: `Some` exactly once, after its last chunk was processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn take_admitted(&mut self, seq: usize) -> Option<AdmittedPrompt> {
+        self.seqs[seq].ready.take()
+    }
+
+    /// Advances every pending prompt by one bounded chunk (at most
+    /// [`prefill_chunk`](Self::prefill_chunk) tokens each) through the
+    /// batched checked prefill — all pending `prompts × heads` passes in
+    /// one fork. Returns the number of prompt tokens processed (0 when
+    /// nothing is pending). [`step_all`](Self::step_all) calls this
+    /// before decoding, interleaving admission with decode.
+    pub fn prefill_step(&mut self) -> usize {
+        self.advance_pending(self.prefill_chunk, None)
     }
 
     /// Admits a batch of prompts under the fused checksum: every prompt's
@@ -832,9 +1550,6 @@ impl<T: Scalar> DecodeBatch<T> {
         prompts: &[(&Matrix<T>, &Matrix<T>, &Matrix<T>)],
     ) -> Vec<AdmittedPrompt> {
         let dim = self.cfg.model_dim();
-        let h = self.cfg.num_heads;
-        let d = self.cfg.head.head_dim();
-
         // Validate every prompt before mutating anything, so a malformed
         // prompt cannot leave earlier prompts half-admitted (same
         // validate-before-mutate contract as `step_all`).
@@ -845,38 +1560,88 @@ impl<T: Scalar> DecodeBatch<T> {
             assert_eq!(q.rows(), k.rows(), "prompt Q/K row count mismatch");
             assert_eq!(k.rows(), v.rows(), "prompt K/V row count mismatch");
         }
+        let ids: Vec<usize> = prompts
+            .iter()
+            .map(|&(q, k, v)| self.enqueue_validated(q, k, v))
+            .collect();
+        // One unbounded chunk per prompt: the same appends, the same
+        // one-fork prompt×head passes, the same (head, query) Kahan
+        // finalization order as the dedicated PR-3 admission path —
+        // bit-identical outputs and checksums.
+        self.advance_pending(usize::MAX, Some(&ids));
+        ids.iter()
+            .map(|&seq| {
+                self.take_admitted(seq)
+                    .expect("unbounded chunk completes every prompt")
+            })
+            .collect()
+    }
 
-        // Phase 1 (serial, cheap): register sequences and cache every
-        // prompt token.
-        let mut seqs = Vec::with_capacity(prompts.len());
-        for &(_, k, v) in prompts {
-            let seq = self.add_sequence();
-            for i in 0..k.rows() {
-                self.append_token(seq, k.row(i), v.row(i));
-            }
-            self.prompt_tokens[seq] = k.rows();
-            seqs.push(seq);
+    /// The chunked-admission engine: advances pending prompts (all of
+    /// them, or the `only` subset) by at most `chunk` prompt tokens each
+    /// — appending the chunk's K/V rows, then running every
+    /// `prompt × head` checked prefill pass for the chunk's queries in
+    /// ONE fork, then folding each chunk's per-head Kahan checksums into
+    /// the pending and per-sequence totals. Completed prompts park their
+    /// [`AdmittedPrompt`] for [`take_admitted`](Self::take_admitted).
+    fn advance_pending(&mut self, chunk: usize, only: Option<&[usize]>) -> usize {
+        let h = self.cfg.num_heads;
+        let d = self.cfg.head.head_dim();
+        let ids: Vec<usize> = match only {
+            Some(list) => list.to_vec(),
+            None => (0..self.seqs.len())
+                .filter(|&s| self.seqs[s].pending.is_some())
+                .collect(),
+        };
+        if ids.is_empty() {
+            return 0;
         }
 
-        // Phase 2: one fork over all prompt×head checked prefill passes.
-        let pairs: Vec<(usize, usize)> = (0..prompts.len())
-            .flat_map(|pi| (0..h).map(move |hi| (pi, hi)))
-            .collect();
-        let max_len = prompts.iter().map(|p| p.0.rows()).max().unwrap_or(0);
-        let pass = |(pi, hi): (usize, usize)| {
-            let (q, _, _) = prompts[pi];
-            let seq = seqs[pi];
-            let cols = self.cfg.head_cols(hi);
-            let mut scores = Vec::new();
-            (0..q.rows())
-                .map(|p| self.fused_pass(seq, hi, &q.row(p)[cols.clone()], p, true, &mut scores))
-                .collect::<Vec<HeadState>>()
-        };
-        // Few-but-huge work units: each pair is an O(N²·d) prefill pass,
-        // so even a 2-way fork pays — the decode-tuned rows≥16 floor of
+        // Phase 1 (serial, cheap): cache each prompt's chunk rows.
+        let mut spans = Vec::with_capacity(ids.len());
+        for &seq in &ids {
+            let pend = self.seqs[seq]
+                .pending
+                .take()
+                .expect("advance_pending targets pending sequences");
+            let p0 = pend.next;
+            let p1 = p0.saturating_add(chunk).min(pend.k.rows());
+            for i in p0..p1 {
+                // Anchor eviction at the chunk's first query: its pass
+                // has not run yet and may attend below the newest row's
+                // window.
+                self.append_token_anchored(seq, pend.k.row(i), pend.v.row(i), p0);
+            }
+            self.seqs[seq].pending = Some(pend);
+            self.seqs[seq].prompt_tokens += p1 - p0;
+            spans.push((seq, p0, p1));
+        }
+
+        // Phase 2: one fork over all prompt×head chunk passes. Few-but-
+        // huge work units: each pair is an O(N²·d)-ish pass, so even a
+        // 2-way fork pays — the decode-tuned rows≥16 floor of
         // `worth_parallelizing` would serialize small batches of long
         // prompts.
-        let per_pair_elems = max_len.saturating_mul(max_len) / 2 * d;
+        let pairs: Vec<(usize, usize)> = (0..spans.len())
+            .flat_map(|si| (0..h).map(move |hi| (si, hi)))
+            .collect();
+        let per_pair_elems = spans
+            .iter()
+            .map(|&(_, p0, p1)| (p1 * p1).saturating_sub(p0 * p0) / 2 * d)
+            .max()
+            .unwrap_or(0);
+        let engine = &*self;
+        let pass = |(si, hi): (usize, usize)| {
+            let (seq, p0, p1) = spans[si];
+            let pend = engine.seqs[seq].pending.as_ref().expect("pending survives");
+            let cols = engine.cfg.head_cols(hi);
+            let mut scores = Vec::new();
+            (p0..p1)
+                .map(|p| {
+                    engine.fused_pass(seq, hi, &pend.q.row(p)[cols.clone()], p, true, &mut scores)
+                })
+                .collect::<Vec<HeadState>>()
+        };
         let states: Vec<Vec<HeadState>> =
             if crate::par::worth_parallelizing_units(pairs.len(), per_pair_elems) {
                 pairs.into_par_iter().map(pass).collect()
@@ -885,21 +1650,22 @@ impl<T: Scalar> DecodeBatch<T> {
             };
 
         // Phase 3: finalize per prompt in (head, query) order on this
-        // thread — the same Kahan order as flash2_with_checksum per head.
-        let mut outs = Vec::with_capacity(prompts.len());
-        for (pi, &(q, _, _)) in prompts.iter().enumerate() {
-            let n = q.rows();
-            let seq = seqs[pi];
-            let mut output = Matrix::<f64>::zeros(n, dim);
+        // thread — the same Kahan order as flash2_with_checksum per head,
+        // folded once per chunk.
+        let mut processed = 0;
+        for (si, &(seq, p0, p1)) in spans.iter().enumerate() {
+            processed += p1 - p0;
+            let mut pend = self.seqs[seq].pending.take().expect("pending survives");
             let mut predicted = 0.0f64;
             let mut actual = 0.0f64;
             for hi in 0..h {
                 let mut pred = KahanSum::new();
                 let mut act = KahanSum::new();
-                for (p, state) in states[pi * h + hi].iter().enumerate() {
+                for (j, state) in states[si * h + hi].iter().enumerate() {
+                    let p = p0 + j;
                     for (c, &lane) in state.lanes[..d].iter().enumerate() {
                         let val = lane / state.sum_exp;
-                        output[(p, hi * d + c)] = val;
+                        pend.output[(p, hi * d + c)] = val;
                         act.add(val);
                     }
                     pred.add(state.lanes[d] / state.sum_exp);
@@ -907,17 +1673,27 @@ impl<T: Scalar> DecodeBatch<T> {
                 predicted += pred.value();
                 actual += act.value();
             }
-            let totals = &mut self.totals[seq];
+            pend.predicted += predicted;
+            pend.actual += actual;
+            pend.next = p1;
+            let totals = &mut self.seqs[seq].totals;
             totals.0 += predicted;
             totals.1 += actual;
-            outs.push(AdmittedPrompt {
-                seq,
-                output,
-                predicted,
-                actual,
-            });
+            // The chunk's passes ran: release rows its anchored appends
+            // had to retain below the newest position's window.
+            self.cache.evict_to_newest(seq);
+            if p1 == pend.k.rows() {
+                self.seqs[seq].ready = Some(AdmittedPrompt {
+                    seq,
+                    output: pend.output,
+                    predicted: pend.predicted,
+                    actual: pend.actual,
+                });
+            } else {
+                self.seqs[seq].pending = Some(pend);
+            }
         }
-        outs
+        processed
     }
 
     /// Decodes one token for every listed sequence, with the fused online
@@ -958,10 +1734,10 @@ impl<T: Scalar> DecodeBatch<T> {
                 }
                 predicted += state.lanes[d] / state.sum_exp;
             }
-            let totals = &mut self.totals[seq];
-            totals.0 += predicted;
-            totals.1 += actual;
-            self.checked_steps[seq] += 1;
+            let state = &mut self.seqs[seq];
+            state.totals.0 += predicted;
+            state.totals.1 += actual;
+            state.checked_steps += 1;
             outputs.push(DecodeStepOutput {
                 output,
                 predicted,
@@ -992,7 +1768,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ) -> Vec<Vec<f64>> {
         let states = self.run_passes(seq_ids, qs, ks, vs, false);
         for &seq in seq_ids {
-            self.unchecked_steps[seq] += 1;
+            self.seqs[seq].unchecked_steps += 1;
         }
         let h = self.cfg.num_heads;
         let d = self.cfg.head.head_dim();
@@ -1033,10 +1809,20 @@ impl<T: Scalar> DecodeBatch<T> {
             assert!(s < self.num_sequences(), "unknown sequence id {s}");
             assert!(!self.cache.is_retired(s), "sequence {s} is retired");
             assert!(
+                !self.is_pending(s),
+                "sequence {s} still has pending prompt chunks"
+            );
+            assert!(
                 !seq_ids[..i].contains(&s),
                 "duplicate sequence id {s} in one step"
             );
         }
+
+        // Interleave chunked admission with decode: every step advances
+        // pending prompts by one bounded chunk before the decode passes,
+        // so long prompts admit without ever stalling the batch. A no-op
+        // when nothing is pending (the PR-3-pinned path).
+        self.prefill_step();
 
         // Phase 1 (serial, cheap): append every new token.
         for (i, &seq) in seq_ids.iter().enumerate() {
@@ -1098,13 +1884,26 @@ impl<T: Scalar> DecodeBatch<T> {
         let d = self.cfg.head.head_dim();
         let h = self.cfg.num_heads;
         let scale = self.cfg.head.scale();
-        let sumrows = &self.sumrows[seq];
+        let sumrows = &self.seqs[seq].sumrows;
 
         // Visible positions: the causal-window interval ending at
-        // `last_pos`.
-        let lo = match self.cfg.head.sliding_window() {
+        // `last_pos`, under the tighter of the configured sliding window
+        // and the eviction window (sliding-window eviction masks exactly
+        // the positions it frees, so evicted blocks are unreachable).
+        let lo = match self.mask_window {
             Some(w) => (last_pos + 1).saturating_sub(w),
             None => 0,
+        };
+
+        // Widened query for demoted-block scoring: the mixed-operand dot
+        // widens BF16 keys per lane (exact), so scoring a demoted block
+        // equals scoring its widened contents through the f64 kernel bit
+        // for bit — what keeps mixed-format decode pinned to the f64
+        // golden session. Only materialized when BF16 blocks can exist.
+        let q_wide: Vec<f64> = if self.cache.format() == KvFormat::F64 {
+            Vec::new()
+        } else {
+            q_sub.iter().map(|x| x.to_f64()).collect()
         };
 
         let mut os = OnlineSoftmax::new();
@@ -1118,34 +1917,77 @@ impl<T: Scalar> DecodeBatch<T> {
             if r0 == r1 {
                 continue;
             }
-            ops::dot_then_scale_rows(
-                q_sub,
-                &blk.k[r0 * blk.stride..],
-                blk.stride,
-                r1 - r0,
-                scale,
-                scores,
-            );
-            for (j, &s) in scores.iter().enumerate() {
-                let r = r0 + j;
-                let step = os.push(s);
-                let vo = r * blk.stride;
-                ops::axpy_f64(
-                    &mut lanes[..d],
-                    &blk.v[vo..vo + d],
-                    step.scale_old,
-                    step.weight_new,
-                );
-                if checked {
-                    let pos = blk.first + r;
-                    lanes[d] =
-                        lanes[d] * step.scale_old + sumrows[pos * h + head] * step.weight_new;
+            match blk.data {
+                HeadBlockData::Native { k, v } => {
+                    ops::dot_then_scale_rows(
+                        q_sub,
+                        &k[r0 * blk.stride..],
+                        blk.stride,
+                        r1 - r0,
+                        scale,
+                        scores,
+                    );
+                    accumulate_block(
+                        &mut os, &mut lanes, scores, v, blk.stride, r0, blk.first, sumrows, h,
+                        head, checked,
+                    );
+                }
+                HeadBlockData::Demoted { k, v } => {
+                    ops::dot_then_scale_rows_bf16(
+                        &q_wide,
+                        &k[r0 * blk.stride..],
+                        blk.stride,
+                        r1 - r0,
+                        scale,
+                        scores,
+                    );
+                    accumulate_block(
+                        &mut os, &mut lanes, scores, v, blk.stride, r0, blk.first, sumrows, h,
+                        head, checked,
+                    );
                 }
             }
         }
         HeadState {
             lanes,
             sum_exp: os.sum_exp(),
+        }
+    }
+}
+
+/// Folds one scored block through the online recurrence: lines 4–6 of
+/// Alg. 3 for each of the block's visible rows, plus the checksum lane
+/// when `checked`. Generic over the block's stored value format (native
+/// `T` or demoted BF16) — [`ops::axpy_f64`] handles both with identical
+/// per-lane rounding.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_block<V: Scalar>(
+    os: &mut OnlineSoftmax,
+    lanes: &mut [f64],
+    scores: &[f64],
+    v: &[V],
+    stride: usize,
+    r0: usize,
+    first: usize,
+    sumrows: &[f64],
+    heads: usize,
+    head: usize,
+    checked: bool,
+) {
+    let d = lanes.len() - 1;
+    for (j, &s) in scores.iter().enumerate() {
+        let r = r0 + j;
+        let step = os.push(s);
+        let vo = r * stride;
+        ops::axpy_f64(
+            &mut lanes[..d],
+            &v[vo..vo + d],
+            step.scale_old,
+            step.weight_new,
+        );
+        if checked {
+            let pos = first + r;
+            lanes[d] = lanes[d] * step.scale_old + sumrows[pos * heads + head] * step.weight_new;
         }
     }
 }
@@ -1210,11 +2052,14 @@ mod tests {
             for blk in cache.head_stream(s, head) {
                 assert_eq!(blk.stride, 2, "head-major panels are contiguous");
                 assert_eq!(blk.first, pos);
+                let HeadBlockData::Native { k, v } = blk.data else {
+                    panic!("default-policy cache yields native blocks");
+                };
                 for r in 0..blk.rows {
                     let i = (blk.first + r) as f64;
-                    assert_eq!(blk.k[r * 2], 20.0 * head as f64 + i);
-                    assert_eq!(blk.k[r * 2 + 1], 20.0 * head as f64 + 10.0 + i);
-                    assert_eq!(blk.v[r * 2], 20.0 * head as f64 + 40.0 + i);
+                    assert_eq!(k[r * 2], 20.0 * head as f64 + i);
+                    assert_eq!(k[r * 2 + 1], 20.0 * head as f64 + 10.0 + i);
+                    assert_eq!(v[r * 2], 20.0 * head as f64 + 40.0 + i);
                 }
                 pos += blk.rows;
             }
@@ -1545,8 +2390,306 @@ mod tests {
             );
         }
         assert!(batch.global_residual(ids[0]).abs() < 1e-10);
-        batch.totals[ids[0]].0 += 0.5; // simulated fault on the predicted side
+        batch.seqs[ids[0]].totals.0 += 0.5; // simulated fault on the predicted side
         assert!(batch.global_residual(ids[0]).abs() > 0.4);
+    }
+
+    /// The demotion-rounding regression (the RNE/truncation split): every
+    /// cache path that narrows to BF16 must round to nearest, ties to
+    /// even — mantissa truncation gives a different bit pattern on these
+    /// inputs, so this test fails loudly if either path regresses.
+    #[test]
+    fn round_bf16_is_rne_not_truncation() {
+        // 0x3F80_8001 is just above the 1.0 / 1.0+ε tie: RNE rounds up to
+        // 0x3F81, truncation keeps 0x3F80.
+        let above_tie = f32::from_bits(0x3F80_8001) as f64;
+        assert_eq!(round_bf16(above_tie).to_bits(), 0x3F81);
+        // 0x3F81_8000 is an exact tie with an odd kept mantissa: RNE
+        // rounds to even 0x3F82, truncation keeps 0x3F81.
+        let tie_odd = f32::from_bits(0x3F81_8000) as f64;
+        assert_eq!(round_bf16(tie_odd).to_bits(), 0x3F82);
+
+        // Both narrowing paths — direct BF16 appends and in-place block
+        // demotion — must produce exactly these RNE patterns.
+        let row = [above_tie, tie_odd];
+        let mut direct = KvCache::<f64>::with_policy(
+            1,
+            2,
+            2,
+            KvLayout::HeadMajor,
+            KvFormat::Bf16,
+            EvictionPolicy::RetainAll,
+        );
+        let s = direct.add_sequence();
+        direct.append(s, &row, &row);
+        let stored = direct.key_row(s, 0);
+        assert_eq!(stored[0], round_bf16(above_tie).to_f64());
+        assert_eq!(stored[1], round_bf16(tie_odd).to_f64());
+
+        let mut mixed = KvCache::<f64>::with_policy(
+            1,
+            2,
+            1,
+            KvLayout::HeadMajor,
+            KvFormat::Mixed { burst_blocks: 0 },
+            EvictionPolicy::RetainAll,
+        );
+        let s = mixed.add_sequence();
+        let outcome_first = mixed.append(s, &row, &row);
+        assert!(outcome_first.demoted.is_empty(), "nothing to demote yet");
+        // Claiming the second block demotes the first (burst 0).
+        let outcome = mixed.append(s, &[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(outcome.demoted, vec![0..1]);
+        let demoted = mixed.value_row(s, 0);
+        assert_eq!(demoted[0], round_bf16(above_tie).to_f64());
+        assert_eq!(demoted[1], round_bf16(tie_odd).to_f64());
+        assert_eq!(mixed.demoted_rows(s), 1);
+    }
+
+    #[test]
+    fn bf16_format_decode_matches_golden_on_rounded_history() {
+        // A direct-BF16 engine must decode bit-identically to a plain f64
+        // DecodeSession whose K/V inputs were pre-rounded through BF16:
+        // the engine's mixed-operand scoring of BF16 blocks is pinned to
+        // the f64 kernel over the widened values.
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let mut engine = DecodeBatch::<f64>::with_policy(
+            cfg,
+            4,
+            KvLayout::HeadMajor,
+            KvFormat::Bf16,
+            EvictionPolicy::RetainAll,
+        );
+        let ids = vec![engine.add_sequence()];
+        let mut sessions: Vec<DecodeSession<f64>> =
+            (0..2).map(|_| DecodeSession::new(cfg.head)).collect();
+        let round_row = |m: &Matrix<f64>| m.map(|x| round_bf16(x).to_f64());
+        for t in 0..9 {
+            let qs = rand(1, dim, 7000 + t);
+            let ks = rand(1, dim, 7100 + t);
+            let vs = rand(1, dim, 7200 + t);
+            let outs = engine.step_all(&ids, &qs, &ks, &vs);
+            assert!(
+                outs[0].residual().abs() < 1e-9,
+                "checksum rides rounded rows"
+            );
+            let (kr, vr) = (round_row(&ks), round_row(&vs));
+            for (h, session) in sessions.iter_mut().enumerate() {
+                let sub = |m: &Matrix<f64>| m.row(0)[h * 4..(h + 1) * 4].to_vec();
+                let reference = session.step(&sub(&qs), &sub(&kr), &sub(&vr));
+                for (c, r) in reference.iter().enumerate() {
+                    assert_eq!(
+                        outs[0].output[h * 4 + c].to_bits(),
+                        r.to_bits(),
+                        "step {t} head {h} lane {c}"
+                    );
+                }
+            }
+        }
+        assert!(engine.global_residual(ids[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_format_decode_matches_golden_with_demotion_replayed() {
+        // Mixed{burst}: blocks older than the burst demote to BF16 when a
+        // new block is claimed. Replaying exactly those demotions into a
+        // DecodeSession (demote_cached) keeps the engine bit-identical.
+        let (block_rows, burst) = (2usize, 1usize);
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let mut engine = DecodeBatch::<f64>::with_policy(
+            cfg,
+            block_rows,
+            KvLayout::HeadMajor,
+            KvFormat::Mixed {
+                burst_blocks: burst,
+            },
+            EvictionPolicy::RetainAll,
+        );
+        let ids = vec![engine.add_sequence()];
+        let mut sessions: Vec<DecodeSession<f64>> =
+            (0..2).map(|_| DecodeSession::new(cfg.head)).collect();
+        for t in 0..12usize {
+            // The engine appends position t, claiming block t/block_rows
+            // when t is a block boundary and then demoting the oldest
+            // still-native full block beyond the burst. Mirror that into
+            // the golden sessions BEFORE their step sees the new token.
+            if t.is_multiple_of(block_rows) && t / block_rows > burst {
+                let demote = t / block_rows - burst - 1;
+                for session in sessions.iter_mut() {
+                    session.demote_cached(demote * block_rows..(demote + 1) * block_rows);
+                }
+            }
+            let qs = rand(1, dim, 8000 + t as u64);
+            let ks = rand(1, dim, 8100 + t as u64);
+            let vs = rand(1, dim, 8200 + t as u64);
+            let outs = engine.step_all(&ids, &qs, &ks, &vs);
+            assert!(outs[0].residual().abs() < 1e-9, "step {t} checksum");
+            for (h, session) in sessions.iter_mut().enumerate() {
+                let sub = |m: &Matrix<f64>| m.row(0)[h * 4..(h + 1) * 4].to_vec();
+                let reference = session.step(&sub(&qs), &sub(&ks), &sub(&vs));
+                for (c, r) in reference.iter().enumerate() {
+                    assert_eq!(
+                        outs[0].output[h * 4 + c].to_bits(),
+                        r.to_bits(),
+                        "step {t} head {h} lane {c}"
+                    );
+                }
+            }
+        }
+        assert!(engine.demoted_len(ids[0]) > 0, "demotion actually ran");
+        assert!(
+            engine.cache().allocated_blocks16() > 0,
+            "demoted blocks live in the BF16 arena"
+        );
+        assert!(
+            !engine.cache().free_block_list().is_empty() || engine.cache().recycled_blocks() > 0,
+            "native storage returned to the free list"
+        );
+        assert!(engine.global_residual(ids[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_eviction_bit_identical_to_masked_retain_all() {
+        // Eviction must be invisible to the arithmetic: an evicting
+        // engine equals a retain-all engine whose head config carries the
+        // same window — while actually freeing blocks and bounding
+        // memory.
+        let (block_rows, window_blocks) = (2usize, 2usize);
+        let window = block_rows * window_blocks;
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let masked_cfg =
+            MultiHeadConfig::new(2, AttentionConfig::new(4).with_sliding_window(window));
+        let dim = cfg.model_dim();
+        let mut evicting = DecodeBatch::<f64>::with_policy(
+            cfg,
+            block_rows,
+            KvLayout::HeadMajor,
+            KvFormat::F64,
+            EvictionPolicy::SlidingWindow { window_blocks },
+        );
+        let mut masked = DecodeBatch::<f64>::new(masked_cfg, block_rows);
+        let e = vec![evicting.add_sequence()];
+        let m = vec![masked.add_sequence()];
+        for t in 0..16 {
+            let qs = rand(1, dim, 8500 + t);
+            let ks = rand(1, dim, 8600 + t);
+            let vs = rand(1, dim, 8700 + t);
+            let a = evicting.step_all(&e, &qs, &ks, &vs);
+            let b = masked.step_all(&m, &qs, &ks, &vs);
+            assert_eq!(a[0].output, b[0].output, "step {t}");
+            assert_eq!(a[0].predicted.to_bits(), b[0].predicted.to_bits());
+            assert!(a[0].residual().abs() < 1e-9);
+            assert!(
+                evicting.cache().seq_blocks(e[0]).len() <= window_blocks + 1,
+                "retained blocks bounded by the window"
+            );
+        }
+        assert_eq!(
+            evicting.evicted_len(e[0]),
+            16usize.saturating_sub(window) / block_rows * block_rows
+        );
+        assert!(evicting.evicted_len(e[0]) > 0, "eviction actually ran");
+        assert!(
+            evicting.cache().allocated_blocks() <= window_blocks + 2,
+            "arena bounded: evicted blocks recycle instead of growing"
+        );
+        assert_eq!(masked.evicted_len(m[0]), 0);
+        assert!(evicting.global_residual(e[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunked_admission_matches_synchronous_admit_bitwise() {
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let (pq, pk, pv) = (rand(11, dim, 90), rand(11, dim, 91), rand(11, dim, 92));
+
+        let mut sync = DecodeBatch::<f64>::new(cfg, 4);
+        let wholesale = sync.admit(&pq, &pk, &pv);
+
+        let mut chunked = DecodeBatch::<f64>::new(cfg, 4);
+        chunked.set_prefill_chunk(3);
+        let seq = chunked.enqueue(&pq, &pk, &pv);
+        assert!(chunked.is_pending(seq));
+        assert_eq!(chunked.pending_len(seq), 11);
+        assert!(chunked.take_admitted(seq).is_none(), "not done yet");
+        let mut steps = 0;
+        while chunked.is_pending(seq) {
+            let processed = chunked.prefill_step();
+            assert!(processed <= 3, "chunk bound holds");
+            steps += 1;
+        }
+        assert_eq!(steps, 4, "11 tokens / chunk 3 = 4 chunks");
+        assert_eq!(chunked.prompt_len(seq), 11);
+        let admitted = chunked.take_admitted(seq).expect("completed");
+        assert!(chunked.take_admitted(seq).is_none(), "collected once");
+
+        // Per-query outputs are bit-identical to the synchronous path;
+        // the chunk-folded checksums still verify the prompt.
+        assert_eq!(admitted.output, wholesale.output);
+        assert!(admitted.residual().abs() < 1e-9);
+        assert!(chunked.global_residual(seq).abs() < 1e-9);
+
+        // And the cached state is the same: subsequent decode matches.
+        for t in 0..3 {
+            let qs = rand(1, dim, 9500 + t);
+            let ks = rand(1, dim, 9600 + t);
+            let vs = rand(1, dim, 9700 + t);
+            let a = sync.step_all(&[wholesale.seq], &qs, &ks, &vs);
+            let b = chunked.step_all(&[seq], &qs, &ks, &vs);
+            assert_eq!(a[0].output, b[0].output, "post-admission step {t}");
+        }
+    }
+
+    #[test]
+    fn step_all_interleaves_pending_prefill_with_decode() {
+        let cfg = MultiHeadConfig::new(2, AttentionConfig::new(4));
+        let dim = cfg.model_dim();
+        let mut engine = DecodeBatch::<f64>::new(cfg, 4);
+        engine.set_prefill_chunk(4);
+        // One live decoding sequence...
+        let live = engine.admit(&rand(2, dim, 50), &rand(2, dim, 51), &rand(2, dim, 52));
+        // ...and a long prompt that arrives mid-flight.
+        let seq = engine.enqueue(&rand(10, dim, 60), &rand(10, dim, 61), &rand(10, dim, 62));
+        for t in 0..3 {
+            let qs = rand(1, dim, 9000 + t);
+            let ks = rand(1, dim, 9100 + t);
+            let vs = rand(1, dim, 9200 + t);
+            // Decode proceeds while the prompt admits 4 tokens per step —
+            // the long prompt never stalls the batch.
+            let outs = engine.step_all(&[live.seq], &qs, &ks, &vs);
+            assert!(outs[0].residual().abs() < 1e-9);
+            assert_eq!(
+                engine.pending_len(seq),
+                10usize.saturating_sub(4 * (t as usize + 1))
+            );
+        }
+        assert!(
+            !engine.is_pending(seq),
+            "admitted across three decode steps"
+        );
+        let admitted = engine.take_admitted(seq).expect("ready");
+        assert!(admitted.residual().abs() < 1e-9);
+        // The newcomer joins the decode batch seamlessly.
+        let qs = rand(2, dim, 9300);
+        let ks = rand(2, dim, 9301);
+        let vs = rand(2, dim, 9302);
+        let outs = engine.step_all(&[live.seq, seq], &qs, &ks, &vs);
+        assert!(outs[1].residual().abs() < 1e-9);
+        assert_eq!(engine.seq_len(seq), 11);
+        assert_eq!(engine.prompt_len(seq) + engine.decoded_len(seq), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending prompt chunks")]
+    fn decoding_a_pending_sequence_panics() {
+        let cfg = MultiHeadConfig::new(1, AttentionConfig::new(2));
+        let mut engine = DecodeBatch::<f64>::new(cfg, 4);
+        engine.set_prefill_chunk(2);
+        let seq = engine.enqueue(&rand(8, 2, 1), &rand(8, 2, 2), &rand(8, 2, 3));
+        let m = rand(1, 2, 4);
+        let _ = engine.step_all(&[seq], &m, &m, &m);
     }
 
     #[test]

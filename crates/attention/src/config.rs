@@ -107,6 +107,22 @@ impl AttentionConfig {
         self.window
     }
 
+    /// Narrows the sliding window to at most `window` positions — the
+    /// tighter of the existing window (if any) and the new one. Policy
+    /// layers use this to fold a retention bound (KV-block eviction)
+    /// into the attention mask: positions outside the combined window
+    /// are invisible to [`visible_range`](Self::visible_range), so
+    /// freeing their storage cannot change any result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_window_at_most(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.window = Some(self.window.map_or(window, |w| w.min(window)));
+        self
+    }
+
     /// Whether key `j` is visible to query `i` under this configuration.
     #[inline]
     pub fn visible(&self, query: usize, key: usize) -> bool {
@@ -272,6 +288,32 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = AttentionConfig::new(4).with_sliding_window(0);
+    }
+
+    #[test]
+    fn window_at_most_takes_the_tighter_bound() {
+        let cfg = AttentionConfig::new(4);
+        assert_eq!(cfg.with_window_at_most(5).sliding_window(), Some(5));
+        assert_eq!(
+            cfg.with_sliding_window(3)
+                .with_window_at_most(5)
+                .sliding_window(),
+            Some(3),
+            "existing tighter window wins"
+        );
+        assert_eq!(
+            cfg.with_sliding_window(8)
+                .with_window_at_most(5)
+                .sliding_window(),
+            Some(5),
+            "new tighter window wins"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_at_most_panics() {
+        let _ = AttentionConfig::new(4).with_window_at_most(0);
     }
 
     #[test]

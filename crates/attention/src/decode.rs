@@ -57,6 +57,30 @@ impl<T: Scalar> DecodeSession<T> {
         }
     }
 
+    /// Rounds the cached K/V rows in `range` through BF16
+    /// (round-to-nearest-even via [`crate::batch::round_bf16`], widened
+    /// back into `T`) — the golden-model replay of `KvCache` block
+    /// demotion. A mixed-format [`crate::batch::DecodeBatch`] that
+    /// demoted exactly these positions decodes **bit-identically** to
+    /// this session afterwards: the widened BF16 values score through the
+    /// same blocked f64 summation order as the engine's mixed-operand dot
+    /// kernel (`fa_tensor::ops::dot_f64_bf16` is pinned to `dot_f64` on
+    /// pre-widened keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the cached length.
+    pub fn demote_cached(&mut self, range: core::ops::Range<usize>) {
+        for i in range {
+            for x in self.keys[i].iter_mut() {
+                *x = T::from_f64(crate::batch::round_bf16(*x).to_f64());
+            }
+            for x in self.values[i].iter_mut() {
+                *x = T::from_f64(crate::batch::round_bf16(*x).to_f64());
+            }
+        }
+    }
+
     /// Number of cached positions.
     pub fn len(&self) -> usize {
         self.keys.len()

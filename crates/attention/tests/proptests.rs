@@ -329,18 +329,37 @@ proptest! {
         }
     }
 
-    /// The block free list never aliases a live sequence's storage:
-    /// through retire→admit storms at random block sizes, every arena
-    /// block is owned by exactly one live sequence or sits on the free
-    /// list — never both, never twice.
+    /// The block free lists never alias a live sequence's storage: under
+    /// any policy (including mixed-format demotion and sliding-window
+    /// eviction, which both route blocks through the free lists
+    /// mid-sequence) and through retire→admit storms at random block
+    /// sizes, every block of **both** arenas is owned by exactly one live
+    /// sequence or sits on its arena's free list — never both, never
+    /// twice.
     #[test]
     fn free_list_never_aliases_live_blocks(
         block_rows in 1usize..9,
         width in 1usize..5,
         seed in 0u64..1_000_000,
         ops in 8usize..40,
+        policy in 0usize..4,
     ) {
-        let mut cache = KvCache::<f64>::with_layout(1, width, block_rows, KvLayout::HeadMajor);
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        let (format, eviction) = match policy {
+            0 => (KvFormat::F64, EvictionPolicy::RetainAll),
+            1 => (KvFormat::Bf16, EvictionPolicy::RetainAll),
+            2 => (
+                KvFormat::Mixed { burst_blocks: 1 },
+                EvictionPolicy::RetainAll,
+            ),
+            _ => (
+                KvFormat::Mixed { burst_blocks: 1 },
+                EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            ),
+        };
+        let mut cache = KvCache::<f64>::with_policy(
+            1, width, block_rows, KvLayout::HeadMajor, format, eviction,
+        );
         let mut rng = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let mut next = move || {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -372,24 +391,206 @@ proptest! {
                 }
                 _ => {}
             }
-            // Invariant sweep: exact partition of the arena.
-            let mut seen = std::collections::HashSet::new();
+            // Invariant sweep: exact partition of both arenas.
+            let mut native = std::collections::HashSet::new();
+            let mut demoted = std::collections::HashSet::new();
             for &s in &live {
-                for &b in cache.seq_blocks(s) {
-                    prop_assert!(b < cache.allocated_blocks(), "block {b} in arena");
-                    prop_assert!(seen.insert(b), "block {b} owned twice");
+                for blk in cache.seq_blocks(s) {
+                    let (seen, total) = if blk.bf16 {
+                        (&mut demoted, cache.allocated_blocks16())
+                    } else {
+                        (&mut native, cache.allocated_blocks())
+                    };
+                    prop_assert!(blk.index < total, "block {blk:?} in its arena");
+                    prop_assert!(seen.insert(blk.index), "block {blk:?} owned twice");
                 }
             }
             for &b in cache.free_block_list() {
                 prop_assert!(b < cache.allocated_blocks(), "freed block {b} in arena");
-                prop_assert!(seen.insert(b), "block {b} both free and live");
+                prop_assert!(native.insert(b), "native block {b} both free and live");
+            }
+            for &b in cache.free_block_list16() {
+                prop_assert!(b < cache.allocated_blocks16(), "freed bf16 block {b} in arena");
+                prop_assert!(demoted.insert(b), "bf16 block {b} both free and live");
             }
             prop_assert_eq!(
-                seen.len(),
+                native.len(),
                 cache.allocated_blocks(),
-                "every arena block is accounted for"
+                "every native arena block is accounted for"
+            );
+            prop_assert_eq!(
+                demoted.len(),
+                cache.allocated_blocks16(),
+                "every bf16 arena block is accounted for"
             );
         }
+    }
+
+    /// THE policy-layer equivalence: a `Mixed`-format engine with
+    /// sliding-window eviction, admitting its prompt through **chunked**
+    /// prefill interleaved by `step_all`, stays bit-identical to plain
+    /// per-(sequence, head) `DecodeSession` golden models whose cached
+    /// rows get the same demotions replayed (`demote_cached`) and whose
+    /// head config carries the eviction window as a sliding-window mask —
+    /// across layouts, block sizes, burst sizes, window sizes, chunk
+    /// sizes and thread counts. Eviction replay is pure masking: evicted
+    /// blocks are invisible by the window, so the golden never needs to
+    /// drop rows.
+    #[test]
+    fn mixed_sliding_chunked_engine_matches_golden_replay(
+        threads in 1usize..5,
+        block_rows in 1usize..5,
+        burst in 0usize..3,
+        window_blocks in 1usize..4,
+        evict in any::<bool>(),
+        layout_hm in any::<bool>(),
+        chunk in 1usize..7,
+        prompt_len in 1usize..9,
+        steps in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat};
+        use fa_tensor::random::ElementDist;
+        let heads = 2;
+        let d = 4;
+        let head = AttentionConfig::new(d);
+        let cfg = MultiHeadConfig::new(heads, head);
+        let dim = cfg.model_dim();
+        let layout = if layout_hm { KvLayout::HeadMajor } else { KvLayout::TokenMajor };
+        let eviction = if evict {
+            EvictionPolicy::SlidingWindow { window_blocks }
+        } else {
+            EvictionPolicy::RetainAll
+        };
+        // The golden sees eviction purely as a mask.
+        let golden_head = match eviction.window_tokens(block_rows) {
+            Some(w) => head.with_sliding_window(w),
+            None => head,
+        };
+        let rand = |rows: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), s)
+        };
+        let (pq, pk, pv) = (rand(prompt_len, seed), rand(prompt_len, seed + 1), rand(prompt_len, seed + 2));
+
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let mut engine = DecodeBatch::<f64>::with_policy(
+            cfg,
+            block_rows,
+            layout,
+            KvFormat::Mixed { burst_blocks: burst },
+            eviction,
+        );
+        engine.set_prefill_chunk(chunk);
+        let seq = engine.enqueue(&pq, &pk, &pv);
+        while engine.is_pending(seq) {
+            pool.install(|| engine.prefill_step());
+        }
+        let admitted = engine.take_admitted(seq).expect("prompt completed");
+        prop_assert!(admitted.residual().abs() < 1e-9, "prompt checksum holds");
+
+        // Golden: a mirrored Q/K/V history with the engine's demotion
+        // schedule replayed, scored through `flash2::query_state`.
+        // Chunk semantics matter: the engine appends a whole chunk's K/V
+        // rows (running block-claim demotions) BEFORE the chunk's queries
+        // score, so an early query in a chunk already sees rows the
+        // chunk's later appends demoted. The mirror applies the same
+        // rule: appending position p claims block p/block_rows when p is
+        // a block boundary, demoting the oldest not-yet-demoted full
+        // block beyond the burst (whole-history indices work even under
+        // eviction, because evicted blocks are masked in both).
+        let mut hist_q: Vec<Vec<f64>> = Vec::new();
+        let mut hist_k: Vec<Vec<f64>> = Vec::new();
+        let mut hist_v: Vec<Vec<f64>> = Vec::new();
+        let golden_cfg = golden_head.with_causal(true);
+        let mirror_append =
+            |hk: &mut Vec<Vec<f64>>, hv: &mut Vec<Vec<f64>>, krow: Vec<f64>, vrow: Vec<f64>| {
+                let p = hk.len();
+                if p.is_multiple_of(block_rows) && p / block_rows > burst {
+                    let b = p / block_rows - burst - 1;
+                    for i in b * block_rows..(b + 1) * block_rows {
+                        for x in hk[i].iter_mut() {
+                            *x = fa_attention::batch::round_bf16(*x).to_f64();
+                        }
+                        for x in hv[i].iter_mut() {
+                            *x = fa_attention::batch::round_bf16(*x).to_f64();
+                        }
+                    }
+                }
+                hk.push(krow);
+                hv.push(vrow);
+            };
+        let head_matrix = |hist: &Vec<Vec<f64>>, h: usize| {
+            Matrix::from_fn(hist.len(), d, |r, c| hist[r][h * d + c])
+        };
+        let golden_row = |hq: &Vec<Vec<f64>>, hk: &Vec<Vec<f64>>, hv: &Vec<Vec<f64>>,
+                          h: usize, p: usize| {
+            let st = flash2::query_state(
+                &head_matrix(hq, h),
+                &head_matrix(hk, h),
+                &head_matrix(hv, h),
+                &golden_cfg,
+                p,
+            );
+            st.output.iter().map(|o| o / st.sum_exp).collect::<Vec<f64>>()
+        };
+
+        // Prompt: replay chunk by chunk — append the chunk's rows (with
+        // demotions), then score the chunk's queries against that state.
+        let mut p0 = 0;
+        while p0 < prompt_len {
+            let p1 = (p0 + chunk).min(prompt_len);
+            for p in p0..p1 {
+                hist_q.push(pq.row(p).to_vec());
+                mirror_append(&mut hist_k, &mut hist_v, pk.row(p).to_vec(), pv.row(p).to_vec());
+            }
+            for p in p0..p1 {
+                for h in 0..heads {
+                    let row = golden_row(&hist_q, &hist_k, &hist_v, h, p);
+                    for (c, val) in row.iter().enumerate() {
+                        prop_assert_eq!(
+                            admitted.output[(p, h * d + c)].to_bits(),
+                            val.to_bits(),
+                            "prompt row {} head {} lane {}", p, h, c
+                        );
+                    }
+                }
+            }
+            p0 = p1;
+        }
+
+        for t in 0..steps {
+            let s = seed + 100 + 10 * t as u64;
+            let qs = rand(1, s);
+            let ks = rand(1, s + 1);
+            let vs = rand(1, s + 2);
+            let outs = pool.install(|| engine.step_all(&[seq], &qs, &ks, &vs));
+            prop_assert!(outs[0].residual().abs() < 1e-9, "step {} checksum", t);
+            hist_q.push(qs.row(0).to_vec());
+            mirror_append(&mut hist_k, &mut hist_v, ks.row(0).to_vec(), vs.row(0).to_vec());
+            let p = prompt_len + t;
+            for h in 0..heads {
+                let row = golden_row(&hist_q, &hist_k, &hist_v, h, p);
+                for (c, val) in row.iter().enumerate() {
+                    prop_assert_eq!(
+                        outs[0].output[h * d + c].to_bits(),
+                        val.to_bits(),
+                        "step {} head {} lane {}", t, h, c
+                    );
+                }
+            }
+            if evict {
+                prop_assert!(
+                    engine.cache().seq_blocks(seq).len() <= window_blocks + 1,
+                    "retained blocks bounded by the eviction window"
+                );
+            }
+        }
+        prop_assert!(engine.global_residual(seq).abs() < 1e-9);
+        prop_assert_eq!(
+            engine.seq_len(seq),
+            engine.prompt_len(seq) + engine.decoded_len(seq),
+            "coverage accounting survives demotion and eviction"
+        );
     }
 
     /// Checked and unchecked decode paths report consistent token counts

@@ -130,6 +130,61 @@ fn kernel_benchmarks(quick: bool) {
         cont.arena_blocks,
     );
 
+    let mixed = &report.decode_mixed_format;
+    println!(
+        "mixed-format policy @ batch {} (chunked admission {} tokens/step, churn every {}, \
+         block {} rows, burst {}):\n  f64   {:.0} tok/s aggregate ({:.0} decode, {:.2} MB/step)\n  \
+         bf16  {:.0} tok/s aggregate ({:.0} decode, {:.2} MB/step)\n  mixed {:.0} tok/s aggregate \
+         ({:.0} decode, {:.2} MB/step); {} rows demoted, arena {}+{} blocks",
+        mixed.batch,
+        mixed.prefill_chunk,
+        mixed.churn_every,
+        mixed.block_rows,
+        mixed.burst_blocks,
+        mixed.f64_cache.tokens_per_s,
+        mixed.f64_cache.decode_tokens_per_s,
+        mixed.f64_cache.bytes_per_step / 1e6,
+        mixed.bf16_cache.tokens_per_s,
+        mixed.bf16_cache.decode_tokens_per_s,
+        mixed.bf16_cache.bytes_per_step / 1e6,
+        mixed.mixed_cache.tokens_per_s,
+        mixed.mixed_cache.decode_tokens_per_s,
+        mixed.mixed_cache.bytes_per_step / 1e6,
+        mixed.mixed_demoted_rows,
+        mixed.mixed_arena_blocks,
+        mixed.mixed_arena_blocks16,
+    );
+    println!(
+        "  steady decode, committed-point geometry ({}-row blocks, burst {}, batch {}): \
+         f64 {:.0} tok/s ({:.2} MB/step), \
+         bf16 {:.0} tok/s ({:.2} MB/step), mixed {:.0} tok/s ({:.2} MB/step)",
+        mixed.steady_block_rows,
+        mixed.steady_burst_blocks,
+        mixed.batch,
+        mixed.f64_steady.tokens_per_s,
+        mixed.f64_steady.bytes_per_step / 1e6,
+        mixed.bf16_steady.tokens_per_s,
+        mixed.bf16_steady.bytes_per_step / 1e6,
+        mixed.mixed_steady.tokens_per_s,
+        mixed.mixed_steady.bytes_per_step / 1e6,
+    );
+    let sw = &report.decode_sliding_window;
+    println!(
+        "sliding-window eviction @ batch {} (window {} x {} rows): retain-all {:.0} decode tok/s \
+         ({:.2} MB/step, arena {}), windowed {:.0} decode tok/s ({:.2} MB/step, arena {}), \
+         {} rows evicted/seq",
+        sw.batch,
+        sw.window_blocks,
+        sw.block_rows,
+        sw.retain_all.decode_tokens_per_s,
+        sw.retain_all.bytes_per_step / 1e6,
+        sw.retain_arena_blocks,
+        sw.sliding.decode_tokens_per_s,
+        sw.sliding.bytes_per_step / 1e6,
+        sw.sliding_arena_blocks,
+        sw.evicted_rows,
+    );
+
     let path = "BENCH_kernels.json";
     match std::fs::write(path, report.to_json()) {
         Ok(()) => println!("wrote {path}"),

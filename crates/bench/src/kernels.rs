@@ -10,7 +10,7 @@
 //! (CI smoke) shrinks problem sizes and drops the largest matmul/flash2
 //! points; the canonical committed JSON comes from a full run.
 
-use fa_attention::batch::DecodeBatch;
+use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
 use fa_attention::decode::DecodeSession;
 use fa_attention::multihead::MultiHeadConfig;
 use fa_attention::{flash2, AttentionConfig};
@@ -159,6 +159,96 @@ pub struct DecodeContinuous {
     pub arena_blocks: usize,
 }
 
+/// The mixed-format policy sweep: prompt-heavy continuous serving
+/// (chunked admission interleaved with decode, retire+enqueue churn)
+/// measured under the three `KvFormat` policies on the same traffic —
+/// pure f64 (fast admission, heavy decode bytes), pure BF16 (light
+/// decode bytes), and `Mixed` (f64 prefill burst → BF16 steady state,
+/// the both-ends lever).
+#[derive(Clone, Debug)]
+pub struct DecodeMixedFormat {
+    /// Steady-state live sequences.
+    pub batch: usize,
+    /// Decode steps timed.
+    pub steps: usize,
+    /// Every `churn_every` steps the oldest sequence retires and a fresh
+    /// prompt is **enqueued** (admitted chunk by chunk by later steps).
+    pub churn_every: usize,
+    /// Prompt tokens each pending prompt advances per step.
+    pub prefill_chunk: usize,
+    /// Cache block rows (the demotion/eviction granularity).
+    pub block_rows: usize,
+    /// Full native blocks retained per sequence under `Mixed`.
+    pub burst_blocks: usize,
+    /// `KvFormat::F64` leg.
+    pub f64_cache: ContinuousCachePoint,
+    /// `KvFormat::Bf16` leg.
+    pub bf16_cache: ContinuousCachePoint,
+    /// `KvFormat::Mixed { burst_blocks }` leg.
+    pub mixed_cache: ContinuousCachePoint,
+    /// Block rows of the steady-decode legs below (the `decode_batched`
+    /// / `decode_kv_bf16` committed-point geometry, for apples-to-apples
+    /// comparison across PRs).
+    pub steady_block_rows: usize,
+    /// Burst of the mixed steady leg: 0 = every *full* block demotes as
+    /// it ages; the partial block being filled is the f64 burst fresh
+    /// tokens ride.
+    pub steady_burst_blocks: usize,
+    /// Steady-state decode under the `decode_kv_bf16` harness (same
+    /// traffic, prefill untimed, decode steps timed — directly comparable
+    /// to the committed decode points), per format.
+    pub f64_steady: SteadyDecodePoint,
+    /// Pure-BF16 steady decode.
+    pub bf16_steady: SteadyDecodePoint,
+    /// Mixed-format steady decode.
+    pub mixed_steady: SteadyDecodePoint,
+    /// Rows demoted across the mixed run (summed over live sequences at
+    /// the end — evidence the burst actually ages out).
+    pub mixed_demoted_rows: usize,
+    /// Native + BF16 arena blocks at the end of the mixed run.
+    pub mixed_arena_blocks: usize,
+    /// BF16-arena blocks at the end of the mixed run.
+    pub mixed_arena_blocks16: usize,
+}
+
+/// One steady-state decode measurement: aggregate tokens/s over pure
+/// batched decode steps, plus the mean analytic KV bytes those steps
+/// stream.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyDecodePoint {
+    /// Aggregate decode throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// Mean analytic KV bytes streamed per decode step.
+    pub bytes_per_step: f64,
+}
+
+/// The sliding-window eviction sweep: long-running decode with and
+/// without `EvictionPolicy::SlidingWindow`. Eviction masks and frees
+/// out-of-window blocks, so the windowed leg streams a **bounded**
+/// number of bytes per step and holds a bounded arena while the
+/// retain-all leg keeps growing with the history.
+#[derive(Clone, Debug)]
+pub struct DecodeSlidingWindow {
+    /// Live sequences.
+    pub batch: usize,
+    /// Decode steps timed.
+    pub steps: usize,
+    /// Cache block rows.
+    pub block_rows: usize,
+    /// Whole blocks retained behind the newest position.
+    pub window_blocks: usize,
+    /// Full-history leg (`RetainAll`, no mask).
+    pub retain_all: ContinuousCachePoint,
+    /// Windowed leg (`SlidingWindow { window_blocks }`).
+    pub sliding: ContinuousCachePoint,
+    /// Rows evicted per sequence by the end of the windowed run.
+    pub evicted_rows: usize,
+    /// Arena blocks held by the retain-all leg at the end.
+    pub retain_arena_blocks: usize,
+    /// Arena blocks held by the windowed leg at the end (bounded).
+    pub sliding_arena_blocks: usize,
+}
+
 /// Checked batched decode with a BF16 KV cache vs the f64 cache (the
 /// halved-bandwidth serving configuration).
 #[derive(Clone, Debug)]
@@ -215,6 +305,11 @@ pub struct KernelBenchReport {
     /// Continuous batching with admit/retire churn at the largest batch
     /// size.
     pub decode_continuous: DecodeContinuous,
+    /// KV-format policy sweep under prompt-heavy chunked-admission
+    /// serving.
+    pub decode_mixed_format: DecodeMixedFormat,
+    /// Sliding-window eviction vs retain-all decode.
+    pub decode_sliding_window: DecodeSlidingWindow,
 }
 
 impl KernelBenchReport {
@@ -279,6 +374,8 @@ impl KernelBenchReport {
             )
         };
         let cont = &self.decode_continuous;
+        let mixed = &self.decode_mixed_format;
+        let sw = &self.decode_sliding_window;
         format!(
             "{{\n  \"host_threads\": {},\n  \"matmul\": [\n{}\n  ],\n  \"flash2\": [\n{}\n  ],\n  \
              \"dot_simd\": {{\n    \"len\": {},\n    \"f64\": {},\n    \"bf16\": {}\n  }},\n  \
@@ -291,7 +388,21 @@ impl KernelBenchReport {
              \"bf16_tokens_per_s\": {:.1} }},\n  \"decode_continuous\": {{\n    \
              \"batch\": {}, \"steps\": {}, \"churn_every\": {}, \"prefill\": {},\n    \
              \"f64\": {},\n    \"bf16\": {},\n    \
-             \"recycled_blocks\": {}, \"arena_blocks\": {}\n  }}\n}}\n",
+             \"recycled_blocks\": {}, \"arena_blocks\": {}\n  }},\n  \
+             \"decode_mixed_format\": {{\n    \
+             \"batch\": {}, \"steps\": {}, \"churn_every\": {}, \"prefill\": {}, \
+             \"prefill_chunk\": {}, \"block_rows\": {}, \"burst_blocks\": {},\n    \
+             \"f64\": {},\n    \"bf16\": {},\n    \"mixed\": {},\n    \
+             \"steady_block_rows\": {}, \"steady_burst_blocks\": {},\n    \
+             \"f64_steady\": {},\n    \"bf16_steady\": {},\n    \"mixed_steady\": {},\n    \
+             \"mixed_demoted_rows\": {}, \"mixed_arena_blocks\": {}, \
+             \"mixed_arena_blocks16\": {}\n  }},\n  \
+             \"decode_sliding_window\": {{\n    \
+             \"batch\": {}, \"steps\": {}, \"prefill\": {}, \"block_rows\": {}, \
+             \"window_blocks\": {},\n    \
+             \"retain_all\": {},\n    \"sliding_window\": {},\n    \
+             \"evicted_rows\": {}, \"retain_arena_blocks\": {}, \
+             \"sliding_arena_blocks\": {}\n  }}\n}}\n",
             self.host_threads,
             matmul.join(",\n"),
             flash2.join(",\n"),
@@ -322,8 +433,43 @@ impl KernelBenchReport {
             continuous_point(&cont.bf16_cache),
             cont.recycled_blocks,
             cont.arena_blocks,
+            mixed.batch,
+            mixed.steps,
+            mixed.churn_every,
+            shape.prefill,
+            mixed.prefill_chunk,
+            mixed.block_rows,
+            mixed.burst_blocks,
+            continuous_point(&mixed.f64_cache),
+            continuous_point(&mixed.bf16_cache),
+            continuous_point(&mixed.mixed_cache),
+            mixed.steady_block_rows,
+            mixed.steady_burst_blocks,
+            steady_json(&mixed.f64_steady),
+            steady_json(&mixed.bf16_steady),
+            steady_json(&mixed.mixed_steady),
+            mixed.mixed_demoted_rows,
+            mixed.mixed_arena_blocks,
+            mixed.mixed_arena_blocks16,
+            sw.batch,
+            sw.steps,
+            shape.prefill,
+            sw.block_rows,
+            sw.window_blocks,
+            continuous_point(&sw.retain_all),
+            continuous_point(&sw.sliding),
+            sw.evicted_rows,
+            sw.retain_arena_blocks,
+            sw.sliding_arena_blocks,
         )
     }
+}
+
+fn steady_json(p: &SteadyDecodePoint) -> String {
+    format!(
+        "{{ \"tokens_per_s\": {:.1}, \"bytes_per_step\": {:.0} }}",
+        p.tokens_per_s, p.bytes_per_step,
+    )
 }
 
 fn timing_json(t: &KernelTiming) -> String {
@@ -934,6 +1080,402 @@ fn measure_decode_continuous(
     }
 }
 
+/// One end-to-end policy-serving run: synchronous admission of the
+/// opening batch, then `steps` checked decode steps over the live batch.
+/// Every `churn_every` steps the oldest sequence retires and a fresh
+/// prompt is **enqueued**: the following steps' interleaved prefill
+/// chunks admit it while the rest of the batch keeps decoding, and it
+/// joins the decode batch when complete — the prompt-heavy continuous
+/// schedule the mixed-format lever targets. `on_step` observes the
+/// engine after each decode step (pass a no-op when timing).
+/// Token counts one policy-serving run actually processed: decode tokens
+/// stepped (the live batch shrinks while churned prompts admit) and
+/// prompt tokens cached+scored (a prompt enqueued by the final churn may
+/// have chunks that never ran — those are **not** credited).
+#[derive(Clone, Copy, Debug)]
+struct PolicyRunTokens {
+    decode: usize,
+    prompt: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_policy_serving(
+    shape: DecodeShape,
+    churn_every: usize,
+    prefill_chunk: usize,
+    block_rows: usize,
+    format: KvFormat,
+    eviction: EvictionPolicy,
+    inputs: &ContinuousInputs<f64>,
+    mut on_step: impl FnMut(&DecodeBatch<f64>, &[usize]),
+) -> (DecodeBatch<f64>, PolicyRunTokens) {
+    let cfg = MultiHeadConfig::new(shape.heads, AttentionConfig::new(shape.head_dim));
+    let mut engine =
+        DecodeBatch::<f64>::with_policy(cfg, block_rows, KvLayout::HeadMajor, format, eviction);
+    engine.set_prefill_chunk(prefill_chunk);
+    let refs: Vec<(&Matrix<f64>, &Matrix<f64>, &Matrix<f64>)> =
+        inputs.initial.iter().map(|(q, k, v)| (q, k, v)).collect();
+    let mut live: Vec<usize> = engine.admit_all(&refs).iter().map(|a| a.seq).collect();
+    let mut tokens = PolicyRunTokens {
+        decode: 0,
+        prompt: 0,
+    };
+    let mut pending: Vec<usize> = Vec::new();
+    let mut churned = 0usize;
+    let mut acc = 0.0;
+    for t in 0..shape.steps {
+        // The live batch shrinks while a churned prompt admits: slice the
+        // pre-generated step rows down to the current live set.
+        let take = |m: &Matrix<f64>| Matrix::from_fn(live.len(), m.cols(), |r, c| m[(r, c)]);
+        let outs = engine.step_all(
+            &live,
+            &take(&inputs.qs[t]),
+            &take(&inputs.ks[t]),
+            &take(&inputs.vs[t]),
+        );
+        acc += outs[0].output[0];
+        tokens.decode += live.len();
+        on_step(&engine, &live);
+        // Admissions completed by this step's interleaved prefill join
+        // the decode batch.
+        pending.retain(|&s| {
+            if engine.is_pending(s) {
+                true
+            } else {
+                let _ = engine.take_admitted(s);
+                live.push(s);
+                false
+            }
+        });
+        if (t + 1) % churn_every == 0 && churned < inputs.churn.len() {
+            let victim = live.remove(0);
+            engine.retire(victim);
+            let (q, k, v) = &inputs.churn[churned];
+            pending.push(engine.enqueue(q, k, v));
+            churned += 1;
+        }
+    }
+    // Credit only prompt tokens whose prefill actually ran: every retired
+    // victim was fully admitted before retiring (`churned` of them), live
+    // and still-pending sequences report exactly their processed chunks —
+    // a prompt enqueued by the final churn contributes only what the
+    // remaining steps advanced.
+    tokens.prompt = churned * shape.prefill;
+    for s in live.iter().chain(&pending) {
+        tokens.prompt += engine.prompt_len(*s);
+    }
+    std::hint::black_box(acc);
+    (engine, tokens)
+}
+
+/// Analytic KV bytes one decode step streams under a policy engine's
+/// current state: per live sequence, the **visible** rows of each
+/// retained block at that block's element width (8 bytes native, 2
+/// demoted), K and V sides. Masked (out-of-window) and evicted rows
+/// stream nothing — exactly what the block kernels touch.
+fn policy_step_bytes(engine: &DecodeBatch<f64>, live: &[usize]) -> f64 {
+    let cache = engine.cache();
+    let width = cache.width();
+    let block_rows = cache.block_rows();
+    let mut bytes = 0usize;
+    for &s in live {
+        let len = cache.seq_len(s);
+        let lo = match cache.eviction_window_tokens() {
+            Some(w) => len.saturating_sub(w),
+            None => 0,
+        };
+        let first_retained = cache.first_retained(s);
+        for (bi, blk) in cache.seq_blocks(s).iter().enumerate() {
+            let b_first = first_retained + bi * block_rows;
+            let rows_valid = (len - b_first).min(block_rows);
+            let r1 = b_first + rows_valid;
+            let r0 = b_first.max(lo);
+            if r0 >= r1 {
+                continue;
+            }
+            let elem = if blk.bf16 { 2 } else { 8 };
+            bytes += (r1 - r0) * width * 2 * elem;
+        }
+    }
+    bytes as f64
+}
+
+/// Serving-schedule token counts (decode tokens actually stepped, prompt
+/// tokens actually prefilled) and analytic bytes, from one untimed probe
+/// run of the deterministic schedule.
+struct PolicyProbe {
+    tokens: PolicyRunTokens,
+    bytes_per_step: f64,
+    engine: DecodeBatch<f64>,
+}
+
+fn policy_probe(
+    shape: DecodeShape,
+    churn_every: usize,
+    prefill_chunk: usize,
+    block_rows: usize,
+    format: KvFormat,
+    eviction: EvictionPolicy,
+    inputs: &ContinuousInputs<f64>,
+) -> PolicyProbe {
+    let mut bytes = 0.0f64;
+    let (engine, tokens) = run_policy_serving(
+        shape,
+        churn_every,
+        prefill_chunk,
+        block_rows,
+        format,
+        eviction,
+        inputs,
+        |engine, live| {
+            bytes += policy_step_bytes(engine, live);
+        },
+    );
+    PolicyProbe {
+        tokens,
+        bytes_per_step: bytes / shape.steps as f64,
+        engine,
+    }
+}
+
+fn measure_decode_mixed_format(
+    shape: DecodeShape,
+    batch: usize,
+    churn_every: usize,
+    block_rows: usize,
+    steady_block_rows: usize,
+    reps: usize,
+) -> DecodeMixedFormat {
+    let burst_blocks = 1usize;
+    let prefill_chunk = shape.prefill.div_ceil(4).max(1);
+    let inputs = continuous_inputs(shape, batch, churn_every);
+    let legs = [
+        KvFormat::F64,
+        KvFormat::Bf16,
+        KvFormat::Mixed { burst_blocks },
+    ];
+    // Untimed probes: schedule token counts, analytic bytes/step, and
+    // the mixed leg's demotion evidence (the schedule is deterministic,
+    // so any run reports the same counts). Doubles as warmup.
+    let probes: Vec<PolicyProbe> = legs
+        .iter()
+        .map(|&format| {
+            policy_probe(
+                shape,
+                churn_every,
+                prefill_chunk,
+                block_rows,
+                format,
+                EvictionPolicy::RetainAll,
+                &inputs,
+            )
+        })
+        .collect();
+    let mixed_engine = &probes[2].engine;
+    let live: Vec<usize> = (0..mixed_engine.num_sequences())
+        .filter(|&s| !mixed_engine.is_retired(s))
+        .collect();
+    let mixed_demoted_rows = live.iter().map(|&s| mixed_engine.demoted_len(s)).sum();
+    let mixed_arena_blocks = mixed_engine.cache().allocated_blocks();
+    let mixed_arena_blocks16 = mixed_engine.cache().allocated_blocks16();
+
+    // Steady-state decode legs under the exact `decode_kv_bf16` harness:
+    // same pre-generated traffic (`decode_inputs`), same block geometry
+    // as the committed decode points, prefill untimed, decode steps
+    // timed — so these numbers compare directly against the committed
+    // `decode_batched` / `decode_kv_bf16` points across PRs. The mixed
+    // leg runs burst 0: every full block demotes as it ages, the partial
+    // block being filled is the f64 burst fresh tokens ride.
+    let steady_burst_blocks = 0;
+    let steady_formats = [
+        KvFormat::F64,
+        KvFormat::Bf16,
+        KvFormat::Mixed {
+            burst_blocks: steady_burst_blocks,
+        },
+    ];
+    let dec_inputs = decode_inputs(shape, batch);
+    let settle = |format: KvFormat| -> (DecodeBatch<f64>, Vec<usize>) {
+        let cfg = MultiHeadConfig::new(shape.heads, AttentionConfig::new(shape.head_dim));
+        let mut engine = DecodeBatch::<f64>::with_policy(
+            cfg,
+            steady_block_rows,
+            KvLayout::HeadMajor,
+            format,
+            EvictionPolicy::RetainAll,
+        );
+        let ids: Vec<usize> = (0..batch).map(|_| engine.add_sequence()).collect();
+        for (s, &id) in ids.iter().enumerate() {
+            engine.prefill(id, &dec_inputs.k_prompt[s], &dec_inputs.v_prompt[s]);
+        }
+        engine.reserve_rows(batch * shape.steps);
+        (engine, ids)
+    };
+    // Untimed steady bytes probe per leg (deterministic schedule).
+    let steady_bytes: Vec<f64> = steady_formats
+        .iter()
+        .map(|&format| {
+            let (mut engine, ids) = settle(format);
+            let mut bytes = 0.0;
+            for t in 0..shape.steps {
+                let _ = engine.step_all(
+                    &ids,
+                    &dec_inputs.qs[t],
+                    &dec_inputs.ks[t],
+                    &dec_inputs.vs[t],
+                );
+                bytes += policy_step_bytes(&engine, &ids);
+            }
+            bytes / shape.steps as f64
+        })
+        .collect();
+
+    // Timed legs, interleaved round-robin (drift policy) and best-of:
+    // each rep measures all three serving legs and all three steady legs
+    // before the next rep, so host drift biases every variant equally.
+    let mut best = [f64::INFINITY; 3];
+    let mut best_steady = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (i, &format) in legs.iter().enumerate() {
+            let ms = timed_once(
+                || (),
+                |_| {
+                    run_policy_serving(
+                        shape,
+                        churn_every,
+                        prefill_chunk,
+                        block_rows,
+                        format,
+                        EvictionPolicy::RetainAll,
+                        &inputs,
+                        |_, _| {},
+                    )
+                },
+            );
+            best[i] = best[i].min(ms);
+            let ms = timed_once(
+                || settle(steady_formats[i]),
+                |state| {
+                    run_batched(
+                        shape,
+                        &dec_inputs.qs,
+                        &dec_inputs.ks,
+                        &dec_inputs.vs,
+                        state,
+                        true,
+                    )
+                },
+            );
+            best_steady[i] = best_steady[i].min(ms);
+        }
+    }
+    let point = |i: usize| ContinuousCachePoint {
+        total_ms: best[i],
+        tokens_per_s: (probes[i].tokens.decode + probes[i].tokens.prompt) as f64 / (best[i] * 1e-3),
+        decode_tokens_per_s: probes[i].tokens.decode as f64 / (best[i] * 1e-3),
+        bytes_per_step: probes[i].bytes_per_step,
+    };
+    let steady_point = |i: usize| SteadyDecodePoint {
+        tokens_per_s: (batch * shape.steps) as f64 / (best_steady[i] * 1e-3),
+        bytes_per_step: steady_bytes[i],
+    };
+    DecodeMixedFormat {
+        batch,
+        steps: shape.steps,
+        churn_every,
+        prefill_chunk,
+        block_rows,
+        burst_blocks,
+        steady_block_rows,
+        steady_burst_blocks,
+        f64_cache: point(0),
+        bf16_cache: point(1),
+        mixed_cache: point(2),
+        f64_steady: steady_point(0),
+        bf16_steady: steady_point(1),
+        mixed_steady: steady_point(2),
+        mixed_demoted_rows,
+        mixed_arena_blocks,
+        mixed_arena_blocks16,
+    }
+}
+
+fn measure_decode_sliding_window(
+    shape: DecodeShape,
+    batch: usize,
+    block_rows: usize,
+    window_blocks: usize,
+    reps: usize,
+) -> DecodeSlidingWindow {
+    // Pure decode (no churn): the window's effect is cleanest on a
+    // steadily growing history.
+    let no_churn = shape.steps + 1;
+    let inputs = continuous_inputs(shape, batch, no_churn);
+    let legs = [
+        EvictionPolicy::RetainAll,
+        EvictionPolicy::SlidingWindow { window_blocks },
+    ];
+    let probes: Vec<PolicyProbe> = legs
+        .iter()
+        .map(|&eviction| {
+            policy_probe(
+                shape,
+                no_churn,
+                shape.prefill.max(1),
+                block_rows,
+                KvFormat::F64,
+                eviction,
+                &inputs,
+            )
+        })
+        .collect();
+    let sliding_engine = &probes[1].engine;
+    let evicted_rows = (0..sliding_engine.num_sequences())
+        .filter(|&s| !sliding_engine.is_retired(s))
+        .map(|s| sliding_engine.evicted_len(s))
+        .max()
+        .unwrap_or(0);
+
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..reps {
+        for (i, &eviction) in legs.iter().enumerate() {
+            let ms = timed_once(
+                || (),
+                |_| {
+                    run_policy_serving(
+                        shape,
+                        no_churn,
+                        shape.prefill.max(1),
+                        block_rows,
+                        KvFormat::F64,
+                        eviction,
+                        &inputs,
+                        |_, _| {},
+                    )
+                },
+            );
+            best[i] = best[i].min(ms);
+        }
+    }
+    let point = |i: usize| ContinuousCachePoint {
+        total_ms: best[i],
+        tokens_per_s: (probes[i].tokens.decode + probes[i].tokens.prompt) as f64 / (best[i] * 1e-3),
+        decode_tokens_per_s: probes[i].tokens.decode as f64 / (best[i] * 1e-3),
+        bytes_per_step: probes[i].bytes_per_step,
+    };
+    DecodeSlidingWindow {
+        batch,
+        steps: shape.steps,
+        block_rows,
+        window_blocks,
+        retain_all: point(0),
+        sliding: point(1),
+        evicted_rows,
+        retain_arena_blocks: probes[0].engine.cache().allocated_blocks(),
+        sliding_arena_blocks: probes[1].engine.cache().allocated_blocks(),
+    }
+}
+
 /// Runs the kernel-layer benchmark. `quick` shrinks problem sizes and
 /// drops the largest matmul/flash2 points for CI smoke runs.
 pub fn measure(quick: bool) -> KernelBenchReport {
@@ -987,6 +1529,28 @@ pub fn measure(quick: bool) -> KernelBenchReport {
     let decode_kv_bf16 = measure_decode_bf16(decode_shape, largest_batch, decode_reps);
     let decode_continuous =
         measure_decode_continuous(decode_shape, largest_batch, churn_every, decode_reps);
+    // Policy-layer geometry: blocks small enough that the mixed burst and
+    // the eviction window actually exercise at these history lengths.
+    // The steady legs use the committed decode points' 64-row blocks in
+    // full runs (apples-to-apples); quick histories are too short to fill
+    // one, so CI smoke shrinks them.
+    let (mixed_block_rows, steady_block_rows, sw_block_rows, sw_window_blocks) =
+        if quick { (4, 4, 4, 2) } else { (16, 64, 32, 2) };
+    let decode_mixed_format = measure_decode_mixed_format(
+        decode_shape,
+        largest_batch,
+        churn_every,
+        mixed_block_rows,
+        steady_block_rows,
+        decode_reps,
+    );
+    let decode_sliding_window = measure_decode_sliding_window(
+        decode_shape,
+        largest_batch,
+        sw_block_rows,
+        sw_window_blocks,
+        decode_reps,
+    );
 
     KernelBenchReport {
         host_threads: rayon::current_num_threads(),
@@ -998,6 +1562,8 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         decode_batched,
         decode_kv_bf16,
         decode_continuous,
+        decode_mixed_format,
+        decode_sliding_window,
     }
 }
 
@@ -1031,6 +1597,40 @@ mod tests {
         );
         assert!(cont.recycled_blocks > 0, "churn must recycle blocks");
         assert!(cont.arena_blocks > 0);
+        let mixed = &report.decode_mixed_format;
+        assert!(mixed.f64_cache.tokens_per_s > 0.0);
+        assert!(mixed.bf16_cache.tokens_per_s > 0.0);
+        assert!(mixed.mixed_cache.tokens_per_s > 0.0);
+        assert!(mixed.mixed_demoted_rows > 0, "the burst must age out");
+        assert!(mixed.mixed_arena_blocks16 > 0, "demoted blocks exist");
+        assert!(mixed.f64_steady.tokens_per_s > 0.0);
+        assert!(mixed.bf16_steady.tokens_per_s > 0.0);
+        assert!(mixed.mixed_steady.tokens_per_s > 0.0);
+        assert!(
+            mixed.bf16_steady.bytes_per_step <= mixed.mixed_steady.bytes_per_step
+                && mixed.mixed_steady.bytes_per_step < mixed.f64_steady.bytes_per_step,
+            "steady decode bytes order: bf16 <= mixed < f64"
+        );
+        assert!(
+            mixed.bf16_cache.bytes_per_step <= mixed.mixed_cache.bytes_per_step
+                && mixed.mixed_cache.bytes_per_step < mixed.f64_cache.bytes_per_step,
+            "mixed streams between pure bf16 and pure f64: {} <= {} < {}",
+            mixed.bf16_cache.bytes_per_step,
+            mixed.mixed_cache.bytes_per_step,
+            mixed.f64_cache.bytes_per_step,
+        );
+        let sw = &report.decode_sliding_window;
+        assert!(sw.retain_all.tokens_per_s > 0.0);
+        assert!(sw.sliding.tokens_per_s > 0.0);
+        assert!(sw.evicted_rows > 0, "the window must evict");
+        assert!(
+            sw.sliding.bytes_per_step < sw.retain_all.bytes_per_step,
+            "the window bounds streamed bytes"
+        );
+        assert!(
+            sw.sliding_arena_blocks <= sw.retain_arena_blocks,
+            "the window bounds the arena"
+        );
     }
 
     #[test]
@@ -1090,6 +1690,11 @@ mod tests {
             "decode_batched",
             "decode_kv_bf16",
             "decode_continuous",
+            "decode_mixed_format",
+            "decode_sliding_window",
+            "mixed_demoted_rows",
+            "window_blocks",
+            "evicted_rows",
             "bytes_per_step",
             "recycled_blocks",
             "speedup",

@@ -49,6 +49,23 @@ pub fn current_thread_index() -> Option<usize> {
     WORKER_INDEX.with(|i| i.get())
 }
 
+/// Whether the calling thread has an active [`ThreadPool::install`]
+/// thread-count override.
+///
+/// **Shim-only API** (upstream rayon has no equivalent — deliberately):
+/// `fa_tensor::par`'s fork policy uses it in a `debug_assert!` to encode
+/// the shim's execution model — `install` runs its closure on the
+/// *calling* thread, and pool workers are fresh scoped threads that never
+/// carry an override, so "worker with an override" is impossible here.
+/// Upstream rayon runs `install` closures ON a pool worker, which is
+/// exactly the configuration whose silent-serialization hazard the SWAP
+/// NOTE in `fa_tensor::par` documents; swapping upstream in without
+/// following that note fails at compile time on this symbol instead of
+/// silently serializing every `pool.install(..)` call site.
+pub fn install_override_active() -> bool {
+    NUM_THREADS_OVERRIDE.with(|n| n.get()) > 0
+}
+
 /// The number of worker threads a parallel terminal may use.
 pub fn current_num_threads() -> usize {
     let overridden = NUM_THREADS_OVERRIDE.with(|n| n.get());
@@ -512,6 +529,27 @@ mod tests {
             });
         assert!(seen.iter().all(|&inside| inside));
         assert_eq!(current_thread_index(), None);
+    }
+
+    #[test]
+    fn workers_never_carry_install_overrides() {
+        // The invariant `fa_tensor::par`'s SWAP NOTE debug_assert encodes:
+        // `install` overrides live on the calling thread only; pool
+        // workers are fresh scoped threads with no override.
+        assert!(!install_override_active());
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert!(install_override_active(), "override active on caller");
+            let seen: Vec<(bool, bool)> = (0..2usize)
+                .into_par_iter()
+                .map(|_| (install_override_active(), current_thread_index().is_some()))
+                .collect();
+            for (override_active, on_worker) in seen {
+                assert!(on_worker, "items run on flagged workers");
+                assert!(!override_active, "workers never carry install overrides");
+            }
+        });
+        assert!(!install_override_active());
     }
 
     #[test]

@@ -126,6 +126,33 @@ impl CheckedDecodeSession {
         }
     }
 
+    /// Rounds the cached K/V rows in `range` through BF16
+    /// (round-to-nearest-even, the `fa_numerics::bf16` helper) and
+    /// **recomputes their checksum inputs** (`sumrow_i = Σ_c v_i[c]`)
+    /// from the rounded values — the checked golden-model replay of
+    /// `fa_attention::batch::KvCache` block demotion. Rows crossing the
+    /// format boundary leave the full-precision checked window
+    /// explicitly: every later per-token check predicts against the
+    /// rounded values the output lanes actually consume, so verdicts
+    /// stay exact (a mixed-format `DecodeBatch` that demoted exactly
+    /// these positions keeps matching this session bit for bit,
+    /// checksum lane included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the cached length.
+    pub fn demote_cached(&mut self, range: core::ops::Range<usize>) {
+        for i in range {
+            for x in self.keys[i].iter_mut() {
+                *x = fa_numerics::BF16::from_f64(*x).to_f64();
+            }
+            for x in self.values[i].iter_mut() {
+                *x = fa_numerics::BF16::from_f64(*x).to_f64();
+            }
+            self.sumrows[i] = self.values[i].iter().sum();
+        }
+    }
+
     /// Number of cached positions.
     pub fn len(&self) -> usize {
         self.keys.len()

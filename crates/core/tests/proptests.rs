@@ -204,4 +204,105 @@ proptest! {
             );
         }
     }
+
+    /// The policy layer preserves the PR-3 golden-model equivalence with
+    /// the **checksum lane included**: a mixed-format engine (with
+    /// optional sliding-window eviction) decodes bit-identically to
+    /// per-(sequence, head) `CheckedDecodeSession`s whose cached rows get
+    /// the same block demotions replayed (`demote_cached` recomputes the
+    /// demoted rows' sumrows from the rounded values), and every
+    /// per-token check passes on both sides — rows cross the format
+    /// boundary without ever desynchronizing predicted from actual.
+    /// `F64 + RetainAll` is included as a policy point, pinning the
+    /// default path to PR-3 behaviour through the same machinery.
+    #[test]
+    fn mixed_format_engine_matches_checked_sessions_with_demotion_replayed(
+        threads in 1usize..5,
+        block_rows in 1usize..6,
+        burst in 0usize..3,
+        window_blocks in 0usize..4, // 0 = RetainAll
+        layout_hm in any::<bool>(),
+        plain_f64 in any::<bool>(),
+        steps in 2usize..14,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
+        use fa_attention::multihead::MultiHeadConfig;
+        use fa_tensor::random::ElementDist;
+        use flash_abft::CheckedDecodeSession;
+
+        let heads = 2;
+        let d = 4;
+        let head = AttentionConfig::new(d);
+        let cfg = MultiHeadConfig::new(heads, head);
+        let dim = cfg.model_dim();
+        let layout = if layout_hm { KvLayout::HeadMajor } else { KvLayout::TokenMajor };
+        let format = if plain_f64 {
+            KvFormat::F64
+        } else {
+            KvFormat::Mixed { burst_blocks: burst }
+        };
+        let eviction = if window_blocks == 0 {
+            EvictionPolicy::RetainAll
+        } else {
+            EvictionPolicy::SlidingWindow { window_blocks }
+        };
+        let golden_head = match eviction.window_tokens(block_rows) {
+            Some(w) => head.with_sliding_window(w),
+            None => head,
+        };
+        let rand = |rows: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, dim, ElementDist::default(), s)
+        };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+
+        let mut engine = DecodeBatch::<f64>::with_policy(cfg, block_rows, layout, format, eviction);
+        let seq = engine.add_sequence();
+        let mut sessions: Vec<CheckedDecodeSession> = (0..heads)
+            .map(|_| CheckedDecodeSession::new(golden_head))
+            .collect();
+
+        for t in 0..steps {
+            // Replay the engine's block-claim demotion rule before the
+            // goldens see the new token: appending position t claims
+            // block t/block_rows at block boundaries, demoting the oldest
+            // not-yet-demoted full block beyond the burst.
+            if !plain_f64 && t.is_multiple_of(block_rows) && t / block_rows > burst {
+                let b = t / block_rows - burst - 1;
+                for session in sessions.iter_mut() {
+                    session.demote_cached(b * block_rows..(b + 1) * block_rows);
+                }
+            }
+            let s = seed + 10 * t as u64;
+            let qs = rand(1, s);
+            let ks = rand(1, s + 1);
+            let vs = rand(1, s + 2);
+            let outs = pool.install(|| engine.step_all(&[seq], &qs, &ks, &vs));
+            prop_assert!(outs[0].residual().abs() < 1e-10, "engine per-token check, step {}", t);
+            for (h, session) in sessions.iter_mut().enumerate() {
+                let sub = |m: &Matrix<f64>| m.row(0)[h * d..(h + 1) * d].to_vec();
+                let step = session.step(&sub(&qs), &sub(&ks), &sub(&vs));
+                prop_assert!(!step.report.is_alarm(), "golden per-token check, step {}", t);
+                for (c, val) in step.output.iter().enumerate() {
+                    prop_assert_eq!(
+                        outs[0].output[h * d + c].to_bits(),
+                        val.to_bits(),
+                        "step {} head {} lane {}", t, h, c
+                    );
+                }
+            }
+        }
+        prop_assert!(engine.global_residual(seq).abs() < 1e-9);
+        for session in &sessions {
+            prop_assert!(!session.global_report().is_alarm());
+        }
+        // With eviction outpacing the burst (window_blocks ≤ burst),
+        // blocks leave the window before aging out of the burst and
+        // nothing demotes — the goldens still match because those
+        // positions are masked on both sides.
+        let demotion_reachable = window_blocks == 0 || window_blocks > burst;
+        if !plain_f64 && demotion_reachable && steps > block_rows * (burst + 1) {
+            prop_assert!(engine.demoted_len(seq) > 0, "demotion exercised");
+        }
+    }
 }

@@ -467,6 +467,125 @@ pub fn dot_f64_portable<T: Scalar>(a: &[T], b: &[T]) -> f64 {
     s
 }
 
+/// Native BF16 dot product: bit-identical to [`dot_f64`] on the same
+/// BF16 slices (same lane assignment, same combine tree) while skipping
+/// the per-element f64 widening that made BF16 scoring compute-bound
+/// (the PR-3 "bf16 admission" caveat). The AVX2 path converts eight BF16
+/// lanes per instruction and multiplies them 8-wide in `f32` — exact
+/// while the product stays in f32's **normal** range (8+8-bit
+/// significands fit 24 bits, but the exponent can still overflow to
+/// ±inf or underflow past 2⁻¹²⁶), so the kernel carries a running
+/// |product| min/max guard and reruns any slice with an
+/// out-of-normal-range, zero, or non-finite product through the
+/// per-element widening kernel. Results are therefore pinned to
+/// [`dot_f64_portable`]'s order at **every** magnitude
+/// (property-tested, extreme values included); only NaN *payload* bits
+/// are implementation-defined, as everywhere else in this workspace.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot_bf16_native(a: &[fa_numerics::BF16], b: &[fa_numerics::BF16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if let Some(s) = crate::simd::dot_bf16_native(a, b) {
+        return s;
+    }
+    dot_bf16_native_portable(a, b)
+}
+
+/// The portable form of [`dot_bf16_native`] and the definition of its
+/// semantics: exactly [`dot_f64_portable`] over the widened operands.
+/// (Portable hosts have no 8-wide f32 multiplier to win with, so there
+/// is nothing to trade against exactness here.)
+pub fn dot_bf16_native_portable(a: &[fa_numerics::BF16], b: &[fa_numerics::BF16]) -> f64 {
+    dot_f64_portable(a, b)
+}
+
+/// Mixed-format dot product: an `f64` query against a BF16 key row, in
+/// [`dot_f64`]'s blocked summation order. BF16→f64 widening is exact, so
+/// the result is bit-identical to `dot_f64(q, widen(k))` — which is how
+/// the mixed-format KV cache stays pinned to the f64 golden decode model
+/// after demoting blocks: the golden session stores the demoted values
+/// widened back to f64 and scores them through [`dot_f64`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot_f64_bf16(q: &[f64], k: &[fa_numerics::BF16]) -> f64 {
+    assert_eq!(q.len(), k.len(), "dot product length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if let Some(s) = crate::simd::dot_f64_bf16(q, k) {
+        return s;
+    }
+    dot_f64_bf16_portable(q, k)
+}
+
+/// Portable scalar form of [`dot_f64_bf16`] (defines its order; same lane
+/// structure as [`dot_f64_portable`]).
+pub fn dot_f64_bf16_portable(q: &[f64], k: &[fa_numerics::BF16]) -> f64 {
+    assert_eq!(q.len(), k.len(), "dot product length mismatch");
+    let chunks = q.len() / DOT_LANES;
+    let mut acc = [-0.0f64; DOT_LANES];
+    for c in 0..chunks {
+        let base = c * DOT_LANES;
+        for (l, slot) in acc.iter_mut().enumerate() {
+            *slot += q[base + l] * k[base + l].to_f64();
+        }
+    }
+    let mut u = [0.0f64; 4];
+    for (j, slot) in u.iter_mut().enumerate() {
+        *slot = (acc[j] + acc[j + 8]) + (acc[j + 4] + acc[j + 12]);
+    }
+    let mut s = (u[0] + u[1]) + (u[2] + u[3]);
+    for k_i in chunks * DOT_LANES..q.len() {
+        s += q[k_i] * k[k_i].to_f64();
+    }
+    s
+}
+
+/// [`dot_then_scale_rows`] for demoted (BF16-stored) cache blocks scored
+/// against an `f64` query: `out[i] = dot_f64_bf16(q, row_i) · scale`.
+/// Every score is bit-identical to widening the BF16 row to f64 and
+/// calling [`dot_then_scale`] — the block-demotion equivalence the
+/// mixed-format decode proptests pin.
+///
+/// # Panics
+///
+/// Panics if `row_stride < q.len()` or `rows` is too short.
+#[inline]
+pub fn dot_then_scale_rows_bf16(
+    q: &[f64],
+    rows: &[fa_numerics::BF16],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    if n_rows == 0 {
+        return;
+    }
+    assert!(
+        row_stride >= q.len(),
+        "row stride {row_stride} shorter than query length {}",
+        q.len()
+    );
+    let needed = (n_rows - 1) * row_stride + q.len();
+    assert!(
+        rows.len() >= needed,
+        "row block too short: {} < {needed}",
+        rows.len()
+    );
+    out.reserve(n_rows);
+    for r in 0..n_rows {
+        let row = &rows[r * row_stride..r * row_stride + q.len()];
+        out.push(dot_f64_bf16(q, row) * scale);
+    }
+}
+
 /// The seed's sequential dot product (one ascending add chain): the
 /// accuracy golden model and the baseline the `dot_simd` benchmark
 /// measures speedups from.
@@ -683,6 +802,120 @@ mod tests {
     fn dot_rows_short_block_panics() {
         let mut out = Vec::new();
         dot_then_scale_rows(&[1.0f64, 2.0], &[1.0f64, 2.0, 3.0], 2, 2, 1.0, &mut out);
+    }
+
+    #[test]
+    fn bf16_native_dot_bit_identical_to_widening_dot() {
+        // The native kernel's f32 products are exact, so it must equal
+        // dot_f64 (and the portable order definition) bit for bit at
+        // every length — chunks, tails, sub-lane slices, empty.
+        for len in [0usize, 1, 7, 16, 17, 31, 48, 129] {
+            let a: Vec<BF16> = (0..len)
+                .map(|i| BF16::from_f64((i as f64 * 0.73).sin()))
+                .collect();
+            let b: Vec<BF16> = (0..len)
+                .map(|i| BF16::from_f64((i as f64 * 0.41).cos() - 0.3))
+                .collect();
+            let native = dot_bf16_native(&a, &b);
+            assert_eq!(
+                native.to_bits(),
+                dot_f64(&a, &b).to_bits(),
+                "native vs widening, len {len}"
+            );
+            assert_eq!(
+                native.to_bits(),
+                dot_bf16_native_portable(&a, &b).to_bits(),
+                "dispatch vs portable order, len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_native_dot_range_guard_catches_extremes() {
+        // f32 products of these operands overflow to inf / underflow to
+        // zero; the range guard must route the slice through the
+        // widening path so the result still equals dot_f64 bit for bit.
+        let cases: &[f64] = &[
+            2e19,    // product 4e38 > f32::MAX
+            1e-30,   // product 1e-60, far below f32's subnormals
+            3.3e38,  // near BF16::MAX: squares overflow violently
+            1e-38,   // near f32 MIN_POSITIVE: squares underflow
+            -2.5e25, // sign + overflow
+            0.0,     // exact zero products trip the guard conservatively
+        ];
+        for &base in cases {
+            // A full chunk of extreme values plus ordinary ones, so the
+            // guard has to catch a bad product inside the SIMD loop.
+            let mut vals = [base; DOT_LANES + 3];
+            for (i, v) in vals.iter_mut().enumerate().skip(4) {
+                if i % 3 == 0 {
+                    *v = 0.5 + i as f64 * 0.01;
+                }
+            }
+            let a: Vec<BF16> = vals.iter().map(|&v| BF16::from_f64(v)).collect();
+            let b: Vec<BF16> = vals.iter().map(|&v| BF16::from_f64(v * 0.7)).collect();
+            assert_eq!(
+                dot_bf16_native(&a, &b).to_bits(),
+                dot_bf16_native_portable(&a, &b).to_bits(),
+                "base {base}"
+            );
+            assert_eq!(
+                dot_bf16_native(&a, &b).to_bits(),
+                dot_f64(&a, &b).to_bits(),
+                "base {base}"
+            );
+        }
+        // Infinite operands: any inf×nonzero product is ±inf and trips
+        // the guard; the widening path then reproduces the f64 result.
+        let mut vals = vec![BF16::from_f64(1.0); DOT_LANES];
+        vals[3] = BF16::INFINITY;
+        let plain: Vec<BF16> = (0..DOT_LANES)
+            .map(|i| BF16::from_f64(1.0 + i as f64))
+            .collect();
+        assert_eq!(
+            dot_bf16_native(&vals, &plain).to_bits(),
+            dot_f64_portable(&vals, &plain).to_bits(),
+        );
+    }
+
+    #[test]
+    fn mixed_dot_equals_widened_f64_dot() {
+        for len in [0usize, 3, 16, 40, 100] {
+            let q: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let k16: Vec<BF16> = (0..len)
+                .map(|i| BF16::from_f64((i as f64 * 0.59).cos()))
+                .collect();
+            let k_wide: Vec<f64> = k16.iter().map(|x| x.to_f64()).collect();
+            let mixed = dot_f64_bf16(&q, &k16);
+            assert_eq!(mixed.to_bits(), dot_f64(&q, &k_wide).to_bits(), "len {len}");
+            assert_eq!(
+                mixed.to_bits(),
+                dot_f64_bf16_portable(&q, &k16).to_bits(),
+                "dispatch vs portable, len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rows_bit_identical_to_per_row_calls() {
+        let d = 20;
+        let q: Vec<f64> = (0..d).map(|i| (i as f64 * 0.91).sin()).collect();
+        for stride in [d, d + 5] {
+            let n_rows = 4;
+            let block: Vec<BF16> = (0..(n_rows - 1) * stride + d)
+                .map(|i| BF16::from_f64((i as f64 * 0.23).cos()))
+                .collect();
+            let mut out = Vec::new();
+            dot_then_scale_rows_bf16(&q, &block, stride, n_rows, 0.25, &mut out);
+            assert_eq!(out.len(), n_rows);
+            for (r, &s) in out.iter().enumerate() {
+                let row = &block[r * stride..r * stride + d];
+                assert_eq!(s.to_bits(), (dot_f64_bf16(&q, row) * 0.25).to_bits());
+            }
+        }
+        let mut out = vec![1.0; 2];
+        dot_then_scale_rows_bf16(&q, &[], d, 0, 1.0, &mut out);
+        assert!(out.is_empty(), "zero rows clears the buffer");
     }
 
     #[test]

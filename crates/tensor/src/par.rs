@@ -33,6 +33,21 @@ pub const MATMUL_ROW_BLOCK: usize = 32;
 /// every `pool.install(|| kernel(..))` call site silently serializes.
 #[inline]
 fn forking_possible() -> bool {
+    // SWAP NOTE enforcement: under the shim, `install` overrides live on
+    // the calling thread and pool workers are fresh scoped threads, so a
+    // worker carrying an install override is impossible — that combination
+    // is the upstream-rayon execution model (where `install` runs ON a
+    // worker), i.e. exactly the configuration in which the
+    // `current_thread_index` clause below silently serializes every
+    // `pool.install(|| kernel)` call site. `install_override_active` is
+    // shim-only API, so an upstream swap that skips the SWAP NOTE fails
+    // loudly at compile time right here; if the shim's execution model
+    // itself ever drifts, the assert fires in debug runs.
+    debug_assert!(
+        !(rayon::current_thread_index().is_some() && rayon::install_override_active()),
+        "fork policy: pool worker carries an install override — `install` no longer \
+         runs on the calling thread; drop the `current_thread_index` clause (SWAP NOTE)"
+    );
     rayon::current_num_threads() > 1 && rayon::current_thread_index().is_none()
 }
 

@@ -61,10 +61,34 @@ pub(crate) fn dot_f64<T: Scalar>(a: &[T], b: &[T]) -> Option<f64> {
     } else if t == TypeId::of::<f32>() {
         Some(unsafe { dot_avx2_f32(slice_cast(a), slice_cast(b)) })
     } else if t == TypeId::of::<BF16>() {
-        Some(unsafe { dot_avx2_bf16(slice_cast(a), slice_cast(b)) })
+        // The native kernel is bit-identical to the per-element widening
+        // path (f32 BF16 products are exact within f32's normal range;
+        // the in-kernel range guard falls back to the widening kernel
+        // when any product could leave it) and much cheaper.
+        Some(unsafe { dot_avx2_bf16_native(slice_cast(a), slice_cast(b)) })
     } else {
         None
     }
+}
+
+/// AVX2 dispatch for [`crate::ops::dot_bf16_native`]: `None` when the
+/// host lacks AVX2.
+pub(crate) fn dot_bf16_native(a: &[BF16], b: &[BF16]) -> Option<f64> {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return None;
+    }
+    // SAFETY: AVX2 presence checked above.
+    Some(unsafe { dot_avx2_bf16_native(a, b) })
+}
+
+/// AVX2 dispatch for [`crate::ops::dot_f64_bf16`]: `None` when the host
+/// lacks AVX2.
+pub(crate) fn dot_f64_bf16(q: &[f64], k: &[BF16]) -> Option<f64> {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return None;
+    }
+    // SAFETY: AVX2 presence checked above.
+    Some(unsafe { dot_avx2_f64_bf16(q, k) })
 }
 
 /// Combines the four accumulator vectors and the scalar tail exactly like
@@ -167,8 +191,86 @@ unsafe fn load_bf16x4_as_f64(p: *const BF16) -> __m256d {
     _mm256_cvtps_pd(_mm_castsi128_ps(widened))
 }
 
+/// Widens eight consecutive BF16 patterns starting at `p` to an `f32x8`
+/// (`u16 << 16` is the exact BF16→f32 embedding).
+#[inline]
 #[target_feature(enable = "avx2")]
-unsafe fn dot_avx2_bf16(a: &[BF16], b: &[BF16]) -> f64 {
+unsafe fn load_bf16x8_as_f32(p: *const BF16) -> __m256 {
+    let raw = _mm_loadu_si128(p.cast::<__m128i>());
+    _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(raw)))
+}
+
+/// The native BF16 dot kernel: eight lanes converted per instruction,
+/// products formed 8-wide in `f32` (exact — 8+8-bit significands fit 24),
+/// then widened once to `f64` for accumulation in the portable kernel's
+/// lane order (product of element `16c+l` lands in accumulator lane `l`).
+/// Bit-identical to both `dot_bf16_native_portable` and, because the f32
+/// products are exact, to `dot_f64_portable` on the same slices.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_bf16_native(a: &[BF16], b: &[BF16]) -> f64 {
+    let lanes = crate::ops::DOT_LANES;
+    let chunks = a.len() / lanes;
+    // −0.0 seeds: the portable kernel's fold identity (see
+    // `dot_f64_portable`), so signed-zero edge cases match bit for bit.
+    let mut v0 = _mm256_set1_pd(-0.0);
+    let mut v1 = _mm256_set1_pd(-0.0);
+    let mut v2 = _mm256_set1_pd(-0.0);
+    let mut v3 = _mm256_set1_pd(-0.0);
+    // Range guard: an f32 product of two BF16 operands is exact only
+    // while it stays in f32's **normal** range — overflow saturates to
+    // ±inf and underflow loses significand bits (or flushes to zero),
+    // either of which would break the bit-identity to the f64-product
+    // order. Track the running |product| min/max with sticky NaN/inf
+    // propagation (new value as the FIRST max/min operand: x86 min/max
+    // return the second operand on unordered compares, so a NaN that
+    // enters the state never leaves it); one scalar check at the end
+    // routes any suspicious slice through the per-element widening
+    // kernel instead. Exact zeros (a zero operand) also trip the guard —
+    // conservative, rare in hot data, and merely slower, never wrong.
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let mut max_abs = _mm256_setzero_ps();
+    let mut min_abs = _mm256_set1_ps(f32::INFINITY);
+    for c in 0..chunks {
+        let pa = a.as_ptr().add(c * lanes);
+        let pb = b.as_ptr().add(c * lanes);
+        let p_lo = _mm256_mul_ps(load_bf16x8_as_f32(pa), load_bf16x8_as_f32(pb));
+        let p_hi = _mm256_mul_ps(load_bf16x8_as_f32(pa.add(8)), load_bf16x8_as_f32(pb.add(8)));
+        let abs_lo = _mm256_and_ps(p_lo, abs_mask);
+        let abs_hi = _mm256_and_ps(p_hi, abs_mask);
+        max_abs = _mm256_max_ps(_mm256_max_ps(abs_lo, abs_hi), max_abs);
+        min_abs = _mm256_min_ps(_mm256_min_ps(abs_lo, abs_hi), min_abs);
+        v0 = _mm256_add_pd(v0, _mm256_cvtps_pd(_mm256_castps256_ps128(p_lo)));
+        v1 = _mm256_add_pd(v1, _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(p_lo)));
+        v2 = _mm256_add_pd(v2, _mm256_cvtps_pd(_mm256_castps256_ps128(p_hi)));
+        v3 = _mm256_add_pd(v3, _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(p_hi)));
+    }
+    if chunks > 0 {
+        // A lane is suspicious when its |product| overflowed (inf), is
+        // NaN (the `_UQ` predicates return true on unordered), or dipped
+        // below f32's smallest normal (underflow / exact zero). Two
+        // vector compares + one movemask — cheap enough to pay per call
+        // even for decode-sized d.
+        let over = _mm256_cmp_ps::<_CMP_NLT_UQ>(max_abs, _mm256_set1_ps(f32::INFINITY));
+        let under = _mm256_cmp_ps::<_CMP_NGE_UQ>(min_abs, _mm256_set1_ps(f32::MIN_POSITIVE));
+        if _mm256_movemask_ps(_mm256_or_ps(over, under)) != 0 {
+            return dot_avx2_bf16_widening(a, b);
+        }
+    }
+    let mut s = dot_combine(v0, v1, v2, v3);
+    for k in chunks * lanes..a.len() {
+        // Tail products widen per element — always exact.
+        s += a[k].to_f64() * b[k].to_f64();
+    }
+    s
+}
+
+/// The per-element-widening BF16 dot (each operand widened BF16→f64 via
+/// an exact 4-lane convert before the multiply): slower than the native
+/// kernel but exact at every magnitude — the fallback the range guard
+/// routes overflow/underflow-prone slices through, and the semantics
+/// both kernels are pinned to.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_bf16_widening(a: &[BF16], b: &[BF16]) -> f64 {
     let lanes = crate::ops::DOT_LANES;
     let chunks = a.len() / lanes;
     // −0.0 seeds: the portable kernel's fold identity (see
@@ -203,6 +305,46 @@ unsafe fn dot_avx2_bf16(a: &[BF16], b: &[BF16]) -> f64 {
     let mut s = dot_combine(v0, v1, v2, v3);
     for k in chunks * lanes..a.len() {
         s += a[k].to_f64() * b[k].to_f64();
+    }
+    s
+}
+
+/// Mixed-operand dot: `f64` query lanes against BF16 key lanes widened
+/// 4-at-a-time (exact), in the portable kernel's lane order — bit-identical
+/// to `dot_f64_bf16_portable` and to `dot_f64` on a pre-widened key row.
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2_f64_bf16(q: &[f64], k: &[BF16]) -> f64 {
+    let lanes = crate::ops::DOT_LANES;
+    let chunks = q.len() / lanes;
+    // −0.0 seeds: the portable kernel's fold identity (see
+    // `dot_f64_portable`), so signed-zero edge cases match bit for bit.
+    let mut v0 = _mm256_set1_pd(-0.0);
+    let mut v1 = _mm256_set1_pd(-0.0);
+    let mut v2 = _mm256_set1_pd(-0.0);
+    let mut v3 = _mm256_set1_pd(-0.0);
+    for c in 0..chunks {
+        let pq = q.as_ptr().add(c * lanes);
+        let pk = k.as_ptr().add(c * lanes);
+        v0 = _mm256_add_pd(
+            v0,
+            _mm256_mul_pd(_mm256_loadu_pd(pq), load_bf16x4_as_f64(pk)),
+        );
+        v1 = _mm256_add_pd(
+            v1,
+            _mm256_mul_pd(_mm256_loadu_pd(pq.add(4)), load_bf16x4_as_f64(pk.add(4))),
+        );
+        v2 = _mm256_add_pd(
+            v2,
+            _mm256_mul_pd(_mm256_loadu_pd(pq.add(8)), load_bf16x4_as_f64(pk.add(8))),
+        );
+        v3 = _mm256_add_pd(
+            v3,
+            _mm256_mul_pd(_mm256_loadu_pd(pq.add(12)), load_bf16x4_as_f64(pk.add(12))),
+        );
+    }
+    let mut s = dot_combine(v0, v1, v2, v3);
+    for i in chunks * lanes..q.len() {
+        s += q[i] * k[i].to_f64();
     }
     s
 }

@@ -218,6 +218,35 @@ proptest! {
         );
     }
 
+    /// The native BF16 dot kernel (f32 products, one widening per
+    /// product) is pinned to its portable combine-order definition AND to
+    /// the per-element-widening `dot_f64` path, bit for bit — the
+    /// exactness of f32 BF16 products is what lets the mixed-format cache
+    /// change the kernel without changing a single result. The mixed
+    /// f64×BF16 kernel is likewise pinned to `dot_f64` over pre-widened
+    /// keys.
+    #[test]
+    fn bf16_native_and_mixed_dots_bit_identical_to_widening(
+        data in proptest::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 0..200),
+    ) {
+        use fa_tensor::ops::{
+            dot_bf16_native, dot_bf16_native_portable, dot_f64_bf16, dot_f64_bf16_portable,
+            dot_f64_portable,
+        };
+        let (a, b): (Vec<f64>, Vec<f64>) = data.into_iter().unzip();
+        let a16: Vec<BF16> = a.iter().map(|&x| BF16::from_f64(x)).collect();
+        let b16: Vec<BF16> = b.iter().map(|&x| BF16::from_f64(x)).collect();
+
+        let native = dot_bf16_native(&a16, &b16);
+        prop_assert_eq!(native.to_bits(), dot_bf16_native_portable(&a16, &b16).to_bits());
+        prop_assert_eq!(native.to_bits(), dot_f64_portable(&a16, &b16).to_bits());
+
+        let b_wide: Vec<f64> = b16.iter().map(|x| x.to_f64()).collect();
+        let mixed = dot_f64_bf16(&a, &b16);
+        prop_assert_eq!(mixed.to_bits(), dot_f64_bf16_portable(&a, &b16).to_bits());
+        prop_assert_eq!(mixed.to_bits(), dot_f64(&a, &b_wide).to_bits());
+    }
+
     /// The dispatched axpy equals the portable element-wise loop bit for
     /// bit for every format, length and coefficient pair.
     #[test]
