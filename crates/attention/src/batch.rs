@@ -27,20 +27,35 @@
 //!   [`retire`](DecodeBatch::retire) frees a finished sequence's blocks
 //!   without disturbing its neighbours' checksum state. One
 //!   [`step_all`](DecodeBatch::step_all) call appends every live
-//!   sequence's new K/V, then schedules all `sequences × heads` fused
-//!   Alg. 3 passes — online softmax, output lanes **and** the per-head
-//!   checksum lane in one sweep over the cache — across the shared rayon
-//!   pool in a **single fork**.
+//!   sequence's new K/V, then schedules all `sequences × kv_heads` fused
+//!   Alg. 3 group passes — online softmax, output lanes **and** the
+//!   per-query-head checksum lane in one sweep over the cache — across
+//!   the shared rayon pool in a **single fork**.
 //!
-//! Per-(sequence, head) arithmetic is identical to
-//! [`DecodeSession::step_with_state`](crate::decode::DecodeSession::step_with_state),
-//! to `flash_abft::CheckedDecodeSession::step`, and to a one-shot causal
-//! [`flash2`](crate::flash2) pass over the same history; cross-head
-//! combination runs in a fixed order on the calling thread — so `step_all`
-//! is bit-identical to serial per-sequence decode at every thread count,
-//! cache layout, block size, and admit/retire schedule (property-tested).
+//! The whole engine is **GQA-native**: head counts arrive as a
+//! [`HeadTopology`] (`query_heads` query heads sharing `kv_heads` cached
+//! K/V streams; plain multi-head attention is the degenerate
+//! `kv_heads == query_heads` point, and
+//! [`MultiHeadConfig`](crate::multihead::MultiHeadConfig)/
+//! [`GqaConfig`](crate::gqa::GqaConfig) convert implicitly). The cache
+//! stores **one K/V stream per kv head**,
+//! so grouped models stream `group_size×` fewer bytes per decode step —
+//! the dominant lever on KV-bandwidth-bound serving sweeps — and each
+//! scheduled `(sequence, kv_head)` pass walks its contiguous K/V panels
+//! once while feeding all `group_size` query-head states, including the
+//! per-group `sumrow(V)` checksum input the group shares for free
+//! (per-query-head verdicts stay exact).
+//!
+//! Per-(sequence, query-head) arithmetic is identical to
+//! [`DecodeSession::step_with_state`](crate::decode::DecodeSession::step_with_state)
+//! against that head's group K/V, to `flash_abft::CheckedDecodeSession::step`,
+//! and to a one-shot causal [`flash2`](crate::flash2) pass over the same
+//! history; cross-head combination runs in a fixed order on the calling
+//! thread — so `step_all` is bit-identical to serial per-sequence decode
+//! at every thread count, topology, cache layout, block size, and
+//! admit/retire schedule (property-tested).
 
-use crate::multihead::MultiHeadConfig;
+use crate::topology::HeadTopology;
 use fa_numerics::{KahanSum, OnlineSoftmax, BF16};
 use fa_tensor::{ops, Matrix, Scalar};
 use rayon::prelude::*;
@@ -206,6 +221,12 @@ pub struct HeadBlock<'a, T> {
 /// in fixed-size blocks carved out of one shared arena, with an
 /// append-only block list per live sequence and a free list recycling the
 /// blocks of retired sequences.
+///
+/// The cache's heads are **kv heads**: under a grouped topology
+/// ([`HeadTopology`]) the engine constructs the cache with `kv_heads`
+/// streams, so blocks are allocated, demoted, and evicted per kv head and
+/// the per-sequence arena bound is proportional to `kv_heads` (not
+/// `query_heads`) — query-head grouping lives entirely above the cache.
 ///
 /// Blocks from different sequences interleave in the arena (whichever
 /// sequence appends next claims the next block), so memory grows with
@@ -379,7 +400,7 @@ impl<T: Scalar> KvCache<T> {
         self.head_dim
     }
 
-    /// Number of heads the layout splits each row into.
+    /// Number of (kv) heads the layout splits each row into.
     pub fn num_heads(&self) -> usize {
         self.heads
     }
@@ -947,10 +968,11 @@ impl<T: Scalar> KvCache<T> {
 #[derive(Clone, Debug)]
 pub struct DecodeStepOutput {
     /// The normalized attention row for the new token, packed
-    /// `num_heads · head_dim` wide (head-major, like the inputs).
+    /// `query_heads · head_dim` wide (head-major, like the inputs).
     pub output: Vec<f64>,
-    /// Predicted checksum: `Σ_h c_h/ℓ_h` over the sequence's heads
-    /// (Alg. 3 line 10, summed across heads).
+    /// Predicted checksum: `Σ_h c_h/ℓ_h` over the sequence's **query**
+    /// heads (Alg. 3 line 10, summed across heads; grouped heads share
+    /// their kv head's `sumrow` inputs but keep per-head verdict terms).
     pub predicted: f64,
     /// Actual checksum: the sum of all produced output lanes.
     pub actual: f64,
@@ -972,7 +994,7 @@ pub struct AdmittedPrompt {
     /// The sequence id the prompt was admitted as (may reuse a retired
     /// slot).
     pub seq: usize,
-    /// The prompt's causal self-attention output (`N × model_dim`,
+    /// The prompt's causal self-attention output (`N × q_dim`,
     /// f64 like the decode outputs).
     pub output: Matrix<f64>,
     /// Predicted prompt checksum: per head, the Kahan-accumulated Alg. 3
@@ -1049,8 +1071,10 @@ struct PendingPrompt<T: Scalar> {
 /// bookkeeping) has one home.
 #[derive(Clone, Debug)]
 struct SequenceState<T: Scalar> {
-    /// `sumrow_h(v_i)` for every cached position `i` and head `h`, stored
-    /// `i·H + h` — the Eq. 4 vector the checksum lane consumes, computed
+    /// `sumrow_g(v_i)` for every cached position `i` and **kv head** `g`,
+    /// stored `i·kv_heads + g` — the Eq. 4 vector the checksum lane
+    /// consumes, shared by every query head of group `g` (the per-group
+    /// `sumrow(V)` saving GQA gets for free), computed
     /// from the **stored** row (so BF16-rounded rows contribute their
     /// rounded values) and recomputed for demoted ranges. Entries for
     /// evicted positions are retained but never read again (masked).
@@ -1094,7 +1118,7 @@ impl<T: Scalar> SequenceState<T> {
 
 #[derive(Clone, Debug)]
 pub struct DecodeBatch<T: Scalar> {
-    cfg: MultiHeadConfig,
+    cfg: HeadTopology,
     cache: KvCache<T>,
     /// One state record per sequence slot (live or retired).
     seqs: Vec<SequenceState<T>>,
@@ -1109,13 +1133,17 @@ pub struct DecodeBatch<T: Scalar> {
 }
 
 impl<T: Scalar> DecodeBatch<T> {
-    /// Creates an empty engine with the given head layout and KV-cache
+    /// Creates an empty engine with the given head topology and KV-cache
     /// block size (rows per block), using the head-major cache layout.
+    /// Accepts anything convertible into a [`HeadTopology`] — a topology
+    /// itself, a [`MultiHeadConfig`](crate::multihead::MultiHeadConfig)
+    /// (the `kv_heads == query_heads` point), or a
+    /// [`GqaConfig`](crate::gqa::GqaConfig).
     ///
     /// # Panics
     ///
     /// Panics if `block_rows == 0`.
-    pub fn new(cfg: MultiHeadConfig, block_rows: usize) -> Self {
+    pub fn new(cfg: impl Into<HeadTopology>, block_rows: usize) -> Self {
         Self::with_layout(cfg, block_rows, KvLayout::HeadMajor)
     }
 
@@ -1125,7 +1153,7 @@ impl<T: Scalar> DecodeBatch<T> {
     /// # Panics
     ///
     /// Panics if `block_rows == 0`.
-    pub fn new_token_major(cfg: MultiHeadConfig, block_rows: usize) -> Self {
+    pub fn new_token_major(cfg: impl Into<HeadTopology>, block_rows: usize) -> Self {
         Self::with_layout(cfg, block_rows, KvLayout::TokenMajor)
     }
 
@@ -1135,7 +1163,7 @@ impl<T: Scalar> DecodeBatch<T> {
     /// # Panics
     ///
     /// Panics if `block_rows == 0`.
-    pub fn with_layout(cfg: MultiHeadConfig, block_rows: usize, layout: KvLayout) -> Self {
+    pub fn with_layout(cfg: impl Into<HeadTopology>, block_rows: usize, layout: KvLayout) -> Self {
         Self::with_policy(
             cfg,
             block_rows,
@@ -1149,19 +1177,27 @@ impl<T: Scalar> DecodeBatch<T> {
     /// policies — the full policy-layer constructor. With
     /// `KvFormat::F64` + `EvictionPolicy::RetainAll` the engine is
     /// bit-identical to the PR-3 golden path at every layout and block
-    /// size (property-tested).
+    /// size (property-tested), and with `kv_heads == query_heads` it is
+    /// bit-identical to the PR-4 per-query-head engine across **all**
+    /// policy combinations.
+    ///
+    /// The cache is allocated per **kv head**: each block holds
+    /// `kv_heads` contiguous panels, so a grouped topology's arena bound
+    /// (and its streamed bytes per decode step) is proportional to
+    /// `kv_heads`, not `query_heads`.
     ///
     /// # Panics
     ///
     /// Panics if `block_rows == 0`, or a sliding-window eviction policy
     /// has `window_blocks == 0`.
     pub fn with_policy(
-        cfg: MultiHeadConfig,
+        cfg: impl Into<HeadTopology>,
         block_rows: usize,
         layout: KvLayout,
         format: KvFormat,
         eviction: EvictionPolicy,
     ) -> Self {
+        let cfg = cfg.into();
         // Fold the eviction window into the head mask: evicted positions
         // must be exactly the ones `visible_range` already excludes.
         let mask_window = match eviction.window_tokens(block_rows) {
@@ -1171,7 +1207,7 @@ impl<T: Scalar> DecodeBatch<T> {
         DecodeBatch {
             cfg,
             cache: KvCache::with_policy(
-                cfg.num_heads,
+                cfg.kv_heads,
                 cfg.head.head_dim(),
                 block_rows,
                 layout,
@@ -1184,8 +1220,9 @@ impl<T: Scalar> DecodeBatch<T> {
         }
     }
 
-    /// The head layout.
-    pub fn config(&self) -> &MultiHeadConfig {
+    /// The head topology (query/kv head counts and the per-head kernel
+    /// config).
+    pub fn config(&self) -> &HeadTopology {
         &self.cfg
     }
 
@@ -1271,7 +1308,7 @@ impl<T: Scalar> DecodeBatch<T> {
     }
 
     /// Pre-fills sequence `seq` from prompt K/V matrices
-    /// (`N × model_dim`) **without computing attention** — for prompts
+    /// (`N × kv_dim`) **without computing attention** — for prompts
     /// whose pass was checked elsewhere. [`admit`](Self::admit) is the
     /// checked admission path.
     ///
@@ -1279,8 +1316,8 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics on shape mismatch or out-of-range/retired `seq`.
     pub fn prefill(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
-        assert_eq!(k.cols(), self.cfg.model_dim(), "K width mismatch");
-        assert_eq!(v.cols(), self.cfg.model_dim(), "V width mismatch");
+        assert_eq!(k.cols(), self.cfg.kv_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.cfg.kv_dim(), "V width mismatch");
         assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
         for i in 0..k.rows() {
             self.append_token(seq, k.row(i), v.row(i));
@@ -1385,15 +1422,18 @@ impl<T: Scalar> DecodeBatch<T> {
     }
 
     fn append_token_anchored(&mut self, seq: usize, k: &[T], v: &[T], anchor: usize) {
-        let h = self.cfg.num_heads;
+        let kv = self.cfg.kv_heads;
         let outcome = self.cache.append_anchored(seq, k, v, anchor);
         let pos = self.cache.seq_len(seq) - 1;
         // Checksum inputs come from the *stored* row: identical to the
         // input row for native storage (same values, same lane order),
         // RNE-rounded for BF16 storage — so the checksum lane always
-        // predicts what the output lanes will actually consume.
-        for hi in 0..h {
-            let sumrow = self.cache.value_head_sum(seq, pos, hi);
+        // predicts what the output lanes will actually consume. One
+        // sumrow per **kv head**: every query head of a group reads the
+        // same entry — the shared-`sumrow(V)` saving the paper notes GQA
+        // inherits for free.
+        for g in 0..kv {
+            let sumrow = self.cache.value_head_sum(seq, pos, g);
             self.seqs[seq].sumrows.push(sumrow);
         }
         // Demoted rows changed value mid-sequence: refresh their sumrows
@@ -1406,8 +1446,8 @@ impl<T: Scalar> DecodeBatch<T> {
                 if p < first_retained {
                     continue;
                 }
-                for hi in 0..h {
-                    self.seqs[seq].sumrows[p * h + hi] = self.cache.value_head_sum(seq, p, hi);
+                for g in 0..kv {
+                    self.seqs[seq].sumrows[p * kv + g] = self.cache.value_head_sum(seq, p, g);
                 }
             }
         }
@@ -1452,17 +1492,16 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics on shape mismatch.
     pub fn enqueue(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
-        let dim = self.cfg.model_dim();
-        assert_eq!(q.cols(), dim, "prompt Q width mismatch");
-        assert_eq!(k.cols(), dim, "prompt K width mismatch");
-        assert_eq!(v.cols(), dim, "prompt V width mismatch");
+        assert_eq!(q.cols(), self.cfg.q_dim(), "prompt Q width mismatch");
+        assert_eq!(k.cols(), self.cfg.kv_dim(), "prompt K width mismatch");
+        assert_eq!(v.cols(), self.cfg.kv_dim(), "prompt V width mismatch");
         assert_eq!(q.rows(), k.rows(), "prompt Q/K row count mismatch");
         assert_eq!(k.rows(), v.rows(), "prompt K/V row count mismatch");
         self.enqueue_validated(q, k, v)
     }
 
     fn enqueue_validated(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
-        let dim = self.cfg.model_dim();
+        let q_dim = self.cfg.q_dim();
         let seq = self.add_sequence();
         // The pending queue owns its staging (chunks outlive the caller's
         // borrow). The synchronous admit path pays these clones too —
@@ -1473,7 +1512,7 @@ impl<T: Scalar> DecodeBatch<T> {
             k: k.clone(),
             v: v.clone(),
             next: 0,
-            output: Matrix::zeros(q.rows(), dim),
+            output: Matrix::zeros(q.rows(), q_dim),
             predicted: 0.0,
             actual: 0.0,
         });
@@ -1543,20 +1582,19 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// # Panics
     ///
-    /// Panics on shape mismatch (each prompt's Q/K/V must be
-    /// `N × model_dim` with one shared `N`).
+    /// Panics on shape mismatch (each prompt's Q must be `N × q_dim`,
+    /// K/V `N × kv_dim`, with one shared `N` per prompt).
     pub fn admit_all(
         &mut self,
         prompts: &[(&Matrix<T>, &Matrix<T>, &Matrix<T>)],
     ) -> Vec<AdmittedPrompt> {
-        let dim = self.cfg.model_dim();
         // Validate every prompt before mutating anything, so a malformed
         // prompt cannot leave earlier prompts half-admitted (same
         // validate-before-mutate contract as `step_all`).
         for &(q, k, v) in prompts {
-            assert_eq!(q.cols(), dim, "prompt Q width mismatch");
-            assert_eq!(k.cols(), dim, "prompt K width mismatch");
-            assert_eq!(v.cols(), dim, "prompt V width mismatch");
+            assert_eq!(q.cols(), self.cfg.q_dim(), "prompt Q width mismatch");
+            assert_eq!(k.cols(), self.cfg.kv_dim(), "prompt K width mismatch");
+            assert_eq!(v.cols(), self.cfg.kv_dim(), "prompt V width mismatch");
             assert_eq!(q.rows(), k.rows(), "prompt Q/K row count mismatch");
             assert_eq!(k.rows(), v.rows(), "prompt K/V row count mismatch");
         }
@@ -1580,12 +1618,16 @@ impl<T: Scalar> DecodeBatch<T> {
     /// The chunked-admission engine: advances pending prompts (all of
     /// them, or the `only` subset) by at most `chunk` prompt tokens each
     /// — appending the chunk's K/V rows, then running every
-    /// `prompt × head` checked prefill pass for the chunk's queries in
-    /// ONE fork, then folding each chunk's per-head Kahan checksums into
-    /// the pending and per-sequence totals. Completed prompts park their
-    /// [`AdmittedPrompt`] for [`take_admitted`](Self::take_admitted).
+    /// `prompt × kv_head` checked prefill **group pass** for the chunk's
+    /// queries in ONE fork (each pass streams its kv head's panels once,
+    /// feeding all `group_size` query heads), then folding each chunk's
+    /// per-query-head Kahan checksums into the pending and per-sequence
+    /// totals. Completed prompts park their [`AdmittedPrompt`] for
+    /// [`take_admitted`](Self::take_admitted).
     fn advance_pending(&mut self, chunk: usize, only: Option<&[usize]>) -> usize {
-        let h = self.cfg.num_heads;
+        let h = self.cfg.query_heads;
+        let kv = self.cfg.kv_heads;
+        let gs = self.cfg.group_size();
         let d = self.cfg.head.head_dim();
         let ids: Vec<usize> = match only {
             Some(list) => list.to_vec(),
@@ -1617,30 +1659,40 @@ impl<T: Scalar> DecodeBatch<T> {
             spans.push((seq, p0, p1));
         }
 
-        // Phase 2: one fork over all prompt×head chunk passes. Few-but-
-        // huge work units: each pair is an O(N²·d)-ish pass, so even a
-        // 2-way fork pays — the decode-tuned rows≥16 floor of
-        // `worth_parallelizing` would serialize small batches of long
-        // prompts.
+        // Phase 2: one fork over all prompt×kv_head chunk group passes.
+        // Few-but-huge work units: each pair is an O(N²·d·group)-ish
+        // pass, so even a 2-way fork pays — the decode-tuned rows≥16
+        // floor of `worth_parallelizing` would serialize small batches of
+        // long prompts.
         let pairs: Vec<(usize, usize)> = (0..spans.len())
-            .flat_map(|si| (0..h).map(move |hi| (si, hi)))
+            .flat_map(|si| (0..kv).map(move |g| (si, g)))
             .collect();
         let per_pair_elems = spans
             .iter()
-            .map(|&(_, p0, p1)| (p1 * p1).saturating_sub(p0 * p0) / 2 * d)
+            .map(|&(_, p0, p1)| (p1 * p1).saturating_sub(p0 * p0) / 2 * d * gs)
             .max()
             .unwrap_or(0);
         let engine = &*self;
-        let pass = |(si, hi): (usize, usize)| {
+        // Each pair yields the chunk's states in (query, member) order:
+        // entry `j·group_size + m` is chunk query `p0 + j`, member `m` of
+        // kv head `g` (query head `g·group_size + m`).
+        let pass = |(si, g): (usize, usize)| {
             let (seq, p0, p1) = spans[si];
             let pend = engine.seqs[seq].pending.as_ref().expect("pending survives");
-            let cols = engine.cfg.head_cols(hi);
+            let cols = engine.cfg.group_q_cols(g);
             let mut scores = Vec::new();
-            (p0..p1)
-                .map(|p| {
-                    engine.fused_pass(seq, hi, &pend.q.row(p)[cols.clone()], p, true, &mut scores)
-                })
-                .collect::<Vec<HeadState>>()
+            let mut states = Vec::with_capacity((p1 - p0) * gs);
+            for p in p0..p1 {
+                states.extend(engine.fused_group_pass(
+                    seq,
+                    g,
+                    &pend.q.row(p)[cols.clone()],
+                    p,
+                    true,
+                    &mut scores,
+                ));
+            }
+            states
         };
         let states: Vec<Vec<HeadState>> =
             if crate::par::worth_parallelizing_units(pairs.len(), per_pair_elems) {
@@ -1649,9 +1701,9 @@ impl<T: Scalar> DecodeBatch<T> {
                 pairs.into_iter().map(pass).collect()
             };
 
-        // Phase 3: finalize per prompt in (head, query) order on this
-        // thread — the same Kahan order as flash2_with_checksum per head,
-        // folded once per chunk.
+        // Phase 3: finalize per prompt in (query head, query) order on
+        // this thread — the same Kahan order as flash2_with_checksum per
+        // head, folded once per chunk.
         let mut processed = 0;
         for (si, &(seq, p0, p1)) in spans.iter().enumerate() {
             processed += p1 - p0;
@@ -1659,9 +1711,12 @@ impl<T: Scalar> DecodeBatch<T> {
             let mut predicted = 0.0f64;
             let mut actual = 0.0f64;
             for hi in 0..h {
+                let (g, m) = (hi / gs, hi % gs);
+                let group_states = &states[si * kv + g];
                 let mut pred = KahanSum::new();
                 let mut act = KahanSum::new();
-                for (j, state) in states[si * h + hi].iter().enumerate() {
+                for j in 0..p1 - p0 {
+                    let state = &group_states[j * gs + m];
                     let p = p0 + j;
                     for (c, &lane) in state.lanes[..d].iter().enumerate() {
                         let val = lane / state.sum_exp;
@@ -1697,14 +1752,16 @@ impl<T: Scalar> DecodeBatch<T> {
     }
 
     /// Decodes one token for every listed sequence, with the fused online
-    /// checksum riding each head's pass.
+    /// checksum riding each query head's pass.
     ///
-    /// Row `i` of `qs`/`ks`/`vs` (each `batch × model_dim`) is the new
-    /// token of `seq_ids[i]`. All K/V rows are appended first, then every
-    /// `sequence × head` pass is scheduled across the shared rayon pool
-    /// in one fork; per-head states are combined in input order on the
-    /// calling thread, so the result is bit-identical at every thread
-    /// count and to serial per-sequence decode.
+    /// Row `i` of `qs` (`batch × q_dim`) and of `ks`/`vs`
+    /// (`batch × kv_dim`) is the new token of `seq_ids[i]`. All K/V rows
+    /// are appended first, then every `sequence × kv_head` group pass is
+    /// scheduled across the shared rayon pool in one fork — each pass
+    /// streams its kv head's contiguous panels once while feeding all
+    /// `group_size` query-head states; per-head states are combined in
+    /// input order on the calling thread, so the result is bit-identical
+    /// at every thread count and to serial per-sequence decode.
     ///
     /// # Panics
     ///
@@ -1718,12 +1775,12 @@ impl<T: Scalar> DecodeBatch<T> {
         vs: &Matrix<T>,
     ) -> Vec<DecodeStepOutput> {
         let states = self.run_passes(seq_ids, qs, ks, vs, true);
-        let h = self.cfg.num_heads;
+        let h = self.cfg.query_heads;
         let d = self.cfg.head.head_dim();
         // Finalize in input order on this thread (Alg. 3 lines 9–11).
         let mut outputs = Vec::with_capacity(seq_ids.len());
         for (i, &seq) in seq_ids.iter().enumerate() {
-            let mut output = vec![0.0f64; self.cfg.model_dim()];
+            let mut output = vec![0.0f64; self.cfg.q_dim()];
             let mut predicted = 0.0f64;
             let mut actual = 0.0f64;
             for (hi, state) in states[i * h..(i + 1) * h].iter().enumerate() {
@@ -1770,13 +1827,13 @@ impl<T: Scalar> DecodeBatch<T> {
         for &seq in seq_ids {
             self.seqs[seq].unchecked_steps += 1;
         }
-        let h = self.cfg.num_heads;
+        let h = self.cfg.query_heads;
         let d = self.cfg.head.head_dim();
         seq_ids
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                let mut output = vec![0.0f64; self.cfg.model_dim()];
+                let mut output = vec![0.0f64; self.cfg.q_dim()];
                 for (hi, state) in states[i * h..(i + 1) * h].iter().enumerate() {
                     for (c, &lane) in state.lanes[..d].iter().enumerate() {
                         output[hi * d + c] = lane / state.sum_exp;
@@ -1787,8 +1844,9 @@ impl<T: Scalar> DecodeBatch<T> {
             .collect()
     }
 
-    /// Appends every input token, then runs all `batch × heads` fused
-    /// passes in a single fork.
+    /// Appends every input token, then runs all `batch × kv_heads` fused
+    /// group passes in a single fork. Returns one [`HeadState`] per
+    /// (sequence, **query head**), in query-head order per sequence.
     fn run_passes(
         &mut self,
         seq_ids: &[usize],
@@ -1797,10 +1855,9 @@ impl<T: Scalar> DecodeBatch<T> {
         vs: &Matrix<T>,
         checked: bool,
     ) -> Vec<HeadState> {
-        let model_dim = self.cfg.model_dim();
-        assert_eq!(qs.cols(), model_dim, "Q width mismatch");
-        assert_eq!(ks.cols(), model_dim, "K width mismatch");
-        assert_eq!(vs.cols(), model_dim, "V width mismatch");
+        assert_eq!(qs.cols(), self.cfg.q_dim(), "Q width mismatch");
+        assert_eq!(ks.cols(), self.cfg.kv_dim(), "K width mismatch");
+        assert_eq!(vs.cols(), self.cfg.kv_dim(), "V width mismatch");
         let batch = seq_ids.len();
         assert_eq!(qs.rows(), batch, "one Q row per sequence id");
         assert_eq!(ks.rows(), batch, "one K row per sequence id");
@@ -1829,62 +1886,83 @@ impl<T: Scalar> DecodeBatch<T> {
             self.append_token(seq, ks.row(i), vs.row(i));
         }
 
-        // Phase 2: one fork over all sequence×head passes.
-        let h = self.cfg.num_heads;
-        let work = batch * h;
+        // Phase 2: one fork over all sequence×kv_head group passes. Each
+        // unit owns one kv head's contiguous K/V stream and computes all
+        // of its group's query-head states in one sweep; flattening the
+        // (sequence-major, kv-head-major, member) results yields exactly
+        // query-head order per sequence.
+        let kv = self.cfg.kv_heads;
+        let gs = self.cfg.group_size();
+        let d = self.cfg.head.head_dim();
+        let work = batch * kv;
         let max_len = seq_ids
             .iter()
             .map(|&s| self.cache.seq_len(s))
             .max()
             .unwrap_or(0);
         let pass = |flat: usize| {
-            let (i, hi) = (flat / h, flat % h);
+            let (i, g) = (flat / kv, flat % kv);
             let seq = seq_ids[i];
-            let cols = self.cfg.head_cols(hi);
+            // A group's query heads are contiguous in the packed Q row.
+            let cols = self.cfg.group_q_cols(g);
             let mut scores = Vec::new();
-            self.fused_pass(
+            self.fused_group_pass(
                 seq,
-                hi,
+                g,
                 &qs.row(i)[cols],
                 self.cache.seq_len(seq) - 1,
                 checked,
                 &mut scores,
             )
         };
-        if crate::par::worth_parallelizing(work, max_len, self.cfg.head.head_dim()) {
+        let groups: Vec<Vec<HeadState>> = if crate::par::worth_parallelizing(work, max_len, d * gs)
+        {
             (0..work).into_par_iter().map(pass).collect()
         } else {
             (0..work).map(pass).collect()
-        }
+        };
+        groups.into_iter().flatten().collect()
     }
 
-    /// The fused Alg. 3 loop for one (sequence, head) query at position
-    /// `last_pos`: one sweep over the sequence's cached blocks up to (and
-    /// including) `last_pos`, computing scores, online-softmax state,
-    /// output lanes and (when `checked`) the checksum lane.
+    /// The fused Alg. 3 loop for one (sequence, **kv head**) group at
+    /// query position `last_pos`: one sweep over that kv head's cached
+    /// blocks up to (and including) `last_pos`, computing scores,
+    /// online-softmax state, output lanes and (when `checked`) the
+    /// checksum lane for **every query head of the group** — the K/V
+    /// panels are walked once per block while they are cache-hot, so a
+    /// grouped topology pays the DRAM traffic of one head for
+    /// `group_size` query states.
     ///
-    /// Each block is scored first through the contiguous-stream
-    /// [`ops::dot_then_scale_rows`] kernel (with the head-major layout
-    /// the K panel is one pure contiguous span), then its scores and V
-    /// rows fold through the online recurrence — two tight streams per
-    /// block. Decode passes use `last_pos == seq_len − 1`; admitted
-    /// prompt queries use their own position, which also applies the
-    /// causal mask. Sliding-window masking is relative to `last_pos`,
-    /// matching `DecodeSession::step_with_state`. `scores` is caller
-    /// scratch, reused across blocks and queries.
-    fn fused_pass(
+    /// `q_group` packs the group's query sub-rows member-major
+    /// (`group_size · d` lanes). Each block is scored per member through
+    /// the contiguous-stream [`ops::dot_then_scale_rows`] kernel (with
+    /// the head-major layout the K panel is one pure contiguous span),
+    /// then its scores and V rows fold through the member's online
+    /// recurrence — per member, exactly the arithmetic of the
+    /// per-query-head PR-4 pass, so `group_size == 1` is bit-identical to
+    /// it. The checksum lane reads the per-(position, kv head) `sumrow`,
+    /// shared by all members of the group. Decode passes use
+    /// `last_pos == seq_len − 1`; admitted prompt queries use their own
+    /// position, which also applies the causal mask. Sliding-window
+    /// masking is relative to `last_pos`, matching
+    /// `DecodeSession::step_with_state`. `scores` is caller scratch,
+    /// reused across blocks, members and queries. Returns the group's
+    /// states in member (query-head) order.
+    fn fused_group_pass(
         &self,
         seq: usize,
-        head: usize,
-        q_sub: &[T],
+        kv_head: usize,
+        q_group: &[T],
         last_pos: usize,
         checked: bool,
         scores: &mut Vec<f64>,
-    ) -> HeadState {
+    ) -> Vec<HeadState> {
         let d = self.cfg.head.head_dim();
-        let h = self.cfg.num_heads;
+        let kv = self.cfg.kv_heads;
+        let gs = self.cfg.group_size();
         let scale = self.cfg.head.scale();
         let sumrows = &self.seqs[seq].sumrows;
+        debug_assert_eq!(q_group.len(), gs * d);
 
         // Visible positions: the causal-window interval ending at
         // `last_pos`, under the tighter of the configured sliding window
@@ -1895,20 +1973,22 @@ impl<T: Scalar> DecodeBatch<T> {
             None => 0,
         };
 
-        // Widened query for demoted-block scoring: the mixed-operand dot
-        // widens BF16 keys per lane (exact), so scoring a demoted block
-        // equals scoring its widened contents through the f64 kernel bit
-        // for bit — what keeps mixed-format decode pinned to the f64
-        // golden session. Only materialized when BF16 blocks can exist.
+        // Widened queries for demoted-block scoring: the mixed-operand
+        // dot widens BF16 keys per lane (exact), so scoring a demoted
+        // block equals scoring its widened contents through the f64
+        // kernel bit for bit — what keeps mixed-format decode pinned to
+        // the f64 golden session. Only materialized when BF16 blocks can
+        // exist.
         let q_wide: Vec<f64> = if self.cache.format() == KvFormat::F64 {
             Vec::new()
         } else {
-            q_sub.iter().map(|x| x.to_f64()).collect()
+            q_group.iter().map(|x| x.to_f64()).collect()
         };
 
-        let mut os = OnlineSoftmax::new();
-        let mut lanes = vec![0.0f64; d + 1];
-        for blk in self.cache.head_stream(seq, head) {
+        let mut states: Vec<(OnlineSoftmax, Vec<f64>)> = (0..gs)
+            .map(|_| (OnlineSoftmax::new(), vec![0.0f64; d + 1]))
+            .collect();
+        for blk in self.cache.head_stream(seq, kv_head) {
             if blk.first > last_pos {
                 break;
             }
@@ -1919,39 +1999,46 @@ impl<T: Scalar> DecodeBatch<T> {
             }
             match blk.data {
                 HeadBlockData::Native { k, v } => {
-                    ops::dot_then_scale_rows(
-                        q_sub,
-                        &k[r0 * blk.stride..],
-                        blk.stride,
-                        r1 - r0,
-                        scale,
-                        scores,
-                    );
-                    accumulate_block(
-                        &mut os, &mut lanes, scores, v, blk.stride, r0, blk.first, sumrows, h,
-                        head, checked,
-                    );
+                    for (m, (os, lanes)) in states.iter_mut().enumerate() {
+                        ops::dot_then_scale_rows(
+                            &q_group[m * d..(m + 1) * d],
+                            &k[r0 * blk.stride..],
+                            blk.stride,
+                            r1 - r0,
+                            scale,
+                            scores,
+                        );
+                        accumulate_block(
+                            os, lanes, scores, v, blk.stride, r0, blk.first, sumrows, kv, kv_head,
+                            checked,
+                        );
+                    }
                 }
                 HeadBlockData::Demoted { k, v } => {
-                    ops::dot_then_scale_rows_bf16(
-                        &q_wide,
-                        &k[r0 * blk.stride..],
-                        blk.stride,
-                        r1 - r0,
-                        scale,
-                        scores,
-                    );
-                    accumulate_block(
-                        &mut os, &mut lanes, scores, v, blk.stride, r0, blk.first, sumrows, h,
-                        head, checked,
-                    );
+                    for (m, (os, lanes)) in states.iter_mut().enumerate() {
+                        ops::dot_then_scale_rows_bf16(
+                            &q_wide[m * d..(m + 1) * d],
+                            &k[r0 * blk.stride..],
+                            blk.stride,
+                            r1 - r0,
+                            scale,
+                            scores,
+                        );
+                        accumulate_block(
+                            os, lanes, scores, v, blk.stride, r0, blk.first, sumrows, kv, kv_head,
+                            checked,
+                        );
+                    }
                 }
             }
         }
-        HeadState {
-            lanes,
-            sum_exp: os.sum_exp(),
-        }
+        states
+            .into_iter()
+            .map(|(os, lanes)| HeadState {
+                lanes,
+                sum_exp: os.sum_exp(),
+            })
+            .collect()
     }
 }
 
@@ -1996,6 +2083,8 @@ fn accumulate_block<V: Scalar>(
 mod tests {
     use super::*;
     use crate::decode::DecodeSession;
+    use crate::gqa::GqaConfig;
+    use crate::multihead::MultiHeadConfig;
     use crate::AttentionConfig;
     use fa_tensor::random::ElementDist;
 
@@ -2721,5 +2810,174 @@ mod tests {
         let _ = batch.step_all(&[s], &m, &m, &m);
         batch.retire(s);
         let _ = batch.step_all(&[s], &m, &m, &m);
+    }
+
+    #[test]
+    fn gqa_decode_matches_per_query_head_sessions_bitwise() {
+        // The grouped engine: one cached K/V stream per kv head, each
+        // group pass feeding group_size query states. Every query head
+        // must equal a plain DecodeSession fed its group's K/V slices,
+        // bit for bit, at every layout and block size.
+        let d = 4;
+        let gqa = GqaConfig::new(4, 2, AttentionConfig::new(d));
+        let topo = gqa.topology();
+        for layout in [KvLayout::HeadMajor, KvLayout::TokenMajor] {
+            for block_rows in [1, 3, 16] {
+                let mut engine = DecodeBatch::<f64>::with_layout(gqa, block_rows, layout);
+                let ids = vec![engine.add_sequence(), engine.add_sequence()];
+                let mut sessions: Vec<Vec<DecodeSession<f64>>> = (0..2)
+                    .map(|_| (0..4).map(|_| DecodeSession::new(gqa.head)).collect())
+                    .collect();
+                for t in 0..7u64 {
+                    let qs = rand(2, topo.q_dim(), 4000 + t);
+                    let ks = rand(2, topo.kv_dim(), 4100 + t);
+                    let vs = rand(2, topo.kv_dim(), 4200 + t);
+                    let outs = engine.step_all(&ids, &qs, &ks, &vs);
+                    for (i, out) in outs.iter().enumerate() {
+                        assert!(out.residual().abs() < 1e-10, "fused check holds");
+                        for (h, session) in sessions[i].iter_mut().enumerate() {
+                            let g = topo.group_of(h);
+                            let reference = session.step(
+                                &qs.row(i)[topo.q_head_cols(h)],
+                                &ks.row(i)[topo.kv_head_cols(g)],
+                                &vs.row(i)[topo.kv_head_cols(g)],
+                            );
+                            for (c, r) in reference.iter().enumerate() {
+                                assert_eq!(
+                                    out.output[h * d + c].to_bits(),
+                                    r.to_bits(),
+                                    "{layout:?} block_rows {block_rows} step {t} seq {i} \
+                                     head {h} lane {c}"
+                                );
+                            }
+                        }
+                    }
+                }
+                for &id in &ids {
+                    assert!(engine.global_residual(id).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gqa_decode_matches_grouped_golden_session_bitwise() {
+        // The dedicated GQA golden model (`GqaDecodeSession`) must agree
+        // with the batched engine token for token.
+        let gqa = GqaConfig::new(6, 3, AttentionConfig::new(4));
+        let topo = gqa.topology();
+        let mut engine = DecodeBatch::<f64>::new(gqa, 4);
+        let ids = vec![engine.add_sequence()];
+        let mut golden = crate::decode::GqaDecodeSession::<f64>::new(topo);
+        for t in 0..9u64 {
+            let qs = rand(1, topo.q_dim(), 4300 + t);
+            let ks = rand(1, topo.kv_dim(), 4400 + t);
+            let vs = rand(1, topo.kv_dim(), 4500 + t);
+            let outs = engine.step_all(&ids, &qs, &ks, &vs);
+            let reference = golden.step(qs.row(0), ks.row(0), vs.row(0));
+            for (c, (a, b)) in outs[0].output.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {t} lane {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn gqa_arena_is_kv_head_proportional() {
+        // The cache allocates per kv head: the grouped engine's arena
+        // (and streamed bytes) must shrink by group_size relative to the
+        // ungrouped engine under identical traffic.
+        let d = 8;
+        let head = AttentionConfig::new(d);
+        let mha = MultiHeadConfig::new(4, head);
+        let gqa = GqaConfig::new(4, 1, head);
+        let mut wide = DecodeBatch::<f64>::new(mha, 4);
+        let mut narrow = DecodeBatch::<f64>::new(gqa, 4);
+        let w = vec![wide.add_sequence()];
+        let n = vec![narrow.add_sequence()];
+        for t in 0..12u64 {
+            let qs = rand(1, 4 * d, 4600 + t);
+            let ks = rand(1, 4 * d, 4700 + t);
+            let vs = rand(1, 4 * d, 4800 + t);
+            let kv_slice = |m: &Matrix<f64>| Matrix::from_fn(1, d, |_, c| m[(0, c)]);
+            let _ = wide.step_all(&w, &qs, &ks, &vs);
+            let _ = narrow.step_all(&n, &qs, &kv_slice(&ks), &kv_slice(&vs));
+        }
+        assert_eq!(wide.cache().width(), 4 * d);
+        assert_eq!(narrow.cache().width(), d, "kv-head-proportional rows");
+        assert_eq!(
+            wide.cache().allocated_blocks(),
+            narrow.cache().allocated_blocks(),
+            "same block count"
+        );
+        // Same retained positions, 4x narrower rows => 1/4 the elements.
+        assert!(narrow.global_residual(n[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gqa_group1_topology_is_the_mha_engine_bitwise() {
+        // kv_heads == query_heads must be *exactly* the per-query-head
+        // engine — same code path, bit for bit, prompt and decode.
+        let head = AttentionConfig::new(4);
+        let dim = 3 * 4;
+        let (pq, pk, pv) = (rand(6, dim, 30), rand(6, dim, 31), rand(6, dim, 32));
+        let mut a = DecodeBatch::<f64>::with_policy(
+            GqaConfig::new(3, 3, head),
+            2,
+            KvLayout::HeadMajor,
+            KvFormat::Mixed { burst_blocks: 1 },
+            EvictionPolicy::SlidingWindow { window_blocks: 2 },
+        );
+        let mut b = DecodeBatch::<f64>::with_policy(
+            MultiHeadConfig::new(3, head),
+            2,
+            KvLayout::HeadMajor,
+            KvFormat::Mixed { burst_blocks: 1 },
+            EvictionPolicy::SlidingWindow { window_blocks: 2 },
+        );
+        let pa = a.admit(&pq, &pk, &pv);
+        let pb = b.admit(&pq, &pk, &pv);
+        assert_eq!(pa.output, pb.output);
+        assert_eq!(pa.predicted.to_bits(), pb.predicted.to_bits());
+        for t in 0..8u64 {
+            let qs = rand(1, dim, 5000 + t);
+            let ks = rand(1, dim, 5100 + t);
+            let vs = rand(1, dim, 5200 + t);
+            let oa = a.step_all(&[pa.seq], &qs, &ks, &vs);
+            let ob = b.step_all(&[pb.seq], &qs, &ks, &vs);
+            assert_eq!(oa[0].output, ob[0].output, "step {t}");
+            assert_eq!(oa[0].predicted.to_bits(), ob[0].predicted.to_bits());
+        }
+        assert_eq!(
+            a.global_residual(pa.seq).to_bits(),
+            b.global_residual(pb.seq).to_bits()
+        );
+    }
+
+    #[test]
+    fn gqa_chunked_admission_matches_synchronous_admit() {
+        // Chunked prefill schedules (prompt, kv_head) group passes; the
+        // result must equal the synchronous admit bit for bit (F64, no
+        // demotion), like the MHA path.
+        let gqa = GqaConfig::new(4, 2, AttentionConfig::new(4));
+        let topo = gqa.topology();
+        let (pq, pk, pv) = (
+            rand(11, topo.q_dim(), 80),
+            rand(11, topo.kv_dim(), 81),
+            rand(11, topo.kv_dim(), 82),
+        );
+        let mut sync = DecodeBatch::<f64>::new(gqa, 4);
+        let wholesale = sync.admit(&pq, &pk, &pv);
+        assert!(wholesale.residual().abs() < 1e-9);
+
+        let mut chunked = DecodeBatch::<f64>::new(gqa, 4);
+        chunked.set_prefill_chunk(3);
+        let seq = chunked.enqueue(&pq, &pk, &pv);
+        while chunked.is_pending(seq) {
+            chunked.prefill_step();
+        }
+        let admitted = chunked.take_admitted(seq).expect("completed");
+        assert_eq!(admitted.output, wholesale.output);
+        assert_eq!(admitted.predicted.to_bits(), wholesale.predicted.to_bits());
+        assert_eq!(admitted.actual.to_bits(), wholesale.actual.to_bits());
     }
 }

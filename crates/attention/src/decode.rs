@@ -8,6 +8,7 @@
 //! Flash-ABFT per-query checksum applies step-by-step (see
 //! `flash_abft::decode`).
 
+use crate::topology::HeadTopology;
 use crate::AttentionConfig;
 use fa_numerics::OnlineSoftmax;
 use fa_tensor::{Matrix, Scalar};
@@ -144,6 +145,153 @@ impl<T: Scalar> DecodeSession<T> {
     }
 }
 
+/// A grouped-query decoding session: **one** K/V cache per kv head,
+/// shared by all `group_size` query heads of its group — the GQA-aware
+/// golden model for `fa_attention::batch::DecodeBatch` with a grouped
+/// [`HeadTopology`].
+///
+/// Per query head the arithmetic is exactly [`DecodeSession::step`]
+/// against that head's group K/V (same SIMD score/axpy kernels, same
+/// order), so this session is bit-identical to per-query-head sessions
+/// fed pre-sliced group K/V — while storing each group's K/V once, like
+/// the engine it models.
+///
+/// # Example
+///
+/// ```
+/// use fa_attention::{decode::GqaDecodeSession, AttentionConfig, HeadTopology};
+///
+/// // 2 query heads sharing 1 kv head of dimension 2.
+/// let topo = HeadTopology::gqa(2, 1, AttentionConfig::new(2));
+/// let mut session = GqaDecodeSession::<f64>::new(topo);
+/// let out = session.step(&[1.0, 0.0, 0.0, 1.0], &[0.5, 0.5], &[2.0, 4.0]);
+/// // First step: both query heads see the single cached row.
+/// assert_eq!(out, vec![2.0, 4.0, 2.0, 4.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GqaDecodeSession<T> {
+    topo: HeadTopology,
+    /// `keys[g][i]` is kv head `g`'s cached key row at position `i`.
+    keys: Vec<Vec<Vec<T>>>,
+    values: Vec<Vec<Vec<T>>>,
+}
+
+impl<T: Scalar> GqaDecodeSession<T> {
+    /// Creates an empty session.
+    pub fn new(topo: HeadTopology) -> Self {
+        GqaDecodeSession {
+            topo,
+            keys: vec![Vec::new(); topo.kv_heads],
+            values: vec![Vec::new(); topo.kv_heads],
+        }
+    }
+
+    /// The head topology.
+    pub fn topology(&self) -> HeadTopology {
+        self.topo
+    }
+
+    /// Number of cached positions (identical for every kv head).
+    pub fn len(&self) -> usize {
+        self.keys[0].len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys[0].is_empty()
+    }
+
+    /// Pre-fills every kv head's cache from packed prompt K/V matrices
+    /// (`N × kv_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn prefill(&mut self, k: &Matrix<T>, v: &Matrix<T>) {
+        assert_eq!(k.cols(), self.topo.kv_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.topo.kv_dim(), "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        for i in 0..k.rows() {
+            for g in 0..self.topo.kv_heads {
+                let cols = self.topo.kv_head_cols(g);
+                self.keys[g].push(k.row(i)[cols.clone()].to_vec());
+                self.values[g].push(v.row(i)[cols].to_vec());
+            }
+        }
+    }
+
+    /// Rounds every kv head's cached K/V rows in `range` through BF16
+    /// (RNE, widened back into `T`) — the golden-model replay of
+    /// `KvCache` block demotion, shared across the group exactly like
+    /// the engine's per-kv-head blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the cached length.
+    pub fn demote_cached(&mut self, range: core::ops::Range<usize>) {
+        for i in range {
+            for g in 0..self.topo.kv_heads {
+                for x in self.keys[g][i].iter_mut() {
+                    *x = T::from_f64(crate::batch::round_bf16(*x).to_f64());
+                }
+                for x in self.values[g][i].iter_mut() {
+                    *x = T::from_f64(crate::batch::round_bf16(*x).to_f64());
+                }
+            }
+        }
+    }
+
+    /// Appends the new token's K/V (packed `kv_dim` rows, one sub-row
+    /// per kv head) and computes every query head's attention row against
+    /// its group's whole cache, returning the packed `q_dim`-wide output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn step(&mut self, q: &[T], k: &[T], v: &[T]) -> Vec<f64> {
+        let d = self.topo.head.head_dim();
+        assert_eq!(q.len(), self.topo.q_dim(), "query length mismatch");
+        assert_eq!(k.len(), self.topo.kv_dim(), "key length mismatch");
+        assert_eq!(v.len(), self.topo.kv_dim(), "value length mismatch");
+        for g in 0..self.topo.kv_heads {
+            let cols = self.topo.kv_head_cols(g);
+            self.keys[g].push(k[cols.clone()].to_vec());
+            self.values[g].push(v[cols].to_vec());
+        }
+
+        let newest = self.len() - 1;
+        let lo = self
+            .topo
+            .head
+            .with_causal(true)
+            .visible_range(newest, self.len())
+            .start;
+        let mut out = vec![0.0f64; self.topo.q_dim()];
+        for h in 0..self.topo.query_heads {
+            let g = self.topo.group_of(h);
+            let q_sub = &q[self.topo.q_head_cols(h)];
+            let mut os = OnlineSoftmax::new();
+            let mut acc = vec![0.0f64; d];
+            for i in lo..self.len() {
+                let s =
+                    fa_tensor::ops::dot_then_scale(q_sub, &self.keys[g][i], self.topo.head.scale());
+                let step = os.push(s);
+                fa_tensor::ops::axpy_f64(
+                    &mut acc,
+                    &self.values[g][i],
+                    step.scale_old,
+                    step.weight_new,
+                );
+            }
+            let l = os.sum_exp();
+            for (c, a) in acc.iter().enumerate() {
+                out[h * d + c] = a / l;
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +373,74 @@ mod tests {
     fn wrong_query_length_panics() {
         let mut session = DecodeSession::<f64>::new(AttentionConfig::new(4));
         let _ = session.step(&[1.0], &[1.0, 0.0, 0.0, 0.0], &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gqa_session_equals_per_query_head_sessions_bitwise() {
+        // The GQA session stores one K/V history per kv head; each query
+        // head must decode bit-identically to a plain DecodeSession fed
+        // its group's K/V slices — across grouped and degenerate
+        // topologies, with a sliding window in the mix.
+        let d = 4;
+        for (qh, kv) in [(4usize, 2usize), (4, 1), (3, 3)] {
+            let head = AttentionConfig::new(d).with_sliding_window(5);
+            let topo = HeadTopology::gqa(qh, kv, head);
+            let mut grouped = GqaDecodeSession::<f64>::new(topo);
+            let mut singles: Vec<DecodeSession<f64>> =
+                (0..qh).map(|_| DecodeSession::new(head)).collect();
+            for t in 0..9u64 {
+                let q = Matrix::<f64>::random_seeded(1, topo.q_dim(), ElementDist::default(), t);
+                let k =
+                    Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 100 + t);
+                let v =
+                    Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 200 + t);
+                let out = grouped.step(q.row(0), k.row(0), v.row(0));
+                for (h, single) in singles.iter_mut().enumerate() {
+                    let g = topo.group_of(h);
+                    let reference = single.step(
+                        &q.row(0)[topo.q_head_cols(h)],
+                        &k.row(0)[topo.kv_head_cols(g)],
+                        &v.row(0)[topo.kv_head_cols(g)],
+                    );
+                    for (c, r) in reference.iter().enumerate() {
+                        assert_eq!(
+                            out[h * d + c].to_bits(),
+                            r.to_bits(),
+                            "{qh}/{kv} step {t} head {h} lane {c}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(grouped.len(), 9);
+        }
+    }
+
+    #[test]
+    fn gqa_session_prefill_and_demote_match_singles() {
+        let d = 4;
+        let topo = HeadTopology::gqa(2, 1, AttentionConfig::new(d));
+        let k = Matrix::<f64>::random_seeded(6, topo.kv_dim(), ElementDist::default(), 50);
+        let v = Matrix::<f64>::random_seeded(6, topo.kv_dim(), ElementDist::default(), 51);
+        let mut grouped = GqaDecodeSession::<f64>::new(topo);
+        grouped.prefill(&k, &v);
+        grouped.demote_cached(0..3);
+        let mut singles: Vec<DecodeSession<f64>> = (0..2)
+            .map(|_| {
+                let mut s = DecodeSession::new(topo.head);
+                s.prefill(&k, &v);
+                s.demote_cached(0..3);
+                s
+            })
+            .collect();
+        let q = Matrix::<f64>::random_seeded(1, topo.q_dim(), ElementDist::default(), 52);
+        let kn = Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 53);
+        let vn = Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 54);
+        let out = grouped.step(q.row(0), kn.row(0), vn.row(0));
+        for (h, single) in singles.iter_mut().enumerate() {
+            let reference = single.step(&q.row(0)[topo.q_head_cols(h)], kn.row(0), vn.row(0));
+            for (c, r) in reference.iter().enumerate() {
+                assert_eq!(out[h * d + c].to_bits(), r.to_bits());
+            }
+        }
     }
 }

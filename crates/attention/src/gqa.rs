@@ -68,6 +68,14 @@ impl GqaConfig {
     pub fn group_of(&self, query_head: usize) -> usize {
         query_head / self.group_size()
     }
+
+    /// This configuration as a [`HeadTopology`](crate::HeadTopology) —
+    /// the head-count type the serving stack
+    /// ([`DecodeBatch`](crate::batch::DecodeBatch)) speaks natively; the
+    /// `From` impl makes the conversion implicit at those call sites.
+    pub fn topology(&self) -> crate::HeadTopology {
+        crate::HeadTopology::gqa(self.query_heads, self.kv_heads, self.head)
+    }
 }
 
 /// Computes grouped-query attention on packed matrices: `q` is
@@ -101,35 +109,35 @@ pub fn attention<T: Scalar>(
     let q_slicer = MultiHeadConfig::new(cfg.query_heads, cfg.head);
     let kv_slicer = MultiHeadConfig::new(cfg.kv_heads, cfg.head);
 
+    // Slice each kv group's K/V **once**; every query head of the group
+    // borrows the same slices — the same shared-per-group machinery the
+    // serving prefill path uses (one kv stream feeding `group_size` query
+    // states), rather than each member re-materializing its group's K/V.
+    let groups: Vec<(Matrix<T>, Matrix<T>)> = (0..cfg.kv_heads)
+        .map(|g| (kv_slicer.slice_head(k, g), kv_slicer.slice_head(v, g)))
+        .collect();
+
     // Heads are independent attentions: when the head count can fill the
     // pool, fan them out in a single fork, each running the *serial* row
     // kernel (bit-identical by the property tests) so nested parallelism
     // never depends on the pool implementation. With fewer heads than
     // workers, keep the row-parallel kernel per head instead. Tiny
     // simulator-sized calls stay on this thread entirely.
-    let slice = |h: usize| {
-        let g = cfg.group_of(h);
-        (
-            q_slicer.slice_head(q, h),
-            kv_slicer.slice_head(k, g),
-            kv_slicer.slice_head(v, g),
-        )
-    };
     let fork_heads = cfg.query_heads >= rayon::current_num_threads()
         && crate::par::worth_parallelizing(cfg.query_heads * q.rows(), k.rows(), d);
     let heads: Vec<Matrix<T>> = if fork_heads {
         (0..cfg.query_heads)
             .into_par_iter()
             .map(|h| {
-                let (qh, kg, vg) = slice(h);
-                flash2::attention_serial(&qh, &kg, &vg, &cfg.head)
+                let (kg, vg) = &groups[cfg.group_of(h)];
+                flash2::attention_serial(&q_slicer.slice_head(q, h), kg, vg, &cfg.head)
             })
             .collect()
     } else {
         (0..cfg.query_heads)
             .map(|h| {
-                let (qh, kg, vg) = slice(h);
-                flash2::attention(&qh, &kg, &vg, &cfg.head)
+                let (kg, vg) = &groups[cfg.group_of(h)];
+                flash2::attention(&q_slicer.slice_head(q, h), kg, vg, &cfg.head)
             })
             .collect()
     };

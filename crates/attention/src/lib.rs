@@ -50,10 +50,12 @@ pub mod lazy;
 pub mod multihead;
 pub mod naive;
 pub mod tiled;
+pub mod topology;
 
 mod config;
 
 pub use config::AttentionConfig;
+pub use topology::HeadTopology;
 
 /// Shared parallelization policy: one threshold for the whole workspace,
 /// owned by [`fa_tensor::par`].

@@ -7,6 +7,7 @@
 //! so examples and integration tests can exercise realistic layer shapes
 //! (e.g. BERT: 12 heads × d=64).
 
+use crate::topology::HeadTopology;
 use crate::{flash2, AttentionConfig};
 use fa_tensor::{Matrix, Scalar};
 use rayon::prelude::*;
@@ -14,6 +15,13 @@ use rayon::prelude::*;
 /// Multi-head attention configuration: `num_heads` independent heads each
 /// of dimension `cfg.head_dim()`, operating on a model dimension of
 /// `num_heads · head_dim`.
+///
+/// This is the **`kv_heads == query_heads` point of [`HeadTopology`]** —
+/// the workspace's single head-count type — kept as a convenience
+/// constructor for the common ungrouped case. It converts into a topology
+/// implicitly (`From`), so every topology-taking API (the serving-path
+/// [`DecodeBatch`](crate::batch::DecodeBatch) in particular) accepts it
+/// directly; [`topology`](Self::topology) is the explicit form.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MultiHeadConfig {
     /// Number of parallel heads.
@@ -31,6 +39,12 @@ impl MultiHeadConfig {
     pub fn new(num_heads: usize, head: AttentionConfig) -> Self {
         assert!(num_heads > 0, "num_heads must be positive");
         MultiHeadConfig { num_heads, head }
+    }
+
+    /// This configuration as the degenerate
+    /// (`kv_heads == query_heads`) [`HeadTopology`].
+    pub fn topology(&self) -> HeadTopology {
+        HeadTopology::mha(self.num_heads, self.head)
     }
 
     /// The concatenated model dimension `num_heads · head_dim`.

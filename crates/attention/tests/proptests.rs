@@ -593,6 +593,173 @@ proptest! {
         );
     }
 
+    /// THE GQA equivalence: a **grouped** engine (any `kv_heads` dividing
+    /// the query heads, shared per-kv-head cache streams, group passes
+    /// feeding `group_size` query states) under any policy combination —
+    /// mixed-format demotion, sliding-window eviction, chunked prefill —
+    /// stays bit-identical to plain per-**query**-head `DecodeSession`
+    /// golden models over pre-shared (group-sliced) K/V, with the same
+    /// demotions replayed and the eviction window carried as a mask —
+    /// across kv-head counts, layouts, block sizes, bursts, windows,
+    /// chunk sizes and thread counts. `kv_heads == query_heads` is the
+    /// PR-4 engine, pinned through the same machinery.
+    #[test]
+    fn gqa_policy_engine_matches_golden_replay(
+        threads in 1usize..5,
+        kv_sel in 0usize..3,
+        block_rows in 1usize..5,
+        burst in 0usize..3,
+        window_blocks in 0usize..4, // 0 = RetainAll
+        layout_hm in any::<bool>(),
+        plain_f64 in any::<bool>(),
+        chunk in 1usize..7,
+        prompt_len in 1usize..9,
+        steps in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+        let query_heads = 4;
+        let kv_heads = [1usize, 2, 4][kv_sel];
+        let d = 4;
+        let head = AttentionConfig::new(d);
+        let topo = HeadTopology::gqa(query_heads, kv_heads, head);
+        let layout = if layout_hm { KvLayout::HeadMajor } else { KvLayout::TokenMajor };
+        let format = if plain_f64 {
+            KvFormat::F64
+        } else {
+            KvFormat::Mixed { burst_blocks: burst }
+        };
+        let eviction = if window_blocks == 0 {
+            EvictionPolicy::RetainAll
+        } else {
+            EvictionPolicy::SlidingWindow { window_blocks }
+        };
+        // The golden sees eviction purely as a mask.
+        let golden_head = match eviction.window_tokens(block_rows) {
+            Some(w) => head.with_sliding_window(w),
+            None => head,
+        };
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let (pq, pk, pv) = (
+            rand(prompt_len, topo.q_dim(), seed),
+            rand(prompt_len, topo.kv_dim(), seed + 1),
+            rand(prompt_len, topo.kv_dim(), seed + 2),
+        );
+
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let mut engine = DecodeBatch::<f64>::with_policy(topo, block_rows, layout, format, eviction);
+        engine.set_prefill_chunk(chunk);
+        let seq = engine.enqueue(&pq, &pk, &pv);
+        while engine.is_pending(seq) {
+            pool.install(|| engine.prefill_step());
+        }
+        let admitted = engine.take_admitted(seq).expect("prompt completed");
+        prop_assert!(admitted.residual().abs() < 1e-9, "prompt checksum holds");
+
+        // Golden: a mirrored shared-K/V history with the engine's
+        // demotion schedule replayed, scored per *query* head through
+        // `flash2::query_state` over its group's slices (the
+        // pre-shared-KV per-query-head reference).
+        let mut hist_q: Vec<Vec<f64>> = Vec::new();
+        let mut hist_k: Vec<Vec<f64>> = Vec::new();
+        let mut hist_v: Vec<Vec<f64>> = Vec::new();
+        let golden_cfg = golden_head.with_causal(true);
+        let mirror_append =
+            |hk: &mut Vec<Vec<f64>>, hv: &mut Vec<Vec<f64>>, krow: Vec<f64>, vrow: Vec<f64>| {
+                let p = hk.len();
+                if !plain_f64 && p.is_multiple_of(block_rows) && p / block_rows > burst {
+                    let b = p / block_rows - burst - 1;
+                    for i in b * block_rows..(b + 1) * block_rows {
+                        for x in hk[i].iter_mut() {
+                            *x = fa_attention::batch::round_bf16(*x).to_f64();
+                        }
+                        for x in hv[i].iter_mut() {
+                            *x = fa_attention::batch::round_bf16(*x).to_f64();
+                        }
+                    }
+                }
+                hk.push(krow);
+                hv.push(vrow);
+            };
+        let head_matrix = |hist: &Vec<Vec<f64>>, cols: core::ops::Range<usize>| {
+            Matrix::from_fn(hist.len(), d, |r, c| hist[r][cols.start + c])
+        };
+        let golden_row = |hq: &Vec<Vec<f64>>, hk: &Vec<Vec<f64>>, hv: &Vec<Vec<f64>>,
+                          h: usize, p: usize| {
+            let g = topo.group_of(h);
+            let st = flash2::query_state(
+                &head_matrix(hq, topo.q_head_cols(h)),
+                &head_matrix(hk, topo.kv_head_cols(g)),
+                &head_matrix(hv, topo.kv_head_cols(g)),
+                &golden_cfg,
+                p,
+            );
+            st.output.iter().map(|o| o / st.sum_exp).collect::<Vec<f64>>()
+        };
+
+        // Prompt: replay chunk by chunk — append the chunk's rows (with
+        // demotions), then score the chunk's queries against that state.
+        let mut p0 = 0;
+        while p0 < prompt_len {
+            let p1 = (p0 + chunk).min(prompt_len);
+            for p in p0..p1 {
+                hist_q.push(pq.row(p).to_vec());
+                mirror_append(&mut hist_k, &mut hist_v, pk.row(p).to_vec(), pv.row(p).to_vec());
+            }
+            for p in p0..p1 {
+                for h in 0..query_heads {
+                    let row = golden_row(&hist_q, &hist_k, &hist_v, h, p);
+                    for (c, val) in row.iter().enumerate() {
+                        prop_assert_eq!(
+                            admitted.output[(p, h * d + c)].to_bits(),
+                            val.to_bits(),
+                            "kv {} prompt row {} head {} lane {}", kv_heads, p, h, c
+                        );
+                    }
+                }
+            }
+            p0 = p1;
+        }
+
+        for t in 0..steps {
+            let s = seed + 100 + 10 * t as u64;
+            let qs = rand(1, topo.q_dim(), s);
+            let ks = rand(1, topo.kv_dim(), s + 1);
+            let vs = rand(1, topo.kv_dim(), s + 2);
+            let outs = pool.install(|| engine.step_all(&[seq], &qs, &ks, &vs));
+            prop_assert!(outs[0].residual().abs() < 1e-9, "step {} checksum", t);
+            hist_q.push(qs.row(0).to_vec());
+            mirror_append(&mut hist_k, &mut hist_v, ks.row(0).to_vec(), vs.row(0).to_vec());
+            let p = prompt_len + t;
+            for h in 0..query_heads {
+                let row = golden_row(&hist_q, &hist_k, &hist_v, h, p);
+                for (c, val) in row.iter().enumerate() {
+                    prop_assert_eq!(
+                        outs[0].output[h * d + c].to_bits(),
+                        val.to_bits(),
+                        "kv {} step {} head {} lane {}", kv_heads, t, h, c
+                    );
+                }
+            }
+            if window_blocks > 0 {
+                prop_assert!(
+                    engine.cache().seq_blocks(seq).len() <= window_blocks + 1,
+                    "retained blocks bounded by the eviction window"
+                );
+            }
+        }
+        prop_assert!(engine.global_residual(seq).abs() < 1e-9);
+        prop_assert_eq!(
+            engine.seq_len(seq),
+            engine.prompt_len(seq) + engine.decoded_len(seq),
+            "coverage accounting survives grouping"
+        );
+    }
+
     /// Checked and unchecked decode paths report consistent token counts
     /// through admit/retire cycles: `prompt_len + checked_len +
     /// unchecked_len == seq_len` at every point, and slot reuse resets

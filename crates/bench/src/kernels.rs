@@ -13,7 +13,7 @@
 use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
 use fa_attention::decode::DecodeSession;
 use fa_attention::multihead::MultiHeadConfig;
-use fa_attention::{flash2, AttentionConfig};
+use fa_attention::{flash2, AttentionConfig, HeadTopology};
 use fa_numerics::BF16;
 use fa_tensor::{ops, random::ElementDist, Matrix};
 use flash_abft::decode::CheckedDecodeSession;
@@ -249,6 +249,49 @@ pub struct DecodeSlidingWindow {
     pub sliding_arena_blocks: usize,
 }
 
+/// One group-size leg of the GQA decode sweep: the same query-head count
+/// and traffic, with `kv_heads = query_heads / group_size` shared K/V
+/// streams in the paged cache.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeGqaPoint {
+    /// Query heads sharing each kv head (1 = the MHA reference leg).
+    pub group_size: usize,
+    /// KV heads the cache stores (`query_heads / group_size`).
+    pub kv_heads: usize,
+    /// Checked `step_all` time for the whole decode, milliseconds.
+    pub checked_ms: f64,
+    /// Aggregate decode throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// Mean analytic KV bytes streamed per decode step — divided by
+    /// `group_size` relative to the MHA leg, since the cache holds one
+    /// stream per kv head.
+    pub bytes_per_step: f64,
+    /// Arena blocks at the end of the run (block *rows* are shared; each
+    /// row is `kv_heads · head_dim` wide, so arena bytes shrink with the
+    /// group too).
+    pub arena_blocks: usize,
+}
+
+/// The GQA-native serving sweep: batch-32 checked decode at fixed query
+/// heads across group sizes. On a KV-bandwidth-bound host the grouped
+/// legs win by streaming `1/group_size` of the bytes per step while
+/// computing the same number of query-head passes.
+#[derive(Clone, Debug)]
+pub struct DecodeGqa {
+    /// Concurrent sequences.
+    pub batch: usize,
+    /// Decode steps timed.
+    pub steps: usize,
+    /// Prompt tokens prefilled before timing.
+    pub prefill: usize,
+    /// Query heads in every leg.
+    pub query_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// One leg per group size (1, 4, 8), interleaved round-robin.
+    pub points: Vec<DecodeGqaPoint>,
+}
+
 /// Checked batched decode with a BF16 KV cache vs the f64 cache (the
 /// halved-bandwidth serving configuration).
 #[derive(Clone, Debug)]
@@ -310,6 +353,8 @@ pub struct KernelBenchReport {
     pub decode_mixed_format: DecodeMixedFormat,
     /// Sliding-window eviction vs retain-all decode.
     pub decode_sliding_window: DecodeSlidingWindow,
+    /// GQA decode sweep across group sizes at fixed query heads.
+    pub decode_gqa: DecodeGqa,
 }
 
 impl KernelBenchReport {
@@ -376,6 +421,24 @@ impl KernelBenchReport {
         let cont = &self.decode_continuous;
         let mixed = &self.decode_mixed_format;
         let sw = &self.decode_sliding_window;
+        let gq = &self.decode_gqa;
+        let gqa_points: Vec<String> = gq
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "      {{ \"group_size\": {}, \"kv_heads\": {}, \"checked_ms\": {:.3}, \
+                     \"tokens_per_s\": {:.1}, \"bytes_per_step\": {:.0}, \
+                     \"arena_blocks\": {} }}",
+                    p.group_size,
+                    p.kv_heads,
+                    p.checked_ms,
+                    p.tokens_per_s,
+                    p.bytes_per_step,
+                    p.arena_blocks,
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"host_threads\": {},\n  \"matmul\": [\n{}\n  ],\n  \"flash2\": [\n{}\n  ],\n  \
              \"dot_simd\": {{\n    \"len\": {},\n    \"f64\": {},\n    \"bf16\": {}\n  }},\n  \
@@ -402,7 +465,11 @@ impl KernelBenchReport {
              \"window_blocks\": {},\n    \
              \"retain_all\": {},\n    \"sliding_window\": {},\n    \
              \"evicted_rows\": {}, \"retain_arena_blocks\": {}, \
-             \"sliding_arena_blocks\": {}\n  }}\n}}\n",
+             \"sliding_arena_blocks\": {}\n  }},\n  \
+             \"decode_gqa\": {{\n    \
+             \"batch\": {}, \"steps\": {}, \"prefill\": {}, \"query_heads\": {}, \
+             \"head_dim\": {},\n    \
+             \"points\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_threads,
             matmul.join(",\n"),
             flash2.join(",\n"),
@@ -461,6 +528,12 @@ impl KernelBenchReport {
             sw.evicted_rows,
             sw.retain_arena_blocks,
             sw.sliding_arena_blocks,
+            gq.batch,
+            gq.steps,
+            gq.prefill,
+            gq.query_heads,
+            gq.head_dim,
+            gqa_points.join(",\n"),
         )
     }
 }
@@ -1476,6 +1549,118 @@ fn measure_decode_sliding_window(
     }
 }
 
+/// The GQA sweep: fixed query heads, group sizes 1/4/8, identical decode
+/// schedule per leg — only the kv-head count (and therefore the cached
+/// K/V width the DRAM-bound sweep streams) changes. Legs are interleaved
+/// round-robin per rep (the established drift protocol) and best-of is
+/// taken per leg.
+fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGqa {
+    let query_heads = 8usize;
+    let d = shape.head_dim;
+    let group_sizes = [1usize, 4, 8];
+    let legs: Vec<HeadTopology> = group_sizes
+        .iter()
+        .map(|&gs| HeadTopology::gqa(query_heads, query_heads / gs, AttentionConfig::new(d)))
+        .collect();
+    let mk = |rows: usize, cols: usize, seed: u64| {
+        Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), seed)
+    };
+    struct GqaLegInputs {
+        qs: Vec<Matrix<f64>>,
+        ks: Vec<Matrix<f64>>,
+        vs: Vec<Matrix<f64>>,
+        k_prompt: Vec<Matrix<f64>>,
+        v_prompt: Vec<Matrix<f64>>,
+    }
+    let inputs: Vec<GqaLegInputs> = legs
+        .iter()
+        .map(|t| GqaLegInputs {
+            qs: (0..shape.steps)
+                .map(|i| mk(batch, t.q_dim(), 50_000 + i as u64))
+                .collect(),
+            ks: (0..shape.steps)
+                .map(|i| mk(batch, t.kv_dim(), 51_000 + i as u64))
+                .collect(),
+            vs: (0..shape.steps)
+                .map(|i| mk(batch, t.kv_dim(), 52_000 + i as u64))
+                .collect(),
+            k_prompt: (0..batch)
+                .map(|s| mk(shape.prefill, t.kv_dim(), 53_000 + s as u64))
+                .collect(),
+            v_prompt: (0..batch)
+                .map(|s| mk(shape.prefill, t.kv_dim(), 54_000 + s as u64))
+                .collect(),
+        })
+        .collect();
+    let settle = |li: usize| -> (DecodeBatch<f64>, Vec<usize>) {
+        let mut engine = DecodeBatch::<f64>::new(legs[li], 64);
+        let ids: Vec<usize> = (0..batch).map(|_| engine.add_sequence()).collect();
+        for (s, &id) in ids.iter().enumerate() {
+            engine.prefill(id, &inputs[li].k_prompt[s], &inputs[li].v_prompt[s]);
+        }
+        engine.reserve_rows(batch * shape.steps);
+        (engine, ids)
+    };
+    let run = |state: &mut (DecodeBatch<f64>, Vec<usize>), li: usize| {
+        let (engine, ids) = state;
+        let mut acc = 0.0;
+        for t in 0..shape.steps {
+            let outs =
+                engine.step_all(ids, &inputs[li].qs[t], &inputs[li].ks[t], &inputs[li].vs[t]);
+            acc += outs[0].output[0];
+        }
+        acc
+    };
+    // Untimed probes (deterministic schedule): analytic bytes/step and
+    // final arena size per leg. Doubles as warmup.
+    let probes: Vec<(f64, usize)> = (0..legs.len())
+        .map(|li| {
+            let (mut engine, ids) = settle(li);
+            let mut bytes = 0.0;
+            for t in 0..shape.steps {
+                let _ = engine.step_all(
+                    &ids,
+                    &inputs[li].qs[t],
+                    &inputs[li].ks[t],
+                    &inputs[li].vs[t],
+                );
+                bytes += policy_step_bytes(&engine, &ids);
+            }
+            (
+                bytes / shape.steps as f64,
+                engine.cache().allocated_blocks(),
+            )
+        })
+        .collect();
+    let mut best = vec![f64::INFINITY; legs.len()];
+    for _ in 0..reps {
+        for (li, slot) in best.iter_mut().enumerate() {
+            let ms = timed_once(|| settle(li), |state| run(state, li));
+            *slot = slot.min(ms);
+        }
+    }
+    let tokens = (batch * shape.steps) as f64;
+    DecodeGqa {
+        batch,
+        steps: shape.steps,
+        prefill: shape.prefill,
+        query_heads,
+        head_dim: d,
+        points: group_sizes
+            .iter()
+            .enumerate()
+            .map(|(li, &gs)| DecodeGqaPoint {
+                group_size: gs,
+                kv_heads: query_heads / gs,
+                checked_ms: best[li],
+                tokens_per_s: tokens / (best[li] * 1e-3),
+                bytes_per_step: probes[li].0,
+                arena_blocks: probes[li].1,
+            })
+            .collect(),
+    }
+}
+
 /// Runs the kernel-layer benchmark. `quick` shrinks problem sizes and
 /// drops the largest matmul/flash2 points for CI smoke runs.
 pub fn measure(quick: bool) -> KernelBenchReport {
@@ -1551,6 +1736,7 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         sw_window_blocks,
         decode_reps,
     );
+    let decode_gqa = measure_decode_gqa(decode_shape, largest_batch, decode_reps);
 
     KernelBenchReport {
         host_threads: rayon::current_num_threads(),
@@ -1564,6 +1750,7 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         decode_continuous,
         decode_mixed_format,
         decode_sliding_window,
+        decode_gqa,
     }
 }
 
@@ -1618,6 +1805,28 @@ mod tests {
             mixed.bf16_cache.bytes_per_step,
             mixed.mixed_cache.bytes_per_step,
             mixed.f64_cache.bytes_per_step,
+        );
+        let gq = &report.decode_gqa;
+        assert_eq!(gq.points.len(), 3);
+        assert_eq!(gq.points[0].group_size, 1);
+        for p in &gq.points {
+            assert!(p.tokens_per_s > 0.0, "group {}", p.group_size);
+            assert_eq!(p.kv_heads * p.group_size, gq.query_heads);
+        }
+        // Sharing K/V across a group divides the streamed bytes/step by
+        // exactly group_size (same retained positions, kv-proportional
+        // row width): the group-4 leg streams 1/4 of the MHA leg.
+        let mha_bytes = gq.points[0].bytes_per_step;
+        assert!(
+            gq.points[1].bytes_per_step * 3.9 < mha_bytes
+                && mha_bytes < gq.points[1].bytes_per_step * 4.1,
+            "group 4 streams 1/4 the bytes: {} vs {}",
+            gq.points[1].bytes_per_step,
+            mha_bytes,
+        );
+        assert!(
+            gq.points[2].bytes_per_step * 7.8 < mha_bytes,
+            "group 8 streams 1/8 the bytes"
         );
         let sw = &report.decode_sliding_window;
         assert!(sw.retain_all.tokens_per_s > 0.0);
@@ -1698,6 +1907,8 @@ mod tests {
             "bytes_per_step",
             "recycled_blocks",
             "speedup",
+            "decode_gqa",
+            "group_size",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

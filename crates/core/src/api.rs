@@ -174,6 +174,12 @@ pub fn multihead_checked<T: Scalar>(
 /// unchanged per head because each head is an ordinary attention over
 /// its group's K/V.
 ///
+/// Each kv group's K/V is sliced **once** and shared by all
+/// `group_size` query heads — the same shared-per-group structure the
+/// serving stack's `DecodeBatch` prefill uses (where, with a causal head
+/// config, batched admission is pinned bit-identical to this function by
+/// regression test).
+///
 /// # Panics
 ///
 /// Panics on shape mismatch.
@@ -190,16 +196,15 @@ pub fn gqa_checked<T: Scalar>(
     let d = gqa.head.head_dim();
     let q_slicer = MultiHeadConfig::new(gqa.query_heads, gqa.head);
     let kv_slicer = MultiHeadConfig::new(gqa.kv_heads, gqa.head);
+    let groups: Vec<(Matrix<T>, Matrix<T>)> = (0..gqa.kv_heads)
+        .map(|g| (kv_slicer.slice_head(k, g), kv_slicer.slice_head(v, g)))
+        .collect();
     let engine = FlashAbft::new(gqa.head).with_tolerance(tolerance);
     let mut out = Matrix::zeros(q.rows(), gqa.q_dim());
     let mut reports = Vec::with_capacity(gqa.query_heads);
     for h in 0..gqa.query_heads {
-        let g = gqa.group_of(h);
-        let checked = engine.compute(
-            &q_slicer.slice_head(q, h),
-            &kv_slicer.slice_head(k, g),
-            &kv_slicer.slice_head(v, g),
-        );
+        let (kg, vg) = &groups[gqa.group_of(h)];
+        let checked = engine.compute(&q_slicer.slice_head(q, h), kg, vg);
         for r in 0..out.rows() {
             for c in 0..d {
                 out[(r, h * d + c)] = checked.output()[(r, c)];
@@ -290,6 +295,94 @@ mod tests {
         assert!(reports.iter().all(|r| !r.is_alarm()));
         let reference = fa_attention::gqa::attention(&q, &k, &v, &gqa);
         assert!(out.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn gqa_checked_pinned_to_per_head_engine_loop() {
+        // Regression pin for the shared-per-group refactor: gqa_checked
+        // must stay bit-identical — outputs *and* reports — to the
+        // original formulation (one engine.compute per query head over
+        // per-member slices of the group's K/V).
+        let head = AttentionConfig::new(4).with_causal(true).with_scale(0.3);
+        let gqa = GqaConfig::new(6, 2, head);
+        let q = Matrix::<f64>::random_seeded(9, gqa.q_dim(), ElementDist::default(), 610);
+        let k = Matrix::<f64>::random_seeded(9, gqa.kv_dim(), ElementDist::default(), 611);
+        let v = Matrix::<f64>::random_seeded(9, gqa.kv_dim(), ElementDist::default(), 612);
+        let (out, reports) = gqa_checked(&q, &k, &v, &gqa, Tolerance::PAPER);
+
+        let d = gqa.head.head_dim();
+        let q_slicer = MultiHeadConfig::new(gqa.query_heads, gqa.head);
+        let kv_slicer = MultiHeadConfig::new(gqa.kv_heads, gqa.head);
+        let engine = FlashAbft::new(gqa.head).with_tolerance(Tolerance::PAPER);
+        for h in 0..gqa.query_heads {
+            let g = gqa.group_of(h);
+            let checked = engine.compute(
+                &q_slicer.slice_head(&q, h),
+                &kv_slicer.slice_head(&k, g),
+                &kv_slicer.slice_head(&v, g),
+            );
+            for r in 0..out.rows() {
+                for c in 0..d {
+                    assert_eq!(
+                        out[(r, h * d + c)].to_bits(),
+                        checked.output()[(r, c)].to_bits(),
+                        "head {h} row {r} lane {c}"
+                    );
+                }
+            }
+            assert_eq!(reports[h], checked.report(), "head {h} report");
+        }
+    }
+
+    #[test]
+    fn gqa_admit_path_pinned_to_gqa_checked() {
+        // The serving stack's batched admission IS the one-shot checked
+        // GQA prefill: with a causal head config, DecodeBatch::admit over
+        // a grouped topology produces gqa_checked's outputs bit for bit,
+        // and its prompt checksum folds the per-query-head
+        // flash2_with_checksum predictions in head order.
+        use fa_attention::batch::DecodeBatch;
+
+        let head = AttentionConfig::new(4).with_causal(true);
+        let gqa = GqaConfig::new(4, 2, head);
+        let n = 10;
+        let q = Matrix::<f64>::random_seeded(n, gqa.q_dim(), ElementDist::default(), 620);
+        let k = Matrix::<f64>::random_seeded(n, gqa.kv_dim(), ElementDist::default(), 621);
+        let v = Matrix::<f64>::random_seeded(n, gqa.kv_dim(), ElementDist::default(), 622);
+
+        let (reference, reports) = gqa_checked(&q, &k, &v, &gqa, Tolerance::PAPER);
+        assert!(reports.iter().all(|r| !r.is_alarm()));
+
+        for block_rows in [2, 16] {
+            let mut batch = DecodeBatch::<f64>::new(gqa, block_rows);
+            let admitted = batch.admit(&q, &k, &v);
+            for r in 0..n {
+                for c in 0..gqa.q_dim() {
+                    assert_eq!(
+                        admitted.output[(r, c)].to_bits(),
+                        reference[(r, c)].to_bits(),
+                        "block_rows {block_rows} row {r} lane {c}"
+                    );
+                }
+            }
+            // The prompt checksum is the head-order fold of the fused
+            // kernel's per-head predictions over shared group K/V.
+            let q_slicer = MultiHeadConfig::new(gqa.query_heads, gqa.head);
+            let kv_slicer = MultiHeadConfig::new(gqa.kv_heads, gqa.head);
+            let mut predicted = 0.0f64;
+            for h in 0..gqa.query_heads {
+                let g = gqa.group_of(h);
+                let fused = crate::online::flash2_with_checksum(
+                    &q_slicer.slice_head(&q, h),
+                    &kv_slicer.slice_head(&k, g),
+                    &kv_slicer.slice_head(&v, g),
+                    &gqa.head,
+                );
+                predicted += fused.predicted;
+            }
+            assert_eq!(admitted.predicted.to_bits(), predicted.to_bits());
+            assert!(admitted.residual().abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::checker::{ChecksumReport, FlashAbftChecker};
 use crate::merged::MergedAccumulator;
 use crate::online::OnlineChecked;
-use fa_attention::AttentionConfig;
+use fa_attention::{AttentionConfig, HeadTopology};
 use fa_numerics::Tolerance;
 use fa_tensor::{Matrix, Scalar};
 
@@ -214,6 +214,168 @@ impl CheckedDecodeSession {
     }
 }
 
+/// A grouped-query decoding session with per-token Flash-ABFT checking:
+/// **one** K/V history (and one `sumrow(V)` stream) per kv head, shared
+/// by all `group_size` query heads of its group — the checked GQA-aware
+/// golden model for `fa_attention::batch::DecodeBatch` with a grouped
+/// topology.
+///
+/// The shared per-group `sumrow(V)` is the hardware saving the paper
+/// notes GQA inherits for free: the checksum lane's Eq. 4 input depends
+/// only on the (shared) V rows, so one stream serves the whole group
+/// while each query head keeps its own exact per-token verdict. Per
+/// query head the arithmetic is exactly [`CheckedDecodeSession::step`]
+/// against that head's group K/V, bit for bit.
+#[derive(Clone, Debug)]
+pub struct CheckedGqaDecodeSession {
+    topo: HeadTopology,
+    checker: FlashAbftChecker,
+    /// `keys[g][i]` is kv head `g`'s cached key row at position `i`.
+    keys: Vec<Vec<Vec<f64>>>,
+    values: Vec<Vec<Vec<f64>>>,
+    /// `sumrows[g][i] = Σ_c values[g][i][c]` — one entry per (kv head,
+    /// position), read by every query head of group `g`.
+    sumrows: Vec<Vec<f64>>,
+    global_check: f64,
+    global_actual: f64,
+}
+
+impl CheckedGqaDecodeSession {
+    /// Creates an empty checked session with the paper's tolerance.
+    pub fn new(topo: HeadTopology) -> Self {
+        CheckedGqaDecodeSession {
+            topo,
+            checker: FlashAbftChecker::default(),
+            keys: vec![Vec::new(); topo.kv_heads],
+            values: vec![Vec::new(); topo.kv_heads],
+            sumrows: vec![Vec::new(); topo.kv_heads],
+            global_check: 0.0,
+            global_actual: 0.0,
+        }
+    }
+
+    /// Overrides the tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.checker = FlashAbftChecker::new(tolerance);
+        self
+    }
+
+    /// The head topology.
+    pub fn topology(&self) -> HeadTopology {
+        self.topo
+    }
+
+    /// Number of cached positions (identical for every kv head).
+    pub fn len(&self) -> usize {
+        self.keys[0].len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys[0].is_empty()
+    }
+
+    /// Pre-fills every kv head's cache from packed prompt K/V matrices
+    /// (`N × kv_dim`) without computing attention.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn prefill<T: Scalar>(&mut self, k: &Matrix<T>, v: &Matrix<T>) {
+        assert_eq!(k.cols(), self.topo.kv_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.topo.kv_dim(), "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        for i in 0..k.rows() {
+            for g in 0..self.topo.kv_heads {
+                let cols = self.topo.kv_head_cols(g);
+                let kf: Vec<f64> = k.row(i)[cols.clone()].iter().map(|x| x.to_f64()).collect();
+                let vf: Vec<f64> = v.row(i)[cols].iter().map(|x| x.to_f64()).collect();
+                self.sumrows[g].push(vf.iter().sum());
+                self.keys[g].push(kf);
+                self.values[g].push(vf);
+            }
+        }
+    }
+
+    /// Rounds every kv head's cached K/V rows in `range` through BF16
+    /// (RNE) and recomputes the shared per-group `sumrow` inputs from the
+    /// rounded values — the checked golden-model replay of `KvCache`
+    /// block demotion for grouped topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the cached length.
+    pub fn demote_cached(&mut self, range: core::ops::Range<usize>) {
+        for i in range {
+            for g in 0..self.topo.kv_heads {
+                for x in self.keys[g][i].iter_mut() {
+                    *x = fa_numerics::BF16::from_f64(*x).to_f64();
+                }
+                for x in self.values[g][i].iter_mut() {
+                    *x = fa_numerics::BF16::from_f64(*x).to_f64();
+                }
+                self.sumrows[g][i] = self.values[g][i].iter().sum();
+            }
+        }
+    }
+
+    /// The running global check over all query heads and tokens so far.
+    pub fn global_report(&self) -> ChecksumReport {
+        self.checker.compare(self.global_check, self.global_actual)
+    }
+
+    /// Appends the token's K/V (packed `kv_dim` rows) and computes every
+    /// query head's checked attention row against its group's cache.
+    /// Returns one [`CheckedDecodeStep`] per query head, in head order —
+    /// a fault is localized to the query head whose report alarms.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn step<T: Scalar>(&mut self, q: &[T], k: &[T], v: &[T]) -> Vec<CheckedDecodeStep> {
+        let d = self.topo.head.head_dim();
+        assert_eq!(q.len(), self.topo.q_dim(), "query length mismatch");
+        assert_eq!(k.len(), self.topo.kv_dim(), "key length mismatch");
+        assert_eq!(v.len(), self.topo.kv_dim(), "value length mismatch");
+        for g in 0..self.topo.kv_heads {
+            let cols = self.topo.kv_head_cols(g);
+            let kf: Vec<f64> = k[cols.clone()].iter().map(|x| x.to_f64()).collect();
+            let vf: Vec<f64> = v[cols].iter().map(|x| x.to_f64()).collect();
+            self.sumrows[g].push(vf.iter().sum());
+            self.keys[g].push(kf);
+            self.values[g].push(vf);
+        }
+
+        let newest = self.len() - 1;
+        let lo = self
+            .topo
+            .head
+            .with_causal(true)
+            .visible_range(newest, self.len())
+            .start;
+        let mut steps = Vec::with_capacity(self.topo.query_heads);
+        for h in 0..self.topo.query_heads {
+            let g = self.topo.group_of(h);
+            let qf: Vec<f64> = q[h * d..(h + 1) * d].iter().map(|x| x.to_f64()).collect();
+            let mut acc = MergedAccumulator::new(d);
+            for i in lo..self.len() {
+                let s =
+                    fa_tensor::ops::dot_then_scale(&qf, &self.keys[g][i], self.topo.head.scale());
+                acc.step_with_sumrow(s, &self.values[g][i], self.sumrows[g][i]);
+            }
+            let (output, check) = acc.finalize().expect("at least the new token is visible");
+            let row_sum: f64 = output.iter().sum();
+            self.global_check += check;
+            self.global_actual += row_sum;
+            steps.push(CheckedDecodeStep {
+                output,
+                report: self.checker.compare(check, row_sum),
+            });
+        }
+        steps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +500,74 @@ mod tests {
         // Simulate a fault on the global predicted accumulator.
         session.global_check += 0.5;
         assert!(session.global_report().is_alarm());
+    }
+
+    #[test]
+    fn gqa_checked_session_equals_per_query_head_sessions_bitwise() {
+        // One CheckedDecodeSession per query head, fed its group's K/V
+        // slices, must match the grouped session token for token —
+        // outputs, per-token checks, and global totals.
+        let d = 4;
+        for (qh, kv) in [(4usize, 2usize), (2, 1), (3, 3)] {
+            let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+            let mut grouped = CheckedGqaDecodeSession::new(topo);
+            let mut singles: Vec<CheckedDecodeSession> = (0..qh)
+                .map(|_| CheckedDecodeSession::new(topo.head))
+                .collect();
+            for t in 0..8u64 {
+                let q = Matrix::<f64>::random_seeded(1, topo.q_dim(), ElementDist::default(), t);
+                let k =
+                    Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 100 + t);
+                let v =
+                    Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 200 + t);
+                let steps = grouped.step(q.row(0), k.row(0), v.row(0));
+                assert_eq!(steps.len(), qh);
+                for (h, single) in singles.iter_mut().enumerate() {
+                    let g = topo.group_of(h);
+                    let reference = single.step(
+                        &q.row(0)[topo.q_head_cols(h)],
+                        &k.row(0)[topo.kv_head_cols(g)],
+                        &v.row(0)[topo.kv_head_cols(g)],
+                    );
+                    assert!(!steps[h].report.is_alarm(), "head {h} token {t}");
+                    for (a, b) in steps[h].output.iter().zip(&reference.output) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{qh}/{kv} head {h} token {t}");
+                    }
+                }
+            }
+            assert!(!grouped.global_report().is_alarm());
+            // Totals agree up to fold order (the grouped session folds
+            // token-major, a bank of singles folds head-major).
+            let singles_check: f64 = singles.iter().map(|s| s.global_check).sum();
+            assert!(
+                (grouped.global_check - singles_check).abs() < 1e-12,
+                "global predicted totals agree: {} vs {singles_check}",
+                grouped.global_check
+            );
+        }
+    }
+
+    #[test]
+    fn gqa_checked_session_demotion_keeps_verdicts_exact() {
+        let topo = HeadTopology::gqa(4, 2, AttentionConfig::new(4));
+        let k = Matrix::<f64>::random_seeded(5, topo.kv_dim(), ElementDist::default(), 60);
+        let v = Matrix::<f64>::random_seeded(5, topo.kv_dim(), ElementDist::default(), 61);
+        let mut session = CheckedGqaDecodeSession::new(topo);
+        session.prefill(&k, &v);
+        session.demote_cached(0..4);
+        for t in 0..4u64 {
+            let q = Matrix::<f64>::random_seeded(1, topo.q_dim(), ElementDist::default(), 70 + t);
+            let kn = Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 80 + t);
+            let vn = Matrix::<f64>::random_seeded(1, topo.kv_dim(), ElementDist::default(), 90 + t);
+            for (h, step) in session
+                .step(q.row(0), kn.row(0), vn.row(0))
+                .iter()
+                .enumerate()
+            {
+                assert!(!step.report.is_alarm(), "head {h} token {t}");
+            }
+        }
+        assert!(!session.global_report().is_alarm());
     }
 
     #[test]

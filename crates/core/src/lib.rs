@@ -59,6 +59,6 @@ pub mod online;
 
 pub use api::{CheckedAttention, FlashAbft};
 pub use checker::{ChecksumReport, FlashAbftChecker};
-pub use decode::{CheckedDecodeSession, CheckedDecodeStep};
+pub use decode::{CheckedDecodeSession, CheckedDecodeStep, CheckedGqaDecodeSession};
 pub use merged::MergedAccumulator;
 pub use online::{attention_checked, flash2_with_checksum, flash2_with_checksum_serial};

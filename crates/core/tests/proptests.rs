@@ -305,4 +305,90 @@ proptest! {
             prop_assert!(engine.demoted_len(seq) > 0, "demotion exercised");
         }
     }
+
+    /// The grouped engine preserves the checked-golden equivalence with
+    /// the **checksum lane included**: under any `kv_heads` dividing the
+    /// query heads, any policy combination, layout, block size and thread
+    /// count, `DecodeBatch` decodes bit-identically to the GQA-aware
+    /// `CheckedGqaDecodeSession` (one shared K/V + `sumrow` stream per kv
+    /// head, exactly one demotion replay per boundary), every per-token
+    /// per-query-head check passes on both sides, and the degenerate
+    /// `kv_heads == query_heads` point runs the PR-4 arithmetic through
+    /// the same machinery.
+    #[test]
+    fn gqa_engine_matches_checked_gqa_session_with_demotion_replayed(
+        threads in 1usize..5,
+        kv_sel in 0usize..3,
+        block_rows in 1usize..6,
+        burst in 0usize..3,
+        window_blocks in 0usize..4, // 0 = RetainAll
+        layout_hm in any::<bool>(),
+        plain_f64 in any::<bool>(),
+        steps in 2usize..14,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+        use flash_abft::CheckedGqaDecodeSession;
+
+        let query_heads = 4;
+        let kv_heads = [1usize, 2, 4][kv_sel];
+        let d = 4;
+        let head = AttentionConfig::new(d);
+        let topo = HeadTopology::gqa(query_heads, kv_heads, head);
+        let layout = if layout_hm { KvLayout::HeadMajor } else { KvLayout::TokenMajor };
+        let format = if plain_f64 {
+            KvFormat::F64
+        } else {
+            KvFormat::Mixed { burst_blocks: burst }
+        };
+        let eviction = if window_blocks == 0 {
+            EvictionPolicy::RetainAll
+        } else {
+            EvictionPolicy::SlidingWindow { window_blocks }
+        };
+        let golden_head = match eviction.window_tokens(block_rows) {
+            Some(w) => head.with_sliding_window(w),
+            None => head,
+        };
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+
+        let mut engine = DecodeBatch::<f64>::with_policy(topo, block_rows, layout, format, eviction);
+        let seq = engine.add_sequence();
+        let mut golden = CheckedGqaDecodeSession::new(
+            HeadTopology::gqa(query_heads, kv_heads, golden_head),
+        );
+
+        for t in 0..steps {
+            // Replay the engine's block-claim demotion rule before the
+            // golden sees the new token.
+            if !plain_f64 && t.is_multiple_of(block_rows) && t / block_rows > burst {
+                let b = t / block_rows - burst - 1;
+                golden.demote_cached(b * block_rows..(b + 1) * block_rows);
+            }
+            let s = seed + 10 * t as u64;
+            let qs = rand(1, topo.q_dim(), s);
+            let ks = rand(1, topo.kv_dim(), s + 1);
+            let vs = rand(1, topo.kv_dim(), s + 2);
+            let outs = pool.install(|| engine.step_all(&[seq], &qs, &ks, &vs));
+            prop_assert!(outs[0].residual().abs() < 1e-10, "engine per-token check, step {}", t);
+            let reference = golden.step(qs.row(0), ks.row(0), vs.row(0));
+            for (h, step) in reference.iter().enumerate() {
+                prop_assert!(!step.report.is_alarm(), "golden head {} check, step {}", h, t);
+                for (c, val) in step.output.iter().enumerate() {
+                    prop_assert_eq!(
+                        outs[0].output[h * d + c].to_bits(),
+                        val.to_bits(),
+                        "kv {} step {} head {} lane {}", kv_heads, t, h, c
+                    );
+                }
+            }
+        }
+        prop_assert!(engine.global_residual(seq).abs() < 1e-9);
+        prop_assert!(!golden.global_report().is_alarm());
+    }
 }

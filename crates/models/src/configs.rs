@@ -1,6 +1,7 @@
 //! The four evaluated LLM attention-layer configurations (paper §IV-B).
 
-use fa_attention::AttentionConfig;
+use fa_attention::gqa::GqaConfig;
+use fa_attention::{AttentionConfig, HeadTopology};
 
 /// The LLMs of the paper's Table I.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -24,8 +25,13 @@ pub struct ModelConfig {
     pub name: &'static str,
     /// Per-head hidden dimension d (the paper's independent variable).
     pub head_dim: usize,
-    /// Number of attention heads in the first layer.
+    /// Number of (query) attention heads in the first layer.
     pub num_heads: usize,
+    /// Number of key/value heads: equal to `num_heads` for MHA models
+    /// (BERT, Phi-3-mini), smaller for the grouped-query models — each
+    /// kv head's K/V stream (and its `sumrow(V)` checksum input) is
+    /// shared by `num_heads / kv_heads` query heads.
+    pub kv_heads: usize,
 }
 
 impl ModelConfig {
@@ -36,14 +42,42 @@ impl ModelConfig {
         AttentionConfig::new(self.head_dim)
     }
 
-    /// Model dimension (heads × head_dim).
+    /// Model dimension (query heads × head_dim).
     pub fn model_dim(&self) -> usize {
         self.head_dim * self.num_heads
+    }
+
+    /// Width of the model's packed K/V projections
+    /// (kv heads × head_dim) — what the per-kv-head paged cache stores
+    /// per token.
+    pub fn kv_dim(&self) -> usize {
+        self.head_dim * self.kv_heads
+    }
+
+    /// Query heads sharing each kv head (1 for the MHA models).
+    pub fn group_size(&self) -> usize {
+        self.num_heads / self.kv_heads
+    }
+
+    /// The full head topology — what the GQA-native serving stack
+    /// (`fa_attention::batch::DecodeBatch`) consumes directly.
+    pub fn topology(&self) -> HeadTopology {
+        HeadTopology::gqa(self.num_heads, self.kv_heads, self.attention())
+    }
+
+    /// The grouped-query configuration for the one-shot kernels
+    /// (`fa_attention::gqa`, `flash_abft::api::gqa_checked`).
+    pub fn gqa(&self) -> GqaConfig {
+        GqaConfig::new(self.num_heads, self.kv_heads, self.attention())
     }
 }
 
 impl LlmModel {
-    /// This model's configuration.
+    /// This model's configuration. Head counts follow the deployed
+    /// checkpoints: Llama-3.1-8B (32 query / 8 kv heads) and Gemma2-2B
+    /// (8 query / 4 kv heads, d=256) are grouped-query; BERT-base and
+    /// Phi-3-mini (32 heads with full K/V) are the `kv_heads ==
+    /// num_heads` point.
     pub fn config(self) -> ModelConfig {
         match self {
             LlmModel::Bert => ModelConfig {
@@ -51,24 +85,28 @@ impl LlmModel {
                 name: "Bert",
                 head_dim: 64,
                 num_heads: 12,
+                kv_heads: 12,
             },
             LlmModel::Phi3Mini => ModelConfig {
                 model: self,
                 name: "Phi-3-mini",
                 head_dim: 96,
                 num_heads: 32,
+                kv_heads: 32,
             },
             LlmModel::Llama31 => ModelConfig {
                 model: self,
                 name: "Llama-3.1",
                 head_dim: 128,
                 num_heads: 32,
+                kv_heads: 8,
             },
             LlmModel::Gemma2 => ModelConfig {
                 model: self,
                 name: "Gemma2",
                 head_dim: 256,
                 num_heads: 8,
+                kv_heads: 4,
             },
         }
     }
@@ -117,6 +155,31 @@ mod tests {
     #[test]
     fn model_dim_is_heads_times_head_dim() {
         assert_eq!(LlmModel::Bert.config().model_dim(), 768);
+    }
+
+    #[test]
+    fn deployed_head_topologies() {
+        // Grouped-query geometries of the deployed checkpoints: the KV
+        // cache (and its decode bytes/step) shrinks by group_size.
+        let llama = LlmModel::Llama31.config();
+        assert_eq!((llama.num_heads, llama.kv_heads), (32, 8));
+        assert_eq!(llama.group_size(), 4);
+        assert_eq!(llama.kv_dim(), 8 * 128);
+        let gemma = LlmModel::Gemma2.config();
+        assert_eq!((gemma.num_heads, gemma.kv_heads), (8, 4));
+        assert_eq!(gemma.group_size(), 2);
+        // The MHA models sit at the degenerate point.
+        assert_eq!(LlmModel::Bert.config().group_size(), 1);
+        assert_eq!(LlmModel::Phi3Mini.config().group_size(), 1);
+        for m in PAPER_MODELS {
+            let cfg = m.config();
+            let topo = cfg.topology();
+            assert_eq!(topo.query_heads, cfg.num_heads);
+            assert_eq!(topo.kv_heads, cfg.kv_heads);
+            assert_eq!(topo.q_dim(), cfg.model_dim());
+            assert_eq!(topo.kv_dim(), cfg.kv_dim());
+            assert_eq!(cfg.gqa().topology(), topo);
+        }
     }
 
     #[test]
