@@ -156,6 +156,36 @@ pub struct BlockRef {
     pub bf16: bool,
 }
 
+/// Per-(block, kv head) reference checksums of a block's **stored**
+/// rows — the localization structure the fault-tolerance layer walks
+/// (see [`guard`]).
+///
+/// `ksum[g]` / `vsum[g]` fold each row's lane-order f64 key/value sums
+/// in row-append order, which is exactly the order the audit recompute
+/// folds them — so on a clean block the stored reference and a fresh
+/// recomputation agree **bitwise**, and any storage bit flip (either
+/// arena, either side) surfaces as a reference/recompute mismatch
+/// pinned to this (block, kv head) without any tolerance question.
+/// References are updated incrementally on append, rebuilt on demotion
+/// (the stored rows changed format), and dropped with their block on
+/// eviction or retirement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockCheck {
+    /// Per-kv-head lane-order sums of the block's stored key rows.
+    pub ksum: Vec<f64>,
+    /// Per-kv-head lane-order sums of the block's stored value rows.
+    pub vsum: Vec<f64>,
+}
+
+impl BlockCheck {
+    fn zeroed(heads: usize) -> Self {
+        BlockCheck {
+            ksum: vec![0.0; heads],
+            vsum: vec![0.0; heads],
+        }
+    }
+}
+
 /// What one append did beyond storing the row: which logical position
 /// ranges were demoted to BF16 (the engine recomputes those rows'
 /// checksum inputs from the rounded values).
@@ -276,6 +306,10 @@ pub struct KvCache<T> {
 struct SeqBlocks {
     /// Retained arena blocks owned by this sequence, in position order.
     blocks: Vec<BlockRef>,
+    /// Reference checksums parallel to `blocks` (one [`BlockCheck`] per
+    /// retained block), maintained bitwise-consistent with the stored
+    /// rows at every claim/append/demote/evict.
+    checks: Vec<BlockCheck>,
     /// Logical position of `blocks[0]`'s first row — a multiple of
     /// `block_rows`, advanced past evicted leading blocks (0 under
     /// [`EvictionPolicy::RetainAll`]).
@@ -496,6 +530,7 @@ impl<T: Scalar> KvCache<T> {
     pub fn add_sequence(&mut self) -> usize {
         let fresh = SeqBlocks {
             blocks: Vec::new(),
+            checks: Vec::new(),
             start: 0,
             len: 0,
             demoted_rows: 0,
@@ -521,6 +556,7 @@ impl<T: Scalar> KvCache<T> {
         let state = &mut self.seqs[seq];
         assert!(!state.retired, "sequence {seq} already retired");
         let blocks = core::mem::take(&mut state.blocks);
+        state.checks = Vec::new();
         state.start = 0;
         state.len = 0;
         state.retired = true;
@@ -634,10 +670,14 @@ impl<T: Scalar> KvCache<T> {
                 self.v_arena16[dst + e] = round_bf16(self.v_arena[src + e]);
             }
             self.free_blocks.push(native);
-            self.seqs[seq].blocks[i] = BlockRef {
+            let demoted_ref = BlockRef {
                 index: b16,
                 bf16: true,
             };
+            self.seqs[seq].blocks[i] = demoted_ref;
+            // The stored rows changed format: rebuild the block's
+            // reference checksum from the rounded storage.
+            self.seqs[seq].checks[i] = self.recompute_block_check(demoted_ref, self.block_rows);
             let state = &mut self.seqs[seq];
             state.demoted_rows += self.block_rows;
             let first = state.start + i * self.block_rows;
@@ -660,6 +700,7 @@ impl<T: Scalar> KvCache<T> {
         let lo = (anchor + 1).saturating_sub(window);
         while !self.seqs[seq].blocks.is_empty() && self.seqs[seq].start + self.block_rows <= lo {
             let blk = self.seqs[seq].blocks.remove(0);
+            self.seqs[seq].checks.remove(0);
             self.seqs[seq].start += self.block_rows;
             if blk.bf16 {
                 self.free_blocks16.push(blk.index);
@@ -725,7 +766,10 @@ impl<T: Scalar> KvCache<T> {
             // recycling a retired block when one is free.
             let bf16 = self.format.appends_bf16();
             let block = self.claim_block(bf16);
-            self.seqs[seq].blocks.push(BlockRef { index: block, bf16 });
+            let heads = self.heads;
+            let state = &mut self.seqs[seq];
+            state.blocks.push(BlockRef { index: block, bf16 });
+            state.checks.push(BlockCheck::zeroed(heads));
             if let KvFormat::Mixed { burst_blocks } = self.format {
                 outcome.demoted = self.demote_beyond_burst(seq, burst_blocks);
             }
@@ -766,6 +810,16 @@ impl<T: Scalar> KvCache<T> {
                     write_head(h, base + (h * self.block_rows + r) * d);
                 }
             }
+        }
+        // Fold the stored row (post-rounding, for BF16 blocks) into the
+        // block's reference checksum — per head, rows accumulate in
+        // append order, matching `recompute_block_check`'s fold bitwise.
+        let bi = local / self.block_rows;
+        for h in 0..self.heads {
+            let (ks, vs) = self.stored_lane_sums(blk, r, h);
+            let check = &mut self.seqs[seq].checks[bi];
+            check.ksum[h] += ks;
+            check.vsum[h] += vs;
         }
         self.seqs[seq].len += 1;
         self.evict_below_anchor(seq, anchor);
@@ -866,19 +920,65 @@ impl<T: Scalar> KvCache<T> {
     pub fn value_head_sum(&self, seq: usize, i: usize, head: usize) -> f64 {
         assert!(head < self.heads, "head {head} out of {}", self.heads);
         let (blk, r) = self.block_of(seq, i);
+        self.stored_lane_sums(blk, r, head).1
+    }
+
+    /// Lane-order f64 sums of the **stored** key and value lanes of one
+    /// (block, row, head) slot — the increment both the incremental
+    /// reference-checksum update and the audit recompute fold, so the
+    /// two can never disagree on summation order.
+    fn stored_lane_sums(&self, blk: BlockRef, r: usize, head: usize) -> (f64, f64) {
         let slot = blk.index * self.block_rows * self.width + self.lane_offset(r, head);
         let d = self.head_dim;
         if blk.bf16 {
-            self.v_arena16[slot..slot + d]
-                .iter()
-                .map(|x| x.to_f64())
-                .sum()
+            (
+                self.k_arena16[slot..slot + d]
+                    .iter()
+                    .map(|x| x.to_f64())
+                    .sum(),
+                self.v_arena16[slot..slot + d]
+                    .iter()
+                    .map(|x| x.to_f64())
+                    .sum(),
+            )
         } else {
-            self.v_arena[slot..slot + d]
-                .iter()
-                .map(|x| x.to_f64())
-                .sum()
+            (
+                self.k_arena[slot..slot + d]
+                    .iter()
+                    .map(|x| x.to_f64())
+                    .sum(),
+                self.v_arena[slot..slot + d]
+                    .iter()
+                    .map(|x| x.to_f64())
+                    .sum(),
+            )
         }
+    }
+
+    /// Recomputes one block's [`BlockCheck`] from its stored rows: per
+    /// head, the first `rows` rows' lane sums fold in row order — the
+    /// same order the incremental append-path update used, so a clean
+    /// block's recomputation equals its stored reference **bitwise**.
+    fn recompute_block_check(&self, blk: BlockRef, rows: usize) -> BlockCheck {
+        let mut check = BlockCheck::zeroed(self.heads);
+        for h in 0..self.heads {
+            for r in 0..rows {
+                let (ks, vs) = self.stored_lane_sums(blk, r, h);
+                check.ksum[h] += ks;
+                check.vsum[h] += vs;
+            }
+        }
+        check
+    }
+
+    /// The reference checksums of sequence `seq`'s retained blocks,
+    /// parallel to [`seq_blocks`](Self::seq_blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn block_checks(&self, seq: usize) -> &[BlockCheck] {
+        &self.live(seq).checks
     }
 
     /// Iterates sequence `seq` block by block as
@@ -1100,6 +1200,14 @@ struct SequenceState<T: Scalar> {
     /// The completed admission, parked until
     /// [`DecodeBatch::take_admitted`] collects it.
     ready: Option<AdmittedPrompt>,
+    /// Original (pre-rounding) K/V rows per cached position, flattened
+    /// `kv_dim` wide — the block-granular recovery source (see
+    /// [`guard`]). Empty unless the engine's recovery log is enabled;
+    /// indexed by absolute position (eviction does not trim it, so it is
+    /// bounded by sequence length, not retained length). Cleared on
+    /// retire so recycled slots never replay a previous owner's rows.
+    log_k: Vec<T>,
+    log_v: Vec<T>,
 }
 
 impl<T: Scalar> SequenceState<T> {
@@ -1112,6 +1220,8 @@ impl<T: Scalar> SequenceState<T> {
             unchecked_steps: 0,
             pending: None,
             ready: None,
+            log_k: Vec::new(),
+            log_v: Vec::new(),
         }
     }
 }
@@ -1130,6 +1240,10 @@ pub struct DecodeBatch<T: Scalar> {
     /// config's window and the eviction policy's window. `None` = full
     /// causal history.
     mask_window: Option<usize>,
+    /// Whether appends retain each sequence's original rows for
+    /// block-granular recovery (see [`guard`]). Off by default: serving
+    /// without a recovery contract should not pay the log's memory.
+    recovery_log: bool,
 }
 
 impl<T: Scalar> DecodeBatch<T> {
@@ -1217,6 +1331,7 @@ impl<T: Scalar> DecodeBatch<T> {
             seqs: Vec::new(),
             prefill_chunk: DEFAULT_PREFILL_CHUNK,
             mask_window,
+            recovery_log: false,
         }
     }
 
@@ -1305,6 +1420,8 @@ impl<T: Scalar> DecodeBatch<T> {
         state.sumrows = Vec::new();
         state.pending = None;
         state.ready = None;
+        state.log_k = Vec::new();
+        state.log_v = Vec::new();
     }
 
     /// Pre-fills sequence `seq` from prompt K/V matrices
@@ -1423,6 +1540,10 @@ impl<T: Scalar> DecodeBatch<T> {
 
     fn append_token_anchored(&mut self, seq: usize, k: &[T], v: &[T], anchor: usize) {
         let kv = self.cfg.kv_heads;
+        if self.recovery_log {
+            self.seqs[seq].log_k.extend_from_slice(k);
+            self.seqs[seq].log_v.extend_from_slice(v);
+        }
         let outcome = self.cache.append_anchored(seq, k, v, anchor);
         let pos = self.cache.seq_len(seq) - 1;
         // Checksum inputs come from the *stored* row: identical to the
@@ -2078,6 +2199,8 @@ fn accumulate_block<V: Scalar>(
         }
     }
 }
+
+pub mod guard;
 
 #[cfg(test)]
 mod tests {

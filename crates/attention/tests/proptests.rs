@@ -866,3 +866,163 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The serving-scale fault-tolerance contract, swept across
+    /// KvFormat × EvictionPolicy × GQA group size × injection step: an
+    /// injected high-bit flip into live K/V storage, a `sumrow` input,
+    /// or the verdict accumulator is localized by the structural audit
+    /// to exactly the poisoned site, repaired block-granularly from the
+    /// recovery log, and the engine resumes decoding bit-identical to a
+    /// never-injected golden twin. Fault-free audits are asserted clean
+    /// both before injection and after repair.
+    #[test]
+    fn injected_faults_localize_and_recover_bit_identical(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        pre_steps in 0usize..6,
+        post_steps in 1usize..6,
+        site_sel in 0usize..4,
+        bit_sel in 0u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::guard::{InjectionSite, LocalizedFault};
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let block_rows = 4;
+        let batch = 2usize;
+        let prefill_len = 10;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+
+        let mk = || DecodeBatch::<f64>::with_policy(
+            topo, block_rows, KvLayout::HeadMajor, format, eviction,
+        );
+        let mut subject = mk();
+        subject.enable_recovery_log();
+        let mut golden = mk();
+        let ids: Vec<usize> = (0..batch).map(|_| subject.add_sequence()).collect();
+        for _ in 0..batch { golden.add_sequence(); }
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        for (i, &id) in ids.iter().enumerate() {
+            let k = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(100 + i as u64));
+            let v = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(200 + i as u64));
+            subject.prefill(id, &k, &v);
+            golden.prefill(id, &k, &v);
+        }
+        // Lockstep decode with bitwise-identical outputs asserted.
+        let decode = |subject: &mut DecodeBatch<f64>, golden: &mut DecodeBatch<f64>,
+                      t0: usize, n: usize| {
+            for t in t0..t0 + n {
+                let qs = rand(batch, topo.q_dim(), seed.wrapping_add(1_000 + t as u64));
+                let ks = rand(batch, topo.kv_dim(), seed.wrapping_add(2_000 + t as u64));
+                let vs = rand(batch, topo.kv_dim(), seed.wrapping_add(3_000 + t as u64));
+                let a = subject.step_all(&ids, &qs, &ks, &vs);
+                let b = golden.step_all(&ids, &qs, &ks, &vs);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    for (c, (xa, ya)) in x.output.iter().zip(&y.output).enumerate() {
+                        prop_assert_eq!(
+                            xa.to_bits(), ya.to_bits(),
+                            "step {} seq {} lane {}", t, i, c
+                        );
+                    }
+                }
+            }
+        };
+        decode(&mut subject, &mut golden, 0, pre_steps);
+
+        // Fault-free control: every audit is clean under every policy.
+        for &id in &ids {
+            prop_assert!(subject.audit(id, tol).is_empty(), "fault-free audit clean");
+        }
+
+        // Inject into a retained position of one victim sequence. High
+        // exponent bits guarantee the storage delta survives the f64
+        // checksum fold (low-bit flips of tiny lanes can be absorbed by
+        // rounding — the live campaign samples those honestly; this
+        // sweep pins the deterministic contract).
+        let victim = ids[(seed as usize) % batch];
+        let first = subject.cache().first_retained(victim);
+        let len = subject.seq_len(victim);
+        let pos = first + (seed as usize / 7) % (len - first);
+        let g = (seed as usize / 11) % kv;
+        let lane = (seed as usize / 13) % d;
+        let site = InjectionSite::ALL[site_sel];
+        match site {
+            InjectionSite::Key | InjectionSite::Value => {
+                let key_side = site == InjectionSite::Key;
+                let bit = if subject.storage_is_bf16(victim, pos) {
+                    12 + bit_sel
+                } else {
+                    60 + bit_sel
+                };
+                subject.flip_storage_bit(victim, pos, g, lane, key_side, bit);
+                let faults = subject.audit(victim, tol);
+                prop_assert_eq!(faults.len(), 1, "one verdict: {:?}", &faults);
+                match faults[0] {
+                    LocalizedFault::CorruptBlock { kv_head, first: bf, rows, key_side: ks, .. } => {
+                        prop_assert_eq!(kv_head, g, "kv head pinned");
+                        prop_assert_eq!(ks, key_side, "side pinned");
+                        prop_assert!((bf..bf + rows).contains(&pos), "block spans the flip");
+                    }
+                    other => prop_assert!(false, "unexpected verdict {:?}", other),
+                }
+                let report = subject.repair(victim, &faults);
+                prop_assert_eq!(report.blocks_recovered, 1);
+                prop_assert!(report.rows_rewritten >= 1);
+            }
+            InjectionSite::Sumrow => {
+                subject.flip_sumrow_bit(victim, pos, g, 60 + bit_sel);
+                let faults = subject.audit(victim, tol);
+                prop_assert_eq!(
+                    &faults,
+                    &vec![LocalizedFault::CorruptSumrow { pos, kv_head: g }]
+                );
+                let report = subject.repair(victim, &faults);
+                prop_assert_eq!(report.sumrows_repaired, 1);
+                prop_assert_eq!(report.blocks_recovered, 0);
+            }
+            InjectionSite::Accumulator => {
+                let bit = 52 + ((seed / 17) % 11) as u32;
+                subject.flip_total_bit(victim, (seed / 19) % 2 == 0, bit);
+                let residual = subject.global_residual(victim);
+                let faults = subject.audit(victim, tol);
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(residual.abs() <= tol) {
+                    prop_assert_eq!(faults.len(), 1, "verdict fault: {:?}", &faults);
+                    prop_assert!(matches!(faults[0], LocalizedFault::CorruptTotals { .. }));
+                } else {
+                    prop_assert!(faults.is_empty(), "sub-tolerance verdict flip is masked");
+                }
+                let _ = subject.repair(victim, &faults);
+            }
+        }
+
+        // Post-repair: structure clean, decode tracks the golden twin
+        // bit for bit under the full policy matrix.
+        for &id in &ids {
+            prop_assert!(subject.audit(id, tol).is_empty(), "post-repair audit clean");
+        }
+        decode(&mut subject, &mut golden, pre_steps, post_steps);
+    }
+}

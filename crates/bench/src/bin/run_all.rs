@@ -193,9 +193,92 @@ fn kernel_benchmarks(quick: bool) {
     println!();
 }
 
+/// Runs the live fault-injection campaigns against the serving engine
+/// and writes `BENCH_faults.json`: detection latency, localization
+/// accuracy, and recovery cost under batched decode load.
+fn fault_benchmarks(quick: bool) {
+    println!("{}", "=".repeat(78));
+    println!("== fault_tolerance (live injection: detect / localize / recover)");
+    println!("{}", "=".repeat(78));
+    let report = fa_bench::faults::measure(quick);
+
+    let mut table = TablePrinter::new(vec![
+        "site",
+        "trials",
+        "detected",
+        "fp",
+        "silent",
+        "masked",
+        "online",
+        "scrub",
+        "steps-to-verdict",
+        "localized",
+        "accuracy %",
+        "recoveries",
+        "rows",
+        "divergent",
+    ]);
+    for s in &report.sites {
+        let st = &s.stats;
+        table.row(vec![
+            format!("{:?}", s.site),
+            format!("{}", st.total()),
+            format!("{}", st.base.detected),
+            format!("{}", st.base.false_positive),
+            format!("{}", st.base.silent),
+            format!("{}", st.base.masked),
+            format!("{}", st.online_detected),
+            format!("{}", st.scrub_detected),
+            format!("{:.2}", st.mean_steps_to_verdict()),
+            format!("{}", st.localized),
+            format!("{:.1}", st.localization_accuracy_pct()),
+            format!("{}", st.recoveries),
+            format!("{}", st.recovered_rows),
+            format!("{}", st.post_recovery_divergent),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "load: batch {} x prefill {} + {} decode steps, {} trials/site; \
+         audit {:.4} ms, block recovery {:.4} ms ({} rows)",
+        report.batch,
+        report.prefill,
+        report.steps,
+        report.trials,
+        report.audit_ms,
+        report.recover_block_ms,
+        report.recovered_rows,
+    );
+    for leg in &report.policy_sweep {
+        let st = &leg.stats;
+        println!(
+            "  policy {:?}/{:?}: {} trials, {} detected, {} silent, {} localized, \
+             {} recoveries, {} divergent, {} evicted-before-detect",
+            leg.format,
+            leg.eviction,
+            st.total(),
+            st.base.detected,
+            st.base.silent,
+            st.localized,
+            st.recoveries,
+            st.post_recovery_divergent,
+            st.evicted_before_detect,
+        );
+    }
+
+    let path = "BENCH_faults.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
-    kernel_benchmarks(passthrough.iter().any(|a| a == "--quick"));
+    let quick = passthrough.iter().any(|a| a == "--quick");
+    kernel_benchmarks(quick);
+    fault_benchmarks(quick);
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()

@@ -1,0 +1,377 @@
+//! Serving-scale fault-tolerance benchmarks: live injection campaigns
+//! against the continuous-batching engine under load, measuring
+//! detection latency (steps to verdict), localization accuracy, and
+//! block-granular recovery cost — the numbers behind `BENCH_faults.json`.
+//!
+//! Two layers:
+//!
+//! * **per-site campaigns** ([`fa_fault::run_live`]) at the headline
+//!   load (batch 32 full / batch 8 quick), one per
+//!   [`InjectionSite`] — the detection/localization/recovery matrix;
+//! * **a policy sweep** over KvFormat × EvictionPolicy for the
+//!   storage-injection site, showing how demotion laundering and
+//!   window eviction move the outcome mix;
+//! * **micro-timings** of the structural audit and one block recovery
+//!   on a loaded engine — the steady-state cost of scrubbing and the
+//!   price of a repair.
+
+use fa_attention::batch::guard::InjectionSite;
+use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
+use fa_attention::{AttentionConfig, HeadTopology};
+use fa_fault::{run_live, LiveCampaignSpec, LiveCampaignStats};
+use fa_tensor::{random::ElementDist, Matrix};
+use std::time::Instant;
+
+/// One site's campaign under the headline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteCampaign {
+    /// The injection site.
+    pub site: InjectionSite,
+    /// Aggregated campaign outcomes.
+    pub stats: LiveCampaignStats,
+}
+
+/// One leg of the policy sweep (storage-value injection under a
+/// format × eviction combination).
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyLeg {
+    /// Storage format under test.
+    pub format: KvFormat,
+    /// Eviction policy under test.
+    pub eviction: EvictionPolicy,
+    /// Aggregated campaign outcomes.
+    pub stats: LiveCampaignStats,
+}
+
+/// The full fault-tolerance benchmark report.
+#[derive(Clone, Debug)]
+pub struct FaultBenchReport {
+    /// Concurrent sequences per trial.
+    pub batch: usize,
+    /// Prompt tokens per sequence.
+    pub prefill: usize,
+    /// Decode steps per trial.
+    pub steps: usize,
+    /// Trials per campaign.
+    pub trials: u64,
+    /// Verdict tolerance τ.
+    pub tolerance: f64,
+    /// One campaign per injection site (f64 + retain-all: the canonical
+    /// detection/localization/recovery matrix).
+    pub sites: Vec<SiteCampaign>,
+    /// Value-site campaigns across the policy matrix.
+    pub policy_sweep: Vec<PolicyLeg>,
+    /// One structural audit of a loaded sequence, milliseconds.
+    pub audit_ms: f64,
+    /// One block recovery (rewrite + re-checksum + sumrow refresh) on
+    /// that sequence, milliseconds.
+    pub recover_block_ms: f64,
+    /// Rows the timed recovery rewrote.
+    pub recovered_rows: usize,
+}
+
+fn site_key(site: InjectionSite) -> &'static str {
+    match site {
+        InjectionSite::Key => "key",
+        InjectionSite::Value => "value",
+        InjectionSite::Sumrow => "sumrow",
+        InjectionSite::Accumulator => "accumulator",
+    }
+}
+
+fn format_key(format: KvFormat) -> &'static str {
+    match format {
+        KvFormat::F64 => "f64",
+        KvFormat::Bf16 => "bf16",
+        KvFormat::Mixed { .. } => "mixed",
+    }
+}
+
+fn eviction_key(eviction: EvictionPolicy) -> &'static str {
+    match eviction {
+        EvictionPolicy::RetainAll => "retain_all",
+        EvictionPolicy::SlidingWindow { .. } => "sliding_window",
+    }
+}
+
+/// Times the audit walk and one block recovery on an engine loaded to
+/// the campaign shape.
+fn micro_timings(spec: &LiveCampaignSpec) -> (f64, f64, usize) {
+    let topo = HeadTopology::gqa(
+        spec.query_heads,
+        spec.kv_heads,
+        AttentionConfig::new(spec.head_dim),
+    );
+    let mut engine = DecodeBatch::<f64>::with_policy(
+        topo,
+        spec.block_rows,
+        KvLayout::HeadMajor,
+        KvFormat::F64,
+        EvictionPolicy::RetainAll,
+    );
+    engine.enable_recovery_log();
+    let ids: Vec<usize> = (0..spec.batch).map(|_| engine.add_sequence()).collect();
+    let mk = |rows: usize, cols: usize, seed: u64| {
+        Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), seed)
+    };
+    for (i, &id) in ids.iter().enumerate() {
+        let k = mk(spec.prefill, topo.kv_dim(), 90_000 + i as u64);
+        let v = mk(spec.prefill, topo.kv_dim(), 91_000 + i as u64);
+        engine.prefill(id, &k, &v);
+    }
+    for t in 0..spec.steps {
+        let qs = mk(spec.batch, topo.q_dim(), 92_000 + t as u64);
+        let ks = mk(spec.batch, topo.kv_dim(), 93_000 + t as u64);
+        let vs = mk(spec.batch, topo.kv_dim(), 94_000 + t as u64);
+        let _ = engine.step_all(&ids, &qs, &ks, &vs);
+    }
+    let reps = 5;
+    let mut audit_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(engine.audit(ids[0], spec.tolerance));
+        audit_ms = audit_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut recover_ms = f64::INFINITY;
+    let mut rows = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        rows = std::hint::black_box(engine.recover_block(ids[0], 0));
+        recover_ms = recover_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (audit_ms, recover_ms, rows)
+}
+
+/// Runs the fault-tolerance benchmark. `quick` shrinks load and trial
+/// counts for CI smoke runs; the full run measures at batch-32 load.
+pub fn measure(quick: bool) -> FaultBenchReport {
+    let (batch, prefill, steps, trials, sweep_trials) = if quick {
+        (8, 16, 8, 16u64, 8u64)
+    } else {
+        (32, 64, 32, 120u64, 32u64)
+    };
+    let base = |site: InjectionSite, trials: u64| {
+        let mut spec = LiveCampaignSpec::new(site, trials, 99)
+            .with_batch(batch)
+            .with_shape(prefill, steps)
+            .with_format(KvFormat::F64)
+            .with_eviction(EvictionPolicy::RetainAll);
+        spec.query_heads = 4;
+        spec.kv_heads = 2;
+        spec.head_dim = 16;
+        spec.block_rows = 8;
+        spec
+    };
+    let sites: Vec<SiteCampaign> = InjectionSite::ALL
+        .iter()
+        .map(|&site| SiteCampaign {
+            site,
+            stats: run_live(&base(site, trials)),
+        })
+        .collect();
+    let mut policy_sweep = Vec::new();
+    for format in [
+        KvFormat::F64,
+        KvFormat::Bf16,
+        KvFormat::Mixed { burst_blocks: 1 },
+    ] {
+        for eviction in [
+            EvictionPolicy::RetainAll,
+            EvictionPolicy::SlidingWindow { window_blocks: 2 },
+        ] {
+            let spec = base(InjectionSite::Value, sweep_trials)
+                .with_format(format)
+                .with_eviction(eviction);
+            policy_sweep.push(PolicyLeg {
+                format,
+                eviction,
+                stats: run_live(&spec),
+            });
+        }
+    }
+    let probe = base(InjectionSite::Value, 1);
+    let (audit_ms, recover_block_ms, recovered_rows) = micro_timings(&probe);
+    FaultBenchReport {
+        batch,
+        prefill,
+        steps,
+        trials,
+        tolerance: probe.tolerance,
+        sites,
+        policy_sweep,
+        audit_ms,
+        recover_block_ms,
+        recovered_rows,
+    }
+}
+
+impl FaultBenchReport {
+    /// Renders the report as the `BENCH_faults.json` document: a
+    /// `detection_latency` section (per-site verdict mix and
+    /// steps-to-verdict), a `localization` section (audit accuracy), a
+    /// `recovery` section (repair volume, bit-identity certification,
+    /// audit/recovery micro-costs), and the raw policy sweep.
+    pub fn to_json(&self) -> String {
+        let detection: Vec<String> = self
+            .sites
+            .iter()
+            .map(|s| {
+                let st = &s.stats;
+                let (lo, hi) = st.base.wilson95(st.base.detected);
+                format!(
+                    "    \"{}\": {{ \"trials\": {}, \"detected\": {}, \"false_positive\": {}, \
+                     \"silent\": {}, \"masked\": {}, \"online_detected\": {}, \
+                     \"scrub_detected\": {}, \"mean_steps_to_verdict\": {:.3}, \
+                     \"detected_pct_lo\": {:.2}, \"detected_pct_hi\": {:.2} }}",
+                    site_key(s.site),
+                    st.total(),
+                    st.base.detected,
+                    st.base.false_positive,
+                    st.base.silent,
+                    st.base.masked,
+                    st.online_detected,
+                    st.scrub_detected,
+                    st.mean_steps_to_verdict(),
+                    lo,
+                    hi,
+                )
+            })
+            .collect();
+        let localization: Vec<String> = self
+            .sites
+            .iter()
+            .map(|s| {
+                let st = &s.stats;
+                format!(
+                    "    \"{}\": {{ \"localized\": {}, \"mislocalized\": {}, \
+                     \"accuracy_pct\": {:.2}, \"evicted_before_detect\": {} }}",
+                    site_key(s.site),
+                    st.localized,
+                    st.mislocalized,
+                    st.localization_accuracy_pct(),
+                    st.evicted_before_detect,
+                )
+            })
+            .collect();
+        let recovery: Vec<String> = self
+            .sites
+            .iter()
+            .map(|s| {
+                let st = &s.stats;
+                format!(
+                    "    \"{}\": {{ \"recoveries\": {}, \"recovered_rows\": {}, \
+                     \"post_recovery_divergent\": {} }}",
+                    site_key(s.site),
+                    st.recoveries,
+                    st.recovered_rows,
+                    st.post_recovery_divergent,
+                )
+            })
+            .collect();
+        let sweep: Vec<String> = self
+            .policy_sweep
+            .iter()
+            .map(|leg| {
+                let st = &leg.stats;
+                format!(
+                    "    {{ \"format\": \"{}\", \"eviction\": \"{}\", \"trials\": {}, \
+                     \"detected\": {}, \"silent\": {}, \"localized\": {}, \
+                     \"recoveries\": {}, \"post_recovery_divergent\": {}, \
+                     \"evicted_before_detect\": {} }}",
+                    format_key(leg.format),
+                    eviction_key(leg.eviction),
+                    st.total(),
+                    st.base.detected,
+                    st.base.silent,
+                    st.localized,
+                    st.recoveries,
+                    st.post_recovery_divergent,
+                    st.evicted_before_detect,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"batch\": {},\n  \"prefill\": {},\n  \"steps\": {},\n  \
+             \"trials\": {},\n  \"tolerance\": {:e},\n  \
+             \"detection_latency\": {{\n{}\n  }},\n  \
+             \"localization\": {{\n{}\n  }},\n  \
+             \"recovery\": {{\n{},\n    \"audit_ms\": {:.4}, \"recover_block_ms\": {:.4}, \
+             \"timed_recovery_rows\": {}\n  }},\n  \
+             \"policy_sweep\": [\n{}\n  ]\n}}\n",
+            self.batch,
+            self.prefill,
+            self.steps,
+            self.trials,
+            self.tolerance,
+            detection.join(",\n"),
+            localization.join(",\n"),
+            recovery.join(",\n"),
+            self.audit_ms,
+            self.recover_block_ms,
+            self.recovered_rows,
+            sweep.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fault_measurement_is_sane() {
+        let report = measure(true);
+        assert_eq!(report.sites.len(), 4);
+        assert_eq!(report.policy_sweep.len(), 6);
+        for s in &report.sites {
+            assert_eq!(s.stats.total(), report.trials, "{:?}", s.site);
+        }
+        let value = &report.sites[1];
+        assert_eq!(value.site, InjectionSite::Value);
+        assert!(value.stats.alarmed() > 0, "value flips alarm: {value:?}");
+        assert!(value.stats.recoveries > 0, "alarms recover: {value:?}");
+        assert_eq!(
+            value.stats.post_recovery_divergent, 0,
+            "f64 retain-all recovery resumes bit-identical"
+        );
+        assert_eq!(value.stats.mislocalized, 0, "audits pin the block");
+        let key = &report.sites[0];
+        assert_eq!(key.site, InjectionSite::Key);
+        assert!(
+            key.stats.scrub_detected > 0,
+            "key flips are the scrub's story: {key:?}"
+        );
+        assert!(report.audit_ms >= 0.0 && report.audit_ms.is_finite());
+        assert!(report.recover_block_ms >= 0.0 && report.recover_block_ms.is_finite());
+        assert!(report.recovered_rows > 0);
+    }
+
+    #[test]
+    fn fault_json_has_required_sections() {
+        let report = measure(true);
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "detection_latency",
+            "localization",
+            "recovery",
+            "mean_steps_to_verdict",
+            "online_detected",
+            "scrub_detected",
+            "accuracy_pct",
+            "evicted_before_detect",
+            "recovered_rows",
+            "post_recovery_divergent",
+            "audit_ms",
+            "recover_block_ms",
+            "policy_sweep",
+            "\"key\"",
+            "\"value\"",
+            "\"sumrow\"",
+            "\"accumulator\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

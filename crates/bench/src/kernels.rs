@@ -262,6 +262,11 @@ pub struct DecodeGqaPoint {
     pub checked_ms: f64,
     /// Aggregate decode throughput, tokens/s.
     pub tokens_per_s: f64,
+    /// Checked decode time with the same topology over a BF16 KV cache
+    /// (the grouped + narrowed serving configuration), milliseconds.
+    pub bf16_checked_ms: f64,
+    /// BF16-cache aggregate decode throughput, tokens/s.
+    pub bf16_tokens_per_s: f64,
     /// Mean analytic KV bytes streamed per decode step — divided by
     /// `group_size` relative to the MHA leg, since the cache holds one
     /// stream per kv head.
@@ -428,12 +433,15 @@ impl KernelBenchReport {
             .map(|p| {
                 format!(
                     "      {{ \"group_size\": {}, \"kv_heads\": {}, \"checked_ms\": {:.3}, \
-                     \"tokens_per_s\": {:.1}, \"bytes_per_step\": {:.0}, \
+                     \"tokens_per_s\": {:.1}, \"bf16_checked_ms\": {:.3}, \
+                     \"bf16_tokens_per_s\": {:.1}, \"bytes_per_step\": {:.0}, \
                      \"arena_blocks\": {} }}",
                     p.group_size,
                     p.kv_heads,
                     p.checked_ms,
                     p.tokens_per_s,
+                    p.bf16_checked_ms,
+                    p.bf16_tokens_per_s,
                     p.bytes_per_step,
                     p.arena_blocks,
                 )
@@ -1592,8 +1600,14 @@ fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGq
                 .collect(),
         })
         .collect();
-    let settle = |li: usize| -> (DecodeBatch<f64>, Vec<usize>) {
-        let mut engine = DecodeBatch::<f64>::new(legs[li], 64);
+    let settle = |li: usize, format: KvFormat| -> (DecodeBatch<f64>, Vec<usize>) {
+        let mut engine = DecodeBatch::<f64>::with_policy(
+            legs[li],
+            64,
+            KvLayout::HeadMajor,
+            format,
+            EvictionPolicy::RetainAll,
+        );
         let ids: Vec<usize> = (0..batch).map(|_| engine.add_sequence()).collect();
         for (s, &id) in ids.iter().enumerate() {
             engine.prefill(id, &inputs[li].k_prompt[s], &inputs[li].v_prompt[s]);
@@ -1615,7 +1629,7 @@ fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGq
     // final arena size per leg. Doubles as warmup.
     let probes: Vec<(f64, usize)> = (0..legs.len())
         .map(|li| {
-            let (mut engine, ids) = settle(li);
+            let (mut engine, ids) = settle(li, KvFormat::F64);
             let mut bytes = 0.0;
             for t in 0..shape.steps {
                 let _ = engine.step_all(
@@ -1632,11 +1646,16 @@ fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGq
             )
         })
         .collect();
+    // Two format legs per group size — native f64 and the BF16 cache
+    // (grouping and narrowing compose) — interleaved round-robin.
     let mut best = vec![f64::INFINITY; legs.len()];
+    let mut best16 = vec![f64::INFINITY; legs.len()];
     for _ in 0..reps {
-        for (li, slot) in best.iter_mut().enumerate() {
-            let ms = timed_once(|| settle(li), |state| run(state, li));
-            *slot = slot.min(ms);
+        for li in 0..legs.len() {
+            let ms = timed_once(|| settle(li, KvFormat::F64), |state| run(state, li));
+            best[li] = best[li].min(ms);
+            let ms16 = timed_once(|| settle(li, KvFormat::Bf16), |state| run(state, li));
+            best16[li] = best16[li].min(ms16);
         }
     }
     let tokens = (batch * shape.steps) as f64;
@@ -1654,6 +1673,8 @@ fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGq
                 kv_heads: query_heads / gs,
                 checked_ms: best[li],
                 tokens_per_s: tokens / (best[li] * 1e-3),
+                bf16_checked_ms: best16[li],
+                bf16_tokens_per_s: tokens / (best16[li] * 1e-3),
                 bytes_per_step: probes[li].0,
                 arena_blocks: probes[li].1,
             })
@@ -1811,6 +1832,8 @@ mod tests {
         assert_eq!(gq.points[0].group_size, 1);
         for p in &gq.points {
             assert!(p.tokens_per_s > 0.0, "group {}", p.group_size);
+            assert!(p.bf16_tokens_per_s > 0.0, "bf16 group {}", p.group_size);
+            assert!(p.bf16_checked_ms > 0.0);
             assert_eq!(p.kv_heads * p.group_size, gq.query_heads);
         }
         // Sharing K/V across a group divides the streamed bytes/step by
@@ -1909,6 +1932,7 @@ mod tests {
             "speedup",
             "decode_gqa",
             "group_size",
+            "bf16_checked_ms",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -15,6 +15,7 @@
 //! Criterion benches (`cargo bench -p fa-bench`) measure kernel and
 //! checker throughput: `attention_kernels`, `overhead`, `checksum`.
 
+pub mod faults;
 pub mod kernels;
 
 /// Simple fixed-width table printer for experiment reports.

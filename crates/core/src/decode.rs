@@ -169,6 +169,40 @@ impl CheckedDecodeSession {
         self.checker.compare(self.global_check, self.global_actual)
     }
 
+    /// Residual of position `i`'s stored checksum input against its
+    /// stored V row: `sumrow_i − Σ_c v_i[c]`. Exactly zero in a healthy
+    /// session (both sides fold the same lanes in the same order), so a
+    /// nonzero residual pins corruption to position `i`'s checker state
+    /// or V storage — the per-position verdict the paged engine's
+    /// block-checksum audit queries at block granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sumrow_residual(&self, i: usize) -> f64 {
+        self.sumrows[i] - self.values[i].iter().sum::<f64>()
+    }
+
+    /// Per-block verdicts over the cached history: chunks positions into
+    /// blocks of `block_rows` (the paged engine's block size) and sums
+    /// each block's [`sumrow_residual`](Self::sumrow_residual). A healthy
+    /// session returns all-zero; a poisoned sumrow or V row perturbs
+    /// exactly its own block's entry, localizing the fault to
+    /// (block index, offset range) without touching the other blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows` is zero.
+    pub fn block_residuals(&self, block_rows: usize) -> Vec<f64> {
+        assert!(block_rows > 0, "block_rows must be nonzero");
+        let mut out = Vec::with_capacity(self.len().div_ceil(block_rows));
+        for start in (0..self.len()).step_by(block_rows) {
+            let end = (start + block_rows).min(self.len());
+            out.push((start..end).map(|i| self.sumrow_residual(i)).sum());
+        }
+        out
+    }
+
     /// Appends the token's K/V and computes its checked attention row.
     ///
     /// # Panics
@@ -322,6 +356,40 @@ impl CheckedGqaDecodeSession {
     /// The running global check over all query heads and tokens so far.
     pub fn global_report(&self) -> ChecksumReport {
         self.checker.compare(self.global_check, self.global_actual)
+    }
+
+    /// Residual of kv head `g`'s stored checksum input at position `i`
+    /// against its stored V row — the grouped form of
+    /// [`CheckedDecodeSession::sumrow_residual`]. Exactly zero when
+    /// healthy; nonzero pins corruption to (kv head `g`, position `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` or `i` is out of range.
+    pub fn sumrow_residual(&self, g: usize, i: usize) -> f64 {
+        self.sumrows[g][i] - self.values[g][i].iter().sum::<f64>()
+    }
+
+    /// Per-(kv head, block) verdicts: `out[g][b]` sums block `b`'s
+    /// [`sumrow_residual`](Self::sumrow_residual) for kv head `g`. The
+    /// grouped golden model of the paged engine's per-(sequence, kv_head,
+    /// block) audit — a poisoned row perturbs exactly one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_rows` is zero.
+    pub fn block_residuals(&self, block_rows: usize) -> Vec<Vec<f64>> {
+        assert!(block_rows > 0, "block_rows must be nonzero");
+        (0..self.topo.kv_heads)
+            .map(|g| {
+                let mut row = Vec::with_capacity(self.len().div_ceil(block_rows));
+                for start in (0..self.len()).step_by(block_rows) {
+                    let end = (start + block_rows).min(self.len());
+                    row.push((start..end).map(|i| self.sumrow_residual(g, i)).sum());
+                }
+                row
+            })
+            .collect()
     }
 
     /// Appends the token's K/V (packed `kv_dim` rows) and computes every
@@ -568,6 +636,72 @@ mod tests {
             }
         }
         assert!(!session.global_report().is_alarm());
+    }
+
+    #[test]
+    fn block_residuals_are_zero_when_clean_and_localize_a_poke() {
+        let (q, k, v) = rand_qkv(10, 4, 910);
+        let cfg = AttentionConfig::new(4);
+        let mut session = CheckedDecodeSession::new(cfg);
+        for i in 0..10 {
+            let _ = session.step(q.row(i), k.row(i), v.row(i));
+        }
+        // Demote a prefix so the mixed-format path is covered too: the
+        // residuals are recomputed from the rounded rows, so they stay
+        // exactly zero.
+        session.demote_cached(0..4);
+        for i in 0..10 {
+            assert_eq!(session.sumrow_residual(i), 0.0, "position {i}");
+        }
+        let blocks = session.block_residuals(4);
+        assert_eq!(blocks.len(), 3, "10 positions at 4 rows/block");
+        assert!(blocks.iter().all(|r| *r == 0.0));
+
+        // Poke position 6's sumrow: only block 1 flags, and the verdict
+        // carries the exact perturbation.
+        session.sumrows[6] += 0.25;
+        let blocks = session.block_residuals(4);
+        assert_eq!(blocks[0], 0.0);
+        assert_eq!(blocks[1], 0.25);
+        assert_eq!(blocks[2], 0.0);
+
+        // A V-storage poke flags with the opposite sign (storage drifted
+        // under the checksum input).
+        session.sumrows[6] -= 0.25;
+        session.values[9][2] += 1.0;
+        let blocks = session.block_residuals(4);
+        assert_eq!(blocks[2], -1.0);
+        assert_eq!(blocks[1], 0.0);
+    }
+
+    #[test]
+    fn gqa_block_residuals_pin_kv_head_and_block() {
+        let topo = HeadTopology::gqa(4, 2, AttentionConfig::new(4));
+        let k = Matrix::<f64>::random_seeded(9, topo.kv_dim(), ElementDist::default(), 62);
+        let v = Matrix::<f64>::random_seeded(9, topo.kv_dim(), ElementDist::default(), 63);
+        let mut session = CheckedGqaDecodeSession::new(topo);
+        session.prefill(&k, &v);
+        session.demote_cached(0..3);
+        let blocks = session.block_residuals(4);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks
+            .iter()
+            .all(|g| g.len() == 3 && g.iter().all(|r| *r == 0.0)));
+
+        session.sumrows[1][5] += 0.5;
+        let blocks = session.block_residuals(4);
+        assert!(blocks[0].iter().all(|r| *r == 0.0), "other kv head clean");
+        assert_eq!(blocks[1][1], 0.5, "kv head 1, block 1 flags");
+        assert_eq!(blocks[1][0], 0.0);
+        assert_eq!(blocks[1][2], 0.0);
+        assert_eq!(session.sumrow_residual(1, 5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_rows must be nonzero")]
+    fn block_residuals_reject_zero_block_rows() {
+        let session = CheckedDecodeSession::new(AttentionConfig::new(2));
+        let _ = session.block_residuals(0);
     }
 
     #[test]

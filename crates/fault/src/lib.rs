@@ -42,11 +42,13 @@
 pub mod campaign;
 pub mod classify;
 pub mod criticality;
+pub mod live;
 pub mod recovery;
 pub mod stats;
 
 pub use campaign::{run_campaigns, CampaignSpec};
 pub use classify::{classify, Classified, DetectionCriterion, FaultCategory};
 pub use criticality::{CriticalityProbe, CriticalityReport};
+pub use live::{run_live, run_live_shard, LiveCampaignSpec, LiveCampaignStats};
 pub use recovery::{CheckGranularity, RecoveryModel};
 pub use stats::CampaignStats;

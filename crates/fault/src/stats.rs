@@ -120,7 +120,10 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
         return (0.0, 100.0);
     }
     let n = trials as f64;
-    let p = successes as f64 / n;
+    // Clamp: a caller merging mismatched shards can hand in more
+    // successes than trials; p > 1 would drive the variance term
+    // negative and the square root NaN.
+    let p = (successes as f64 / n).min(1.0);
     let z2 = z * z;
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
@@ -205,6 +208,41 @@ mod tests {
         assert_eq!(lo3, 0.0);
         assert!(hi3 < 6.0);
         assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 100.0));
+    }
+
+    #[test]
+    fn wilson_interval_zero_trials_is_vacuous_for_any_successes() {
+        // Empty shards merged into a campaign must stay well-defined.
+        assert_eq!(wilson_interval(7, 0, 1.96), (0.0, 100.0));
+    }
+
+    #[test]
+    fn wilson_interval_clamps_successes_above_trials() {
+        let (lo, hi) = wilson_interval(5, 3, 1.96);
+        assert!(lo.is_finite() && hi.is_finite(), "no NaN from p > 1");
+        assert!(lo <= hi);
+        assert!((0.0..=100.0).contains(&lo));
+        assert!((0.0..=100.0).contains(&hi));
+        assert!(hi > 99.9, "p clamps to 1: upper bound saturates");
+    }
+
+    #[test]
+    fn mean_latencies_are_zero_at_zero_records() {
+        // Division guards: latency sums without detections (e.g. stats
+        // built purely from merges of empty shards) must not divide by
+        // zero.
+        let s = CampaignStats {
+            detected_latency_end_sum: 10,
+            detected_latency_pass_sum: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.detected, 0);
+        assert_eq!(s.mean_latency_end(), 0.0);
+        assert_eq!(s.mean_latency_pass(), 0.0);
+        let empty = CampaignStats::default();
+        assert_eq!(empty.mean_latency_end(), 0.0);
+        assert_eq!(empty.mean_latency_pass(), 0.0);
+        assert_eq!(empty.wilson95(0), (0.0, 100.0));
     }
 
     #[test]

@@ -135,3 +135,39 @@ proptest! {
         prop_assert_eq!(x.total(), mk(a).total() + mk(b).total());
     }
 }
+
+mod live_sharding {
+    use fa_attention::batch::guard::InjectionSite;
+    use fa_fault::live::{run_live, run_live_shard, LiveCampaignStats};
+    use fa_fault::LiveCampaignSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any shard partition of a live campaign merges to exactly the
+        /// stats of the single full run — the determinism contract that
+        /// makes distributed campaigns trustworthy. Cut points may
+        /// coincide (empty shards must be identity elements).
+        #[test]
+        fn any_shard_partition_merges_to_the_full_run(
+            site_idx in 0usize..4,
+            seed in 0u64..1_000,
+            cut_a in 0u64..=10,
+            cut_b in 0u64..=10,
+        ) {
+            let trials = 10u64;
+            let spec = LiveCampaignSpec::new(InjectionSite::ALL[site_idx], trials, seed)
+                .with_batch(2)
+                .with_shape(6, 4);
+            let full = run_live(&spec);
+            let (lo, hi) = (cut_a.min(cut_b), cut_a.max(cut_b));
+            let mut merged = LiveCampaignStats::default();
+            merged.merge(&run_live_shard(&spec, 0, lo));
+            merged.merge(&run_live_shard(&spec, lo, hi));
+            merged.merge(&run_live_shard(&spec, hi, trials));
+            prop_assert_eq!(full, merged);
+            prop_assert_eq!(full.total(), trials);
+        }
+    }
+}
