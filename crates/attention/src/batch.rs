@@ -122,6 +122,41 @@ impl EvictionPolicy {
     }
 }
 
+/// Background-scrub policy: how many retained blocks the engine's
+/// round-robin scrub cursor audits per [`DecodeBatch::scrub_step`] call.
+///
+/// The online checksum lane is blind to residual-coherent (key-side)
+/// storage corruption by construction; a full
+/// [`audit_all`](DecodeBatch::audit_all) sees it but costs a whole
+/// structure walk. The scrubber amortizes that walk: each serving step
+/// spends `blocks_per_step` block audits, so **any** storage flip in a
+/// retained block is caught within
+/// `ceil(live_blocks / blocks_per_step)` scrub steps of landing —
+/// a bounded detection latency dial (bandwidth ↔ latency), measured as
+/// the `scrub` tradeoff curve in `BENCH_faults.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScrubPolicy {
+    /// Retained blocks audited per [`DecodeBatch::scrub_step`] call
+    /// (each block is checked across all kv heads, key and value side,
+    /// plus its positions' `sumrow` inputs).
+    pub blocks_per_step: usize,
+}
+
+/// What [`DecodeBatch::quarantine`] did with the damaged sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Cache blocks returned to the free lists.
+    pub blocks_freed: usize,
+    /// Recovery-log rows discarded (0 when the log instead seeded the
+    /// automatic requeue).
+    pub log_rows_dropped: usize,
+    /// Rows requeued for recompute through the chunked-prefill admission
+    /// path — the sequence's full K/V history when the recovery log
+    /// still covered position 0 upward, else 0 and the caller must
+    /// [`resubmit`](DecodeBatch::resubmit) the history itself.
+    pub requeued_rows: usize,
+}
+
 /// The cache's **single** BF16 rounding helper:
 /// [`fa_numerics::BF16::from_f64`], i.e. round-to-nearest-even staged
 /// through `f32` (f64→f32 RNE, then f32→BF16 RNE — the same widening
@@ -568,6 +603,36 @@ impl<T: Scalar> KvCache<T> {
             }
         }
         self.free_seqs.push(seq);
+    }
+
+    /// Returns every block of **live** sequence `seq` to the free lists
+    /// and resets its cached history to empty, keeping the slot live (id,
+    /// per-sequence engine state and ordering intact) — the cache half of
+    /// [`DecodeBatch::quarantine`]: the damaged rows stop occupying
+    /// arena space immediately, and the slot is ready to re-admit the
+    /// same logical sequence through the chunked-prefill path. Returns
+    /// the number of blocks freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn release_blocks(&mut self, seq: usize) -> usize {
+        let state = &mut self.seqs[seq];
+        assert!(!state.retired, "sequence {seq} is retired");
+        let blocks = core::mem::take(&mut state.blocks);
+        state.checks = Vec::new();
+        state.start = 0;
+        state.len = 0;
+        state.demoted_rows = 0;
+        let freed = blocks.len();
+        for blk in blocks {
+            if blk.bf16 {
+                self.free_blocks16.push(blk.index);
+            } else {
+                self.free_blocks.push(blk.index);
+            }
+        }
+        freed
     }
 
     /// Reserves arena capacity for at least `additional_rows` more cached
@@ -1162,6 +1227,12 @@ struct PendingPrompt<T: Scalar> {
     /// Running prompt checksum totals (per-chunk Kahan folds).
     predicted: f64,
     actual: f64,
+    /// A quarantine requeue: re-cache the K/V history chunk by chunk
+    /// (appends, checksums, demotion/eviction maintenance) but skip the
+    /// scoring passes — the outputs were already delivered before the
+    /// damage, only the cache state needs recomputing. `q` and `output`
+    /// are empty and no [`AdmittedPrompt`] is parked on completion.
+    cache_only: bool,
 }
 
 /// Everything the engine tracks for one sequence slot beyond the cache
@@ -1203,11 +1274,20 @@ struct SequenceState<T: Scalar> {
     /// Original (pre-rounding) K/V rows per cached position, flattened
     /// `kv_dim` wide — the block-granular recovery source (see
     /// [`guard`]). Empty unless the engine's recovery log is enabled;
-    /// indexed by absolute position (eviction does not trim it, so it is
-    /// bounded by sequence length, not retained length). Cleared on
+    /// row `i` of the log holds absolute position `log_start + i`
+    /// (truncation under a [`recovery_log_budget`](DecodeBatch::set_recovery_log_budget)
+    /// drops leading rows once scrub-verified or evicted). Cleared on
     /// retire so recycled slots never replay a previous owner's rows.
     log_k: Vec<T>,
     log_v: Vec<T>,
+    /// Absolute position of the log's first retained row (0 until budget
+    /// truncation drops leading rows).
+    log_start: usize,
+    /// Positions `< log_clean_until` passed a bitwise scrub/audit verdict
+    /// at some point after their last append — their log rows are safe to
+    /// drop under the budget (the stored blocks were proven faithful, so
+    /// the log is no longer their only witness).
+    log_clean_until: usize,
 }
 
 impl<T: Scalar> SequenceState<T> {
@@ -1222,6 +1302,8 @@ impl<T: Scalar> SequenceState<T> {
             ready: None,
             log_k: Vec::new(),
             log_v: Vec::new(),
+            log_start: 0,
+            log_clean_until: 0,
         }
     }
 }
@@ -1244,6 +1326,21 @@ pub struct DecodeBatch<T: Scalar> {
     /// block-granular recovery (see [`guard`]). Off by default: serving
     /// without a recovery contract should not pay the log's memory.
     recovery_log: bool,
+    /// Per-sequence recovery-log row budget: after truncation
+    /// opportunities (scrub verdicts, eviction) the log retains at most
+    /// this many rows beyond any still-unverified suffix. `None` =
+    /// unbounded (the PR-6 behaviour).
+    log_budget: Option<usize>,
+    /// Background scrub policy; `None` disables
+    /// [`scrub_step`](Self::scrub_step).
+    scrub: Option<ScrubPolicy>,
+    /// Round-robin scrub cursor: next sequence slot to audit.
+    scrub_seq: usize,
+    /// Round-robin scrub cursor: next retained block index within
+    /// `scrub_seq`.
+    scrub_block: usize,
+    /// Total blocks audited by the scrubber (bandwidth accounting).
+    scrubbed_blocks: u64,
 }
 
 impl<T: Scalar> DecodeBatch<T> {
@@ -1332,6 +1429,11 @@ impl<T: Scalar> DecodeBatch<T> {
             prefill_chunk: DEFAULT_PREFILL_CHUNK,
             mask_window,
             recovery_log: false,
+            log_budget: None,
+            scrub: None,
+            scrub_seq: 0,
+            scrub_block: 0,
+            scrubbed_blocks: 0,
         }
     }
 
@@ -1422,6 +1524,8 @@ impl<T: Scalar> DecodeBatch<T> {
         state.ready = None;
         state.log_k = Vec::new();
         state.log_v = Vec::new();
+        state.log_start = 0;
+        state.log_clean_until = 0;
     }
 
     /// Pre-fills sequence `seq` from prompt K/V matrices
@@ -1533,6 +1637,235 @@ impl<T: Scalar> DecodeBatch<T> {
         self.cache.first_retained(seq)
     }
 
+    /// Caps the recovery log at `rows` retained rows per sequence.
+    /// Leading rows beyond the budget are dropped at the next truncation
+    /// opportunity **only once they stop being the sole witness**: their
+    /// block passed a bitwise scrub/audit verdict
+    /// ([`scrub_step`](Self::scrub_step) /
+    /// [`checkpoint_recovery_log`](Self::checkpoint_recovery_log)) or was
+    /// evicted below the sliding window. An unverified suffix is never
+    /// dropped, so the log can transiently exceed the budget by exactly
+    /// the rows the scrubber has not reached yet (debug-asserted).
+    /// `None` restores the unbounded PR-6 behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == Some(0)` (the newest row is always retained).
+    pub fn set_recovery_log_budget(&mut self, rows: Option<usize>) {
+        assert!(rows != Some(0), "recovery log budget must be positive");
+        self.log_budget = rows;
+    }
+
+    /// The configured per-sequence recovery-log row budget.
+    pub fn recovery_log_budget(&self) -> Option<usize> {
+        self.log_budget
+    }
+
+    /// Recovery-log rows retained for sequence `seq` (0 when the log is
+    /// disabled; excludes budget-truncated leading rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn seq_log_rows(&self, seq: usize) -> usize {
+        self.seqs[seq].log_k.len() / self.cache.width
+    }
+
+    /// Total recovery-log rows retained across all sequence slots — the
+    /// bound [`set_recovery_log_budget`](Self::set_recovery_log_budget)
+    /// makes testable (without a budget this grows with every appended
+    /// row, forever).
+    pub fn recovery_log_rows(&self) -> usize {
+        self.seqs
+            .iter()
+            .map(|s| s.log_k.len() / self.cache.width)
+            .sum()
+    }
+
+    /// Total heap bytes the recovery log's retained K and V rows occupy.
+    pub fn recovery_log_bytes(&self) -> usize {
+        self.seqs
+            .iter()
+            .map(|s| (s.log_k.len() + s.log_v.len()) * core::mem::size_of::<T>())
+            .sum()
+    }
+
+    /// Drops leading log rows past the budget whose positions are
+    /// scrub-verified or evicted — called after every append, scrub
+    /// verdict, and checkpoint. A no-op without a budget.
+    fn truncate_log(&mut self, seq: usize) {
+        let Some(budget) = self.log_budget else {
+            return;
+        };
+        if !self.recovery_log || self.cache.is_retired(seq) {
+            return;
+        }
+        let len = self.cache.seq_len(seq);
+        let droppable = self.seqs[seq]
+            .log_clean_until
+            .max(self.cache.first_retained(seq));
+        let width = self.cache.width;
+        let state = &mut self.seqs[seq];
+        let new_start = len.saturating_sub(budget).min(droppable);
+        if new_start > state.log_start {
+            let drop = (new_start - state.log_start) * width;
+            state.log_k.drain(..drop);
+            state.log_v.drain(..drop);
+            state.log_start = new_start;
+        }
+        // The budget is never exceeded after truncation — except by the
+        // still-unverified suffix, whose rows the log must keep (they are
+        // the only recovery witness until a scrub verdict covers them).
+        debug_assert!(
+            len - state.log_start <= budget || state.log_start == droppable,
+            "log rows exceed the budget beyond the unverified suffix"
+        );
+    }
+
+    /// Installs (or clears) the background scrub policy consumed by
+    /// [`scrub_step`](Self::scrub_step). The round-robin cursor persists
+    /// across policy changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_step == 0` (a scrubber that never scrubs has
+    /// no latency bound; use `None` to disable).
+    pub fn set_scrub_policy(&mut self, policy: Option<ScrubPolicy>) {
+        if let Some(p) = policy {
+            assert!(p.blocks_per_step > 0, "blocks_per_step must be positive");
+        }
+        self.scrub = policy;
+    }
+
+    /// The installed background scrub policy.
+    pub fn scrub_policy(&self) -> Option<ScrubPolicy> {
+        self.scrub
+    }
+
+    /// Total blocks the background scrubber has audited — the bandwidth
+    /// side of the scrub tradeoff curve.
+    pub fn scrubbed_blocks(&self) -> u64 {
+        self.scrubbed_blocks
+    }
+
+    /// Retained blocks across all live sequences — one full scrub cycle
+    /// covers exactly this many block audits, so a storage flip is
+    /// detected within `ceil(live_blocks / blocks_per_step)` scrub steps.
+    pub fn live_blocks(&self) -> usize {
+        (0..self.cache.num_sequences())
+            .filter(|&s| !self.cache.is_retired(s))
+            .map(|s| self.cache.seqs[s].blocks.len())
+            .sum()
+    }
+
+    /// Gracefully degrades sequence `seq` after unrecoverable damage
+    /// (evidence evicted, log truncated past the poisoned block, or
+    /// checksum-absorbed corruption): every cache block returns to the
+    /// free lists, checksum state and verdict totals reset, and — when
+    /// the recovery log still covers the full history — the sequence is
+    /// automatically requeued for recompute through the **existing
+    /// chunked-prefill admission path** ([`prefill_step`](Self::prefill_step)
+    /// advances it while the rest of the batch keeps decoding). The
+    /// damage costs one sequence's latency, not the batch's verdict.
+    ///
+    /// When the log was truncated (or disabled) the caller must
+    /// [`resubmit`](Self::resubmit) the K/V history itself
+    /// ([`QuarantineReport::requeued_rows`] is 0).
+    ///
+    /// Once re-admitted, decode resumes **bit-identical** to an
+    /// undamaged replay of the same history, and batch peers are
+    /// bit-identical throughout (property-tested across format ×
+    /// eviction × GQA group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn quarantine(&mut self, seq: usize) -> QuarantineReport {
+        assert!(!self.cache.is_retired(seq), "sequence {seq} is retired");
+        let len = self.cache.seq_len(seq);
+        let width = self.cache.width;
+        let state = &mut self.seqs[seq];
+        state.pending = None;
+        state.ready = None;
+        state.sumrows = Vec::new();
+        state.totals = (0.0, 0.0);
+        state.prompt_tokens = 0;
+        state.checked_steps = 0;
+        state.unchecked_steps = 0;
+        let full_log = self.recovery_log
+            && state.log_start == 0
+            && state.log_k.len() == len * width
+            && len > 0;
+        let history = if full_log {
+            Some((
+                Matrix::from_vec(len, width, core::mem::take(&mut state.log_k)),
+                Matrix::from_vec(len, width, core::mem::take(&mut state.log_v)),
+            ))
+        } else {
+            None
+        };
+        let log_rows_dropped = state.log_k.len() / width;
+        state.log_k = Vec::new();
+        state.log_v = Vec::new();
+        state.log_start = 0;
+        state.log_clean_until = 0;
+        let blocks_freed = self.cache.release_blocks(seq);
+        let requeued_rows = match history {
+            Some((k, v)) => {
+                self.resubmit(seq, &k, &v);
+                len
+            }
+            None => 0,
+        };
+        QuarantineReport {
+            blocks_freed,
+            log_rows_dropped,
+            requeued_rows,
+        }
+    }
+
+    /// Requeues a quarantined sequence's full K/V history for
+    /// recompute-on-resume: the rows re-cache chunk by chunk through the
+    /// chunked-prefill admission machinery (appends, checksum rebuild,
+    /// demotion/eviction maintenance — every policy replays on the
+    /// append schedule, so the rebuilt cache state is bit-identical to an
+    /// engine that never lost it), but no attention is scored — the
+    /// sequence's outputs were already delivered before the damage. The
+    /// sequence stays [`is_pending`](Self::is_pending) until its last
+    /// chunk lands, then decodes normally; no [`AdmittedPrompt`] is
+    /// parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, an empty history, or if `seq` is out of
+    /// range, retired, non-empty, or already pending.
+    pub fn resubmit(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
+        assert_eq!(k.cols(), self.cfg.kv_dim(), "K width mismatch");
+        assert_eq!(v.cols(), self.cfg.kv_dim(), "V width mismatch");
+        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
+        assert!(k.rows() > 0, "resubmit needs at least one row");
+        assert!(!self.cache.is_retired(seq), "sequence {seq} is retired");
+        assert_eq!(
+            self.cache.seq_len(seq),
+            0,
+            "resubmit requires an empty (quarantined) sequence"
+        );
+        assert!(
+            self.seqs[seq].pending.is_none(),
+            "sequence {seq} is already pending"
+        );
+        self.seqs[seq].pending = Some(PendingPrompt {
+            q: Matrix::zeros(0, 0),
+            k: k.clone(),
+            v: v.clone(),
+            next: 0,
+            output: Matrix::zeros(0, 0),
+            predicted: 0.0,
+            actual: 0.0,
+            cache_only: true,
+        });
+    }
+
     fn append_token(&mut self, seq: usize, k: &[T], v: &[T]) {
         let anchor = self.cache.seq_len(seq);
         self.append_token_anchored(seq, k, v, anchor);
@@ -1572,6 +1905,9 @@ impl<T: Scalar> DecodeBatch<T> {
                 }
             }
         }
+        // Eviction below the window may have freed leading log rows; the
+        // budget truncation runs opportunistically on the append path.
+        self.truncate_log(seq);
     }
 
     /// Admits one prompt synchronously: registers a sequence (reusing
@@ -1636,6 +1972,7 @@ impl<T: Scalar> DecodeBatch<T> {
             output: Matrix::zeros(q.rows(), q_dim),
             predicted: 0.0,
             actual: 0.0,
+            cache_only: false,
         });
         seq
     }
@@ -1769,15 +2106,18 @@ impl<T: Scalar> DecodeBatch<T> {
                 .expect("advance_pending targets pending sequences");
             let p0 = pend.next;
             let p1 = p0.saturating_add(chunk).min(pend.k.rows());
+            let cache_only = pend.cache_only;
             for i in p0..p1 {
                 // Anchor eviction at the chunk's first query: its pass
                 // has not run yet and may attend below the newest row's
-                // window.
+                // window. (Cache-only requeues have no outstanding pass,
+                // but keep the same anchor so the eviction/demotion
+                // schedule replays the original admission exactly.)
                 self.append_token_anchored(seq, pend.k.row(i), pend.v.row(i), p0);
             }
             self.seqs[seq].pending = Some(pend);
             self.seqs[seq].prompt_tokens += p1 - p0;
-            spans.push((seq, p0, p1));
+            spans.push((seq, p0, p1, cache_only));
         }
 
         // Phase 2: one fork over all prompt×kv_head chunk group passes.
@@ -1790,15 +2130,20 @@ impl<T: Scalar> DecodeBatch<T> {
             .collect();
         let per_pair_elems = spans
             .iter()
-            .map(|&(_, p0, p1)| (p1 * p1).saturating_sub(p0 * p0) / 2 * d * gs)
+            .filter(|&&(_, _, _, cache_only)| !cache_only)
+            .map(|&(_, p0, p1, _)| (p1 * p1).saturating_sub(p0 * p0) / 2 * d * gs)
             .max()
             .unwrap_or(0);
         let engine = &*self;
         // Each pair yields the chunk's states in (query, member) order:
         // entry `j·group_size + m` is chunk query `p0 + j`, member `m` of
-        // kv head `g` (query head `g·group_size + m`).
+        // kv head `g` (query head `g·group_size + m`). Cache-only
+        // requeues yield no states: their appends are the whole job.
         let pass = |(si, g): (usize, usize)| {
-            let (seq, p0, p1) = spans[si];
+            let (seq, p0, p1, cache_only) = spans[si];
+            if cache_only {
+                return Vec::new();
+            }
             let pend = engine.seqs[seq].pending.as_ref().expect("pending survives");
             let cols = engine.cfg.group_q_cols(g);
             let mut scores = Vec::new();
@@ -1826,9 +2171,19 @@ impl<T: Scalar> DecodeBatch<T> {
         // this thread — the same Kahan order as flash2_with_checksum per
         // head, folded once per chunk.
         let mut processed = 0;
-        for (si, &(seq, p0, p1)) in spans.iter().enumerate() {
+        for (si, &(seq, p0, p1, cache_only)) in spans.iter().enumerate() {
             processed += p1 - p0;
             let mut pend = self.seqs[seq].pending.take().expect("pending survives");
+            if cache_only {
+                // No scoring, no checksum fold, no parked admission —
+                // just advance the chunk cursor and catch eviction up.
+                pend.next = p1;
+                self.cache.evict_to_newest(seq);
+                if p1 < pend.k.rows() {
+                    self.seqs[seq].pending = Some(pend);
+                }
+                continue;
+            }
             let mut predicted = 0.0f64;
             let mut actual = 0.0f64;
             for hi in 0..h {
@@ -2201,6 +2556,7 @@ fn accumulate_block<V: Scalar>(
 }
 
 pub mod guard;
+pub mod scrub;
 
 #[cfg(test)]
 mod tests {

@@ -121,6 +121,13 @@ pub enum LocalizedFault {
     },
 }
 
+/// A corrupt site pinned by the audit — [`DecodeBatch::audit`] and
+/// [`DecodeBatch::scrub_step`](DecodeBatch::scrub_step) return **every**
+/// site they can localize (a multi-fault burst yields one entry per
+/// poisoned (block, kv head, side) / `sumrow` cell), and
+/// [`DecodeBatch::repair`] fixes them all in one pass.
+pub type CorruptSite = LocalizedFault;
+
 /// What one [`DecodeBatch::repair`] call did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RepairReport {
@@ -131,6 +138,10 @@ pub struct RepairReport {
     pub rows_rewritten: usize,
     /// `sumrow` entries recomputed from clean storage.
     pub sumrows_repaired: usize,
+    /// Distinct corrupt blocks the log could **not** restore (its rows
+    /// were truncated past them, or the log is disabled) — the signal
+    /// that the sequence needs [`DecodeBatch::quarantine`] instead.
+    pub blocks_unrecoverable: usize,
 }
 
 /// Bit-level injection and block-granular audit/recovery are defined on
@@ -373,10 +384,17 @@ impl DecodeBatch<f64> {
         let d = cache.head_dim;
         let base = blk.index * cache.block_rows * width;
         let log = &self.seqs[seq];
+        assert!(
+            log.log_start <= first,
+            "block {block}'s log rows were truncated (log starts at {}, block at {first}); \
+             quarantine the sequence instead",
+            log.log_start
+        );
         for r in 0..rows {
             let pos = first + r;
-            let logged_k = &log.log_k[pos * width..(pos + 1) * width];
-            let logged_v = &log.log_v[pos * width..(pos + 1) * width];
+            let lr = pos - log.log_start;
+            let logged_k = &log.log_k[lr * width..(lr + 1) * width];
+            let logged_v = &log.log_v[lr * width..(lr + 1) * width];
             for h in 0..cache.heads {
                 let slot = base + cache.lane_offset(r, h);
                 if blk.bf16 {
@@ -399,6 +417,29 @@ impl DecodeBatch<f64> {
             }
         }
         rows
+    }
+
+    /// Whether retained block `block` of sequence `seq` can be restored
+    /// from the recovery log: the log is enabled and its retained rows
+    /// still cover the block's positions (budget truncation drops leading
+    /// rows only after a scrub verdict or eviction, so a freshly-corrupt
+    /// block normally stays covered — but a flip discovered in a
+    /// *previously verified, since-truncated* block is unrecoverable and
+    /// needs [`DecodeBatch::quarantine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `block` is out of
+    /// range.
+    pub fn block_recoverable(&self, seq: usize, block: usize) -> bool {
+        let state = self.cache.live(seq);
+        assert!(
+            block < state.blocks.len(),
+            "block {block} out of {} retained",
+            state.blocks.len()
+        );
+        let first = state.start + block * self.cache.block_rows;
+        self.recovery_log && self.seqs[seq].log_start <= first
     }
 
     /// Recomputes one `sumrow` checksum input from the (clean) stored
@@ -437,10 +478,16 @@ impl DecodeBatch<f64> {
     /// [`audit`](Self::audit) is clean and subsequent decode is
     /// bit-identical to a never-injected engine (property-tested).
     ///
+    /// Corrupt blocks the log no longer covers (disabled, or truncated
+    /// past them by the row budget) are *not* repairable in place: they
+    /// are skipped and counted in
+    /// [`blocks_unrecoverable`](RepairReport::blocks_unrecoverable),
+    /// signalling the caller to [`quarantine`](Self::quarantine) the
+    /// sequence instead.
+    ///
     /// # Panics
     ///
-    /// Panics if a block repair is needed and the recovery log is not
-    /// enabled, or `seq` is out of range or retired.
+    /// Panics if `seq` is out of range or retired.
     pub fn repair(&mut self, seq: usize, faults: &[LocalizedFault]) -> RepairReport {
         let mut report = RepairReport::default();
         let mut recovered: Vec<usize> = Vec::new();
@@ -448,9 +495,13 @@ impl DecodeBatch<f64> {
             match *fault {
                 LocalizedFault::CorruptBlock { block, .. } => {
                     if !recovered.contains(&block) {
-                        report.rows_rewritten += self.recover_block(seq, block);
-                        report.blocks_recovered += 1;
                         recovered.push(block);
+                        if self.block_recoverable(seq, block) {
+                            report.rows_rewritten += self.recover_block(seq, block);
+                            report.blocks_recovered += 1;
+                        } else {
+                            report.blocks_unrecoverable += 1;
+                        }
                     }
                 }
                 LocalizedFault::CorruptSumrow { pos, kv_head } => {

@@ -1025,4 +1025,170 @@ proptest! {
         }
         decode(&mut subject, &mut golden, pre_steps, post_steps);
     }
+
+    /// The graceful-degradation contract, swept across KvFormat ×
+    /// EvictionPolicy × GQA group size × recovery path: when damage is
+    /// beyond in-place repair, `quarantine` frees the victim's blocks and
+    /// its history recomputes through the chunked-prefill admission path
+    /// — auto-requeued from the recovery log when it still covers
+    /// everything, resubmitted from the caller's copy when a budget
+    /// truncated it. Batch peers decode bit-identical to a golden twin
+    /// throughout the re-admission, and the victim itself resumes
+    /// bit-identical to an undamaged replay afterwards.
+    #[test]
+    fn quarantined_sequences_resume_bit_identical(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        pre_steps in 1usize..6,
+        post_steps in 1usize..6,
+        trunc_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let block_rows = 4;
+        let batch = 3usize;
+        let prefill_len = 10;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+
+        // A small prefill chunk forces the requeue through several
+        // admission passes interleaved with peer decode.
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo, block_rows, KvLayout::HeadMajor, format, eviction,
+            );
+            e.set_prefill_chunk(3);
+            e
+        };
+        let mut subject = mk();
+        subject.enable_recovery_log();
+        let mut golden = mk();
+        let ids: Vec<usize> = (0..batch).map(|_| subject.add_sequence()).collect();
+        for _ in 0..batch { golden.add_sequence(); }
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        // The serving frontend's own copy of every admitted row — the
+        // recovery source when the engine's log was budget-truncated.
+        let mut hist_k: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        let mut hist_v: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        for (i, &id) in ids.iter().enumerate() {
+            let k = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(100 + i as u64));
+            let v = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(200 + i as u64));
+            hist_k[id].extend_from_slice(k.as_slice());
+            hist_v[id].extend_from_slice(v.as_slice());
+            subject.prefill(id, &k, &v);
+            golden.prefill(id, &k, &v);
+        }
+        // Lockstep decode of `step_ids` with bitwise-identical outputs
+        // asserted; every admitted row lands in the frontend history.
+        let decode = |subject: &mut DecodeBatch<f64>, golden: &mut DecodeBatch<f64>,
+                      hist_k: &mut Vec<Vec<f64>>, hist_v: &mut Vec<Vec<f64>>,
+                      step_ids: &[usize], t0: usize, n: usize| {
+            for t in t0..t0 + n {
+                let qs = rand(step_ids.len(), topo.q_dim(), seed.wrapping_add(1_000 + t as u64));
+                let ks = rand(step_ids.len(), topo.kv_dim(), seed.wrapping_add(2_000 + t as u64));
+                let vs = rand(step_ids.len(), topo.kv_dim(), seed.wrapping_add(3_000 + t as u64));
+                for (i, &id) in step_ids.iter().enumerate() {
+                    hist_k[id].extend_from_slice(ks.row(i));
+                    hist_v[id].extend_from_slice(vs.row(i));
+                }
+                let a = subject.step_all(step_ids, &qs, &ks, &vs);
+                let b = golden.step_all(step_ids, &qs, &ks, &vs);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    for (c, (xa, ya)) in x.output.iter().zip(&y.output).enumerate() {
+                        prop_assert_eq!(
+                            xa.to_bits(), ya.to_bits(),
+                            "step {} seq {} lane {}", t, step_ids[i], c
+                        );
+                    }
+                }
+            }
+        };
+        decode(&mut subject, &mut golden, &mut hist_k, &mut hist_v, &ids, 0, pre_steps);
+
+        let victim = ids[(seed as usize) % batch];
+        let peers: Vec<usize> = ids.iter().copied().filter(|&i| i != victim).collect();
+        let len = subject.seq_len(victim);
+        let key_side = (seed / 23) % 2 == 0;
+        let g = (seed as usize / 11) % kv;
+        let lane = (seed as usize / 13) % d;
+
+        if trunc_sel == 0 {
+            // Full log: any retained-position flip; quarantine requeues
+            // the whole history from the log automatically.
+            let first = subject.cache().first_retained(victim);
+            let pos = first + (seed as usize / 7) % (len - first);
+            let bit = if subject.storage_is_bf16(victim, pos) { 13 } else { 61 };
+            subject.flip_storage_bit(victim, pos, g, lane, key_side, bit);
+            let report = subject.quarantine(victim);
+            prop_assert!(report.blocks_freed > 0);
+            prop_assert_eq!(report.requeued_rows, len, "full log auto-requeues");
+            prop_assert!(subject.is_pending(victim));
+        } else {
+            // Budget-truncated log: checkpoint clean, truncate to 2 rows,
+            // then flip below the log's start — unrecoverable in place.
+            subject.set_recovery_log_budget(Some(2));
+            prop_assert!(subject.checkpoint_recovery_log(victim, tol));
+            prop_assert_eq!(subject.seq_log_rows(victim), 2);
+            let first = subject.cache().first_retained(victim);
+            prop_assume!(len - 2 > first);
+            let pos = first + (seed as usize / 7) % (len - 2 - first);
+            let bit = if subject.storage_is_bf16(victim, pos) { 13 } else { 61 };
+            subject.flip_storage_bit(victim, pos, g, lane, key_side, bit);
+            let faults = subject.audit(victim, tol);
+            prop_assert!(!faults.is_empty(), "high-bit flip is visible");
+            let report = subject.repair(victim, &faults);
+            prop_assert_eq!(report.blocks_unrecoverable, 1, "log truncated past it");
+            prop_assert_eq!(report.blocks_recovered, 0);
+            let report = subject.quarantine(victim);
+            prop_assert!(report.blocks_freed > 0);
+            prop_assert_eq!(report.requeued_rows, 0, "truncated log cannot requeue");
+            let k = Matrix::from_vec(len, topo.kv_dim(), hist_k[victim].clone());
+            let v = Matrix::from_vec(len, topo.kv_dim(), hist_v[victim].clone());
+            subject.resubmit(victim, &k, &v);
+            prop_assert!(subject.is_pending(victim));
+        }
+
+        // Peers keep serving while the victim re-admits chunk by chunk
+        // (step_all advances pending chunks); the golden twin pauses its
+        // victim too, so peers see identical traffic on both engines.
+        let mut waited = 0usize;
+        while subject.is_pending(victim) {
+            decode(
+                &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+                &peers, 10_000 + waited, 1,
+            );
+            waited += 1;
+            prop_assert!(waited <= 2 * len, "requeue must terminate");
+        }
+
+        // The rebuilt victim is bitwise the undamaged one: same length,
+        // clean audit, and bit-identical decode for the whole batch.
+        prop_assert_eq!(subject.seq_len(victim), golden.seq_len(victim));
+        for &id in &ids {
+            prop_assert!(subject.audit(id, tol).is_empty(), "post-requeue audit clean");
+        }
+        decode(
+            &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+            &ids, 20_000, post_steps,
+        );
+    }
 }

@@ -265,6 +265,34 @@ fn fault_benchmarks(quick: bool) {
             st.evicted_before_detect,
         );
     }
+    for leg in &report.scrub_sweep {
+        let st = &leg.stats;
+        println!(
+            "  scrub {} blocks/step (bound {} steps): mean verdict {:.2} steps, \
+             worst {} steps, {} online / {} scrub, {} blocks scrubbed",
+            leg.blocks_per_step,
+            leg.latency_bound_steps,
+            st.mean_steps_to_verdict(),
+            st.detection_steps_max,
+            st.online_detected,
+            st.scrub_detected,
+            st.scrubbed_blocks,
+        );
+    }
+    for leg in &report.multi_fault {
+        let st = &leg.stats;
+        println!(
+            "  burst k={}: {} flips, {} localized / {} mislocalized ({:.1}%), \
+             {} recoveries, {} divergent",
+            leg.flips_per_trial,
+            st.injected_flips,
+            st.localized,
+            st.mislocalized,
+            st.localization_accuracy_pct(),
+            st.recoveries,
+            st.post_recovery_divergent,
+        );
+    }
 
     let path = "BENCH_faults.json";
     match std::fs::write(path, report.to_json()) {

@@ -11,6 +11,13 @@
 //! * **a policy sweep** over KvFormat × EvictionPolicy for the
 //!   storage-injection site, showing how demotion laundering and
 //!   window eviction move the outcome mix;
+//! * **a scrub sweep** over background-scrubber bandwidths for the
+//!   Key site (invisible to the online check), tracing the detection
+//!   latency vs. scrub bandwidth tradeoff against its analytical
+//!   worst-case bound;
+//! * **a multi-fault sweep** over burst sizes k ∈ {1, 2, 4}
+//!   simultaneous flips, checking block-exact localization and
+//!   bounding unexplained post-repair divergence;
 //! * **micro-timings** of the structural audit and one block recovery
 //!   on a loaded engine — the steady-state cost of scrubbing and the
 //!   price of a repair.
@@ -43,6 +50,34 @@ pub struct PolicyLeg {
     pub stats: LiveCampaignStats,
 }
 
+/// One bandwidth point of the scrub sweep: a Key-site campaign (the
+/// residual-coherent class only a structural walk can see) with the
+/// background scrubber budgeted at `blocks_per_step`. The 0 point is
+/// the scrub-off baseline where detection waits for the end-of-run
+/// audit.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubLeg {
+    /// Scrub bandwidth: live blocks audited per decode step (0 = off).
+    pub blocks_per_step: usize,
+    /// The analytical worst-case detection latency at this bandwidth:
+    /// ceil(peak live blocks / blocks_per_step) decode steps (0 when
+    /// the scrubber is off).
+    pub latency_bound_steps: u64,
+    /// Aggregated campaign outcomes.
+    pub stats: LiveCampaignStats,
+}
+
+/// One burst size of the multi-fault sweep: a Value-site campaign
+/// injecting `flips_per_trial` simultaneous flips, measuring whether
+/// localization stays block-exact as damage compounds.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiFaultLeg {
+    /// Simultaneous bit flips injected at the fault step.
+    pub flips_per_trial: u32,
+    /// Aggregated campaign outcomes.
+    pub stats: LiveCampaignStats,
+}
+
 /// The full fault-tolerance benchmark report.
 #[derive(Clone, Debug)]
 pub struct FaultBenchReport {
@@ -61,6 +96,11 @@ pub struct FaultBenchReport {
     pub sites: Vec<SiteCampaign>,
     /// Value-site campaigns across the policy matrix.
     pub policy_sweep: Vec<PolicyLeg>,
+    /// Key-site campaigns across scrub bandwidths (the
+    /// detection-latency / scrub-bandwidth tradeoff curve).
+    pub scrub_sweep: Vec<ScrubLeg>,
+    /// Value-site campaigns across burst sizes k (simultaneous flips).
+    pub multi_fault: Vec<MultiFaultLeg>,
     /// One structural audit of a loaded sequence, milliseconds.
     pub audit_ms: f64,
     /// One block recovery (rewrite + re-checksum + sumrow refresh) on
@@ -189,7 +229,35 @@ pub fn measure(quick: bool) -> FaultBenchReport {
             });
         }
     }
+    // Scrub tradeoff curve: Key flips are invisible to the online
+    // check, so steps-to-verdict here is purely a function of how much
+    // audit bandwidth the scrubber spends per decode step.
     let probe = base(InjectionSite::Value, 1);
+    let peak_live_blocks = (batch * (prefill + steps).div_ceil(probe.block_rows)) as u64;
+    let scrub_sweep: Vec<ScrubLeg> = [0usize, 1, 4, 16]
+        .iter()
+        .map(|&bps| {
+            let spec = base(InjectionSite::Key, sweep_trials).with_scrub(bps);
+            ScrubLeg {
+                blocks_per_step: bps,
+                latency_bound_steps: if bps == 0 {
+                    0
+                } else {
+                    peak_live_blocks.div_ceil(bps as u64)
+                },
+                stats: run_live(&spec),
+            }
+        })
+        .collect();
+    // Multi-fault sweep: does block-exact localization survive bursts
+    // of simultaneous flips, and how much damage escapes repair?
+    let multi_fault: Vec<MultiFaultLeg> = [1u32, 2, 4]
+        .iter()
+        .map(|&k| MultiFaultLeg {
+            flips_per_trial: k,
+            stats: run_live(&base(InjectionSite::Value, sweep_trials).with_flips(k)),
+        })
+        .collect();
     let (audit_ms, recover_block_ms, recovered_rows) = micro_timings(&probe);
     FaultBenchReport {
         batch,
@@ -199,6 +267,8 @@ pub fn measure(quick: bool) -> FaultBenchReport {
         tolerance: probe.tolerance,
         sites,
         policy_sweep,
+        scrub_sweep,
+        multi_fault,
         audit_ms,
         recover_block_ms,
         recovered_rows,
@@ -210,7 +280,10 @@ impl FaultBenchReport {
     /// `detection_latency` section (per-site verdict mix and
     /// steps-to-verdict), a `localization` section (audit accuracy), a
     /// `recovery` section (repair volume, bit-identity certification,
-    /// audit/recovery micro-costs), and the raw policy sweep.
+    /// audit/recovery micro-costs), the raw policy sweep, a `scrub`
+    /// section (detection latency vs. scrub bandwidth, with the
+    /// analytical bound each point must respect), and a `multi_fault`
+    /// section (localization accuracy vs. burst size).
     pub fn to_json(&self) -> String {
         let detection: Vec<String> = self
             .sites
@@ -290,6 +363,51 @@ impl FaultBenchReport {
                 )
             })
             .collect();
+        let scrub: Vec<String> = self
+            .scrub_sweep
+            .iter()
+            .map(|leg| {
+                let st = &leg.stats;
+                format!(
+                    "    {{ \"blocks_per_step\": {}, \"latency_bound_steps\": {}, \
+                     \"trials\": {}, \"detected\": {}, \"silent\": {}, \
+                     \"online_detected\": {}, \"scrub_detected\": {}, \
+                     \"mean_steps_to_verdict\": {:.3}, \"detection_steps_max\": {}, \
+                     \"scrubbed_blocks\": {} }}",
+                    leg.blocks_per_step,
+                    leg.latency_bound_steps,
+                    st.total(),
+                    st.base.detected,
+                    st.base.silent,
+                    st.online_detected,
+                    st.scrub_detected,
+                    st.mean_steps_to_verdict(),
+                    st.detection_steps_max,
+                    st.scrubbed_blocks,
+                )
+            })
+            .collect();
+        let multi: Vec<String> = self
+            .multi_fault
+            .iter()
+            .map(|leg| {
+                let st = &leg.stats;
+                format!(
+                    "    {{ \"flips_per_trial\": {}, \"injected_flips\": {}, \
+                     \"localized\": {}, \"mislocalized\": {}, \"accuracy_pct\": {:.2}, \
+                     \"recoveries\": {}, \"recovered_rows\": {}, \
+                     \"post_recovery_divergent\": {} }}",
+                    leg.flips_per_trial,
+                    st.injected_flips,
+                    st.localized,
+                    st.mislocalized,
+                    st.localization_accuracy_pct(),
+                    st.recoveries,
+                    st.recovered_rows,
+                    st.post_recovery_divergent,
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"batch\": {},\n  \"prefill\": {},\n  \"steps\": {},\n  \
              \"trials\": {},\n  \"tolerance\": {:e},\n  \
@@ -297,7 +415,9 @@ impl FaultBenchReport {
              \"localization\": {{\n{}\n  }},\n  \
              \"recovery\": {{\n{},\n    \"audit_ms\": {:.4}, \"recover_block_ms\": {:.4}, \
              \"timed_recovery_rows\": {}\n  }},\n  \
-             \"policy_sweep\": [\n{}\n  ]\n}}\n",
+             \"policy_sweep\": [\n{}\n  ],\n  \
+             \"scrub\": [\n{}\n  ],\n  \
+             \"multi_fault\": [\n{}\n  ]\n}}\n",
             self.batch,
             self.prefill,
             self.steps,
@@ -310,6 +430,8 @@ impl FaultBenchReport {
             self.recover_block_ms,
             self.recovered_rows,
             sweep.join(",\n"),
+            scrub.join(",\n"),
+            multi.join(",\n"),
         )
     }
 }
@@ -344,6 +466,48 @@ mod tests {
         assert!(report.audit_ms >= 0.0 && report.audit_ms.is_finite());
         assert!(report.recover_block_ms >= 0.0 && report.recover_block_ms.is_finite());
         assert!(report.recovered_rows > 0);
+
+        // Scrub sweep: a baseline plus >= 3 nonzero bandwidth points,
+        // each honoring its analytical latency bound, with latency
+        // monotonically improving (weakly) as bandwidth grows.
+        assert_eq!(report.scrub_sweep[0].blocks_per_step, 0);
+        assert!(report.scrub_sweep.len() >= 4);
+        assert_eq!(report.scrub_sweep[0].stats.scrubbed_blocks, 0);
+        let baseline_mean = report.scrub_sweep[0].stats.mean_steps_to_verdict();
+        for leg in &report.scrub_sweep[1..] {
+            assert!(leg.blocks_per_step > 0);
+            assert!(leg.stats.scrubbed_blocks > 0, "{leg:?}");
+            assert!(
+                leg.stats.detection_steps_max <= leg.latency_bound_steps.max(report.steps as u64),
+                "latency bound violated: {leg:?}"
+            );
+            // Per-trial, a mid-run scrub verdict always lands no later
+            // than the end-of-run audit the baseline waits for.
+            assert!(
+                leg.stats.mean_steps_to_verdict() <= baseline_mean + 1e-9,
+                "scrubbing slower than the audit backstop: {leg:?}"
+            );
+        }
+
+        // Multi-fault sweep: every flip gets judged, and unexplained
+        // post-repair divergence never happens (divergence is bounded
+        // by the mislocalized/absorbed residue quarantine exists for).
+        assert_eq!(report.multi_fault.len(), 3);
+        for leg in &report.multi_fault {
+            let st = &leg.stats;
+            assert_eq!(
+                st.injected_flips,
+                st.total() * leg.flips_per_trial as u64,
+                "{leg:?}"
+            );
+            assert_eq!(
+                st.localized + st.mislocalized + st.evicted_before_detect,
+                st.injected_flips,
+                "every flip judged: {leg:?}"
+            );
+            assert!(st.localization_accuracy_pct() >= 90.0, "{leg:?}");
+            assert!(st.post_recovery_divergent <= st.mislocalized, "{leg:?}");
+        }
     }
 
     #[test]
@@ -366,6 +530,14 @@ mod tests {
             "audit_ms",
             "recover_block_ms",
             "policy_sweep",
+            "\"scrub\"",
+            "multi_fault",
+            "blocks_per_step",
+            "latency_bound_steps",
+            "detection_steps_max",
+            "scrubbed_blocks",
+            "flips_per_trial",
+            "injected_flips",
             "\"key\"",
             "\"value\"",
             "\"sumrow\"",

@@ -3,20 +3,23 @@
 //! Where [`crate::campaign`] injects into one-shot accelerator kernels,
 //! this module attacks an **active** `fa_attention::batch::DecodeBatch`
 //! mid-decode: a golden twin and a subject engine run identical
-//! continuous-batching traffic, one bit is flipped in the subject's live
+//! continuous-batching traffic, a burst of `flips` bits (1 by default,
+//! k ≤ 4 in the multi-fault sweeps) is flipped in the subject's live
 //! state (K/V block storage, a `sumrow` checksum input, or the verdict
 //! accumulator), and the serving loop's defenses take over —
 //!
 //! * **online detection**: the per-step residual and running
 //!   [`global_residual`](fa_attention::batch::DecodeBatch::global_residual)
 //!   verdict, checked NaN-safe after every step;
-//! * **scrub detection**: an end-of-run
-//!   [`audit`](fa_attention::batch::DecodeBatch::audit) walk of the
-//!   per-(sequence, kv head, block) checksum structure, which also
-//!   catches residual-coherent corruption (key-side flips) the online
-//!   verdict is blind to by construction;
-//! * **localization**: the audit's verdicts pinned against the actually
-//!   injected (position, kv head, side);
+//! * **scrub detection**: the mid-run background scrubber
+//!   ([`scrub_step`](fa_attention::batch::DecodeBatch::scrub_step) at
+//!   the spec's `scrub_blocks_per_step` bandwidth, when enabled) and the
+//!   end-of-run [`audit`](fa_attention::batch::DecodeBatch::audit)
+//!   backstop — the structural walks that catch residual-coherent
+//!   corruption (key-side flips) the online verdict is blind to by
+//!   construction, the former within a bounded number of steps;
+//! * **localization**: the audit's verdicts pinned per injected flip
+//!   against the actually injected (position, kv head, side);
 //! * **recovery**: block-granular
 //!   [`repair`](fa_attention::batch::DecodeBatch::repair) from the
 //!   recovery log, followed by lockstep decode against the golden twin
@@ -30,7 +33,7 @@
 use crate::classify::{Classified, FaultCategory};
 use crate::stats::CampaignStats;
 use fa_attention::batch::guard::{InjectionSite, LocalizedFault};
-use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
+use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout, ScrubPolicy};
 use fa_attention::{AttentionConfig, HeadTopology};
 use fa_tensor::{random::ElementDist, Matrix};
 use rand::rngs::StdRng;
@@ -70,6 +73,16 @@ pub struct LiveCampaignSpec {
     pub tolerance: f64,
     /// Which live state the flip targets.
     pub site: InjectionSite,
+    /// Simultaneous bit flips injected per trial (all at the injection
+    /// step, independently sampled) — the multi-fault burst dial. 1 is
+    /// the classic single-event-upset campaign.
+    pub flips: u32,
+    /// Background-scrub bandwidth of the subject's serving loop: blocks
+    /// audited per decode step via
+    /// [`scrub_step`](fa_attention::batch::DecodeBatch::scrub_step).
+    /// 0 disables mid-run scrubbing (the PR-6 behaviour: coherent
+    /// corruption waits for the end-of-run audit).
+    pub scrub_blocks_per_step: usize,
 }
 
 impl LiveCampaignSpec {
@@ -92,6 +105,8 @@ impl LiveCampaignSpec {
             seed,
             tolerance: 1e-6,
             site,
+            flips: 1,
+            scrub_blocks_per_step: 0,
         }
     }
 
@@ -119,6 +134,25 @@ impl LiveCampaignSpec {
         self.steps = steps;
         self
     }
+
+    /// Overrides the simultaneous flips per trial (the multi-fault
+    /// burst size k).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flips == 0`.
+    pub fn with_flips(mut self, flips: u32) -> Self {
+        assert!(flips > 0, "a trial injects at least one flip");
+        self.flips = flips;
+        self
+    }
+
+    /// Overrides the subject's background-scrub bandwidth (blocks per
+    /// decode step; 0 disables the mid-run scrub channel).
+    pub fn with_scrub(mut self, blocks_per_step: usize) -> Self {
+        self.scrub_blocks_per_step = blocks_per_step;
+        self
+    }
 }
 
 /// Aggregated results of a live campaign: the base
@@ -133,14 +167,18 @@ pub struct LiveCampaignStats {
     pub base: CampaignStats,
     /// Trials where the per-step or global residual alarmed mid-run.
     pub online_detected: u64,
-    /// Trials caught only by the end-of-run structural audit (the
-    /// residual-coherent key-flip story).
+    /// Trials caught by a structural walk instead: the mid-run
+    /// background scrubber ([`LiveCampaignSpec::scrub_blocks_per_step`])
+    /// or the end-of-run audit (the residual-coherent key-flip story).
     pub scrub_detected: u64,
-    /// Alarmed trials whose audit pinned the actually injected
+    /// Bit flips injected across all trials (`flips × trials` — the
+    /// denominator for per-flip localization accounting).
+    pub injected_flips: u64,
+    /// Injected flips the judging audit pinned to their actual
     /// (position, kv head, side).
     pub localized: u64,
-    /// Alarmed trials whose audit reported findings, none matching the
-    /// injected site.
+    /// Injected flips the judging audit reported findings for, none
+    /// matching that flip's site (includes Mixed-format laundering).
     pub mislocalized: u64,
     /// Blocks recomputed from the recovery log.
     pub recoveries: u64,
@@ -150,11 +188,21 @@ pub struct LiveCampaignStats {
     /// the golden twin (honest accounting: Mixed-format demotion can
     /// launder storage corruption beyond block recovery's reach).
     pub post_recovery_divergent: u64,
-    /// Trials whose injected position left the retained window before
-    /// any audit ran (sliding-window eviction destroyed the evidence).
+    /// Injected flips whose position left the retained window before
+    /// the judging audit — or the scrub cursor — reached it
+    /// (sliding-window eviction destroyed the evidence first). A flip
+    /// the scrubber catches while still retained counts as `localized`,
+    /// never here, even if its block is evicted later.
     pub evicted_before_detect: u64,
     /// Sum over alarmed trials of steps from injection to verdict.
     pub detection_steps_sum: u64,
+    /// Worst case over alarmed trials of steps from injection to
+    /// verdict — the observable the scrub latency *bound*
+    /// (`ceil(live_blocks / blocks_per_step)`) caps.
+    pub detection_steps_max: u64,
+    /// Blocks the subjects' background scrubbers audited across all
+    /// trials — the bandwidth cost axis of the scrub tradeoff curve.
+    pub scrubbed_blocks: u64,
 }
 
 impl LiveCampaignStats {
@@ -178,7 +226,7 @@ impl LiveCampaignStats {
         }
     }
 
-    /// Localization accuracy in percent over trials the audit judged
+    /// Localization accuracy in percent over flips the audit judged
     /// (0 when none were).
     pub fn localization_accuracy_pct(&self) -> f64 {
         let judged = self.localized + self.mislocalized;
@@ -194,6 +242,7 @@ impl LiveCampaignStats {
         self.base.merge(&other.base);
         self.online_detected += other.online_detected;
         self.scrub_detected += other.scrub_detected;
+        self.injected_flips += other.injected_flips;
         self.localized += other.localized;
         self.mislocalized += other.mislocalized;
         self.recoveries += other.recoveries;
@@ -201,6 +250,10 @@ impl LiveCampaignStats {
         self.post_recovery_divergent += other.post_recovery_divergent;
         self.evicted_before_detect += other.evicted_before_detect;
         self.detection_steps_sum += other.detection_steps_sum;
+        // Max is associative and commutative, so sharded merges stay
+        // exactly the full run's worst case.
+        self.detection_steps_max = self.detection_steps_max.max(other.detection_steps_max);
+        self.scrubbed_blocks += other.scrubbed_blocks;
     }
 }
 
@@ -247,10 +300,13 @@ fn pins_injection(site: InjectionSite, inj: Injected, faults: &[LocalizedFault])
     })
 }
 
-/// Flips the trial's sampled bit in the subject engine. The bit index is
+/// Flips one sampled bit in the subject engine. The bit index is
 /// drawn uniformly over the f64 bit space; BF16-resident storage folds
 /// it into its 16-bit space (the storage flipper's contract), keeping
-/// the sampling honest for both formats.
+/// the sampling honest for both formats. A multi-fault burst calls this
+/// `spec.flips` times back to back — sites are sampled independently,
+/// so a burst may (rarely) hit one site twice and cancel; that honesty
+/// is kept, not resampled away.
 fn inject(
     subject: &mut DecodeBatch<f64>,
     spec: &LiveCampaignSpec,
@@ -302,6 +358,11 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
     };
     let mut subject = mk();
     subject.enable_recovery_log();
+    if spec.scrub_blocks_per_step > 0 {
+        subject.set_scrub_policy(Some(ScrubPolicy {
+            blocks_per_step: spec.scrub_blocks_per_step,
+        }));
+    }
     let mut golden = mk();
     let ids: Vec<usize> = (0..spec.batch).map(|_| subject.add_sequence()).collect();
     for _ in 0..spec.batch {
@@ -327,27 +388,31 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
     let victim = ids[vi];
     let t_inj = rng.gen_range(0..spec.steps);
 
-    let mut injected: Option<Injected> = None;
+    let mut injected: Option<Vec<Injected>> = None;
     let mut corrupted = false;
     let mut alarm_step: Option<usize> = None;
+    let mut scrub_alarm_step: Option<usize> = None;
     let mut alarm_residual = 0.0f64;
     let mut repaired = false;
     let mut post_repair_divergent = false;
     let mut scrub_found = false;
 
-    // One closure handles both alarm paths: audit, judge localization
-    // against the ground truth, repair from the log.
+    // One closure handles every alarm path: audit, judge localization
+    // per injected flip against the ground truth, repair everything the
+    // audit pinned in one pass.
     let localize_and_repair =
-        |subject: &mut DecodeBatch<f64>, out: &mut LiveCampaignStats, inj: Injected| {
+        |subject: &mut DecodeBatch<f64>, out: &mut LiveCampaignStats, injs: &[Injected]| {
             let faults = subject.audit(victim, spec.tolerance);
             let structural = !matches!(spec.site, InjectionSite::Accumulator);
-            if structural && subject.cache().first_retained(victim) > inj.pos {
-                out.evicted_before_detect += 1;
-            } else if !faults.is_empty() {
-                if pins_injection(spec.site, inj, &faults) {
-                    out.localized += 1;
-                } else {
-                    out.mislocalized += 1;
+            for inj in injs {
+                if structural && subject.cache().first_retained(victim) > inj.pos {
+                    out.evicted_before_detect += 1;
+                } else if !faults.is_empty() {
+                    if pins_injection(spec.site, *inj, &faults) {
+                        out.localized += 1;
+                    } else {
+                        out.mislocalized += 1;
+                    }
                 }
             }
             let report = subject.repair(victim, &faults);
@@ -386,7 +451,11 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
 
     for t in 0..spec.steps {
         if t == t_inj {
-            injected = Some(inject(&mut subject, spec, victim, &mut rng));
+            let burst: Vec<Injected> = (0..spec.flips)
+                .map(|_| inject(&mut subject, spec, victim, &mut rng))
+                .collect();
+            out.injected_flips += burst.len() as u64;
+            injected = Some(burst);
         }
         let (step_residual, diverged) = lockstep(&mut subject, &mut golden, t);
         if injected.is_some() && !repaired {
@@ -394,7 +463,7 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
         } else if repaired {
             post_repair_divergent |= diverged;
         }
-        if let (Some(inj), false, None) = (injected, repaired, alarm_step) {
+        if injected.is_some() && !repaired {
             // NaN-safe alarm: a poisoned residual must not pass.
             let global = subject.global_residual(victim);
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -404,21 +473,38 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
             if step_alarm || global_alarm {
                 alarm_step = Some(t);
                 alarm_residual = if step_alarm { step_residual } else { global };
-                localize_and_repair(&mut subject, &mut out, inj);
+                let injs = injected.clone().unwrap_or_default();
+                localize_and_repair(&mut subject, &mut out, &injs);
+                repaired = true;
+            }
+        }
+        // The background scrubber spends its per-step quantum after the
+        // decode pass — every step, like a real serving loop (its
+        // bandwidth cost accrues whether or not anything is corrupt).
+        // Findings raise the scrub-channel alarm; the online residual
+        // wins same-step ties above.
+        let findings = subject.scrub_step();
+        if !findings.is_empty() && !repaired {
+            if let Some(injs) = injected.clone() {
+                scrub_alarm_step = Some(t);
+                scrub_found = true;
+                alarm_residual = subject.global_residual(victim);
+                localize_and_repair(&mut subject, &mut out, &injs);
                 repaired = true;
             }
         }
     }
 
-    // End-of-run structural scrub: the only channel that catches
-    // residual-coherent (key-side) corruption.
-    if alarm_step.is_none() {
-        if let Some(inj) = injected {
+    // End-of-run structural audit: the backstop channel for coherent
+    // corruption the online residual is blind to and the scrub cursor
+    // has not reached (or when scrubbing is off entirely).
+    if alarm_step.is_none() && scrub_alarm_step.is_none() {
+        if let Some(injs) = injected.clone() {
             let faults = subject.audit(victim, spec.tolerance);
             if !faults.is_empty() {
                 scrub_found = true;
                 alarm_residual = subject.global_residual(victim);
-                localize_and_repair(&mut subject, &mut out, inj);
+                localize_and_repair(&mut subject, &mut out, &injs);
                 repaired = true;
             }
         }
@@ -448,11 +534,12 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
         nan_poisoned: alarm_residual.is_nan(),
     });
     if alarm {
-        let steps_to_verdict = match alarm_step {
+        let steps_to_verdict = match alarm_step.or(scrub_alarm_step) {
             Some(t) => (t - t_inj + 1) as u64,
             None => (spec.steps - t_inj) as u64,
         };
         out.detection_steps_sum += steps_to_verdict;
+        out.detection_steps_max = steps_to_verdict;
         if category == FaultCategory::Detected {
             out.base.detected_latency_end_sum += steps_to_verdict;
         }
@@ -465,6 +552,7 @@ fn run_trial(spec: &LiveCampaignSpec, trial: u64) -> LiveCampaignStats {
     if repaired && post_repair_divergent {
         out.post_recovery_divergent += 1;
     }
+    out.scrubbed_blocks = subject.scrubbed_blocks();
     out
 }
 
@@ -602,6 +690,110 @@ mod tests {
             assert!(stats.mean_steps_to_verdict() >= 1.0);
             assert!(stats.mean_steps_to_verdict() <= (spec.steps + spec.verify_steps) as f64);
         }
+    }
+
+    #[test]
+    fn multi_fault_bursts_stay_block_exact() {
+        // k simultaneous value flips on the bit-pinned f64/retain-all
+        // path: every flip is judged individually. Localization stays
+        // block-exact for every flip the checksum fold can still see;
+        // the honest exception is a low-bit flip numerically *absorbed*
+        // by the fold (its site shows no mismatch), which a sibling
+        // flip's alarm then counts as mislocalized rather than hiding.
+        for k in [2u32, 4] {
+            let stats = run_live(
+                &quick(InjectionSite::Value)
+                    .with_format(KvFormat::F64)
+                    .with_flips(k),
+            );
+            assert_eq!(stats.injected_flips, 24 * k as u64);
+            assert_eq!(
+                stats.localized + stats.mislocalized,
+                stats.injected_flips,
+                "retain-all judges every flip: {stats:?}"
+            );
+            assert!(
+                stats.localization_accuracy_pct() >= 90.0,
+                "k={k} stays block-exact up to absorbed flips: {stats:?}"
+            );
+            // An unrepairable trial always has an unpinned (absorbed)
+            // flip to blame — divergence is never unexplained. That
+            // residue is what quarantine-and-recompute exists for.
+            assert!(
+                stats.post_recovery_divergent <= stats.mislocalized,
+                "k={k}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scrubbing_catches_key_flips_mid_run_and_faster() {
+        let base = quick(InjectionSite::Key).with_format(KvFormat::F64);
+        let off = run_live(&base);
+        let on = run_live(&base.with_scrub(2));
+        assert_eq!(on.total(), off.total());
+        assert!(on.scrubbed_blocks > 0, "bandwidth was spent: {on:?}");
+        assert_eq!(off.scrubbed_blocks, 0, "no policy, no cost");
+        assert!(
+            on.scrub_detected > 0,
+            "key flips are still a structural-walk story: {on:?}"
+        );
+        // The scrubber can only move verdicts earlier: with the same
+        // seeds and more detections at worst equal latency each, both
+        // aggregate latency observables shrink or hold.
+        assert!(on.alarmed() >= off.alarmed());
+        assert!(
+            on.detection_steps_sum <= off.detection_steps_sum,
+            "mid-run scrub must not slow detection: on={on:?} off={off:?}"
+        );
+        assert!(on.detection_steps_max <= off.detection_steps_max.max(1));
+        assert_eq!(on.post_recovery_divergent, 0, "{on:?}");
+    }
+
+    #[test]
+    fn scrub_detection_latency_respects_the_bandwidth_bound() {
+        // Retain-all keeps live_blocks = batch × blocks(prefill+steps);
+        // with bandwidth b the cursor needs at most ceil(live/b) steps
+        // from injection — the verdict lands within that many decode
+        // steps (or at the end-of-run audit, whose latency is shorter).
+        let spec = quick(InjectionSite::Key)
+            .with_format(KvFormat::F64)
+            .with_scrub(3);
+        let stats = run_live(&spec);
+        let rows = spec.prefill + spec.steps;
+        let max_live = spec.batch * rows.div_ceil(spec.block_rows);
+        let bound = max_live.div_ceil(spec.scrub_blocks_per_step) as u64;
+        assert!(
+            stats.detection_steps_max <= bound.max(spec.steps as u64),
+            "worst verdict {} exceeds scrub bound {bound}: {stats:?}",
+            stats.detection_steps_max
+        );
+    }
+
+    #[test]
+    fn evicted_flips_only_count_when_eviction_beats_the_cursor() {
+        // Sliding-window value campaign, with and without scrubbing: a
+        // flip the cursor reaches first is localized; only flips whose
+        // evidence left the window before any structural walk count as
+        // evicted_before_detect. Scrubbing therefore never increases the
+        // evicted count, and every judged flip lands in exactly one
+        // bucket.
+        let base = quick(InjectionSite::Value)
+            .with_format(KvFormat::F64)
+            .with_eviction(EvictionPolicy::SlidingWindow { window_blocks: 2 });
+        let off = run_live(&base);
+        let on = run_live(&base.with_scrub(4));
+        for stats in [&off, &on] {
+            assert!(
+                stats.localized + stats.mislocalized + stats.evicted_before_detect
+                    <= stats.injected_flips,
+                "{stats:?}"
+            );
+        }
+        assert!(
+            on.evicted_before_detect <= off.evicted_before_detect,
+            "the cursor only rescues evidence, never destroys it: on={on:?} off={off:?}"
+        );
     }
 
     #[test]

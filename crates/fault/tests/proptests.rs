@@ -148,18 +148,26 @@ mod live_sharding {
         /// Any shard partition of a live campaign merges to exactly the
         /// stats of the single full run — the determinism contract that
         /// makes distributed campaigns trustworthy. Cut points may
-        /// coincide (empty shards must be identity elements).
+        /// coincide (empty shards must be identity elements). The sweep
+        /// covers multi-fault bursts (k flips per trial) and mid-run
+        /// scrub bandwidths, so the per-flip counters, the summed scrub
+        /// bandwidth, and the max-merged worst-case latency all honor
+        /// the same exact-merge contract as the PR-6 counters.
         #[test]
         fn any_shard_partition_merges_to_the_full_run(
             site_idx in 0usize..4,
             seed in 0u64..1_000,
             cut_a in 0u64..=10,
             cut_b in 0u64..=10,
+            flips in 1u32..=4,
+            scrub in 0usize..=2,
         ) {
             let trials = 10u64;
             let spec = LiveCampaignSpec::new(InjectionSite::ALL[site_idx], trials, seed)
                 .with_batch(2)
-                .with_shape(6, 4);
+                .with_shape(6, 4)
+                .with_flips(flips)
+                .with_scrub(scrub);
             let full = run_live(&spec);
             let (lo, hi) = (cut_a.min(cut_b), cut_a.max(cut_b));
             let mut merged = LiveCampaignStats::default();
@@ -168,6 +176,12 @@ mod live_sharding {
             merged.merge(&run_live_shard(&spec, hi, trials));
             prop_assert_eq!(full, merged);
             prop_assert_eq!(full.total(), trials);
+            prop_assert_eq!(full.injected_flips, trials * flips as u64);
+            if scrub == 0 {
+                prop_assert_eq!(full.scrubbed_blocks, 0);
+            } else {
+                prop_assert!(full.scrubbed_blocks > 0);
+            }
         }
     }
 }
