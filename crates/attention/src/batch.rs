@@ -142,6 +142,28 @@ pub struct ScrubPolicy {
     pub blocks_per_step: usize,
 }
 
+impl ScrubPolicy {
+    /// The cheapest policy whose analytical detection-latency bound
+    /// `ceil(live_blocks / blocks_per_step)` meets `slo_steps`: inverting
+    /// the bound gives `blocks_per_step = ceil(live_blocks / slo_steps)`
+    /// (at least 1 so the cursor always advances). The bound holds by
+    /// construction — `ceil(live / ceil(live / slo)) <= slo` for all
+    /// positive `live`, `slo` — so a frontend that re-tunes with the
+    /// current [`live_blocks`](DecodeBatch::live_blocks) every step keeps
+    /// worst-case detection latency inside the SLO at every load point
+    /// while never scrubbing more blocks than that requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slo_steps` is zero (no finite bandwidth meets it).
+    pub fn for_target_latency(slo_steps: usize, live_blocks: usize) -> ScrubPolicy {
+        assert!(slo_steps > 0, "detection-latency SLO must be positive");
+        ScrubPolicy {
+            blocks_per_step: live_blocks.div_ceil(slo_steps).max(1),
+        }
+    }
+}
+
 /// What [`DecodeBatch::quarantine`] did with the damaged sequence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QuarantineReport {
@@ -156,6 +178,90 @@ pub struct QuarantineReport {
     /// [`resubmit`](DecodeBatch::resubmit) the history itself.
     pub requeued_rows: usize,
 }
+
+/// Why [`DecodeBatch::resubmit`] rejected a history.
+///
+/// A serving frontend races its own bookkeeping against the engine's:
+/// between deciding to requeue a victim and delivering its history,
+/// another actor may have retired the slot, refilled it, or resubmitted
+/// first. Each race is a recoverable error here — the frontend drops or
+/// retries one request instead of aborting the whole batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResubmitError {
+    /// K or V column count differs from the engine's `kv_dim`.
+    WidthMismatch {
+        /// The engine's packed K/V width (`kv_heads · head_dim`).
+        expected: usize,
+        /// Columns of the submitted K matrix.
+        k_cols: usize,
+        /// Columns of the submitted V matrix.
+        v_cols: usize,
+    },
+    /// K and V disagree on the number of history rows.
+    RowMismatch {
+        /// Rows of the submitted K matrix.
+        k_rows: usize,
+        /// Rows of the submitted V matrix.
+        v_rows: usize,
+    },
+    /// The history has no rows — nothing to recompute.
+    EmptyHistory,
+    /// The sequence slot was retired (lost a quarantine/retire race).
+    Retired {
+        /// The rejected sequence id.
+        seq: usize,
+    },
+    /// The sequence still holds cached rows — it was never quarantined,
+    /// or another actor already refilled it.
+    NotEmpty {
+        /// The rejected sequence id.
+        seq: usize,
+        /// Rows currently cached for it.
+        cached_rows: usize,
+    },
+    /// The sequence already has a pending prompt (double resubmit, or a
+    /// concurrent re-enqueue won the race).
+    AlreadyPending {
+        /// The rejected sequence id.
+        seq: usize,
+    },
+}
+
+impl core::fmt::Display for ResubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            ResubmitError::WidthMismatch {
+                expected,
+                k_cols,
+                v_cols,
+            } => write!(
+                f,
+                "history width mismatch: engine kv_dim is {expected}, \
+                 got K {k_cols} / V {v_cols} columns"
+            ),
+            ResubmitError::RowMismatch { k_rows, v_rows } => write!(
+                f,
+                "history row mismatch: K has {k_rows} rows, V has {v_rows}"
+            ),
+            ResubmitError::EmptyHistory => {
+                write!(f, "resubmit needs at least one history row")
+            }
+            ResubmitError::Retired { seq } => {
+                write!(f, "sequence {seq} is retired")
+            }
+            ResubmitError::NotEmpty { seq, cached_rows } => write!(
+                f,
+                "sequence {seq} still caches {cached_rows} rows; \
+                 resubmit requires an empty (quarantined) sequence"
+            ),
+            ResubmitError::AlreadyPending { seq } => {
+                write!(f, "sequence {seq} already has a pending prompt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResubmitError {}
 
 /// The cache's **single** BF16 rounding helper:
 /// [`fa_numerics::BF16::from_f64`], i.e. round-to-nearest-even staged
@@ -560,6 +666,28 @@ impl<T: Scalar> KvCache<T> {
         self.recycled_blocks
     }
 
+    /// Bytes of K/V storage held by live sequences' retained blocks —
+    /// native blocks at `size_of::<T>()` per lane, demoted/direct-BF16
+    /// blocks at `size_of::<BF16>()`, K and V both counted. This is the
+    /// arena-pressure signal a serving frontend throttles against:
+    /// demoting a victim halves its share (native f64 → BF16) without
+    /// freeing blocks, and quarantine/retirement drops it to zero.
+    pub fn live_kv_bytes(&self) -> usize {
+        let block_lanes = self.block_rows * self.width;
+        (0..self.seqs.len())
+            .filter(|&s| !self.seqs[s].retired)
+            .flat_map(|s| self.seqs[s].blocks.iter())
+            .map(|b| {
+                let lane = if b.bf16 {
+                    core::mem::size_of::<BF16>()
+                } else {
+                    core::mem::size_of::<T>()
+                };
+                2 * block_lanes * lane
+            })
+            .sum()
+    }
+
     /// Registers a new (empty) sequence and returns its id, reusing a
     /// retired slot when one is available.
     pub fn add_sequence(&mut self) -> usize {
@@ -717,11 +845,36 @@ impl<T: Scalar> KvCache<T> {
     /// demoted logical position ranges so the engine can recompute those
     /// rows' checksum inputs from the rounded values.
     fn demote_beyond_burst(&mut self, seq: usize, burst: usize) -> Vec<core::ops::Range<usize>> {
-        let block_elems = self.block_rows * self.width;
         // The newest block is the freshly-claimed empty one; everything
         // before it is full.
         let full_blocks = self.seqs[seq].blocks.len() - 1;
-        let demote_until = full_blocks.saturating_sub(burst);
+        self.demote_blocks(seq, full_blocks.saturating_sub(burst))
+    }
+
+    /// Voluntary demotion under arena pressure — the soft tier of the
+    /// serving frontend's preemption ladder: rounds `seq`'s
+    /// completely-filled native blocks beyond the newest `burst` down to
+    /// BF16 regardless of [`KvFormat`], through the same block-swap (and
+    /// checksum rebuild) the `Mixed` append path uses. Safe at any point
+    /// between steps: later passes simply read the rounded rows. Returns
+    /// the demoted logical ranges so the engine can refresh those rows'
+    /// `sumrow` inputs.
+    pub(crate) fn demote_full_blocks(
+        &mut self,
+        seq: usize,
+        burst: usize,
+    ) -> Vec<core::ops::Range<usize>> {
+        let state = self.live(seq);
+        // Unlike the append path, the newest block may be partially
+        // filled or exactly full; count only completely-filled blocks.
+        let full_blocks = (state.len - state.start) / self.block_rows;
+        self.demote_blocks(seq, full_blocks.saturating_sub(burst))
+    }
+
+    /// Demotes `seq`'s first `demote_until` retained blocks (those not
+    /// already BF16) to the BF16 arena, returning the demoted ranges.
+    fn demote_blocks(&mut self, seq: usize, demote_until: usize) -> Vec<core::ops::Range<usize>> {
+        let block_elems = self.block_rows * self.width;
         let mut demoted = Vec::new();
         for i in 0..demote_until {
             if self.seqs[seq].blocks[i].bf16 {
@@ -1758,6 +1911,44 @@ impl<T: Scalar> DecodeBatch<T> {
             .sum()
     }
 
+    /// Voluntarily demotes sequence `seq`'s completely-filled native
+    /// blocks beyond the newest `burst_blocks` to BF16 — the **soft
+    /// tier** of the serving frontend's preemption ladder under arena
+    /// pressure (the hard tier is [`quarantine`](Self::quarantine) +
+    /// [`resubmit`](Self::resubmit), i.e. evict-and-requeue with
+    /// recompute-on-resume, which rebuilds the history at full precision
+    /// and erases the demotion). Works under any [`KvFormat`], reusing
+    /// the `Mixed` path's in-place block swap: each demoted block's rows
+    /// round RNE into a BF16 arena block, the native block returns to
+    /// the free list, the block's reference checksums rebuild from the
+    /// rounded storage, and the demoted rows' `sumrow` checksum inputs
+    /// refresh — so audits stay clean and the online verdict keeps
+    /// predicting exactly what the output lanes consume. Returns the
+    /// number of rows demoted (0 when nothing native qualifies; the
+    /// call is idempotent at a given length and burst).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn demote(&mut self, seq: usize, burst_blocks: usize) -> usize {
+        let kv = self.cfg.kv_heads;
+        let demoted = self.cache.demote_full_blocks(seq, burst_blocks);
+        let first_retained = self.cache.first_retained(seq);
+        let mut rows = 0;
+        for range in demoted {
+            for p in range {
+                if p < first_retained {
+                    continue;
+                }
+                for g in 0..kv {
+                    self.seqs[seq].sumrows[p * kv + g] = self.cache.value_head_sum(seq, p, g);
+                }
+                rows += 1;
+            }
+        }
+        rows
+    }
+
     /// Gracefully degrades sequence `seq` after unrecoverable damage
     /// (evidence evicted, log truncated past the poisoned block, or
     /// checksum-absorbed corruption): every cache block returns to the
@@ -1812,7 +2003,8 @@ impl<T: Scalar> DecodeBatch<T> {
         let blocks_freed = self.cache.release_blocks(seq);
         let requeued_rows = match history {
             Some((k, v)) => {
-                self.resubmit(seq, &k, &v);
+                self.resubmit(seq, &k, &v)
+                    .expect("quarantine leaves the slot empty and unpending");
                 len
             }
             None => 0,
@@ -1835,25 +2027,48 @@ impl<T: Scalar> DecodeBatch<T> {
     /// chunk lands, then decodes normally; no [`AdmittedPrompt`] is
     /// parked.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ResubmitError`] on shape mismatch, an empty history,
+    /// or when `seq` lost a race (retired, still caching rows, or
+    /// already pending) — the batch keeps serving either way.
+    ///
     /// # Panics
     ///
-    /// Panics on shape mismatch, an empty history, or if `seq` is out of
-    /// range, retired, non-empty, or already pending.
-    pub fn resubmit(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
-        assert_eq!(k.cols(), self.cfg.kv_dim(), "K width mismatch");
-        assert_eq!(v.cols(), self.cfg.kv_dim(), "V width mismatch");
-        assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
-        assert!(k.rows() > 0, "resubmit needs at least one row");
-        assert!(!self.cache.is_retired(seq), "sequence {seq} is retired");
-        assert_eq!(
-            self.cache.seq_len(seq),
-            0,
-            "resubmit requires an empty (quarantined) sequence"
-        );
-        assert!(
-            self.seqs[seq].pending.is_none(),
-            "sequence {seq} is already pending"
-        );
+    /// Panics if `seq` is out of range (an id the engine never issued is
+    /// a caller bug, not a race).
+    pub fn resubmit(
+        &mut self,
+        seq: usize,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<(), ResubmitError> {
+        if k.cols() != self.cfg.kv_dim() || v.cols() != self.cfg.kv_dim() {
+            return Err(ResubmitError::WidthMismatch {
+                expected: self.cfg.kv_dim(),
+                k_cols: k.cols(),
+                v_cols: v.cols(),
+            });
+        }
+        if k.rows() != v.rows() {
+            return Err(ResubmitError::RowMismatch {
+                k_rows: k.rows(),
+                v_rows: v.rows(),
+            });
+        }
+        if k.rows() == 0 {
+            return Err(ResubmitError::EmptyHistory);
+        }
+        if self.cache.is_retired(seq) {
+            return Err(ResubmitError::Retired { seq });
+        }
+        let cached_rows = self.cache.seq_len(seq);
+        if cached_rows != 0 {
+            return Err(ResubmitError::NotEmpty { seq, cached_rows });
+        }
+        if self.seqs[seq].pending.is_some() {
+            return Err(ResubmitError::AlreadyPending { seq });
+        }
         self.seqs[seq].pending = Some(PendingPrompt {
             q: Matrix::zeros(0, 0),
             k: k.clone(),
@@ -1864,6 +2079,7 @@ impl<T: Scalar> DecodeBatch<T> {
             actual: 0.0,
             cache_only: true,
         });
+        Ok(())
     }
 
     fn append_token(&mut self, seq: usize, k: &[T], v: &[T]) {
@@ -2453,9 +2669,13 @@ impl<T: Scalar> DecodeBatch<T> {
         // dot widens BF16 keys per lane (exact), so scoring a demoted
         // block equals scoring its widened contents through the f64
         // kernel bit for bit — what keeps mixed-format decode pinned to
-        // the f64 golden session. Only materialized when BF16 blocks can
-        // exist.
-        let q_wide: Vec<f64> = if self.cache.format() == KvFormat::F64 {
+        // the f64 golden session. Only materialized when BF16 blocks
+        // exist: the format implies them, or voluntary demotion (the
+        // serving frontend's soft preemption tier) planted some in an
+        // otherwise-native sequence.
+        let q_wide: Vec<f64> = if self.cache.format() == KvFormat::F64
+            && !self.cache.seqs[seq].blocks.iter().any(|b| b.bf16)
+        {
             Vec::new()
         } else {
             q_group.iter().map(|x| x.to_f64()).collect()
@@ -3458,5 +3678,171 @@ mod tests {
         assert_eq!(admitted.output, wholesale.output);
         assert_eq!(admitted.predicted.to_bits(), wholesale.predicted.to_bits());
         assert_eq!(admitted.actual.to_bits(), wholesale.actual.to_bits());
+    }
+
+    #[test]
+    fn for_target_latency_matches_the_analytic_bound() {
+        for slo in 1..=16usize {
+            for live in [0usize, 1, 2, 5, 7, 16, 33, 100, 1000] {
+                let p = ScrubPolicy::for_target_latency(slo, live);
+                assert_eq!(p.blocks_per_step, live.div_ceil(slo).max(1));
+                // The scrubber's detection bound under the tuned policy
+                // honors the SLO at this load point.
+                assert!(
+                    live.div_ceil(p.blocks_per_step) <= slo,
+                    "ceil({live}/{}) > {slo}",
+                    p.blocks_per_step
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "detection-latency SLO must be positive")]
+    fn for_target_latency_rejects_a_zero_slo() {
+        let _ = ScrubPolicy::for_target_latency(0, 10);
+    }
+
+    #[test]
+    fn resubmit_reports_every_race_as_a_typed_error() {
+        let topo = GqaConfig::new(2, 2, AttentionConfig::new(4)).topology();
+        let kd = topo.kv_dim();
+        let mut e = DecodeBatch::<f64>::with_policy(
+            topo,
+            4,
+            KvLayout::HeadMajor,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        );
+        e.enable_recovery_log();
+        let seq = e.add_sequence();
+        let (k, v) = (rand(6, kd, 1), rand(6, kd, 2));
+        e.prefill(seq, &k, &v);
+
+        // A live sequence with cached rows refuses a resubmission.
+        assert!(matches!(
+            e.resubmit(seq, &k, &v),
+            Err(ResubmitError::NotEmpty { cached_rows: 6, .. })
+        ));
+
+        // Quarantine with a full log auto-requeues: the slot is pending.
+        let q = e.quarantine(seq);
+        assert_eq!(q.requeued_rows, 6);
+        assert!(matches!(
+            e.resubmit(seq, &k, &v),
+            Err(ResubmitError::AlreadyPending { .. })
+        ));
+        while e.is_pending(seq) {
+            e.prefill_step();
+        }
+
+        // Shape races: wrong width, mismatched row counts, no rows.
+        let empty = e.add_sequence();
+        let wide = rand(6, kd + 1, 3);
+        assert!(matches!(
+            e.resubmit(empty, &wide, &wide),
+            Err(ResubmitError::WidthMismatch { .. })
+        ));
+        let short = rand(5, kd, 4);
+        assert!(matches!(
+            e.resubmit(empty, &k, &short),
+            Err(ResubmitError::RowMismatch {
+                k_rows: 6,
+                v_rows: 5
+            })
+        ));
+        let none = rand(0, kd, 5);
+        assert!(matches!(
+            e.resubmit(empty, &none, &none),
+            Err(ResubmitError::EmptyHistory)
+        ));
+
+        // A retired slot lost the race entirely.
+        e.retire(empty);
+        assert!(matches!(
+            e.resubmit(empty, &k, &v),
+            Err(ResubmitError::Retired { .. })
+        ));
+
+        // Every error leaves the engine serving: a fresh slot accepts.
+        let fresh = e.add_sequence();
+        assert!(e.resubmit(fresh, &k, &v).is_ok());
+        assert!(e.is_pending(fresh));
+    }
+
+    #[test]
+    fn voluntary_demotion_is_deterministic_idempotent_and_audit_clean() {
+        let topo = GqaConfig::new(4, 2, AttentionConfig::new(4)).topology();
+        let mk = || {
+            DecodeBatch::<f64>::with_policy(
+                topo,
+                4,
+                KvLayout::HeadMajor,
+                KvFormat::F64,
+                EvictionPolicy::RetainAll,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let (k, v) = (rand(11, topo.kv_dim(), 7), rand(11, topo.kv_dim(), 8));
+        for e in [&mut a, &mut b] {
+            let s = e.add_sequence();
+            e.prefill(s, &k, &v);
+        }
+        // 11 rows over 4-row blocks: 2 full blocks + 1 partial. Keeping a
+        // 1-block burst demotes exactly the oldest full block.
+        let rows = a.demote(0, 1);
+        assert_eq!(rows, 4);
+        assert_eq!(a.demoted_len(0), 4);
+        assert_eq!(a.demote(0, 1), 0, "demotion is idempotent at a length");
+        assert!(a.audit(0, 1e-6).is_empty(), "demoted checksums rebuilt");
+
+        // Same call on the twin: decode stays lockstep bit for bit, and
+        // the online verdict keeps predicting the rounded storage.
+        assert_eq!(b.demote(0, 1), 4);
+        for t in 0..4u64 {
+            let qs = rand(1, topo.q_dim(), 600 + t);
+            let ks = rand(1, topo.kv_dim(), 700 + t);
+            let vs = rand(1, topo.kv_dim(), 800 + t);
+            let oa = a.step_all(&[0], &qs, &ks, &vs);
+            let ob = b.step_all(&[0], &qs, &ks, &vs);
+            assert_eq!(oa[0].output, ob[0].output);
+            assert!(oa[0].residual().abs() < 1e-6);
+        }
+
+        // Demoting everything (burst 0): 15 rows by now = 3 full blocks,
+        // of which one is already BF16 — the other two convert; the
+        // partial tail block stays native.
+        let more = a.demote(0, 0);
+        assert_eq!(more, 8);
+        assert!(a.audit(0, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn live_kv_bytes_tracks_demotion_and_retirement() {
+        let topo = GqaConfig::new(2, 2, AttentionConfig::new(4)).topology();
+        let mut e = DecodeBatch::<f64>::with_policy(
+            topo,
+            4,
+            KvLayout::HeadMajor,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        );
+        let width = topo.kv_dim();
+        let block_bytes_f64 = 2 * 4 * width * core::mem::size_of::<f64>();
+        let block_bytes_bf16 = 2 * 4 * width * 2;
+        assert_eq!(e.cache().live_kv_bytes(), 0);
+        let s = e.add_sequence();
+        e.prefill(s, &rand(9, width, 1), &rand(9, width, 2));
+        // 9 rows -> 3 blocks (partial last block counts fully: its arena
+        // storage is claimed whether or not every row is filled).
+        assert_eq!(e.cache().live_kv_bytes(), 3 * block_bytes_f64);
+        let rows = e.demote(s, 1);
+        assert_eq!(rows, 4);
+        assert_eq!(
+            e.cache().live_kv_bytes(),
+            2 * block_bytes_f64 + block_bytes_bf16
+        );
+        e.retire(s);
+        assert_eq!(e.cache().live_kv_bytes(), 0);
     }
 }

@@ -514,6 +514,24 @@ impl DecodeBatch<f64> {
         self.clear_verdict(seq);
         report
     }
+
+    /// One-call verdict absorption for a serving frontend:
+    /// [`audit`](Self::audit)s `seq` and [`repair`](Self::repair)s
+    /// everything repairable in place. The caller inspects the returned
+    /// report — a nonzero
+    /// [`blocks_unrecoverable`](RepairReport::blocks_unrecoverable) is
+    /// the signal to escalate to [`quarantine`](Self::quarantine) +
+    /// resubmit (evict-and-requeue with recompute-on-resume); a clean
+    /// report means the sequence keeps decoding bit-identical to a
+    /// never-corrupted twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn audit_and_repair(&mut self, seq: usize, tol: f64) -> RepairReport {
+        let faults = self.audit(seq, tol);
+        self.repair(seq, &faults)
+    }
 }
 
 #[cfg(test)]

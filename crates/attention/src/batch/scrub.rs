@@ -553,4 +553,39 @@ mod tests {
         assert_eq!(report.blocks_unrecoverable, 0);
         assert!(e.audit(ids[0], TOL).is_empty());
     }
+
+    /// The autotuned policy honors the detection-latency SLO at every
+    /// load point: as the live-block count grows (more sequences, longer
+    /// histories), re-deriving the policy from
+    /// [`ScrubPolicy::for_target_latency`] keeps an injected key flip
+    /// detectable within `slo` scrub steps — the satellite guarantee the
+    /// serving frontend re-tunes with each step.
+    #[test]
+    fn autotuned_policy_meets_the_slo_at_every_load_point() {
+        for slo in [1usize, 2, 4, 7] {
+            for (batch, prefill) in [(1usize, 5usize), (2, 10), (4, 10), (3, 22)] {
+                let mut e =
+                    engine(gqa(4, 2, 4), KvFormat::F64, EvictionPolicy::RetainAll, true);
+                let ids = seed(&mut e, batch, prefill);
+                let victim = ids[batch - 1];
+                e.flip_storage_bit(victim, prefill - 1, 1, 2, true, 61);
+                let live = e.live_blocks();
+                e.set_scrub_policy(Some(ScrubPolicy::for_target_latency(slo, live)));
+                let mut caught_at = None;
+                for step in 1..=slo {
+                    if !e.scrub_step().is_empty() {
+                        caught_at = Some(step);
+                        break;
+                    }
+                }
+                let caught = caught_at.unwrap_or_else(|| {
+                    panic!("slo={slo} live={live}: flip not caught within the SLO")
+                });
+                assert!(
+                    caught <= slo,
+                    "slo={slo} live={live}: detection took {caught} steps"
+                );
+            }
+        }
+    }
 }

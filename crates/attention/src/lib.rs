@@ -16,6 +16,10 @@
 //! * [`batch`] — the serving path: a paged, block-allocated KV cache and
 //!   a batched multi-sequence decode engine with the fused per-token
 //!   checksum;
+//! * [`serve`] — the SLO-aware serving frontend: tenant-fair admission
+//!   under a per-step token budget, load shedding, graceful degradation
+//!   under arena pressure (demote → evict-and-requeue), scrub-driven
+//!   corruption absorption, and a deterministic bursty load generator;
 //! * [`AttentionConfig`] — scaling (1/√d) and causal masking options shared
 //!   by all kernels.
 //!
@@ -49,6 +53,7 @@ pub mod gqa;
 pub mod lazy;
 pub mod multihead;
 pub mod naive;
+pub mod serve;
 pub mod tiled;
 pub mod topology;
 

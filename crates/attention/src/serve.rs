@@ -1,0 +1,1433 @@
+//! SLO-aware serving frontend over [`DecodeBatch`]: the layer that keeps
+//! the engine healthy under *load*.
+//!
+//! PRs 6–7 made the engine survive live corruption (block localization,
+//! scrubbing, quarantine-and-recompute); this module adds the missing
+//! production shell around it:
+//!
+//! * a **request queue** with arrival timestamps (step-indexed, so every
+//!   schedule is deterministic) and tenant/priority classes;
+//! * a **step-driven scheduler** that packs the batch under a per-step
+//!   token budget, split between chunked-prefill admission and decode,
+//!   with deficit-fair tenant selection and load shedding when the queue
+//!   exceeds its bound;
+//! * **graceful degradation under arena pressure**: first demote a
+//!   victim's cold blocks to BF16 ([`DecodeBatch::demote`], the soft
+//!   tier), then evict-and-requeue with recompute-on-resume
+//!   ([`DecodeBatch::quarantine`] + [`DecodeBatch::resubmit`] —
+//!   preemption is voluntary quarantine); the same path absorbs
+//!   unrecoverable corruption verdicts surfaced by the online residual
+//!   and the background scrubber;
+//! * **scrub autotuning**: with a detection-latency SLO configured, the
+//!   scrub bandwidth re-tunes every step via
+//!   [`ScrubPolicy::for_target_latency`] as the live-block count moves;
+//! * a **deterministic seeded load generator** ([`LoadGen`]): bursty
+//!   arrivals, heavy-tail (bounded-Pareto) prompt/output lengths.
+//!
+//! The request state machine (see README "SLO-aware serving"):
+//!
+//! ```text
+//! queued ──admit──▶ prefilling ──chunks done──▶ decoding ──tokens done──▶ finished
+//!   │                   │                        │   ▲
+//!   ▼ (queue bound)     │ (corruption)           │   │ (re-admitted)
+//!  shed                 └──────▶ requeued ◀──────┘───┘
+//!                        (preempted / quarantined)
+//! ```
+//!
+//! Determinism: scheduling decisions, arrival timestamps, and decode
+//! token streams are all functions of seeds and step indices — never of
+//! wall clock — so a drill campaign can replay the exact same workload
+//! against a fault-injected subject and an undisturbed golden twin and
+//! compare outputs **per (request, token) bitwise** (decode inputs are
+//! seeded by token index, and per-sequence cache evolution is a pure
+//! function of the append history, not of which step performed it).
+//!
+//! Corruption handling splits by *when* the damage is seen, mirroring
+//! the paper's division of labor:
+//!
+//! * the **online residual** alarms on a decode pass that consumed
+//!   corrupt data — that token's output is unusable, so the frontend
+//!   discards it *before delivery* and evicts-and-requeues: the history
+//!   rebuilds from clean rows and the token re-decodes bit-identically;
+//! * the **scrubber** finds storage damage *before* any pass consumed
+//!   it — repair-in-place from the recovery log suffices, and only an
+//!   unrecoverable verdict escalates to quarantine.
+
+use crate::batch::{DecodeBatch, ScrubPolicy};
+use fa_tensor::{random::ElementDist, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Splitmix-style seed derivation: one stream per (request, lane) pair,
+/// so regenerating any request's tokens never consults scheduler state.
+fn mix_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the exact bit patterns of an output row — the unit of
+/// bitwise comparison between a drill subject and its golden twin.
+pub fn hash_bits(xs: &[f64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Request priority class. `Batch` requests are shed first and preempted
+/// first; `Interactive` requests win admission and decode-slot ties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Throughput traffic: first to shed, first to preempt.
+    Batch,
+    /// Latency-sensitive traffic: wins every scheduling tie.
+    Interactive,
+}
+
+/// One request as submitted by a client (or the load generator).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Tenant id (fairness bucket); tenants share the token budget
+    /// deficit-fairly.
+    pub tenant: usize,
+    /// Priority class.
+    pub priority: Priority,
+    /// Prompt length in tokens (≥ 1).
+    pub prompt_tokens: usize,
+    /// Decode tokens to produce after admission (≥ 1).
+    pub output_tokens: usize,
+    /// Seed deriving the request's Q/K/V token streams.
+    pub seed: u64,
+}
+
+/// Why a request left the running set and went back through admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequeueCause {
+    /// Evicted under arena pressure (the hard preemption tier).
+    Preemption,
+    /// Corruption verdict: online alarm, or an unrecoverable scrub/audit.
+    Corruption,
+}
+
+/// Lifecycle phase of a request (see the module-level state machine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// In the arrival queue, not yet admitted.
+    Queued,
+    /// Admitted; prompt chunks still flowing through checked prefill.
+    Prefilling,
+    /// Producing decode tokens.
+    Decoding,
+    /// Evicted (preemption or corruption); history re-caching chunk by
+    /// chunk before decode resumes.
+    Requeued(RequeueCause),
+    /// All output tokens produced; slot retired.
+    Finished,
+    /// Dropped by load shedding (queue bound) or an unresolvable
+    /// requeue race.
+    Shed,
+}
+
+/// Per-request bookkeeping: timestamps are step indices (the scheduler's
+/// only clock), token hashes are the bitwise fingerprints drills compare.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Tenant id.
+    pub tenant: usize,
+    /// Priority class.
+    pub priority: Priority,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Decode tokens requested.
+    pub output_tokens: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Step the request arrived.
+    pub arrival_step: u64,
+    /// Step the request was first admitted (left the queue).
+    pub admitted_step: Option<u64>,
+    /// Step the first decode token was produced.
+    pub first_token_step: Option<u64>,
+    /// Step the last token was produced.
+    pub finish_step: Option<u64>,
+    /// Step each accepted decode token was produced at.
+    pub token_steps: Vec<u64>,
+    /// FNV-1a hash of each accepted decode token's output bits.
+    pub token_hashes: Vec<u64>,
+    /// Current lifecycle phase.
+    pub phase: Phase,
+    /// Soft-tier demotions applied to this request's cache.
+    pub demotions: u32,
+    /// Times evicted under arena pressure.
+    pub preemptions: u32,
+    /// Times quarantined for corruption.
+    pub quarantines: u32,
+}
+
+impl RequestRecord {
+    fn new(req: &Request, now: u64) -> RequestRecord {
+        RequestRecord {
+            tenant: req.tenant,
+            priority: req.priority,
+            prompt_tokens: req.prompt_tokens,
+            output_tokens: req.output_tokens,
+            seed: req.seed,
+            arrival_step: now,
+            admitted_step: None,
+            first_token_step: None,
+            finish_step: None,
+            token_steps: Vec::new(),
+            token_hashes: Vec::new(),
+            phase: Phase::Queued,
+            demotions: 0,
+            preemptions: 0,
+            quarantines: 0,
+        }
+    }
+
+    /// Time-to-first-token in steps (arrival step counts as 1): `None`
+    /// until the first token lands.
+    pub fn ttft_steps(&self) -> Option<u64> {
+        self.first_token_step.map(|s| s - self.arrival_step + 1)
+    }
+
+    /// Inter-token gaps in steps, anchored at the first token (a gap of
+    /// 1 means back-to-back steps). Empty with fewer than two tokens.
+    pub fn token_gaps_steps(&self) -> Vec<u64> {
+        self.token_steps.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Worst inter-token gap in steps (0 with fewer than two tokens).
+    pub fn max_token_gap_steps(&self) -> u64 {
+        self.token_gaps_steps().into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether the request finished inside the SLO: admitted-to-first
+    /// token within `ttft_steps` and every inter-token gap within
+    /// `per_token_steps`.
+    pub fn meets_slo(&self, slo: &SloSpec) -> bool {
+        self.phase == Phase::Finished
+            && self.ttft_steps().is_some_and(|t| t <= slo.ttft_steps)
+            && self.max_token_gap_steps() <= slo.per_token_steps.max(1)
+    }
+}
+
+/// Service-level objective in scheduler steps (the bench converts to
+/// milliseconds with its measured wall-clock per step).
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    /// Max steps from arrival to first decode token.
+    pub ttft_steps: u64,
+    /// Max steps between consecutive decode tokens.
+    pub per_token_steps: u64,
+}
+
+/// Scheduler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Per-step token budget shared by prefill chunks and decode tokens.
+    pub token_budget: usize,
+    /// Portion of `token_budget` admission may claim (unused prefill
+    /// budget spills over to decode).
+    pub prefill_budget: usize,
+    /// Queue length above which arrivals shed (Batch priority first,
+    /// then newest).
+    pub queue_bound: usize,
+    /// Arena-pressure bound on live KV bytes; `None` disables the
+    /// preemption ladder.
+    pub max_kv_bytes: Option<usize>,
+    /// Newest full blocks a soft-tier demotion keeps native.
+    pub demote_burst_blocks: usize,
+    /// Scrub detection-latency SLO in steps; `Some` re-tunes the scrub
+    /// policy every step via [`ScrubPolicy::for_target_latency`].
+    pub scrub_slo_steps: Option<usize>,
+    /// Keep the engine's recovery log (repair-in-place + auto-requeue).
+    pub recovery_log: bool,
+    /// Per-sequence recovery-log row budget (`None` = unbounded).
+    pub log_budget_rows: Option<usize>,
+    /// Online residual tolerance (NaN-safe alarm: `!(|r| <= tol)`).
+    pub tol: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            token_budget: 16,
+            prefill_budget: 8,
+            queue_bound: 64,
+            max_kv_bytes: None,
+            demote_burst_blocks: 1,
+            scrub_slo_steps: None,
+            recovery_log: true,
+            log_budget_rows: None,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// What one scheduler step did — the drill and the bench aggregate these.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepReport {
+    /// Step index this report describes.
+    pub step: u64,
+    /// Requests that arrived this step.
+    pub arrived: usize,
+    /// Requests shed (queue bound or requeue race).
+    pub shed: usize,
+    /// Requests admitted from the queue.
+    pub admitted: usize,
+    /// Prompt tokens pushed through checked prefill.
+    pub prefill_tokens: usize,
+    /// Decode tokens accepted (alarmed tokens are discarded, not counted).
+    pub decode_tokens: usize,
+    /// Admissions whose last prompt chunk completed.
+    pub admissions_completed: usize,
+    /// Requeued requests whose history finished re-caching.
+    pub resumed: usize,
+    /// Requests that produced their final token.
+    pub finished: usize,
+    /// Online residual alarms (token discarded, request requeued).
+    pub online_alarms: usize,
+    /// Corrupt sites surfaced by this step's scrub quantum.
+    pub scrub_findings: usize,
+    /// Blocks repaired in place from the recovery log.
+    pub repaired_blocks: usize,
+    /// `sumrow` checksum entries recomputed.
+    pub repaired_sumrows: usize,
+    /// Blocks repair could not restore (escalated to quarantine).
+    pub unrecoverable_blocks: usize,
+    /// Soft-tier demotions applied.
+    pub demotions: usize,
+    /// Rows demoted to BF16.
+    pub demoted_rows: usize,
+    /// Hard-tier evictions under arena pressure.
+    pub preemptions: usize,
+    /// Corruption quarantines.
+    pub quarantines: usize,
+}
+
+/// A request currently owning an engine slot.
+struct Active {
+    /// Index into `records`.
+    rec: usize,
+    /// Engine sequence id (changes if a prefilling victim restarts).
+    seq: usize,
+    /// Frontend copy of every accepted K row — the resubmission source.
+    hist_k: Vec<f64>,
+    /// Frontend copy of every accepted V row.
+    hist_v: Vec<f64>,
+    /// Accepted decode tokens so far (also the next token index).
+    decoded: usize,
+    /// Soft-tier demotion already applied at the current length.
+    demoted: bool,
+}
+
+/// The step-driven SLO-aware scheduler (see module docs).
+pub struct Scheduler {
+    engine: DecodeBatch<f64>,
+    cfg: ServeConfig,
+    now: u64,
+    records: Vec<RequestRecord>,
+    queue: VecDeque<usize>,
+    active: Vec<Active>,
+    /// Per-tenant deficit counters: prompt tokens admitted / decode
+    /// tokens granted. Lowest counter wins the next scheduling tie.
+    admitted_tokens: Vec<u64>,
+    decoded_tokens: Vec<u64>,
+}
+
+impl Scheduler {
+    /// Wraps `engine` (any topology/format/eviction policy) with the
+    /// serving frontend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token_budget` is 0 or `prefill_budget > token_budget`.
+    pub fn new(mut engine: DecodeBatch<f64>, cfg: ServeConfig) -> Scheduler {
+        assert!(cfg.token_budget > 0, "token budget must be positive");
+        assert!(
+            cfg.prefill_budget <= cfg.token_budget,
+            "prefill budget cannot exceed the token budget"
+        );
+        if cfg.recovery_log {
+            engine.enable_recovery_log();
+            engine.set_recovery_log_budget(cfg.log_budget_rows);
+        }
+        if let Some(slo) = cfg.scrub_slo_steps {
+            engine.set_scrub_policy(Some(ScrubPolicy::for_target_latency(slo, 1)));
+        }
+        Scheduler {
+            engine,
+            cfg,
+            now: 0,
+            records: Vec::new(),
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            admitted_tokens: Vec::new(),
+            decoded_tokens: Vec::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &DecodeBatch<f64> {
+        &self.engine
+    }
+
+    /// Mutable engine access — the fault-drill hook
+    /// (`flip_storage_bit` between steps).
+    pub fn engine_mut(&mut self) -> &mut DecodeBatch<f64> {
+        &mut self.engine
+    }
+
+    /// Current step index (advances once per [`step`](Self::step)).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Every request ever submitted, in arrival order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Requests waiting in the arrival queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `(record index, engine sequence id)` of every request currently
+    /// in the `Decoding` phase — the drill's injection targets.
+    pub fn active_decoding(&self) -> Vec<(usize, usize)> {
+        self.active
+            .iter()
+            .filter(|a| self.records[a.rec].phase == Phase::Decoding)
+            .map(|a| (a.rec, a.seq))
+            .collect()
+    }
+
+    fn ensure_tenant(&mut self, tenant: usize) {
+        if tenant >= self.admitted_tokens.len() {
+            self.admitted_tokens.resize(tenant + 1, 0);
+            self.decoded_tokens.resize(tenant + 1, 0);
+        }
+    }
+
+    /// Regenerates a request's prompt matrices from its seed (lanes
+    /// 1–3; decode token `t` uses lanes `4+3t..=6+3t`).
+    fn prompt_matrices(&self, rec: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let r = &self.records[rec];
+        let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+        let dist = ElementDist::default();
+        (
+            Matrix::random_seeded(r.prompt_tokens, qd, dist, mix_seed(r.seed, 1)),
+            Matrix::random_seeded(r.prompt_tokens, kd, dist, mix_seed(r.seed, 2)),
+            Matrix::random_seeded(r.prompt_tokens, kd, dist, mix_seed(r.seed, 3)),
+        )
+    }
+
+    /// One decode token's Q/K/V rows for request `rec`, token index `t`.
+    fn token_rows(&self, rec: usize, t: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let r = &self.records[rec];
+        let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+        let dist = ElementDist::default();
+        let t = t as u64;
+        (
+            Matrix::random_seeded(1, qd, dist, mix_seed(r.seed, 4 + 3 * t)),
+            Matrix::random_seeded(1, kd, dist, mix_seed(r.seed, 5 + 3 * t)),
+            Matrix::random_seeded(1, kd, dist, mix_seed(r.seed, 6 + 3 * t)),
+        )
+    }
+
+    /// Runs one scheduler step: absorb `arrivals`, shed past the queue
+    /// bound, admit deficit-fairly under the prefill budget, decode
+    /// deficit-fairly under the remaining token budget, harvest finished
+    /// admissions/requeues, retire finished requests, run the scrub
+    /// quantum (re-tuned to the detection SLO), and relieve arena
+    /// pressure through the preemption ladder.
+    pub fn step(&mut self, arrivals: &[Request]) -> StepReport {
+        let mut report = StepReport {
+            step: self.now,
+            ..StepReport::default()
+        };
+
+        // 1. Arrivals join the queue, timestamped with this step.
+        for req in arrivals {
+            assert!(req.prompt_tokens > 0, "prompts must have at least one token");
+            assert!(req.output_tokens > 0, "requests must want at least one token");
+            self.ensure_tenant(req.tenant);
+            let rec = self.records.len();
+            self.records.push(RequestRecord::new(req, self.now));
+            self.queue.push_back(rec);
+            report.arrived += 1;
+        }
+
+        // 2. Shed past the bound: newest Batch-priority victim first,
+        //    newest overall when only Interactive remains.
+        while self.queue.len() > self.cfg.queue_bound {
+            let pos = self
+                .queue
+                .iter()
+                .rposition(|&r| self.records[r].priority == Priority::Batch)
+                .unwrap_or(self.queue.len() - 1);
+            let rec = self.queue.remove(pos).expect("position is in range");
+            self.records[rec].phase = Phase::Shed;
+            report.shed += 1;
+        }
+
+        // 3. Deficit-fair admission under the prefill budget. The load
+        //    already pending counts against the budget; the first
+        //    admission always goes through so a prompt wider than the
+        //    budget cannot wedge the queue.
+        let chunk = self.engine.prefill_chunk();
+        let mut pending_load: usize = self
+            .active
+            .iter()
+            .map(|a| self.engine.pending_len(a.seq).min(chunk))
+            .sum();
+        while !self.queue.is_empty() {
+            let qi = (0..self.queue.len())
+                .min_by_key(|&i| {
+                    let r = &self.records[self.queue[i]];
+                    (
+                        self.admitted_tokens[r.tenant],
+                        core::cmp::Reverse(r.priority),
+                        self.queue[i],
+                    )
+                })
+                .expect("queue is non-empty");
+            let rec = self.queue[qi];
+            let cost = self.records[rec].prompt_tokens.min(chunk);
+            if pending_load > 0 && pending_load + cost > self.cfg.prefill_budget {
+                break;
+            }
+            self.queue.remove(qi);
+            let (q, k, v) = self.prompt_matrices(rec);
+            let seq = self.engine.enqueue(&q, &k, &v);
+            let r = &mut self.records[rec];
+            r.admitted_step = Some(self.now);
+            r.phase = Phase::Prefilling;
+            self.admitted_tokens[r.tenant] += r.prompt_tokens as u64;
+            self.active.push(Active {
+                rec,
+                seq,
+                hist_k: k.as_slice().to_vec(),
+                hist_v: v.as_slice().to_vec(),
+                decoded: 0,
+                demoted: false,
+            });
+            pending_load += cost;
+            report.admitted += 1;
+        }
+
+        // 4. Deficit-fair decode set under what the prefill load left.
+        let decode_budget = self.cfg.token_budget.saturating_sub(pending_load);
+        let mut candidates: Vec<usize> = (0..self.active.len())
+            .filter(|&i| {
+                self.records[self.active[i].rec].phase == Phase::Decoding
+                    && !self.engine.is_pending(self.active[i].seq)
+            })
+            .collect();
+        let mut taken: Vec<u64> = vec![0; self.decoded_tokens.len()];
+        let mut chosen: Vec<usize> = Vec::new();
+        while chosen.len() < decode_budget && !candidates.is_empty() {
+            let ci = (0..candidates.len())
+                .min_by_key(|&ci| {
+                    let r = &self.records[self.active[candidates[ci]].rec];
+                    (
+                        self.decoded_tokens[r.tenant] + taken[r.tenant],
+                        core::cmp::Reverse(r.priority),
+                        self.active[candidates[ci]].rec,
+                    )
+                })
+                .expect("candidates are non-empty");
+            let i = candidates.swap_remove(ci);
+            taken[self.records[self.active[i].rec].tenant] += 1;
+            chosen.push(i);
+        }
+        chosen.sort_unstable();
+
+        // 5. Run the engine step: pending prompts advance one chunk
+        //    (inside `step_all`, or explicitly when nothing decodes),
+        //    then every chosen request decodes its next token.
+        let pend_before: usize = self
+            .active
+            .iter()
+            .map(|a| self.engine.pending_len(a.seq))
+            .sum();
+        let outputs = if chosen.is_empty() {
+            report.prefill_tokens = self.engine.prefill_step();
+            Vec::new()
+        } else {
+            let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+            let mut qdat = Vec::with_capacity(chosen.len() * qd);
+            let mut kdat = Vec::with_capacity(chosen.len() * kd);
+            let mut vdat = Vec::with_capacity(chosen.len() * kd);
+            let mut seq_ids = Vec::with_capacity(chosen.len());
+            for &i in &chosen {
+                let a = &self.active[i];
+                let (q, k, v) = self.token_rows(a.rec, a.decoded);
+                qdat.extend_from_slice(q.as_slice());
+                kdat.extend_from_slice(k.as_slice());
+                vdat.extend_from_slice(v.as_slice());
+                seq_ids.push(a.seq);
+            }
+            let qs = Matrix::from_vec(chosen.len(), qd, qdat);
+            let ks = Matrix::from_vec(chosen.len(), kd, kdat);
+            let vs = Matrix::from_vec(chosen.len(), kd, vdat);
+            let outs = self.engine.step_all(&seq_ids, &qs, &ks, &vs);
+            let pend_after: usize = self
+                .active
+                .iter()
+                .map(|a| self.engine.pending_len(a.seq))
+                .sum();
+            report.prefill_tokens = pend_before - pend_after;
+            outs.into_iter()
+                .enumerate()
+                .map(|(j, o)| (chosen[j], o, ks.row(j).to_vec(), vs.row(j).to_vec()))
+                .collect()
+        };
+
+        // 6. Token acceptance. An alarmed token is *discarded before
+        //    delivery* (its K/V row is already cached, so the history
+        //    must rebuild: evict-and-requeue) — the request re-decodes
+        //    the same token index after recovery, bit-identically.
+        let mut alarmed: Vec<usize> = Vec::new();
+        for (i, out, krow, vrow) in outputs {
+            if !(out.residual().abs() <= self.cfg.tol) {
+                report.online_alarms += 1;
+                alarmed.push(i);
+                continue;
+            }
+            let a = &mut self.active[i];
+            a.hist_k.extend_from_slice(&krow);
+            a.hist_v.extend_from_slice(&vrow);
+            a.decoded += 1;
+            a.demoted = false;
+            let tenant = self.records[a.rec].tenant;
+            let r = &mut self.records[a.rec];
+            if r.first_token_step.is_none() {
+                r.first_token_step = Some(self.now);
+            }
+            r.token_steps.push(self.now);
+            r.token_hashes.push(hash_bits(&out.output));
+            self.decoded_tokens[tenant] += 1;
+            report.decode_tokens += 1;
+        }
+        // Requeue alarmed victims highest-index first: `requeue` may
+        // swap_remove on a lost race, which never disturbs lower indices.
+        alarmed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in alarmed {
+            self.requeue(i, RequeueCause::Corruption, &mut report);
+        }
+
+        // 7. Harvest: completed admissions start decoding; completed
+        //    requeues resume it.
+        for i in 0..self.active.len() {
+            let (rec, seq) = (self.active[i].rec, self.active[i].seq);
+            match self.records[rec].phase {
+                Phase::Prefilling if !self.engine.is_pending(seq) => {
+                    let adm = self
+                        .engine
+                        .take_admitted(seq)
+                        .expect("a scored admission parks its output");
+                    if !(adm.residual().abs() <= self.cfg.tol) {
+                        // The prompt pass consumed corrupt data; its
+                        // outputs are undeliverable — restart admission.
+                        report.online_alarms += 1;
+                        self.requeue(i, RequeueCause::Corruption, &mut report);
+                    } else {
+                        self.records[rec].phase = Phase::Decoding;
+                        report.admissions_completed += 1;
+                    }
+                }
+                Phase::Requeued(_) if !self.engine.is_pending(seq) => {
+                    // A prefilling victim restarted through the scored
+                    // path and parked an AdmittedPrompt; a resubmitted
+                    // history is cache-only and parks nothing.
+                    let _ = self.engine.take_admitted(seq);
+                    self.records[rec].phase = Phase::Decoding;
+                    report.resumed += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // 8. Finish sweep: a request with all its tokens retires its slot.
+        let mut i = 0;
+        while i < self.active.len() {
+            let a = &self.active[i];
+            let r = &self.records[a.rec];
+            if r.phase == Phase::Decoding && a.decoded >= r.output_tokens {
+                self.engine.retire(a.seq);
+                let rec = a.rec;
+                self.records[rec].phase = Phase::Finished;
+                self.records[rec].finish_step = Some(self.now);
+                report.finished += 1;
+                self.active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 9. Scrub quantum, re-tuned to the detection-latency SLO at the
+        //    current live-block count. Findings trigger repair-in-place;
+        //    only unrecoverable verdicts escalate to quarantine.
+        if let Some(slo) = self.cfg.scrub_slo_steps {
+            let live = self.engine.live_blocks().max(1);
+            self.engine
+                .set_scrub_policy(Some(ScrubPolicy::for_target_latency(slo, live)));
+        }
+        let findings = self.engine.scrub_step();
+        report.scrub_findings += findings.len();
+        let mut flagged: Vec<usize> = findings.iter().map(|&(s, _)| s).collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        for seq in flagged {
+            if let Some(i) = self.active.iter().position(|a| a.seq == seq) {
+                self.absorb(i, &mut report);
+            }
+        }
+
+        // 10. Arena pressure: demote, then evict-and-requeue.
+        self.relieve_pressure(&mut report);
+
+        self.now += 1;
+        report
+    }
+
+    /// Absorbs a storage-corruption verdict on `active[i]`: audit and
+    /// repair in place; escalate to evict-and-requeue only when the log
+    /// could not restore a block — and never mid-requeue (the re-cached
+    /// rows are always log-covered from row 0, so a second quarantine
+    /// would resubmit a truncated history).
+    fn absorb(&mut self, i: usize, report: &mut StepReport) {
+        let seq = self.active[i].seq;
+        let rep = self.engine.audit_and_repair(seq, self.cfg.tol);
+        report.repaired_blocks += rep.blocks_recovered;
+        report.repaired_sumrows += rep.sumrows_repaired;
+        report.unrecoverable_blocks += rep.blocks_unrecoverable;
+        let phase = self.records[self.active[i].rec].phase;
+        if rep.blocks_unrecoverable > 0 && !matches!(phase, Phase::Requeued(_)) {
+            self.requeue(i, RequeueCause::Corruption, report);
+        }
+    }
+
+    /// Evicts `active[i]` and requeues it for recompute-on-resume.
+    ///
+    /// A `Prefilling` victim restarts the scored admission from scratch
+    /// (its prompt outputs were never delivered); anyone else is
+    /// quarantined and — unless the recovery log already requeued the
+    /// full history — resubmitted from the frontend's accepted-row copy.
+    fn requeue(&mut self, i: usize, cause: RequeueCause, report: &mut StepReport) {
+        let rec = self.active[i].rec;
+        let seq = self.active[i].seq;
+        if self.records[rec].phase == Phase::Prefilling {
+            self.engine.retire(seq);
+            let (q, k, v) = self.prompt_matrices(rec);
+            let new_seq = self.engine.enqueue(&q, &k, &v);
+            let a = &mut self.active[i];
+            a.seq = new_seq;
+            a.hist_k = k.as_slice().to_vec();
+            a.hist_v = v.as_slice().to_vec();
+            a.decoded = 0;
+            a.demoted = false;
+        } else {
+            let q = self.engine.quarantine(seq);
+            let kd = self.engine.config().kv_dim();
+            let rows = self.active[i].hist_k.len() / kd;
+            if q.requeued_rows != rows {
+                // The recovery log replays every *cached* row, which can
+                // include the K/V row of a token the frontend discarded
+                // at the online alarm — rebuild from the accepted-row
+                // history instead so the re-decode sees a clean prefix.
+                let seq = if q.requeued_rows > 0 {
+                    self.engine.retire(seq);
+                    self.engine.add_sequence()
+                } else {
+                    seq
+                };
+                self.active[i].seq = seq;
+                let k = Matrix::from_vec(rows, kd, self.active[i].hist_k.clone());
+                let v = Matrix::from_vec(rows, kd, self.active[i].hist_v.clone());
+                if self.engine.resubmit(seq, &k, &v).is_err() {
+                    // Lost a race with the slot: drop the request rather
+                    // than wedge the batch.
+                    self.engine.retire(seq);
+                    self.records[rec].phase = Phase::Shed;
+                    report.shed += 1;
+                    self.active.swap_remove(i);
+                    return;
+                }
+            }
+            self.active[i].demoted = false;
+        }
+        let r = &mut self.records[rec];
+        r.phase = Phase::Requeued(cause);
+        match cause {
+            RequeueCause::Preemption => {
+                r.preemptions += 1;
+                report.preemptions += 1;
+            }
+            RequeueCause::Corruption => {
+                r.quarantines += 1;
+                report.quarantines += 1;
+            }
+        }
+    }
+
+    fn decoding_count(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|a| self.records[a.rec].phase == Phase::Decoding)
+            .count()
+    }
+
+    /// Lowest-priority, newest decoding request — `fresh_only` skips
+    /// requests already demoted at their current length.
+    fn pick_victim(&self, fresh_only: bool) -> Option<usize> {
+        (0..self.active.len())
+            .filter(|&i| {
+                let a = &self.active[i];
+                self.records[a.rec].phase == Phase::Decoding
+                    && self.engine.seq_len(a.seq) > 0
+                    && (!fresh_only || !a.demoted)
+            })
+            .min_by_key(|&i| {
+                let a = &self.active[i];
+                (self.records[a.rec].priority, core::cmp::Reverse(a.rec))
+            })
+    }
+
+    /// The preemption ladder. Soft tier: demote victims' cold blocks to
+    /// BF16 until the arena fits or everyone is demoted. Hard tier:
+    /// evict-and-requeue victims (keeping at least one request decoding)
+    /// until the arena fits.
+    fn relieve_pressure(&mut self, report: &mut StepReport) {
+        let Some(bound) = self.cfg.max_kv_bytes else {
+            return;
+        };
+        while self.engine.cache().live_kv_bytes() > bound {
+            let Some(i) = self.pick_victim(true) else { break };
+            let rows = self
+                .engine
+                .demote(self.active[i].seq, self.cfg.demote_burst_blocks);
+            self.active[i].demoted = true;
+            if rows > 0 {
+                self.records[self.active[i].rec].demotions += 1;
+                report.demotions += 1;
+                report.demoted_rows += rows;
+            }
+        }
+        while self.engine.cache().live_kv_bytes() > bound && self.decoding_count() > 1 {
+            let Some(i) = self.pick_victim(false) else { break };
+            self.requeue(i, RequeueCause::Preemption, report);
+        }
+    }
+
+    /// Aggregates every record into the serving summary.
+    pub fn summary(&self, slo: &SloSpec) -> ServeSummary {
+        ServeSummary::from_records(&self.records, slo)
+    }
+}
+
+/// Value at percentile `pct` (0–100) of an ascending-sorted slice, by
+/// nearest-rank; 0 on an empty slice.
+pub fn percentile_u64(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate serving metrics over a run (step units; the bench converts
+/// to milliseconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeSummary {
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests finished.
+    pub finished: usize,
+    /// Requests shed.
+    pub shed: usize,
+    /// TTFT p50 over finished requests, in steps.
+    pub ttft_p50_steps: u64,
+    /// TTFT p99 over finished requests, in steps.
+    pub ttft_p99_steps: u64,
+    /// p99 inter-token gap over all finished requests' gaps, in steps.
+    pub per_token_p99_steps: u64,
+    /// Finished requests meeting the SLO.
+    pub slo_met: usize,
+    /// Decode tokens of SLO-meeting requests (the goodput numerator).
+    pub goodput_tokens: usize,
+    /// Decode tokens of all finished requests.
+    pub total_tokens: usize,
+    /// Hard-tier evictions across all requests.
+    pub preemptions: usize,
+    /// Corruption quarantines across all requests.
+    pub quarantines: usize,
+    /// Soft-tier demotions across all requests.
+    pub demotions: usize,
+}
+
+impl ServeSummary {
+    /// Builds the summary from raw request records.
+    pub fn from_records(records: &[RequestRecord], slo: &SloSpec) -> ServeSummary {
+        let mut s = ServeSummary {
+            submitted: records.len(),
+            ..ServeSummary::default()
+        };
+        let mut ttfts = Vec::new();
+        let mut gaps = Vec::new();
+        for r in records {
+            s.preemptions += r.preemptions as usize;
+            s.quarantines += r.quarantines as usize;
+            s.demotions += r.demotions as usize;
+            match r.phase {
+                Phase::Shed => s.shed += 1,
+                Phase::Finished => {
+                    s.finished += 1;
+                    s.total_tokens += r.token_steps.len();
+                    if let Some(t) = r.ttft_steps() {
+                        ttfts.push(t);
+                    }
+                    gaps.extend(r.token_gaps_steps());
+                    if r.meets_slo(slo) {
+                        s.slo_met += 1;
+                        s.goodput_tokens += r.token_steps.len();
+                    }
+                }
+                _ => {}
+            }
+        }
+        ttfts.sort_unstable();
+        gaps.sort_unstable();
+        s.ttft_p50_steps = percentile_u64(&ttfts, 50.0);
+        s.ttft_p99_steps = percentile_u64(&ttfts, 99.0);
+        s.per_token_p99_steps = percentile_u64(&gaps, 99.0);
+        s
+    }
+}
+
+/// Workload shape for [`LoadGen`]: bursty Bernoulli arrivals with
+/// bounded-Pareto (heavy-tail) prompt and output lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Number of tenants (round-robined uniformly at random).
+    pub tenants: usize,
+    /// Probability a step carries a burst of arrivals.
+    pub burst_prob: f64,
+    /// Max requests per burst (size uniform in `1..=burst_max`).
+    pub burst_max: usize,
+    /// Shortest prompt.
+    pub prompt_min: usize,
+    /// Longest prompt (Pareto tail clamped here).
+    pub prompt_max: usize,
+    /// Pareto tail index for prompt lengths (smaller = heavier tail).
+    pub prompt_tail: f64,
+    /// Fewest output tokens.
+    pub output_min: usize,
+    /// Most output tokens.
+    pub output_max: usize,
+    /// Pareto tail index for output lengths.
+    pub output_tail: f64,
+    /// Probability a request is `Interactive`.
+    pub interactive_prob: f64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> LoadSpec {
+        LoadSpec {
+            tenants: 3,
+            burst_prob: 0.4,
+            burst_max: 3,
+            prompt_min: 4,
+            prompt_max: 48,
+            prompt_tail: 1.5,
+            output_min: 2,
+            output_max: 32,
+            output_tail: 1.2,
+            interactive_prob: 0.5,
+        }
+    }
+}
+
+/// Deterministic seeded load generator: the same `(spec, seed)` always
+/// yields the same arrival stream, so a drill subject and its golden
+/// twin serve bitwise-identical workloads.
+pub struct LoadGen {
+    spec: LoadSpec,
+    rng: StdRng,
+}
+
+impl LoadGen {
+    /// Creates a generator for `spec` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate spec (no tenants, empty length ranges,
+    /// probabilities outside `[0, 1]`, non-positive tail indices).
+    pub fn new(spec: LoadSpec, seed: u64) -> LoadGen {
+        assert!(spec.tenants > 0, "need at least one tenant");
+        assert!(spec.burst_max > 0, "bursts must carry requests");
+        assert!(
+            (0.0..=1.0).contains(&spec.burst_prob)
+                && (0.0..=1.0).contains(&spec.interactive_prob),
+            "probabilities must be in [0, 1]"
+        );
+        assert!(
+            spec.prompt_min >= 1 && spec.prompt_min <= spec.prompt_max,
+            "prompt length range is empty"
+        );
+        assert!(
+            spec.output_min >= 1 && spec.output_min <= spec.output_max,
+            "output length range is empty"
+        );
+        assert!(
+            spec.prompt_tail > 0.0 && spec.output_tail > 0.0,
+            "Pareto tail indices must be positive"
+        );
+        LoadGen {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Bounded Pareto sample in `lo..=hi` with tail index `alpha`.
+    fn heavy_tail(&mut self, lo: usize, hi: usize, alpha: f64) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let x = lo as f64 / u.powf(1.0 / alpha);
+        (x as usize).clamp(lo, hi)
+    }
+
+    /// The arrivals for one step: empty, or a burst of `1..=burst_max`
+    /// requests with heavy-tail lengths and per-request stream seeds.
+    pub fn step(&mut self) -> Vec<Request> {
+        if self.rng.gen_range(0.0..1.0) >= self.spec.burst_prob {
+            return Vec::new();
+        }
+        let n = self.rng.gen_range(1..=self.spec.burst_max);
+        (0..n)
+            .map(|_| {
+                let prompt_tokens = self.heavy_tail(
+                    self.spec.prompt_min,
+                    self.spec.prompt_max,
+                    self.spec.prompt_tail,
+                );
+                let output_tokens = self.heavy_tail(
+                    self.spec.output_min,
+                    self.spec.output_max,
+                    self.spec.output_tail,
+                );
+                let priority = if self.rng.gen_range(0.0..1.0) < self.spec.interactive_prob {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                Request {
+                    tenant: self.rng.gen_range(0..self.spec.tenants),
+                    priority,
+                    prompt_tokens,
+                    output_tokens,
+                    seed: self.rng.gen_range(0..u64::MAX),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{EvictionPolicy, KvFormat, KvLayout};
+    use crate::{AttentionConfig, HeadTopology};
+
+    fn engine() -> DecodeBatch<f64> {
+        DecodeBatch::<f64>::with_policy(
+            HeadTopology::gqa(4, 2, AttentionConfig::new(8)),
+            4,
+            KvLayout::HeadMajor,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        )
+    }
+
+    fn run(cfg: ServeConfig, load_seed: u64, steps: usize) -> Scheduler {
+        let mut e = engine();
+        e.set_prefill_chunk(4);
+        let mut sched = Scheduler::new(e, cfg);
+        let mut gen = LoadGen::new(LoadSpec::default(), load_seed);
+        for _ in 0..steps {
+            let arrivals = gen.step();
+            sched.step(&arrivals);
+        }
+        // Drain: no new arrivals, serve until idle (bounded).
+        for _ in 0..2000 {
+            if sched.queue_len() == 0 && sched.active_decoding().is_empty() {
+                let r = sched.step(&[]);
+                if r.prefill_tokens == 0 && r.decode_tokens == 0 && r.finished == 0 {
+                    break;
+                }
+            } else {
+                sched.step(&[]);
+            }
+        }
+        sched
+    }
+
+    #[test]
+    fn load_gen_is_deterministic_and_bounded() {
+        let spec = LoadSpec::default();
+        let mut a = LoadGen::new(spec, 7);
+        let mut b = LoadGen::new(spec, 7);
+        let mut total = 0;
+        for _ in 0..200 {
+            let (x, y) = (a.step(), b.step());
+            assert_eq!(x.len(), y.len());
+            for (p, q) in x.iter().zip(&y) {
+                assert_eq!(p.seed, q.seed);
+                assert_eq!(p.prompt_tokens, q.prompt_tokens);
+                assert!((spec.prompt_min..=spec.prompt_max).contains(&p.prompt_tokens));
+                assert!((spec.output_min..=spec.output_max).contains(&p.output_tokens));
+                assert!(p.tenant < spec.tenants);
+                total += 1;
+            }
+            assert!(x.len() <= spec.burst_max);
+        }
+        assert!(total > 0, "the default spec must generate load");
+    }
+
+    #[test]
+    fn clean_run_finishes_requests_within_invariants() {
+        let sched = run(ServeConfig::default(), 11, 60);
+        let finished = sched
+            .records()
+            .iter()
+            .filter(|r| r.phase == Phase::Finished)
+            .count();
+        assert!(finished > 0, "a clean run must finish requests");
+        for r in sched.records() {
+            if r.phase == Phase::Finished {
+                assert_eq!(r.token_hashes.len(), r.output_tokens);
+                assert_eq!(r.token_steps.len(), r.output_tokens);
+                let t = r.ttft_steps().expect("finished requests saw a token");
+                assert!(t >= 1);
+                assert!(r.token_steps.windows(2).all(|w| w[1] > w[0]));
+                assert_eq!(r.preemptions, 0);
+                assert_eq!(r.quarantines, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_schedulers_replay_identically() {
+        let a = run(ServeConfig::default(), 23, 50);
+        let b = run(ServeConfig::default(), 23, 50);
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            assert_eq!(x.phase, y.phase);
+            assert_eq!(x.token_hashes, y.token_hashes);
+            assert_eq!(x.token_steps, y.token_steps);
+            assert_eq!(x.first_token_step, y.first_token_step);
+        }
+    }
+
+    #[test]
+    fn per_step_budget_is_respected() {
+        let cfg = ServeConfig {
+            token_budget: 6,
+            prefill_budget: 4,
+            ..ServeConfig::default()
+        };
+        let mut e = engine();
+        e.set_prefill_chunk(3);
+        let mut sched = Scheduler::new(e, cfg);
+        let mut gen = LoadGen::new(LoadSpec::default(), 31);
+        for _ in 0..120 {
+            let arrivals = gen.step();
+            let rep = sched.step(&arrivals);
+            // A single oversized first admission may exceed the prefill
+            // share, but decode + prefill never exceeds the admitted
+            // load's claim plus the decode share.
+            assert!(
+                rep.decode_tokens <= cfg.token_budget,
+                "decode overflowed the budget"
+            );
+        }
+    }
+
+    #[test]
+    fn shedding_prefers_batch_priority() {
+        let cfg = ServeConfig {
+            queue_bound: 2,
+            ..ServeConfig::default()
+        };
+        let mut sched = Scheduler::new(engine(), cfg);
+        let mk = |tenant, priority, seed| Request {
+            tenant,
+            priority,
+            prompt_tokens: 4,
+            output_tokens: 2,
+            seed,
+        };
+        // Far more than bound+budget can hold: some must shed.
+        let arrivals: Vec<Request> = (0..8)
+            .map(|i| {
+                let p = if i % 2 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                mk(0, p, 100 + i)
+            })
+            .collect();
+        let rep = sched.step(&arrivals);
+        assert!(rep.shed > 0, "the bound must shed");
+        let shed_batch = sched
+            .records()
+            .iter()
+            .filter(|r| r.phase == Phase::Shed && r.priority == Priority::Batch)
+            .count();
+        let shed_inter = sched
+            .records()
+            .iter()
+            .filter(|r| r.phase == Phase::Shed && r.priority == Priority::Interactive)
+            .count();
+        assert!(
+            shed_inter == 0 || shed_batch == 4,
+            "interactive requests shed only after every batch request"
+        );
+    }
+
+    #[test]
+    fn tenant_deficits_stay_balanced() {
+        let cfg = ServeConfig {
+            token_budget: 8,
+            prefill_budget: 4,
+            ..ServeConfig::default()
+        };
+        let mut e = engine();
+        e.set_prefill_chunk(4);
+        let mut sched = Scheduler::new(e, cfg);
+        // Two tenants, same shape, saturating load.
+        let mut seed = 1u64;
+        for step in 0..120 {
+            let arrivals: Vec<Request> = if step % 2 == 0 {
+                (0..2)
+                    .map(|t| {
+                        seed += 1;
+                        Request {
+                            tenant: t,
+                            priority: Priority::Batch,
+                            prompt_tokens: 4,
+                            output_tokens: 8,
+                            seed,
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            sched.step(&arrivals);
+        }
+        let tok = |t: usize| {
+            sched
+                .records()
+                .iter()
+                .filter(|r| r.tenant == t)
+                .map(|r| r.token_steps.len())
+                .sum::<usize>() as i64
+        };
+        let (a, b) = (tok(0), tok(1));
+        assert!(a > 0 && b > 0);
+        assert!(
+            (a - b).abs() <= 16,
+            "deficit-fair decode kept tenants within a budget of each other: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn memory_pressure_walks_the_preemption_ladder_and_preserves_outputs() {
+        let base = ServeConfig {
+            token_budget: 12,
+            prefill_budget: 6,
+            ..ServeConfig::default()
+        };
+        let pressured = ServeConfig {
+            // ~6 f64 KV blocks of 4 rows × kv_dim 16 ≈ 6 KiB: tight
+            // enough to demote and then evict under the default load.
+            max_kv_bytes: Some(6 * 2 * 4 * 16 * 8),
+            ..base
+        };
+        let free = run(base, 41, 50);
+        let tight = run(pressured, 41, 50);
+        let total_dem: usize = tight.records().iter().map(|r| r.demotions as usize).sum();
+        let total_pre: usize = tight.records().iter().map(|r| r.preemptions as usize).sum();
+        assert!(total_dem > 0, "pressure must trigger soft-tier demotions");
+        assert!(total_pre > 0, "pressure must trigger hard-tier evictions");
+        // Same workload, same per-request streams: every request that
+        // finished in both runs must match bit-for-bit — preemption
+        // rebuilds at full precision, and demoted victims' accepted
+        // tokens were produced before/after (not during) demotion only
+        // if untouched; so compare only requests never demoted.
+        assert_eq!(free.records().len(), tight.records().len());
+        let mut compared = 0;
+        for (f, t) in free.records().iter().zip(tight.records().iter()) {
+            if f.phase == Phase::Finished && t.phase == Phase::Finished && t.demotions == 0 {
+                assert_eq!(f.token_hashes, t.token_hashes, "preemption must be invisible");
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "some undemoted request finished in both runs");
+        assert!(
+            tight.records().iter().any(|r| r.phase == Phase::Finished
+                && r.preemptions > 0),
+            "some preempted request must still finish"
+        );
+    }
+
+    #[test]
+    fn online_alarm_discards_the_token_and_recovers_bit_identically() {
+        let cfg = ServeConfig {
+            token_budget: 8,
+            prefill_budget: 4,
+            scrub_slo_steps: Some(4),
+            ..ServeConfig::default()
+        };
+        let mk = || {
+            let mut e = engine();
+            e.set_prefill_chunk(4);
+            Scheduler::new(e, cfg)
+        };
+        let (mut subject, mut golden) = (mk(), mk());
+        let req = Request {
+            tenant: 0,
+            priority: Priority::Interactive,
+            prompt_tokens: 8,
+            output_tokens: 12,
+            seed: 999,
+        };
+        subject.step(core::slice::from_ref(&req));
+        golden.step(core::slice::from_ref(&req));
+        // Admit fully and decode a few tokens.
+        for _ in 0..6 {
+            subject.step(&[]);
+            golden.step(&[]);
+        }
+        let targets = subject.active_decoding();
+        assert_eq!(targets.len(), 1);
+        let (_, seq) = targets[0];
+        // A value-side flip makes the next decode residual alarm.
+        subject.engine_mut().flip_storage_bit(seq, 1, 0, 2, false, 62);
+        let mut alarms = 0;
+        for _ in 0..200 {
+            let rep = subject.step(&[]);
+            golden.step(&[]);
+            alarms += rep.online_alarms;
+            if subject.records()[0].phase == Phase::Finished {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            if golden.records()[0].phase == Phase::Finished {
+                break;
+            }
+            golden.step(&[]);
+        }
+        assert!(alarms > 0, "the corrupted value must alarm online");
+        let (s, g) = (&subject.records()[0], &golden.records()[0]);
+        assert_eq!(s.phase, Phase::Finished);
+        assert_eq!(g.phase, Phase::Finished);
+        assert!(s.quarantines > 0, "the alarm must trigger evict-and-requeue");
+        assert_eq!(
+            s.token_hashes, g.token_hashes,
+            "recovery must replay every token bit-identically"
+        );
+    }
+
+    #[test]
+    fn scrub_finding_repairs_in_place_without_losing_a_token() {
+        let cfg = ServeConfig {
+            token_budget: 8,
+            prefill_budget: 4,
+            scrub_slo_steps: Some(2),
+            ..ServeConfig::default()
+        };
+        let mk = || {
+            let mut e = engine();
+            e.set_prefill_chunk(4);
+            Scheduler::new(e, cfg)
+        };
+        let (mut subject, mut golden) = (mk(), mk());
+        let req = Request {
+            tenant: 0,
+            priority: Priority::Interactive,
+            prompt_tokens: 8,
+            output_tokens: 16,
+            seed: 4242,
+        };
+        subject.step(core::slice::from_ref(&req));
+        golden.step(core::slice::from_ref(&req));
+        for _ in 0..5 {
+            subject.step(&[]);
+            golden.step(&[]);
+        }
+        let (_, seq) = subject.active_decoding()[0];
+        // A key-side flip is invisible to the online residual; the
+        // scrubber catches it and the log repairs in place. Tokens
+        // decoded inside the detection-latency window consume the
+        // corrupt key, so only tokens outside the window can match.
+        let flip_step = subject.now();
+        subject.engine_mut().flip_storage_bit(seq, 1, 0, 1, true, 61);
+        let mut repair_step = None;
+        for _ in 0..200 {
+            let rep = subject.step(&[]);
+            golden.step(&[]);
+            if rep.repaired_blocks > 0 && repair_step.is_none() {
+                repair_step = Some(rep.step);
+            }
+            if subject.records()[0].phase == Phase::Finished {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            if golden.records()[0].phase == Phase::Finished {
+                break;
+            }
+            golden.step(&[]);
+        }
+        let repair_step = repair_step.expect("the scrubber must find and repair the flip");
+        let (s, g) = (&subject.records()[0], &golden.records()[0]);
+        assert_eq!(s.phase, Phase::Finished);
+        assert_eq!(s.quarantines, 0, "an in-place repair needs no quarantine");
+        // In-place repair never perturbs scheduling: same token steps.
+        assert_eq!(s.token_steps, g.token_steps);
+        let mut after_repair = 0;
+        for (j, (&sh, &gh)) in s.token_hashes.iter().zip(&g.token_hashes).enumerate() {
+            let step = s.token_steps[j];
+            if step < flip_step {
+                assert_eq!(sh, gh, "pre-flip token {j} must match");
+            } else if step > repair_step {
+                assert_eq!(sh, gh, "post-repair token {j} must match");
+                after_repair += 1;
+            }
+        }
+        assert!(after_repair > 0, "tokens after the repair must exist and match");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile_u64(&[], 99.0), 0);
+        assert_eq!(percentile_u64(&[5], 50.0), 5);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&xs, 50.0), 50);
+        assert_eq!(percentile_u64(&xs, 99.0), 99);
+        assert_eq!(percentile_u64(&xs, 100.0), 100);
+    }
+}

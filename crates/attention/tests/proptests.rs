@@ -1163,7 +1163,7 @@ proptest! {
             prop_assert_eq!(report.requeued_rows, 0, "truncated log cannot requeue");
             let k = Matrix::from_vec(len, topo.kv_dim(), hist_k[victim].clone());
             let v = Matrix::from_vec(len, topo.kv_dim(), hist_v[victim].clone());
-            subject.resubmit(victim, &k, &v);
+            prop_assert!(subject.resubmit(victim, &k, &v).is_ok());
             prop_assert!(subject.is_pending(victim));
         }
 
@@ -1189,6 +1189,159 @@ proptest! {
         decode(
             &mut subject, &mut golden, &mut hist_k, &mut hist_v,
             &ids, 20_000, post_steps,
+        );
+    }
+
+    /// The serving frontend's preemption ladder, swept across KvFormat ×
+    /// EvictionPolicy × GQA topology: any voluntary preemption schedule —
+    /// zero or more soft-tier demotions (`demote`, arbitrary bursts),
+    /// then hard-tier evict-and-requeue (`quarantine` + recompute from
+    /// the recovery log or the frontend's history) — replays
+    /// bit-identical to a never-preempted twin once the victim resumes,
+    /// with batch peers lockstep bit for bit at every step in between.
+    #[test]
+    fn preemption_schedules_resume_bit_identical(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        pre_steps in 1usize..6,
+        mid_steps in 1usize..4,
+        post_steps in 1usize..6,
+        demote_count in 0usize..3,
+        burst in 0usize..3,
+        log_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let block_rows = 4;
+        let batch = 3usize;
+        let prefill_len = 10;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo, block_rows, KvLayout::HeadMajor, format, eviction,
+            );
+            e.set_prefill_chunk(3);
+            e
+        };
+        let from_log = log_sel == 1;
+        let mut subject = mk();
+        if from_log {
+            subject.enable_recovery_log();
+        }
+        let mut golden = mk();
+        let ids: Vec<usize> = (0..batch).map(|_| subject.add_sequence()).collect();
+        for _ in 0..batch { golden.add_sequence(); }
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let mut hist_k: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        let mut hist_v: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        for (i, &id) in ids.iter().enumerate() {
+            let k = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(100 + i as u64));
+            let v = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(200 + i as u64));
+            hist_k[id].extend_from_slice(k.as_slice());
+            hist_v[id].extend_from_slice(v.as_slice());
+            subject.prefill(id, &k, &v);
+            golden.prefill(id, &k, &v);
+        }
+        let decode = |subject: &mut DecodeBatch<f64>, golden: &mut DecodeBatch<f64>,
+                      hist_k: &mut Vec<Vec<f64>>, hist_v: &mut Vec<Vec<f64>>,
+                      step_ids: &[usize], t0: usize, n: usize| {
+            for t in t0..t0 + n {
+                let qs = rand(step_ids.len(), topo.q_dim(), seed.wrapping_add(1_000 + t as u64));
+                let ks = rand(step_ids.len(), topo.kv_dim(), seed.wrapping_add(2_000 + t as u64));
+                let vs = rand(step_ids.len(), topo.kv_dim(), seed.wrapping_add(3_000 + t as u64));
+                for (i, &id) in step_ids.iter().enumerate() {
+                    hist_k[id].extend_from_slice(ks.row(i));
+                    hist_v[id].extend_from_slice(vs.row(i));
+                }
+                let a = subject.step_all(step_ids, &qs, &ks, &vs);
+                let b = golden.step_all(step_ids, &qs, &ks, &vs);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    for (c, (xa, ya)) in x.output.iter().zip(&y.output).enumerate() {
+                        prop_assert_eq!(
+                            xa.to_bits(), ya.to_bits(),
+                            "step {} seq {} lane {}", t, step_ids[i], c
+                        );
+                    }
+                }
+            }
+        };
+        decode(&mut subject, &mut golden, &mut hist_k, &mut hist_v, &ids, 0, pre_steps);
+
+        let victim = ids[(seed as usize) % batch];
+        let peers: Vec<usize> = ids.iter().copied().filter(|&i| i != victim).collect();
+
+        // The preemption window: the victim pauses on BOTH engines (the
+        // never-preempted twin simply does not schedule it) while the
+        // subject walks the ladder. Soft tier first — each demotion may
+        // round stored rows to BF16, which is exactly why the victim
+        // cannot keep decoding against the twin mid-window.
+        for dm in 0..demote_count {
+            let _ = subject.demote(victim, burst);
+            prop_assert!(subject.audit(victim, tol).is_empty(), "demotion {dm} audits clean");
+            decode(
+                &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+                &peers, 10_000 + dm * 100, mid_steps,
+            );
+        }
+
+        // Hard tier: evict-and-requeue with recompute-on-resume, either
+        // auto-requeued from the recovery log or resubmitted from the
+        // frontend history. Rebuilding replays the full-precision rows,
+        // erasing every demotion above.
+        let len = subject.seq_len(victim);
+        let report = subject.quarantine(victim);
+        prop_assert!(report.blocks_freed > 0);
+        if from_log {
+            prop_assert_eq!(report.requeued_rows, len, "full log auto-requeues");
+        } else {
+            prop_assert_eq!(report.requeued_rows, 0, "no log to requeue from");
+            let k = Matrix::from_vec(len, topo.kv_dim(), hist_k[victim].clone());
+            let v = Matrix::from_vec(len, topo.kv_dim(), hist_v[victim].clone());
+            prop_assert!(subject.resubmit(victim, &k, &v).is_ok());
+        }
+        prop_assert!(subject.is_pending(victim));
+
+        // Peers keep decoding lockstep while the victim re-admits.
+        let mut waited = 0usize;
+        while subject.is_pending(victim) {
+            decode(
+                &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+                &peers, 20_000 + waited, 1,
+            );
+            waited += 1;
+            prop_assert!(waited <= 2 * len, "requeue must terminate");
+        }
+
+        // Resume: the rebuilt victim is bitwise the never-preempted one.
+        prop_assert_eq!(subject.seq_len(victim), golden.seq_len(victim));
+        prop_assert_eq!(subject.demoted_len(victim), golden.demoted_len(victim),
+            "requeue re-runs the same format policy as the twin");
+        for &id in &ids {
+            prop_assert!(subject.audit(id, tol).is_empty(), "post-resume audit clean");
+        }
+        decode(
+            &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+            &ids, 30_000, post_steps,
         );
     }
 }

@@ -302,11 +302,80 @@ fn fault_benchmarks(quick: bool) {
     println!();
 }
 
+/// Runs the SLO-aware serving legs (clean / fault drill / pressure
+/// preemption) and writes `BENCH_serving.json`.
+fn serving_benchmarks(quick: bool) {
+    println!("{}", "=".repeat(78));
+    println!("== slo_serving (clean / fault drill / memory-pressure preemption)");
+    println!("{}", "=".repeat(78));
+    let report = fa_bench::serving::measure(quick);
+
+    let mut table = TablePrinter::new(vec![
+        "leg",
+        "steps",
+        "finished",
+        "shed",
+        "ttft p50 ms",
+        "ttft p99 ms",
+        "tok p99 ms",
+        "goodput/SLO",
+        "demote",
+        "preempt",
+        "quarantine",
+    ]);
+    for (name, leg) in [("clean", &report.clean), ("preemption", &report.preemption)] {
+        let s = &leg.summary;
+        table.row(vec![
+            name.to_string(),
+            format!("{}", leg.steps_run),
+            format!("{}", s.finished),
+            format!("{}", s.shed),
+            format!("{:.4}", leg.ttft_p50_ms()),
+            format!("{:.4}", leg.ttft_p99_ms()),
+            format!("{:.4}", leg.per_token_p99_ms()),
+            format!("{:.3}", leg.goodput_under_slo()),
+            format!("{}", s.demotions),
+            format!("{}", s.preemptions),
+            format!("{}", s.quarantines),
+        ]);
+    }
+    print!("{}", table.render());
+    for (name, st) in [
+        ("value drill", &report.value_drill),
+        ("key drill", &report.key_drill),
+    ] {
+        println!(
+            "  {name}: {} trials, {} landed, {} alarms / {} scrub findings, \
+             {} quarantines, detection {:.1}%, recovery {:.1}%, fidelity {:.2}%",
+            st.trials,
+            st.injections_landed,
+            st.online_alarms,
+            st.scrub_findings,
+            st.quarantines,
+            st.detection_pct(),
+            st.recovery_pct(),
+            st.token_fidelity_pct(),
+        );
+    }
+    println!(
+        "SLO: TTFT <= {} steps, inter-token <= {} steps; load window {} steps",
+        report.slo.ttft_steps, report.slo.per_token_steps, report.load_steps
+    );
+
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    println!();
+}
+
 fn main() {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
     let quick = passthrough.iter().any(|a| a == "--quick");
     kernel_benchmarks(quick);
     fault_benchmarks(quick);
+    serving_benchmarks(quick);
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()

@@ -17,6 +17,7 @@
 
 pub mod faults;
 pub mod kernels;
+pub mod serving;
 
 /// Simple fixed-width table printer for experiment reports.
 pub struct TablePrinter {

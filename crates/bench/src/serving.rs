@@ -1,0 +1,301 @@
+//! SLO-aware serving benchmarks: the step-driven scheduler under the
+//! seeded bursty/heavy-tail load generator, measured three ways — the
+//! numbers behind `BENCH_serving.json`.
+//!
+//! Three legs:
+//!
+//! * **clean** — undisturbed serving at the headline load: TTFT
+//!   p50/p99, per-token p99, and goodput-under-SLO (decode tokens of
+//!   requests that met both the TTFT and inter-token bounds);
+//! * **fault_drill** — [`fa_fault::run_drill`] campaigns injecting
+//!   value-side flips (online-alarmed, recovered bit-exact) and
+//!   key-side flips (residual-coherent, caught by the autotuned
+//!   scrubber) into live serving runs, certified against undisturbed
+//!   golden twins;
+//! * **preemption** — the same load under an arena-bytes bound that
+//!   forces the pressure ladder (soft-tier bf16 demotion, then
+//!   evict-and-requeue with recompute-on-resume), showing what the
+//!   ladder costs in SLO terms.
+//!
+//! The scheduler is step-driven, so all latencies are native to step
+//! units; each leg also measures its wall-clock per step and reports
+//! both (`*_steps` and `*_ms`).
+
+use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
+use fa_attention::serve::{LoadGen, LoadSpec, Scheduler, ServeConfig, ServeSummary, SloSpec};
+use fa_attention::{AttentionConfig, HeadTopology};
+use fa_fault::{run_drill, DrillSpec, DrillStats};
+use std::time::Instant;
+
+/// One serving leg: aggregate metrics in scheduler steps plus the
+/// measured wall-clock cost per step that converts them to wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingLeg {
+    /// Aggregate serving metrics (step units).
+    pub summary: ServeSummary,
+    /// Scheduler steps executed (load window + drain).
+    pub steps_run: u64,
+    /// Measured wall-clock milliseconds per scheduler step.
+    pub ms_per_step: f64,
+}
+
+impl ServingLeg {
+    /// TTFT p50 converted to milliseconds.
+    pub fn ttft_p50_ms(&self) -> f64 {
+        self.summary.ttft_p50_steps as f64 * self.ms_per_step
+    }
+
+    /// TTFT p99 converted to milliseconds.
+    pub fn ttft_p99_ms(&self) -> f64 {
+        self.summary.ttft_p99_steps as f64 * self.ms_per_step
+    }
+
+    /// p99 inter-token gap converted to milliseconds.
+    pub fn per_token_p99_ms(&self) -> f64 {
+        self.summary.per_token_p99_steps as f64 * self.ms_per_step
+    }
+
+    /// Fraction of finished decode tokens delivered by SLO-meeting
+    /// requests (the paper-style goodput ratio, 0..=1).
+    pub fn goodput_under_slo(&self) -> f64 {
+        self.summary.goodput_tokens as f64 / self.summary.total_tokens.max(1) as f64
+    }
+}
+
+/// The full serving benchmark: clean + preemption legs and the two
+/// fault-drill campaigns, under one SLO.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingBenchReport {
+    /// The SLO every leg is judged against.
+    pub slo: SloSpec,
+    /// Arrival steps in the load window.
+    pub load_steps: usize,
+    /// Drill trials per campaign.
+    pub drill_trials: u64,
+    /// Undisturbed serving at the headline load.
+    pub clean: ServingLeg,
+    /// Same load under an arena bound that forces the pressure ladder.
+    pub preemption: ServingLeg,
+    /// Value-side flip campaign (online alarm -> evict-and-requeue).
+    pub value_drill: DrillStats,
+    /// Key-side flip campaign (scrub finding -> repair in place).
+    pub key_drill: DrillStats,
+}
+
+/// Headline serving topology: 4:2 GQA, head_dim 8, 4-row blocks —
+/// the shape the scheduler unit tests and drills run at.
+fn engine() -> DecodeBatch<f64> {
+    let mut e = DecodeBatch::<f64>::with_policy(
+        HeadTopology::gqa(4, 2, AttentionConfig::new(8)),
+        4,
+        KvLayout::HeadMajor,
+        KvFormat::F64,
+        EvictionPolicy::RetainAll,
+    );
+    e.set_prefill_chunk(4);
+    e
+}
+
+/// Runs one serving leg: `load_steps` of generated arrivals, then a
+/// bounded drain, timing the whole run to get ms/step.
+fn run_leg(cfg: ServeConfig, slo: &SloSpec, load_steps: usize, seed: u64) -> ServingLeg {
+    let mut sched = Scheduler::new(engine(), cfg);
+    let mut gen = LoadGen::new(LoadSpec::default(), seed);
+    let start = Instant::now();
+    let mut steps_run = 0u64;
+    for _ in 0..load_steps {
+        let arrivals = gen.step();
+        sched.step(&arrivals);
+        steps_run += 1;
+    }
+    for _ in 0..4000 {
+        let r = sched.step(&[]);
+        steps_run += 1;
+        if sched.queue_len() == 0
+            && sched.active_decoding().is_empty()
+            && r.prefill_tokens == 0
+            && r.decode_tokens == 0
+            && r.finished == 0
+        {
+            break;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    ServingLeg {
+        summary: sched.summary(slo),
+        steps_run,
+        ms_per_step: wall_ms / steps_run.max(1) as f64,
+    }
+}
+
+/// Runs the serving benchmark. `quick` shrinks the load window and
+/// drill trial counts for CI smoke runs.
+pub fn measure(quick: bool) -> ServingBenchReport {
+    let (load_steps, drill_trials) = if quick { (40, 6u64) } else { (160, 24u64) };
+    let slo = SloSpec {
+        ttft_steps: 16,
+        per_token_steps: 6,
+    };
+    let base_cfg = ServeConfig {
+        scrub_slo_steps: Some(4),
+        ..ServeConfig::default()
+    };
+    let clean = run_leg(base_cfg, &slo, load_steps, 0xC1EA);
+
+    // Pressure leg: bound the arena at 8 KiB of live KV (8 native
+    // blocks at this shape) so the ladder fires — demote first, then
+    // evict-and-requeue — while the same load replays (same seed).
+    let pressured = ServeConfig {
+        max_kv_bytes: Some(8 * 1024),
+        ..base_cfg
+    };
+    let preemption = run_leg(pressured, &slo, load_steps, 0xC1EA);
+
+    let drill = |key_side: bool, seed: u64| {
+        run_drill(&DrillSpec::new(drill_trials, seed).with_injections(1, key_side))
+    };
+    let value_drill = drill(false, 0xD211);
+    let key_drill = drill(true, 0xD213);
+
+    ServingBenchReport {
+        slo,
+        load_steps,
+        drill_trials,
+        clean,
+        preemption,
+        value_drill,
+        key_drill,
+    }
+}
+
+fn leg_json(leg: &ServingLeg) -> String {
+    let s = &leg.summary;
+    format!(
+        "{{\n      \"steps_run\": {}, \"ms_per_step\": {:.6},\n      \
+         \"submitted\": {}, \"finished\": {}, \"shed\": {},\n      \
+         \"ttft_p50_steps\": {}, \"ttft_p99_steps\": {}, \"per_token_p99_steps\": {},\n      \
+         \"ttft_p50_ms\": {:.4}, \"ttft_p99_ms\": {:.4}, \"per_token_p99_ms\": {:.4},\n      \
+         \"slo_met\": {}, \"goodput_tokens\": {}, \"total_tokens\": {}, \
+         \"goodput_under_slo\": {:.4},\n      \
+         \"demotions\": {}, \"preemptions\": {}, \"quarantines\": {}\n    }}",
+        leg.steps_run,
+        leg.ms_per_step,
+        s.submitted,
+        s.finished,
+        s.shed,
+        s.ttft_p50_steps,
+        s.ttft_p99_steps,
+        s.per_token_p99_steps,
+        leg.ttft_p50_ms(),
+        leg.ttft_p99_ms(),
+        leg.per_token_p99_ms(),
+        s.slo_met,
+        s.goodput_tokens,
+        s.total_tokens,
+        leg.goodput_under_slo(),
+        s.demotions,
+        s.preemptions,
+        s.quarantines,
+    )
+}
+
+fn drill_json(st: &DrillStats) -> String {
+    format!(
+        "{{\n      \"trials\": {}, \"drained\": {}, \"injections_landed\": {},\n      \
+         \"online_alarms\": {}, \"scrub_findings\": {}, \"repaired_blocks\": {}, \
+         \"unrecoverable_blocks\": {},\n      \
+         \"demotions\": {}, \"preemptions\": {}, \"quarantines\": {},\n      \
+         \"finished_both\": {}, \"shed_subject\": {},\n      \
+         \"tokens_compared\": {}, \"tokens_divergent\": {}, \"divergent_requests\": {},\n      \
+         \"quarantined_requests\": {}, \"recovered_requests\": {},\n      \
+         \"detection_pct\": {:.2}, \"recovery_pct\": {:.2}, \"token_fidelity_pct\": {:.2}\n    }}",
+        st.trials,
+        st.drained_trials,
+        st.injections_landed,
+        st.online_alarms,
+        st.scrub_findings,
+        st.repaired_blocks,
+        st.unrecoverable_blocks,
+        st.demotions,
+        st.preemptions,
+        st.quarantines,
+        st.finished_both,
+        st.shed_subject,
+        st.tokens_compared,
+        st.tokens_divergent,
+        st.divergent_requests,
+        st.quarantined_requests,
+        st.recovered_requests,
+        st.detection_pct(),
+        st.recovery_pct(),
+        st.token_fidelity_pct(),
+    )
+}
+
+impl ServingBenchReport {
+    /// Serializes the report for `BENCH_serving.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"serving-bench/v1\",\n  \
+             \"slo\": {{ \"ttft_steps\": {}, \"per_token_steps\": {} }},\n  \
+             \"load_steps\": {},\n  \
+             \"clean\": {},\n  \
+             \"preemption\": {},\n  \
+             \"fault_drill\": {{\n    \"trials\": {},\n    \"value\": {},\n    \"key\": {}\n  }}\n}}\n",
+            self.slo.ttft_steps,
+            self.slo.per_token_steps,
+            self.load_steps,
+            leg_json(&self.clean),
+            leg_json(&self.preemption),
+            self.drill_trials,
+            drill_json(&self.value_drill),
+            drill_json(&self.key_drill),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_covers_all_three_legs_and_required_keys() {
+        let report = measure(true);
+
+        // Clean leg serves and finishes load under the SLO.
+        let c = &report.clean.summary;
+        assert!(c.finished > 0, "clean leg must finish requests");
+        assert_eq!(c.quarantines, 0, "no corruption in the clean leg");
+        assert_eq!(c.preemptions, 0, "no pressure in the clean leg");
+        assert!(report.clean.ms_per_step > 0.0);
+        let g = report.clean.goodput_under_slo();
+        assert!((0.0..=1.0).contains(&g));
+
+        // Pressure leg actually exercises the ladder.
+        let p = &report.preemption.summary;
+        assert!(
+            p.demotions + p.preemptions > 0,
+            "the 8 KiB bound must force the pressure ladder"
+        );
+        assert!(p.finished > 0, "pressured serving still finishes requests");
+
+        // Drills: value flips recover bit-exact; key flips keep fidelity.
+        assert!(report.value_drill.injections_landed > 0);
+        assert_eq!(report.value_drill.tokens_divergent, 0);
+        assert!(report.key_drill.injections_landed > 0);
+        assert!(report.key_drill.token_fidelity_pct() > 90.0);
+
+        // The JSON carries every key CI greps for.
+        let json = report.to_json();
+        for key in [
+            "ttft_p50_ms",
+            "ttft_p99_ms",
+            "per_token_p99_ms",
+            "goodput_under_slo",
+            "fault_drill",
+            "preemption",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+    }
+}

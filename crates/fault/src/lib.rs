@@ -41,6 +41,7 @@
 
 pub mod campaign;
 pub mod classify;
+pub mod drill;
 pub mod criticality;
 pub mod live;
 pub mod recovery;
@@ -49,6 +50,7 @@ pub mod stats;
 pub use campaign::{run_campaigns, CampaignSpec};
 pub use classify::{classify, Classified, DetectionCriterion, FaultCategory};
 pub use criticality::{CriticalityProbe, CriticalityReport};
+pub use drill::{run_drill, run_drill_shard, DrillSpec, DrillStats};
 pub use live::{run_live, run_live_shard, LiveCampaignSpec, LiveCampaignStats};
 pub use recovery::{CheckGranularity, RecoveryModel};
 pub use stats::CampaignStats;

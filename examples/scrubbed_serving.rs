@@ -226,7 +226,9 @@ fn main() {
     let rows = hist_k[2].len() / topo.kv_dim();
     let k = Matrix::from_vec(rows, topo.kv_dim(), hist_k[2].clone());
     let v = Matrix::from_vec(rows, topo.kv_dim(), hist_v[2].clone());
-    engine.resubmit(victim, &k, &v);
+    engine
+        .resubmit(victim, &k, &v)
+        .expect("a quarantined sequence accepts its history");
     assert!(engine.is_pending(victim));
     // Peers keep decoding while the victim re-admits chunk by chunk;
     // the golden twin pauses its victim too, so peers see identical
