@@ -437,10 +437,21 @@ pub struct KvCache<T> {
     free_blocks: Vec<usize>,
     /// BF16-arena blocks ready for reuse.
     free_blocks16: Vec<usize>,
+    /// Per-block reference counts for the native arena, index-parallel
+    /// to its blocks. A block is owned by every live sequence listing it
+    /// plus (for registered shared prefixes) the prefix registry; it
+    /// returns to the free list only when the count reaches zero.
+    /// Free-listed blocks sit at zero; unshared blocks at one.
+    ref_counts: Vec<u32>,
+    /// Per-block reference counts for the BF16 arena.
+    ref_counts16: Vec<u32>,
     /// Sequence slots whose owner retired, ready for reuse.
     free_seqs: Vec<usize>,
     /// Total block claims served from either free list (observability).
     recycled_blocks: usize,
+    /// Shared blocks copied before a divergent write (copy-on-write
+    /// appends into a shared tail block; observability).
+    cow_copies: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -545,8 +556,11 @@ impl<T: Scalar> KvCache<T> {
             seqs: Vec::new(),
             free_blocks: Vec::new(),
             free_blocks16: Vec::new(),
+            ref_counts: Vec::new(),
+            ref_counts16: Vec::new(),
             free_seqs: Vec::new(),
             recycled_blocks: 0,
+            cow_copies: 0,
         }
     }
 
@@ -666,26 +680,20 @@ impl<T: Scalar> KvCache<T> {
         self.recycled_blocks
     }
 
-    /// Bytes of K/V storage held by live sequences' retained blocks —
-    /// native blocks at `size_of::<T>()` per lane, demoted/direct-BF16
-    /// blocks at `size_of::<BF16>()`, K and V both counted. This is the
+    /// Bytes of K/V storage held by owned arena blocks — native blocks
+    /// at `size_of::<T>()` per lane, demoted/direct-BF16 blocks at
+    /// `size_of::<BF16>()`, K and V both counted. This is the
     /// arena-pressure signal a serving frontend throttles against:
     /// demoting a victim halves its share (native f64 → BF16) without
     /// freeing blocks, and quarantine/retirement drops it to zero.
+    /// Accounting is **physical**: a prefix block shared by `k` readers
+    /// (plus the prefix registry) costs its bytes once, which is the
+    /// memory win sharing exists for.
     pub fn live_kv_bytes(&self) -> usize {
         let block_lanes = self.block_rows * self.width;
-        (0..self.seqs.len())
-            .filter(|&s| !self.seqs[s].retired)
-            .flat_map(|s| self.seqs[s].blocks.iter())
-            .map(|b| {
-                let lane = if b.bf16 {
-                    core::mem::size_of::<BF16>()
-                } else {
-                    core::mem::size_of::<T>()
-                };
-                2 * block_lanes * lane
-            })
-            .sum()
+        let native = self.allocated_blocks() - self.free_blocks.len();
+        let bf16 = self.allocated_blocks16() - self.free_blocks16.len();
+        2 * block_lanes * (native * core::mem::size_of::<T>() + bf16 * core::mem::size_of::<BF16>())
     }
 
     /// Registers a new (empty) sequence and returns its id, reusing a
@@ -724,11 +732,7 @@ impl<T: Scalar> KvCache<T> {
         state.len = 0;
         state.retired = true;
         for blk in blocks {
-            if blk.bf16 {
-                self.free_blocks16.push(blk.index);
-            } else {
-                self.free_blocks.push(blk.index);
-            }
+            self.release_block(blk);
         }
         self.free_seqs.push(seq);
     }
@@ -739,7 +743,9 @@ impl<T: Scalar> KvCache<T> {
     /// [`DecodeBatch::quarantine`]: the damaged rows stop occupying
     /// arena space immediately, and the slot is ready to re-admit the
     /// same logical sequence through the chunked-prefill path. Returns
-    /// the number of blocks freed.
+    /// the number of block references released (each block returns to
+    /// its free list once its last owner — another reader of a shared
+    /// prefix, or the prefix registry — also lets go).
     ///
     /// # Panics
     ///
@@ -754,13 +760,70 @@ impl<T: Scalar> KvCache<T> {
         state.demoted_rows = 0;
         let freed = blocks.len();
         for blk in blocks {
-            if blk.bf16 {
-                self.free_blocks16.push(blk.index);
-            } else {
-                self.free_blocks.push(blk.index);
-            }
+            self.release_block(blk);
         }
         freed
+    }
+
+    /// Detaches live sequence `seq`'s blocks **without releasing their
+    /// references** and retires the slot — the handoff that turns a
+    /// freshly-prefilled sequence into a registry-owned shared prefix.
+    /// Returns the block refs, their reference checksums, and the
+    /// first-retained position (non-zero when a sliding window evicted
+    /// leading prefix blocks during registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub(crate) fn detach_into_registry(
+        &mut self,
+        seq: usize,
+    ) -> (Vec<BlockRef>, Vec<BlockCheck>, usize) {
+        let state = &mut self.seqs[seq];
+        assert!(!state.retired, "sequence {seq} is retired");
+        let blocks = core::mem::take(&mut state.blocks);
+        let checks = core::mem::take(&mut state.checks);
+        let start = state.start;
+        state.start = 0;
+        state.len = 0;
+        state.demoted_rows = 0;
+        state.retired = true;
+        self.free_seqs.push(seq);
+        (blocks, checks, start)
+    }
+
+    /// Attaches a registry-held shared prefix to **empty** live sequence
+    /// `seq`: the sequence adopts the block refs (taking one new
+    /// reference on each) and bitwise copies of their reference
+    /// checksums, and its logical length jumps to `rows`. Appends past
+    /// the prefix claim private blocks as usual; an append landing in
+    /// the prefix's partially-filled tail block copies it first
+    /// (copy-on-write in [`append_anchored`](Self::append_anchored)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range, retired, or non-empty.
+    pub(crate) fn attach_shared(
+        &mut self,
+        seq: usize,
+        blocks: &[BlockRef],
+        checks: &[BlockCheck],
+        start: usize,
+        rows: usize,
+    ) {
+        let state = self.live(seq);
+        assert!(
+            state.len == 0 && state.blocks.is_empty(),
+            "sequence {seq} must be empty to attach a shared prefix"
+        );
+        for &blk in blocks {
+            self.retain_block(blk);
+        }
+        let state = &mut self.seqs[seq];
+        state.blocks = blocks.to_vec();
+        state.checks = checks.to_vec();
+        state.start = start;
+        state.len = rows;
     }
 
     /// Reserves arena capacity for at least `additional_rows` more cached
@@ -809,12 +872,15 @@ impl<T: Scalar> KvCache<T> {
     }
 
     /// Claims a block in the requested arena — from its free list when
-    /// possible, growing the arena otherwise.
+    /// possible, growing the arena otherwise. The claimed block starts
+    /// with a reference count of one (sole owner).
     fn claim_block(&mut self, bf16: bool) -> usize {
         let block_elems = self.block_rows * self.width;
         if bf16 {
             if let Some(freed) = self.free_blocks16.pop() {
                 self.recycled_blocks += 1;
+                debug_assert_eq!(self.ref_counts16[freed], 0, "free-listed block had owners");
+                self.ref_counts16[freed] = 1;
                 return freed;
             }
             let fresh = self.k_arena16.len() / block_elems;
@@ -822,10 +888,13 @@ impl<T: Scalar> KvCache<T> {
                 .resize(self.k_arena16.len() + block_elems, BF16::ZERO);
             self.v_arena16
                 .resize(self.v_arena16.len() + block_elems, BF16::ZERO);
+            self.ref_counts16.push(1);
             fresh
         } else {
             if let Some(freed) = self.free_blocks.pop() {
                 self.recycled_blocks += 1;
+                debug_assert_eq!(self.ref_counts[freed], 0, "free-listed block had owners");
+                self.ref_counts[freed] = 1;
                 return freed;
             }
             let fresh = self.k_arena.len() / block_elems;
@@ -833,8 +902,79 @@ impl<T: Scalar> KvCache<T> {
                 .resize(self.k_arena.len() + block_elems, T::zero());
             self.v_arena
                 .resize(self.v_arena.len() + block_elems, T::zero());
+            self.ref_counts.push(1);
             fresh
         }
+    }
+
+    /// Drops one reference to `blk`, returning it to its arena's free
+    /// list when the last owner lets go. Returns whether the block was
+    /// actually freed (refcount reached zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no outstanding references (double free).
+    pub(crate) fn release_block(&mut self, blk: BlockRef) -> bool {
+        let rc = if blk.bf16 {
+            &mut self.ref_counts16[blk.index]
+        } else {
+            &mut self.ref_counts[blk.index]
+        };
+        assert!(
+            *rc > 0,
+            "double free of {} block {}",
+            if blk.bf16 { "bf16" } else { "native" },
+            blk.index
+        );
+        *rc -= 1;
+        if *rc > 0 {
+            return false;
+        }
+        if blk.bf16 {
+            self.free_blocks16.push(blk.index);
+        } else {
+            self.free_blocks.push(blk.index);
+        }
+        true
+    }
+
+    /// Takes one additional reference on `blk` (a live owner is handing
+    /// a copy of the handle to another owner).
+    pub(crate) fn retain_block(&mut self, blk: BlockRef) {
+        let rc = if blk.bf16 {
+            &mut self.ref_counts16[blk.index]
+        } else {
+            &mut self.ref_counts[blk.index]
+        };
+        assert!(*rc > 0, "retaining a free block");
+        *rc += 1;
+    }
+
+    /// Outstanding references on `blk` — zero for free-listed blocks,
+    /// one for privately-owned blocks, more when a registered prefix (or
+    /// several sequences sharing one) holds it.
+    pub fn block_ref_count(&self, blk: BlockRef) -> u32 {
+        if blk.bf16 {
+            self.ref_counts16[blk.index]
+        } else {
+            self.ref_counts[blk.index]
+        }
+    }
+
+    /// Shared blocks copied before a divergent write so far (the
+    /// copy-on-write counter; see
+    /// [`append_anchored`](Self::append_anchored)).
+    pub fn cow_copies(&self) -> usize {
+        self.cow_copies
+    }
+
+    /// Physical blocks currently owned by at least one live holder,
+    /// across both arenas — with prefix sharing this counts each shared
+    /// block **once**, which is exactly the arena-footprint win the
+    /// sharing bench reports.
+    pub fn live_unique_blocks(&self) -> usize {
+        self.allocated_blocks() - self.free_blocks.len() + self.allocated_blocks16()
+            - self.free_blocks16.len()
     }
 
     /// Demotes sequence `seq`'s full native blocks beyond the newest
@@ -887,7 +1027,14 @@ impl<T: Scalar> KvCache<T> {
                 self.k_arena16[dst + e] = round_bf16(self.k_arena[src + e]);
                 self.v_arena16[dst + e] = round_bf16(self.v_arena[src + e]);
             }
-            self.free_blocks.push(native);
+            // Demotion of a *shared* block is copy-on-write by
+            // construction: this sequence walks away with a private
+            // rounded copy while the native block stays alive for its
+            // other readers (freed only when the last one lets go).
+            self.release_block(BlockRef {
+                index: native,
+                bf16: false,
+            });
             let demoted_ref = BlockRef {
                 index: b16,
                 bf16: true,
@@ -920,11 +1067,7 @@ impl<T: Scalar> KvCache<T> {
             let blk = self.seqs[seq].blocks.remove(0);
             self.seqs[seq].checks.remove(0);
             self.seqs[seq].start += self.block_rows;
-            if blk.bf16 {
-                self.free_blocks16.push(blk.index);
-            } else {
-                self.free_blocks.push(blk.index);
-            }
+            self.release_block(blk);
         }
     }
 
@@ -990,6 +1133,34 @@ impl<T: Scalar> KvCache<T> {
             state.checks.push(BlockCheck::zeroed(heads));
             if let KvFormat::Mixed { burst_blocks } = self.format {
                 outcome.demoted = self.demote_beyond_burst(seq, burst_blocks);
+            }
+        }
+        // Copy-on-write: appending must not mutate a block other owners
+        // (co-readers of a shared prefix, or the prefix registry) still
+        // read. Claim a private block in the same arena, copy the stored
+        // lanes bitwise — the block's reference checksum stays valid
+        // because the bits are identical — and drop one reference on the
+        // shared original.
+        {
+            let state = self.live(seq);
+            let bi = (state.len - state.start) / self.block_rows;
+            let target = state.blocks[bi];
+            if self.block_ref_count(target) > 1 {
+                let fresh = self.claim_block(target.bf16);
+                let (src, dst) = (target.index * block_elems, fresh * block_elems);
+                if target.bf16 {
+                    self.k_arena16.copy_within(src..src + block_elems, dst);
+                    self.v_arena16.copy_within(src..src + block_elems, dst);
+                } else {
+                    self.k_arena.copy_within(src..src + block_elems, dst);
+                    self.v_arena.copy_within(src..src + block_elems, dst);
+                }
+                self.release_block(target);
+                self.seqs[seq].blocks[bi] = BlockRef {
+                    index: fresh,
+                    bf16: target.bf16,
+                };
+                self.cow_copies += 1;
             }
         }
         let state = &self.seqs[seq];
@@ -1280,6 +1451,48 @@ impl<T: Scalar> KvCache<T> {
             }
         })
     }
+
+    /// One element of [`head_stream`](Self::head_stream) by retained
+    /// block index — the shared-block score builder's random-access view
+    /// (identical slicing, so scoring through it is scoring the same
+    /// lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired, or `bi`/`head` is out
+    /// of range.
+    pub(crate) fn head_block(&self, seq: usize, bi: usize, head: usize) -> HeadBlock<'_, T> {
+        assert!(head < self.heads, "head {head} out of {}", self.heads);
+        let state = self.live(seq);
+        let d = self.head_dim;
+        let block_elems = self.block_rows * self.width;
+        let (off, stride) = match self.layout {
+            KvLayout::TokenMajor => (head * d, self.width),
+            KvLayout::HeadMajor => (head * self.block_rows * d, d),
+        };
+        let blk = state.blocks[bi];
+        let first = state.start + bi * self.block_rows;
+        let rows = (state.len - first).min(self.block_rows);
+        let base = blk.index * block_elems + off;
+        let span = (rows - 1) * stride + d;
+        let data = if blk.bf16 {
+            HeadBlockData::Demoted {
+                k: &self.k_arena16[base..base + span],
+                v: &self.v_arena16[base..base + span],
+            }
+        } else {
+            HeadBlockData::Native {
+                k: &self.k_arena[base..base + span],
+                v: &self.v_arena[base..base + span],
+            }
+        };
+        HeadBlock {
+            first,
+            rows,
+            stride,
+            data,
+        }
+    }
 }
 
 /// One sequence's output from a [`DecodeBatch::step_all`] call.
@@ -1386,6 +1599,11 @@ struct PendingPrompt<T: Scalar> {
     /// damage, only the cache state needs recomputing. `q` and `output`
     /// are empty and no [`AdmittedPrompt`] is parked on completion.
     cache_only: bool,
+    /// Absolute position of prompt row 0 — non-zero only for suffixes
+    /// enqueued behind a shared prefix
+    /// ([`DecodeBatch::enqueue_shared`]), whose cached history already
+    /// holds `base` prefix rows when the first chunk runs.
+    base: usize,
 }
 
 /// Everything the engine tracks for one sequence slot beyond the cache
@@ -1461,6 +1679,137 @@ impl<T: Scalar> SequenceState<T> {
     }
 }
 
+/// A registered shared prefix: one prefilled copy of a common prompt
+/// prefix (a system prompt) whose cache blocks, reference checksums,
+/// `sumrow(V)` inputs, scored outputs and prompt-checksum totals serve
+/// **every** sequence enqueued behind it — the registry holds one block
+/// reference per block so the storage outlives any individual reader.
+#[derive(Clone, Debug)]
+struct SharedPrefix<T: Scalar> {
+    /// The prefix's cache blocks (registry-owned references).
+    blocks: Vec<BlockRef>,
+    /// Reference checksums parallel to `blocks`; readers adopt bitwise
+    /// copies on attach.
+    checks: Vec<BlockCheck>,
+    /// First retained position (non-zero when a sliding window evicted
+    /// leading prefix blocks during registration).
+    start: usize,
+    /// Prefix length in tokens.
+    rows: usize,
+    /// Per-(position, kv head) `sumrow(V)` inputs for positions
+    /// `0..rows` — computed once at registration, cloned to every
+    /// reader: one `sumrow(V)` serves all of them.
+    sumrows: Vec<f64>,
+    /// Original (pre-rounding) prefix K/V rows — the recovery-log seed
+    /// for readers with logging enabled.
+    k: Matrix<T>,
+    v: Matrix<T>,
+    /// The prefix prompt's scored outputs (`rows × q_dim`).
+    output: Matrix<f64>,
+    /// Prompt checksum totals over the prefix (per-chunk Kahan folds) —
+    /// seeded into every reader's running totals.
+    predicted: f64,
+    actual: f64,
+    /// FNV-1a hash of the prefix K/V token bits (registry lookup key).
+    token_hash: u64,
+    /// Sequences admitted behind this prefix so far (observability).
+    readers: usize,
+}
+
+/// Sort key of one tile candidate: `(physical block index, stored as
+/// BF16, first visible row, one-past-last visible row)`. Two readers
+/// with equal keys score the identical K rows, so their entries fuse
+/// into one tile.
+type TileKey = (usize, bool, usize, usize);
+
+/// One (sequence, kv head) pass's view of the step's shared scores:
+/// its `index` row (per retained block `(r0, r1, offset)`) plus the
+/// score arena the offsets point into.
+type SharedTiles<'a> = (&'a [(usize, usize, usize)], &'a [f64]);
+
+/// The decode step's shared-block score table plus every buffer needed
+/// to build it. Filled by [`DecodeBatch::build_shared_scores`] before
+/// the pass fork; the fused pass consumes the slices instead of
+/// re-sweeping the K panel once per reader. The struct lives on the
+/// engine so capacities persist across steps — the table is rebuilt
+/// every decode step, and per-step allocation (score arena, index rows)
+/// plus per-entry hashing measurably outweighed the batched sweep's
+/// bandwidth win before this was amortized. Lookups on both sides are
+/// plain array indexing. Contents are only meaningful for the step that
+/// built them (`active`).
+struct SharedScratch<T> {
+    /// One entry per (reader, shared block): key
+    /// `(block index, bf16, r0, r1)` identifies the physical block and
+    /// visible row range, payload is `(batch slot, retained-block
+    /// index)`. Sorted, so runs of equal key are tiles.
+    entries: Vec<(TileKey, u32, u32)>,
+    /// Row `batch_slot · kv_heads + kv_head`, indexed by retained-block
+    /// index `bi`: `(r0, r1, offset)` gives the visible row range scored
+    /// and the start of `group_size · (r1 − r0)` member-major score
+    /// entries in `scores`. Offset [`SHARED_NONE`] (or a row too short
+    /// to contain `bi`) means the block has no tile and keeps the GEMV
+    /// path.
+    index: Vec<Vec<(usize, usize, usize)>>,
+    /// Tile arena: `used` marks this step's live prefix; the tail is
+    /// stale capacity from earlier (larger) steps, never referenced
+    /// because offsets in `index` stay below `used`.
+    scores: Vec<f64>,
+    used: usize,
+    /// Batched K-panel sweeps this step (one per shared tile).
+    tiles: u64,
+    /// Whether this step produced any tiles.
+    active: bool,
+    /// Per-kv-head packed query panels, valid for `packed_readers` when
+    /// the matching `_ok` flag is set. In the hot case every tile shares
+    /// one reader set — all of a shared prefix's blocks — so packing
+    /// happens once per step per head, not once per block.
+    packed: Vec<Vec<T>>,
+    packed_wide: Vec<Vec<f64>>,
+    packed_ok: Vec<bool>,
+    packed_wide_ok: Vec<bool>,
+    packed_readers: Vec<u32>,
+}
+
+impl<T> Default for SharedScratch<T> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            index: Vec::new(),
+            scores: Vec::new(),
+            used: 0,
+            tiles: 0,
+            active: false,
+            packed: Vec::new(),
+            packed_wide: Vec::new(),
+            packed_ok: Vec::new(),
+            packed_wide_ok: Vec::new(),
+            packed_readers: Vec::new(),
+        }
+    }
+}
+
+/// Cloning an engine (the golden-twin pattern) starts the twin with
+/// cold scratch instead of duplicating up to a megabyte of step-local
+/// buffers that the next decode step would overwrite anyway.
+impl<T> Clone for SharedScratch<T> {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl<T> std::fmt::Debug for SharedScratch<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedScratch")
+            .field("tiles", &self.tiles)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sentinel offset marking "no shared tile for this block" in
+/// [`SharedScratch::index`].
+const SHARED_NONE: usize = usize::MAX;
+
 #[derive(Clone, Debug)]
 pub struct DecodeBatch<T: Scalar> {
     cfg: HeadTopology,
@@ -1494,6 +1843,22 @@ pub struct DecodeBatch<T: Scalar> {
     scrub_block: usize,
     /// Total blocks audited by the scrubber (bandwidth accounting).
     scrubbed_blocks: u64,
+    /// Registered shared prefixes by id (`None` = released).
+    prefixes: Vec<Option<SharedPrefix<T>>>,
+    /// Shared-block score tiles computed across all decode steps: each
+    /// tile is one K-panel sweep that served ≥ 2 readers
+    /// (observability; the k-GEMV path it replaces would have swept
+    /// once per reader).
+    shared_tiles: u64,
+    /// Whether decode steps batch the scoring of blocks shared by
+    /// several stepping sequences (one K-panel sweep for all readers).
+    /// On by default; the bench toggles it off to measure the k-GEMV
+    /// baseline. Off or on, outputs are bit-identical — the per-(query,
+    /// row) dot kernel is the same.
+    shared_scoring: bool,
+    /// Step-local shared-score table and its persistent build buffers
+    /// (see [`SharedScratch`]).
+    shared_scratch: SharedScratch<T>,
 }
 
 impl<T: Scalar> DecodeBatch<T> {
@@ -1587,6 +1952,10 @@ impl<T: Scalar> DecodeBatch<T> {
             scrub_seq: 0,
             scrub_block: 0,
             scrubbed_blocks: 0,
+            prefixes: Vec::new(),
+            shared_scoring: true,
+            shared_tiles: 0,
+            shared_scratch: SharedScratch::default(),
         }
     }
 
@@ -1610,6 +1979,28 @@ impl<T: Scalar> DecodeBatch<T> {
     pub fn set_prefill_chunk(&mut self, tokens: usize) {
         assert!(tokens > 0, "prefill chunk must be positive");
         self.prefill_chunk = tokens;
+    }
+
+    /// Whether decode steps score blocks shared by several stepping
+    /// sequences through one batched K-panel sweep.
+    pub fn shared_scoring(&self) -> bool {
+        self.shared_scoring
+    }
+
+    /// Toggles the shared-block batched scoring path. Outputs are
+    /// bit-identical either way (same per-(query, row) dot kernel);
+    /// turning it off forces the k-GEMV baseline the sharing bench
+    /// compares against.
+    pub fn set_shared_scoring(&mut self, on: bool) {
+        self.shared_scoring = on;
+    }
+
+    /// Shared-block score tiles computed so far: each tile is one
+    /// batched K-panel sweep that served at least two readers in the
+    /// same decode step (the k-GEMV path would have swept the panel
+    /// once per reader). Zero means the fast path never engaged.
+    pub fn shared_score_tiles(&self) -> u64 {
+        self.shared_tiles
     }
 
     /// Read-only view of the paged cache (serving metrics: arena size,
@@ -2078,6 +2469,7 @@ impl<T: Scalar> DecodeBatch<T> {
             predicted: 0.0,
             actual: 0.0,
             cache_only: true,
+            base: 0,
         });
         Ok(())
     }
@@ -2189,7 +2581,234 @@ impl<T: Scalar> DecodeBatch<T> {
             predicted: 0.0,
             actual: 0.0,
             cache_only: false,
+            base: 0,
         });
+        seq
+    }
+
+    /// FNV-1a hash of a prompt prefix's K/V token bits (shape included)
+    /// — the content key [`find_prefix`](Self::find_prefix) matches
+    /// registered prefixes by.
+    pub fn prefix_token_hash(k: &Matrix<T>, v: &Matrix<T>) -> u64 {
+        fn fold(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fold(&mut h, k.rows() as u64);
+        fold(&mut h, k.cols() as u64);
+        for m in [k, v] {
+            for i in 0..m.rows() {
+                for x in m.row(i) {
+                    fold(&mut h, x.to_f64().to_bits());
+                }
+            }
+        }
+        h
+    }
+
+    /// The registered, unreleased prefix whose token hash equals `hash`,
+    /// if any (first match in registration order).
+    pub fn find_prefix(&self, hash: u64) -> Option<usize> {
+        self.prefixes
+            .iter()
+            .position(|p| p.as_ref().is_some_and(|p| p.token_hash == hash))
+    }
+
+    /// Registers a shared prompt prefix: the prefix is prefilled **once**
+    /// through the normal chunked-admission machinery (checked passes,
+    /// checksum folds, demotion/eviction maintenance — so the cached
+    /// bits are exactly what an unshared admission of the same rows
+    /// would produce at the same chunk schedule), then its blocks,
+    /// reference checksums, `sumrow(V)` inputs, outputs and checksum
+    /// totals move into the prefix registry. Returns the prefix id for
+    /// [`enqueue_shared`](Self::enqueue_shared).
+    ///
+    /// The registry owns one reference per block; sequences admitted
+    /// behind the prefix take additional references, and the blocks
+    /// return to the free lists only when the registry
+    /// ([`release_prefix`](Self::release_prefix)) **and** every reader
+    /// have let go.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an empty prefix.
+    pub fn register_prefix(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
+        assert!(k.rows() > 0, "empty prefix");
+        let seq = self.enqueue(q, k, v);
+        while self.is_pending(seq) {
+            self.advance_pending(self.prefill_chunk, Some(&[seq]));
+        }
+        let adm = self
+            .take_admitted(seq)
+            .expect("registration drains the prefix prompt");
+        let sumrows = core::mem::take(&mut self.seqs[seq].sumrows);
+        let (blocks, checks, start) = self.cache.detach_into_registry(seq);
+        self.seqs[seq] = SequenceState::fresh();
+        self.prefixes.push(Some(SharedPrefix {
+            blocks,
+            checks,
+            start,
+            rows: k.rows(),
+            sumrows,
+            k: k.clone(),
+            v: v.clone(),
+            output: adm.output,
+            predicted: adm.predicted,
+            actual: adm.actual,
+            token_hash: Self::prefix_token_hash(k, v),
+            readers: 0,
+        }));
+        self.prefixes.len() - 1
+    }
+
+    /// Releases the registry's references on prefix `id`. Live readers
+    /// keep theirs — each block returns to its free list when its last
+    /// reader evicts, quarantines or retires. The id becomes invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already released.
+    pub fn release_prefix(&mut self, id: usize) {
+        let p = self.prefixes[id].take().expect("prefix already released");
+        for &blk in &p.blocks {
+            self.cache.release_block(blk);
+        }
+    }
+
+    /// Registered prefix `id`'s length in tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or released.
+    pub fn prefix_rows(&self, id: usize) -> usize {
+        self.prefixes[id].as_ref().expect("released prefix").rows
+    }
+
+    /// Registered prefix `id`'s scored prompt outputs (`rows × q_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or released.
+    pub fn prefix_output(&self, id: usize) -> &Matrix<f64> {
+        &self.prefixes[id].as_ref().expect("released prefix").output
+    }
+
+    /// Registered prefix `id`'s cache blocks (registry-owned refs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or released.
+    pub fn prefix_blocks(&self, id: usize) -> &[BlockRef] {
+        &self.prefixes[id].as_ref().expect("released prefix").blocks
+    }
+
+    /// Sequences admitted behind prefix `id` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or released.
+    pub fn prefix_readers(&self, id: usize) -> usize {
+        self.prefixes[id].as_ref().expect("released prefix").readers
+    }
+
+    /// Ids of all registered, unreleased prefixes.
+    pub fn prefix_ids(&self) -> Vec<usize> {
+        (0..self.prefixes.len())
+            .filter(|&i| self.prefixes[i].is_some())
+            .collect()
+    }
+
+    /// Enqueues a prompt **behind a registered shared prefix**: the new
+    /// sequence adopts the prefix's cache blocks (one new reference
+    /// each; zero K/V bytes copied), its reference checksums, `sumrow`
+    /// inputs and checksum totals, then stages only the `suffix` rows
+    /// for chunked prefill — so admitting `k` sequences with an
+    /// `L`-token common prefix costs O(L + k·suffix) prefill work and
+    /// blocks, not O(k·L).
+    ///
+    /// Everything downstream is bit-identical to an unshared
+    /// [`enqueue`](Self::enqueue) of `prefix ‖ suffix` whose chunk
+    /// schedule aligns a boundary at the prefix end (the prefix was
+    /// prefilled on exactly that schedule at registration): the adopted
+    /// blocks hold the same bits, appends past the prefix go to private
+    /// blocks (copy-on-write if the prefix ends mid-block), and the
+    /// suffix chunks score against the same history through the same
+    /// kernels. The parked [`AdmittedPrompt`] covers the **suffix**
+    /// rows; its checksum totals cover prefix + suffix. The prefix's
+    /// own outputs are at [`prefix_output`](Self::prefix_output).
+    ///
+    /// With the recovery log enabled the reader's log is seeded with the
+    /// prefix rows, so quarantine rebuilds the full history privately
+    /// (sharing is lost, bits are not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or released, or on suffix shape
+    /// mismatch (an empty suffix — zero rows — is allowed and admits
+    /// immediately).
+    pub fn enqueue_shared(
+        &mut self,
+        id: usize,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> usize {
+        assert_eq!(q.rows(), k.rows(), "suffix Q/K row count mismatch");
+        assert_eq!(k.rows(), v.rows(), "suffix K/V row count mismatch");
+        if q.rows() > 0 {
+            assert_eq!(q.cols(), self.cfg.q_dim(), "suffix Q width mismatch");
+            assert_eq!(k.cols(), self.cfg.kv_dim(), "suffix K width mismatch");
+            assert_eq!(v.cols(), self.cfg.kv_dim(), "suffix V width mismatch");
+        }
+        let q_dim = self.cfg.q_dim();
+        let p = self.prefixes[id].as_ref().expect("released prefix");
+        let (blocks, checks, start, rows) = (p.blocks.clone(), p.checks.clone(), p.start, p.rows);
+        let sumrows = p.sumrows.clone();
+        let (predicted, actual) = (p.predicted, p.actual);
+        let (log_k, log_v) = if self.recovery_log {
+            let width = self.cfg.kv_dim();
+            let mut lk = Vec::with_capacity(rows * width);
+            let mut lv = Vec::with_capacity(rows * width);
+            for i in 0..rows {
+                lk.extend_from_slice(p.k.row(i));
+                lv.extend_from_slice(p.v.row(i));
+            }
+            (lk, lv)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let seq = self.add_sequence();
+        self.cache.attach_shared(seq, &blocks, &checks, start, rows);
+        let state = &mut self.seqs[seq];
+        state.sumrows = sumrows;
+        state.totals = (predicted, actual);
+        state.prompt_tokens = rows;
+        state.log_k = log_k;
+        state.log_v = log_v;
+        if q.rows() == 0 {
+            state.ready = Some(AdmittedPrompt {
+                seq,
+                output: Matrix::zeros(0, q_dim),
+                predicted,
+                actual,
+            });
+        } else {
+            state.pending = Some(PendingPrompt {
+                q: q.clone(),
+                k: k.clone(),
+                v: v.clone(),
+                next: 0,
+                output: Matrix::zeros(q.rows(), q_dim),
+                predicted,
+                actual,
+                cache_only: false,
+                base: rows,
+            });
+        }
+        self.prefixes[id].as_mut().expect("checked above").readers += 1;
         seq
     }
 
@@ -2234,6 +2853,28 @@ impl<T: Scalar> DecodeBatch<T> {
     /// before decoding, interleaving admission with decode.
     pub fn prefill_step(&mut self) -> usize {
         self.advance_pending(self.prefill_chunk, None)
+    }
+
+    /// Advances only the listed sequences' pending prompts by one
+    /// bounded chunk each (ids without a pending prompt are skipped).
+    /// The serving scheduler's handle for budgeted admission: it picks
+    /// which prompts advance under its prefill share and spends every
+    /// remaining budget token on [`step_decode`](Self::step_decode).
+    /// Returns the prompt tokens processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn prefill_step_for(&mut self, seqs: &[usize]) -> usize {
+        let ids: Vec<usize> = seqs
+            .iter()
+            .copied()
+            .filter(|&s| self.seqs[s].pending.is_some())
+            .collect();
+        if ids.is_empty() {
+            return 0;
+        }
+        self.advance_pending(self.prefill_chunk, Some(&ids))
     }
 
     /// Admits a batch of prompts under the fused checksum: every prompt's
@@ -2323,13 +2964,16 @@ impl<T: Scalar> DecodeBatch<T> {
             let p0 = pend.next;
             let p1 = p0.saturating_add(chunk).min(pend.k.rows());
             let cache_only = pend.cache_only;
+            // Prompt rows are suffix-relative; `base` shifts them to
+            // absolute positions (non-zero behind a shared prefix).
+            let base = pend.base;
             for i in p0..p1 {
                 // Anchor eviction at the chunk's first query: its pass
                 // has not run yet and may attend below the newest row's
                 // window. (Cache-only requeues have no outstanding pass,
                 // but keep the same anchor so the eviction/demotion
                 // schedule replays the original admission exactly.)
-                self.append_token_anchored(seq, pend.k.row(i), pend.v.row(i), p0);
+                self.append_token_anchored(seq, pend.k.row(i), pend.v.row(i), base + p0);
             }
             self.seqs[seq].pending = Some(pend);
             self.seqs[seq].prompt_tokens += p1 - p0;
@@ -2369,8 +3013,9 @@ impl<T: Scalar> DecodeBatch<T> {
                     seq,
                     g,
                     &pend.q.row(p)[cols.clone()],
-                    p,
+                    pend.base + p,
                     true,
+                    None,
                     &mut scores,
                 ));
             }
@@ -2466,6 +3111,32 @@ impl<T: Scalar> DecodeBatch<T> {
         ks: &Matrix<T>,
         vs: &Matrix<T>,
     ) -> Vec<DecodeStepOutput> {
+        // Interleave chunked admission with decode: every step advances
+        // pending prompts by one bounded chunk before the decode passes,
+        // so long prompts admit without ever stalling the batch. A no-op
+        // when nothing is pending (the PR-3-pinned path).
+        self.prefill_step();
+        self.step_decode(seq_ids, qs, ks, vs)
+    }
+
+    /// [`step_all`](Self::step_all) without the built-in prefill chunk:
+    /// exactly the listed sequences decode and every pending prompt is
+    /// left untouched. The serving scheduler pairs this with
+    /// [`prefill_step_for`](Self::prefill_step_for) to split one step's
+    /// token budget between admission and decode itself instead of
+    /// letting every pending prompt advance unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, out-of-range, retired, or duplicate
+    /// sequence ids.
+    pub fn step_decode(
+        &mut self,
+        seq_ids: &[usize],
+        qs: &Matrix<T>,
+        ks: &Matrix<T>,
+        vs: &Matrix<T>,
+    ) -> Vec<DecodeStepOutput> {
         let states = self.run_passes(seq_ids, qs, ks, vs, true);
         let h = self.cfg.query_heads;
         let d = self.cfg.head.head_dim();
@@ -2515,6 +3186,7 @@ impl<T: Scalar> DecodeBatch<T> {
         ks: &Matrix<T>,
         vs: &Matrix<T>,
     ) -> Vec<Vec<f64>> {
+        self.prefill_step();
         let states = self.run_passes(seq_ids, qs, ks, vs, false);
         for &seq in seq_ids {
             self.seqs[seq].unchecked_steps += 1;
@@ -2567,16 +3239,20 @@ impl<T: Scalar> DecodeBatch<T> {
             );
         }
 
-        // Interleave chunked admission with decode: every step advances
-        // pending prompts by one bounded chunk before the decode passes,
-        // so long prompts admit without ever stalling the batch. A no-op
-        // when nothing is pending (the PR-3-pinned path).
-        self.prefill_step();
-
         // Phase 1 (serial, cheap): append every new token.
         for (i, &seq) in seq_ids.iter().enumerate() {
             self.append_token(seq, ks.row(i), vs.row(i));
         }
+
+        // Shared-block batched scoring: when several stepping sequences
+        // read one physical block (a shared prefix), score it once per
+        // (block, kv head) for all readers — the K panel streams from
+        // DRAM once instead of once per reader. Built serially before
+        // the fork; the passes consume the precomputed slices.
+        let mut scratch = std::mem::take(&mut self.shared_scratch);
+        self.build_shared_scores(seq_ids, qs, &mut scratch);
+        self.shared_tiles += scratch.tiles;
+        let shared = scratch.active.then_some(&scratch);
 
         // Phase 2: one fork over all sequence×kv_head group passes. Each
         // unit owns one kv head's contiguous K/V stream and computes all
@@ -2597,6 +3273,12 @@ impl<T: Scalar> DecodeBatch<T> {
             let seq = seq_ids[i];
             // A group's query heads are contiguous in the packed Q row.
             let cols = self.cfg.group_q_cols(g);
+            // This pass's slice of the shared-score table: one flat-row
+            // lookup here, then plain `bi` indexing per block inside.
+            let tiles = shared.and_then(|t| {
+                let row = t.index[flat].as_slice();
+                (!row.is_empty()).then_some((row, t.scores.as_slice()))
+            });
             let mut scores = Vec::new();
             self.fused_group_pass(
                 seq,
@@ -2604,6 +3286,7 @@ impl<T: Scalar> DecodeBatch<T> {
                 &qs.row(i)[cols],
                 self.cache.seq_len(seq) - 1,
                 checked,
+                tiles,
                 &mut scores,
             )
         };
@@ -2613,7 +3296,196 @@ impl<T: Scalar> DecodeBatch<T> {
         } else {
             (0..work).map(pass).collect()
         };
+        self.shared_scratch = scratch;
         groups.into_iter().flatten().collect()
+    }
+
+    /// Builds the decode step's shared-block score table: for every
+    /// physical block read by **two or more** of the stepping sequences
+    /// at the same visible row range, all readers' per-member score
+    /// rows are computed in one K-panel sweep
+    /// ([`ops::dot_then_scale_rows_multi_into`] — rows outer, queries
+    /// inner, so each K row is loaded from DRAM once and reused
+    /// register/L1-hot across all `k · group_size` queries: the
+    /// (k·gs × d)·(dᵀ × rows) matmul realized with the same
+    /// per-(query, row) [`ops::dot_f64`] microkernel the GEMV path uses,
+    /// hence bit-identical scores). Leaves `s.active` false when sharing
+    /// is off or no block qualifies.
+    ///
+    /// The table is rebuilt every step, so the builder stays strictly
+    /// O(readers · blocks) with no hashing and (in steady state) no
+    /// allocation: reader×block pairs are sort-grouped by (physical
+    /// block, range) in the scratch's persistent buffers, tiles land
+    /// directly in the score arena, and the packed query panel —
+    /// identical for every tile with the same reader set, i.e. all of a
+    /// shared prefix's blocks — is reused across tiles instead of
+    /// repacked per block (at `k = 32` readers that repacking alone
+    /// outweighed the batched sweep's saving, and per-step
+    /// allocation + hashing cost as much as the k-GEMV work replaced).
+    fn build_shared_scores(&self, seq_ids: &[usize], qs: &Matrix<T>, s: &mut SharedScratch<T>) {
+        s.tiles = 0;
+        s.used = 0;
+        s.active = false;
+        if !self.shared_scoring {
+            return;
+        }
+        let kv = self.cfg.kv_heads;
+        let gs = self.cfg.group_size();
+        let d = self.cfg.head.head_dim();
+        let scale = self.cfg.head.scale();
+        let block_rows = self.cache.block_rows();
+        // Reset the step-local views: index rows empty (capacity kept),
+        // packed panels invalid (queries change every step).
+        for row in s.index.iter_mut() {
+            row.clear();
+        }
+        if s.index.len() < seq_ids.len() * kv {
+            s.index.resize_with(seq_ids.len() * kv, Vec::new);
+        }
+        if s.packed.len() < kv {
+            s.packed.resize_with(kv, Vec::new);
+            s.packed_wide.resize_with(kv, Vec::new);
+            s.packed_ok.resize(kv, false);
+            s.packed_wide_ok.resize(kv, false);
+        }
+        s.packed_readers.clear();
+        // One entry per (reader, shared block): key = (physical block,
+        // visible range), payload = (batch slot, retained-block index).
+        // Readers at different ranges (sliding windows cutting a block
+        // differently) keep the GEMV path — correctness first, the
+        // prefix-sharing hot case (retain-all decode: every reader sees
+        // the full block) always batches.
+        s.entries.clear();
+        for (i, &seq) in seq_ids.iter().enumerate() {
+            let blocks = self.cache.seq_blocks(seq);
+            if !blocks.iter().any(|&b| self.cache.block_ref_count(b) > 1) {
+                continue;
+            }
+            let start = self.cache.first_retained(seq);
+            let last_pos = self.cache.seq_len(seq) - 1;
+            let lo = match self.mask_window {
+                Some(w) => (last_pos + 1).saturating_sub(w),
+                None => 0,
+            };
+            for (bi, &blk) in blocks.iter().enumerate() {
+                if self.cache.block_ref_count(blk) < 2 {
+                    continue;
+                }
+                let first = start + bi * block_rows;
+                if first > last_pos {
+                    break;
+                }
+                let rows = (last_pos + 1 - first).min(block_rows);
+                let r1 = rows;
+                let r0 = lo.saturating_sub(first).min(r1);
+                if r0 == r1 {
+                    continue;
+                }
+                s.entries
+                    .push(((blk.index, blk.bf16, r0, r1), i as u32, bi as u32));
+            }
+        }
+        if s.entries.is_empty() {
+            return;
+        }
+        // Runs of equal key are tiles; within a run readers stay in
+        // batch order, which is also the qbuf packing order below.
+        s.entries.sort_unstable();
+        let mut run = 0;
+        while run < s.entries.len() {
+            let key = s.entries[run].0;
+            let mut end = run + 1;
+            while end < s.entries.len() && s.entries[end].0 == key {
+                end += 1;
+            }
+            let span = run..end;
+            run = end;
+            if span.len() < 2 {
+                continue;
+            }
+            let readers_match = s.packed_readers.len() == span.len()
+                && s.packed_readers
+                    .iter()
+                    .zip(&s.entries[span.clone()])
+                    .all(|(&p, &(_, i, _))| p == i);
+            if !readers_match {
+                s.packed_readers.clear();
+                let (head, tail) = (&mut s.packed_readers, &s.entries[span.clone()]);
+                head.extend(tail.iter().map(|&(_, i, _)| i));
+                s.packed_ok.iter_mut().for_each(|v| *v = false);
+                s.packed_wide_ok.iter_mut().for_each(|v| *v = false);
+            }
+            let (_, bf16, r0, r1) = key;
+            let rows = r1 - r0;
+            // One representative reader locates the panel; all readers
+            // share the physical storage by construction.
+            let (_, i0, bi0) = s.entries[span.start];
+            let seq0 = seq_ids[i0 as usize];
+            for g in 0..kv {
+                let cols = self.cfg.group_q_cols(g);
+                let hb = self.cache.head_block(seq0, bi0 as usize, g);
+                let base = s.used;
+                s.used += span.len() * gs * rows;
+                // Grow-only arena: new capacity is zero-filled once,
+                // then every slot of the step's live prefix is
+                // overwritten by the sweeps below — later steps reuse
+                // the allocation with no memset.
+                if s.scores.len() < s.used {
+                    s.scores.resize(s.used, 0.0);
+                }
+                match hb.data {
+                    HeadBlockData::Native { k, .. } => {
+                        if !s.packed_ok[g] {
+                            s.packed[g].clear();
+                            for &(_, i, _) in &s.entries[span.clone()] {
+                                s.packed[g].extend_from_slice(&qs.row(i as usize)[cols.clone()]);
+                            }
+                            s.packed_ok[g] = true;
+                        }
+                        ops::dot_then_scale_rows_multi_into(
+                            &s.packed[g],
+                            d,
+                            &k[r0 * hb.stride..],
+                            hb.stride,
+                            rows,
+                            scale,
+                            &mut s.scores[base..s.used],
+                        );
+                    }
+                    HeadBlockData::Demoted { k, .. } => {
+                        if !s.packed_wide_ok[g] {
+                            s.packed_wide[g].clear();
+                            for &(_, i, _) in &s.entries[span.clone()] {
+                                s.packed_wide[g].extend(
+                                    qs.row(i as usize)[cols.clone()].iter().map(|x| x.to_f64()),
+                                );
+                            }
+                            s.packed_wide_ok[g] = true;
+                        }
+                        ops::dot_then_scale_rows_multi_bf16_into(
+                            &s.packed_wide[g],
+                            d,
+                            &k[r0 * hb.stride..],
+                            hb.stride,
+                            rows,
+                            scale,
+                            &mut s.scores[base..s.used],
+                        );
+                    }
+                }
+                debug_assert!(bf16 == matches!(hb.data, HeadBlockData::Demoted { .. }));
+                for (j, &(_, i, bi)) in s.entries[span.clone()].iter().enumerate() {
+                    let row = &mut s.index[i as usize * kv + g];
+                    let bi = bi as usize;
+                    if row.len() <= bi {
+                        row.resize(bi + 1, (0, 0, SHARED_NONE));
+                    }
+                    row[bi] = (r0, r1, base + j * gs * rows);
+                }
+                s.tiles += 1;
+            }
+        }
+        s.active = s.tiles > 0;
     }
 
     /// The fused Alg. 3 loop for one (sequence, **kv head**) group at
@@ -2628,18 +3500,25 @@ impl<T: Scalar> DecodeBatch<T> {
     /// `q_group` packs the group's query sub-rows member-major
     /// (`group_size · d` lanes). Each block is scored per member through
     /// the contiguous-stream [`ops::dot_then_scale_rows`] kernel (with
-    /// the head-major layout the K panel is one pure contiguous span),
-    /// then its scores and V rows fold through the member's online
+    /// the head-major layout the K panel is one pure contiguous span) —
+    /// unless `shared` carries this (sequence, kv head) pass's
+    /// shared-score row (per-block tile locations plus the step's score
+    /// arena): then the slice is consumed directly, skipping the
+    /// per-reader K sweep (same per-(query, row) dot kernel, same
+    /// bits). Scores and V rows then fold through the member's online
     /// recurrence — per member, exactly the arithmetic of the
     /// per-query-head PR-4 pass, so `group_size == 1` is bit-identical to
     /// it. The checksum lane reads the per-(position, kv head) `sumrow`,
-    /// shared by all members of the group. Decode passes use
+    /// shared by all members of the group — and, across sequences, the
+    /// same shared-prefix position's `sumrow` value serves every reader
+    /// (cloned at attach). Decode passes use
     /// `last_pos == seq_len − 1`; admitted prompt queries use their own
     /// position, which also applies the causal mask. Sliding-window
     /// masking is relative to `last_pos`, matching
     /// `DecodeSession::step_with_state`. `scores` is caller scratch,
     /// reused across blocks, members and queries. Returns the group's
     /// states in member (query-head) order.
+    #[allow(clippy::too_many_arguments)]
     fn fused_group_pass(
         &self,
         seq: usize,
@@ -2647,6 +3526,7 @@ impl<T: Scalar> DecodeBatch<T> {
         q_group: &[T],
         last_pos: usize,
         checked: bool,
+        shared: Option<SharedTiles<'_>>,
         scores: &mut Vec<f64>,
     ) -> Vec<HeadState> {
         let d = self.cfg.head.head_dim();
@@ -2684,7 +3564,7 @@ impl<T: Scalar> DecodeBatch<T> {
         let mut states: Vec<(OnlineSoftmax, Vec<f64>)> = (0..gs)
             .map(|_| (OnlineSoftmax::new(), vec![0.0f64; d + 1]))
             .collect();
-        for blk in self.cache.head_stream(seq, kv_head) {
+        for (bi, blk) in self.cache.head_stream(seq, kv_head).enumerate() {
             if blk.first > last_pos {
                 break;
             }
@@ -2693,35 +3573,71 @@ impl<T: Scalar> DecodeBatch<T> {
             if r0 == r1 {
                 continue;
             }
+            // Shared-block fast path: another reader's builder already
+            // scored this physical block for our queries — consume the
+            // member's precomputed score row instead of re-streaming K.
+            let tile = shared.and_then(|(row, arena)| {
+                row.get(bi)
+                    .filter(|&&(tr0, tr1, off)| off != SHARED_NONE && (tr0, tr1) == (r0, r1))
+                    .map(|&(_, _, off)| &arena[off..off + gs * (r1 - r0)])
+            });
             match blk.data {
                 HeadBlockData::Native { k, v } => {
                     for (m, (os, lanes)) in states.iter_mut().enumerate() {
-                        ops::dot_then_scale_rows(
-                            &q_group[m * d..(m + 1) * d],
-                            &k[r0 * blk.stride..],
-                            blk.stride,
-                            r1 - r0,
-                            scale,
-                            scores,
-                        );
+                        let member_scores: &[f64] = if let Some(tile) = tile {
+                            &tile[m * (r1 - r0)..(m + 1) * (r1 - r0)]
+                        } else {
+                            ops::dot_then_scale_rows(
+                                &q_group[m * d..(m + 1) * d],
+                                &k[r0 * blk.stride..],
+                                blk.stride,
+                                r1 - r0,
+                                scale,
+                                scores,
+                            );
+                            scores
+                        };
                         accumulate_block(
-                            os, lanes, scores, v, blk.stride, r0, blk.first, sumrows, kv, kv_head,
+                            os,
+                            lanes,
+                            member_scores,
+                            v,
+                            blk.stride,
+                            r0,
+                            blk.first,
+                            sumrows,
+                            kv,
+                            kv_head,
                             checked,
                         );
                     }
                 }
                 HeadBlockData::Demoted { k, v } => {
                     for (m, (os, lanes)) in states.iter_mut().enumerate() {
-                        ops::dot_then_scale_rows_bf16(
-                            &q_wide[m * d..(m + 1) * d],
-                            &k[r0 * blk.stride..],
-                            blk.stride,
-                            r1 - r0,
-                            scale,
-                            scores,
-                        );
+                        let member_scores: &[f64] = if let Some(tile) = tile {
+                            &tile[m * (r1 - r0)..(m + 1) * (r1 - r0)]
+                        } else {
+                            ops::dot_then_scale_rows_bf16(
+                                &q_wide[m * d..(m + 1) * d],
+                                &k[r0 * blk.stride..],
+                                blk.stride,
+                                r1 - r0,
+                                scale,
+                                scores,
+                            );
+                            scores
+                        };
                         accumulate_block(
-                            os, lanes, scores, v, blk.stride, r0, blk.first, sumrows, kv, kv_head,
+                            os,
+                            lanes,
+                            member_scores,
+                            v,
+                            blk.stride,
+                            r0,
+                            blk.first,
+                            sumrows,
+                            kv,
+                            kv_head,
                             checked,
                         );
                     }
@@ -3844,5 +4760,370 @@ mod tests {
         );
         e.retire(s);
         assert_eq!(e.cache().live_kv_bytes(), 0);
+    }
+
+    /// Vertical concatenation (prefix ‖ suffix) for unshared replays.
+    fn vcat(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        let mut data = Vec::with_capacity((a.rows() + b.rows()) * a.cols());
+        for i in 0..a.rows() {
+            data.extend_from_slice(a.row(i));
+        }
+        for i in 0..b.rows() {
+            data.extend_from_slice(b.row(i));
+        }
+        Matrix::from_vec(a.rows() + b.rows(), a.cols(), data)
+    }
+
+    #[test]
+    fn shared_admission_is_bit_identical_to_unshared_replay() {
+        let topo = GqaConfig::new(4, 2, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo,
+                4,
+                KvLayout::HeadMajor,
+                KvFormat::F64,
+                EvictionPolicy::RetainAll,
+            );
+            // Prefix length (8) is a multiple of the chunk, so the
+            // unshared replay's chunk schedule has a boundary exactly at
+            // the prefix end — the alignment enqueue_shared guarantees.
+            e.set_prefill_chunk(4);
+            e
+        };
+        let (mut shared, mut plain) = (mk(), mk());
+        let (pq, pk, pv) = (rand(8, qd, 10), rand(8, kd, 11), rand(8, kd, 12));
+        let id = shared.register_prefix(&pq, &pk, &pv);
+        assert_eq!(shared.prefix_rows(id), 8);
+
+        // Three readers: short suffix, suffix spilling past one chunk,
+        // and an empty suffix (prefix-only admission).
+        let suffix_lens = [3usize, 5, 0];
+        let (mut sids, mut pids) = (Vec::new(), Vec::new());
+        for (i, &n) in suffix_lens.iter().enumerate() {
+            let i = i as u64;
+            let (sq, sk, sv) = (
+                rand(n, qd, 20 + i),
+                rand(n, kd, 30 + i),
+                rand(n, kd, 40 + i),
+            );
+            sids.push(shared.enqueue_shared(id, &sq, &sk, &sv));
+            pids.push(plain.enqueue(&vcat(&pq, &sq), &vcat(&pk, &sk), &vcat(&pv, &sv)));
+        }
+        assert_eq!(shared.prefix_readers(id), 3);
+        loop {
+            let (a, b) = (shared.prefill_step(), plain.prefill_step());
+            if a == 0 && b == 0 {
+                break;
+            }
+        }
+
+        // Admitted suffix rows and checksum totals match the unshared
+        // replay's tail bitwise; the prefix rows were scored once, at
+        // registration.
+        for ((&s, &p), &n) in sids.iter().zip(&pids).zip(&suffix_lens) {
+            let sa = shared.take_admitted(s).expect("shared admitted");
+            let pa = plain.take_admitted(p).expect("plain admitted");
+            assert_eq!(sa.output.rows(), n, "shared admission covers the suffix");
+            for r in 0..n {
+                for (c, (x, y)) in sa
+                    .output
+                    .row(r)
+                    .iter()
+                    .zip(pa.output.row(8 + r))
+                    .enumerate()
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "suffix row {r} lane {c}");
+                }
+            }
+            assert_eq!(sa.predicted.to_bits(), pa.predicted.to_bits());
+            assert_eq!(sa.actual.to_bits(), pa.actual.to_bits());
+        }
+        // The prefix's physical blocks are counted once, not per reader.
+        assert!(
+            shared.cache().live_unique_blocks() < plain.cache().live_unique_blocks(),
+            "sharing must hold fewer unique blocks ({} vs {})",
+            shared.cache().live_unique_blocks(),
+            plain.cache().live_unique_blocks()
+        );
+
+        // Decode stays lockstep bit for bit, with the batched
+        // shared-block path engaged on the shared side only.
+        for t in 0..6u64 {
+            let qs = rand(3, qd, 900 + t);
+            let ks = rand(3, kd, 910 + t);
+            let vs = rand(3, kd, 920 + t);
+            let oa = shared.step_all(&sids, &qs, &ks, &vs);
+            let ob = plain.step_all(&pids, &qs, &ks, &vs);
+            for (i, (a, b)) in oa.iter().zip(&ob).enumerate() {
+                assert_eq!(a.output, b.output, "step {t} seq {i}");
+                assert!(a.residual().abs() < 1e-9);
+            }
+        }
+        assert!(shared.shared_score_tiles() > 0, "batched path engaged");
+        assert_eq!(plain.shared_score_tiles(), 0, "nothing shared to batch");
+        for &s in &sids {
+            assert!(shared.global_residual(s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_scoring_toggle_is_bitwise_invariant() {
+        let topo = GqaConfig::new(4, 2, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo,
+                4,
+                KvLayout::HeadMajor,
+                KvFormat::F64,
+                EvictionPolicy::RetainAll,
+            );
+            e.set_prefill_chunk(4);
+            e
+        };
+        let (mut on, mut off) = (mk(), mk());
+        off.set_shared_scoring(false);
+        assert!(on.shared_scoring() && !off.shared_scoring());
+        let (pq, pk, pv) = (rand(8, qd, 70), rand(8, kd, 71), rand(8, kd, 72));
+        let mut ids = Vec::new();
+        for e in [&mut on, &mut off] {
+            let id = e.register_prefix(&pq, &pk, &pv);
+            let mut seqs = Vec::new();
+            for i in 0..4u64 {
+                let n = 1 + i as usize;
+                let (sq, sk, sv) = (
+                    rand(n, qd, 80 + i),
+                    rand(n, kd, 90 + i),
+                    rand(n, kd, 100 + i),
+                );
+                seqs.push(e.enqueue_shared(id, &sq, &sk, &sv));
+            }
+            while e.prefill_step() > 0 {}
+            ids.push(seqs);
+        }
+        assert_eq!(ids[0], ids[1]);
+        for t in 0..5u64 {
+            let qs = rand(4, qd, 1900 + t);
+            let ks = rand(4, kd, 1910 + t);
+            let vs = rand(4, kd, 1920 + t);
+            let oa = on.step_all(&ids[0], &qs, &ks, &vs);
+            let ob = off.step_all(&ids[1], &qs, &ks, &vs);
+            for (i, (a, b)) in oa.iter().zip(&ob).enumerate() {
+                assert_eq!(a.output, b.output, "step {t} seq {i}");
+            }
+        }
+        assert!(on.shared_score_tiles() > 0, "fast path on");
+        assert_eq!(off.shared_score_tiles(), 0, "forced k-GEMV baseline");
+    }
+
+    #[test]
+    fn refcounts_and_cow_track_shared_block_ownership() {
+        let topo = GqaConfig::new(2, 2, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let mut e = DecodeBatch::<f64>::with_policy(
+            topo,
+            4,
+            KvLayout::HeadMajor,
+            KvFormat::F64,
+            EvictionPolicy::RetainAll,
+        );
+        e.set_prefill_chunk(3);
+        // 6-row prefix over 4-row blocks: one full block + a partial
+        // tail the readers must copy-on-write before appending into.
+        let id = e.register_prefix(&rand(6, qd, 1), &rand(6, kd, 2), &rand(6, kd, 3));
+        let blocks = e.prefix_blocks(id).to_vec();
+        assert_eq!(blocks.len(), 2);
+        for &b in &blocks {
+            assert_eq!(e.cache().block_ref_count(b), 1, "registry's own ref");
+        }
+        let s0 = e.enqueue_shared(id, &rand(3, qd, 4), &rand(3, kd, 5), &rand(3, kd, 6));
+        let s1 = e.enqueue_shared(id, &rand(2, qd, 7), &rand(2, kd, 8), &rand(2, kd, 9));
+        for &b in &blocks {
+            assert_eq!(e.cache().block_ref_count(b), 3, "registry + two readers");
+        }
+        assert_eq!(e.cache().cow_copies(), 0);
+        while e.prefill_step() > 0 {}
+
+        // Each reader's first suffix append hit the shared partial tail
+        // and diverged onto a private copy; the full block stays shared.
+        assert_eq!(e.cache().cow_copies(), 2);
+        assert_eq!(e.cache().block_ref_count(blocks[0]), 3);
+        assert_eq!(
+            e.cache().block_ref_count(blocks[1]),
+            1,
+            "tail kept only the registry's ref after both readers diverged"
+        );
+        // Unique storage: shared full block + registry tail + s0's two
+        // private blocks (rows 4..9) + s1's one (rows 4..8).
+        assert_eq!(e.cache().live_unique_blocks(), 5);
+
+        e.retire(s0);
+        assert_eq!(e.cache().block_ref_count(blocks[0]), 2);
+        e.release_prefix(id);
+        assert_eq!(e.cache().block_ref_count(blocks[0]), 1, "s1 still reads it");
+        assert_eq!(e.cache().block_ref_count(blocks[1]), 0, "tail freed");
+        e.retire(s1);
+        assert_eq!(
+            e.cache().live_unique_blocks(),
+            0,
+            "no leaks, no double frees"
+        );
+    }
+
+    #[test]
+    fn prefix_registry_finds_by_token_hash_and_releases() {
+        let topo = GqaConfig::new(2, 1, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let mut e = DecodeBatch::<f64>::new(topo, 4);
+        let (q0, k0, v0) = (rand(4, qd, 11), rand(4, kd, 12), rand(4, kd, 13));
+        let (q1, k1, v1) = (rand(4, qd, 21), rand(4, kd, 22), rand(4, kd, 23));
+        let id0 = e.register_prefix(&q0, &k0, &v0);
+        let id1 = e.register_prefix(&q1, &k1, &v1);
+        let h0 = DecodeBatch::<f64>::prefix_token_hash(&k0, &v0);
+        let h1 = DecodeBatch::<f64>::prefix_token_hash(&k1, &v1);
+        assert_ne!(h0, h1);
+        assert_eq!(e.find_prefix(h0), Some(id0));
+        assert_eq!(e.find_prefix(h1), Some(id1));
+        assert_eq!(e.prefix_ids(), vec![id0, id1]);
+        assert_eq!(e.prefix_output(id0).rows(), 4);
+        e.release_prefix(id0);
+        assert_eq!(e.find_prefix(h0), None);
+        assert_eq!(e.prefix_ids(), vec![id1]);
+        assert_eq!(
+            e.cache().live_unique_blocks(),
+            1,
+            "only id1's block remains"
+        );
+    }
+
+    #[test]
+    fn shared_admission_composes_with_mixed_and_sliding_window() {
+        let topo = GqaConfig::new(4, 2, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        for (format, eviction) in [
+            (
+                KvFormat::Mixed { burst_blocks: 1 },
+                EvictionPolicy::RetainAll,
+            ),
+            (
+                KvFormat::F64,
+                EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            ),
+            (
+                KvFormat::Mixed { burst_blocks: 1 },
+                EvictionPolicy::SlidingWindow { window_blocks: 3 },
+            ),
+        ] {
+            let mk = || {
+                let mut e =
+                    DecodeBatch::<f64>::with_policy(topo, 4, KvLayout::HeadMajor, format, eviction);
+                e.set_prefill_chunk(4);
+                e
+            };
+            let (mut shared, mut plain) = (mk(), mk());
+            let (pq, pk, pv) = (rand(8, qd, 50), rand(8, kd, 51), rand(8, kd, 52));
+            let id = shared.register_prefix(&pq, &pk, &pv);
+            let (mut sids, mut pids) = (Vec::new(), Vec::new());
+            for i in 0..2u64 {
+                let n = 3 + 2 * i as usize;
+                let (sq, sk, sv) = (
+                    rand(n, qd, 60 + i),
+                    rand(n, kd, 61 + i),
+                    rand(n, kd, 62 + i),
+                );
+                sids.push(shared.enqueue_shared(id, &sq, &sk, &sv));
+                pids.push(plain.enqueue(&vcat(&pq, &sq), &vcat(&pk, &sk), &vcat(&pv, &sv)));
+            }
+            loop {
+                let (a, b) = (shared.prefill_step(), plain.prefill_step());
+                if a == 0 && b == 0 {
+                    break;
+                }
+            }
+            for (&s, &p) in sids.iter().zip(&pids) {
+                let sa = shared.take_admitted(s).expect("shared admitted");
+                let pa = plain.take_admitted(p).expect("plain admitted");
+                let skip = pa.output.rows() - sa.output.rows();
+                for r in 0..sa.output.rows() {
+                    for (x, y) in sa.output.row(r).iter().zip(pa.output.row(skip + r)) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{format:?} {eviction:?} row {r}");
+                    }
+                }
+            }
+            // Long enough for demotion bursts and window evictions to
+            // fire on (CoW'd copies of) the shared prefix blocks.
+            for t in 0..10u64 {
+                let qs = rand(2, qd, 2900 + t);
+                let ks = rand(2, kd, 2910 + t);
+                let vs = rand(2, kd, 2920 + t);
+                let oa = shared.step_all(&sids, &qs, &ks, &vs);
+                let ob = plain.step_all(&pids, &qs, &ks, &vs);
+                for (i, (a, b)) in oa.iter().zip(&ob).enumerate() {
+                    assert_eq!(
+                        a.output, b.output,
+                        "{format:?} {eviction:?} step {t} seq {i}"
+                    );
+                }
+            }
+            for &s in &sids {
+                assert!(shared.audit(s, 1e-6).is_empty(), "{format:?} {eviction:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_shared_block_repairs_in_place_for_all_readers() {
+        let topo = GqaConfig::new(2, 2, AttentionConfig::new(4)).topology();
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo,
+                4,
+                KvLayout::HeadMajor,
+                KvFormat::F64,
+                EvictionPolicy::RetainAll,
+            );
+            e.set_prefill_chunk(4);
+            e.enable_recovery_log();
+            let id = e.register_prefix(&rand(8, qd, 30), &rand(8, kd, 31), &rand(8, kd, 32));
+            let s0 = e.enqueue_shared(id, &rand(2, qd, 33), &rand(2, kd, 34), &rand(2, kd, 35));
+            let s1 = e.enqueue_shared(id, &rand(3, qd, 36), &rand(3, kd, 37), &rand(3, kd, 38));
+            while e.prefill_step() > 0 {}
+            e.take_admitted(s0);
+            e.take_admitted(s1);
+            (e, s0, s1)
+        };
+        let ((mut faulty, s0, s1), (mut twin, t0, t1)) = (mk(), mk());
+
+        // Flip a stored K bit inside the shared prefix block: ONE
+        // physical fault, visible through every reader's audit.
+        faulty.flip_storage_bit(s0, 1, 0, 2, true, 40);
+        assert!(!faulty.audit(s0, 1e-9).is_empty(), "reader 0 alarms");
+        assert!(!faulty.audit(s1, 1e-9).is_empty(), "reader 1 alarms");
+
+        // Repair through one reader: the in-place block rebuild from the
+        // recovery log fixes the storage every reader maps.
+        let report = faulty.audit_and_repair(s0, 1e-9);
+        assert!(report.rows_rewritten > 0, "log-backed block rewrite ran");
+        assert!(faulty.audit(s0, 1e-9).is_empty());
+        assert!(
+            faulty.audit(s1, 1e-9).is_empty(),
+            "one repair serves all readers"
+        );
+
+        // Both readers decode bit-identically to the never-faulted twin.
+        for t in 0..4u64 {
+            let qs = rand(2, qd, 3900 + t);
+            let ks = rand(2, kd, 3910 + t);
+            let vs = rand(2, kd, 3920 + t);
+            let oa = faulty.step_all(&[s0, s1], &qs, &ks, &vs);
+            let ob = twin.step_all(&[t0, t1], &qs, &ks, &vs);
+            for (a, b) in oa.iter().zip(&ob) {
+                assert_eq!(a.output, b.output, "step {t}");
+                assert!(a.residual().abs() < 1e-9);
+            }
+        }
     }
 }

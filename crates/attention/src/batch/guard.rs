@@ -485,6 +485,14 @@ impl DecodeBatch<f64> {
     /// signalling the caller to [`quarantine`](Self::quarantine) the
     /// sequence instead.
     ///
+    /// Repairs write into the *physical* block, so a block shared
+    /// through the prefix registry repairs **exactly once for all
+    /// readers**: a poisoned shared block alarms every reader's audit,
+    /// one repair through any single reader restores it, and every
+    /// other reader's next audit is clean (property-tested). Repair
+    /// never triggers copy-on-write — the restored bits are the bits
+    /// every reader expects, unlike a demotion's rounding.
+    ///
     /// # Panics
     ///
     /// Panics if `seq` is out of range or retired.

@@ -564,8 +564,7 @@ mod tests {
     fn autotuned_policy_meets_the_slo_at_every_load_point() {
         for slo in [1usize, 2, 4, 7] {
             for (batch, prefill) in [(1usize, 5usize), (2, 10), (4, 10), (3, 22)] {
-                let mut e =
-                    engine(gqa(4, 2, 4), KvFormat::F64, EvictionPolicy::RetainAll, true);
+                let mut e = engine(gqa(4, 2, 4), KvFormat::F64, EvictionPolicy::RetainAll, true);
                 let ids = seed(&mut e, batch, prefill);
                 let victim = ids[batch - 1];
                 e.flip_storage_bit(victim, prefill - 1, 1, 2, true, 61);

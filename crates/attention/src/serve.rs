@@ -8,21 +8,33 @@
 //! * a **request queue** with arrival timestamps (step-indexed, so every
 //!   schedule is deterministic) and tenant/priority classes;
 //! * a **step-driven scheduler** that packs the batch under a per-step
-//!   token budget, split between chunked-prefill admission and decode,
-//!   with deficit-fair tenant selection and load shedding when the queue
-//!   exceeds its bound;
+//!   token budget: chunked-prefill admission advances only under its
+//!   budget share ([`DecodeBatch::prefill_step_for`]) while decode
+//!   rides every remaining token of the same step
+//!   ([`DecodeBatch::step_decode`]) — pending chunks never stall the
+//!   decode batch — with deficit-fair tenant selection and load
+//!   shedding when the queue exceeds its bound;
+//! * **shared system-prompt prefixes**: requests naming the same
+//!   `(prefix_seed, prefix_tokens)` pair share the prefix's KV blocks
+//!   through the engine's copy-on-write prefix registry — the first
+//!   reader registers (one O(L) prefill), every later reader admits in
+//!   O(suffix) work and blocks ([`DecodeBatch::enqueue_shared`]);
 //! * **graceful degradation under arena pressure**: first demote a
 //!   victim's cold blocks to BF16 ([`DecodeBatch::demote`], the soft
 //!   tier), then evict-and-requeue with recompute-on-resume
 //!   ([`DecodeBatch::quarantine`] + [`DecodeBatch::resubmit`] —
-//!   preemption is voluntary quarantine); the same path absorbs
-//!   unrecoverable corruption verdicts surfaced by the online residual
-//!   and the background scrubber;
+//!   preemption is voluntary quarantine), victims chosen by cheapest
+//!   recompute (fewest accepted history rows) within the lowest
+//!   priority class; the same path absorbs unrecoverable corruption
+//!   verdicts surfaced by the online residual and the background
+//!   scrubber;
 //! * **scrub autotuning**: with a detection-latency SLO configured, the
 //!   scrub bandwidth re-tunes every step via
 //!   [`ScrubPolicy::for_target_latency`] as the live-block count moves;
 //! * a **deterministic seeded load generator** ([`LoadGen`]): bursty
-//!   arrivals, heavy-tail (bounded-Pareto) prompt/output lengths.
+//!   arrivals, heavy-tail (bounded-Pareto) prompt/output lengths, and
+//!   an optional per-tenant shared system prompt (length + share
+//!   probability) so benches exercise prefix sharing under load.
 //!
 //! The request state machine (see README "SLO-aware serving"):
 //!
@@ -99,12 +111,21 @@ pub struct Request {
     pub tenant: usize,
     /// Priority class.
     pub priority: Priority,
-    /// Prompt length in tokens (≥ 1).
+    /// Prompt length in tokens (≥ 1). With a shared prefix this counts
+    /// only the request-private **suffix**; the full prompt is
+    /// `prefix_tokens + prompt_tokens`.
     pub prompt_tokens: usize,
     /// Decode tokens to produce after admission (≥ 1).
     pub output_tokens: usize,
     /// Seed deriving the request's Q/K/V token streams.
     pub seed: u64,
+    /// Stream seed of the shared system-prompt prefix this request
+    /// begins with (`None` = unshared prompt). Requests carrying the
+    /// same `(prefix_seed, prefix_tokens)` share the prefix's KV blocks
+    /// through the engine's copy-on-write prefix registry.
+    pub prefix_seed: Option<u64>,
+    /// Shared-prefix length in tokens (0 iff `prefix_seed` is `None`).
+    pub prefix_tokens: usize,
 }
 
 /// Why a request left the running set and went back through admission.
@@ -143,12 +164,16 @@ pub struct RequestRecord {
     pub tenant: usize,
     /// Priority class.
     pub priority: Priority,
-    /// Prompt length in tokens.
+    /// Prompt length in tokens (the private suffix when shared).
     pub prompt_tokens: usize,
     /// Decode tokens requested.
     pub output_tokens: usize,
     /// Stream seed.
     pub seed: u64,
+    /// Shared-prefix stream seed (`None` = unshared prompt).
+    pub prefix_seed: Option<u64>,
+    /// Shared-prefix length in tokens.
+    pub prefix_tokens: usize,
     /// Step the request arrived.
     pub arrival_step: u64,
     /// Step the request was first admitted (left the queue).
@@ -179,6 +204,8 @@ impl RequestRecord {
             prompt_tokens: req.prompt_tokens,
             output_tokens: req.output_tokens,
             seed: req.seed,
+            prefix_seed: req.prefix_seed,
+            prefix_tokens: req.prefix_tokens,
             arrival_step: now,
             admitted_step: None,
             first_token_step: None,
@@ -341,6 +368,10 @@ pub struct Scheduler {
     /// tokens granted. Lowest counter wins the next scheduling tie.
     admitted_tokens: Vec<u64>,
     decoded_tokens: Vec<u64>,
+    /// Engine prefix-registry ids by `(prefix_seed, prefix_tokens)`:
+    /// the first request carrying a pair registers (prefilling the
+    /// prefix once); everyone after shares its blocks copy-on-write.
+    prefix_ids: std::collections::HashMap<(u64, usize), usize>,
 }
 
 impl Scheduler {
@@ -372,6 +403,7 @@ impl Scheduler {
             active: Vec::new(),
             admitted_tokens: Vec::new(),
             decoded_tokens: Vec::new(),
+            prefix_ids: std::collections::HashMap::new(),
         }
     }
 
@@ -431,6 +463,56 @@ impl Scheduler {
         )
     }
 
+    /// Regenerates a shared prefix's Q/K/V matrices from its stream
+    /// seed — the same lanes-1–3 rule [`prompt_matrices`]
+    /// (Self::prompt_matrices) uses, on the prefix's own seed, so every
+    /// request naming the pair regenerates identical prefix rows.
+    fn prefix_matrices(&self, seed: u64, rows: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+        let dist = ElementDist::default();
+        (
+            Matrix::random_seeded(rows, qd, dist, mix_seed(seed, 1)),
+            Matrix::random_seeded(rows, kd, dist, mix_seed(seed, 2)),
+            Matrix::random_seeded(rows, kd, dist, mix_seed(seed, 3)),
+        )
+    }
+
+    /// Admits request `rec` into the engine. Unshared prompts enqueue
+    /// whole. Prefixed prompts register their `(prefix_seed, tokens)`
+    /// pair once — the registration prefills the prefix synchronously,
+    /// a one-time O(L) cost charged outside the step budget — and then
+    /// enqueue only the suffix behind the shared blocks, so `k` readers
+    /// cost O(L + k·suffix) prefill work and arena blocks. Returns the
+    /// engine sequence, the full accepted-row history (prefix ‖ suffix,
+    /// the resubmission source), and the prefix tokens a first-time
+    /// registration prefilled (0 on a registry hit).
+    fn admit_engine(&mut self, rec: usize) -> (usize, Vec<f64>, Vec<f64>, usize) {
+        let (q, k, v) = self.prompt_matrices(rec);
+        let r = &self.records[rec];
+        let Some(pseed) = r.prefix_seed else {
+            let seq = self.engine.enqueue(&q, &k, &v);
+            return (seq, k.as_slice().to_vec(), v.as_slice().to_vec(), 0);
+        };
+        let rows = r.prefix_tokens;
+        let (pq, pk, pv) = self.prefix_matrices(pseed, rows);
+        let mut registered = 0;
+        let id = match self.prefix_ids.get(&(pseed, rows)) {
+            Some(&id) => id,
+            None => {
+                let id = self.engine.register_prefix(&pq, &pk, &pv);
+                self.prefix_ids.insert((pseed, rows), id);
+                registered = rows;
+                id
+            }
+        };
+        let seq = self.engine.enqueue_shared(id, &q, &k, &v);
+        let mut hist_k = pk.as_slice().to_vec();
+        hist_k.extend_from_slice(k.as_slice());
+        let mut hist_v = pv.as_slice().to_vec();
+        hist_v.extend_from_slice(v.as_slice());
+        (seq, hist_k, hist_v, registered)
+    }
+
     /// One decode token's Q/K/V rows for request `rec`, token index `t`.
     fn token_rows(&self, rec: usize, t: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
         let r = &self.records[rec];
@@ -458,8 +540,19 @@ impl Scheduler {
 
         // 1. Arrivals join the queue, timestamped with this step.
         for req in arrivals {
-            assert!(req.prompt_tokens > 0, "prompts must have at least one token");
-            assert!(req.output_tokens > 0, "requests must want at least one token");
+            assert!(
+                req.prompt_tokens > 0,
+                "prompts must have at least one token"
+            );
+            assert!(
+                req.output_tokens > 0,
+                "requests must want at least one token"
+            );
+            assert_eq!(
+                req.prefix_seed.is_some(),
+                req.prefix_tokens > 0,
+                "a shared prefix needs both a seed and a length"
+            );
             self.ensure_tenant(req.tenant);
             let rec = self.records.len();
             self.records.push(RequestRecord::new(req, self.now));
@@ -507,8 +600,8 @@ impl Scheduler {
                 break;
             }
             self.queue.remove(qi);
-            let (q, k, v) = self.prompt_matrices(rec);
-            let seq = self.engine.enqueue(&q, &k, &v);
+            let (seq, hist_k, hist_v, registered) = self.admit_engine(rec);
+            report.prefill_tokens += registered;
             let r = &mut self.records[rec];
             r.admitted_step = Some(self.now);
             r.phase = Phase::Prefilling;
@@ -516,8 +609,8 @@ impl Scheduler {
             self.active.push(Active {
                 rec,
                 seq,
-                hist_k: k.as_slice().to_vec(),
-                hist_v: v.as_slice().to_vec(),
+                hist_k,
+                hist_v,
                 decoded: 0,
                 demoted: false,
             });
@@ -525,8 +618,25 @@ impl Scheduler {
             report.admitted += 1;
         }
 
-        // 4. Deficit-fair decode set under what the prefill load left.
-        let decode_budget = self.cfg.token_budget.saturating_sub(pending_load);
+        // 4. Pick this step's prefill set under the prefill share
+        //    (admission order; the first pending prompt always advances
+        //    so a chunk wider than the share cannot wedge), then the
+        //    decode set from the remaining budget — decode rides every
+        //    step instead of stalling whenever chunks are pending.
+        let mut prefill_set: Vec<usize> = Vec::new();
+        let mut prefill_claim = 0usize;
+        for a in &self.active {
+            let pend = self.engine.pending_len(a.seq).min(chunk);
+            if pend == 0 {
+                continue;
+            }
+            if prefill_claim > 0 && prefill_claim + pend > self.cfg.prefill_budget {
+                continue;
+            }
+            prefill_claim += pend;
+            prefill_set.push(a.seq);
+        }
+        let decode_budget = self.cfg.token_budget.saturating_sub(prefill_claim);
         let mut candidates: Vec<usize> = (0..self.active.len())
             .filter(|&i| {
                 self.records[self.active[i].rec].phase == Phase::Decoding
@@ -552,16 +662,11 @@ impl Scheduler {
         }
         chosen.sort_unstable();
 
-        // 5. Run the engine step: pending prompts advance one chunk
-        //    (inside `step_all`, or explicitly when nothing decodes),
-        //    then every chosen request decodes its next token.
-        let pend_before: usize = self
-            .active
-            .iter()
-            .map(|a| self.engine.pending_len(a.seq))
-            .sum();
+        // 5. Run the prefill quantum (only the selected prompts advance,
+        //    keeping admission inside its budget share), then every
+        //    chosen request decodes its next token in one engine step.
+        report.prefill_tokens += self.engine.prefill_step_for(&prefill_set);
         let outputs = if chosen.is_empty() {
-            report.prefill_tokens = self.engine.prefill_step();
             Vec::new()
         } else {
             let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
@@ -580,13 +685,7 @@ impl Scheduler {
             let qs = Matrix::from_vec(chosen.len(), qd, qdat);
             let ks = Matrix::from_vec(chosen.len(), kd, kdat);
             let vs = Matrix::from_vec(chosen.len(), kd, vdat);
-            let outs = self.engine.step_all(&seq_ids, &qs, &ks, &vs);
-            let pend_after: usize = self
-                .active
-                .iter()
-                .map(|a| self.engine.pending_len(a.seq))
-                .sum();
-            report.prefill_tokens = pend_before - pend_after;
+            let outs = self.engine.step_decode(&seq_ids, &qs, &ks, &vs);
             outs.into_iter()
                 .enumerate()
                 .map(|(j, o)| (chosen[j], o, ks.row(j).to_vec(), vs.row(j).to_vec()))
@@ -599,7 +698,8 @@ impl Scheduler {
         //    the same token index after recovery, bit-identically.
         let mut alarmed: Vec<usize> = Vec::new();
         for (i, out, krow, vrow) in outputs {
-            if !(out.residual().abs() <= self.cfg.tol) {
+            let res = out.residual().abs();
+            if res.is_nan() || res > self.cfg.tol {
                 report.online_alarms += 1;
                 alarmed.push(i);
                 continue;
@@ -636,7 +736,8 @@ impl Scheduler {
                         .engine
                         .take_admitted(seq)
                         .expect("a scored admission parks its output");
-                    if !(adm.residual().abs() <= self.cfg.tol) {
+                    let res = adm.residual().abs();
+                    if res.is_nan() || res > self.cfg.tol {
                         // The prompt pass consumed corrupt data; its
                         // outputs are undeliverable — restart admission.
                         report.online_alarms += 1;
@@ -729,12 +830,14 @@ impl Scheduler {
         let seq = self.active[i].seq;
         if self.records[rec].phase == Phase::Prefilling {
             self.engine.retire(seq);
-            let (q, k, v) = self.prompt_matrices(rec);
-            let new_seq = self.engine.enqueue(&q, &k, &v);
+            // A prefixed victim re-admits behind the still-registered
+            // shared prefix (a registry hit: no prefix re-prefill).
+            let (new_seq, hist_k, hist_v, registered) = self.admit_engine(rec);
+            report.prefill_tokens += registered;
             let a = &mut self.active[i];
             a.seq = new_seq;
-            a.hist_k = k.as_slice().to_vec();
-            a.hist_v = v.as_slice().to_vec();
+            a.hist_k = hist_k;
+            a.hist_v = hist_v;
             a.decoded = 0;
             a.demoted = false;
         } else {
@@ -788,9 +891,13 @@ impl Scheduler {
             .count()
     }
 
-    /// Lowest-priority, newest decoding request — `fresh_only` skips
-    /// requests already demoted at their current length.
+    /// Preemption victim: lowest priority class first, then **cheapest
+    /// recompute** — fewest accepted history rows, i.e. the least work
+    /// a requeue pays to rebuild the cache and re-earn its place —
+    /// newest request breaking ties. `fresh_only` skips requests
+    /// already demoted at their current length.
     fn pick_victim(&self, fresh_only: bool) -> Option<usize> {
+        let kd = self.engine.config().kv_dim();
         (0..self.active.len())
             .filter(|&i| {
                 let a = &self.active[i];
@@ -800,7 +907,11 @@ impl Scheduler {
             })
             .min_by_key(|&i| {
                 let a = &self.active[i];
-                (self.records[a.rec].priority, core::cmp::Reverse(a.rec))
+                (
+                    self.records[a.rec].priority,
+                    a.hist_k.len() / kd,
+                    core::cmp::Reverse(a.rec),
+                )
             })
     }
 
@@ -813,7 +924,9 @@ impl Scheduler {
             return;
         };
         while self.engine.cache().live_kv_bytes() > bound {
-            let Some(i) = self.pick_victim(true) else { break };
+            let Some(i) = self.pick_victim(true) else {
+                break;
+            };
             let rows = self
                 .engine
                 .demote(self.active[i].seq, self.cfg.demote_burst_blocks);
@@ -825,7 +938,9 @@ impl Scheduler {
             }
         }
         while self.engine.cache().live_kv_bytes() > bound && self.decoding_count() > 1 {
-            let Some(i) = self.pick_victim(false) else { break };
+            let Some(i) = self.pick_victim(false) else {
+                break;
+            };
             self.requeue(i, RequeueCause::Preemption, report);
         }
     }
@@ -939,6 +1054,13 @@ pub struct LoadSpec {
     pub output_tail: f64,
     /// Probability a request is `Interactive`.
     pub interactive_prob: f64,
+    /// Shared system-prompt length in tokens; 0 disables prefix
+    /// sharing (and draws nothing from the stream, so disabled specs
+    /// generate byte-identical workloads to earlier revisions).
+    pub prefix_tokens: usize,
+    /// Probability a request reuses its tenant's shared system prompt
+    /// (each tenant has one, derived from the generator seed).
+    pub prefix_share_prob: f64,
 }
 
 impl Default for LoadSpec {
@@ -954,6 +1076,8 @@ impl Default for LoadSpec {
             output_max: 32,
             output_tail: 1.2,
             interactive_prob: 0.5,
+            prefix_tokens: 0,
+            prefix_share_prob: 0.0,
         }
     }
 }
@@ -964,6 +1088,8 @@ impl Default for LoadSpec {
 pub struct LoadGen {
     spec: LoadSpec,
     rng: StdRng,
+    /// Construction seed — the root of the per-tenant prefix seeds.
+    seed: u64,
 }
 
 impl LoadGen {
@@ -978,7 +1104,8 @@ impl LoadGen {
         assert!(spec.burst_max > 0, "bursts must carry requests");
         assert!(
             (0.0..=1.0).contains(&spec.burst_prob)
-                && (0.0..=1.0).contains(&spec.interactive_prob),
+                && (0.0..=1.0).contains(&spec.interactive_prob)
+                && (0.0..=1.0).contains(&spec.prefix_share_prob),
             "probabilities must be in [0, 1]"
         );
         assert!(
@@ -996,7 +1123,14 @@ impl LoadGen {
         LoadGen {
             spec,
             rng: StdRng::seed_from_u64(seed),
+            seed,
         }
+    }
+
+    /// Tenant `t`'s shared system-prompt stream seed (a pure function
+    /// of the generator seed, so subject and golden twin agree).
+    fn tenant_prefix_seed(&self, tenant: usize) -> u64 {
+        mix_seed(self.seed, 0x5E5F_0000_0000_0000 | tenant as u64)
     }
 
     /// Bounded Pareto sample in `lo..=hi` with tail index `alpha`.
@@ -1030,12 +1164,21 @@ impl LoadGen {
                 } else {
                     Priority::Batch
                 };
+                let tenant = self.rng.gen_range(0..self.spec.tenants);
+                let seed = self.rng.gen_range(0..u64::MAX);
+                // The share coin is drawn only when sharing is enabled:
+                // a disabled spec consumes the exact same stream as
+                // before the knob existed.
+                let shares = self.spec.prefix_tokens > 0
+                    && self.rng.gen_range(0.0..1.0) < self.spec.prefix_share_prob;
                 Request {
-                    tenant: self.rng.gen_range(0..self.spec.tenants),
+                    tenant,
                     priority,
                     prompt_tokens,
                     output_tokens,
-                    seed: self.rng.gen_range(0..u64::MAX),
+                    seed,
+                    prefix_seed: shares.then(|| self.tenant_prefix_seed(tenant)),
+                    prefix_tokens: if shares { self.spec.prefix_tokens } else { 0 },
                 }
             })
             .collect()
@@ -1175,6 +1318,8 @@ mod tests {
             prompt_tokens: 4,
             output_tokens: 2,
             seed,
+            prefix_seed: None,
+            prefix_tokens: 0,
         };
         // Far more than bound+budget can hold: some must shed.
         let arrivals: Vec<Request> = (0..8)
@@ -1228,6 +1373,8 @@ mod tests {
                             prompt_tokens: 4,
                             output_tokens: 8,
                             seed,
+                            prefix_seed: None,
+                            prefix_tokens: 0,
                         }
                     })
                     .collect()
@@ -1280,14 +1427,19 @@ mod tests {
         let mut compared = 0;
         for (f, t) in free.records().iter().zip(tight.records().iter()) {
             if f.phase == Phase::Finished && t.phase == Phase::Finished && t.demotions == 0 {
-                assert_eq!(f.token_hashes, t.token_hashes, "preemption must be invisible");
+                assert_eq!(
+                    f.token_hashes, t.token_hashes,
+                    "preemption must be invisible"
+                );
                 compared += 1;
             }
         }
         assert!(compared > 0, "some undemoted request finished in both runs");
         assert!(
-            tight.records().iter().any(|r| r.phase == Phase::Finished
-                && r.preemptions > 0),
+            tight
+                .records()
+                .iter()
+                .any(|r| r.phase == Phase::Finished && r.preemptions > 0),
             "some preempted request must still finish"
         );
     }
@@ -1312,6 +1464,8 @@ mod tests {
             prompt_tokens: 8,
             output_tokens: 12,
             seed: 999,
+            prefix_seed: None,
+            prefix_tokens: 0,
         };
         subject.step(core::slice::from_ref(&req));
         golden.step(core::slice::from_ref(&req));
@@ -1324,7 +1478,9 @@ mod tests {
         assert_eq!(targets.len(), 1);
         let (_, seq) = targets[0];
         // A value-side flip makes the next decode residual alarm.
-        subject.engine_mut().flip_storage_bit(seq, 1, 0, 2, false, 62);
+        subject
+            .engine_mut()
+            .flip_storage_bit(seq, 1, 0, 2, false, 62);
         let mut alarms = 0;
         for _ in 0..200 {
             let rep = subject.step(&[]);
@@ -1344,7 +1500,10 @@ mod tests {
         let (s, g) = (&subject.records()[0], &golden.records()[0]);
         assert_eq!(s.phase, Phase::Finished);
         assert_eq!(g.phase, Phase::Finished);
-        assert!(s.quarantines > 0, "the alarm must trigger evict-and-requeue");
+        assert!(
+            s.quarantines > 0,
+            "the alarm must trigger evict-and-requeue"
+        );
         assert_eq!(
             s.token_hashes, g.token_hashes,
             "recovery must replay every token bit-identically"
@@ -1371,6 +1530,8 @@ mod tests {
             prompt_tokens: 8,
             output_tokens: 16,
             seed: 4242,
+            prefix_seed: None,
+            prefix_tokens: 0,
         };
         subject.step(core::slice::from_ref(&req));
         golden.step(core::slice::from_ref(&req));
@@ -1384,7 +1545,9 @@ mod tests {
         // decoded inside the detection-latency window consume the
         // corrupt key, so only tokens outside the window can match.
         let flip_step = subject.now();
-        subject.engine_mut().flip_storage_bit(seq, 1, 0, 1, true, 61);
+        subject
+            .engine_mut()
+            .flip_storage_bit(seq, 1, 0, 1, true, 61);
         let mut repair_step = None;
         for _ in 0..200 {
             let rep = subject.step(&[]);
@@ -1418,7 +1581,170 @@ mod tests {
                 after_repair += 1;
             }
         }
-        assert!(after_repair > 0, "tokens after the repair must exist and match");
+        assert!(
+            after_repair > 0,
+            "tokens after the repair must exist and match"
+        );
+    }
+
+    #[test]
+    fn decode_interleaves_with_pending_prefill_inside_one_budget() {
+        let cfg = ServeConfig {
+            token_budget: 8,
+            prefill_budget: 4,
+            ..ServeConfig::default()
+        };
+        let mut e = engine();
+        e.set_prefill_chunk(4);
+        let mut sched = Scheduler::new(e, cfg);
+        let mk = |seed, prompt| Request {
+            tenant: 0,
+            priority: Priority::Batch,
+            prompt_tokens: prompt,
+            output_tokens: 24,
+            seed,
+            prefix_seed: None,
+            prefix_tokens: 0,
+        };
+        // One short request reaches decode first...
+        sched.step(&[mk(1, 4)]);
+        sched.step(&[]);
+        assert_eq!(sched.active_decoding().len(), 1);
+        // ...then a flood of long prompts keeps chunks pending for many
+        // steps. The old scheduler spent the whole budget on admission
+        // (decode_budget hit 0 whenever pending load filled it); now
+        // prefill is capped at its share and decode rides every step.
+        let flood: Vec<Request> = (0..4).map(|i| mk(100 + i, 16)).collect();
+        sched.step(&flood);
+        let mut overlapped = 0;
+        for _ in 0..12 {
+            let rep = sched.step(&[]);
+            assert!(
+                rep.prefill_tokens <= cfg.prefill_budget,
+                "prefill stayed inside its share"
+            );
+            assert!(rep.decode_tokens <= cfg.token_budget - rep.prefill_tokens.min(4));
+            if rep.prefill_tokens > 0 {
+                assert!(
+                    rep.decode_tokens > 0,
+                    "pending chunks must not stall decode"
+                );
+                overlapped += 1;
+            }
+        }
+        assert!(overlapped > 0, "the flood kept chunks pending");
+    }
+
+    #[test]
+    fn preemption_victim_is_cheapest_recompute() {
+        // Two same-priority requests: the long-history one was the old
+        // policy's survivor by accident of age; the cost-aware policy
+        // must pick the short history (cheapest to rebuild) explicitly.
+        let cfg = ServeConfig {
+            token_budget: 16,
+            prefill_budget: 8,
+            // One f64 block = 2·4·16·8 = 1 KiB; bound low enough that
+            // demotion alone cannot satisfy it.
+            max_kv_bytes: Some(2 * 1024),
+            ..ServeConfig::default()
+        };
+        let mut e = engine();
+        e.set_prefill_chunk(8);
+        let mut sched = Scheduler::new(e, cfg);
+        let mk = |seed, prompt| Request {
+            tenant: 0,
+            priority: Priority::Batch,
+            prompt_tokens: prompt,
+            output_tokens: 30,
+            seed,
+            prefix_seed: None,
+            prefix_tokens: 0,
+        };
+        // rec 0: long history (old policy would never pick it — newest
+        // wins — and neither does the new one: it's expensive).
+        // rec 1: short history, arrives later (old policy's victim order
+        // picked the *newest*, which is also rec 1 here — so distinguish
+        // by a third, newest-but-long request rec 2).
+        sched.step(&[mk(7, 24)]);
+        for _ in 0..4 {
+            sched.step(&[]);
+        }
+        sched.step(&[mk(8, 4)]);
+        sched.step(&[mk(9, 24)]);
+        for _ in 0..30 {
+            sched.step(&[]);
+            let recs = sched.records();
+            if recs.iter().any(|r| r.preemptions > 0) {
+                break;
+            }
+        }
+        let recs = sched.records();
+        assert!(
+            recs[1].preemptions > 0,
+            "the short-history request is the cheapest-recompute victim"
+        );
+        assert_eq!(
+            recs[0].preemptions, 0,
+            "the long-history request must keep its cache"
+        );
+    }
+
+    #[test]
+    fn shared_prefix_load_registers_once_and_replays_identically() {
+        let spec = LoadSpec {
+            tenants: 2,
+            prefix_tokens: 8,
+            prefix_share_prob: 1.0,
+            prompt_min: 2,
+            prompt_max: 12,
+            output_min: 2,
+            output_max: 8,
+            ..LoadSpec::default()
+        };
+        let mk = || {
+            let mut e = engine();
+            e.set_prefill_chunk(4);
+            Scheduler::new(e, ServeConfig::default())
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let (mut ga, mut gb) = (LoadGen::new(spec, 77), LoadGen::new(spec, 77));
+        for _ in 0..40 {
+            a.step(&ga.step());
+            b.step(&gb.step());
+        }
+        for _ in 0..400 {
+            let (ra, _) = (a.step(&[]), b.step(&[]));
+            if ra.prefill_tokens == 0 && ra.decode_tokens == 0 && a.queue_len() == 0 {
+                break;
+            }
+        }
+        // Every request carried a tenant prefix; at most one registry
+        // entry per tenant exists, with multiple readers behind it.
+        assert!(a.records().iter().all(|r| r.prefix_seed.is_some()));
+        let ids = a.engine().prefix_ids();
+        assert!(!ids.is_empty() && ids.len() <= spec.tenants);
+        let readers: usize = ids.iter().map(|&id| a.engine().prefix_readers(id)).sum();
+        let admitted = a
+            .records()
+            .iter()
+            .filter(|r| r.admitted_step.is_some())
+            .count();
+        assert!(
+            readers >= admitted,
+            "every admission (and re-admission) read through the registry"
+        );
+        // Twin replay is bitwise identical — sharing perturbs nothing.
+        assert_eq!(a.records().len(), b.records().len());
+        let mut finished = 0;
+        for (x, y) in a.records().iter().zip(b.records().iter()) {
+            assert_eq!(x.phase, y.phase);
+            assert_eq!(x.token_hashes, y.token_hashes);
+            if x.phase == Phase::Finished {
+                assert_eq!(x.token_hashes.len(), x.output_tokens);
+                finished += 1;
+            }
+        }
+        assert!(finished > 0, "shared-prefix load must finish requests");
     }
 
     #[test]

@@ -1345,3 +1345,393 @@ proptest! {
         );
     }
 }
+
+/// Block-ownership census for the prefix-sharing arena: every unretired
+/// sequence and every registered prefix contributes one reference per
+/// block it holds. The arena agrees when (a) the number of distinct held
+/// blocks equals the physically allocated, not-free-listed count — no
+/// leaked orphans, no freed-but-held aliases — and (b) every block's
+/// refcount equals its holder count — no lost or double-counted
+/// references to decrement into a double free later.
+fn assert_block_owners_consistent(e: &DecodeBatch<f64>) {
+    use fa_attention::batch::BlockRef;
+    use std::collections::HashMap;
+    let mut owners: HashMap<(bool, usize), u32> = HashMap::new();
+    for s in 0..e.num_sequences() {
+        if e.is_retired(s) {
+            continue;
+        }
+        for b in e.cache().seq_blocks(s) {
+            *owners.entry((b.bf16, b.index)).or_insert(0) += 1;
+        }
+    }
+    for id in e.prefix_ids() {
+        for b in e.prefix_blocks(id) {
+            *owners.entry((b.bf16, b.index)).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(
+        owners.len(),
+        e.cache().live_unique_blocks(),
+        "allocated-but-unowned block (leak) or held-but-freed block (double free)"
+    );
+    for (&(bf16, index), &n) in &owners {
+        assert_eq!(
+            e.cache().block_ref_count(BlockRef { index, bf16 }),
+            n,
+            "refcount disagrees with the owner census at block {index} (bf16 {bf16})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Refcount lifecycle under admit/share/diverge/demote/quarantine/
+    /// retire storms, swept across KvFormat × EvictionPolicy × GQA
+    /// topology: after every operation the block-ownership census
+    /// balances (no leak ever accumulates, no reference is dropped
+    /// twice), every live reader audits clean, and tearing everything
+    /// down returns every block of both arenas to the free lists.
+    #[test]
+    fn shared_prefix_storms_never_leak_or_double_free(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        prefix_mult in 1usize..3,
+        ops in proptest::collection::vec((0usize..5, 0usize..16), 6..18),
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        let mut e = DecodeBatch::<f64>::with_policy(
+            topo, 4, KvLayout::HeadMajor, format, eviction,
+        );
+        e.set_prefill_chunk(3);
+        e.enable_recovery_log();
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+
+        // Two registered prefixes of different lengths (one spills into a
+        // partially-filled tail block, so shared appends exercise CoW).
+        let mut prefix_ids = Vec::new();
+        for p in 0..2u64 {
+            let rows = 3 * (prefix_mult + p as usize);
+            let q = rand(rows, topo.q_dim(), seed.wrapping_add(10 + p));
+            let k = rand(rows, topo.kv_dim(), seed.wrapping_add(20 + p));
+            let v = rand(rows, topo.kv_dim(), seed.wrapping_add(30 + p));
+            prefix_ids.push(e.register_prefix(&q, &k, &v));
+        }
+        assert_block_owners_consistent(&e);
+
+        let mut live: Vec<usize> = Vec::new();
+        let mut admits = 0u64;
+        let mut t = 0u64;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    // Admit a reader behind a random prefix, with a
+                    // random (possibly empty) private suffix.
+                    let id = prefix_ids[arg % prefix_ids.len()];
+                    let rows = arg % 5;
+                    let q = rand(rows, topo.q_dim(), seed.wrapping_add(500 + admits * 3));
+                    let k = rand(rows, topo.kv_dim(), seed.wrapping_add(501 + admits * 3));
+                    let v = rand(rows, topo.kv_dim(), seed.wrapping_add(502 + admits * 3));
+                    let s = e.enqueue_shared(id, &q, &k, &v);
+                    while e.prefill_step() > 0 {}
+                    let _ = e.take_admitted(s);
+                    live.push(s);
+                    admits += 1;
+                }
+                1 => {
+                    // One decode step over every live reader (divergent
+                    // appends: private blocks, CoW off shared tails).
+                    if !live.is_empty() {
+                        let qs = rand(live.len(), topo.q_dim(), seed.wrapping_add(5_000 + t * 3));
+                        let ks = rand(live.len(), topo.kv_dim(), seed.wrapping_add(5_001 + t * 3));
+                        let vs = rand(live.len(), topo.kv_dim(), seed.wrapping_add(5_002 + t * 3));
+                        let _ = e.step_all(&live, &qs, &ks, &vs);
+                        t += 1;
+                    }
+                }
+                2 => {
+                    // Soft-tier demotion (a shared native block demotes
+                    // into a private BF16 copy — copy-on-write).
+                    if !live.is_empty() {
+                        let s = live[arg % live.len()];
+                        let _ = e.demote(s, arg % 3);
+                    }
+                }
+                3 => {
+                    // Quarantine: drop the reader's shared references and
+                    // rebuild its whole history privately from the log.
+                    if !live.is_empty() {
+                        let s = live[arg % live.len()];
+                        let _ = e.quarantine(s);
+                        while e.prefill_step() > 0 {}
+                        let _ = e.take_admitted(s);
+                        prop_assert!(!e.is_pending(s), "the seeded log rebuilds fully");
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let s = live.swap_remove(arg % live.len());
+                        e.retire(s);
+                    }
+                }
+            }
+            assert_block_owners_consistent(&e);
+            for &s in &live {
+                prop_assert!(e.audit(s, tol).is_empty(), "live readers audit clean");
+            }
+        }
+
+        // Teardown: retiring every reader and releasing every prefix
+        // must return both arenas to empty.
+        for s in live.drain(..) {
+            e.retire(s);
+        }
+        assert_block_owners_consistent(&e);
+        for id in prefix_ids {
+            e.release_prefix(id);
+        }
+        prop_assert_eq!(e.cache().live_unique_blocks(), 0, "teardown frees every block");
+    }
+
+    /// Shared-prefix admission swept across KvFormat × EvictionPolicy ×
+    /// GQA topology × random suffix lengths: every reader's admitted
+    /// suffix output and every decode token is bit-identical to an
+    /// unshared engine replaying `prefix ‖ suffix` on the same
+    /// chunk-aligned schedule — with shared-block batched scoring on
+    /// *and* off — while the shared arena never holds more unique blocks
+    /// than the unshared one.
+    #[test]
+    fn shared_admission_bit_identical_to_unshared_replay_swept(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        prefix_mult in 1usize..3,
+        suffixes in proptest::collection::vec(0usize..6, 2..5),
+        post_steps in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        // Chunk 3 with block 4: a prefix of 3·prefix_mult rows is always
+        // chunk-aligned (the bit-identicality precondition) yet lands
+        // mid-block half the time, exercising tail copy-on-write.
+        let prefix_rows = 3 * prefix_mult;
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo, 4, KvLayout::HeadMajor, format, eviction,
+            );
+            e.set_prefill_chunk(3);
+            e
+        };
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let vcat = |a: &Matrix<f64>, b: &Matrix<f64>| {
+            Matrix::from_fn(a.rows() + b.rows(), a.cols(), |r, c| {
+                if r < a.rows() { a[(r, c)] } else { b[(r - a.rows(), c)] }
+            })
+        };
+
+        let mut shared = mk();
+        let mut unbatched = mk();
+        unbatched.set_shared_scoring(false);
+        let mut plain = mk();
+        let pq = rand(prefix_rows, topo.q_dim(), seed.wrapping_add(1));
+        let pk = rand(prefix_rows, topo.kv_dim(), seed.wrapping_add(2));
+        let pv = rand(prefix_rows, topo.kv_dim(), seed.wrapping_add(3));
+        let id_a = shared.register_prefix(&pq, &pk, &pv);
+        let id_b = unbatched.register_prefix(&pq, &pk, &pv);
+        let (mut s_ids, mut u_ids, mut p_ids) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, &rows) in suffixes.iter().enumerate() {
+            let q = rand(rows, topo.q_dim(), seed.wrapping_add(100 + 3 * i as u64));
+            let k = rand(rows, topo.kv_dim(), seed.wrapping_add(101 + 3 * i as u64));
+            let v = rand(rows, topo.kv_dim(), seed.wrapping_add(102 + 3 * i as u64));
+            s_ids.push(shared.enqueue_shared(id_a, &q, &k, &v));
+            u_ids.push(unbatched.enqueue_shared(id_b, &q, &k, &v));
+            p_ids.push(plain.enqueue(&vcat(&pq, &q), &vcat(&pk, &k), &vcat(&pv, &v)));
+        }
+        while shared.prefill_step() > 0 {}
+        while unbatched.prefill_step() > 0 {}
+        while plain.prefill_step() > 0 {}
+        for (i, &rows) in suffixes.iter().enumerate() {
+            let sa = shared.take_admitted(s_ids[i]).expect("suffix parks an admission");
+            let ua = unbatched.take_admitted(u_ids[i]).expect("suffix parks an admission");
+            let pa = plain.take_admitted(p_ids[i]).expect("prompt parks an admission");
+            for r in 0..rows {
+                for c in 0..topo.q_dim() {
+                    let want = pa.output[(prefix_rows + r, c)].to_bits();
+                    prop_assert_eq!(sa.output[(r, c)].to_bits(), want,
+                        "reader {} suffix row {} lane {}", i, r, c);
+                    prop_assert_eq!(ua.output[(r, c)].to_bits(), want,
+                        "reader {} (scoring off) suffix row {} lane {}", i, r, c);
+                }
+            }
+        }
+        // Worst case (every prefix block CoW'd or slid out of every
+        // reader's window) sharing still costs at most the registry's
+        // own pinned copy of the prefix.
+        prop_assert!(
+            shared.cache().live_unique_blocks()
+                <= plain.cache().live_unique_blocks() + shared.prefix_blocks(id_a).len(),
+            "sharing costs at most the registry's pinned prefix copy"
+        );
+
+        for t in 0..post_steps as u64 {
+            let n = s_ids.len();
+            let qs = rand(n, topo.q_dim(), seed.wrapping_add(1_000 + 3 * t));
+            let ks = rand(n, topo.kv_dim(), seed.wrapping_add(1_001 + 3 * t));
+            let vs = rand(n, topo.kv_dim(), seed.wrapping_add(1_002 + 3 * t));
+            let a = shared.step_all(&s_ids, &qs, &ks, &vs);
+            let b = unbatched.step_all(&u_ids, &qs, &ks, &vs);
+            let c = plain.step_all(&p_ids, &qs, &ks, &vs);
+            for i in 0..n {
+                for (l, want) in c[i].output.iter().enumerate() {
+                    prop_assert_eq!(a[i].output[l].to_bits(), want.to_bits(),
+                        "step {} reader {} lane {}", t, i, l);
+                    prop_assert_eq!(b[i].output[l].to_bits(), want.to_bits(),
+                        "step {} reader {} (scoring off) lane {}", t, i, l);
+                }
+            }
+        }
+        prop_assert_eq!(unbatched.shared_score_tiles(), 0, "toggle off means no tiles");
+        for &s in &s_ids {
+            prop_assert!(shared.audit(s, tol).is_empty(), "shared readers audit clean");
+        }
+    }
+
+    /// A poisoned shared block repairs exactly once for all readers,
+    /// swept across GQA topology × reader count × fault site: a bit flip
+    /// inside the shared prefix storage alarms *every* reader's audit,
+    /// one `audit_and_repair` through any single reader restores the
+    /// shared storage in place, every reader then audits clean, and all
+    /// of them decode bit-identical to a never-faulted twin.
+    #[test]
+    fn poisoned_shared_prefix_repairs_once_for_all_readers(
+        topo_sel in 0usize..4,
+        n_readers in 2usize..4,
+        pos_sel in 0usize..4,
+        lane_sel in 0usize..4,
+        key_side in any::<bool>(),
+        bit_sel in 0u32..3,
+        post_steps in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let tol = 1e-6;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo, 4, KvLayout::HeadMajor, KvFormat::F64, EvictionPolicy::RetainAll,
+            );
+            e.set_prefill_chunk(4);
+            e.enable_recovery_log();
+            e
+        };
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let mut subject = mk();
+        let mut golden = mk();
+        let pq = rand(8, topo.q_dim(), seed.wrapping_add(1));
+        let pk = rand(8, topo.kv_dim(), seed.wrapping_add(2));
+        let pv = rand(8, topo.kv_dim(), seed.wrapping_add(3));
+        let id_s = subject.register_prefix(&pq, &pk, &pv);
+        let id_g = golden.register_prefix(&pq, &pk, &pv);
+        let (mut s_ids, mut g_ids) = (Vec::new(), Vec::new());
+        for i in 0..n_readers {
+            let rows = i + 1;
+            let q = rand(rows, topo.q_dim(), seed.wrapping_add(100 + 3 * i as u64));
+            let k = rand(rows, topo.kv_dim(), seed.wrapping_add(101 + 3 * i as u64));
+            let v = rand(rows, topo.kv_dim(), seed.wrapping_add(102 + 3 * i as u64));
+            s_ids.push(subject.enqueue_shared(id_s, &q, &k, &v));
+            g_ids.push(golden.enqueue_shared(id_g, &q, &k, &v));
+        }
+        while subject.prefill_step() > 0 {}
+        while golden.prefill_step() > 0 {}
+        for i in 0..n_readers {
+            let _ = subject.take_admitted(s_ids[i]);
+            let _ = golden.take_admitted(g_ids[i]);
+        }
+        for &s in &s_ids {
+            prop_assert!(subject.audit(s, tol).is_empty(), "fault-free audit clean");
+        }
+
+        // Flip a high exponent bit inside the first (fully shared) prefix
+        // block, addressed through reader 0 — the storage is one physical
+        // block, so the damage is visible through every reader.
+        subject.flip_storage_bit(
+            s_ids[0], pos_sel, lane_sel % kv, lane_sel % d, key_side, 60 + bit_sel,
+        );
+        for &s in &s_ids {
+            prop_assert!(
+                !subject.audit(s, tol).is_empty(),
+                "every reader sees the shared fault"
+            );
+        }
+        let report = subject.audit_and_repair(s_ids[0], tol);
+        prop_assert!(report.rows_rewritten >= 1, "the log rewrites the poisoned rows");
+        prop_assert_eq!(report.blocks_unrecoverable, 0);
+        for &s in &s_ids {
+            prop_assert!(subject.audit(s, tol).is_empty(), "one repair clears every reader");
+        }
+
+        for t in 0..post_steps as u64 {
+            let qs = rand(n_readers, topo.q_dim(), seed.wrapping_add(1_000 + 3 * t));
+            let ks = rand(n_readers, topo.kv_dim(), seed.wrapping_add(1_001 + 3 * t));
+            let vs = rand(n_readers, topo.kv_dim(), seed.wrapping_add(1_002 + 3 * t));
+            let a = subject.step_all(&s_ids, &qs, &ks, &vs);
+            let b = golden.step_all(&g_ids, &qs, &ks, &vs);
+            for i in 0..n_readers {
+                for (l, want) in b[i].output.iter().enumerate() {
+                    prop_assert_eq!(a[i].output[l].to_bits(), want.to_bits(),
+                        "post-repair step {} reader {} lane {}", t, i, l);
+                }
+            }
+        }
+    }
+}

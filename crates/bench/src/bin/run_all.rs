@@ -184,6 +184,20 @@ fn kernel_benchmarks(quick: bool) {
         sw.sliding_arena_blocks,
         sw.evicted_rows,
     );
+    let ps = &report.prefix_sharing;
+    for p in &ps.points {
+        println!(
+            "shared-block scoring ({} x {} panel, {} queries): per-query GEMV {:.3} ms, \
+             multi sweep {:.3} ms ({:.2}x), bitwise {}",
+            ps.n_rows,
+            ps.d,
+            p.queries,
+            p.gemv_ms,
+            p.multi_ms,
+            p.speedup(),
+            p.bitwise_match,
+        );
+    }
 
     let path = "BENCH_kernels.json";
     match std::fs::write(path, report.to_json()) {
@@ -361,6 +375,26 @@ fn serving_benchmarks(quick: bool) {
         "SLO: TTFT <= {} steps, inter-token <= {} steps; load window {} steps",
         report.slo.ttft_steps, report.slo.per_token_steps, report.load_steps
     );
+    let ps = &report.prefix_sharing;
+    println!(
+        "prefix sharing ({}+{} tokens, {}-row blocks):",
+        ps.prefix_tokens, ps.suffix_tokens, ps.block_rows
+    );
+    for p in &ps.points {
+        println!(
+            "  k={:<2} | prefill {:.0} vs {:.0} tok/s (shared vs independent) | arena {} vs {} \
+             blocks | decode {:.0} vs {:.0} tok/s (batched vs GEMV, {} tiles, bitwise {})",
+            p.readers,
+            p.shared_prefill_tokens_per_s,
+            p.unshared_prefill_tokens_per_s,
+            p.shared_arena_blocks,
+            p.unshared_arena_blocks,
+            p.shared_decode_tokens_per_s,
+            p.gemv_decode_tokens_per_s,
+            p.shared_score_tiles,
+            p.decode_bitwise_match,
+        );
+    }
 
     let path = "BENCH_serving.json";
     match std::fs::write(path, report.to_json()) {

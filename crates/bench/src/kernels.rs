@@ -331,6 +331,44 @@ pub struct DecodeShape {
     pub steps: usize,
 }
 
+/// Shared-block scoring at one packed-query count: one K-panel sweep
+/// feeding all queries ([`ops::dot_then_scale_rows_multi`], rows outer /
+/// queries inner) vs one [`ops::dot_then_scale_rows`] GEMV sweep per
+/// query — the kernel under the shared-prefix decode win.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiScorePoint {
+    /// Queries packed into the multi sweep (readers of the block).
+    pub queries: usize,
+    /// Per-query GEMV sweeps, milliseconds.
+    pub gemv_ms: f64,
+    /// Single rows-outer multi sweep, milliseconds.
+    pub multi_ms: f64,
+    /// Both kernels produced bit-identical score panels (the sharing
+    /// contract: same `dot_f64` per (query, row)).
+    pub bitwise_match: bool,
+}
+
+impl MultiScorePoint {
+    /// GEMV time over multi-sweep time.
+    pub fn speedup(&self) -> f64 {
+        self.gemv_ms / self.multi_ms
+    }
+}
+
+/// The prefix-sharing kernel sweep: score a fixed K panel against 1, 4,
+/// 16, and 32 packed queries both ways.
+#[derive(Clone, Debug)]
+pub struct PrefixSharingKernel {
+    /// Query / key row width.
+    pub d: usize,
+    /// Rows in the scored K panel.
+    pub n_rows: usize,
+    /// Sweeps per timed call (amortizes timer overhead).
+    pub iters: usize,
+    /// One measurement per packed-query count.
+    pub points: Vec<MultiScorePoint>,
+}
+
 /// The full kernel-layer benchmark result.
 #[derive(Clone, Debug)]
 pub struct KernelBenchReport {
@@ -360,6 +398,8 @@ pub struct KernelBenchReport {
     pub decode_sliding_window: DecodeSlidingWindow,
     /// GQA decode sweep across group sizes at fixed query heads.
     pub decode_gqa: DecodeGqa,
+    /// Shared-block multi-query scoring vs per-query GEMV.
+    pub prefix_sharing: PrefixSharingKernel,
 }
 
 impl KernelBenchReport {
@@ -447,6 +487,22 @@ impl KernelBenchReport {
                 )
             })
             .collect();
+        let ps = &self.prefix_sharing;
+        let ps_points: Vec<String> = ps
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "      {{ \"queries\": {}, \"gemv_ms\": {:.3}, \"multi_ms\": {:.3}, \
+                     \"speedup\": {:.2}, \"bitwise_match\": {} }}",
+                    p.queries,
+                    p.gemv_ms,
+                    p.multi_ms,
+                    p.speedup(),
+                    p.bitwise_match,
+                )
+            })
+            .collect();
         format!(
             "{{\n  \"host_threads\": {},\n  \"matmul\": [\n{}\n  ],\n  \"flash2\": [\n{}\n  ],\n  \
              \"dot_simd\": {{\n    \"len\": {},\n    \"f64\": {},\n    \"bf16\": {}\n  }},\n  \
@@ -477,6 +533,9 @@ impl KernelBenchReport {
              \"decode_gqa\": {{\n    \
              \"batch\": {}, \"steps\": {}, \"prefill\": {}, \"query_heads\": {}, \
              \"head_dim\": {},\n    \
+             \"points\": [\n{}\n    ]\n  }},\n  \
+             \"prefix_sharing\": {{\n    \
+             \"d\": {}, \"n_rows\": {}, \"iters\": {},\n    \
              \"points\": [\n{}\n    ]\n  }}\n}}\n",
             self.host_threads,
             matmul.join(",\n"),
@@ -542,6 +601,10 @@ impl KernelBenchReport {
             gq.query_heads,
             gq.head_dim,
             gqa_points.join(",\n"),
+            ps.d,
+            ps.n_rows,
+            ps.iters,
+            ps_points.join(",\n"),
         )
     }
 }
@@ -1684,6 +1747,76 @@ fn measure_decode_gqa(shape: DecodeShape, batch: usize, reps: usize) -> DecodeGq
 
 /// Runs the kernel-layer benchmark. `quick` shrinks problem sizes and
 /// drops the largest matmul/flash2 points for CI smoke runs.
+fn measure_prefix_sharing_kernel(n_rows: usize, iters: usize, reps: usize) -> PrefixSharingKernel {
+    // kv-row width of the headline serving shapes: the panel a decode
+    // step actually sweeps per shared block batch.
+    let d = 64usize;
+    let scale = 1.0 / (d as f64).sqrt();
+    let panel = Matrix::<f64>::random_seeded(n_rows, d, ElementDist::default(), 71);
+    let rows = panel.as_slice();
+    let points = [1usize, 4, 16, 32]
+        .iter()
+        .map(|&nq| {
+            let qmat = Matrix::<f64>::random_seeded(nq, d, ElementDist::default(), 72);
+            let qs = qmat.as_slice();
+            let mut out = Vec::new();
+            let gemv_ms = time_ms(reps, || {
+                for _ in 0..iters {
+                    for qi in 0..nq {
+                        ops::dot_then_scale_rows(
+                            &qs[qi * d..(qi + 1) * d],
+                            rows,
+                            d,
+                            n_rows,
+                            scale,
+                            &mut out,
+                        );
+                        std::hint::black_box(&out);
+                    }
+                }
+            });
+            let multi_ms = time_ms(reps, || {
+                for _ in 0..iters {
+                    ops::dot_then_scale_rows_multi(qs, d, rows, d, n_rows, scale, &mut out);
+                    std::hint::black_box(&out);
+                }
+            });
+            // The contract behind the timing: identical bits, only the
+            // sweep order (and therefore the bandwidth bill) differs.
+            let mut multi = Vec::new();
+            ops::dot_then_scale_rows_multi(qs, d, rows, d, n_rows, scale, &mut multi);
+            let mut gemv = Vec::with_capacity(nq * n_rows);
+            for qi in 0..nq {
+                ops::dot_then_scale_rows(
+                    &qs[qi * d..(qi + 1) * d],
+                    rows,
+                    d,
+                    n_rows,
+                    scale,
+                    &mut out,
+                );
+                gemv.extend_from_slice(&out);
+            }
+            let bitwise_match = multi
+                .iter()
+                .zip(&gemv)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            MultiScorePoint {
+                queries: nq,
+                gemv_ms,
+                multi_ms,
+                bitwise_match,
+            }
+        })
+        .collect();
+    PrefixSharingKernel {
+        d,
+        n_rows,
+        iters,
+        points,
+    }
+}
+
 pub fn measure(quick: bool) -> KernelBenchReport {
     let (matmul_sizes, flash2_sizes, reps): (&[usize], &[usize], usize) = if quick {
         (&[128], &[256], 2)
@@ -1758,6 +1891,8 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         decode_reps,
     );
     let decode_gqa = measure_decode_gqa(decode_shape, largest_batch, decode_reps);
+    let (ps_rows, ps_iters) = if quick { (128, 4) } else { (512, 16) };
+    let prefix_sharing = measure_prefix_sharing_kernel(ps_rows, ps_iters, reps);
 
     KernelBenchReport {
         host_threads: rayon::current_num_threads(),
@@ -1772,6 +1907,7 @@ pub fn measure(quick: bool) -> KernelBenchReport {
         decode_mixed_format,
         decode_sliding_window,
         decode_gqa,
+        prefix_sharing,
     }
 }
 
@@ -1863,6 +1999,19 @@ mod tests {
             sw.sliding_arena_blocks <= sw.retain_arena_blocks,
             "the window bounds the arena"
         );
+        let ps = &report.prefix_sharing;
+        assert_eq!(
+            ps.points.iter().map(|p| p.queries).collect::<Vec<_>>(),
+            vec![1, 4, 16, 32]
+        );
+        for p in &ps.points {
+            assert!(p.gemv_ms > 0.0 && p.multi_ms > 0.0, "queries {}", p.queries);
+            assert!(
+                p.bitwise_match,
+                "queries {}: multi sweep must be bit-identical to per-query GEMV",
+                p.queries
+            );
+        }
     }
 
     #[test]
@@ -1933,6 +2082,10 @@ mod tests {
             "decode_gqa",
             "group_size",
             "bf16_checked_ms",
+            "prefix_sharing",
+            "queries",
+            "multi_ms",
+            "bitwise_match",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -25,6 +25,7 @@ use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
 use fa_attention::serve::{LoadGen, LoadSpec, Scheduler, ServeConfig, ServeSummary, SloSpec};
 use fa_attention::{AttentionConfig, HeadTopology};
 use fa_fault::{run_drill, DrillSpec, DrillStats};
+use fa_tensor::{random::ElementDist, Matrix};
 use std::time::Instant;
 
 /// One serving leg: aggregate metrics in scheduler steps plus the
@@ -62,9 +63,9 @@ impl ServingLeg {
     }
 }
 
-/// The full serving benchmark: clean + preemption legs and the two
-/// fault-drill campaigns, under one SLO.
-#[derive(Clone, Copy, Debug)]
+/// The full serving benchmark: clean + preemption legs, the two
+/// fault-drill campaigns, and the prefix-sharing sweep, under one SLO.
+#[derive(Clone, Debug)]
 pub struct ServingBenchReport {
     /// The SLO every leg is judged against.
     pub slo: SloSpec,
@@ -80,6 +81,71 @@ pub struct ServingBenchReport {
     pub value_drill: DrillStats,
     /// Key-side flip campaign (scrub finding -> repair in place).
     pub key_drill: DrillStats,
+    /// Copy-on-write prefix sharing vs independent admission, and
+    /// shared-block batched scoring vs per-reader GEMV decode.
+    pub prefix_sharing: PrefixSharingBench,
+}
+
+/// Shared-prefix serving economics at one reader count `k`: one prompt
+/// of `prefix + suffix` tokens per reader, admitted either through the
+/// prefix registry (register once, `k` suffix admissions adopting the
+/// prefix blocks) or as `k` independent full prompts, then decoded with
+/// shared-block batched scoring on vs off (per-reader GEMV) over the
+/// *same* shared cache.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixSharingPoint {
+    /// Concurrent readers of the shared prefix.
+    pub readers: usize,
+    /// Wall ms to deliver `k` ready contexts via the registry.
+    pub shared_prefill_ms: f64,
+    /// Wall ms to deliver the same contexts as independent prompts.
+    pub unshared_prefill_ms: f64,
+    /// Delivered context tokens/s — both paths hand the decoder
+    /// `k·(prefix+suffix)` tokens of ready context, so both are
+    /// normalized by that count (the shared path *computes* only
+    /// `prefix + k·suffix` of it).
+    pub shared_prefill_tokens_per_s: f64,
+    /// Same normalization for the independent path.
+    pub unshared_prefill_tokens_per_s: f64,
+    /// Live arena blocks after shared admission: `prefix_blocks +
+    /// k·suffix_blocks` (the O(L + k·suffix) memory claim).
+    pub shared_arena_blocks: usize,
+    /// Live arena blocks after independent admission:
+    /// `k·(prefix_blocks + suffix_blocks)`.
+    pub unshared_arena_blocks: usize,
+    /// Decode tokens/s with shared-block batched scoring (one K-panel
+    /// sweep per physical block feeding all readers).
+    pub shared_decode_tokens_per_s: f64,
+    /// Decode tokens/s on an identical shared cache with batching
+    /// disabled: one GEMV sweep per reader per block.
+    pub gemv_decode_tokens_per_s: f64,
+    /// Analytic KV bytes streamed per decode step under batching
+    /// (shared blocks counted once).
+    pub shared_bytes_per_step: f64,
+    /// Analytic KV bytes streamed per decode step under per-reader
+    /// GEMV (shared blocks counted once per reader).
+    pub gemv_bytes_per_step: f64,
+    /// Shared-block score tiles formed during the timed decode.
+    pub shared_score_tiles: u64,
+    /// Batched and GEMV decode produced bit-identical outputs (the
+    /// sharing contract: batching is a scheduling choice, not a
+    /// numerics choice).
+    pub decode_bitwise_match: bool,
+}
+
+/// The prefix-sharing sweep: geometry plus one point per reader count.
+#[derive(Clone, Debug)]
+pub struct PrefixSharingBench {
+    /// Shared-prefix length, tokens (block- and chunk-aligned).
+    pub prefix_tokens: usize,
+    /// Per-reader private suffix length, tokens.
+    pub suffix_tokens: usize,
+    /// KV block height used by the sweep's engines.
+    pub block_rows: usize,
+    /// Timed decode steps per point.
+    pub decode_steps: usize,
+    /// One measurement per reader count.
+    pub points: Vec<PrefixSharingPoint>,
 }
 
 /// Headline serving topology: 4:2 GQA, head_dim 8, 4-row blocks —
@@ -128,6 +194,215 @@ fn run_leg(cfg: ServeConfig, slo: &SloSpec, load_steps: usize, seed: u64) -> Ser
     }
 }
 
+/// Prefix-sharing sweep topology: 4:2 GQA at head_dim 128 (q rows 512
+/// wide, kv rows 256 wide), 16-row blocks, 16-token prefill chunks — a
+/// 512-token prefix is 32 full blocks, and at head_dim 128 each kv
+/// head's prefix K panel is 512 KiB, so one decode step's per-reader
+/// GEMV re-streams ~2 MiB × k from beyond L2 while the batched sweep
+/// reads each physical panel once. Smaller head dims keep everything
+/// L1/L2-resident and the bandwidth win drowns in bookkeeping — this
+/// shape is the regime the shared-prefix optimization exists for.
+const PS_BLOCK_ROWS: usize = 16;
+const PS_HEAD_DIM: usize = 128;
+const PS_QUERY_HEADS: usize = 4;
+const PS_KV_HEADS: usize = 2;
+
+fn ps_engine() -> DecodeBatch<f64> {
+    let mut e = DecodeBatch::<f64>::with_policy(
+        HeadTopology::gqa(
+            PS_QUERY_HEADS,
+            PS_KV_HEADS,
+            AttentionConfig::new(PS_HEAD_DIM),
+        ),
+        PS_BLOCK_ROWS,
+        KvLayout::HeadMajor,
+        KvFormat::F64,
+        EvictionPolicy::RetainAll,
+    );
+    e.set_prefill_chunk(PS_BLOCK_ROWS);
+    e
+}
+
+/// `a` stacked on top of `b` (same width).
+fn vcat(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    assert_eq!(a.cols(), b.cols());
+    Matrix::from_fn(a.rows() + b.rows(), a.cols(), |r, c| {
+        if r < a.rows() {
+            a[(r, c)]
+        } else {
+            b[(r - a.rows(), c)]
+        }
+    })
+}
+
+type Prompt = (Matrix<f64>, Matrix<f64>, Matrix<f64>);
+
+fn ps_prompt(rows: usize, seed: u64) -> Prompt {
+    let dist = ElementDist::default();
+    let (qd, kd) = (PS_QUERY_HEADS * PS_HEAD_DIM, PS_KV_HEADS * PS_HEAD_DIM);
+    (
+        Matrix::random_seeded(rows, qd, dist, seed),
+        Matrix::random_seeded(rows, kd, dist, seed + 1),
+        Matrix::random_seeded(rows, kd, dist, seed + 2),
+    )
+}
+
+/// Registers the prefix once and admits `k` suffix readers through it,
+/// draining chunked admission; returns the ready sequence ids.
+fn ps_admit_shared(e: &mut DecodeBatch<f64>, prefix: &Prompt, suffixes: &[Prompt]) -> Vec<usize> {
+    let id = e.register_prefix(&prefix.0, &prefix.1, &prefix.2);
+    let seqs: Vec<usize> = suffixes
+        .iter()
+        .map(|(q, k, v)| e.enqueue_shared(id, q, k, v))
+        .collect();
+    while e.prefill_step() > 0 {}
+    for &s in &seqs {
+        e.take_admitted(s).expect("shared reader admitted");
+    }
+    seqs
+}
+
+/// Admits `k` independent full prompts (prefix‖suffix), draining
+/// chunked admission; returns the ready sequence ids.
+fn ps_admit_unshared(e: &mut DecodeBatch<f64>, prompts: &[Prompt]) -> Vec<usize> {
+    let seqs: Vec<usize> = prompts.iter().map(|(q, k, v)| e.enqueue(q, k, v)).collect();
+    while e.prefill_step() > 0 {}
+    for &s in &seqs {
+        e.take_admitted(s).expect("independent prompt admitted");
+    }
+    seqs
+}
+
+/// Decodes `steps` tokens for every sequence, returning the flattened
+/// output rows for bitwise comparison across scoring modes.
+fn ps_decode(e: &mut DecodeBatch<f64>, seqs: &[usize], steps: &[Prompt]) -> Vec<Vec<f64>> {
+    let mut outs = Vec::with_capacity(seqs.len() * steps.len());
+    for (q, k, v) in steps {
+        for o in e.step_decode(seqs, q, k, v) {
+            outs.push(o.output);
+        }
+    }
+    outs
+}
+
+fn measure_prefix_sharing_point(
+    prefix: &Prompt,
+    readers: usize,
+    suffix_tokens: usize,
+    decode_steps: usize,
+    reps: usize,
+) -> PrefixSharingPoint {
+    let prefix_tokens = prefix.0.rows();
+    let suffixes: Vec<Prompt> = (0..readers)
+        .map(|i| ps_prompt(suffix_tokens, 0x9100 + 16 * i as u64))
+        .collect();
+    let fulls: Vec<Prompt> = suffixes
+        .iter()
+        .map(|(q, k, v)| (vcat(&prefix.0, q), vcat(&prefix.1, k), vcat(&prefix.2, v)))
+        .collect();
+    let steps: Vec<Prompt> = (0..decode_steps)
+        .map(|t| ps_prompt(readers, 0xD000 + 16 * t as u64))
+        .collect();
+
+    let mut shared_prefill_ms = f64::INFINITY;
+    let mut unshared_prefill_ms = f64::INFINITY;
+    let mut shared_decode_ms = f64::INFINITY;
+    let mut gemv_decode_ms = f64::INFINITY;
+    let mut shared_arena_blocks = 0;
+    let mut unshared_arena_blocks = 0;
+    let mut shared_score_tiles = 0;
+    let mut decode_bitwise_match = true;
+    let mut first_outs: Option<Vec<Vec<f64>>> = None;
+    for _ in 0..reps {
+        // Registry path: register once, k suffix admissions, then the
+        // batched-scoring decode on the shared cache.
+        let mut e = ps_engine();
+        let t0 = Instant::now();
+        let seqs = ps_admit_shared(&mut e, prefix, &suffixes);
+        shared_prefill_ms = shared_prefill_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        shared_arena_blocks = e.cache().live_unique_blocks();
+        let tiles0 = e.shared_score_tiles();
+        let t1 = Instant::now();
+        let outs = ps_decode(&mut e, &seqs, &steps);
+        shared_decode_ms = shared_decode_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        shared_score_tiles = e.shared_score_tiles() - tiles0;
+
+        // GEMV twin: the identical shared cache, batching disabled —
+        // isolates the scoring kernel from the memory layout.
+        let mut g = ps_engine();
+        g.set_shared_scoring(false);
+        let gseqs = ps_admit_shared(&mut g, prefix, &suffixes);
+        let t2 = Instant::now();
+        let gouts = ps_decode(&mut g, &gseqs, &steps);
+        gemv_decode_ms = gemv_decode_ms.min(t2.elapsed().as_secs_f64() * 1e3);
+
+        // Independent path: k full prompts, no registry.
+        let mut u = ps_engine();
+        let t3 = Instant::now();
+        ps_admit_unshared(&mut u, &fulls);
+        unshared_prefill_ms = unshared_prefill_ms.min(t3.elapsed().as_secs_f64() * 1e3);
+        unshared_arena_blocks = u.cache().live_unique_blocks();
+
+        decode_bitwise_match &= outs == gouts;
+        if let Some(first) = &first_outs {
+            decode_bitwise_match &= *first == outs;
+        } else {
+            first_outs = Some(outs);
+        }
+    }
+
+    // Analytic streamed-KV accounting, exact per step: after the step's
+    // append every reader sees prefix + suffix + t + 1 rows. Batching
+    // streams each shared physical row once; GEMV streams it per
+    // reader. Private suffix rows cost k-fold either way.
+    let row_bytes = (2 * PS_KV_HEADS * PS_HEAD_DIM * std::mem::size_of::<f64>()) as f64;
+    let (mut shared_bytes, mut gemv_bytes) = (0.0, 0.0);
+    for t in 0..decode_steps {
+        let private = (suffix_tokens + t + 1) as f64;
+        shared_bytes += row_bytes * (prefix_tokens as f64 + readers as f64 * private);
+        gemv_bytes += row_bytes * readers as f64 * (prefix_tokens as f64 + private);
+    }
+    let delivered = (readers * (prefix_tokens + suffix_tokens)) as f64;
+    let decoded = (readers * decode_steps) as f64;
+    PrefixSharingPoint {
+        readers,
+        shared_prefill_ms,
+        unshared_prefill_ms,
+        shared_prefill_tokens_per_s: delivered / shared_prefill_ms * 1e3,
+        unshared_prefill_tokens_per_s: delivered / unshared_prefill_ms * 1e3,
+        shared_arena_blocks,
+        unshared_arena_blocks,
+        shared_decode_tokens_per_s: decoded / shared_decode_ms * 1e3,
+        gemv_decode_tokens_per_s: decoded / gemv_decode_ms * 1e3,
+        shared_bytes_per_step: shared_bytes / decode_steps as f64,
+        gemv_bytes_per_step: gemv_bytes / decode_steps as f64,
+        shared_score_tiles,
+        decode_bitwise_match,
+    }
+}
+
+/// Runs the prefix-sharing sweep at k ∈ {4, 16, 32} readers.
+fn measure_prefix_sharing(quick: bool) -> PrefixSharingBench {
+    // Full runs use the headline 512-token prefix (32 full blocks);
+    // quick mode shrinks it so the k=32 independent baseline stays CI
+    // cheap. Both keep prefix block- and chunk-aligned (no CoW tail:
+    // this sweep measures sharing, the CoW paths are property-tested).
+    let (prefix_tokens, decode_steps, reps) = if quick { (128, 4, 2) } else { (512, 8, 3) };
+    let suffix_tokens = PS_BLOCK_ROWS;
+    let prefix = ps_prompt(prefix_tokens, 0x8000);
+    let points = [4usize, 16, 32]
+        .iter()
+        .map(|&k| measure_prefix_sharing_point(&prefix, k, suffix_tokens, decode_steps, reps))
+        .collect();
+    PrefixSharingBench {
+        prefix_tokens,
+        suffix_tokens,
+        block_rows: PS_BLOCK_ROWS,
+        decode_steps,
+        points,
+    }
+}
+
 /// Runs the serving benchmark. `quick` shrinks the load window and
 /// drill trial counts for CI smoke runs.
 pub fn measure(quick: bool) -> ServingBenchReport {
@@ -156,6 +431,7 @@ pub fn measure(quick: bool) -> ServingBenchReport {
     };
     let value_drill = drill(false, 0xD211);
     let key_drill = drill(true, 0xD213);
+    let prefix_sharing = measure_prefix_sharing(quick);
 
     ServingBenchReport {
         slo,
@@ -165,6 +441,7 @@ pub fn measure(quick: bool) -> ServingBenchReport {
         preemption,
         value_drill,
         key_drill,
+        prefix_sharing,
     }
 }
 
@@ -232,6 +509,48 @@ fn drill_json(st: &DrillStats) -> String {
     )
 }
 
+fn prefix_sharing_json(ps: &PrefixSharingBench) -> String {
+    let points: Vec<String> = ps
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"readers\": {}, \"shared_prefill_ms\": {:.3}, \
+                 \"unshared_prefill_ms\": {:.3},\n        \
+                 \"shared_prefill_tokens_per_s\": {:.1}, \
+                 \"unshared_prefill_tokens_per_s\": {:.1},\n        \
+                 \"shared_arena_blocks\": {}, \"unshared_arena_blocks\": {},\n        \
+                 \"shared_decode_tokens_per_s\": {:.1}, \
+                 \"gemv_decode_tokens_per_s\": {:.1},\n        \
+                 \"shared_bytes_per_step\": {:.0}, \"gemv_bytes_per_step\": {:.0},\n        \
+                 \"shared_score_tiles\": {}, \"decode_bitwise_match\": {} }}",
+                p.readers,
+                p.shared_prefill_ms,
+                p.unshared_prefill_ms,
+                p.shared_prefill_tokens_per_s,
+                p.unshared_prefill_tokens_per_s,
+                p.shared_arena_blocks,
+                p.unshared_arena_blocks,
+                p.shared_decode_tokens_per_s,
+                p.gemv_decode_tokens_per_s,
+                p.shared_bytes_per_step,
+                p.gemv_bytes_per_step,
+                p.shared_score_tiles,
+                p.decode_bitwise_match,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"prefix_tokens\": {}, \"suffix_tokens\": {}, \"block_rows\": {}, \
+         \"decode_steps\": {},\n    \"points\": [\n{}\n    ]\n  }}",
+        ps.prefix_tokens,
+        ps.suffix_tokens,
+        ps.block_rows,
+        ps.decode_steps,
+        points.join(",\n"),
+    )
+}
+
 impl ServingBenchReport {
     /// Serializes the report for `BENCH_serving.json`.
     pub fn to_json(&self) -> String {
@@ -241,7 +560,8 @@ impl ServingBenchReport {
              \"load_steps\": {},\n  \
              \"clean\": {},\n  \
              \"preemption\": {},\n  \
-             \"fault_drill\": {{\n    \"trials\": {},\n    \"value\": {},\n    \"key\": {}\n  }}\n}}\n",
+             \"fault_drill\": {{\n    \"trials\": {},\n    \"value\": {},\n    \"key\": {}\n  }},\n  \
+             \"prefix_sharing\": {}\n}}\n",
             self.slo.ttft_steps,
             self.slo.per_token_steps,
             self.load_steps,
@@ -250,6 +570,7 @@ impl ServingBenchReport {
             self.drill_trials,
             drill_json(&self.value_drill),
             drill_json(&self.key_drill),
+            prefix_sharing_json(&self.prefix_sharing),
         )
     }
 }
@@ -294,8 +615,51 @@ mod tests {
             "goodput_under_slo",
             "fault_drill",
             "preemption",
+            "prefix_sharing",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_sweep_holds_structural_invariants() {
+        let ps = measure_prefix_sharing(true);
+        let prefix_blocks = ps.prefix_tokens / ps.block_rows;
+        let suffix_blocks = ps.suffix_tokens.div_ceil(ps.block_rows);
+        assert_eq!(ps.prefix_tokens % ps.block_rows, 0, "prefix block-aligned");
+        assert_eq!(
+            ps.points.iter().map(|p| p.readers).collect::<Vec<_>>(),
+            vec![4, 16, 32]
+        );
+        for p in &ps.points {
+            let k = p.readers;
+            // The O(L + k·suffix) memory claim, exactly: the registry
+            // pins the prefix blocks once and every reader adopts them.
+            assert_eq!(
+                p.shared_arena_blocks,
+                prefix_blocks + k * suffix_blocks,
+                "k={k}: shared arena is prefix + k private suffixes"
+            );
+            assert_eq!(
+                p.unshared_arena_blocks,
+                k * (prefix_blocks + suffix_blocks),
+                "k={k}: independent arena replicates the prefix k times"
+            );
+            // Batching is a scheduling choice, not a numerics choice.
+            assert!(p.decode_bitwise_match, "k={k}: batched == GEMV bitwise");
+            assert!(
+                p.shared_score_tiles > 0,
+                "k={k}: equal-length readers must form score tiles"
+            );
+            // Analytic bytes: batching streams each shared row once.
+            assert!(
+                p.shared_bytes_per_step < p.gemv_bytes_per_step,
+                "k={k}: batched scoring streams fewer bytes"
+            );
+            assert!(p.shared_prefill_tokens_per_s > 0.0);
+            assert!(p.unshared_prefill_tokens_per_s > 0.0);
+            assert!(p.shared_decode_tokens_per_s > 0.0);
+            assert!(p.gemv_decode_tokens_per_s > 0.0);
         }
     }
 }

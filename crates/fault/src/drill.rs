@@ -228,8 +228,7 @@ impl DrillStats {
         if self.tokens_compared == 0 {
             return 100.0;
         }
-        100.0 * (self.tokens_compared - self.tokens_divergent) as f64
-            / self.tokens_compared as f64
+        100.0 * (self.tokens_compared - self.tokens_divergent) as f64 / self.tokens_compared as f64
     }
 }
 

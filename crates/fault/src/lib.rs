@@ -41,8 +41,8 @@
 
 pub mod campaign;
 pub mod classify;
-pub mod drill;
 pub mod criticality;
+pub mod drill;
 pub mod live;
 pub mod recovery;
 pub mod stats;

@@ -586,6 +586,156 @@ pub fn dot_then_scale_rows_bf16(
     }
 }
 
+/// Scores a block of key rows against **many** queries at once:
+/// `out[qi·n_rows + r] = dot_then_scale(q_qi, row_r, scale)` for `nq =
+/// qs.len()/d` queries packed row-major in `qs`. Every (query, row)
+/// score goes through the same [`dot_f64`] kernel as
+/// [`dot_then_scale_rows`], so the output is bit-identical to calling
+/// that kernel once per query — this entry point exists purely for
+/// memory locality: the row loop is **outer** and the query loop inner,
+/// so each K row is streamed from DRAM once and stays register/L1-hot
+/// while all `nq` queries score it. That turns `k` sequences reading one
+/// shared cache block from `k` separate K-panel sweeps (bandwidth-bound)
+/// into one sweep feeding a `(nq × d)·(dᵀ × n_rows)` matmul's worth of
+/// dots (compute-dense — the shared-prefix decode win).
+///
+/// The tiled [`matmul_f64_acc`] is *not* usable here: its ascending-`k`
+/// accumulation differs from [`dot_f64`]'s lane-blocked order for
+/// `d ≥ DOT_LANES`, and shared-block scores must stay bit-identical to
+/// the unshared GEMV path. `out` is cleared and refilled (query-major).
+///
+/// # Panics
+///
+/// Panics if `qs.len()` is not a multiple of `d`, `row_stride < d`, or
+/// `rows` is too short for the requested view.
+#[inline]
+pub fn dot_then_scale_rows_multi<T: Scalar>(
+    qs: &[T],
+    d: usize,
+    rows: &[T],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(qs.len() % d, 0, "packed queries not a multiple of d");
+    let nq = qs.len() / d;
+    out.clear();
+    out.resize(nq * n_rows, 0.0);
+    dot_then_scale_rows_multi_into(qs, d, rows, row_stride, n_rows, scale, out);
+}
+
+/// [`dot_then_scale_rows_multi`] writing into a pre-sized slice instead
+/// of a `Vec` — the caller owns placement, so a batch of tiles can land
+/// directly in one score arena with no per-tile scratch copy. `out`
+/// must hold exactly `nq · n_rows` entries (query-major on return).
+///
+/// # Panics
+///
+/// Panics if `qs.len()` is not a multiple of `d`, `out.len()` is not
+/// `nq · n_rows`, `row_stride < d`, or `rows` is too short.
+#[inline]
+pub fn dot_then_scale_rows_multi_into<T: Scalar>(
+    qs: &[T],
+    d: usize,
+    rows: &[T],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(qs.len() % d, 0, "packed queries not a multiple of d");
+    let nq = qs.len() / d;
+    assert_eq!(out.len(), nq * n_rows, "output tile size mismatch");
+    if n_rows == 0 || nq == 0 {
+        return;
+    }
+    assert!(
+        row_stride >= d,
+        "row stride {row_stride} shorter than query length {d}"
+    );
+    let needed = (n_rows - 1) * row_stride + d;
+    assert!(
+        rows.len() >= needed,
+        "row block too short: {} < {needed}",
+        rows.len()
+    );
+    for r in 0..n_rows {
+        let row = &rows[r * row_stride..r * row_stride + d];
+        for qi in 0..nq {
+            out[qi * n_rows + r] = dot_f64(&qs[qi * d..(qi + 1) * d], row) * scale;
+        }
+    }
+}
+
+/// [`dot_then_scale_rows_multi`] for demoted (BF16-stored) blocks scored
+/// against packed `f64` queries: each (query, row) score is
+/// [`dot_f64_bf16`], bit-identical to [`dot_then_scale_rows_bf16`] once
+/// per query.
+///
+/// # Panics
+///
+/// Panics if `qs.len()` is not a multiple of `d`, `row_stride < d`, or
+/// `rows` is too short.
+#[inline]
+pub fn dot_then_scale_rows_multi_bf16(
+    qs: &[f64],
+    d: usize,
+    rows: &[fa_numerics::BF16],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(qs.len() % d, 0, "packed queries not a multiple of d");
+    let nq = qs.len() / d;
+    out.clear();
+    out.resize(nq * n_rows, 0.0);
+    dot_then_scale_rows_multi_bf16_into(qs, d, rows, row_stride, n_rows, scale, out);
+}
+
+/// [`dot_then_scale_rows_multi_bf16`] writing into a pre-sized slice —
+/// the BF16 twin of [`dot_then_scale_rows_multi_into`], same placement
+/// contract.
+///
+/// # Panics
+///
+/// Panics if `qs.len()` is not a multiple of `d`, `out.len()` is not
+/// `nq · n_rows`, `row_stride < d`, or `rows` is too short.
+#[inline]
+pub fn dot_then_scale_rows_multi_bf16_into(
+    qs: &[f64],
+    d: usize,
+    rows: &[fa_numerics::BF16],
+    row_stride: usize,
+    n_rows: usize,
+    scale: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(qs.len() % d, 0, "packed queries not a multiple of d");
+    let nq = qs.len() / d;
+    assert_eq!(out.len(), nq * n_rows, "output tile size mismatch");
+    if n_rows == 0 || nq == 0 {
+        return;
+    }
+    assert!(
+        row_stride >= d,
+        "row stride {row_stride} shorter than query length {d}"
+    );
+    let needed = (n_rows - 1) * row_stride + d;
+    assert!(
+        rows.len() >= needed,
+        "row block too short: {} < {needed}",
+        rows.len()
+    );
+    for r in 0..n_rows {
+        let row = &rows[r * row_stride..r * row_stride + d];
+        for qi in 0..nq {
+            out[qi * n_rows + r] = dot_f64_bf16(&qs[qi * d..(qi + 1) * d], row) * scale;
+        }
+    }
+}
+
 /// The seed's sequential dot product (one ascending add chain): the
 /// accuracy golden model and the baseline the `dot_simd` benchmark
 /// measures speedups from.
@@ -995,6 +1145,81 @@ mod tests {
             assert_eq!(matmul_f64_acc(&a, &b), matmul_f64_acc_reference(&a, &b));
             let (ab, bb) = rand_pair::<BF16>(m, k, n, 4000 + m as u64);
             assert_eq!(matmul_f64_acc(&ab, &bb), matmul_f64_acc_reference(&ab, &bb));
+        }
+    }
+
+    #[test]
+    fn multi_query_row_scores_bit_identical_to_per_query_sweeps() {
+        // The shared-block panel kernel must reproduce the per-query
+        // GEMV sweep bit for bit: same per-(query, row) dot, only the
+        // loop nest (rows outer, queries inner) differs. Cover head
+        // dims straddling the DOT_LANES=16 lane-block boundary, strided
+        // panels, and the widened BF16 variant.
+        use crate::random::ElementDist;
+        for (nq, d, n_rows, stride) in [(2, 4, 3, 4), (5, 16, 7, 20), (3, 33, 6, 40)] {
+            let qs = Matrix::<f64>::random_seeded(nq, d, ElementDist::default(), 7100 + d as u64);
+            let panel = Matrix::<f64>::random_seeded(
+                n_rows,
+                stride,
+                ElementDist::default(),
+                7200 + d as u64,
+            );
+            let scale = 1.0 / (d as f64).sqrt();
+            let mut batched = Vec::new();
+            dot_then_scale_rows_multi(
+                qs.as_slice(),
+                d,
+                panel.as_slice(),
+                stride,
+                n_rows,
+                scale,
+                &mut batched,
+            );
+            assert_eq!(batched.len(), nq * n_rows);
+            let mut single = Vec::new();
+            for qi in 0..nq {
+                dot_then_scale_rows(
+                    qs.row(qi),
+                    panel.as_slice(),
+                    stride,
+                    n_rows,
+                    scale,
+                    &mut single,
+                );
+                for r in 0..n_rows {
+                    assert_eq!(
+                        batched[qi * n_rows + r].to_bits(),
+                        single[r].to_bits(),
+                        "d {d} query {qi} row {r}"
+                    );
+                }
+            }
+
+            let panel16: Vec<BF16> = panel
+                .as_slice()
+                .iter()
+                .map(|&x| BF16::from_f64(x))
+                .collect();
+            let mut batched16 = Vec::new();
+            dot_then_scale_rows_multi_bf16(
+                qs.as_slice(),
+                d,
+                &panel16,
+                stride,
+                n_rows,
+                scale,
+                &mut batched16,
+            );
+            for qi in 0..nq {
+                dot_then_scale_rows_bf16(qs.row(qi), &panel16, stride, n_rows, scale, &mut single);
+                for r in 0..n_rows {
+                    assert_eq!(
+                        batched16[qi * n_rows + r].to_bits(),
+                        single[r].to_bits(),
+                        "bf16 d {d} query {qi} row {r}"
+                    );
+                }
+            }
         }
     }
 

@@ -29,7 +29,7 @@ use fa_attention::serve::{
 use fa_attention::{AttentionConfig, HeadTopology};
 use fa_fault::{run_drill, DrillSpec};
 
-const LOAD_SEED: u64 = 0x51_0;
+const LOAD_SEED: u64 = 0x0510;
 const LOAD_STEPS: usize = 60;
 const SLO: SloSpec = SloSpec {
     ttft_steps: 16,
@@ -199,6 +199,9 @@ fn main() {
     );
 
     println!();
-    println!("SLO: TTFT <= {} steps, inter-token <= {} steps", SLO.ttft_steps, SLO.per_token_steps);
+    println!(
+        "SLO: TTFT <= {} steps, inter-token <= {} steps",
+        SLO.ttft_steps, SLO.per_token_steps
+    );
     println!("slo_serving: all invariants held");
 }
