@@ -452,6 +452,16 @@ pub struct KvCache<T> {
     /// Shared blocks copied before a divergent write (copy-on-write
     /// appends into a shared tail block; observability).
     cow_copies: usize,
+    /// While a speculative window is open, blocks whose last reference
+    /// dropped are parked here instead of the free lists, so their
+    /// stored lanes survive for an exact rollback (a freed block on the
+    /// free list could be re-claimed and overwritten mid-window). The
+    /// window's resolve flushes still-unowned entries back to the free
+    /// lists.
+    deferred_frees: Vec<BlockRef>,
+    /// Whether frees are currently deferred (a speculative window is
+    /// open).
+    defer_frees: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -561,6 +571,8 @@ impl<T: Scalar> KvCache<T> {
             free_seqs: Vec::new(),
             recycled_blocks: 0,
             cow_copies: 0,
+            deferred_frees: Vec::new(),
+            defer_frees: false,
         }
     }
 
@@ -930,12 +942,64 @@ impl<T: Scalar> KvCache<T> {
         if *rc > 0 {
             return false;
         }
-        if blk.bf16 {
+        if self.defer_frees {
+            // Speculative window open: keep the lanes intact for
+            // rollback. The block is unreachable for claims (absent
+            // from the free lists) until the window's resolve flushes.
+            self.deferred_frees.push(blk);
+        } else if blk.bf16 {
             self.free_blocks16.push(blk.index);
         } else {
             self.free_blocks.push(blk.index);
         }
         true
+    }
+
+    /// Starts deferring frees for an opening speculative window.
+    pub(crate) fn begin_deferred_frees(&mut self) {
+        debug_assert!(
+            !self.defer_frees && self.deferred_frees.is_empty(),
+            "speculative windows cannot nest"
+        );
+        self.defer_frees = true;
+    }
+
+    /// Re-takes a reference on `blk` during speculative rollback —
+    /// unlike [`retain_block`](Self::retain_block) the count may be
+    /// zero: a block demoted, evicted or CoW-replaced mid-window sits in
+    /// `deferred_frees` with intact lanes, and restoring the snapshot
+    /// resurrects the owner's reference.
+    pub(crate) fn resurrect_block(&mut self, blk: BlockRef) {
+        let rc = if blk.bf16 {
+            &mut self.ref_counts16[blk.index]
+        } else {
+            &mut self.ref_counts[blk.index]
+        };
+        *rc += 1;
+    }
+
+    /// Ends the deferred-frees window: entries whose reference count is
+    /// still zero (not resurrected by a rollback) return to their free
+    /// lists.
+    pub(crate) fn flush_deferred_frees(&mut self) {
+        debug_assert!(self.defer_frees, "no deferred-frees window is open");
+        self.defer_frees = false;
+        let deferred = core::mem::take(&mut self.deferred_frees);
+        for blk in deferred {
+            let rc = if blk.bf16 {
+                self.ref_counts16[blk.index]
+            } else {
+                self.ref_counts[blk.index]
+            };
+            if rc > 0 {
+                continue;
+            }
+            if blk.bf16 {
+                self.free_blocks16.push(blk.index);
+            } else {
+                self.free_blocks.push(blk.index);
+            }
+        }
     }
 
     /// Takes one additional reference on `blk` (a live owner is handing
@@ -1859,6 +1923,13 @@ pub struct DecodeBatch<T: Scalar> {
     /// Step-local shared-score table and its persistent build buffers
     /// (see [`SharedScratch`]).
     shared_scratch: SharedScratch<T>,
+    /// The open speculative decode window, if any (see [`spec`]): the
+    /// per-sequence rollback snapshots plus the window's scored-token
+    /// checksums, parked between [`speculate`](Self::speculate) and
+    /// [`resolve_speculation`](Self::resolve_speculation). At most one
+    /// window is open at a time, and every other mutating entry point
+    /// asserts it is closed.
+    spec_window: Option<spec::SpecWindow<T>>,
 }
 
 impl<T: Scalar> DecodeBatch<T> {
@@ -1956,7 +2027,20 @@ impl<T: Scalar> DecodeBatch<T> {
             shared_scoring: true,
             shared_tiles: 0,
             shared_scratch: SharedScratch::default(),
+            spec_window: None,
         }
+    }
+
+    /// Panics unless no speculative window is open — every mutating
+    /// entry point other than the speculative pair calls this, so a
+    /// window can only be closed by
+    /// [`resolve_speculation`](Self::resolve_speculation) and the
+    /// rollback invariants cannot be invalidated mid-window.
+    fn assert_no_window(&self) {
+        assert!(
+            self.spec_window.is_none(),
+            "a speculative window is open; resolve_speculation must run first"
+        );
     }
 
     /// The head topology (query/kv head counts and the per-head kernel
@@ -2061,6 +2145,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range or already retired.
     pub fn retire(&mut self, seq: usize) {
+        self.assert_no_window();
         self.cache.retire_sequence(seq);
         let state = &mut self.seqs[seq];
         state.sumrows = Vec::new();
@@ -2081,6 +2166,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics on shape mismatch or out-of-range/retired `seq`.
     pub fn prefill(&mut self, seq: usize, k: &Matrix<T>, v: &Matrix<T>) {
+        self.assert_no_window();
         assert_eq!(k.cols(), self.cfg.kv_dim(), "K width mismatch");
         assert_eq!(v.cols(), self.cfg.kv_dim(), "V width mismatch");
         assert_eq!(k.rows(), v.rows(), "K/V row count mismatch");
@@ -2244,6 +2330,15 @@ impl<T: Scalar> DecodeBatch<T> {
         if !self.recovery_log || self.cache.is_retired(seq) {
             return;
         }
+        // Mid-window, truncation is deferred: dropping *leading* log
+        // rows is not reversible by rolling back the tail, and the
+        // window's own appends could push the length past the budget
+        // before the rollback shrinks it again. The accepted prefix's
+        // replay re-runs truncation on the exact non-speculative
+        // schedule.
+        if self.spec_window.is_some() {
+            return;
+        }
         let len = self.cache.seq_len(seq);
         let droppable = self.seqs[seq]
             .log_clean_until
@@ -2322,6 +2417,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range or retired.
     pub fn demote(&mut self, seq: usize, burst_blocks: usize) -> usize {
+        self.assert_no_window();
         let kv = self.cfg.kv_heads;
         let demoted = self.cache.demote_full_blocks(seq, burst_blocks);
         let first_retained = self.cache.first_retained(seq);
@@ -2363,6 +2459,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `seq` is out of range or retired.
     pub fn quarantine(&mut self, seq: usize) -> QuarantineReport {
+        self.assert_no_window();
         assert!(!self.cache.is_retired(seq), "sequence {seq} is retired");
         let len = self.cache.seq_len(seq);
         let width = self.cache.width;
@@ -2636,6 +2733,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics on shape mismatch or an empty prefix.
     pub fn register_prefix(&mut self, q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> usize {
+        self.assert_no_window();
         assert!(k.rows() > 0, "empty prefix");
         let seq = self.enqueue(q, k, v);
         while self.is_pending(seq) {
@@ -2672,6 +2770,7 @@ impl<T: Scalar> DecodeBatch<T> {
     ///
     /// Panics if `id` is unknown or already released.
     pub fn release_prefix(&mut self, id: usize) {
+        self.assert_no_window();
         let p = self.prefixes[id].take().expect("prefix already released");
         for &blk in &p.blocks {
             self.cache.release_block(blk);
@@ -2940,6 +3039,7 @@ impl<T: Scalar> DecodeBatch<T> {
     /// totals. Completed prompts park their [`AdmittedPrompt`] for
     /// [`take_admitted`](Self::take_admitted).
     fn advance_pending(&mut self, chunk: usize, only: Option<&[usize]>) -> usize {
+        self.assert_no_window();
         let h = self.cfg.query_heads;
         let kv = self.cfg.kv_heads;
         let gs = self.cfg.group_size();
@@ -3222,6 +3322,7 @@ impl<T: Scalar> DecodeBatch<T> {
         assert_eq!(qs.cols(), self.cfg.q_dim(), "Q width mismatch");
         assert_eq!(ks.cols(), self.cfg.kv_dim(), "K width mismatch");
         assert_eq!(vs.cols(), self.cfg.kv_dim(), "V width mismatch");
+        self.assert_no_window();
         let batch = seq_ids.len();
         assert_eq!(qs.rows(), batch, "one Q row per sequence id");
         assert_eq!(ks.rows(), batch, "one K row per sequence id");
@@ -3693,6 +3794,7 @@ fn accumulate_block<V: Scalar>(
 
 pub mod guard;
 pub mod scrub;
+pub mod spec;
 
 #[cfg(test)]
 mod tests {

@@ -49,6 +49,82 @@
 
 use super::{round_bf16, DecodeBatch};
 use fa_numerics::BF16;
+use fa_tensor::Scalar;
+
+/// One sequence's fused verdict over a resolved speculative window
+/// (see [`super::spec`]): the accepted-prefix checksum totals, produced
+/// by [`DecodeBatch::resolve_speculation`]. Covers exactly the tokens
+/// that were committed — rejected tail tokens were scored (their budget
+/// was spent) but their checksum pairs were rolled back with their
+/// appends, so they never touch the session verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowVerdict {
+    /// The windowed sequence id.
+    pub seq: usize,
+    /// Tokens committed from the window (the accepted prefix length).
+    pub accepted: usize,
+    /// Sum of the accepted tokens' predicted checksums.
+    pub predicted: f64,
+    /// Sum of the accepted tokens' actual checksums.
+    pub actual: f64,
+}
+
+impl WindowVerdict {
+    /// `predicted − actual` over the accepted prefix — the window-level
+    /// analogue of [`DecodeStepOutput::residual`](super::DecodeStepOutput::residual).
+    pub fn residual(&self) -> f64 {
+        self.predicted - self.actual
+    }
+}
+
+impl<T: Scalar> DecodeBatch<T> {
+    /// Post-rollback integrity sweep: recomputes every retained block's
+    /// reference checksum from its stored rows and every retained
+    /// position's `sumrow(V)` entries from its stored value row, and
+    /// compares both against the engine's live structures **bitwise**.
+    /// After [`resolve_speculation`](Self::resolve_speculation) rewinds
+    /// rejected speculative appends this must hold for every windowed
+    /// sequence — the check-rewind half of the rollback contract (the
+    /// other half, bit-identical replay of the accepted prefix, is
+    /// property-tested against a non-speculative twin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range or retired.
+    pub fn rewind_checks_clean(&self, seq: usize) -> bool {
+        let kv = self.cfg.kv_heads;
+        let br = self.cache.block_rows();
+        let start = self.cache.first_retained(seq);
+        let len = self.cache.seq_len(seq);
+        let state = &self.cache.seqs[seq];
+        for (bi, &blk) in state.blocks.iter().enumerate() {
+            let first = start + bi * br;
+            let rows = (len - first).min(br);
+            let fresh = self.cache.recompute_block_check(blk, rows);
+            let stored = &state.checks[bi];
+            for g in 0..kv {
+                if fresh.ksum[g].to_bits() != stored.ksum[g].to_bits()
+                    || fresh.vsum[g].to_bits() != stored.vsum[g].to_bits()
+                {
+                    return false;
+                }
+            }
+        }
+        let sumrows = &self.seqs[seq].sumrows;
+        if sumrows.len() != len * kv {
+            return false;
+        }
+        for p in start..len {
+            for g in 0..kv {
+                let fresh = self.cache.value_head_sum(seq, p, g);
+                if fresh.to_bits() != sumrows[p * kv + g].to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
 
 /// Which live engine state a campaign injection targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

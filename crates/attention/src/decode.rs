@@ -307,6 +307,41 @@ mod tests {
     }
 
     #[test]
+    fn speculative_window_matches_gqa_session_bitwise() {
+        // Full-accept speculative decode is the session golden, token by
+        // token: scoring gamma positions in one batched pass over the
+        // paged cache changes nothing about any token's bits.
+        use crate::batch::DecodeBatch;
+        use crate::topology::HeadTopology;
+        let topo = HeadTopology::gqa(4, 2, AttentionConfig::new(4));
+        let mut engine = DecodeBatch::<f64>::new(topo, 4);
+        let mut session = GqaDecodeSession::<f64>::new(topo);
+        let seq = engine.add_sequence();
+        let prefill = 7;
+        let pk = Matrix::random_seeded(prefill, topo.kv_dim(), ElementDist::default(), 50);
+        let pv = Matrix::random_seeded(prefill, topo.kv_dim(), ElementDist::default(), 51);
+        let pq = Matrix::random_seeded(prefill, topo.q_dim(), ElementDist::default(), 52);
+        engine.prefill(seq, &pk, &pv);
+        for i in 0..prefill {
+            session.step(pq.row(i), pk.row(i), pv.row(i));
+        }
+        let gamma = 4;
+        let qs = Matrix::random_seeded(gamma, topo.q_dim(), ElementDist::default(), 60);
+        let ks = Matrix::random_seeded(gamma, topo.kv_dim(), ElementDist::default(), 61);
+        let vs = Matrix::random_seeded(gamma, topo.kv_dim(), ElementDist::default(), 62);
+        let outs = engine.speculate(&[seq], &qs, &ks, &vs, gamma);
+        for (t, out) in outs[0].iter().enumerate() {
+            let golden = session.step(qs.row(t), ks.row(t), vs.row(t));
+            for (c, (a, b)) in out.output.iter().zip(&golden).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "token {t} lane {c}");
+            }
+        }
+        let verdicts = engine.resolve_speculation(&[gamma]);
+        assert_eq!(verdicts[0].accepted, gamma);
+        assert!(verdicts[0].residual().abs() < 1e-9);
+    }
+
+    #[test]
     fn decode_matches_causal_batch_attention() {
         // Feeding tokens one at a time must equal one causal batch pass.
         let (q, k, v) = rand_qkv(10, 4, 800);

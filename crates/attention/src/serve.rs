@@ -281,6 +281,15 @@ pub struct ServeConfig {
     pub log_budget_rows: Option<usize>,
     /// Online residual tolerance (NaN-safe alarm: `!(|r| <= tol)`).
     pub tol: f64,
+    /// Speculative window width γ. `0` or `1` keeps plain one-token
+    /// decode, bit-identical to earlier revisions. At γ ≥ 2 every
+    /// chosen sequence drafts γ tokens, the engine scores the whole
+    /// window in one batched pass over the paged cache, and only the
+    /// verified prefix is delivered — the rest rolls back exactly.
+    pub speculation_gamma: usize,
+    /// Per-token probability the deterministic draft proposes the true
+    /// stream row (the bench's α knob). Only consulted at γ ≥ 2.
+    pub draft_acceptance: f64,
 }
 
 impl Default for ServeConfig {
@@ -295,6 +304,8 @@ impl Default for ServeConfig {
             recovery_log: true,
             log_budget_rows: None,
             tol: 1e-6,
+            speculation_gamma: 0,
+            draft_acceptance: 0.0,
         }
     }
 }
@@ -338,6 +349,15 @@ pub struct StepReport {
     pub preemptions: usize,
     /// Corruption quarantines.
     pub quarantines: usize,
+    /// Draft tokens scored speculatively this step (γ per chosen
+    /// sequence — every one of them claimed step budget).
+    pub speculated_tokens: usize,
+    /// Speculated tokens that verified and were delivered.
+    pub spec_accepted: usize,
+    /// Speculated tokens rolled back after scoring. They still consumed
+    /// step budget and the tenant's decode deficit (see
+    /// [`step`](Scheduler::step)): rejection never inflates goodput.
+    pub spec_rejected: usize,
 }
 
 /// A request currently owning an engine slot.
@@ -386,6 +406,14 @@ impl Scheduler {
         assert!(
             cfg.prefill_budget <= cfg.token_budget,
             "prefill budget cannot exceed the token budget"
+        );
+        assert!(
+            cfg.speculation_gamma <= 1 || cfg.speculation_gamma <= cfg.token_budget,
+            "a speculative window cannot exceed the token budget"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.draft_acceptance),
+            "draft acceptance must be a probability"
         );
         if cfg.recovery_log {
             engine.enable_recovery_log();
@@ -526,6 +554,214 @@ impl Scheduler {
         )
     }
 
+    /// Prompt tokens this queued request would pay for *new* cache
+    /// rows: a request whose `(prefix_seed, prefix_tokens)` pair is
+    /// already registered rides the resident shared blocks and charges
+    /// only its suffix; a first-of-its-pair registration pays the whole
+    /// prefix too. Drives shed ordering (costliest Batch victim first),
+    /// the admission budget, and the tenant deficit charge.
+    fn admission_cost(&self, rec: usize) -> usize {
+        let r = &self.records[rec];
+        match r.prefix_seed {
+            Some(seed) if self.prefix_ids.contains_key(&(seed, r.prefix_tokens)) => r.prompt_tokens,
+            Some(_) => r.prefix_tokens + r.prompt_tokens,
+            None => r.prompt_tokens,
+        }
+    }
+
+    /// Plain decode: every chosen request scores its next token in one
+    /// engine step, then token acceptance runs. An alarmed token is
+    /// *discarded before delivery* (its K/V row is already cached, so
+    /// the history must rebuild: evict-and-requeue) — the request
+    /// re-decodes the same token index after recovery, bit-identically.
+    fn sequential_decode(&mut self, chosen: &[usize], report: &mut StepReport) {
+        let outputs = if chosen.is_empty() {
+            Vec::new()
+        } else {
+            let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+            let mut qdat = Vec::with_capacity(chosen.len() * qd);
+            let mut kdat = Vec::with_capacity(chosen.len() * kd);
+            let mut vdat = Vec::with_capacity(chosen.len() * kd);
+            let mut seq_ids = Vec::with_capacity(chosen.len());
+            for &i in chosen {
+                let a = &self.active[i];
+                let (q, k, v) = self.token_rows(a.rec, a.decoded);
+                qdat.extend_from_slice(q.as_slice());
+                kdat.extend_from_slice(k.as_slice());
+                vdat.extend_from_slice(v.as_slice());
+                seq_ids.push(a.seq);
+            }
+            let qs = Matrix::from_vec(chosen.len(), qd, qdat);
+            let ks = Matrix::from_vec(chosen.len(), kd, kdat);
+            let vs = Matrix::from_vec(chosen.len(), kd, vdat);
+            let outs = self.engine.step_decode(&seq_ids, &qs, &ks, &vs);
+            outs.into_iter()
+                .enumerate()
+                .map(|(j, o)| (chosen[j], o, ks.row(j).to_vec(), vs.row(j).to_vec()))
+                .collect()
+        };
+
+        let mut alarmed: Vec<usize> = Vec::new();
+        for (i, out, krow, vrow) in outputs {
+            let res = out.residual().abs();
+            if res.is_nan() || res > self.cfg.tol {
+                report.online_alarms += 1;
+                alarmed.push(i);
+                continue;
+            }
+            let a = &mut self.active[i];
+            a.hist_k.extend_from_slice(&krow);
+            a.hist_v.extend_from_slice(&vrow);
+            a.decoded += 1;
+            a.demoted = false;
+            let tenant = self.records[a.rec].tenant;
+            let r = &mut self.records[a.rec];
+            if r.first_token_step.is_none() {
+                r.first_token_step = Some(self.now);
+            }
+            r.token_steps.push(self.now);
+            r.token_hashes.push(hash_bits(&out.output));
+            self.decoded_tokens[tenant] += 1;
+            report.decode_tokens += 1;
+        }
+        // Requeue alarmed victims highest-index first: `requeue` may
+        // swap_remove on a lost race, which never disturbs lower indices.
+        alarmed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in alarmed {
+            self.requeue(i, RequeueCause::Corruption, report);
+        }
+    }
+
+    /// The draft's per-token coin in `[0, 1)`: a pure function of the
+    /// request's stream seed, the global token index, and the current
+    /// step — so a token rejected this window redraws next window
+    /// instead of being rejected forever.
+    fn draft_coin(&self, rec: usize, token: usize) -> f64 {
+        let r = &self.records[rec];
+        let z = mix_seed(
+            mix_seed(r.seed, 0xD4AF_0000_0000_0000 | token as u64),
+            self.now,
+        );
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Speculative decode for one step: the deterministic seeded draft
+    /// proposes γ K/V rows per chosen sequence (each row is the true
+    /// stream row with probability [`draft_acceptance`]
+    /// (ServeConfig::draft_acceptance), a perturbed row after the first
+    /// miss), the engine scores every window position in **one** batched
+    /// pass, and verification keeps the longest prefix of bitwise-true
+    /// proposals — capped at the request's remaining tokens. Any online
+    /// alarm inside a window's accepted prefix voids that whole window
+    /// (nothing corrupt is ever delivered) and quarantines the request
+    /// after rollback.
+    ///
+    /// Budget accounting: every speculated token — accepted or rejected
+    /// — consumed scoring bandwidth, so the tenant's decode deficit is
+    /// charged the full window (γ), never just the accepted prefix.
+    /// `report.decode_tokens` counts only delivered tokens, so rejected
+    /// speculation cannot inflate `goodput_under_slo`.
+    fn speculative_decode(&mut self, chosen: &[usize], gamma: usize, report: &mut StepReport) {
+        if chosen.is_empty() {
+            return;
+        }
+        let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
+        let dist = ElementDist::default();
+        let n = chosen.len();
+        let mut qdat = Vec::with_capacity(n * gamma * qd);
+        let mut kdat = Vec::with_capacity(n * gamma * kd);
+        let mut vdat = Vec::with_capacity(n * gamma * kd);
+        let mut seq_ids = Vec::with_capacity(n);
+        let mut accepted = Vec::with_capacity(n);
+        for &i in chosen {
+            let a = &self.active[i];
+            let r = &self.records[a.rec];
+            let remaining = r.output_tokens - a.decoded;
+            let mut matched = true;
+            let mut accept = 0usize;
+            for t in 0..gamma {
+                let token = a.decoded + t;
+                let hit = matched && self.draft_coin(a.rec, token) < self.cfg.draft_acceptance;
+                let (q, k, v) = if hit {
+                    accept += 1;
+                    self.token_rows(a.rec, token)
+                } else {
+                    // First miss poisons the rest of the window: a
+                    // perturbed proposal can never bitwise-match the
+                    // true stream, so acceptance is a clean prefix.
+                    matched = false;
+                    let s = mix_seed(
+                        mix_seed(r.seed, 0x0BAD_0000_0000_0000 | token as u64),
+                        self.now,
+                    );
+                    (
+                        Matrix::random_seeded(1, qd, dist, mix_seed(s, 1)),
+                        Matrix::random_seeded(1, kd, dist, mix_seed(s, 2)),
+                        Matrix::random_seeded(1, kd, dist, mix_seed(s, 3)),
+                    )
+                };
+                qdat.extend_from_slice(q.as_slice());
+                kdat.extend_from_slice(k.as_slice());
+                vdat.extend_from_slice(v.as_slice());
+            }
+            accepted.push(accept.min(remaining));
+            seq_ids.push(a.seq);
+        }
+        let qs = Matrix::from_vec(n * gamma, qd, qdat);
+        let ks = Matrix::from_vec(n * gamma, kd, kdat);
+        let vs = Matrix::from_vec(n * gamma, kd, vdat);
+        let outs = self.engine.speculate(&seq_ids, &qs, &ks, &vs, gamma);
+
+        // Residual scan over each accepted prefix *before* anything is
+        // delivered: one alarmed position voids the whole window.
+        let mut alarmed: Vec<usize> = Vec::new();
+        for (j, &i) in chosen.iter().enumerate() {
+            let bad = outs[j][..accepted[j]].iter().any(|o| {
+                let res = o.residual().abs();
+                res.is_nan() || res > self.cfg.tol
+            });
+            if bad {
+                report.online_alarms += 1;
+                accepted[j] = 0;
+                alarmed.push(i);
+            }
+        }
+        let verdicts = self.engine.resolve_speculation(&accepted);
+        debug_assert_eq!(verdicts.len(), n);
+
+        for (j, &i) in chosen.iter().enumerate() {
+            let rec = self.active[i].rec;
+            let tenant = self.records[rec].tenant;
+            self.decoded_tokens[tenant] += gamma as u64;
+            report.speculated_tokens += gamma;
+            report.spec_accepted += accepted[j];
+            report.spec_rejected += gamma - accepted[j];
+            let base = self.active[i].decoded;
+            for (t, out) in outs[j].iter().take(accepted[j]).enumerate() {
+                let (_, k, v) = self.token_rows(rec, base + t);
+                let a = &mut self.active[i];
+                a.hist_k.extend_from_slice(k.as_slice());
+                a.hist_v.extend_from_slice(v.as_slice());
+                a.decoded += 1;
+                a.demoted = false;
+                let r = &mut self.records[rec];
+                if r.first_token_step.is_none() {
+                    r.first_token_step = Some(self.now);
+                }
+                r.token_steps.push(self.now);
+                r.token_hashes.push(hash_bits(&out.output));
+                report.decode_tokens += 1;
+            }
+        }
+        // The window is already closed (rolled back), so alarmed victims
+        // quarantine through the normal path — highest index first, as
+        // `requeue` may swap_remove on a lost race.
+        alarmed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in alarmed {
+            self.requeue(i, RequeueCause::Corruption, report);
+        }
+    }
+
     /// Runs one scheduler step: absorb `arrivals`, shed past the queue
     /// bound, admit deficit-fairly under the prefill budget, decode
     /// deficit-fairly under the remaining token budget, harvest finished
@@ -560,13 +796,15 @@ impl Scheduler {
             report.arrived += 1;
         }
 
-        // 2. Shed past the bound: newest Batch-priority victim first,
-        //    newest overall when only Interactive remains.
+        // 2. Shed past the bound: the costliest Batch-priority victim
+        //    first — cost is [`admission_cost`](Self::admission_cost),
+        //    so a request riding a resident shared prefix weighs only
+        //    its suffix and outlives unshared peers — newest breaking
+        //    ties; newest overall when only Interactive remains.
         while self.queue.len() > self.cfg.queue_bound {
-            let pos = self
-                .queue
-                .iter()
-                .rposition(|&r| self.records[r].priority == Priority::Batch)
+            let pos = (0..self.queue.len())
+                .filter(|&i| self.records[self.queue[i]].priority == Priority::Batch)
+                .max_by_key(|&i| (self.admission_cost(self.queue[i]), i))
                 .unwrap_or(self.queue.len() - 1);
             let rec = self.queue.remove(pos).expect("position is in range");
             self.records[rec].phase = Phase::Shed;
@@ -595,7 +833,14 @@ impl Scheduler {
                 })
                 .expect("queue is non-empty");
             let rec = self.queue[qi];
-            let cost = self.records[rec].prompt_tokens.min(chunk);
+            // The budget cost of this admission: the first prompt chunk,
+            // plus the whole prefix when this request would be the first
+            // to register its pair (a resident prefix rides shared
+            // blocks and charges only its suffix — the deficit counter
+            // gets the same prefix-aware cost).
+            let deficit_cost = self.admission_cost(rec);
+            let cost = self.records[rec].prompt_tokens.min(chunk)
+                + (deficit_cost - self.records[rec].prompt_tokens);
             if pending_load > 0 && pending_load + cost > self.cfg.prefill_budget {
                 break;
             }
@@ -605,7 +850,7 @@ impl Scheduler {
             let r = &mut self.records[rec];
             r.admitted_step = Some(self.now);
             r.phase = Phase::Prefilling;
-            self.admitted_tokens[r.tenant] += r.prompt_tokens as u64;
+            self.admitted_tokens[r.tenant] += deficit_cost as u64;
             self.active.push(Active {
                 rec,
                 seq,
@@ -643,9 +888,13 @@ impl Scheduler {
                     && !self.engine.is_pending(self.active[i].seq)
             })
             .collect();
+        // A speculative window claims γ budget tokens per sequence up
+        // front — accepted or not, every drafted position is scored, so
+        // every one is charged (γ = 1 reduces to the plain loop).
+        let gamma = self.cfg.speculation_gamma.max(1);
         let mut taken: Vec<u64> = vec![0; self.decoded_tokens.len()];
         let mut chosen: Vec<usize> = Vec::new();
-        while chosen.len() < decode_budget && !candidates.is_empty() {
+        while (chosen.len() + 1) * gamma <= decode_budget && !candidates.is_empty() {
             let ci = (0..candidates.len())
                 .min_by_key(|&ci| {
                     let r = &self.records[self.active[candidates[ci]].rec];
@@ -657,7 +906,7 @@ impl Scheduler {
                 })
                 .expect("candidates are non-empty");
             let i = candidates.swap_remove(ci);
-            taken[self.records[self.active[i].rec].tenant] += 1;
+            taken[self.records[self.active[i].rec].tenant] += gamma as u64;
             chosen.push(i);
         }
         chosen.sort_unstable();
@@ -666,64 +915,13 @@ impl Scheduler {
         //    keeping admission inside its budget share), then every
         //    chosen request decodes its next token in one engine step.
         report.prefill_tokens += self.engine.prefill_step_for(&prefill_set);
-        let outputs = if chosen.is_empty() {
-            Vec::new()
+        if gamma >= 2 {
+            // Speculative path: draft γ tokens per chosen sequence,
+            // score the whole window in one batched engine pass, keep
+            // the verified prefix, roll the rest back exactly.
+            self.speculative_decode(&chosen, gamma, &mut report);
         } else {
-            let (qd, kd) = (self.engine.config().q_dim(), self.engine.config().kv_dim());
-            let mut qdat = Vec::with_capacity(chosen.len() * qd);
-            let mut kdat = Vec::with_capacity(chosen.len() * kd);
-            let mut vdat = Vec::with_capacity(chosen.len() * kd);
-            let mut seq_ids = Vec::with_capacity(chosen.len());
-            for &i in &chosen {
-                let a = &self.active[i];
-                let (q, k, v) = self.token_rows(a.rec, a.decoded);
-                qdat.extend_from_slice(q.as_slice());
-                kdat.extend_from_slice(k.as_slice());
-                vdat.extend_from_slice(v.as_slice());
-                seq_ids.push(a.seq);
-            }
-            let qs = Matrix::from_vec(chosen.len(), qd, qdat);
-            let ks = Matrix::from_vec(chosen.len(), kd, kdat);
-            let vs = Matrix::from_vec(chosen.len(), kd, vdat);
-            let outs = self.engine.step_decode(&seq_ids, &qs, &ks, &vs);
-            outs.into_iter()
-                .enumerate()
-                .map(|(j, o)| (chosen[j], o, ks.row(j).to_vec(), vs.row(j).to_vec()))
-                .collect()
-        };
-
-        // 6. Token acceptance. An alarmed token is *discarded before
-        //    delivery* (its K/V row is already cached, so the history
-        //    must rebuild: evict-and-requeue) — the request re-decodes
-        //    the same token index after recovery, bit-identically.
-        let mut alarmed: Vec<usize> = Vec::new();
-        for (i, out, krow, vrow) in outputs {
-            let res = out.residual().abs();
-            if res.is_nan() || res > self.cfg.tol {
-                report.online_alarms += 1;
-                alarmed.push(i);
-                continue;
-            }
-            let a = &mut self.active[i];
-            a.hist_k.extend_from_slice(&krow);
-            a.hist_v.extend_from_slice(&vrow);
-            a.decoded += 1;
-            a.demoted = false;
-            let tenant = self.records[a.rec].tenant;
-            let r = &mut self.records[a.rec];
-            if r.first_token_step.is_none() {
-                r.first_token_step = Some(self.now);
-            }
-            r.token_steps.push(self.now);
-            r.token_hashes.push(hash_bits(&out.output));
-            self.decoded_tokens[tenant] += 1;
-            report.decode_tokens += 1;
-        }
-        // Requeue alarmed victims highest-index first: `requeue` may
-        // swap_remove on a lost race, which never disturbs lower indices.
-        alarmed.sort_unstable_by(|a, b| b.cmp(a));
-        for i in alarmed {
-            self.requeue(i, RequeueCause::Corruption, &mut report);
+            self.sequential_decode(&chosen, &mut report);
         }
 
         // 7. Harvest: completed admissions start decoding; completed
@@ -1745,6 +1943,241 @@ mod tests {
             }
         }
         assert!(finished > 0, "shared-prefix load must finish requests");
+    }
+
+    #[test]
+    fn speculation_gamma_zero_and_one_are_bit_identical() {
+        // γ ∈ {0, 1} must leave the pre-speculation scheduler untouched:
+        // same phases, same token bits, same step timing.
+        let base = run(ServeConfig::default(), 41, 50);
+        let g1 = run(
+            ServeConfig {
+                speculation_gamma: 1,
+                draft_acceptance: 0.7,
+                ..ServeConfig::default()
+            },
+            41,
+            50,
+        );
+        assert_eq!(base.records().len(), g1.records().len());
+        for (x, y) in base.records().iter().zip(g1.records().iter()) {
+            assert_eq!(x.phase, y.phase);
+            assert_eq!(x.token_hashes, y.token_hashes);
+            assert_eq!(x.token_steps, y.token_steps);
+        }
+    }
+
+    #[test]
+    fn speculative_decode_delivers_the_sequential_token_stream() {
+        // Accepted speculative tokens are the *same* stream rows the
+        // sequential scheduler decodes, so every request that finishes
+        // under both configs carries bitwise-identical token hashes.
+        let seq = run(ServeConfig::default(), 53, 60);
+        let spec = run(
+            ServeConfig {
+                speculation_gamma: 4,
+                draft_acceptance: 0.9,
+                ..ServeConfig::default()
+            },
+            53,
+            60,
+        );
+        assert_eq!(seq.records().len(), spec.records().len());
+        let mut finished_both = 0;
+        for (x, y) in seq.records().iter().zip(spec.records().iter()) {
+            if x.phase == Phase::Finished && y.phase == Phase::Finished {
+                assert_eq!(
+                    x.token_hashes, y.token_hashes,
+                    "speculative delivery must be bitwise sequential"
+                );
+                finished_both += 1;
+            }
+        }
+        assert!(
+            finished_both > 5,
+            "the α=0.9 run must finish a comparable request population"
+        );
+    }
+
+    #[test]
+    fn rejected_speculation_still_charges_the_budget() {
+        // α = 0: the draft is always wrong, every window rolls back
+        // whole — yet each chosen sequence still claimed γ budget
+        // tokens. No delivery, no goodput, full charge.
+        let cfg = ServeConfig {
+            speculation_gamma: 4,
+            draft_acceptance: 0.0,
+            ..ServeConfig::default()
+        };
+        let mut e = engine();
+        e.set_prefill_chunk(4);
+        let mut sched = Scheduler::new(e, cfg);
+        let mut gen = LoadGen::new(LoadSpec::default(), 61);
+        let mut speculated = 0usize;
+        for _ in 0..40 {
+            let rep = sched.step(&gen.step());
+            assert_eq!(
+                rep.spec_accepted, 0,
+                "an always-wrong draft delivers nothing"
+            );
+            assert_eq!(rep.decode_tokens, 0);
+            assert_eq!(rep.spec_rejected, rep.speculated_tokens);
+            assert_eq!(rep.speculated_tokens % 4, 0);
+            assert!(
+                rep.speculated_tokens <= cfg.token_budget,
+                "speculation overflowed the step budget"
+            );
+            speculated += rep.speculated_tokens;
+        }
+        assert!(speculated > 0, "windows were scored and charged");
+        let summary = sched.summary(&SloSpec {
+            ttft_steps: 16,
+            per_token_steps: 6,
+        });
+        assert_eq!(
+            summary.total_tokens, 0,
+            "rejected speculation must not inflate goodput accounting"
+        );
+    }
+
+    #[test]
+    fn speculation_respects_the_deficit_between_tenants() {
+        // Two tenants at γ=4: windows are charged in full per tenant, so
+        // neither tenant's delivered stream can starve the other by more
+        // than one window round.
+        let cfg = ServeConfig {
+            speculation_gamma: 4,
+            draft_acceptance: 0.8,
+            token_budget: 8,
+            prefill_budget: 4,
+            ..ServeConfig::default()
+        };
+        let sched = run(cfg, 67, 80);
+        let per_tenant: Vec<usize> = (0..LoadSpec::default().tenants)
+            .map(|t| {
+                sched
+                    .records()
+                    .iter()
+                    .filter(|r| r.tenant == t && r.phase == Phase::Finished)
+                    .map(|r| r.token_hashes.len())
+                    .sum()
+            })
+            .collect();
+        assert!(
+            per_tenant.iter().filter(|&&n| n > 0).count() >= 2,
+            "deficit-fair speculation serves more than one tenant: {per_tenant:?}"
+        );
+    }
+
+    #[test]
+    fn corruption_inside_a_speculative_window_is_caught_before_delivery() {
+        // Flip a value-side storage bit in an active sequence, then let
+        // the next speculative window score over it: the fused verdict
+        // alarms inside the window, nothing is delivered from it, the
+        // request quarantines and resumes — and the final token stream
+        // is bitwise identical to an unperturbed twin.
+        let cfg = ServeConfig {
+            speculation_gamma: 4,
+            draft_acceptance: 0.9,
+            ..ServeConfig::default()
+        };
+        let mk = |seed| Request {
+            tenant: 0,
+            priority: Priority::Interactive,
+            prompt_tokens: 6,
+            output_tokens: 12,
+            seed,
+            prefix_seed: None,
+            prefix_tokens: 0,
+        };
+        let drive = |inject: bool| -> (Scheduler, usize) {
+            let mut e = engine();
+            e.set_prefill_chunk(4);
+            let mut sched = Scheduler::new(e, cfg);
+            sched.step(&[mk(301), mk(302)]);
+            let mut alarms = 0;
+            let mut injected = false;
+            for _ in 0..300 {
+                if inject && !injected {
+                    if let Some(&(_, seq)) = sched.active_decoding().first() {
+                        let len = sched.engine().seq_len(seq);
+                        let first = sched.engine().cache().first_retained(seq);
+                        if len > first {
+                            sched
+                                .engine_mut()
+                                .flip_storage_bit(seq, len - 1, 0, 0, false, 61);
+                            injected = true;
+                        }
+                    }
+                }
+                let rep = sched.step(&[]);
+                alarms += rep.online_alarms;
+                if sched.records().iter().all(|r| r.phase == Phase::Finished) {
+                    break;
+                }
+            }
+            (sched, alarms)
+        };
+        let (clean, clean_alarms) = drive(false);
+        let (subject, subject_alarms) = drive(true);
+        assert_eq!(clean_alarms, 0, "the clean twin never alarms");
+        assert!(
+            subject_alarms > 0,
+            "the flipped value row must alarm inside the window"
+        );
+        assert!(subject
+            .records()
+            .iter()
+            .any(|r| r.quarantines > 0 && r.phase == Phase::Finished));
+        for (x, y) in clean.records().iter().zip(subject.records().iter()) {
+            assert_eq!(x.phase, Phase::Finished);
+            assert_eq!(y.phase, Phase::Finished);
+            assert_eq!(
+                x.token_hashes, y.token_hashes,
+                "recovery must deliver the clean stream bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_prefixes_shed_after_costlier_peers() {
+        // Register tenant 0's prefix, then overflow the queue with Batch
+        // requests: the resident-prefix request charges only its 2-token
+        // suffix, the unshared 8-token prompt is the costlier victim —
+        // even though it arrived first.
+        let cfg = ServeConfig {
+            queue_bound: 1,
+            ..ServeConfig::default()
+        };
+        let mk = |prompt, seed, prefix: Option<u64>, ptoks| Request {
+            tenant: 0,
+            priority: Priority::Batch,
+            prompt_tokens: prompt,
+            output_tokens: 1,
+            seed,
+            prefix_seed: prefix,
+            prefix_tokens: ptoks,
+        };
+        let mut sched = Scheduler::new(engine(), cfg);
+        // Registers (99, 12) in the prefix registry on admission.
+        sched.step(&[mk(2, 500, Some(99), 12)]);
+        let rep = sched.step(&[mk(8, 501, None, 0), mk(2, 502, Some(99), 12)]);
+        assert_eq!(rep.shed, 1);
+        assert_eq!(
+            sched.records()[1].phase,
+            Phase::Shed,
+            "8 > resident suffix 2"
+        );
+        assert_ne!(sched.records()[2].phase, Phase::Shed);
+
+        // A *non-resident* prefix pays prefix + suffix (12 + 2 = 14) and
+        // sheds before the unshared 8-token prompt it arrived ahead of.
+        let mut sched = Scheduler::new(engine(), cfg);
+        sched.step(&[mk(2, 500, Some(99), 12)]);
+        let rep = sched.step(&[mk(2, 503, Some(77), 12), mk(8, 504, None, 0)]);
+        assert_eq!(rep.shed, 1);
+        assert_eq!(sched.records()[1].phase, Phase::Shed, "14 > unshared 8");
+        assert_ne!(sched.records()[2].phase, Phase::Shed);
     }
 
     #[test]

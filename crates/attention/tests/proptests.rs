@@ -1344,6 +1344,475 @@ proptest! {
             &ids, 30_000, post_steps,
         );
     }
+
+    /// The speculative-decoding headline: **any** accept/reject schedule
+    /// — swept across KvFormat × EvictionPolicy × GQA topology ×
+    /// shared-prefix attachment × thread count — replays bit-identical
+    /// to non-speculative decode of exactly the accepted tokens, window
+    /// outputs and checksum verdicts included, and the engine keeps
+    /// decoding lockstep with the sequential twin afterwards with every
+    /// BlockCheck/sumrow rewound bitwise.
+    #[test]
+    fn speculative_schedules_replay_bit_identical_to_sequential_decode(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        share_sel in 0usize..2,
+        gamma in 2usize..6,
+        threads in 1usize..5,
+        pre_steps in 0usize..3,
+        post_steps in 1usize..4,
+        rounds in 1usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let shared = share_sel == 1;
+        let d = 4;
+        let block_rows = 4;
+        let batch = 3usize;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        // Per-(sequence, token-index) stream rows: accepted window
+        // positions and the twin's sequential decode draw the SAME rows;
+        // rejected positions draw from a disjoint lane group, so a
+        // proposal past the accept point can never collide with the
+        // true stream.
+        let srow = |i: usize, t: usize, lane: u64, cols: usize| {
+            rand(
+                1,
+                cols,
+                seed.wrapping_add(7_000)
+                    .wrapping_add(i as u64 * 65_536)
+                    .wrapping_add(t as u64 * 8)
+                    .wrapping_add(lane),
+            )
+        };
+
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mk = || {
+                    let mut e = DecodeBatch::<f64>::with_policy(
+                        topo, block_rows, KvLayout::HeadMajor, format, eviction,
+                    );
+                    e.set_prefill_chunk(3);
+                    e
+                };
+                let mut subject = mk();
+                let mut golden = mk();
+                let mut ids: Vec<usize> = Vec::new();
+                if shared {
+                    // Every sequence rides one 6-row registered prefix: the
+                    // half-filled shared tail forces the window's first
+                    // append to CoW-split, and rollback must restore the
+                    // share for all readers.
+                    let pq = rand(6, topo.q_dim(), seed ^ 0xA11CE);
+                    let pk = rand(6, topo.kv_dim(), seed ^ 0xB0B);
+                    let pv = rand(6, topo.kv_dim(), seed ^ 0xCAFE);
+                    let pid_s = subject.register_prefix(&pq, &pk, &pv);
+                    let pid_g = golden.register_prefix(&pq, &pk, &pv);
+                    let eq = Matrix::zeros(0, topo.q_dim());
+                    let ekv = Matrix::zeros(0, topo.kv_dim());
+                    for _ in 0..batch {
+                        ids.push(subject.enqueue_shared(pid_s, &eq, &ekv, &ekv));
+                        golden.enqueue_shared(pid_g, &eq, &ekv, &ekv);
+                    }
+                } else {
+                    for i in 0..batch {
+                        let id = subject.add_sequence();
+                        golden.add_sequence();
+                        let k = rand(10, topo.kv_dim(), seed.wrapping_add(100 + i as u64));
+                        let v = rand(10, topo.kv_dim(), seed.wrapping_add(200 + i as u64));
+                        subject.prefill(id, &k, &v);
+                        golden.prefill(id, &k, &v);
+                        ids.push(id);
+                    }
+                }
+                let mut decoded = vec![0usize; batch];
+                // Sequential lockstep decode of every sequence, outputs
+                // bit-asserted subject vs golden.
+                let lockstep = |subject: &mut DecodeBatch<f64>,
+                                golden: &mut DecodeBatch<f64>,
+                                decoded: &mut Vec<usize>,
+                                n: usize| {
+                    for _ in 0..n {
+                        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+                        let (mut qdat, mut kdat, mut vdat) = (Vec::new(), Vec::new(), Vec::new());
+                        for (i, &dec) in decoded.iter().enumerate() {
+                            qdat.extend_from_slice(srow(i, dec, 0, qd).as_slice());
+                            kdat.extend_from_slice(srow(i, dec, 1, kd).as_slice());
+                            vdat.extend_from_slice(srow(i, dec, 2, kd).as_slice());
+                        }
+                        let qs = Matrix::from_vec(batch, qd, qdat);
+                        let ks = Matrix::from_vec(batch, kd, kdat);
+                        let vs = Matrix::from_vec(batch, kd, vdat);
+                        let a = subject.step_decode(&ids, &qs, &ks, &vs);
+                        let b = golden.step_decode(&ids, &qs, &ks, &vs);
+                        for (x, y) in a.iter().zip(&b) {
+                            prop_assert_eq!(x.predicted.to_bits(), y.predicted.to_bits());
+                            prop_assert_eq!(x.actual.to_bits(), y.actual.to_bits());
+                            for (xa, ya) in x.output.iter().zip(&y.output) {
+                                prop_assert_eq!(xa.to_bits(), ya.to_bits());
+                            }
+                        }
+                        for c in decoded.iter_mut() {
+                            *c += 1;
+                        }
+                    }
+                };
+                lockstep(&mut subject, &mut golden, &mut decoded, pre_steps);
+
+                for r in 0..rounds {
+                    // A seed-derived accept/reject schedule, 0..=γ each.
+                    let accepted: Vec<usize> = (0..batch)
+                        .map(|i| {
+                            (seed >> (2 * (r * batch + i))) as usize % (gamma + 1)
+                        })
+                        .collect();
+                    let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+                    let (mut qdat, mut kdat, mut vdat) = (Vec::new(), Vec::new(), Vec::new());
+                    for i in 0..batch {
+                        for j in 0..gamma {
+                            let t = decoded[i] + j;
+                            let lane = if j < accepted[i] { 0 } else { 4 };
+                            qdat.extend_from_slice(srow(i, t, lane, qd).as_slice());
+                            kdat.extend_from_slice(srow(i, t, lane + 1, kd).as_slice());
+                            vdat.extend_from_slice(srow(i, t, lane + 2, kd).as_slice());
+                        }
+                    }
+                    let qs = Matrix::from_vec(batch * gamma, qd, qdat);
+                    let ks = Matrix::from_vec(batch * gamma, kd, kdat);
+                    let vs = Matrix::from_vec(batch * gamma, kd, vdat);
+                    let outs = subject.speculate(&ids, &qs, &ks, &vs, gamma);
+
+                    // The golden twin decodes exactly the accepted tokens,
+                    // sequentially: every window output over the accepted
+                    // prefix must match it bit for bit, verdict included.
+                    #[allow(clippy::needless_range_loop)]
+                    for t in 0..gamma {
+                        let live: Vec<usize> =
+                            (0..batch).filter(|&i| accepted[i] > t).collect();
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let (mut gq, mut gk, mut gv) = (Vec::new(), Vec::new(), Vec::new());
+                        let step_ids: Vec<usize> = live.iter().map(|&i| ids[i]).collect();
+                        for &i in &live {
+                            gq.extend_from_slice(srow(i, decoded[i] + t, 0, qd).as_slice());
+                            gk.extend_from_slice(srow(i, decoded[i] + t, 1, kd).as_slice());
+                            gv.extend_from_slice(srow(i, decoded[i] + t, 2, kd).as_slice());
+                        }
+                        let gq = Matrix::from_vec(live.len(), qd, gq);
+                        let gk = Matrix::from_vec(live.len(), kd, gk);
+                        let gv = Matrix::from_vec(live.len(), kd, gv);
+                        let outs_g = golden.step_decode(&step_ids, &gq, &gk, &gv);
+                        for (x, &i) in outs_g.iter().zip(&live) {
+                            let w = &outs[i][t];
+                            prop_assert_eq!(
+                                w.predicted.to_bits(), x.predicted.to_bits(),
+                                "round {} token {} seq {} predicted", r, t, i
+                            );
+                            prop_assert_eq!(
+                                w.actual.to_bits(), x.actual.to_bits(),
+                                "round {} token {} seq {} actual", r, t, i
+                            );
+                            for (c, (wa, xa)) in w.output.iter().zip(&x.output).enumerate() {
+                                prop_assert_eq!(
+                                    wa.to_bits(), xa.to_bits(),
+                                    "round {} token {} seq {} lane {}", r, t, i, c
+                                );
+                            }
+                        }
+                    }
+                    subject.resolve_speculation(&accepted);
+                    for (i, a) in accepted.iter().enumerate() {
+                        decoded[i] += a;
+                    }
+                    for (i, &id) in ids.iter().enumerate() {
+                        prop_assert_eq!(
+                            subject.seq_len(id), golden.seq_len(id),
+                            "round {} seq {} length", r, i
+                        );
+                        prop_assert_eq!(
+                            subject.demoted_len(id), golden.demoted_len(id),
+                            "round {} seq {} demotion schedule", r, i
+                        );
+                        prop_assert!(
+                            subject.rewind_checks_clean(id),
+                            "round {r} seq {i}: BlockChecks/sumrows must rewind bitwise"
+                        );
+                    }
+                }
+                lockstep(&mut subject, &mut golden, &mut decoded, post_steps);
+                assert_block_owners_consistent(&subject);
+            });
+    }
+
+    /// Satellite: live corruption **inside** the speculative window. A
+    /// value-side exponent flip in a recent cached row makes the window
+    /// verdict over it alarm before anything is delivered; rejecting the
+    /// whole window, quarantining the victim, and recomputing (from the
+    /// recovery log or the frontend history) resumes bit-identical to a
+    /// never-corrupted sequential twin — peers lockstep throughout.
+    #[test]
+    fn corruption_inside_the_speculative_window_alarms_before_delivery(
+        format_sel in 0usize..4,
+        evict_sel in 0usize..3,
+        topo_sel in 0usize..4,
+        gamma in 2usize..6,
+        pre_steps in 1usize..4,
+        post_steps in 1usize..4,
+        log_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        use fa_attention::batch::{EvictionPolicy, KvFormat};
+        use fa_attention::HeadTopology;
+        use fa_tensor::random::ElementDist;
+
+        let format = match format_sel {
+            0 => KvFormat::F64,
+            1 => KvFormat::Bf16,
+            2 => KvFormat::Mixed { burst_blocks: 1 },
+            _ => KvFormat::Mixed { burst_blocks: 2 },
+        };
+        let eviction = match evict_sel {
+            0 => EvictionPolicy::RetainAll,
+            1 => EvictionPolicy::SlidingWindow { window_blocks: 2 },
+            _ => EvictionPolicy::SlidingWindow { window_blocks: 3 },
+        };
+        let (qh, kv) = [(1usize, 1usize), (2, 1), (4, 2), (2, 2)][topo_sel];
+        let d = 4;
+        let block_rows = 4;
+        let batch = 3usize;
+        let prefill_len = 10;
+        let tol = 1e-6;
+        let from_log = log_sel == 1;
+        let topo = HeadTopology::gqa(qh, kv, AttentionConfig::new(d));
+        let mk = || {
+            let mut e = DecodeBatch::<f64>::with_policy(
+                topo, block_rows, KvLayout::HeadMajor, format, eviction,
+            );
+            e.set_prefill_chunk(3);
+            e
+        };
+        let mut subject = mk();
+        if from_log {
+            subject.enable_recovery_log();
+        }
+        let mut golden = mk();
+        let rand = |rows: usize, cols: usize, s: u64| {
+            Matrix::<f64>::random_seeded(rows, cols, ElementDist::default(), s)
+        };
+        let srow = |i: usize, t: usize, lane: u64, cols: usize| {
+            rand(
+                1,
+                cols,
+                seed.wrapping_add(7_000)
+                    .wrapping_add(i as u64 * 65_536)
+                    .wrapping_add(t as u64 * 8)
+                    .wrapping_add(lane),
+            )
+        };
+        let ids: Vec<usize> = (0..batch).map(|_| subject.add_sequence()).collect();
+        for _ in 0..batch {
+            golden.add_sequence();
+        }
+        let mut hist_k: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        let mut hist_v: Vec<Vec<f64>> = vec![Vec::new(); batch];
+        for (i, &id) in ids.iter().enumerate() {
+            let k = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(100 + i as u64));
+            let v = rand(prefill_len, topo.kv_dim(), seed.wrapping_add(200 + i as u64));
+            hist_k[i].extend_from_slice(k.as_slice());
+            hist_v[i].extend_from_slice(v.as_slice());
+            subject.prefill(id, &k, &v);
+            golden.prefill(id, &k, &v);
+        }
+        let mut decoded = vec![0usize; batch];
+        // Lockstep decode of the listed member indices, bit-asserted,
+        // with the frontend history tracking every accepted row.
+        let lockstep = |subject: &mut DecodeBatch<f64>,
+                        golden: &mut DecodeBatch<f64>,
+                        hist_k: &mut Vec<Vec<f64>>,
+                        hist_v: &mut Vec<Vec<f64>>,
+                        decoded: &mut Vec<usize>,
+                        members: &[usize],
+                        n: usize| {
+            for _ in 0..n {
+                let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+                let (mut qdat, mut kdat, mut vdat) = (Vec::new(), Vec::new(), Vec::new());
+                let step_ids: Vec<usize> = members.iter().map(|&i| ids[i]).collect();
+                for &i in members {
+                    let q = srow(i, decoded[i], 0, qd);
+                    let k = srow(i, decoded[i], 1, kd);
+                    let v = srow(i, decoded[i], 2, kd);
+                    hist_k[i].extend_from_slice(k.as_slice());
+                    hist_v[i].extend_from_slice(v.as_slice());
+                    qdat.extend_from_slice(q.as_slice());
+                    kdat.extend_from_slice(k.as_slice());
+                    vdat.extend_from_slice(v.as_slice());
+                }
+                let qs = Matrix::from_vec(members.len(), qd, qdat);
+                let ks = Matrix::from_vec(members.len(), kd, kdat);
+                let vs = Matrix::from_vec(members.len(), kd, vdat);
+                // step_all, not step_decode: it also advances the
+                // requeued victim's pending chunks while peers serve.
+                let a = subject.step_all(&step_ids, &qs, &ks, &vs);
+                let b = golden.step_all(&step_ids, &qs, &ks, &vs);
+                for (x, y) in a.iter().zip(&b) {
+                    for (xa, ya) in x.output.iter().zip(&y.output) {
+                        prop_assert_eq!(xa.to_bits(), ya.to_bits());
+                    }
+                }
+                for &i in members {
+                    decoded[i] += 1;
+                }
+            }
+        };
+        let all: Vec<usize> = (0..batch).collect();
+        lockstep(
+            &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+            &mut decoded, &all, pre_steps,
+        );
+
+        // Flip the top exponent bit of a value lane in the victim's most
+        // recent row: |v| < 2 everywhere, so the flip explodes the value
+        // and the fused verdict over it cannot stay inside tol.
+        let vi = (seed as usize) % batch;
+        let victim = ids[vi];
+        let peers: Vec<usize> = (0..batch).filter(|&i| i != vi).collect();
+        let pos = subject.seq_len(victim) - 1;
+        let g = (seed as usize / 11) % kv;
+        let lane = (seed as usize / 13) % d;
+        let bit = if subject.storage_is_bf16(victim, pos) { 14 } else { 62 };
+        subject.flip_storage_bit(victim, pos, g, lane, false, bit);
+
+        // Open a window of entirely true draft rows: without the fault
+        // every token would verify.
+        let (qd, kd) = (topo.q_dim(), topo.kv_dim());
+        let (mut qdat, mut kdat, mut vdat) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, &dec) in decoded.iter().enumerate() {
+            for j in 0..gamma {
+                qdat.extend_from_slice(srow(i, dec + j, 0, qd).as_slice());
+                kdat.extend_from_slice(srow(i, dec + j, 1, kd).as_slice());
+                vdat.extend_from_slice(srow(i, dec + j, 2, kd).as_slice());
+            }
+        }
+        let qs = Matrix::from_vec(batch * gamma, qd, qdat);
+        let ks = Matrix::from_vec(batch * gamma, kd, kdat);
+        let vs = Matrix::from_vec(batch * gamma, kd, vdat);
+        let outs = subject.speculate(&ids, &qs, &ks, &vs, gamma);
+
+        // The alarm fires inside the window, before delivery; peers
+        // verify clean.
+        let res = outs[vi][0].residual().abs();
+        prop_assert!(
+            res.is_nan() || res > tol,
+            "window token 0 over the flipped value must alarm (residual {res:e})"
+        );
+        for &i in &peers {
+            for (t, o) in outs[i].iter().enumerate() {
+                let r = o.residual().abs();
+                prop_assert!(r <= tol, "peer {i} window token {t} stays clean");
+            }
+        }
+
+        // Reject the victim's whole window; peers accept all of theirs.
+        // The golden twin decodes the peers' tokens sequentially.
+        let accepted: Vec<usize> = (0..batch)
+            .map(|i| if i == vi { 0 } else { gamma })
+            .collect();
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..gamma {
+            let (mut gq, mut gk, mut gv) = (Vec::new(), Vec::new(), Vec::new());
+            let step_ids: Vec<usize> = peers.iter().map(|&i| ids[i]).collect();
+            for &i in &peers {
+                gq.extend_from_slice(srow(i, decoded[i] + t, 0, qd).as_slice());
+                gk.extend_from_slice(srow(i, decoded[i] + t, 1, kd).as_slice());
+                gv.extend_from_slice(srow(i, decoded[i] + t, 2, kd).as_slice());
+            }
+            let gq = Matrix::from_vec(peers.len(), qd, gq);
+            let gk = Matrix::from_vec(peers.len(), kd, gk);
+            let gv = Matrix::from_vec(peers.len(), kd, gv);
+            let outs_g = golden.step_decode(&step_ids, &gq, &gk, &gv);
+            for (x, &i) in outs_g.iter().zip(&peers) {
+                for (wa, xa) in outs[i][t].output.iter().zip(&x.output) {
+                    prop_assert_eq!(wa.to_bits(), xa.to_bits());
+                }
+            }
+        }
+        subject.resolve_speculation(&accepted);
+        for &i in &peers {
+            for j in 0..gamma {
+                let k = srow(i, decoded[i] + j, 1, kd);
+                let v = srow(i, decoded[i] + j, 2, kd);
+                hist_k[i].extend_from_slice(k.as_slice());
+                hist_v[i].extend_from_slice(v.as_slice());
+            }
+            decoded[i] += gamma;
+            prop_assert!(subject.rewind_checks_clean(ids[i]));
+        }
+        // The rewound victim still carries the storage fault — the
+        // rollback restores pre-window state exactly, corruption and
+        // all — so its checks cannot audit clean until recovery.
+        prop_assert!(
+            !subject.rewind_checks_clean(victim),
+            "the flipped lane must survive rollback for the audit to see"
+        );
+
+        // Quarantine and recompute the victim (auto-requeue from the
+        // recovery log, or resubmit from the frontend history).
+        let len = subject.seq_len(victim);
+        let report = subject.quarantine(victim);
+        prop_assert!(report.blocks_freed > 0);
+        if from_log {
+            prop_assert_eq!(report.requeued_rows, len, "full log auto-requeues");
+        } else {
+            prop_assert_eq!(report.requeued_rows, 0, "no log to requeue from");
+            let k = Matrix::from_vec(len, topo.kv_dim(), hist_k[vi].clone());
+            let v = Matrix::from_vec(len, topo.kv_dim(), hist_v[vi].clone());
+            prop_assert!(subject.resubmit(victim, &k, &v).is_ok());
+        }
+        prop_assert!(subject.is_pending(victim));
+        let mut waited = 0usize;
+        while subject.is_pending(victim) {
+            lockstep(
+                &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+                &mut decoded, &peers, 1,
+            );
+            waited += 1;
+            prop_assert!(waited <= 2 * len, "requeue must terminate");
+        }
+
+        // Resume: bit-identical to the never-corrupted twin, clean audit.
+        prop_assert_eq!(subject.seq_len(victim), golden.seq_len(victim));
+        for &id in &ids {
+            prop_assert!(subject.audit(id, tol).is_empty(), "post-recovery audit clean");
+        }
+        lockstep(
+            &mut subject, &mut golden, &mut hist_k, &mut hist_v,
+            &mut decoded, &all, post_steps,
+        );
+        assert_block_owners_consistent(&subject);
+    }
 }
 
 /// Block-ownership census for the prefix-sharing arena: every unretired

@@ -308,6 +308,28 @@ fn fault_benchmarks(quick: bool) {
         );
     }
 
+    let sp = &report.shared_prefix_drill;
+    println!(
+        "  shared-prefix drill ({} prefix tokens, share {:.0}%, speculation gamma={}): \
+         {} trials ({} drained), {} landed, {} alarms / {} scrub findings, \
+         {} blocks repaired, {} quarantined / {} recovered, fidelity {:.2}% \
+         ({} tokens, {} divergent)",
+        report.shared_prefix_tokens,
+        report.shared_prefix_share_prob * 100.0,
+        report.shared_prefix_gamma,
+        sp.trials,
+        sp.drained_trials,
+        sp.injections_landed,
+        sp.online_alarms,
+        sp.scrub_findings,
+        sp.repaired_blocks,
+        sp.quarantined_requests,
+        sp.recovered_requests,
+        sp.token_fidelity_pct(),
+        sp.tokens_compared,
+        sp.tokens_divergent,
+    );
+
     let path = "BENCH_faults.json";
     match std::fs::write(path, report.to_json()) {
         Ok(()) => println!("wrote {path}"),
@@ -392,6 +414,27 @@ fn serving_benchmarks(quick: bool) {
             p.shared_decode_tokens_per_s,
             p.gemv_decode_tokens_per_s,
             p.shared_score_tiles,
+            p.decode_bitwise_match,
+        );
+    }
+
+    let sp = &report.speculative;
+    println!(
+        "speculative decode (batch {}, prefill {}, {} windows, draft-and-verify vs sequential twin):",
+        sp.batch, sp.prefill_tokens, sp.windows
+    );
+    for p in &sp.points {
+        println!(
+            "  gamma={} alpha={:.1} | measured accept {:.2} | {:.0} vs {:.0} tok/s \
+             (spec vs sequential, {:.2}x) | {:.2} vs {:.2} MB/step | bitwise {}",
+            p.gamma,
+            p.acceptance_rate,
+            p.measured_acceptance,
+            p.tokens_per_s,
+            p.sequential_tokens_per_s,
+            p.tokens_per_s / p.sequential_tokens_per_s,
+            p.bytes_per_step / 1e6,
+            p.sequential_bytes_per_step / 1e6,
             p.decode_bitwise_match,
         );
     }

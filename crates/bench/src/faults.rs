@@ -25,7 +25,7 @@
 use fa_attention::batch::guard::InjectionSite;
 use fa_attention::batch::{DecodeBatch, EvictionPolicy, KvFormat, KvLayout};
 use fa_attention::{AttentionConfig, HeadTopology};
-use fa_fault::{run_live, LiveCampaignSpec, LiveCampaignStats};
+use fa_fault::{run_drill, run_live, DrillSpec, DrillStats, LiveCampaignSpec, LiveCampaignStats};
 use fa_tensor::{random::ElementDist, Matrix};
 use std::time::Instant;
 
@@ -101,6 +101,18 @@ pub struct FaultBenchReport {
     pub scrub_sweep: Vec<ScrubLeg>,
     /// Value-site campaigns across burst sizes k (simultaneous flips).
     pub multi_fault: Vec<MultiFaultLeg>,
+    /// Golden-twin drill campaign whose flips land inside *registered
+    /// shared-prefix* blocks while a speculating scheduler serves load:
+    /// the blast-radius-maximizing placement (every reader scores
+    /// through the corrupt panel), certified bit-exact against the
+    /// undisturbed twin.
+    pub shared_prefix_drill: DrillStats,
+    /// Shared-prefix length the drill registers, tokens.
+    pub shared_prefix_tokens: usize,
+    /// Probability an arriving request adopts the shared prefix.
+    pub shared_prefix_share_prob: f64,
+    /// Speculative window width the drill's scheduler runs at.
+    pub shared_prefix_gamma: usize,
     /// One structural audit of a loaded sequence, milliseconds.
     pub audit_ms: f64,
     /// One block recovery (rewrite + re-checksum + sumrow refresh) on
@@ -258,6 +270,16 @@ pub fn measure(quick: bool) -> FaultBenchReport {
             stats: run_live(&base(InjectionSite::Value, sweep_trials).with_flips(k)),
         })
         .collect();
+    // Shared-prefix campaign: flips constrained to registered prefix
+    // blocks (the rows every adopting reader scores through) while the
+    // scheduler speculates γ=4 windows over the shared cache.
+    let (shared_prefix_tokens, shared_prefix_share_prob, shared_prefix_gamma) = (12usize, 0.8, 4);
+    let shared_prefix_drill = run_drill(
+        &DrillSpec::new(sweep_trials, 0xD217)
+            .with_injections(1, false)
+            .with_shared_prefix(shared_prefix_tokens, shared_prefix_share_prob)
+            .with_speculation(shared_prefix_gamma, 0.8),
+    );
     let (audit_ms, recover_block_ms, recovered_rows) = micro_timings(&probe);
     FaultBenchReport {
         batch,
@@ -269,6 +291,10 @@ pub fn measure(quick: bool) -> FaultBenchReport {
         policy_sweep,
         scrub_sweep,
         multi_fault,
+        shared_prefix_drill,
+        shared_prefix_tokens,
+        shared_prefix_share_prob,
+        shared_prefix_gamma,
         audit_ms,
         recover_block_ms,
         recovered_rows,
@@ -408,6 +434,32 @@ impl FaultBenchReport {
                 )
             })
             .collect();
+        let sp = &self.shared_prefix_drill;
+        let shared_prefix = format!(
+            "{{\n    \"prefix_tokens\": {}, \"share_prob\": {:.2}, \"gamma\": {},\n    \
+             \"trials\": {}, \"drained\": {}, \"injections_landed\": {},\n    \
+             \"online_alarms\": {}, \"scrub_findings\": {}, \"repaired_blocks\": {},\n    \
+             \"quarantined_requests\": {}, \"recovered_requests\": {},\n    \
+             \"tokens_compared\": {}, \"tokens_divergent\": {},\n    \
+             \"detection_pct\": {:.2}, \"recovery_pct\": {:.2}, \
+             \"token_fidelity_pct\": {:.2}\n  }}",
+            self.shared_prefix_tokens,
+            self.shared_prefix_share_prob,
+            self.shared_prefix_gamma,
+            sp.trials,
+            sp.drained_trials,
+            sp.injections_landed,
+            sp.online_alarms,
+            sp.scrub_findings,
+            sp.repaired_blocks,
+            sp.quarantined_requests,
+            sp.recovered_requests,
+            sp.tokens_compared,
+            sp.tokens_divergent,
+            sp.detection_pct(),
+            sp.recovery_pct(),
+            sp.token_fidelity_pct(),
+        );
         format!(
             "{{\n  \"batch\": {},\n  \"prefill\": {},\n  \"steps\": {},\n  \
              \"trials\": {},\n  \"tolerance\": {:e},\n  \
@@ -417,7 +469,8 @@ impl FaultBenchReport {
              \"timed_recovery_rows\": {}\n  }},\n  \
              \"policy_sweep\": [\n{}\n  ],\n  \
              \"scrub\": [\n{}\n  ],\n  \
-             \"multi_fault\": [\n{}\n  ]\n}}\n",
+             \"multi_fault\": [\n{}\n  ],\n  \
+             \"shared_prefix_drill\": {}\n}}\n",
             self.batch,
             self.prefill,
             self.steps,
@@ -432,6 +485,7 @@ impl FaultBenchReport {
             sweep.join(",\n"),
             scrub.join(",\n"),
             multi.join(",\n"),
+            shared_prefix,
         )
     }
 }
@@ -508,6 +562,18 @@ mod tests {
             assert!(st.localization_accuracy_pct() >= 90.0, "{leg:?}");
             assert!(st.post_recovery_divergent <= st.mislocalized, "{leg:?}");
         }
+
+        // Shared-prefix drill: flips inside registered prefix blocks
+        // under a speculating scheduler still alarm, repair, and stay
+        // bit-exact against the golden twin.
+        let sp = &report.shared_prefix_drill;
+        assert!(sp.drained_trials > 0, "{sp:?}");
+        assert!(sp.injections_landed > 0, "{sp:?}");
+        assert_eq!(sp.tokens_divergent, 0, "shared-prefix fidelity: {sp:?}");
+        assert_eq!(
+            sp.recovered_requests, sp.quarantined_requests,
+            "every quarantined reader recovers: {sp:?}"
+        );
     }
 
     #[test]
@@ -538,6 +604,8 @@ mod tests {
             "scrubbed_blocks",
             "flips_per_trial",
             "injected_flips",
+            "shared_prefix_drill",
+            "token_fidelity_pct",
             "\"key\"",
             "\"value\"",
             "\"sumrow\"",

@@ -65,6 +65,11 @@ pub struct DrillSpec {
     /// Key-side flips (residual-coherent, scrub-detected) when true;
     /// value-side (online-alarmed) when false.
     pub key_side: bool,
+    /// Restrict injection victims to sequences reading a *shared*
+    /// registered prefix, with flip positions inside the prefix region —
+    /// the copy-on-write blocks every reader aliases, so one flip can
+    /// poison many token streams at once.
+    pub target_shared_prefix: bool,
     /// Independent trials.
     pub trials: u64,
     /// Base RNG seed; trial *i* derives its own stream.
@@ -99,6 +104,7 @@ impl DrillSpec {
             drain_steps: 400,
             injections: 1,
             key_side: false,
+            target_shared_prefix: false,
             trials,
             seed,
         }
@@ -126,6 +132,25 @@ impl DrillSpec {
     /// Sets the workload window length.
     pub fn with_load_steps(mut self, steps: usize) -> DrillSpec {
         self.load_steps = steps;
+        self
+    }
+
+    /// Drives a prefix-sharing workload (each tenant's requests reuse a
+    /// `prefix_tokens`-long system prompt with probability `share_prob`)
+    /// and aims every flip at a shared-prefix block of a decoding
+    /// reader.
+    pub fn with_shared_prefix(mut self, prefix_tokens: usize, share_prob: f64) -> DrillSpec {
+        self.load.prefix_tokens = prefix_tokens;
+        self.load.prefix_share_prob = share_prob;
+        self.target_shared_prefix = true;
+        self
+    }
+
+    /// Enables speculative decoding on both twins (γ-token windows at
+    /// the given draft acceptance).
+    pub fn with_speculation(mut self, gamma: usize, acceptance: f64) -> DrillSpec {
+        self.serve.speculation_gamma = gamma;
+        self.serve.draft_acceptance = acceptance;
         self
     }
 }
@@ -288,20 +313,30 @@ fn drill_trial(spec: &DrillSpec, trial: u64) -> DrillStats {
         while inject_at.first() == Some(&(step as u64)) {
             inject_at.remove(0);
             stats.injections_attempted += 1;
-            let targets = subject.active_decoding();
+            let mut targets = subject.active_decoding();
+            if spec.target_shared_prefix {
+                targets.retain(|&(rec, _)| subject.records()[rec].prefix_seed.is_some());
+            }
             if targets.is_empty() {
                 continue;
             }
-            let (_, seq) = targets[rng.gen_range(0..targets.len())];
+            let (rec, seq) = targets[rng.gen_range(0..targets.len())];
             let len = subject.engine().seq_len(seq);
             if len == 0 {
                 continue;
             }
             let first = subject.engine().cache().first_retained(seq);
-            if first >= len {
+            // Shared-prefix targeting flips inside the prefix region
+            // only — the rows whose blocks other readers alias.
+            let hi_pos = if spec.target_shared_prefix {
+                subject.records()[rec].prefix_tokens.min(len)
+            } else {
+                len
+            };
+            if first >= hi_pos {
                 continue;
             }
-            let pos = first + rng.gen_range(0..len - first);
+            let pos = first + rng.gen_range(0..hi_pos - first);
             let kv_head = rng.gen_range(0..spec.kv_heads);
             let lane = rng.gen_range(0..spec.head_dim);
             let bit = if subject.engine().storage_is_bf16(seq, pos) {
@@ -435,6 +470,42 @@ mod tests {
             "alarmed tokens are discarded before delivery; recovery is bit-exact"
         );
         assert_eq!(stats.recovered_requests, stats.quarantined_requests);
+    }
+
+    #[test]
+    fn shared_prefix_flips_alarm_every_reader_and_recover_bit_exact() {
+        let spec = DrillSpec::new(6, 17)
+            .with_injections(1, false)
+            .with_shared_prefix(12, 0.8);
+        let stats = run_drill(&spec);
+        assert!(stats.drained_trials > 0, "shared-prefix drills must drain");
+        assert!(
+            stats.injections_landed > 0,
+            "some trial must land a shared-prefix flip"
+        );
+        assert!(
+            stats.online_alarms > 0,
+            "value flips inside shared blocks must alarm online"
+        );
+        assert_eq!(
+            stats.tokens_divergent, 0,
+            "alarmed tokens never deliver; recovery is bit-exact"
+        );
+        assert_eq!(stats.recovered_requests, stats.quarantined_requests);
+    }
+
+    #[test]
+    fn speculative_drill_stays_bit_exact_under_value_flips() {
+        let spec = DrillSpec::new(4, 19)
+            .with_injections(1, false)
+            .with_speculation(4, 0.8);
+        let stats = run_drill(&spec);
+        assert!(stats.drained_trials > 0, "speculative drills must drain");
+        assert!(stats.finished_both > 0);
+        assert_eq!(
+            stats.tokens_divergent, 0,
+            "window alarms void delivery before corruption can escape"
+        );
     }
 
     #[test]

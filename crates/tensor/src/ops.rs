@@ -1149,6 +1149,51 @@ mod tests {
     }
 
     #[test]
+    fn multi_query_union_range_slices_match_single_query_subranges() {
+        // The speculative-decode pass scores one *union* row range for a
+        // whole window of queries, then each query consumes only its own
+        // causal sub-range of the query-major tile. Pin that slicing
+        // pattern: `out[qi·n_rows + (r0_q − u0) .. qi·n_rows + (r1_q − u0)]`
+        // must equal a per-query sweep over `[r0_q, r1_q)` bit for bit.
+        use crate::random::ElementDist;
+        let (nq, d, stride, rows) = (4usize, 8usize, 8usize, 10usize);
+        let qs = Matrix::<f64>::random_seeded(nq, d, ElementDist::default(), 8800);
+        let panel = Matrix::<f64>::random_seeded(rows, stride, ElementDist::default(), 8900);
+        let scale = 1.0 / (d as f64).sqrt();
+        let (u0, u1) = (1usize, 9usize);
+        let n_rows = u1 - u0;
+        let mut tile = vec![0.0f64; nq * n_rows];
+        dot_then_scale_rows_multi_into(
+            qs.as_slice(),
+            d,
+            &panel.as_slice()[u0 * stride..],
+            stride,
+            n_rows,
+            scale,
+            &mut tile,
+        );
+        // Per query: a different sub-range of the union, like a window's
+        // per-token causal bounds.
+        let ranges = [(1usize, 6usize), (2, 7), (3, 8), (4, 9)];
+        for (qi, &(r0, r1)) in ranges.iter().enumerate() {
+            let mut single = Vec::new();
+            dot_then_scale_rows(
+                qs.row(qi),
+                &panel.as_slice()[r0 * stride..],
+                stride,
+                r1 - r0,
+                scale,
+                &mut single,
+            );
+            let slice = &tile[qi * n_rows + (r0 - u0)..qi * n_rows + (r1 - u0)];
+            assert_eq!(slice.len(), single.len());
+            for (r, (a, b)) in slice.iter().zip(&single).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "query {qi} row {r}");
+            }
+        }
+    }
+
+    #[test]
     fn multi_query_row_scores_bit_identical_to_per_query_sweeps() {
         // The shared-block panel kernel must reproduce the per-query
         // GEMV sweep bit for bit: same per-(query, row) dot, only the
